@@ -1,0 +1,11 @@
+set title "Available-charge distribution over time (simple model)"
+set xlabel "available charge (mAh)"
+set ylabel "Pr[battery empty]"
+set key bottom right
+set grid
+plot \
+  "ext_charge_profile.dat" index 0 with lines title "t = 2 h", \
+  "ext_charge_profile.dat" index 1 with lines title "t = 6 h", \
+  "ext_charge_profile.dat" index 2 with lines title "t = 12 h", \
+  "ext_charge_profile.dat" index 3 with lines title "t = 18 h", \
+  "ext_charge_profile.dat" index 4 with lines title "t = 24 h"

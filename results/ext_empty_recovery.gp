@@ -1,0 +1,8 @@
+set title "Absorbing vs recovering empty state (simple model)"
+set xlabel "t (hours)"
+set ylabel "Pr[battery empty]"
+set key bottom right
+set grid
+plot \
+  "ext_empty_recovery.dat" index 0 with lines title "P(empty by t) -- absorbing", \
+  "ext_empty_recovery.dat" index 1 with lines title "P(empty at t) -- with recovery"

@@ -1,0 +1,12 @@
+set title "On/off model with Erlang-K sojourns"
+set xlabel "t (seconds)"
+set ylabel "Pr[battery empty]"
+set key bottom right
+set grid
+plot \
+  "ext_erlang_k.dat" index 0 with lines title "Delta=50, K=1", \
+  "ext_erlang_k.dat" index 1 with lines title "simulation, K=1", \
+  "ext_erlang_k.dat" index 2 with lines title "Delta=50, K=4", \
+  "ext_erlang_k.dat" index 3 with lines title "simulation, K=4", \
+  "ext_erlang_k.dat" index 4 with lines title "Delta=50, K=16", \
+  "ext_erlang_k.dat" index 5 with lines title "simulation, K=16"

@@ -1,0 +1,11 @@
+set title "Lifetime vs square-wave frequency (all battery models)"
+set xlabel "log10 frequency (Hz)"
+set ylabel "Pr[battery empty]"
+set key bottom right
+set grid
+plot \
+  "ext_frequency_sweep.dat" index 0 with lines title "ideal", \
+  "ext_frequency_sweep.dat" index 1 with lines title "Peukert", \
+  "ext_frequency_sweep.dat" index 2 with lines title "KiBaM", \
+  "ext_frequency_sweep.dat" index 3 with lines title "modified KiBaM", \
+  "ext_frequency_sweep.dat" index 4 with lines title "Rakhmatov-Vrudhula"

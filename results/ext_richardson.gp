@@ -1,0 +1,10 @@
+set title "Richardson extrapolation vs exact (on/off, c=1)"
+set xlabel "t (seconds)"
+set ylabel "Pr[battery empty]"
+set key bottom right
+set grid
+plot \
+  "ext_richardson.dat" index 0 with lines title "Delta=100", \
+  "ext_richardson.dat" index 1 with lines title "Delta=50", \
+  "ext_richardson.dat" index 2 with lines title "Richardson(100,50)", \
+  "ext_richardson.dat" index 3 with lines title "exact"

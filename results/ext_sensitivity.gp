@@ -1,0 +1,11 @@
+set title "Mean lifetime vs c and k (simple model)"
+set xlabel "available-charge fraction c"
+set ylabel "Pr[battery empty]"
+set key bottom right
+set grid
+plot \
+  "ext_sensitivity.dat" index 0 with lines title "k = 0.04 /h", \
+  "ext_sensitivity.dat" index 1 with lines title "k = 0.08 /h", \
+  "ext_sensitivity.dat" index 2 with lines title "k = 0.162 /h", \
+  "ext_sensitivity.dat" index 3 with lines title "k = 0.32 /h", \
+  "ext_sensitivity.dat" index 4 with lines title "k = 0.65 /h"

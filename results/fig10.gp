@@ -1,0 +1,13 @@
+set title "Simple model, three battery settings"
+set xlabel "t (hours)"
+set ylabel "Pr[battery empty]"
+set key bottom right
+set grid
+plot \
+  "fig10.dat" index 0 with lines title "C=500, c=1, Delta=25", \
+  "fig10.dat" index 1 with lines title "C=500, c=1, Delta=2", \
+  "fig10.dat" index 2 with lines title "C=500, c=1, simulation", \
+  "fig10.dat" index 3 with lines title "C=800, c=0.625, Delta=25", \
+  "fig10.dat" index 4 with lines title "C=800, c=0.625, Delta=2", \
+  "fig10.dat" index 5 with lines title "C=800, c=0.625, simulation", \
+  "fig10.dat" index 6 with lines title "C=800, c=1, reference"

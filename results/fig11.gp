@@ -1,0 +1,10 @@
+set title "Simple vs burst model, C=800 mAh, c=0.625"
+set xlabel "t (hours)"
+set ylabel "Pr[battery empty]"
+set key bottom right
+set grid
+plot \
+  "fig11.dat" index 0 with lines title "simple model", \
+  "fig11.dat" index 1 with lines title "burst model", \
+  "fig11.dat" index 2 with lines title "simple model (simulation)", \
+  "fig11.dat" index 3 with lines title "burst model (simulation)"

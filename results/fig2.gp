@@ -1,0 +1,8 @@
+set title "KiBaM well contents, square wave f=0.001 Hz"
+set xlabel "t (seconds)"
+set ylabel "Pr[battery empty]"
+set key bottom right
+set grid
+plot \
+  "fig2.dat" index 0 with lines title "y1 (available charge)", \
+  "fig2.dat" index 1 with lines title "y2 (bound charge)"

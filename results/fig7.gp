@@ -1,0 +1,12 @@
+set title "On/off model, C=7200 As, c=1, k=0"
+set xlabel "t (seconds)"
+set ylabel "Pr[battery empty]"
+set key bottom right
+set grid
+plot \
+  "fig7.dat" index 0 with lines title "Delta=100", \
+  "fig7.dat" index 1 with lines title "Delta=50", \
+  "fig7.dat" index 2 with lines title "Delta=25", \
+  "fig7.dat" index 3 with lines title "Delta=5", \
+  "fig7.dat" index 4 with lines title "simulation", \
+  "fig7.dat" index 5 with lines title "exact (occupation time)"

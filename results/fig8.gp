@@ -1,0 +1,10 @@
+set title "On/off model, C=7200 As, c=0.625, k=4.5e-5/s"
+set xlabel "t (seconds)"
+set ylabel "Pr[battery empty]"
+set key bottom right
+set grid
+plot \
+  "fig8.dat" index 0 with lines title "Delta=100", \
+  "fig8.dat" index 1 with lines title "Delta=50", \
+  "fig8.dat" index 2 with lines title "Delta=25", \
+  "fig8.dat" index 3 with lines title "simulation"

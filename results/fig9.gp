@@ -1,0 +1,9 @@
+set title "On/off model, different initial capacities"
+set xlabel "t (seconds)"
+set ylabel "Pr[battery empty]"
+set key bottom right
+set grid
+plot \
+  "fig9.dat" index 0 with lines title "C=4500, c=1", \
+  "fig9.dat" index 1 with lines title "C=7200, c=0.625 (Delta=25)", \
+  "fig9.dat" index 2 with lines title "C=7200, c=1"
