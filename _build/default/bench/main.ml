@@ -1,0 +1,225 @@
+(* Benchmark & reproduction harness.
+
+   Default run (as in `dune exec bench/main.exe`):
+     1. regenerate every table and figure of the paper's evaluation
+        section, printing the measured rows/series summaries next to
+        the paper's reported shapes, and writing .dat/.csv/.gp
+        artefacts under results/;
+     2. run one Bechamel timing benchmark per experiment kernel.
+
+   Flags:
+     --full         also compute the expensive Delta=10,5 two-well
+                    refinements (Figs. 8, 9)
+     --runs N       Monte-Carlo replications (default 1000)
+     --out-dir D    artefact directory (default results)
+     --repro-only   skip the timing pass
+     --timing-only  skip the reproduction pass
+     --quota S      seconds of sampling per timing test (default 0.5) *)
+
+open Bechamel
+open Batlife_battery
+open Batlife_core
+open Batlife_experiments
+
+(* ------------------------------------------------------------------ *)
+(* Timing kernels: one per table/figure, sized so a single sample is
+   meaningful but the quota stays small.                               *)
+
+let table1_kernel () =
+  let p = Params.battery_two_well () in
+  Kibam.lifetime p
+    (Load_profile.square_wave ~frequency:1.0 ~on_load:Params.on_current_a)
+
+let fig2_kernel () =
+  let p = Params.battery_two_well () in
+  Kibam.trace p
+    (Load_profile.square_wave ~frequency:0.001 ~on_load:Params.on_current_a)
+    ~t_end:12000. ~sample_step:50.
+
+let times_small = [| 10000.; 15000.; 20000. |]
+
+let fig7_kernel () =
+  Lifetime.cdf ~delta:100. ~times:times_small
+    (Params.onoff_kibamrm ~frequency:1.0 (Params.battery_single_well ()))
+
+let fig8_kernel () =
+  Lifetime.cdf ~delta:100. ~times:times_small
+    (Params.onoff_kibamrm ~frequency:1.0 (Params.battery_two_well ()))
+
+let fig9_kernel () =
+  Discretized.build ~delta:25.
+    (Params.onoff_kibamrm ~frequency:1.0 (Params.battery_two_well ()))
+
+let phone_times_small = [| 10.; 20.; 30. |]
+
+let fig10_kernel () =
+  Lifetime.cdf ~delta:25. ~times:phone_times_small
+    (Params.simple_kibamrm (Params.battery_phone_two_well ()))
+
+let fig11_kernel () =
+  Lifetime.cdf ~delta:10. ~times:phone_times_small
+    (Params.burst_kibamrm (Params.battery_phone_two_well ()))
+
+let simulation_kernel =
+  let model =
+    Params.onoff_kibamrm ~frequency:1.0 (Params.battery_two_well ())
+  in
+  let sim = Batlife_sim.Trajectory.prepare model in
+  fun () ->
+    Batlife_sim.Trajectory.run sim (Batlife_sim.Rng.create ~seed:42L ())
+
+(* Micro / subsystem kernels beyond the paper's experiments. *)
+
+let occupation_kernel =
+  let workload = Params.onoff_model ~frequency:1.0 () in
+  let m =
+    Batlife_mrm.Mrm.create
+      ~generator:workload.Batlife_workload.Model.generator
+      ~rewards:
+        (Array.init 2 (Batlife_workload.Model.current workload))
+      ~alpha:workload.Batlife_workload.Model.initial
+  in
+  fun () ->
+    Batlife_mrm.Occupation.two_valued_cdf m
+      ~queries:[| (15000., Params.capacity_as) |]
+
+let poisson_kernel () = Batlife_numerics.Poisson.weights 40000.
+
+let vecmat_kernel =
+  let d =
+    Discretized.build ~delta:50.
+      (Params.onoff_kibamrm ~frequency:1.0 (Params.battery_two_well ()))
+  in
+  let q = Batlife_ctmc.Generator.matrix d.Discretized.generator in
+  let n = Discretized.n_states d in
+  let src = Array.make n (1. /. float_of_int n) in
+  let dst = Array.make n 0. in
+  fun () -> Batlife_numerics.Sparse.vecmat_acc ~src q ~scale:1. ~dst
+
+let scheduler_kernel () =
+  Batlife_scheduling.Scheduler.run ~slot:60.
+    ~policy:Batlife_scheduling.Policy.Round_robin
+    ~battery:(Params.battery_two_well ()) ~n:2
+    (Load_profile.constant Params.on_current_a)
+
+let rakhmatov_kernel =
+  let p = Batlife_battery.Rakhmatov.params ~alpha:40000. 0.2 in
+  fun () -> Batlife_battery.Rakhmatov.lifetime_constant p ~load:100.
+
+let timing_tests =
+  Test.make_grouped ~name:"batlife"
+    [
+      Test.make ~name:"table1: analytic KiBaM square-wave lifetime"
+        (Staged.stage table1_kernel);
+      Test.make ~name:"fig2: KiBaM trace (12000 s)" (Staged.stage fig2_kernel);
+      Test.make ~name:"fig7: KiBaMRM on/off c=1 (Delta=100)"
+        (Staged.stage fig7_kernel);
+      Test.make ~name:"fig8: KiBaMRM on/off c=0.625 (Delta=100)"
+        (Staged.stage fig8_kernel);
+      Test.make ~name:"fig9: Q* construction (Delta=25)"
+        (Staged.stage fig9_kernel);
+      Test.make ~name:"fig10: KiBaMRM simple model (Delta=25)"
+        (Staged.stage fig10_kernel);
+      Test.make ~name:"fig11: KiBaMRM burst model (Delta=10)"
+        (Staged.stage fig11_kernel);
+      Test.make ~name:"simulation: one on/off replication"
+        (Staged.stage simulation_kernel);
+      Test.make ~name:"micro: exact occupation-time query (qt~30k)"
+        (Staged.stage occupation_kernel);
+      Test.make ~name:"micro: Poisson weights (lambda=4e4)"
+        (Staged.stage poisson_kernel);
+      Test.make ~name:"micro: sparse vecmat (fig8 Delta=50, 30k nnz)"
+        (Staged.stage vecmat_kernel);
+      Test.make ~name:"scheduling: 2-cell round robin to depletion"
+        (Staged.stage scheduler_kernel);
+      Test.make ~name:"battery: Rakhmatov-Vrudhula lifetime"
+        (Staged.stage rakhmatov_kernel);
+    ]
+
+let run_timing ~quota =
+  print_newline ();
+  print_endline "=== Timing (Bechamel, monotonic clock) ===";
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second quota) ~stabilize:true ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] timing_tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let estimate =
+        match Analyze.OLS.estimates result with
+        | Some [ e ] -> e
+        | Some _ | None -> Float.nan
+      in
+      rows := (name, estimate) :: !rows)
+    results;
+  let rows = List.sort (fun (_, a) (_, b) -> Float.compare a b) !rows in
+  let pretty ns =
+    if Float.is_nan ns then "n/a"
+    else if ns >= 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+    else Printf.sprintf "%8.0f ns" ns
+  in
+  List.iter
+    (fun (name, estimate) ->
+      Printf.printf "  %-52s %s/run\n" name (pretty estimate))
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+type mode = Both | Repro_only | Timing_only
+
+let () =
+  let options = ref Runner.default_options in
+  let mode = ref Both in
+  let quota = ref 0.5 in
+  let ids = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--full" :: rest ->
+        options := { !options with Runner.full = true };
+        parse rest
+    | "--runs" :: n :: rest ->
+        options := { !options with Runner.runs = int_of_string n };
+        parse rest
+    | "--out-dir" :: d :: rest ->
+        options := { !options with Runner.out_dir = d };
+        parse rest
+    | "--repro-only" :: rest ->
+        mode := Repro_only;
+        parse rest
+    | "--timing-only" :: rest ->
+        mode := Timing_only;
+        parse rest
+    | "--quota" :: s :: rest ->
+        quota := float_of_string s;
+        parse rest
+    | id :: rest ->
+        ids := id :: !ids;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let options = !options in
+  if !mode <> Timing_only then begin
+    print_endline
+      "batlife reproduction harness -- Cloth, Jongerden, Haverkort:";
+    print_endline "\"Computing Battery Lifetime Distributions\" (DSN 2007)";
+    match List.rev !ids with
+    | [] -> Runner.run_all ~options ()
+    | ids ->
+        List.iter
+          (fun id ->
+            match Runner.run_one ~options id with
+            | Ok () -> ()
+            | Error msg ->
+                prerr_endline msg;
+                exit 2)
+          ids
+  end;
+  if !mode <> Repro_only then run_timing ~quota:!quota

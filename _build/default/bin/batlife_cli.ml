@@ -1,0 +1,418 @@
+(* batlife: command-line front end.
+
+   Subcommands:
+     kibam       analytic KiBaM lifetime under constant / square-wave load
+     lifetime    lifetime CDF of a workload model via the KiBaMRM algorithm
+     simulate    Monte-Carlo lifetime estimation
+     experiment  reproduce the paper's tables and figures *)
+
+open Cmdliner
+open Batlife_battery
+open Batlife_workload
+open Batlife_core
+open Batlife_sim
+open Batlife_output
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument definitions                                         *)
+
+let capacity_arg =
+  Arg.(
+    value
+    & opt float 7200.
+    & info [ "capacity"; "C" ] ~docv:"CHARGE"
+        ~doc:"Battery capacity (charge units, e.g. As or mAh).")
+
+let c_arg =
+  Arg.(
+    value
+    & opt float 0.625
+    & info [ "c"; "available-fraction" ] ~docv:"FRACTION"
+        ~doc:"Available-charge fraction c in (0,1].")
+
+let k_arg =
+  Arg.(
+    value
+    & opt float 4.5e-5
+    & info [ "k"; "diffusion" ] ~docv:"RATE"
+        ~doc:"KiBaM diffusion constant k.")
+
+let battery_term =
+  let make capacity c k = Kibam.params ~capacity ~c ~k in
+  Term.(const make $ capacity_arg $ c_arg $ k_arg)
+
+let model_arg =
+  let models = [ ("simple", `Simple); ("burst", `Burst); ("onoff", `Onoff) ] in
+  Arg.(
+    value
+    & opt (enum models) `Simple
+    & info [ "model"; "m" ] ~docv:"MODEL"
+        ~doc:"Workload model: $(b,simple), $(b,burst) or $(b,onoff).")
+
+let frequency_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "frequency"; "f" ] ~docv:"HZ"
+        ~doc:"Toggle frequency of the on/off model (per time unit).")
+
+let on_current_arg =
+  Arg.(
+    value
+    & opt float 0.96
+    & info [ "on-current" ] ~docv:"I"
+        ~doc:"Current drawn in the on state of the on/off model.")
+
+let erlang_k_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "erlang-k" ] ~docv:"K"
+        ~doc:"Erlang phases of the on/off sojourns (K=1: exponential).")
+
+let workload_of = function
+  | `Simple -> Simple.model ()
+  | `Burst -> Burst.model ()
+  | `Onoff -> assert false
+
+let workload_term =
+  let make model frequency on_current erlang_k =
+    match model with
+    | `Onoff -> Onoff.model ~frequency ~k:erlang_k ~on_current ()
+    | other -> workload_of other
+  in
+  Term.(
+    const make $ model_arg $ frequency_arg $ on_current_arg $ erlang_k_arg)
+
+let times_term =
+  let make t_max points =
+    if t_max <= 0. then `Error (false, "horizon must be positive")
+    else if points < 2 then `Error (false, "need at least 2 points")
+    else
+      `Ok
+        (Array.init points (fun i ->
+             t_max /. float_of_int points *. float_of_int (i + 1)))
+  in
+  let t_max =
+    Arg.(
+      value
+      & opt float 30.
+      & info [ "horizon"; "T" ] ~docv:"TIME"
+          ~doc:"Largest time point of the CDF grid.")
+  and points =
+    Arg.(
+      value
+      & opt int 60
+      & info [ "points" ] ~docv:"N" ~doc:"Number of grid points.")
+  in
+  Term.(ret (const make $ t_max $ points))
+
+let plot_arg =
+  Arg.(value & flag & info [ "plot" ] ~doc:"Render an ASCII plot.")
+
+(* ------------------------------------------------------------------ *)
+(* kibam                                                               *)
+
+let kibam_cmd =
+  let run battery load frequency duty =
+    let profile =
+      match frequency with
+      | None -> Load_profile.constant load
+      | Some f ->
+          if duty = 0.5 then Load_profile.square_wave ~frequency:f ~on_load:load
+          else
+            Load_profile.duty_cycle_wave ~period:(1. /. f) ~duty ~on_load:load
+    in
+    (match Kibam.lifetime battery profile with
+    | Some t ->
+        Printf.printf "lifetime: %.6g time units (%.2f minutes if seconds)\n" t
+          (Units.seconds_to_minutes t)
+    | None -> print_endline "battery does not empty within the horizon");
+    Printf.printf "average load: %.6g\n" (Load_profile.average_load profile);
+    Printf.printf "ideal-battery lifetime at average load: %.6g\n"
+      (Ideal.lifetime ~capacity:battery.Kibam.capacity
+         ~load:(Load_profile.average_load profile))
+  in
+  let load =
+    Arg.(
+      value
+      & opt float 0.96
+      & info [ "load"; "I" ] ~docv:"CURRENT" ~doc:"Discharge current.")
+  and frequency =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "square-wave" ] ~docv:"HZ"
+          ~doc:"Use a square wave of this frequency instead of a constant load.")
+  and duty =
+    Arg.(
+      value
+      & opt float 0.5
+      & info [ "duty" ] ~docv:"FRACTION" ~doc:"On fraction of the square wave.")
+  in
+  Cmd.v
+    (Cmd.info "kibam" ~doc:"Analytic KiBaM lifetime under a deterministic load")
+    Term.(const run $ battery_term $ load $ frequency $ duty)
+
+(* ------------------------------------------------------------------ *)
+(* lifetime                                                            *)
+
+let print_cdf ~plot name times probabilities =
+  Array.iteri
+    (fun i t -> Printf.printf "%g\t%.6f\n" t probabilities.(i))
+    times;
+  if plot then
+    Ascii_plot.print ~x_label:"t" ~y_label:"Pr[empty]"
+      [ Series.create ~name ~xs:times ~ys:probabilities ]
+
+let lifetime_cmd =
+  let run battery workload times delta plot =
+    let model = Kibamrm.create ~workload ~battery in
+    let curve = Lifetime.cdf ~delta ~times model in
+    Printf.eprintf
+      "expanded CTMC: %d states, %d nonzeros, %d iterations (q = %g)\n"
+      curve.Lifetime.states curve.Lifetime.nnz curve.Lifetime.iterations
+      curve.Lifetime.uniformisation_rate;
+    print_cdf ~plot "KiBaMRM" times curve.Lifetime.probabilities;
+    Printf.eprintf "mean lifetime (truncated): %.6g\n" (Lifetime.mean curve);
+    Printf.eprintf "mean lifetime (exact, first passage): %.6g\n"
+      (Lifetime.mean_exact ~delta model)
+  in
+  let delta =
+    Arg.(
+      value
+      & opt float 5.
+      & info [ "delta" ] ~docv:"STEP" ~doc:"Charge discretisation step.")
+  in
+  Cmd.v
+    (Cmd.info "lifetime"
+       ~doc:"Battery lifetime CDF via the Markovian approximation")
+    Term.(
+      const run $ battery_term $ workload_term $ times_term $ delta $ plot_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+
+let simulate_cmd =
+  let run battery workload times runs seed plot =
+    let model = Kibamrm.create ~workload ~battery in
+    let est =
+      Montecarlo.lifetime_cdf ~seed:(Int64.of_int seed) ~runs model ~times
+    in
+    Printf.eprintf "replications: %d (censored: %d)\n" est.Montecarlo.runs
+      est.Montecarlo.censored;
+    print_cdf ~plot "simulation" times est.Montecarlo.cdf;
+    if est.Montecarlo.censored = 0 && Array.length est.Montecarlo.samples > 0
+    then begin
+      let s = Stats.summarize est.Montecarlo.samples in
+      Printf.eprintf "mean lifetime: %.6g (sd %.3g)\n" s.Stats.mean
+        s.Stats.std_dev
+    end
+  in
+  let runs =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ "runs"; "n" ] ~docv:"N" ~doc:"Number of replications.")
+  and seed =
+    Arg.(
+      value
+      & opt int 195802
+      & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (reproducible).")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Monte-Carlo battery lifetime estimation")
+    Term.(
+      const run $ battery_term $ workload_term $ times_term $ runs $ seed
+      $ plot_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+
+let trace_cmd =
+  let run battery path delta times plot =
+    match Trace.load_csv path with
+    | exception Sys_error msg -> `Error (false, msg)
+    | exception Failure msg -> `Error (false, msg)
+    | profile ->
+        (* Deterministic replay. *)
+        (match Kibam.lifetime battery profile with
+        | Some t -> Printf.printf "trace replay: battery empty at %.6g\n" t
+        | None ->
+            print_endline "trace replay: battery survives the recorded trace");
+        (* Statistical model + lifetime distribution. *)
+        let ic = open_in path in
+        let text =
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        let samples = Trace.parse_csv text in
+        (match Trace.estimate_model samples with
+        | exception Invalid_argument msg ->
+            Printf.printf "no stochastic model estimated (%s)\n" msg
+        | estimated ->
+            Printf.printf "estimated %d-level workload model:\n"
+              (Array.length estimated.Trace.levels);
+            Array.iteri
+              (fun i level ->
+                Printf.printf "  level %d: current %g (occupancy %.3f)\n" i
+                  level
+                  estimated.Trace.occupancy.(i))
+              estimated.Trace.levels;
+            let model =
+              Kibamrm.create ~workload:estimated.Trace.model ~battery
+            in
+            let curve = Lifetime.cdf ~delta ~times model in
+            print_cdf ~plot "KiBaMRM (estimated model)" times
+              curve.Lifetime.probabilities);
+        `Ok ()
+  in
+  let path =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Trace file with 'time,current' lines.")
+  and delta =
+    Arg.(
+      value
+      & opt float 5.
+      & info [ "delta" ] ~docv:"STEP" ~doc:"Charge discretisation step.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Replay a measured current trace and fit a workload model")
+    Term.(
+      ret (const run $ battery_term $ path $ delta $ times_term $ plot_arg))
+
+(* ------------------------------------------------------------------ *)
+(* pack                                                                *)
+
+let pack_cmd =
+  let open Batlife_scheduling in
+  let run battery n load frequency slot =
+    if n < 1 then `Error (false, "need at least one cell")
+    else begin
+      let profile =
+        match frequency with
+        | None -> Load_profile.constant load
+        | Some f -> Load_profile.square_wave ~frequency:f ~on_load:load
+      in
+      let policies =
+        [
+          Policy.Sequential; Policy.Random 2024; Policy.Round_robin;
+          Policy.Best_available;
+        ]
+      in
+      let results =
+        Scheduler.compare_policies ?slot ~policies ~battery ~n profile
+      in
+      Table.print
+        ~header:[ "policy"; "lifetime"; "delivered"; "switches" ]
+        (List.map
+           (fun ((policy : Policy.t), (o : Scheduler.outcome)) ->
+             [
+               Policy.name policy;
+               (match o.Scheduler.lifetime with
+               | Some t -> Printf.sprintf "%.6g" t
+               | None -> "survives");
+               Printf.sprintf "%.6g" o.Scheduler.delivered;
+               string_of_int o.Scheduler.switches;
+             ])
+           results);
+      `Ok ()
+    end
+  in
+  let n =
+    Arg.(
+      value & opt int 2
+      & info [ "cells"; "n" ] ~docv:"N" ~doc:"Number of battery cells.")
+  and load =
+    Arg.(
+      value
+      & opt float 0.96
+      & info [ "load"; "I" ] ~docv:"CURRENT" ~doc:"System load current.")
+  and frequency =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "square-wave" ] ~docv:"HZ"
+          ~doc:"Square-wave load of this frequency instead of constant.")
+  and slot =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slot" ] ~docv:"TIME"
+          ~doc:"Scheduling decision slot (default: auto).")
+  in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:"Compare battery-scheduling policies on a multi-cell pack")
+    Term.(ret (const run $ battery_term $ n $ load $ frequency $ slot))
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+
+let experiment_cmd =
+  let run ids out_dir runs full =
+    let open Batlife_experiments in
+    let options = { Runner.default_options with out_dir; runs; full } in
+    match ids with
+    | [] ->
+        Runner.run_all ~options ();
+        `Ok ()
+    | ids ->
+        let rec go = function
+          | [] -> `Ok ()
+          | id :: rest -> (
+              match Runner.run_one ~options id with
+              | Ok () -> go rest
+              | Error msg -> `Error (false, msg))
+        in
+        go ids
+  in
+  let ids =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"ID"
+          ~doc:"Experiment ids (table1, fig2, fig7..fig11); all if omitted.")
+  and out_dir =
+    Arg.(
+      value
+      & opt string "results"
+      & info [ "out-dir"; "o" ] ~docv:"DIR" ~doc:"Artefact directory.")
+  and runs =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ "runs" ] ~docv:"N" ~doc:"Monte-Carlo replications.")
+  and full =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:"Include the expensive Delta=10,5 two-well refinements.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce the paper's tables and figures")
+    Term.(ret (const run $ ids $ out_dir $ runs $ full))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  (* BATLIFE_DEBUG=1 enables debug logging of the numerical engines
+     (generator sizes, sweep iteration counts). *)
+  if Sys.getenv_opt "BATLIFE_DEBUG" <> None then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let doc = "battery lifetime distributions (Cloth et al., DSN 2007)" in
+  let info = Cmd.info "batlife" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            kibam_cmd; lifetime_cmd; simulate_cmd; trace_cmd; pack_cmd;
+            experiment_cmd;
+          ]))

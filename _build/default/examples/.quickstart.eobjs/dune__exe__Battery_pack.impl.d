@@ -1,0 +1,1 @@
+examples/battery_pack.ml: Array Ascii_plot Batlife_battery Batlife_output Batlife_scheduling Float Kibam List Load_profile Option Policy Printf Scheduler Series Table

@@ -1,0 +1,1 @@
+examples/battery_pack.mli:

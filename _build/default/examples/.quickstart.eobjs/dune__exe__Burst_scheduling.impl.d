@@ -1,0 +1,1 @@
+examples/burst_scheduling.ml: Array Ascii_plot Batlife_battery Batlife_core Batlife_output Batlife_sim Batlife_workload Burst Kibam Kibamrm Lifetime Model Montecarlo Printf Series Simple

@@ -1,0 +1,1 @@
+examples/model_comparison.ml: Batlife_battery Batlife_output Fit Ideal Kibam List Load_profile Modified_kibam Peukert Printf Table

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ascii_plot Batlife_battery Batlife_core Batlife_output Batlife_sim Batlife_workload Kibam Kibamrm Lifetime Montecarlo Printf Series Simple

@@ -1,0 +1,1 @@
+examples/sensor_node.ml: Array Ascii_plot Batlife_battery Batlife_core Batlife_output Batlife_sim Batlife_workload Ideal Kibam Kibamrm Lifetime List Load_profile Montecarlo Onoff Printf Series

@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Array Ascii_plot Batlife_battery Batlife_core Batlife_output Batlife_sim Batlife_workload Kibam Kibamrm Lifetime List Montecarlo Printf Series Simple String Trace

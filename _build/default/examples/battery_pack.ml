@@ -1,0 +1,87 @@
+(* Multi-battery scheduling: when a device carries several batteries,
+   the order in which they serve the load changes the system lifetime.
+
+   While one cell discharges, the idle cells' bound charge diffuses
+   into their available wells — so policies that rotate the load
+   harvest recovery in every cell, while draining cells one-by-one
+   wastes the recovery headroom of the cell currently dying.  This is
+   the direct system-design payoff of the paper's recovery analysis
+   (and the subject of the authors' follow-up work on battery
+   scheduling).
+
+   Run with:  dune exec examples/battery_pack.exe *)
+
+open Batlife_battery
+open Batlife_scheduling
+open Batlife_output
+
+let battery = Kibam.params ~capacity:7200. ~c:0.625 ~k:4.5e-5
+
+let load = 0.96
+
+let () =
+  let profile = Load_profile.constant load in
+  let single = Kibam.lifetime_constant battery ~load in
+  Printf.printf "One cell alone lasts %.0f s under a continuous %.2f A load.\n"
+    single load;
+  Printf.printf "Two-cell pack, decision slot 30 s:\n\n";
+  let results =
+    Scheduler.compare_policies ~slot:30.
+      ~policies:
+        [
+          Policy.Sequential; Policy.Random 2024; Policy.Round_robin;
+          Policy.Best_available;
+        ]
+      ~battery ~n:2 profile
+  in
+  let sequential_lifetime =
+    match results with
+    | (_, first) :: _ -> Option.value ~default:0. first.Scheduler.lifetime
+    | [] -> 0.
+  in
+  Table.print
+    ~header:[ "policy"; "lifetime (s)"; "delivered (As)"; "switches"; "gain" ]
+    (List.map
+       (fun ((policy : Policy.t), (o : Scheduler.outcome)) ->
+         let lifetime = Option.value ~default:Float.nan o.Scheduler.lifetime in
+         [
+           Policy.name policy;
+           Table.float_cell ~decimals:0 lifetime;
+           Table.float_cell ~decimals:0 o.Scheduler.delivered;
+           string_of_int o.Scheduler.switches;
+           Printf.sprintf "%+.1f%%"
+             (100. *. ((lifetime /. sequential_lifetime) -. 1.));
+         ])
+       results);
+
+  (* How the pack drains under the two extreme policies. *)
+  let series policy name =
+    let tr = Scheduler.trace ~slot:30. ~policy ~battery ~n:2 ~t_end:13000. profile in
+    let times = Array.map fst tr in
+    [
+      Series.create ~name:(name ^ " cell 1") ~xs:times
+        ~ys:(Array.map (fun (_, a) -> a.(0)) tr);
+      Series.create ~name:(name ^ " cell 2") ~xs:times
+        ~ys:(Array.map (fun (_, a) -> a.(1)) tr);
+    ]
+  in
+  print_newline ();
+  Ascii_plot.print ~height:16 ~x_label:"t (s)" ~y_label:"available charge (As)"
+    (series Policy.Sequential "seq" @ series Policy.Round_robin "rr");
+  print_endline
+    "\nSequential lets cell 2 idle at full charge (no recovery headroom\n\
+     gained) while cell 1 dies; round robin keeps both wells working.";
+
+  (* Scaling with pack size. *)
+  Printf.printf "\npack size scaling (round robin):\n";
+  List.iter
+    (fun n ->
+      match
+        (Scheduler.run ~slot:30. ~policy:Policy.Round_robin ~battery ~n profile)
+          .Scheduler.lifetime
+      with
+      | Some t ->
+          Printf.printf "  n=%d  lifetime %6.0f s  (%.2fx one cell)\n" n t
+            (t /. single)
+      | None -> Printf.printf "  n=%d survives the horizon\n" n)
+    [ 1; 2; 3; 4 ]

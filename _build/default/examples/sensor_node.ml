@@ -1,0 +1,97 @@
+(* Sensor node duty cycling: how the *shape* of the load, not just its
+   average, determines battery lifetime.
+
+   A wireless sensor transmits bursts at 0.96 A and sleeps in between,
+   always with a 50 % duty cycle — the average current is identical in
+   every scenario.  An ideal battery (and Peukert's law) predicts the
+   same lifetime for all of them; the KiBaM predicts a recovery-driven
+   dependence on how long the idle gaps are, and the stochastic
+   KiBaMRM shows how sojourn-time randomness spreads the lifetime.
+
+   This is the paper's Table 1 / Section 2 motivation turned into a
+   small design study.
+
+   Run with:  dune exec examples/sensor_node.exe *)
+
+open Batlife_battery
+open Batlife_workload
+open Batlife_core
+open Batlife_sim
+open Batlife_output
+
+let capacity = 7200. (* As *)
+
+let current = 0.96 (* A *)
+
+let battery () = Kibam.params ~capacity ~c:0.625 ~k:4.5e-5
+
+let () =
+  Printf.printf
+    "Sensor node, %.2f A bursts at 50%% duty cycle, C = %.0f As\n\n" current
+    capacity;
+  let ideal =
+    Ideal.lifetime_duty_cycle ~capacity ~load:current ~duty:0.5 /. 60.
+  in
+  Printf.printf "ideal battery (any frequency):        %7.1f min\n" ideal;
+
+  (* Deterministic square waves at different burst frequencies. *)
+  Printf.printf "\nanalytic KiBaM, deterministic square wave:\n";
+  List.iter
+    (fun f ->
+      let profile = Load_profile.square_wave ~frequency:f ~on_load:current in
+      match Kibam.lifetime (battery ()) profile with
+      | Some t ->
+          Printf.printf "  f = %-8g burst %6.1f s  lifetime %7.1f min\n" f
+            (0.5 /. f) (t /. 60.)
+      | None -> Printf.printf "  f = %-8g does not deplete\n" f)
+    [ 10.; 1.; 0.1; 0.01; 0.001; 0.0001 ];
+
+  (* Stochastic on/off workloads: same mean duty cycle, exponential
+     sojourns.  The lifetime becomes a distribution; we report median
+     and spread from the Markovian approximation. *)
+  Printf.printf
+    "\nstochastic on/off workload (exponential sojourns), KiBaMRM:\n";
+  let series =
+    List.map
+      (fun f ->
+        let model =
+          Kibamrm.create
+            ~workload:(Onoff.model ~frequency:f ~k:1 ~on_current:current ())
+            ~battery:(battery ())
+        in
+        let times = Array.init 81 (fun i -> 5000. +. (250. *. float_of_int i)) in
+        let curve = Lifetime.cdf ~delta:50. ~times model in
+        Printf.printf
+          "  f = %-6g median %7.0f s  q10 %7.0f  q90 %7.0f  (states %d)\n" f
+          (Lifetime.quantile curve 0.5)
+          (Lifetime.quantile curve 0.1)
+          (Lifetime.quantile curve 0.9)
+          curve.Lifetime.states;
+        Series.create
+          ~name:(Printf.sprintf "f = %g Hz" f)
+          ~xs:times ~ys:curve.Lifetime.probabilities)
+      [ 1.; 0.01 ]
+  in
+  print_newline ();
+  Ascii_plot.print ~x_label:"t (s)" ~y_label:"Pr[empty]" series;
+
+  (* The battery-aware design lesson, quantified by simulation. *)
+  let mean_for f =
+    let model =
+      Kibamrm.create
+        ~workload:(Onoff.model ~frequency:f ~k:1 ~on_current:current ())
+        ~battery:(battery ())
+    in
+    fst (Montecarlo.mean_lifetime ~runs:300 model)
+  in
+  let fast = mean_for 1. and slow = mean_for 0.01 in
+  Printf.printf
+    "\nsimulated means: f=1 Hz %.0f s, f=0.01 Hz %.0f s -- both %.0f%% below\n\
+     the ideal-battery prediction of %.0f s.\n" fast slow
+    (100. *. (1. -. (fast /. (ideal *. 60.))))
+    (ideal *. 60.);
+  print_endline
+    "The average current alone does not determine the lifetime: the\n\
+     kinetic model charges the designer ~20% for pulsing at 0.96 A, and\n\
+     once bursts outlast the recovery time scale (f ~ 1e-4 Hz above) the\n\
+     penalty grows further."

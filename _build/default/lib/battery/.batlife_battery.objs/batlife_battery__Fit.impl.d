@@ -1,0 +1,1 @@
+lib/battery/fit.ml: Batlife_numerics Kibam Modified_kibam Printf Roots

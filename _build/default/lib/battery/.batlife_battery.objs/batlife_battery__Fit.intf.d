@@ -1,0 +1,1 @@
+lib/battery/fit.mli: Kibam Load_profile Modified_kibam

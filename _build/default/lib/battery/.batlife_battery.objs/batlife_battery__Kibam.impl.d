@@ -1,0 +1,1 @@
+lib/battery/kibam.ml: Array Batlife_numerics Float List Load_profile Roots Seq

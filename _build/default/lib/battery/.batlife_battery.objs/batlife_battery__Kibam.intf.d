@@ -1,0 +1,1 @@
+lib/battery/kibam.mli: Load_profile

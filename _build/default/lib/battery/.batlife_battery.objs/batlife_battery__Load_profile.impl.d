@@ -1,0 +1,1 @@
+lib/battery/load_profile.ml: Float List Option Seq

@@ -1,0 +1,1 @@
+lib/battery/modified_kibam.ml: Float Kibam Load_profile Seq

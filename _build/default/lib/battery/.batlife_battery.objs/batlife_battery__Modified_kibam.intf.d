@@ -1,0 +1,1 @@
+lib/battery/modified_kibam.mli: Kibam Load_profile

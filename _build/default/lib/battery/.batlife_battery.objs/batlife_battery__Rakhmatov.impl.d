@@ -1,0 +1,1 @@
+lib/battery/rakhmatov.ml: Array Batlife_numerics Float Load_profile Roots Seq

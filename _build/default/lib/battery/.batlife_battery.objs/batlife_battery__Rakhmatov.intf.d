@@ -1,0 +1,1 @@
+lib/battery/rakhmatov.mli: Load_profile

@@ -1,0 +1,1 @@
+lib/battery/units.ml:

@@ -1,0 +1,81 @@
+open Batlife_numerics
+
+let c_from_capacities ~large_load_capacity ~small_load_capacity =
+  if large_load_capacity <= 0. then
+    invalid_arg "Fit.c_from_capacities: non-positive large-load capacity";
+  if small_load_capacity < large_load_capacity then
+    invalid_arg "Fit.c_from_capacities: small-load capacity is smaller";
+  large_load_capacity /. small_load_capacity
+
+(* The constant-load lifetime is strictly increasing in k: more
+   diffusion means more of the bound charge arrives before the
+   available well empties.  Solve on a log grid bracket. *)
+let k_for_lifetime ~capacity ~c ~load ~target_lifetime =
+  if target_lifetime <= 0. then
+    invalid_arg "Fit.k_for_lifetime: non-positive target";
+  if c >= 1. then
+    invalid_arg "Fit.k_for_lifetime: c = 1 leaves no k dependence";
+  let lifetime_of k =
+    Kibam.lifetime_constant (Kibam.params ~capacity ~c ~k) ~load
+  in
+  let objective log_k = lifetime_of (exp log_k) -. target_lifetime in
+  let lo = ref (log 1e-12) and hi = ref (log 1e3) in
+  let f_lo = objective !lo and f_hi = objective !hi in
+  if f_lo > 0. then
+    failwith
+      (Printf.sprintf
+         "Fit.k_for_lifetime: target %g below attainable minimum %g"
+         target_lifetime (lifetime_of (exp !lo)));
+  if f_hi < 0. then
+    failwith
+      (Printf.sprintf
+         "Fit.k_for_lifetime: target %g above attainable maximum %g"
+         target_lifetime (lifetime_of (exp !hi)));
+  let log_k = Roots.brent ~tol:1e-12 objective !lo !hi in
+  Kibam.params ~capacity ~c ~k:(exp log_k)
+
+let k_for_lifetime_modified ?ode_step ~capacity ~c ~load ~target_lifetime
+    gamma =
+  if target_lifetime <= 0. then
+    invalid_arg "Fit.k_for_lifetime_modified: non-positive target";
+  if c >= 1. then
+    invalid_arg "Fit.k_for_lifetime_modified: c = 1 leaves no k dependence";
+  let model k =
+    Modified_kibam.params ~base:(Kibam.params ~capacity ~c ~k) ~gamma
+  in
+  let lifetime_of k =
+    Modified_kibam.lifetime_constant ?ode_step (model k) ~load
+  in
+  let objective log_k = lifetime_of (exp log_k) -. target_lifetime in
+  let lo = log 1e-12 and hi = log 1e3 in
+  if objective lo > 0. || objective hi < 0. then
+    failwith "Fit.k_for_lifetime_modified: target outside attainable range";
+  let log_k = Roots.brent ~tol:1e-10 objective lo hi in
+  model (exp log_k)
+
+let gamma_for_lifetime ?ode_step ~capacity ~c ~continuous_load
+    ~continuous_lifetime ~target_lifetime profile =
+  let model_for gamma =
+    k_for_lifetime_modified ?ode_step ~capacity ~c ~load:continuous_load
+      ~target_lifetime:continuous_lifetime gamma
+  in
+  let profile_lifetime gamma =
+    match Modified_kibam.lifetime ?ode_step (model_for gamma) profile with
+    | Some t -> t
+    | None -> failwith "Fit.gamma_for_lifetime: battery does not empty"
+  in
+  let objective gamma = profile_lifetime gamma -. target_lifetime in
+  (* gamma = 0 is the plain KiBaM (longest profile lifetime); larger
+     gamma suppresses recovery and shortens it. *)
+  let f0 = objective 0. in
+  if f0 <= 0. then model_for 0.
+  else begin
+    let hi = ref 1. in
+    while objective !hi > 0. && !hi < 512. do
+      hi := !hi *. 2.
+    done;
+    if objective !hi > 0. then
+      failwith "Fit.gamma_for_lifetime: target below attainable range";
+    let gamma = Roots.brent ~tol:1e-6 objective 0. !hi in
+    model_for gamma
+  end

@@ -1,0 +1,52 @@
+(** Calibration of battery-model parameters from measurements, as done
+    in Section 3 of the paper.
+
+    The paper calibrates the KiBaM for the battery of Rao et al. [9]:
+    [c = 0.625] is the quotient of the capacities delivered under a
+    very large and a very small load, and [k] is set so that the
+    computed lifetime under the continuous 0.96 A load matches the
+    measured 90 minutes. *)
+
+val c_from_capacities :
+  large_load_capacity:float -> small_load_capacity:float -> float
+(** [c = large / small]; under an extreme load only the available well
+    is delivered, under a vanishing load everything is.  Raises
+    [Invalid_argument] unless [0 < large <= small]. *)
+
+val k_for_lifetime :
+  capacity:float ->
+  c:float ->
+  load:float ->
+  target_lifetime:float ->
+  Kibam.params
+(** Find [k] such that the KiBaM constant-load lifetime equals
+    [target_lifetime] (Brent search over [k]; the lifetime is strictly
+    increasing in [k]).  Raises [Failure] when the target is outside
+    the attainable range [(cC/I-ish, C/I)]. *)
+
+val gamma_for_lifetime :
+  ?ode_step:float ->
+  capacity:float ->
+  c:float ->
+  continuous_load:float ->
+  continuous_lifetime:float ->
+  target_lifetime:float ->
+  Load_profile.t ->
+  Modified_kibam.params
+(** [gamma_for_lifetime ... profile] jointly calibrates the modified
+    KiBaM: for each candidate attenuation [gamma], [k] is re-fitted to
+    the continuous-load lifetime; [gamma] is then chosen so the
+    lifetime under [profile] matches [target_lifetime].  Mirrors how
+    Rao et al. calibrate their modified model against pulsed-discharge
+    measurements. *)
+
+val k_for_lifetime_modified :
+  ?ode_step:float ->
+  capacity:float ->
+  c:float ->
+  load:float ->
+  target_lifetime:float ->
+  float ->
+  Modified_kibam.params
+(** [k_for_lifetime_modified ... gamma] fits [k] of the modified model
+    (at fixed attenuation [gamma]) to a continuous-load lifetime. *)

@@ -1,0 +1,11 @@
+let lifetime ~capacity ~load =
+  if load <= 0. then invalid_arg "Ideal.lifetime: non-positive load";
+  if capacity < 0. then invalid_arg "Ideal.lifetime: negative capacity";
+  capacity /. load
+
+let delivered_charge ~load ~duration = load *. duration
+
+let lifetime_duty_cycle ~capacity ~load ~duty =
+  if duty <= 0. || duty > 1. then
+    invalid_arg "Ideal.lifetime_duty_cycle: duty must be in (0,1]";
+  lifetime ~capacity ~load:(load *. duty)

@@ -1,0 +1,13 @@
+(** The ideal linear battery: every unit of charge is available and the
+    delivered capacity does not depend on the load. *)
+
+val lifetime : capacity:float -> load:float -> float
+(** [lifetime ~capacity ~load] is [capacity / load].  Raises
+    [Invalid_argument] for non-positive load or negative capacity. *)
+
+val delivered_charge : load:float -> duration:float -> float
+(** Charge drawn by a constant load over a duration. *)
+
+val lifetime_duty_cycle : capacity:float -> load:float -> duty:float -> float
+(** Lifetime under an on/off load with duty cycle [duty] in (0, 1]:
+    the ideal battery only sees the average current. *)

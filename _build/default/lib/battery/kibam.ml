@@ -1,0 +1,181 @@
+open Batlife_numerics
+
+type params = { capacity : float; c : float; k : float }
+
+type state = { available : float; bound : float }
+
+let params ~capacity ~c ~k =
+  if capacity <= 0. then invalid_arg "Kibam.params: capacity must be positive";
+  if c <= 0. || c > 1. then invalid_arg "Kibam.params: c must be in (0,1]";
+  if k < 0. then invalid_arg "Kibam.params: k must be non-negative";
+  { capacity; c; k }
+
+let degenerate p = p.c >= 1. || p.k = 0.
+
+let initial p =
+  { available = p.c *. p.capacity; bound = (1. -. p.c) *. p.capacity }
+
+let state p ~available ~bound =
+  if available < 0. || bound < 0. then
+    invalid_arg "Kibam.state: negative charge";
+  if available +. bound > p.capacity *. (1. +. 1e-9) then
+    invalid_arg "Kibam.state: charge exceeds capacity";
+  if p.c >= 1. && bound > 0. then
+    invalid_arg "Kibam.state: bound charge with c = 1";
+  { available; bound }
+
+let heights p s =
+  let h1 = s.available /. p.c in
+  if p.c >= 1. then (h1, h1) else (h1, s.bound /. (1. -. p.c))
+
+let height_difference p s =
+  let h1, h2 = heights p s in
+  h2 -. h1
+
+let derivatives p ~load s =
+  if p.c >= 1. then (-.load, 0.)
+  else
+    let delta = height_difference p s in
+    (-.load +. (p.k *. delta), -.(p.k *. delta))
+
+(* Closed-form constant-load solution.  delta' = I/c - k' delta with
+   k' = k/(c(1-c)), so delta relaxes exponentially to
+   delta_ss = I(1-c)/k, and y1, y2 follow by integrating
+   k * delta(t). *)
+let kprime p = p.k /. (p.c *. (1. -. p.c))
+
+let delta_ss p ~load = load *. (1. -. p.c) /. p.k
+
+let step p ~load ~dt s =
+  if dt < 0. then invalid_arg "Kibam.step: negative duration";
+  if dt = 0. then s
+  else if degenerate p then
+    { available = s.available -. (load *. dt); bound = s.bound }
+  else begin
+    let k' = kprime p in
+    let d0 = height_difference p s in
+    let dss = delta_ss p ~load in
+    let e = exp (-.k' *. dt) in
+    (* integral of delta over [0, dt] *)
+    let integral = (dss *. dt) +. ((d0 -. dss) *. (1. -. e) /. k') in
+    {
+      available = s.available -. (load *. dt) +. (p.k *. integral);
+      bound = s.bound -. (p.k *. integral);
+    }
+  end
+
+(* Available charge as a function of elapsed time within a
+   constant-load interval. *)
+let available_at p ~load s tau = (step p ~load ~dt:tau s).available
+
+let empty_within p ~load ~dt s =
+  if dt < 0. then invalid_arg "Kibam.empty_within: negative duration";
+  if s.available <= 0. then Some 0.
+  else if degenerate p then begin
+    if load <= 0. then None
+    else
+      let t_empty = s.available /. load in
+      if t_empty <= dt then Some t_empty else None
+  end
+  else if load <= 0. then
+    (* Pure recovery: y1 is non-decreasing towards equilibrium (or
+       constant), it cannot cross zero from above. *)
+    None
+  else begin
+    (* y1 is unimodal under constant positive load: y1' = -I + k delta
+       with delta(t) monotone, and the asymptotic slope is -Ic < 0, so
+       there is at most one downward crossing of zero starting from
+       y1 > 0. *)
+    let f tau = available_at p ~load s tau in
+    let upper =
+      if Float.is_finite dt then
+        if f dt > 0. then None else Some dt
+      else begin
+        (* Expand a bracket: the slope tends to -Ic, so f eventually
+           goes negative.  Start from the linear-battery estimate. *)
+        let guess = Float.max ((s.available +. s.bound) /. load) 1e-9 in
+        match Roots.expand_bracket f 0. guess with
+        | _, b -> Some b
+        | exception Roots.No_root _ -> None
+      end
+    in
+    match upper with
+    | None -> None
+    | Some b ->
+        (* The crossing is the unique root in (0, b]. *)
+        Some (Roots.brent ~tol:1e-13 f 0. b)
+  end
+
+let lifetime ?(max_time = 1e9) p profile =
+  let rec walk elapsed s segs =
+    if elapsed >= max_time then None
+    else
+      match segs () with
+      | Seq.Nil -> None
+      | Seq.Cons ((duration, load), rest) ->
+          let duration = Float.min duration (max_time -. elapsed) in
+          (match empty_within p ~load ~dt:duration s with
+          | Some tau -> Some (elapsed +. tau)
+          | None ->
+              if Float.is_finite duration then
+                walk (elapsed +. duration)
+                  (step p ~load ~dt:duration s)
+                  rest
+              else None)
+  in
+  walk 0. (initial p) (Load_profile.segments_from profile 0.)
+
+let lifetime_constant p ~load =
+  if load <= 0. then invalid_arg "Kibam.lifetime_constant: need load > 0";
+  let s = initial p in
+  match empty_within p ~load ~dt:infinity s with
+  | Some t -> t
+  | None ->
+      (* Unreachable for positive load, by the asymptotic-slope
+         argument above. *)
+      assert false
+
+let delivered_charge p ~load = load *. lifetime_constant p ~load
+
+let trace p profile ~t_end ~sample_step =
+  if t_end <= 0. then invalid_arg "Kibam.trace: non-positive horizon";
+  if sample_step <= 0. then invalid_arg "Kibam.trace: non-positive step";
+  let out = ref [ (0., (initial p).available, (initial p).bound) ] in
+  let emit t s = out := (t, s.available, s.bound) :: !out in
+  (* Walk segments, emitting samples at global multiples of
+     sample_step, advancing the state analytically between emissions. *)
+  let next_sample t =
+    let n = Float.floor ((t /. sample_step) +. 1e-9) +. 1. in
+    n *. sample_step
+  in
+  let rec walk t s segs =
+    if t < t_end && s.available > 0. then
+      match segs () with
+      | Seq.Nil -> ()
+      | Seq.Cons ((duration, load), rest) ->
+          let seg_end = Float.min (t +. duration) t_end in
+          let rec through t s =
+            if s.available <= 0. then emit t s
+            else begin
+              let t' = Float.min (next_sample t) seg_end in
+              match empty_within p ~load ~dt:(t' -. t) s with
+              | Some tau ->
+                  let s' = step p ~load ~dt:tau s in
+                  emit (t +. tau) { s' with available = 0. }
+              | None ->
+                  let s' = step p ~load ~dt:(t' -. t) s in
+                  if t' < seg_end then begin
+                    emit t' s';
+                    through t' s'
+                  end
+                  else begin
+                    if t' = seg_end && Float.rem t' sample_step < 1e-9 then
+                      emit t' s';
+                    walk seg_end s' rest
+                  end
+            end
+          in
+          through t s
+  in
+  walk 0. (initial p) (Load_profile.segments_from profile 0.);
+  Array.of_list (List.rev !out)

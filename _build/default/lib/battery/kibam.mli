@@ -1,0 +1,82 @@
+(** The Kinetic Battery Model (KiBaM) of Manwell & McGowan, Section 3
+    of the paper.
+
+    Charge is split over an available-charge well [y1] (fraction [c] of
+    the capacity) and a bound-charge well [y2]; with heights
+    [h1 = y1/c] and [h2 = y2/(1-c)], a load [I] drives
+
+    {v
+      dy1/dt = -I + k (h2 - h1)
+      dy2/dt =    - k (h2 - h1)
+    v}
+
+    For constant [I] the system is linear and solved in closed form
+    (with [k' = k/(c(1-c))] the height difference [delta = h2 - h1]
+    relaxes exponentially to [I(1-c)/k]); piecewise-constant workloads
+    are handled by stepping the closed form, which is what makes the
+    Monte-Carlo engine exact.  The special cases [c = 1] and [k = 0]
+    degenerate to the linear battery. *)
+
+type params = private { capacity : float; c : float; k : float }
+(** Total capacity [C > 0], available-charge fraction [c] in (0, 1],
+    diffusion constant [k >= 0] (per unit of time). *)
+
+type state = { available : float; bound : float }
+(** Well contents [(y1, y2)]. *)
+
+val params : capacity:float -> c:float -> k:float -> params
+(** Validates the parameter ranges; if [c = 1] the model is forced to
+    the degenerate single-well form. *)
+
+val initial : params -> state
+(** Fully charged battery: [y1 = cC], [y2 = (1-c)C]. *)
+
+val state : params -> available:float -> bound:float -> state
+(** A custom (non-negative, within-capacity) fill level. *)
+
+val heights : params -> state -> float * float
+(** [(h1, h2)]; for [c = 1], [h2] is reported as equal to [h1] (no
+    bound well). *)
+
+val height_difference : params -> state -> float
+(** [h2 - h1], the recovery driving force; 0 when [c = 1]. *)
+
+val derivatives : params -> load:float -> state -> float * float
+(** [(dy1/dt, dy2/dt)] of the (unclamped) linear KiBaM dynamics. *)
+
+val step : params -> load:float -> dt:float -> state -> state
+(** Closed-form state after drawing the constant [load] for [dt] time
+    units.  No clamping is applied: with a positive load, [available]
+    may come out negative, which callers interpret as "the battery died
+    during this interval" (use {!empty_within} to locate the
+    instant). *)
+
+val empty_within : params -> load:float -> dt:float -> state -> float option
+(** First instant in [\[0, dt\]] (which may be [infinity]) at which the
+    available charge hits zero, if any.  Exact up to root-finding
+    tolerance; relies on the unimodality of [y1] under constant
+    load. *)
+
+val lifetime : ?max_time:float -> params -> Load_profile.t -> float option
+(** Lifetime under a piecewise-constant profile: the first time the
+    available-charge well empties.  [None] if the battery survives
+    beyond [max_time] (default [1e9] time units). *)
+
+val lifetime_constant : params -> load:float -> float
+(** Lifetime under a constant load (always finite for positive
+    load). *)
+
+val delivered_charge : params -> load:float -> float
+(** [load * lifetime_constant]: the effectively delivered capacity.
+    Tends to [c*C] for very large loads and to [C] for very small
+    ones — the property used to calibrate [c] (Section 3). *)
+
+val trace :
+  params ->
+  Load_profile.t ->
+  t_end:float ->
+  sample_step:float ->
+  (float * float * float) array
+(** Sampled trajectory [(t, y1, y2)] from a full battery, honouring
+    segment boundaries exactly (analytic within each segment), stopping
+    early when the battery empties.  Reproduces the paper's Fig. 2. *)

@@ -1,0 +1,110 @@
+type segment = { duration : float; load : float }
+
+type body = Constant of float | Finite of segment list | Periodic of segment list
+
+type t = body
+
+let check_segments name segs =
+  if segs = [] then invalid_arg (name ^ ": empty segment list");
+  List.iter
+    (fun s ->
+      if s.duration <= 0. then invalid_arg (name ^ ": non-positive duration");
+      if s.load < 0. then invalid_arg (name ^ ": negative load"))
+    segs
+
+let constant load =
+  if load < 0. then invalid_arg "Load_profile.constant: negative load";
+  Constant load
+
+let finite segs =
+  check_segments "Load_profile.finite" segs;
+  Finite segs
+
+let periodic segs =
+  check_segments "Load_profile.periodic" segs;
+  Periodic segs
+
+let square_wave ~frequency ~on_load =
+  if frequency <= 0. then
+    invalid_arg "Load_profile.square_wave: non-positive frequency";
+  let half = 1. /. (2. *. frequency) in
+  periodic [ { duration = half; load = on_load }; { duration = half; load = 0. } ]
+
+let duty_cycle_wave ~period ~duty ~on_load =
+  if period <= 0. then
+    invalid_arg "Load_profile.duty_cycle_wave: non-positive period";
+  if duty <= 0. || duty >= 1. then
+    invalid_arg "Load_profile.duty_cycle_wave: duty must be in (0,1)";
+  periodic
+    [
+      { duration = duty *. period; load = on_load };
+      { duration = (1. -. duty) *. period; load = 0. };
+    ]
+
+let total_duration segs =
+  List.fold_left (fun acc s -> acc +. s.duration) 0. segs
+
+let load_in_list segs t =
+  let rec go t = function
+    | [] -> None
+    | s :: rest -> if t < s.duration then Some s.load else go (t -. s.duration) rest
+  in
+  go t segs
+
+let load_at p t =
+  if t < 0. then invalid_arg "Load_profile.load_at: negative time";
+  match p with
+  | Constant load -> load
+  | Finite segs -> Option.value ~default:0. (load_in_list segs t)
+  | Periodic segs ->
+      let period = total_duration segs in
+      let t = Float.rem t period in
+      (* Float.rem may return exactly [period] after rounding. *)
+      let t = if t >= period then 0. else t in
+      Option.value ~default:0. (load_in_list segs t)
+
+let average_load p =
+  match p with
+  | Constant load -> load
+  | Finite segs | Periodic segs ->
+      let charge =
+        List.fold_left (fun acc s -> acc +. (s.duration *. s.load)) 0. segs
+      in
+      charge /. total_duration segs
+
+let segments_from p t0 =
+  if t0 < 0. then invalid_arg "Load_profile.segments_from: negative time";
+  match p with
+  | Constant load ->
+      let rec forever () = Seq.Cons ((infinity, load), forever) in
+      forever
+  | Finite segs ->
+      let rec skip t = function
+        | [] -> []
+        | s :: rest ->
+            if t >= s.duration then skip (t -. s.duration) rest
+            else { s with duration = s.duration -. t } :: rest
+      in
+      let remaining = skip t0 segs in
+      (* After a finite profile ends the load is 0 forever, mirroring
+         [load_at]. *)
+      Seq.append
+        (List.to_seq (List.map (fun s -> (s.duration, s.load)) remaining))
+        (Seq.return (infinity, 0.))
+  | Periodic segs ->
+      let period = total_duration segs in
+      let offset = Float.rem t0 period in
+      let offset = if offset >= period then 0. else offset in
+      let rec skip t = function
+        | [] -> []
+        | s :: rest ->
+            if t >= s.duration then skip (t -. s.duration) rest
+            else { s with duration = s.duration -. t } :: rest
+      in
+      let first = skip offset segs in
+      let rec cycle pieces () =
+        match pieces with
+        | [] -> cycle segs ()
+        | s :: rest -> Seq.Cons ((s.duration, s.load), cycle rest)
+      in
+      cycle first

@@ -1,0 +1,40 @@
+(** Piecewise-constant load profiles.
+
+    Deterministic workloads for the battery models: a profile is a
+    sequence of (duration, load) segments, either finite or repeated
+    periodically forever (the square waves of the paper's Table 1 and
+    Fig. 2). *)
+
+type segment = { duration : float; load : float }
+
+type t
+
+val constant : float -> t
+(** Infinite constant load. *)
+
+val finite : segment list -> t
+(** Runs the segments once; the load is 0 afterwards.  Durations must
+    be positive. *)
+
+val periodic : segment list -> t
+(** Repeats the segment list forever.  Durations must be positive and
+    the list non-empty. *)
+
+val square_wave : frequency:float -> on_load:float -> t
+(** The paper's on/off square wave: one period lasts [1/frequency],
+    spending the first half at [on_load] and the second half idle. *)
+
+val duty_cycle_wave : period:float -> duty:float -> on_load:float -> t
+(** Generalised square wave with on-fraction [duty] in (0, 1). *)
+
+val load_at : t -> float -> float
+(** Load at absolute time [t >= 0] (left-continuous within segments). *)
+
+val average_load : t -> float
+(** Mean load over one period (periodic), over the whole profile
+    (finite, relative to its total duration), or the constant. *)
+
+val segments_from : t -> float -> (float * float) Seq.t
+(** [segments_from p t0] is the (possibly infinite) sequence of
+    remaining [(duration, load)] pieces starting at absolute time
+    [t0], splitting the segment containing [t0] if needed. *)

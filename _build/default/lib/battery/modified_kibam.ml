@@ -1,0 +1,107 @@
+type params = { base : Kibam.params; gamma : float }
+
+let params ~base ~gamma =
+  if gamma < 0. then invalid_arg "Modified_kibam.params: negative gamma";
+  { base; gamma }
+
+let recovery_factor p (s : Kibam.state) =
+  let _, h2 = Kibam.heights p.base s in
+  let full_height = p.base.Kibam.capacity in
+  exp (-.p.gamma *. (1. -. (h2 /. full_height)))
+
+let derivatives p ~load (s : Kibam.state) =
+  if p.base.Kibam.c >= 1. then (-.load, 0.)
+  else
+    let delta = Kibam.height_difference p.base s in
+    let flow = p.base.Kibam.k *. recovery_factor p s *. delta in
+    (-.load +. flow, -.flow)
+
+(* The modified dynamics are the plain KiBaM with an effective
+   diffusion constant k * factor(y2); the factor drifts on the slow
+   bound-well time scale, so we advance with the *exact* linear KiBaM
+   solution over substeps during which the factor is frozen.  This is
+   unconditionally stable (no stiffness for large k) and degenerates to
+   the exact analytic KiBaM at gamma = 0. *)
+let frozen p (s : Kibam.state) =
+  let factor = recovery_factor p s in
+  let k_eff = p.base.Kibam.k *. factor in
+  Kibam.params ~capacity:p.base.Kibam.capacity ~c:p.base.Kibam.c ~k:k_eff
+
+(* Substep bound: the factor must not drift much, i.e. the wells must
+   not move by more than a small quantum within a substep. *)
+let substep_length ?ode_step p ~load ~remaining (s : Kibam.state) =
+  match ode_step with
+  | Some h -> Float.min h remaining
+  | None ->
+      let dy1, dy2 = derivatives p ~load s in
+      let rate = Float.max (Float.abs dy1) (Float.abs dy2) in
+      if rate <= 0. then remaining
+      else
+        let quantum = p.base.Kibam.capacity /. 500. in
+        Float.min remaining (quantum /. rate)
+
+let step ?ode_step p ~load ~dt (s : Kibam.state) =
+  if dt < 0. then invalid_arg "Modified_kibam.step: negative duration";
+  let rec go t s =
+    if t >= dt *. (1. -. 1e-15) then s
+    else
+      let h = substep_length ?ode_step p ~load ~remaining:(dt -. t) s in
+      go (t +. h) (Kibam.step (frozen p s) ~load ~dt:h s)
+  in
+  go 0. s
+
+let empty_within ?ode_step p ~load ~dt (s : Kibam.state) =
+  if dt < 0. then invalid_arg "Modified_kibam.empty_within: negative duration";
+  if s.Kibam.available <= 0. then Some 0.
+  else begin
+    let rec go t s =
+      if t >= dt then None
+      else begin
+        let h = substep_length ?ode_step p ~load ~remaining:(dt -. t) s in
+        let h = if Float.is_finite h then h else dt -. t in
+        let fp = frozen p s in
+        match Kibam.empty_within fp ~load ~dt:h s with
+        | Some tau -> Some (t +. tau)
+        | None ->
+            let s' = Kibam.step fp ~load ~dt:h s in
+            if h <= 0. then None else go (t +. h) s'
+      end
+    in
+    go 0. s
+  end
+
+let lifetime ?(max_time = 1e9) ?ode_step p profile =
+  let rec walk elapsed s segs =
+    if elapsed >= max_time then None
+    else
+      match segs () with
+      | Seq.Nil -> None
+      | Seq.Cons ((duration, load), rest) ->
+          let duration = Float.min duration (max_time -. elapsed) in
+          if not (Float.is_finite duration) then
+            (* Constant tail: either the load empties the battery or it
+               never will. *)
+            if load <= 0. then None
+            else begin
+              let total = s.Kibam.available +. s.Kibam.bound in
+              let horizon = 4. *. total /. load in
+              match empty_within ?ode_step p ~load ~dt:horizon s with
+              | Some tau -> Some (elapsed +. tau)
+              | None -> None
+            end
+          else (
+            match empty_within ?ode_step p ~load ~dt:duration s with
+            | Some tau -> Some (elapsed +. tau)
+            | None ->
+                walk (elapsed +. duration)
+                  (step ?ode_step p ~load ~dt:duration s)
+                  rest)
+  in
+  walk 0. (Kibam.initial p.base) (Load_profile.segments_from profile 0.)
+
+let lifetime_constant ?ode_step p ~load =
+  if load <= 0. then
+    invalid_arg "Modified_kibam.lifetime_constant: need load > 0";
+  match lifetime ?ode_step p (Load_profile.constant load) with
+  | Some t -> t
+  | None -> failwith "Modified_kibam.lifetime_constant: battery did not empty"

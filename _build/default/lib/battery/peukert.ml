@@ -1,0 +1,20 @@
+type t = { a : float; b : float }
+
+let create ~a ~b =
+  if a <= 0. then invalid_arg "Peukert.create: need a > 0";
+  if b < 1. then invalid_arg "Peukert.create: need b >= 1";
+  { a; b }
+
+let lifetime t ~load =
+  if load <= 0. then invalid_arg "Peukert.lifetime: non-positive load";
+  t.a /. Float.pow load t.b
+
+let effective_capacity t ~load = lifetime t ~load *. load
+
+let fit (i1, l1) (i2, l2) =
+  if i1 <= 0. || i2 <= 0. || l1 <= 0. || l2 <= 0. then
+    invalid_arg "Peukert.fit: loads and lifetimes must be positive";
+  if i1 = i2 then invalid_arg "Peukert.fit: identical loads";
+  let b = log (l1 /. l2) /. log (i2 /. i1) in
+  let a = l1 *. Float.pow i1 b in
+  create ~a ~b

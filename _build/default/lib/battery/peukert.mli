@@ -1,0 +1,21 @@
+(** Peukert's law: [L = a / I^b] with battery constants [a > 0] and
+    [b > 1] (Section 2 of the paper).  A purely empirical constant-load
+    model, kept as the simplest baseline; it predicts identical
+    lifetimes for all load profiles with the same average, which the
+    paper's experiments contradict. *)
+
+type t = private { a : float; b : float }
+
+val create : a:float -> b:float -> t
+(** Raises [Invalid_argument] unless [a > 0] and [b >= 1]. *)
+
+val lifetime : t -> load:float -> float
+
+val effective_capacity : t -> load:float -> float
+(** [lifetime * load]: the capacity actually delivered at this load;
+    decreases with the load when [b > 1]. *)
+
+val fit : (float * float) -> (float * float) -> t
+(** [fit (i1, l1) (i2, l2)] recovers [(a, b)] from two measured
+    (load, lifetime) points with [i1 <> i2], both loads and lifetimes
+    positive. *)

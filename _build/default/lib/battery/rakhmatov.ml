@@ -1,0 +1,112 @@
+open Batlife_numerics
+
+type params = { alpha : float; beta_sq : float; harmonics : int }
+
+type state = { consumed : float; gradient : float array }
+
+let params ?(harmonics = 40) ~alpha beta_sq =
+  if alpha <= 0. then invalid_arg "Rakhmatov.params: alpha must be positive";
+  if beta_sq <= 0. then
+    invalid_arg "Rakhmatov.params: beta^2 must be positive";
+  if harmonics < 1 then invalid_arg "Rakhmatov.params: need harmonics >= 1";
+  { alpha; beta_sq; harmonics }
+
+let initial p = { consumed = 0.; gradient = Array.make p.harmonics 0. }
+
+let sum_gradient s = Array.fold_left ( +. ) 0. s.gradient
+
+let apparent_charge _p s = s.consumed +. (2. *. sum_gradient s)
+
+let unavailable_charge _p s = 2. *. sum_gradient s
+
+(* u_m' = i - beta^2 m^2 u_m: exact step under constant load. *)
+let step p ~load ~dt s =
+  if dt < 0. then invalid_arg "Rakhmatov.step: negative duration";
+  if dt = 0. then s
+  else begin
+    let gradient =
+      Array.mapi
+        (fun idx u ->
+          let m = float_of_int (idx + 1) in
+          let rate = p.beta_sq *. m *. m in
+          let decay = exp (-.rate *. dt) in
+          (u *. decay) +. (load *. (1. -. decay) /. rate))
+        s.gradient
+    in
+    { consumed = s.consumed +. (load *. dt); gradient }
+  end
+
+let empty_within p ~load ~dt s =
+  if dt < 0. then invalid_arg "Rakhmatov.empty_within: negative duration";
+  if apparent_charge p s >= p.alpha then Some 0.
+  else if load <= 0. then
+    (* sigma is non-increasing while resting: no crossing. *)
+    None
+  else begin
+    (* sigma is not globally monotone after load changes (relaxing
+       harmonics can briefly outweigh the draw), so we scan in fixed
+       substeps and bisect inside the first substep whose endpoint is
+       past alpha.  Since consumed(t) >= load * t, any crossing
+       happens before t_max = (alpha - consumed) / load, so the scan
+       is bounded. *)
+    let t_max = (p.alpha -. s.consumed) /. load in
+    let horizon = Float.min dt t_max in
+    let h = Float.max (horizon /. 400.) 1e-12 in
+    let rec scan tau state =
+      if tau >= horizon then None
+      else begin
+        let h = Float.min h (horizon -. tau) in
+        let state' = step p ~load ~dt:h state in
+        if apparent_charge p state' >= p.alpha then begin
+          let f u = apparent_charge p (step p ~load ~dt:u state) -. p.alpha in
+          Some (tau +. Roots.brent ~tol:1e-13 f 0. h)
+        end
+        else scan (tau +. h) state'
+      end
+    in
+    scan 0. s
+  end
+
+let lifetime ?(max_time = 1e9) p profile =
+  let rec walk elapsed s segs =
+    if elapsed >= max_time then None
+    else
+      match segs () with
+      | Seq.Nil -> None
+      | Seq.Cons ((duration, load), rest) ->
+          let duration = Float.min duration (max_time -. elapsed) in
+          (match empty_within p ~load ~dt:duration s with
+          | Some tau -> Some (elapsed +. tau)
+          | None ->
+              if Float.is_finite duration then
+                walk (elapsed +. duration) (step p ~load ~dt:duration s) rest
+              else None)
+  in
+  walk 0. (initial p) (Load_profile.segments_from profile 0.)
+
+let lifetime_constant p ~load =
+  if load <= 0. then invalid_arg "Rakhmatov.lifetime_constant: need load > 0";
+  match empty_within p ~load ~dt:infinity (initial p) with
+  | Some t -> t
+  | None ->
+      (* Unreachable: sigma grows at least linearly under load. *)
+      assert false
+
+let delivered_charge p ~load = load *. lifetime_constant p ~load
+
+let fit_beta ~alpha ~load ~target_lifetime =
+  if target_lifetime <= 0. then
+    invalid_arg "Rakhmatov.fit_beta: non-positive target";
+  let ideal = alpha /. load in
+  if target_lifetime >= ideal then
+    failwith "Rakhmatov.fit_beta: target above the ideal-battery lifetime";
+  (* The lifetime is increasing in beta^2 (faster diffusion, less
+     unavailable charge), approaching alpha/load from below. *)
+  let lifetime_of log_b =
+    lifetime_constant (params ~alpha (exp log_b)) ~load
+  in
+  let objective log_b = lifetime_of log_b -. target_lifetime in
+  let lo = log 1e-9 and hi = log 1e6 in
+  if objective lo > 0. || objective hi < 0. then
+    failwith "Rakhmatov.fit_beta: target outside attainable range";
+  params ~alpha (exp (Roots.brent ~tol:1e-10 objective lo hi))

@@ -1,0 +1,72 @@
+(** The Rakhmatov–Vrudhula diffusion battery model (the paper's
+    ref. [2], "An analytical high-level battery model for use in energy
+    management of portable electronic systems", ICCAD'01).
+
+    Cited in Section 2 of the paper as the archetypal analytical model
+    beyond Peukert's law.  The electro-active species diffuses in a
+    one-dimensional region; solving the diffusion equation gives the
+    {e apparent} charge drawn by a load profile [i]:
+
+    {v
+      sigma(t) = integral i  +  2 * sum_{m>=1} u_m(t)
+      u_m(t)   = integral_0^t i(tau) e^{-beta^2 m^2 (t - tau)} dtau
+    v}
+
+    and the battery is empty when [sigma(t)] first reaches the charge
+    capacity [alpha].  The second term is charge {e temporarily
+    unavailable} due to the concentration gradient; it relaxes during
+    idle periods — the same recovery phenomenon the KiBaM captures with
+    its two wells.
+
+    Each harmonic [u_m] obeys [u_m' = i - beta^2 m^2 u_m], so
+    piecewise-constant loads are stepped in closed form; the infinite
+    sum is truncated at a configurable number of harmonics (the terms
+    decay like [1/m^2] under load and [e^{-beta^2 m^2 t}] in time). *)
+
+type params = private {
+  alpha : float;  (** charge capacity (same charge units as the load) *)
+  beta_sq : float;  (** diffusion rate [beta^2] (per unit time) *)
+  harmonics : int;  (** series truncation (default 40) *)
+}
+
+type state = private {
+  consumed : float;  (** total charge actually drawn *)
+  gradient : float array;  (** the harmonic states [u_m] *)
+}
+
+val params : ?harmonics:int -> alpha:float -> float -> params
+(** [params ~alpha beta_sq] *)
+
+val initial : params -> state
+(** Fully rested battery: no charge drawn, no gradient. *)
+
+val apparent_charge : params -> state -> float
+(** [sigma = consumed + 2 sum u_m]; the battery is empty when this
+    reaches [alpha]. *)
+
+val unavailable_charge : params -> state -> float
+(** The gradient part [2 sum u_m] — charge that would become available
+    again if the battery rested. *)
+
+val step : params -> load:float -> dt:float -> state -> state
+(** Closed-form advance under a constant load. *)
+
+val empty_within : params -> load:float -> dt:float -> state -> float option
+(** First time within [dt] at which the apparent charge reaches
+    [alpha], if any.  Under a constant positive load [sigma] is
+    strictly increasing, so the crossing is unique. *)
+
+val lifetime : ?max_time:float -> params -> Load_profile.t -> float option
+
+val lifetime_constant : params -> load:float -> float
+
+val delivered_charge : params -> load:float -> float
+(** [load * lifetime_constant]: tends to [alpha] for vanishing loads
+    and drops below it as the load grows — the same qualitative
+    load-capacity behaviour as the KiBaM. *)
+
+val fit_beta :
+  alpha:float -> load:float -> target_lifetime:float -> params
+(** Calibrate [beta^2] so the constant-load lifetime matches a
+    measurement (larger [beta^2] means faster diffusion and a lifetime
+    closer to the ideal [alpha / load]). *)

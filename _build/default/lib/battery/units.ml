@@ -1,0 +1,19 @@
+let mah_to_as x = x *. 3.6
+
+let as_to_mah x = x /. 3.6
+
+let ma_to_a x = x /. 1000.
+
+let a_to_ma x = x *. 1000.
+
+let hours_to_seconds x = x *. 3600.
+
+let seconds_to_hours x = x /. 3600.
+
+let seconds_to_minutes x = x /. 60.
+
+let minutes_to_seconds x = x *. 60.
+
+let per_second_to_per_hour x = x *. 3600.
+
+let per_hour_to_per_second x = x /. 3600.

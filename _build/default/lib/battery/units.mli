@@ -1,0 +1,29 @@
+(** Unit conversions.
+
+    The paper mixes two unit systems: the on/off experiments use
+    Ampere/Ampere-seconds/seconds, the simple & burst models use
+    milliAmpere/milliAmpere-hours/hours.  All library code is
+    unit-agnostic (any consistent system works); these helpers convert
+    at the boundaries. *)
+
+val mah_to_as : float -> float
+(** milliAmpere-hours to Ampere-seconds (x 3.6). *)
+
+val as_to_mah : float -> float
+
+val ma_to_a : float -> float
+
+val a_to_ma : float -> float
+
+val hours_to_seconds : float -> float
+
+val seconds_to_hours : float -> float
+
+val seconds_to_minutes : float -> float
+
+val minutes_to_seconds : float -> float
+
+val per_second_to_per_hour : float -> float
+(** Rate conversion: [x /s] = [3600 x /h]. *)
+
+val per_hour_to_per_second : float -> float

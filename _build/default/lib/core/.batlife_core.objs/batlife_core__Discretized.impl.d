@@ -1,0 +1,1 @@
+lib/core/discretized.ml: Array Batlife_battery Batlife_ctmc Batlife_numerics Batlife_workload Generator Grid Iterative Kibam Kibamrm Logs Model Sparse Transient Vector

@@ -1,0 +1,1 @@
+lib/core/discretized.mli: Batlife_ctmc Generator Grid Kibamrm Transient

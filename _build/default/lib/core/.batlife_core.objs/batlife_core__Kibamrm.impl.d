@@ -1,0 +1,1 @@
+lib/core/kibamrm.ml: Batlife_battery Batlife_workload Kibam Model

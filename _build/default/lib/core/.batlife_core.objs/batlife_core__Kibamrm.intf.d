@@ -1,0 +1,1 @@
+lib/core/kibamrm.mli: Batlife_battery Batlife_workload Kibam Model

@@ -1,0 +1,1 @@
+lib/core/lifetime.ml: Array Batlife_ctmc Batlife_numerics Discretized Float Interp List Quadrature Transient

@@ -1,0 +1,1 @@
+lib/core/lifetime.mli: Kibamrm

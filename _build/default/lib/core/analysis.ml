@@ -1,0 +1,54 @@
+let check_same_grid (a : Lifetime.curve) (b : Lifetime.curve) =
+  if
+    Array.length a.Lifetime.times <> Array.length b.Lifetime.times
+    || not
+         (Array.for_all2
+            (fun x y -> x = y)
+            a.Lifetime.times b.Lifetime.times)
+  then invalid_arg "Analysis: curves on different time grids"
+
+let max_pointwise_distance a b =
+  check_same_grid a b;
+  let d = ref 0. in
+  Array.iteri
+    (fun i p ->
+      d := Float.max !d (Float.abs (p -. b.Lifetime.probabilities.(i))))
+    a.Lifetime.probabilities;
+  !d
+
+let refinement_distances curves =
+  let rec go = function
+    | a :: (b :: _ as rest) -> max_pointwise_distance a b :: go rest
+    | [ _ ] | [] -> []
+  in
+  go curves
+
+let empirical_order curves =
+  match (refinement_distances curves, curves) with
+  | d1 :: d2 :: _, c1 :: c2 :: _ when d1 > 0. && d2 > 0. ->
+      let ratio = c1.Lifetime.delta /. c2.Lifetime.delta in
+      if ratio > 1. then Some (log (d1 /. d2) /. log ratio) else None
+  | _ -> None
+
+let richardson ?(order = 1.) ~coarse fine =
+  check_same_grid coarse fine;
+  if fine.Lifetime.delta >= coarse.Lifetime.delta then
+    invalid_arg "Analysis.richardson: fine curve must have smaller delta";
+  let factor = Float.pow 2. order in
+  let raw =
+    Array.mapi
+      (fun i pf ->
+        ((factor *. pf) -. coarse.Lifetime.probabilities.(i))
+        /. (factor -. 1.))
+      fine.Lifetime.probabilities
+  in
+  (* Clamp and monotonise: extrapolation can overshoot [0, 1]. *)
+  let running = ref 0. in
+  let probabilities =
+    Array.map
+      (fun p ->
+        running := Float.max !running (Float.min 1. (Float.max 0. p));
+        !running)
+      raw
+  in
+  { fine with Lifetime.probabilities }

@@ -1,0 +1,28 @@
+(** Convergence diagnostics for the Markovian approximation.
+
+    The paper observes empirically that the computed CDF approaches
+    the true distribution as [Delta] shrinks (Figs. 7, 8, 10) but has
+    no error bound.  These helpers quantify the refinement: pairwise
+    distances along a [Delta] sequence, empirical convergence order,
+    and Richardson extrapolation of two curves to a reference one. *)
+
+val max_pointwise_distance : Lifetime.curve -> Lifetime.curve -> float
+(** Largest |F_a(t) - F_b(t)| over the (shared) time grid.  Raises
+    [Invalid_argument] if the grids differ. *)
+
+val refinement_distances : Lifetime.curve list -> float list
+(** Distances between consecutive curves of a refinement sequence. *)
+
+val empirical_order : Lifetime.curve list -> float option
+(** Estimated convergence order [p] from three curves computed at
+    [Delta, Delta/r, Delta/r^2] (any fixed ratio [r]):
+    [p = log(d1/d2) / log r] where [d_i] are consecutive distances.
+    [None] if fewer than three curves or degenerate distances. *)
+
+val richardson :
+  ?order:float -> coarse:Lifetime.curve -> Lifetime.curve -> Lifetime.curve
+(** [richardson ~coarse fine]: pointwise Richardson extrapolation of a
+    coarse/fine pair computed
+    at [Delta] and [Delta/2] assuming error [O(Delta^order)] (default
+    1): [(2^p F_fine - F_coarse) / (2^p - 1)], clamped back to a valid
+    CDF.  The result reuses the fine curve's metadata. *)

@@ -1,0 +1,177 @@
+open Batlife_numerics
+open Batlife_ctmc
+open Batlife_battery
+open Batlife_workload
+
+let log_src =
+  Logs.Src.create "batlife.discretized" ~doc:"Expanded-generator construction"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  model : Kibamrm.t;
+  grid : Grid.t;
+  generator : Generator.t;
+  alpha : float array;
+}
+
+let build ?initial_fill ?(absorb_empty = true) ~delta model =
+  let workload = model.Kibamrm.workload in
+  let battery = model.Kibamrm.battery in
+  let u1, u2 = Kibamrm.upper_bounds model in
+  let n = Model.n_states workload in
+  let grid = Grid.create ~delta ~u1 ~u2 ~n_workload:n in
+  let levels1 = grid.Grid.levels1 and levels2 = grid.Grid.levels2 in
+  let total = Grid.total_states grid in
+  let wq = Generator.matrix workload.Model.generator in
+  (* Capacity estimate: every non-absorbing state carries the workload
+     out-transitions plus at most one consumption, one transfer and the
+     diagonal. *)
+  let offdiag = Sparse.nnz wq - n in
+  let capacity_estimate = total * (3 + ((offdiag + (n - 1)) / n)) in
+  let b =
+    Sparse.Builder.create ~initial_capacity:capacity_estimate ~rows:total
+      ~cols:total ()
+  in
+  let c = battery.Kibam.c and k = battery.Kibam.k in
+  let degenerate = Kibamrm.is_degenerate model in
+  let lowest_live = if absorb_empty then 1 else 0 in
+  for j1 = lowest_live to levels1 - 1 do
+    (* When [absorb_empty], j1 = 0 has no outgoing transitions. *)
+    for j2 = 0 to levels2 - 1 do
+      let base = Grid.index grid ~state:0 ~j1 ~j2 in
+      (* Workload transitions stay within the (j1, j2) block. *)
+      Sparse.iter wq (fun i i' rate ->
+          if i <> i' && rate > 0. then
+            Sparse.Builder.add b (base + i) (base + i') rate);
+      for i = 0 to n - 1 do
+        let src = base + i in
+        (* Consumption: one level down in the available charge (no
+           consumption possible at the empty level). *)
+        let current = Model.current workload i in
+        if current > 0. && j1 > 0 then
+          Sparse.Builder.add b src
+            (Grid.index grid ~state:i ~j1:(j1 - 1) ~j2)
+            (current /. delta);
+        (* Bound-to-available transfer (Section 5.2): rate
+           k (h2 - h1) / delta with h at the lower interval ends. *)
+        if (not degenerate) && j2 > 0 && j1 < levels1 - 1 then begin
+          let rate =
+            k *. ((float_of_int j2 /. (1. -. c)) -. (float_of_int j1 /. c))
+          in
+          if rate > 0. then
+            Sparse.Builder.add b src
+              (Grid.index grid ~state:i ~j1:(j1 + 1) ~j2:(j2 - 1))
+              rate
+        end
+      done
+    done
+  done;
+  let generator = Generator.of_builder b in
+  Log.debug (fun m ->
+      m "built Q*: delta=%g, %d x %d levels, %d states, %d nonzeros" delta
+        levels1 levels2 total (Generator.nnz generator));
+  (* Initial distribution: the workload's alpha placed at the levels
+     containing the initial fill (a1, a2). *)
+  let a1, a2 =
+    match initial_fill with
+    | Some (a1, a2) -> (a1, a2)
+    | None ->
+        let s = Kibam.initial battery in
+        (s.Kibam.available, s.Kibam.bound)
+  in
+  let j1_0 = Grid.level_of1 grid a1 and j2_0 = Grid.level_of2 grid a2 in
+  let alpha = Vector.create total in
+  Array.iteri
+    (fun i p ->
+      if p > 0. then alpha.(Grid.index grid ~state:i ~j1:j1_0 ~j2:j2_0) <- p)
+    workload.Model.initial;
+  { model; grid; generator; alpha }
+
+let n_states t = Grid.total_states t.grid
+
+let nnz t = Generator.nnz t.generator
+
+let absorbed_mass grid v =
+  let block = Grid.absorbing_block_size grid in
+  let acc = ref 0. in
+  for idx = 0 to block - 1 do
+    acc := !acc +. v.(idx)
+  done;
+  !acc
+
+let empty_probability ?accuracy t ~times =
+  Transient.measure_sweep ?accuracy t.generator ~alpha:t.alpha ~times
+    ~measure:(absorbed_mass t.grid)
+
+let state_distribution ?accuracy t ~time =
+  Transient.solve ?accuracy t.generator ~alpha:t.alpha ~t:time
+
+let available_charge_marginal ?accuracy t ~time =
+  let pi = state_distribution ?accuracy t ~time in
+  let grid = t.grid in
+  let levels1 = grid.Grid.levels1 in
+  Array.init levels1 (fun j1 ->
+      let acc = ref 0. in
+      for j2 = 0 to grid.Grid.levels2 - 1 do
+        for i = 0 to grid.Grid.n_workload - 1 do
+          acc := !acc +. pi.(Grid.index grid ~state:i ~j1 ~j2)
+        done
+      done;
+      let charge = if j1 = 0 then 0. else Grid.level_value grid (j1 - 1) in
+      (charge, !acc))
+
+let mode_marginal ?accuracy t ~time =
+  let pi = state_distribution ?accuracy t ~time in
+  let grid = t.grid in
+  let result = Array.make grid.Grid.n_workload 0. in
+  for j1 = 0 to grid.Grid.levels1 - 1 do
+    for j2 = 0 to grid.Grid.levels2 - 1 do
+      for i = 0 to grid.Grid.n_workload - 1 do
+        result.(i) <- result.(i) +. pi.(Grid.index grid ~state:i ~j1 ~j2)
+      done
+    done
+  done;
+  result
+
+let expected_available_charge ?accuracy t ~time =
+  let marginal = available_charge_marginal ?accuracy t ~time in
+  Array.fold_left (fun acc (charge, p) -> acc +. (charge *. p)) 0. marginal
+
+let expected_lifetime ?(tol = 1e-10) t =
+  let g = t.generator in
+  let block = Grid.absorbing_block_size t.grid in
+  for i = 0 to block - 1 do
+    if not (Generator.is_absorbing g i) then
+      invalid_arg
+        "Discretized.expected_lifetime: needs the absorbing variant \
+         (absorb_empty = true)"
+  done;
+  let n = Grid.total_states t.grid in
+  let b =
+    Array.init n (fun i -> if i < block then 0. else -1.)
+  in
+  let result =
+    Iterative.gauss_seidel ~tol (Generator.matrix g) ~b
+      ~skip:(fun i -> i < block)
+  in
+  Log.debug (fun m ->
+      m "expected lifetime: Gauss-Seidel converged in %d sweeps (res %g)"
+        result.Iterative.iterations result.Iterative.residual);
+  Vector.dot t.alpha result.Iterative.solution
+
+let joint_probability ?accuracy t ~time ~mode ~min_charge =
+  let grid = t.grid in
+  if mode < 0 || mode >= grid.Grid.n_workload then
+    invalid_arg "Discretized.joint_probability: mode out of range";
+  let pi = state_distribution ?accuracy t ~time in
+  let acc = ref 0. in
+  for j1 = 1 to grid.Grid.levels1 - 1 do
+    (* Level j1 covers (j1*delta, (j1+1)*delta]; its lower end is
+       j1*delta. *)
+    if Grid.level_value grid (j1 - 1) >= min_charge then
+      for j2 = 0 to grid.Grid.levels2 - 1 do
+        acc := !acc +. pi.(Grid.index grid ~state:mode ~j1 ~j2)
+      done
+  done;
+  !acc

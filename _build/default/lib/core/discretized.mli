@@ -1,0 +1,91 @@
+(** The Markovian approximation (Section 5): expansion of the KiBaMRM
+    into a pure CTMC over [workload-state x charge levels].
+
+    Three transition families populate the generator [Q*]:
+
+    - {b workload} transitions [(i,j1,j2) -> (i',j1,j2)] at the
+      original rate [Q_{i,i'}];
+    - {b consumption} transitions [(i,j1,j2) -> (i,j1-1,j2)] at rate
+      [I_i / delta];
+    - {b well transfer} transitions [(i,j1,j2) -> (i,j1+1,j2-1)] at
+      rate [k (j2/(1-c) - j1/c)] whenever [h2 >= h1].
+
+    States with [j1 = 0] (battery empty) are absorbing.  The flat
+    state layout puts them in the leading block, so the probability of
+    being empty is the mass of a prefix of the transient vector. *)
+
+open Batlife_ctmc
+
+type t = private {
+  model : Kibamrm.t;
+  grid : Grid.t;
+  generator : Generator.t;
+  alpha : float array;  (** initial distribution over flat states *)
+}
+
+val build :
+  ?initial_fill:float * float ->
+  ?absorb_empty:bool ->
+  delta:float ->
+  Kibamrm.t ->
+  t
+(** Expand the model with step [delta].  [initial_fill] overrides the
+    initial well contents [(a1, a2)] (default: full battery,
+    [(cC, (1-c)C)]).  Construction is linear in the number of
+    transitions.
+
+    [absorb_empty] (default [true]) makes the [j1 = 0] states
+    absorbing, matching the paper's lifetime definition (first hit of
+    an empty available well).  Setting it to [false] enables the
+    variant the paper mentions in Section 5.2: the empty states keep
+    their workload and well-transfer transitions, so a device that
+    tolerates brown-outs can recover; {!empty_probability} then
+    reports the (non-monotone) probability of being empty {e at} time
+    [t] rather than {e by} time [t]. *)
+
+val n_states : t -> int
+
+val nnz : t -> int
+(** Nonzero entries of [Q*] including the diagonal. *)
+
+val empty_probability :
+  ?accuracy:float ->
+  t ->
+  times:float array ->
+  float array * Transient.stats
+(** [Pr{battery empty at time t}] for each requested time — the
+    lifetime distribution [Pr{L <= t}] — from a single uniformisation
+    sweep. *)
+
+val state_distribution : ?accuracy:float -> t -> time:float -> float array
+(** Full transient distribution over the flat states at one time. *)
+
+val available_charge_marginal :
+  ?accuracy:float -> t -> time:float -> (float * float) array
+(** Marginal distribution of the available-charge level at [time]:
+    pairs [(lower end of the level interval, probability)], in
+    increasing charge order (index 0, charge 0, is the empty/absorbed
+    mass). *)
+
+val mode_marginal : ?accuracy:float -> t -> time:float -> float array
+(** Marginal distribution over the workload modes at [time] (for the
+    absorbing model this is the mode in which the battery died, for
+    already-absorbed mass). *)
+
+val expected_available_charge : ?accuracy:float -> t -> time:float -> float
+(** [E Y1(t)] approximated with each level's lower interval end (the
+    representative the expanded generator uses); absorbed mass
+    contributes 0. *)
+
+val joint_probability :
+  ?accuracy:float -> t -> time:float -> mode:int -> min_charge:float -> float
+(** [P(X(t) = mode and Y1(t) > min_charge)] — the joint
+    state-and-reward measure of the paper's Eq. (2), evaluated on the
+    grid (levels whose lower end is at least [min_charge] count). *)
+
+val expected_lifetime : ?tol:float -> t -> float
+(** Exact (no time grid, no Poisson truncation) expected absorption
+    time of the expanded chain: solves the first-passage system
+    [Q* tau = -1] on the transient states by Gauss–Seidel and returns
+    [alpha . tau].  Requires the absorbing variant
+    ([absorb_empty = true]); raises [Invalid_argument] otherwise. *)

@@ -1,0 +1,51 @@
+type t = { delta : float; levels1 : int; levels2 : int; n_workload : int }
+
+let levels_for bound delta =
+  (* Levels 0 .. ceil(bound/delta); the top level is reachable by the
+     well-transfer transition (j1 < u1/delta allows entering
+     j1 = u1/delta). *)
+  let n = int_of_float (Float.ceil ((bound /. delta) -. 1e-9)) in
+  max n 0 + 1
+
+let create ~delta ~u1 ~u2 ~n_workload =
+  if delta <= 0. then invalid_arg "Grid.create: non-positive delta";
+  if u1 <= 0. then invalid_arg "Grid.create: non-positive u1";
+  if u2 < 0. then invalid_arg "Grid.create: negative u2";
+  if n_workload <= 0 then invalid_arg "Grid.create: no workload states";
+  {
+    delta;
+    levels1 = levels_for u1 delta;
+    levels2 = (if u2 = 0. then 1 else levels_for u2 delta);
+    n_workload;
+  }
+
+let total_states g = g.levels1 * g.levels2 * g.n_workload
+
+let index g ~state ~j1 ~j2 =
+  if state < 0 || state >= g.n_workload then
+    invalid_arg "Grid.index: workload state out of range";
+  if j1 < 0 || j1 >= g.levels1 then invalid_arg "Grid.index: j1 out of range";
+  if j2 < 0 || j2 >= g.levels2 then invalid_arg "Grid.index: j2 out of range";
+  (((j1 * g.levels2) + j2) * g.n_workload) + state
+
+let decompose g idx =
+  if idx < 0 || idx >= total_states g then
+    invalid_arg "Grid.decompose: index out of range";
+  let state = idx mod g.n_workload in
+  let rest = idx / g.n_workload in
+  let j2 = rest mod g.levels2 in
+  let j1 = rest / g.levels2 in
+  (state, j1, j2)
+
+let raw_level g a =
+  if a < 0. then invalid_arg "Grid.level_of: negative reward";
+  if a = 0. then 0
+  else int_of_float (Float.ceil ((a /. g.delta) -. 1e-9)) - 1
+
+let level_of1 g a = min (max (raw_level g a) 0) (g.levels1 - 1)
+
+let level_of2 g a = min (max (raw_level g a) 0) (g.levels2 - 1)
+
+let level_value g j = float_of_int (j + 1) *. g.delta
+
+let absorbing_block_size g = g.levels2 * g.n_workload

@@ -1,0 +1,46 @@
+(** Discretisation of the two-dimensional reward space (Section 5.1).
+
+    The rewards [y1 in [0, u1]] and [y2 in [0, u2]] are split into
+    intervals of width [delta]; level [j] stands for the interval
+    [(j delta, (j+1) delta]] (left-closed for [j = 0]).  A state of the
+    expanded CTMC is a triple [(workload state, j1, j2)], flattened to
+    a single index in the block layout of the paper's Fig. 6: the
+    workload state varies fastest, then [j2], then [j1], so the
+    absorbing states [j1 = 0] form the leading contiguous block. *)
+
+type t = private {
+  delta : float;
+  levels1 : int;  (** number of [j1] levels, [u1/delta + 1] *)
+  levels2 : int;  (** number of [j2] levels, [u2/delta + 1]; 1 if the
+                      second reward is degenerate *)
+  n_workload : int;
+}
+
+val create : delta:float -> u1:float -> u2:float -> n_workload:int -> t
+(** Raises [Invalid_argument] for non-positive [delta], negative
+    bounds, or a non-positive workload size.  [u2 = 0] yields a
+    one-dimensional grid. *)
+
+val total_states : t -> int
+
+val index : t -> state:int -> j1:int -> j2:int -> int
+(** Flat index; bounds-checked. *)
+
+val decompose : t -> int -> int * int * int
+(** Inverse of {!index}: [(state, j1, j2)]. *)
+
+val level_of1 : t -> float -> int
+(** Level of the first reward containing value [a >= 0]:
+    [ceil(a/delta) - 1] (0 for [a = 0]), clamped to the grid. *)
+
+val level_of2 : t -> float -> int
+(** Same for the second reward. *)
+
+val level_value : t -> int -> float
+(** Upper end [ (j+1) delta ] of the level's interval — the
+    representative used by the paper's transition rates is the lower
+    end [j delta]; this accessor returns the upper end for reporting
+    purposes. *)
+
+val absorbing_block_size : t -> int
+(** Number of flat states with [j1 = 0] (all absorbing). *)

@@ -1,0 +1,25 @@
+open Batlife_battery
+open Batlife_workload
+
+type t = { workload : Model.t; battery : Kibam.params }
+
+let create ~workload ~battery = { workload; battery }
+
+let upper_bounds m =
+  let c = m.battery.Kibam.c and cap = m.battery.Kibam.capacity in
+  (c *. cap, (1. -. c) *. cap)
+
+let is_degenerate m = m.battery.Kibam.c >= 1.
+
+let reward_rates m ~state ~y1 ~y2 =
+  let i = Model.current m.workload state in
+  let p = m.battery in
+  if y1 <= 0. then (0., 0.)
+  else if is_degenerate m then (-.i, 0.)
+  else
+    let s = { Kibam.available = y1; bound = y2 } in
+    let h1, h2 = Kibam.heights p s in
+    if h2 > h1 then
+      let flow = p.Kibam.k *. (h2 -. h1) in
+      (-.i +. flow, -.flow)
+    else (-.i, 0.)

@@ -1,0 +1,37 @@
+(** The KiBaMRM (Section 4.2): a CTMC workload model combined with the
+    Kinetic Battery Model, i.e. a reward-inhomogeneous Markov reward
+    model with two accumulated rewards — the available-charge well
+    [Y1(t)] and the bound-charge well [Y2(t)].
+
+    The reward rates in workload state [i] with consumption [I_i] are
+
+    {v
+      r_i1(y1, y2) = -I_i + k (h2 - h1)     (available well)
+      r_i2(y1, y2) =      - k (h2 - h1)     (bound well)
+    v}
+
+    (clamped to 0 once the battery is empty).  The battery is empty at
+    the first time [Y1(t) = 0]; this module only fixes the model — the
+    lifetime distribution is computed by {!Discretized} /
+    {!Lifetime}. *)
+
+open Batlife_battery
+open Batlife_workload
+
+type t = private { workload : Model.t; battery : Kibam.params }
+
+val create : workload:Model.t -> battery:Kibam.params -> t
+
+val reward_rates : t -> state:int -> y1:float -> y2:float -> float * float
+(** The two reward rates of workload state [state] at fill level
+    [(y1, y2)], with the paper's clamping: both are 0 unless
+    [h2 > h1 > 0]; the consumption part [-I_i] applies whenever
+    [y1 > 0]. *)
+
+val upper_bounds : t -> float * float
+(** [(u1, u2) = (cC, (1-c)C)]: the reachable reward rectangle. *)
+
+val is_degenerate : t -> bool
+(** [true] when [c = 1] (or [k = 0] with all bound charge absent):
+    only one reward needs to be discretised (the paper's Fig. 7
+    case). *)

@@ -1,0 +1,60 @@
+open Batlife_numerics
+open Batlife_ctmc
+
+type curve = {
+  times : float array;
+  probabilities : float array;
+  delta : float;
+  states : int;
+  nnz : int;
+  iterations : int;
+  uniformisation_rate : float;
+}
+
+(* The sweep's probabilities carry O(accuracy) floating noise which can
+   break strict CDF monotonicity; clamp and monotonise (the absorbed
+   mass is mathematically non-decreasing in t for sorted times). *)
+let sanitize times probabilities =
+  let order = Array.init (Array.length times) (fun i -> i) in
+  Array.sort (fun a b -> Float.compare times.(a) times.(b)) order;
+  let running = ref 0. in
+  Array.iter
+    (fun idx ->
+      let p = Float.min 1. (Float.max 0. probabilities.(idx)) in
+      running := Float.max !running p;
+      probabilities.(idx) <- !running)
+    order
+
+let cdf ?accuracy ?initial_fill ~delta ~times model =
+  let d = Discretized.build ?initial_fill ~delta model in
+  let probabilities, stats = Discretized.empty_probability ?accuracy d ~times in
+  sanitize times probabilities;
+  {
+    times = Array.copy times;
+    probabilities;
+    delta;
+    states = Discretized.n_states d;
+    nnz = Discretized.nnz d;
+    iterations = stats.Transient.iterations;
+    uniformisation_rate = stats.Transient.uniformisation_rate;
+  }
+
+let mean c =
+  let survival = Array.map (fun p -> 1. -. p) c.probabilities in
+  (* Add the [0, t_0] prefix assuming survival probability 1 before the
+     first sample (F(0) = 0 for a battery with positive charge). *)
+  let prefix = if Array.length c.times > 0 then c.times.(0) else 0. in
+  prefix +. Quadrature.trapezoid_sampled ~xs:c.times ~ys:survival
+
+let mean_exact ?tol ?initial_fill ~delta model =
+  Discretized.expected_lifetime ?tol
+    (Discretized.build ?initial_fill ~delta model)
+
+let quantile c p =
+  if p < 0. || p > 1. then invalid_arg "Lifetime.quantile: p outside [0,1]";
+  let interp = Interp.create ~xs:c.times ~ys:c.probabilities in
+  Interp.inverse interp p
+
+let convergence_study ?accuracy ~deltas ~times model =
+  Array.to_list deltas
+  |> List.map (fun delta -> cdf ?accuracy ~delta ~times model)

@@ -1,0 +1,1 @@
+lib/ctmc/generator.ml: Array Batlife_numerics Float Format List Printf Sparse

@@ -1,0 +1,1 @@
+lib/ctmc/generator.mli: Batlife_numerics Format Sparse

@@ -1,0 +1,1 @@
+lib/ctmc/phase_type.ml: Array Batlife_numerics Dense Float Generator Hashtbl List Special Transient Vector

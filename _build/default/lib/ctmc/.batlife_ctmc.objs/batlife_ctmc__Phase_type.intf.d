@@ -1,0 +1,1 @@
+lib/ctmc/phase_type.mli: Generator

@@ -1,0 +1,1 @@
+lib/ctmc/reachability.ml: Array Batlife_numerics Generator Iterative Sparse Transient Vector

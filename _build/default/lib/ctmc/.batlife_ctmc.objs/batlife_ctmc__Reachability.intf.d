@@ -1,0 +1,1 @@
+lib/ctmc/reachability.mli: Generator

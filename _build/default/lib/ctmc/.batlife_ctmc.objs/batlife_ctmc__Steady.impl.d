@@ -1,0 +1,1 @@
+lib/ctmc/steady.ml: Array Batlife_numerics Dense Generator Option Sparse Vector

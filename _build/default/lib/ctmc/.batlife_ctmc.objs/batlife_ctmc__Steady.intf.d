@@ -1,0 +1,1 @@
+lib/ctmc/steady.mli: Generator

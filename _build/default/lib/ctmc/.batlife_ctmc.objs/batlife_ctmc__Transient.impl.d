@@ -1,0 +1,1 @@
+lib/ctmc/transient.ml: Array Batlife_numerics Generator List Logs Option Poisson Printf Sparse Vector

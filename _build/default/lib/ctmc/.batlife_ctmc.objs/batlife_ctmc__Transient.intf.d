@@ -1,0 +1,1 @@
+lib/ctmc/transient.mli: Generator

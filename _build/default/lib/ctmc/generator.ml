@@ -1,0 +1,126 @@
+open Batlife_numerics
+
+type t = { n : int; q : Sparse.t; labels : string array }
+
+let default_labels n = Array.init n (fun i -> Printf.sprintf "s%d" i)
+
+let check_labels n = function
+  | None -> default_labels n
+  | Some l ->
+      if Array.length l <> n then
+        invalid_arg "Generator: wrong number of labels";
+      Array.copy l
+
+let of_rates ?labels ~n rates =
+  if n <= 0 then invalid_arg "Generator.of_rates: need n > 0";
+  let b = Sparse.Builder.create ~rows:n ~cols:n () in
+  let exit = Array.make n 0. in
+  List.iter
+    (fun (i, j, r) ->
+      if i = j then invalid_arg "Generator.of_rates: diagonal rate given";
+      if r < 0. then invalid_arg "Generator.of_rates: negative rate";
+      if i < 0 || i >= n || j < 0 || j >= n then
+        invalid_arg "Generator.of_rates: state out of range";
+      Sparse.Builder.add b i j r;
+      exit.(i) <- exit.(i) +. r)
+    rates;
+  for i = 0 to n - 1 do
+    Sparse.Builder.add b i i (-.exit.(i))
+  done;
+  { n; q = Sparse.of_builder b; labels = check_labels n labels }
+
+let of_builder ?labels b =
+  let n = Sparse.Builder.rows b in
+  if n <> Sparse.Builder.cols b then
+    invalid_arg "Generator.of_builder: not square";
+  let exit = Array.make n 0. in
+  Sparse.Builder.iter b (fun i j v ->
+      if i = j then invalid_arg "Generator.of_builder: diagonal entry given";
+      if v < 0. then invalid_arg "Generator.of_builder: negative rate";
+      exit.(i) <- exit.(i) +. v);
+  for i = 0 to n - 1 do
+    Sparse.Builder.add b i i (-.exit.(i))
+  done;
+  { n; q = Sparse.of_builder b; labels = check_labels n labels }
+
+let of_sparse ?labels m =
+  let n = m.Sparse.rows in
+  if n <> m.Sparse.cols then invalid_arg "Generator.of_sparse: not square";
+  (* Validate and recompute the diagonal from off-diagonal sums so row
+     sums are exactly zero. *)
+  let b = Sparse.Builder.create ~initial_capacity:(Sparse.nnz m) ~rows:n
+      ~cols:n ()
+  in
+  let exit = Array.make n 0. in
+  Sparse.iter m (fun i j v ->
+      if i <> j then begin
+        if v < 0. then
+          invalid_arg
+            (Printf.sprintf "Generator.of_sparse: negative rate at (%d,%d)" i j);
+        Sparse.Builder.add b i j v;
+        exit.(i) <- exit.(i) +. v
+      end);
+  let sums = Sparse.row_sums m in
+  Array.iteri
+    (fun i s ->
+      if Float.abs s > 1e-9 *. Float.max 1. exit.(i) then
+        invalid_arg
+          (Printf.sprintf "Generator.of_sparse: row %d sums to %g" i s))
+    sums;
+  for i = 0 to n - 1 do
+    Sparse.Builder.add b i i (-.exit.(i))
+  done;
+  { n; q = Sparse.of_builder b; labels = check_labels n labels }
+
+let n_states g = g.n
+
+let label g i = g.labels.(i)
+
+let rate g i j = Sparse.get g.q i j
+
+let exit_rate g i = -.Sparse.get g.q i i
+
+let uniformisation_rate g =
+  let m = ref 0. in
+  for i = 0 to g.n - 1 do
+    m := Float.max !m (exit_rate g i)
+  done;
+  Float.max (1.02 *. !m) 1e-12
+
+let is_absorbing g i = exit_rate g i = 0.
+
+let absorbing_states g =
+  let acc = ref [] in
+  for i = g.n - 1 downto 0 do
+    if is_absorbing g i then acc := i :: !acc
+  done;
+  !acc
+
+let nnz g = Sparse.nnz g.q
+
+let matrix g = g.q
+
+let uniformised g ~q =
+  let max_exit = ref 0. in
+  for i = 0 to g.n - 1 do
+    max_exit := Float.max !max_exit (exit_rate g i)
+  done;
+  if q < !max_exit then
+    invalid_arg "Generator.uniformised: rate below the largest exit rate";
+  let b =
+    Sparse.Builder.create ~initial_capacity:(nnz g + g.n) ~rows:g.n ~cols:g.n
+      ()
+  in
+  Sparse.iter g.q (fun i j v -> Sparse.Builder.add b i j (v /. q));
+  for i = 0 to g.n - 1 do
+    Sparse.Builder.add b i i 1.
+  done;
+  Sparse.of_builder b
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>CTMC with %d states, %d transitions@," g.n
+    (nnz g - g.n);
+  Sparse.iter g.q (fun i j v ->
+      if i <> j && v <> 0. then
+        Format.fprintf ppf "  %s -> %s @@ %g@," g.labels.(i) g.labels.(j) v);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,60 @@
+(** Continuous-time Markov chain generators.
+
+    A generator is a square sparse matrix [Q] with non-negative
+    off-diagonal rates and rows summing to zero.  The constructors
+    below take only the off-diagonal rates and fill the diagonal, so a
+    well-formed generator is guaranteed by construction. *)
+
+open Batlife_numerics
+
+type t = private {
+  n : int;  (** number of states *)
+  q : Sparse.t;  (** the generator matrix, rows summing to zero *)
+  labels : string array;  (** state names, ["s<i>"] by default *)
+}
+
+val of_rates : ?labels:string array -> n:int -> (int * int * float) list -> t
+(** [of_rates ~n rates] builds a generator from off-diagonal entries
+    [(i, j, rate)].  Rates must be non-negative and [i <> j]; duplicate
+    entries are summed.  Raises [Invalid_argument] on violations. *)
+
+val of_builder : ?labels:string array -> Sparse.Builder.t -> t
+(** Build from a mutable triplet accumulator holding only off-diagonal
+    non-negative rates; the diagonal is added in place.  The builder
+    must not be reused afterwards.  This is the constructor used for
+    the large discretised battery generators (millions of entries)
+    because it avoids materialising intermediate lists. *)
+
+val of_sparse : ?labels:string array -> Sparse.t -> t
+(** Wrap an existing matrix after validating generator structure
+    (square, non-negative off-diagonal, row sums within [1e-9] of 0;
+    the diagonal is recomputed exactly from the off-diagonal sums). *)
+
+val n_states : t -> int
+
+val label : t -> int -> string
+
+val rate : t -> int -> int -> float
+(** [rate g i j] is [q_ij]. *)
+
+val exit_rate : t -> int -> float
+(** [exit_rate g i] is [-q_ii >= 0]. *)
+
+val uniformisation_rate : t -> float
+(** A valid uniformisation constant: [1.02 * max_i (-q_ii)], slightly
+    inflated so the uniformised chain has strictly positive self-loop
+    probability (helps aperiodicity); at least [1e-12]. *)
+
+val is_absorbing : t -> int -> bool
+
+val absorbing_states : t -> int list
+
+val nnz : t -> int
+
+val matrix : t -> Sparse.t
+
+val uniformised : t -> q:float -> Sparse.t
+(** [uniformised g ~q] is the stochastic matrix [P = I + Q/q].  Raises
+    [Invalid_argument] if [q] is smaller than the largest exit rate. *)
+
+val pp : Format.formatter -> t -> unit

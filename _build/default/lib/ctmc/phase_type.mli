@@ -1,0 +1,56 @@
+(** Phase-type distributions.
+
+    The paper's Markovian approximation replaces the battery lifetime
+    by the absorption time of the expanded CTMC — i.e. by a phase-type
+    distribution.  This module gives PH distributions a first-class
+    API: CDF by uniformisation, moments by linear solves, and the
+    Erlang special case used by the on/off workload model. *)
+
+type t
+(** A PH distribution [(alpha, A)] where [A] is the sub-generator over
+    the transient states.  The absorption rate of state [i] is
+    [-sum_j a_ij >= 0]. *)
+
+val create : alpha:float array -> sub_generator:float array array -> t
+(** Build from an initial distribution over transient states (may sum
+    to less than 1 — the deficit is an atom at 0) and a sub-generator
+    matrix.  Raises [Invalid_argument] if [A] has negative off-diagonal
+    entries, positive row sums (beyond rounding), or mismatched
+    sizes. *)
+
+val of_absorbing_ctmc : Generator.t -> alpha:float array -> t
+(** View an absorbing CTMC as a PH distribution of the time to reach
+    {e any} absorbing state.  Transient states with no path to an
+    absorbing state yield a defective distribution. *)
+
+val erlang : k:int -> rate:float -> t
+(** Erlang-[k] with phase rate [rate]. *)
+
+val exponential : rate:float -> t
+
+val hypoexponential : rates:float array -> t
+(** Generalised Erlang: sequence of exponential phases with the given
+    rates. *)
+
+val n_phases : t -> int
+
+val cdf : ?accuracy:float -> t -> float -> float
+(** [cdf d t] is [P(T <= t)]. *)
+
+val cdf_many : ?accuracy:float -> t -> float array -> float array
+(** Batched CDF evaluation using a single uniformisation sweep. *)
+
+val survival : ?accuracy:float -> t -> float -> float
+
+val mean : t -> float
+(** First moment via [-alpha A^{-1} 1]. *)
+
+val moment : t -> int -> float
+(** [moment d m] is [E T^m = (-1)^m m! alpha A^{-m} 1].  Raises
+    [Invalid_argument] for [m < 1]. *)
+
+val variance : t -> float
+
+val erlang_cdf : k:int -> rate:float -> float -> float
+(** Closed-form Erlang CDF (regularised lower incomplete gamma via the
+    finite Poisson sum); used as a test oracle. *)

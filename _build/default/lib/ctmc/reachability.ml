@@ -1,0 +1,85 @@
+open Batlife_numerics
+
+let check_sets g ~alpha ~avoid ~goal =
+  let n = Generator.n_states g in
+  if Array.length alpha <> n then invalid_arg "Reachability: alpha length";
+  if Array.length avoid <> n then invalid_arg "Reachability: avoid length";
+  if Array.length goal <> n then invalid_arg "Reachability: goal length"
+
+(* The standard until-transformation: goal states become absorbing
+   (success is locked in), avoid states become deadlocks (failure is
+   locked in), other states keep their behaviour. *)
+let until_generator g ~avoid ~goal =
+  let n = Generator.n_states g in
+  let b = Sparse.Builder.create ~initial_capacity:(Generator.nnz g) ~rows:n
+      ~cols:n ()
+  in
+  Sparse.iter (Generator.matrix g) (fun i j v ->
+      if i <> j && v > 0. && (not goal.(i)) && not avoid.(i) then
+        Sparse.Builder.add b i j v);
+  Generator.of_builder b
+
+let bounded_until ?accuracy g ~alpha ~avoid ~goal ~t =
+  check_sets g ~alpha ~avoid ~goal;
+  let transformed = until_generator g ~avoid ~goal in
+  let pi = Transient.solve ?accuracy transformed ~alpha ~t in
+  let acc = ref 0. in
+  Array.iteri (fun i p -> if goal.(i) then acc := !acc +. p) pi;
+  !acc
+
+let bounded_reach ?accuracy g ~alpha ~goal ~t =
+  bounded_until ?accuracy g ~alpha
+    ~avoid:(Array.make (Generator.n_states g) false)
+    ~goal ~t
+
+(* Minimal non-negative solution of the hitting-probability system:
+   h = 1 on goal, 0 on avoid, harmonic elsewhere.  Gauss-Seidel from
+   h = 0 converges monotonically to the minimal solution for this
+   M-matrix system; unreachable recurrent classes stay at 0. *)
+let hitting_probabilities ?(tol = 1e-12) g ~avoid ~goal =
+  let n = Generator.n_states g in
+  let pinned =
+    Array.init n (fun i ->
+        goal.(i) || avoid.(i) || Generator.is_absorbing g i)
+  in
+  let x0 = Array.init n (fun i -> if goal.(i) then 1. else 0.) in
+  let result =
+    Iterative.gauss_seidel ~tol ~x0
+      ~skip:(fun i -> pinned.(i))
+      (Generator.matrix g)
+      ~b:(Array.make n 0.)
+  in
+  result.Iterative.solution
+
+let eventually ?tol g ~alpha ~avoid ~goal =
+  check_sets g ~alpha ~avoid ~goal;
+  let h = hitting_probabilities ?tol g ~avoid ~goal in
+  Vector.dot alpha h
+
+let expected_hitting_time ?(tol = 1e-12) g ~alpha ~goal =
+  let n = Generator.n_states g in
+  if not (Array.exists (fun b -> b) goal) then
+    invalid_arg "Reachability.expected_hitting_time: empty goal set";
+  check_sets g ~alpha ~avoid:(Array.make n false) ~goal;
+  let h = hitting_probabilities ~tol g ~avoid:(Array.make n false) ~goal in
+  (* If any initial mass can miss the goal, the expectation is
+     infinite. *)
+  let reachable = ref true in
+  Array.iteri
+    (fun i p -> if p > 0. && h.(i) < 1. -. 1e-9 then reachable := false)
+    alpha;
+  if not !reachable then infinity
+  else begin
+    (* tau = 0 on goal; Q tau = -1 on states that reach the goal a.s.;
+       states with h < 1 are unreachable from the initial mass (else h
+       would be < 1 there too) and are pinned to keep the system
+       non-singular. *)
+    let pinned = Array.init n (fun i -> goal.(i) || h.(i) < 1. -. 1e-9) in
+    let b = Array.init n (fun i -> if pinned.(i) then 0. else -1.) in
+    let result =
+      Iterative.gauss_seidel ~tol
+        ~skip:(fun i -> pinned.(i))
+        (Generator.matrix g) ~b
+    in
+    Vector.dot alpha result.Iterative.solution
+  end

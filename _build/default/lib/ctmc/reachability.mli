@@ -1,0 +1,51 @@
+(** Reachability probabilities — the CTMC backbone of CSRL-style
+    queries (the model-checking line of work this paper's authors
+    built the KiBaMRM on; cf. their refs. [15, 16]).
+
+    Time-bounded until is computed by making goal states absorbing and
+    illegal states deadlocks, then solving the transient; unbounded
+    until by solving the linear first-passage system. *)
+
+val bounded_until :
+  ?accuracy:float ->
+  Generator.t ->
+  alpha:float array ->
+  avoid:bool array ->
+  goal:bool array ->
+  t:float ->
+  float
+(** [P(alpha |= avoid-free U^{<= t} goal)]: probability of reaching a
+    goal state within [t] along a path that never visits an avoid
+    state before the goal.  A state that is both goal and avoid counts
+    as goal.  Lengths must match the generator. *)
+
+val bounded_reach :
+  ?accuracy:float ->
+  Generator.t ->
+  alpha:float array ->
+  goal:bool array ->
+  t:float ->
+  float
+(** Unconstrained bounded reachability ([avoid] empty). *)
+
+val eventually :
+  ?tol:float ->
+  Generator.t ->
+  alpha:float array ->
+  avoid:bool array ->
+  goal:bool array ->
+  float
+(** Unbounded until: [P(reach goal, avoiding avoid, ever)].  Solved by
+    Gauss–Seidel on the hitting-probability system; states from which
+    the goal is unreachable contribute 0.  Raises [Failure] if the
+    iteration does not converge. *)
+
+val expected_hitting_time :
+  ?tol:float ->
+  Generator.t ->
+  alpha:float array ->
+  goal:bool array ->
+  float
+(** Expected time to first reach a goal state; [infinity] if some
+    initial mass can never reach the goal.  Raises [Invalid_argument]
+    if no state is a goal. *)

@@ -1,0 +1,68 @@
+open Batlife_numerics
+
+(* GTH elimination: censoring states one by one, using only additions
+   of non-negative numbers (no subtraction), then back-substitution.
+   Standard formulation on the rate matrix. *)
+let gth g =
+  let n = Generator.n_states g in
+  let a = Sparse.to_dense (Generator.matrix g) in
+  (* Work on off-diagonal rates; a.(i).(j), i<>j, >= 0. *)
+  let get = Dense.get a and set = Dense.set a in
+  for k = n - 1 downto 1 do
+    (* Total outflow of state k towards states 0..k-1. *)
+    let s = ref 0. in
+    for j = 0 to k - 1 do
+      s := !s +. get k j
+    done;
+    if !s <= 0. then
+      failwith "Steady.gth: reducible chain (state cannot reach lower states)";
+    for i = 0 to k - 1 do
+      let gik = get i k in
+      if gik > 0. then
+        for j = 0 to k - 1 do
+          if i <> j then set i j (get i j +. (gik *. get k j /. !s))
+        done
+    done
+  done;
+  let pi = Array.make n 0. in
+  pi.(0) <- 1.;
+  for k = 1 to n - 1 do
+    let s = ref 0. in
+    for j = 0 to k - 1 do
+      s := !s +. Dense.get a k j
+    done;
+    let acc = ref 0. in
+    for i = 0 to k - 1 do
+      acc := !acc +. (pi.(i) *. Dense.get a i k)
+    done;
+    pi.(k) <- !acc /. !s
+  done;
+  Vector.normalize1 pi
+
+let power_iteration ?(tol = 1e-12) ?(max_iter = 1_000_000) g =
+  let n = Generator.n_states g in
+  let q = Generator.uniformisation_rate g in
+  let qm = Generator.matrix g in
+  let v = Vector.make n (1. /. float_of_int n) in
+  let v' = Vector.create n in
+  let current = ref v and scratch = ref v' in
+  let result = ref None in
+  let i = ref 0 in
+  while Option.is_none !result && !i < max_iter do
+    incr i;
+    Vector.blit ~src:!current ~dst:!scratch;
+    Sparse.vecmat_acc ~src:!current qm ~scale:(1. /. q) ~dst:!scratch;
+    let drift = Vector.dist_inf !current !scratch in
+    let t = !current in
+    current := !scratch;
+    scratch := t;
+    if drift <= tol then result := Some (Vector.normalize1 !current)
+  done;
+  match !result with
+  | Some pi -> pi
+  | None -> failwith "Steady.power_iteration: no convergence"
+
+let expected_reward g ~rewards =
+  if Array.length rewards <> Generator.n_states g then
+    invalid_arg "Steady.expected_reward: reward vector length";
+  Vector.dot (gth g) rewards

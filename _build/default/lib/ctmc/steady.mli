@@ -1,0 +1,18 @@
+(** Steady-state distributions of CTMCs.
+
+    Used by the workload models (e.g. to verify that the burst model's
+    send probability matches the simple model's, the calibration the
+    paper performs with [lambda_burst = 182/h]). *)
+
+val gth : Generator.t -> float array
+(** Grassmann–Taksar–Heyman elimination on a dense copy; numerically
+    stable, O(n^3) — intended for the small workload chains.  The chain
+    must be irreducible; raises [Failure] otherwise. *)
+
+val power_iteration :
+  ?tol:float -> ?max_iter:int -> Generator.t -> float array
+(** Power iteration on the uniformised chain for larger generators.
+    Raises [Failure] if the iteration does not converge. *)
+
+val expected_reward : Generator.t -> rewards:float array -> float
+(** Steady-state expectation [sum_i pi_i r_i] using {!gth}. *)

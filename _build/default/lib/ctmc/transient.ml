@@ -1,0 +1,133 @@
+open Batlife_numerics
+
+let log_src = Logs.Src.create "batlife.transient" ~doc:"Uniformisation sweeps"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type stats = {
+  iterations : int;
+  converged_at : int option;
+  uniformisation_rate : float;
+}
+
+let check_alpha g alpha =
+  if Array.length alpha <> Generator.n_states g then
+    invalid_arg "Transient: initial distribution has wrong length";
+  Array.iter
+    (fun p ->
+      if p < -1e-12 then invalid_arg "Transient: negative initial probability")
+    alpha
+
+(* One uniformised step: v' = v P = v + (v Q) / q, computed without
+   materialising P. *)
+let step q_matrix ~q ~src ~dst =
+  Vector.blit ~src ~dst;
+  Sparse.vecmat_acc ~src q_matrix ~scale:(1. /. q) ~dst
+
+let solve ?(accuracy = 1e-12) ?q g ~alpha ~t =
+  check_alpha g alpha;
+  if t < 0. then invalid_arg "Transient.solve: negative time";
+  let n = Generator.n_states g in
+  let q = match q with Some q -> q | None -> Generator.uniformisation_rate g in
+  let weights = Poisson.weights ~accuracy (q *. t) in
+  let qm = Generator.matrix g in
+  let v = Vector.copy alpha and v' = Vector.create n in
+  let out = Vector.create n in
+  let add_weighted w src = Vector.axpy ~alpha:w ~x:src ~y:out in
+  let current = ref v and scratch = ref v' in
+  for m = 0 to weights.Poisson.right do
+    if m > 0 then begin
+      step qm ~q ~src:!current ~dst:!scratch;
+      let t = !current in
+      current := !scratch;
+      scratch := t
+    end;
+    let w = Poisson.prob weights m in
+    if w > 0. then add_weighted w !current
+  done;
+  out
+
+let measure_sweep ?(accuracy = 1e-12) ?q ?(convergence_tol = 1e-14) g ~alpha
+    ~times ~measure =
+  check_alpha g alpha;
+  Array.iter
+    (fun t -> if t < 0. then invalid_arg "Transient.measure_sweep: t < 0")
+    times;
+  let n = Generator.n_states g in
+  let q = match q with Some q -> q | None -> Generator.uniformisation_rate g in
+  let qm = Generator.matrix g in
+  (* Poisson windows per time point; the sweep must reach the largest
+     right truncation point (unless stationarity is detected first). *)
+  let windows = Array.map (fun t -> Poisson.weights ~accuracy (q *. t)) times in
+  let n_max =
+    Array.fold_left (fun acc w -> max acc w.Poisson.right) 0 windows
+  in
+  let measures = Array.make (n_max + 1) 0. in
+  let v = Vector.copy alpha and v' = Vector.create n in
+  let current = ref v and scratch = ref v' in
+  measures.(0) <- measure !current;
+  let converged_at = ref None in
+  let m = ref 1 in
+  while !m <= n_max && Option.is_none !converged_at do
+    step qm ~q ~src:!current ~dst:!scratch;
+    let drift = Vector.dist_inf !current !scratch in
+    let t = !current in
+    current := !scratch;
+    scratch := t;
+    measures.(!m) <- measure !current;
+    if drift <= convergence_tol then converged_at := Some !m;
+    incr m
+  done;
+  (* If the chain became stationary, later measures are constant. *)
+  (match !converged_at with
+  | Some at ->
+      for i = at + 1 to n_max do
+        measures.(i) <- measures.(at)
+      done
+  | None -> ());
+  let iterations = match !converged_at with Some at -> at | None -> n_max in
+  Log.debug (fun m ->
+      m "measure sweep: %d states, q=%g, %d iterations%s" n q iterations
+        (match !converged_at with
+        | Some at -> Printf.sprintf " (stationary after %d)" at
+        | None -> ""));
+  let results =
+    Array.map
+      (fun w ->
+        Poisson.fold w ~init:0. ~f:(fun acc m weight ->
+            acc +. (weight *. measures.(m))))
+      windows
+  in
+  (results, { iterations; converged_at = !converged_at; uniformisation_rate = q })
+
+let distribution_sweep ?(accuracy = 1e-12) ?q g ~alpha ~times =
+  check_alpha g alpha;
+  let n = Generator.n_states g in
+  let q = match q with Some q -> q | None -> Generator.uniformisation_rate g in
+  let qm = Generator.matrix g in
+  let windows = Array.map (fun t -> Poisson.weights ~accuracy (q *. t)) times in
+  let n_max =
+    Array.fold_left (fun acc w -> max acc w.Poisson.right) 0 windows
+  in
+  let outs = Array.map (fun _ -> Vector.create n) times in
+  let v = Vector.copy alpha and v' = Vector.create n in
+  let current = ref v and scratch = ref v' in
+  for m = 0 to n_max do
+    if m > 0 then begin
+      step qm ~q ~src:!current ~dst:!scratch;
+      let t = !current in
+      current := !scratch;
+      scratch := t
+    end;
+    Array.iteri
+      (fun idx w ->
+        let weight = Poisson.prob w m in
+        if weight > 0. then Vector.axpy ~alpha:weight ~x:!current ~y:outs.(idx))
+      windows
+  done;
+  ( outs,
+    { iterations = n_max; converged_at = None; uniformisation_rate = q } )
+
+let expected_hitting_mass ?accuracy g ~alpha ~states ~t =
+  let pi = solve ?accuracy g ~alpha ~t in
+  List.fold_left (fun acc i -> acc +. pi.(i)) 0. states

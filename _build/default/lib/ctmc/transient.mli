@@ -1,0 +1,67 @@
+(** Transient analysis of CTMCs by uniformisation.
+
+    Uniformisation writes the transient distribution as
+    [pi(t) = sum_n pois(qt; n) (alpha P^n)] with [P = I + Q/q].  The
+    module offers both the plain solver and a "one sweep, many times"
+    variant: the sequence [v_n = alpha P^n] is computed once and a
+    user-supplied linear functional [m_n = measure v_n] is recorded per
+    step; any number of time points then costs only a Poisson-weighted
+    scalar sum each.  This is how a whole battery-lifetime CDF curve is
+    produced from a single vector-matrix sweep. *)
+
+type stats = {
+  iterations : int;  (** number of vector-matrix products performed *)
+  converged_at : int option;
+      (** step after which [v_n] was numerically stationary, if
+          detected *)
+  uniformisation_rate : float;
+}
+
+val solve :
+  ?accuracy:float ->
+  ?q:float ->
+  Generator.t ->
+  alpha:float array ->
+  t:float ->
+  float array
+(** [solve g ~alpha ~t] is the state distribution at time [t] given the
+    initial distribution [alpha].  [accuracy] (default 1e-12) bounds
+    the truncated Poisson mass; [q] overrides the uniformisation
+    rate. *)
+
+val measure_sweep :
+  ?accuracy:float ->
+  ?q:float ->
+  ?convergence_tol:float ->
+  Generator.t ->
+  alpha:float array ->
+  times:float array ->
+  measure:(float array -> float) ->
+  float array * stats
+(** [measure_sweep g ~alpha ~times ~measure] evaluates
+    [sum_n pois(q t; n) measure(alpha P^n)] for every [t] in [times]
+    (which must be non-negative; they need not be sorted).  [measure]
+    must be a linear functional of the distribution (e.g. total mass on
+    a set of states).  When successive [v_n] differ by less than
+    [convergence_tol] (default 1e-14) in L1, the sweep stops early and
+    the remaining measures are extrapolated as constant. *)
+
+val distribution_sweep :
+  ?accuracy:float ->
+  ?q:float ->
+  Generator.t ->
+  alpha:float array ->
+  times:float array ->
+  float array array * stats
+(** Full distributions at several time points from one sweep (memory:
+    one accumulator vector per time point). *)
+
+val expected_hitting_mass :
+  ?accuracy:float ->
+  Generator.t ->
+  alpha:float array ->
+  states:int list ->
+  t:float ->
+  float
+(** Probability mass on [states] at time [t]; convenience wrapper over
+    {!solve}. *)

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Array Batlife_core Batlife_mrm Batlife_output Batlife_sim Batlife_workload Erlangization Lifetime Model Montecarlo Mrm Params Printf Report Simple

@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Batlife_core Batlife_numerics Batlife_sim Interp Lifetime Montecarlo Params Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/fig11.mli: Batlife_output Series

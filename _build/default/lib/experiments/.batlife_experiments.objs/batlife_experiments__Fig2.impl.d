@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Array Batlife_battery Batlife_numerics Batlife_output Kibam List Load_profile Params Printf Report Series

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Array Batlife_core Batlife_mrm Batlife_output Batlife_sim Batlife_workload Lifetime List Model Montecarlo Mrm Occupation Params Printf Report

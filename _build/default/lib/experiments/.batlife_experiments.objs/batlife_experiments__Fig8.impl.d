@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Batlife_core Batlife_sim Lifetime List Montecarlo Params Printf Report

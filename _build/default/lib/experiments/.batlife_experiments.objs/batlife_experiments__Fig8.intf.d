@@ -1,0 +1,1 @@
+lib/experiments/fig8.mli: Batlife_output Series

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Batlife_core Lifetime Params Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/fig9.mli: Batlife_output Series

@@ -1,0 +1,1 @@
+lib/experiments/params.ml: Array Batlife_battery Batlife_core Batlife_workload Burst Float Kibam Kibamrm Onoff Simple Units

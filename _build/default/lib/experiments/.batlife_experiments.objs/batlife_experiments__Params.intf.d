@@ -1,0 +1,1 @@
+lib/experiments/params.mli: Batlife_battery Batlife_core Batlife_workload Kibam Kibamrm Model

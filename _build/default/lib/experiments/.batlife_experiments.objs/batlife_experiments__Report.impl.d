@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Array Batlife_core Batlife_numerics Batlife_output Batlife_sim Csv Filename Interp Lifetime Montecarlo Printf Series Stats String Sys

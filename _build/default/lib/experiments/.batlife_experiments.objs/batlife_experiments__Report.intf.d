@@ -1,0 +1,1 @@
+lib/experiments/report.mli: Batlife_core Batlife_output Batlife_sim Lifetime Montecarlo Series

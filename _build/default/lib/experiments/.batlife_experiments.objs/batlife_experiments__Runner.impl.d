@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Extensions Fig10 Fig11 Fig2 Fig7 Fig8 Fig9 List Params Printf String Table1

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Batlife_battery Batlife_output Batlife_sim Filename Fit Float Kibam List Load_profile Modified_kibam Params Printf Report Stochastic_kibam Table Units

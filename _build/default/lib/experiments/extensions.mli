@@ -1,0 +1,47 @@
+(** Experiments beyond the paper's figures, exercising remarks the
+    paper makes in passing.
+
+    {b Erlang-K} (Section 6.1): "for better approximations to the
+    deterministic on/off times, that is, for K > 1 ... the lifetime
+    distribution obtained from simulation gets even closer to a
+    deterministic one, the values computed by the approximation
+    algorithm do not change visibly."  [erlang_k] quantifies exactly
+    that: simulated q10–q90 spread shrinks with K while the
+    approximation's spread stays put.
+
+    {b Empty-state recovery} (Section 5.2): "the recovery transitions
+    could easily be included."  [empty_recovery] compares the standard
+    absorbing lifetime CDF with the non-absorbing variant, where the
+    reported quantity is the probability of being empty {e at} time t
+    (a device tolerating brown-outs). *)
+
+val erlang_k : ?out_dir:string -> ?runs:int -> unit -> unit
+
+val empty_recovery : ?out_dir:string -> unit -> unit
+
+val richardson : ?out_dir:string -> unit -> unit
+(** Convergence ablation on the Fig. 7 scenario, where the exact
+    distribution is computable: measures the error of each [Delta]
+    curve against the exact occupation-time curve, estimates the
+    empirical convergence order, and shows that Richardson
+    extrapolation of the [(Delta, Delta/2)] pair beats the fine curve
+    on its own — an accuracy upgrade the paper does not explore. *)
+
+val frequency_sweep : ?out_dir:string -> unit -> unit
+(** Lifetime vs square-wave frequency for the whole battery-model
+    hierarchy (ideal, Peukert, KiBaM, modified KiBaM,
+    Rakhmatov–Vrudhula), all calibrated against the same Table 1
+    measurements — Section 2/3's "which model distinguishes load
+    shapes" question as one parameter sweep. *)
+
+val charge_profile : ?out_dir:string -> unit -> unit
+(** Snapshots of the available-charge distribution (the paper's joint
+    distribution of Eq. (2), marginalised onto [y1]) at several times
+    for the simple model, plus the exact expected lifetime from the
+    first-passage system. *)
+
+val sensitivity : ?out_dir:string -> unit -> unit
+(** Sensitivity of the lifetime quantiles to the two KiBaM constants:
+    a sweep over [c] and [k] around the calibrated values, using the
+    grid-free exact mean (Gauss–Seidel first-passage solve) — how much
+    do the calibration uncertainties matter? *)

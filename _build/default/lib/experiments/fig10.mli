@@ -1,0 +1,19 @@
+(** Fig. 10: lifetime distribution of the simple (idle/send/sleep)
+    model for three battery settings:
+
+    - C = 500 mAh, c = 1 (only the available charge exists):
+      approximation at [Delta = 25, 2] + simulation;
+    - C = 800 mAh, c = 0.625, k = 0.162/h (the full KiBaMRM; see params.ml on the paper's printed 1.96e-2/h):
+      approximation at [Delta = 25, 2] + simulation;
+    - C = 800 mAh, c = 1: reference curve ("exact" in the paper,
+      computed there with a uniformisation-based special-case
+      algorithm [25]; here via auto-refined Erlangization, plus the
+      exact mean via the occupation-time machinery is not applicable —
+      three reward values — so the Erlangization is validated by its
+      own stage-doubling convergence). *)
+
+open Batlife_output
+
+val compute : ?runs:int -> unit -> Series.t list
+
+val run : ?out_dir:string -> ?runs:int -> unit -> unit

@@ -1,0 +1,35 @@
+open Batlife_core
+open Batlife_sim
+open Batlife_numerics
+
+let compute ?(runs = 1000) () =
+  let times = Params.phone_times () in
+  let battery = Params.battery_phone_two_well () in
+  let pair name model =
+    let curve = Lifetime.cdf ~delta:5. ~times model in
+    Printf.printf "%s\n" (Report.curve_summary ~name curve);
+    let est = Montecarlo.lifetime_cdf ~runs model ~times in
+    Printf.printf "%s\n"
+      (Report.estimate_summary ~name:(name ^ " (simulation)") est);
+    ( Report.series_of_curve ~name curve,
+      Report.series_of_estimate ~name:(name ^ " (simulation)") est,
+      curve )
+  in
+  let simple_curve, simple_sim, sc = pair "simple model" (Params.simple_kibamrm battery) in
+  let burst_curve, burst_sim, bc = pair "burst model" (Params.burst_kibamrm battery) in
+  let at20 (c : Lifetime.curve) =
+    let interp = Interp.create ~xs:c.Lifetime.times ~ys:c.Lifetime.probabilities in
+    Interp.eval interp 20.
+  in
+  Printf.printf
+    "  P(empty at 20 h): simple %.3f vs burst %.3f (paper: ~0.95 vs ~0.89)\n"
+    (at20 sc) (at20 bc);
+  [ simple_curve; burst_curve; simple_sim; burst_sim ]
+
+let run ?(out_dir = Params.results_dir) ?runs () =
+  Report.heading
+    "Fig. 11: simple vs burst model (C=800 mAh, c=0.625, Delta=5)";
+  let series = compute ?runs () in
+  Report.save_figure ~dir:out_dir ~stem:"fig11"
+    ~title:"Simple vs burst model, C=800 mAh, c=0.625" ~xlabel:"t (hours)"
+    series

@@ -1,0 +1,11 @@
+(** Fig. 2: evolution of the available- and bound-charge wells under a
+    square-wave load of frequency 0.001 Hz (500 s on / 500 s off,
+    I = 0.96 A, C = 7200 As, c = 0.625, k = 4.5e-5/s), from the
+    analytic KiBaM. *)
+
+open Batlife_output
+
+val compute : unit -> Series.t list
+(** Two series: [y1] (available) and [y2] (bound) over 0..12000 s. *)
+
+val run : ?out_dir:string -> unit -> unit

@@ -1,0 +1,13 @@
+(** Fig. 7: lifetime distribution of the on/off model with the
+    degenerate battery (f = 1 Hz, K = 1, C = 7200 As, c = 1, k = 0):
+    Markovian approximation at [Delta = 100, 50, 25, 5] against the
+    1000-run simulation.  As an extension beyond the paper, the exact
+    curve via the occupation-time algorithm ([25]) is included — for
+    this two-valued reward structure it is available in closed
+    Bernstein-mixture form. *)
+
+open Batlife_output
+
+val compute : ?runs:int -> ?with_exact:bool -> unit -> Series.t list
+
+val run : ?out_dir:string -> ?runs:int -> unit -> unit

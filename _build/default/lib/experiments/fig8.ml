@@ -1,0 +1,36 @@
+open Batlife_core
+open Batlife_sim
+
+let deltas ~full = if full then [ 100.; 50.; 25.; 10.; 5. ] else [ 100.; 50.; 25. ]
+
+let compute ?(runs = 1000) ?(full = false) () =
+  let model =
+    Params.onoff_kibamrm ~frequency:1.0 (Params.battery_two_well ())
+  in
+  let times = Params.onoff_times () in
+  let approx =
+    List.map
+      (fun delta ->
+        let curve = Lifetime.cdf ~delta ~times model in
+        Printf.printf "%s\n"
+          (Report.curve_summary
+             ~name:(Printf.sprintf "Delta=%g" delta)
+             curve);
+        Report.series_of_curve ~name:(Printf.sprintf "Delta=%g" delta) curve)
+      (deltas ~full)
+  in
+  let sim = Montecarlo.lifetime_cdf ~runs model ~times in
+  Printf.printf "%s\n" (Report.estimate_summary ~name:"simulation" sim);
+  approx @ [ Report.series_of_estimate ~name:"simulation" sim ]
+
+let run ?(out_dir = Params.results_dir) ?runs ?full () =
+  Report.heading
+    "Fig. 8: on/off model lifetime CDF (C=7200 As, c=0.625, k=4.5e-5/s)";
+  let series = compute ?runs ?full () in
+  Printf.printf
+    "  (paper: approximation visibly off the nearly deterministic\n\
+    \   simulation (~12100 s) even at Delta=5 -- the phase-type spread\n\
+    \   cannot capture a deterministic value; finer Delta infeasible.)\n";
+  Report.save_figure ~dir:out_dir ~stem:"fig8"
+    ~title:"On/off model, C=7200 As, c=0.625, k=4.5e-5/s"
+    ~xlabel:"t (seconds)" series

@@ -1,0 +1,12 @@
+(** Fig. 8: lifetime distribution of the on/off model with the full
+    two-well battery (f = 1 Hz, K = 1, C = 7200 As, c = 0.625,
+    k = 4.5e-5/s).  Both wells are discretised, so the state space
+    grows quadratically in [1/Delta]: by default the refinement stops
+    at [Delta = 25] (the paper's finest [Delta = 5] has ~1.5 million
+    states); pass [~full:true] to add [Delta = 10, 5]. *)
+
+open Batlife_output
+
+val compute : ?runs:int -> ?full:bool -> unit -> Series.t list
+
+val run : ?out_dir:string -> ?runs:int -> ?full:bool -> unit -> unit

@@ -1,0 +1,29 @@
+open Batlife_core
+
+let compute ?(full = false) () =
+  let times = Params.onoff_times () in
+  let scenario name battery delta =
+    let model = Params.onoff_kibamrm ~frequency:1.0 battery in
+    let curve = Lifetime.cdf ~delta ~times model in
+    Printf.printf "%s\n" (Report.curve_summary ~name curve);
+    Report.series_of_curve ~name curve
+  in
+  let delta_two_well = if full then 5. else 25. in
+  [
+    scenario "C=4500, c=1" (Params.battery_available_only ()) 5.;
+    scenario
+      (Printf.sprintf "C=7200, c=0.625 (Delta=%g)" delta_two_well)
+      (Params.battery_two_well ()) delta_two_well;
+    scenario "C=7200, c=1" (Params.battery_single_well ()) 5.;
+  ]
+
+let run ?(out_dir = Params.results_dir) ?full () =
+  Report.heading "Fig. 9: on/off model with different initial capacities";
+  let series = compute ?full () in
+  Printf.printf
+    "  (paper: the battery with only the available well (C=4500) dies\n\
+    \   first, the full two-well battery second, and the ideal C=7200\n\
+    \   single-well battery lasts longest.)\n";
+  Report.save_figure ~dir:out_dir ~stem:"fig9"
+    ~title:"On/off model, different initial capacities"
+    ~xlabel:"t (seconds)" series

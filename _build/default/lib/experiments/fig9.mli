@@ -1,0 +1,14 @@
+(** Fig. 9: on/off-model lifetime distributions for three
+    initial-capacity scenarios — [(C=4500 As, c=1)],
+    [(C=7200 As, c=0.625)] and [(C=7200 As, c=1)].
+
+    The paper computes all three at [Delta = 5]; the two degenerate
+    scenarios are cheap and use [Delta = 5] here too, while the
+    two-well scenario defaults to [Delta = 25] (see Fig. 8) unless
+    [~full:true]. *)
+
+open Batlife_output
+
+val compute : ?full:bool -> unit -> Series.t list
+
+val run : ?out_dir:string -> ?full:bool -> unit -> unit

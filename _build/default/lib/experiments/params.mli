@@ -1,0 +1,78 @@
+(** Shared experiment parameters, straight from the paper.
+
+    Two unit systems are in play (see {!Batlife_battery.Units}): the
+    on/off experiments use seconds/Ampere/Ampere-seconds, the simple &
+    burst experiments hours/milliAmpere/milliAmpere-hours. *)
+
+open Batlife_battery
+open Batlife_workload
+open Batlife_core
+
+(** {1 The Rao et al. battery (Table 1, Figs. 2, 7, 8, 9)} *)
+
+val capacity_as : float
+(** 7200 As (= 2000 mAh). *)
+
+val on_current_a : float
+(** 0.96 A square-wave / on-state current. *)
+
+val c_fraction : float
+(** c = 0.625. *)
+
+val k_per_second : float
+(** k = 4.5e-5 /s — the paper's calibrated diffusion constant. *)
+
+val experimental_lifetimes_min : (string * float) list
+(** Measured lifetimes from Rao et al. [9] as cited in Table 1:
+    continuous 90, 1 Hz 193, 0.2 Hz 230 (minutes). *)
+
+val battery_two_well : unit -> Kibam.params
+(** C = 7200 As, c = 0.625, k = 4.5e-5/s. *)
+
+val battery_single_well : unit -> Kibam.params
+(** C = 7200 As, c = 1 (degenerate). *)
+
+val battery_available_only : unit -> Kibam.params
+(** C = 4500 As, c = 1 — Fig. 9's third scenario. *)
+
+(** {1 The cell-phone battery (Figs. 10, 11)} *)
+
+val capacity_mah : float
+(** 800 mAh. *)
+
+val k_per_hour : float
+(** 0.162 /h = 4.5e-5/s.  The paper prints "1.96e-2/h" next to
+    4.5e-5/s, which is not the unit conversion; only the correct
+    conversion reproduces the paper's own Fig. 10/11 probabilities
+    (see the note in params.ml and EXPERIMENTS.md). *)
+
+val battery_phone_two_well : unit -> Kibam.params
+(** C = 800 mAh, c = 0.625, k = 1.96e-2 /h. *)
+
+val battery_phone_single_well : unit -> Kibam.params
+(** C = 800 mAh, c = 1. *)
+
+val battery_phone_small : unit -> Kibam.params
+(** C = 500 mAh, c = 1 — Fig. 10's left curves. *)
+
+(** {1 Models} *)
+
+val onoff_model : ?k:int -> frequency:float -> unit -> Model.t
+(** Erlang-K on/off workload at [frequency], on-current 0.96 A. *)
+
+val onoff_kibamrm : ?k:int -> frequency:float -> Kibam.params -> Kibamrm.t
+
+val simple_kibamrm : Kibam.params -> Kibamrm.t
+
+val burst_kibamrm : Kibam.params -> Kibamrm.t
+
+(** {1 Time grids} *)
+
+val onoff_times : unit -> float array
+(** 6000 .. 20000 s, step 250 (Figs. 7, 8, 9). *)
+
+val phone_times : unit -> float array
+(** 0.5 .. 30 h, step 0.5 (Figs. 10, 11). *)
+
+val results_dir : string
+(** Default output directory for .dat/.csv artefacts. *)

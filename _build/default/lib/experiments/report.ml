@@ -1,0 +1,53 @@
+open Batlife_numerics
+open Batlife_core
+open Batlife_sim
+open Batlife_output
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let series_of_curve ~name (c : Lifetime.curve) =
+  Series.create ~name ~xs:c.Lifetime.times ~ys:c.Lifetime.probabilities
+
+let series_of_estimate ~name (e : Montecarlo.estimate) =
+  Series.create ~name ~xs:e.Montecarlo.times ~ys:e.Montecarlo.cdf
+
+let quantile_of ~times ~probs p =
+  let interp = Interp.create ~xs:times ~ys:probs in
+  Interp.inverse interp p
+
+let curve_summary ~name (c : Lifetime.curve) =
+  Printf.sprintf
+    "%-26s states=%8d nnz=%9d iters=%6d  median=%8.1f  q99=%8.1f" name
+    c.Lifetime.states c.Lifetime.nnz c.Lifetime.iterations
+    (Lifetime.quantile c 0.5) (Lifetime.quantile c 0.99)
+
+let estimate_summary ~name (e : Montecarlo.estimate) =
+  let median =
+    quantile_of ~times:e.Montecarlo.times ~probs:e.Montecarlo.cdf 0.5
+  and q99 =
+    quantile_of ~times:e.Montecarlo.times ~probs:e.Montecarlo.cdf 0.99
+  in
+  let mean_txt =
+    if Array.length e.Montecarlo.samples > 0 && e.Montecarlo.censored = 0 then
+      let s = Stats.summarize e.Montecarlo.samples in
+      Printf.sprintf "mean=%8.1f sd=%6.1f" s.Stats.mean s.Stats.std_dev
+    else Printf.sprintf "censored=%d" e.Montecarlo.censored
+  in
+  Printf.sprintf "%-26s runs=%6d %s  median=%8.1f  q99=%8.1f" name
+    e.Montecarlo.runs mean_txt median q99
+
+let save_figure ~dir ~stem ~title ~xlabel series =
+  ensure_dir dir;
+  let path name = Filename.concat dir name in
+  Csv.write_dat ~path:(path (stem ^ ".dat")) series;
+  Csv.write_csv ~path:(path (stem ^ ".csv")) series;
+  Csv.write_gnuplot_script
+    ~path:(path (stem ^ ".gp"))
+    ~data_file:(stem ^ ".dat") ~title ~xlabel ~ylabel:"Pr[battery empty]"
+    series;
+  Printf.printf "  wrote %s.{dat,csv,gp} under %s/\n" stem dir
+
+let heading title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" bar title bar

@@ -1,0 +1,29 @@
+(** Shared reporting helpers for the experiment harness. *)
+
+open Batlife_core
+open Batlife_sim
+open Batlife_output
+
+val ensure_dir : string -> unit
+(** Create the output directory if needed. *)
+
+val series_of_curve : name:string -> Lifetime.curve -> Series.t
+
+val series_of_estimate : name:string -> Montecarlo.estimate -> Series.t
+
+val curve_summary : name:string -> Lifetime.curve -> string
+(** One line: states / nnz / iterations / median / 99 %-quantile. *)
+
+val estimate_summary : name:string -> Montecarlo.estimate -> string
+
+val save_figure :
+  dir:string ->
+  stem:string ->
+  title:string ->
+  xlabel:string ->
+  Series.t list ->
+  unit
+(** Writes [<stem>.dat], [<stem>.csv] and [<stem>.gp] under [dir]. *)
+
+val heading : string -> unit
+(** Prints a section banner. *)

@@ -1,0 +1,47 @@
+type options = {
+  out_dir : string;
+  runs : int;
+  full : bool;
+  stochastic_runs : int;
+}
+
+let default_options =
+  { out_dir = Params.results_dir; runs = 1000; full = false;
+    stochastic_runs = 100 }
+
+let experiments =
+  [
+    ( "table1",
+      fun o -> Table1.run ~out_dir:o.out_dir ~stochastic_runs:o.stochastic_runs
+          () );
+    ("fig2", fun o -> Fig2.run ~out_dir:o.out_dir ());
+    ("fig7", fun o -> Fig7.run ~out_dir:o.out_dir ~runs:o.runs ());
+    ("fig8", fun o -> Fig8.run ~out_dir:o.out_dir ~runs:o.runs ~full:o.full ());
+    ("fig9", fun o -> Fig9.run ~out_dir:o.out_dir ~full:o.full ());
+    ("fig10", fun o -> Fig10.run ~out_dir:o.out_dir ~runs:o.runs ());
+    ("fig11", fun o -> Fig11.run ~out_dir:o.out_dir ~runs:o.runs ());
+    ( "ext_erlang_k",
+      fun o -> Extensions.erlang_k ~out_dir:o.out_dir ~runs:o.runs () );
+    ("ext_empty_recovery", fun o -> Extensions.empty_recovery ~out_dir:o.out_dir ());
+    ( "ext_frequency_sweep",
+      fun o -> Extensions.frequency_sweep ~out_dir:o.out_dir () );
+    ("ext_richardson", fun o -> Extensions.richardson ~out_dir:o.out_dir ());
+    ( "ext_charge_profile",
+      fun o -> Extensions.charge_profile ~out_dir:o.out_dir () );
+    ("ext_sensitivity", fun o -> Extensions.sensitivity ~out_dir:o.out_dir ());
+  ]
+
+let experiment_ids = List.map fst experiments
+
+let run_one ?(options = default_options) id =
+  match List.assoc_opt id experiments with
+  | Some f ->
+      f options;
+      Ok ()
+  | None ->
+      Error
+        (Printf.sprintf "unknown experiment %S; valid ids: %s" id
+           (String.concat ", " experiment_ids))
+
+let run_all ?(options = default_options) () =
+  List.iter (fun (_, f) -> f options) experiments

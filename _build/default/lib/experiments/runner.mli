@@ -1,0 +1,22 @@
+(** Run the full reproduction suite — every table and figure of the
+    paper's evaluation section. *)
+
+type options = {
+  out_dir : string;  (** where .dat/.csv/.gp artefacts go *)
+  runs : int;  (** Monte-Carlo replications (paper: 1000) *)
+  full : bool;  (** include the expensive [Delta = 10, 5] two-well
+                    refinements of Figs. 8/9 *)
+  stochastic_runs : int;  (** replications for Table 1's stochastic
+                              column *)
+}
+
+val default_options : options
+
+val run_all : ?options:options -> unit -> unit
+
+val run_one : ?options:options -> string -> (unit, string) result
+(** Run a single experiment by id: ["table1"], ["fig2"], ["fig7"],
+    ["fig8"], ["fig9"], ["fig10"], ["fig11"].  [Error] names the valid
+    ids on an unknown id. *)
+
+val experiment_ids : string list

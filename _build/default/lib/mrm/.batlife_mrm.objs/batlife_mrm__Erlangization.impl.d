@@ -1,0 +1,1 @@
+lib/mrm/erlangization.ml: Array Batlife_ctmc Batlife_numerics Float Generator Mrm Sparse Transient Vector

@@ -1,0 +1,1 @@
+lib/mrm/erlangization.mli: Mrm

@@ -1,0 +1,1 @@
+lib/mrm/moments.ml: Batlife_ctmc Batlife_numerics Float Generator Mrm Poisson Sparse Steady Vector

@@ -1,0 +1,1 @@
+lib/mrm/moments.mli: Mrm

@@ -1,0 +1,1 @@
+lib/mrm/mrm.ml: Array Batlife_ctmc Float Generator List

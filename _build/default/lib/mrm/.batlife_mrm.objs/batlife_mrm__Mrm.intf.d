@@ -1,0 +1,1 @@
+lib/mrm/mrm.mli: Batlife_ctmc Generator

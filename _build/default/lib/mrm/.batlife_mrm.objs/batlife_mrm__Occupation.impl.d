@@ -1,0 +1,1 @@
+lib/mrm/occupation.ml: Array Batlife_ctmc Batlife_numerics Float Generator List Mrm Poisson Sparse Special

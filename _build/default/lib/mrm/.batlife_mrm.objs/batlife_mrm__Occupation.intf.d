@@ -1,0 +1,1 @@
+lib/mrm/occupation.mli: Batlife_ctmc Generator Mrm

@@ -1,0 +1,35 @@
+open Batlife_numerics
+open Batlife_ctmc
+
+let expected_occupations ?(accuracy = 1e-12) (m : Mrm.t) ~t =
+  if t < 0. then invalid_arg "Moments.expected_occupations: negative time";
+  let g = m.Mrm.generator in
+  let n = Mrm.n_states m in
+  let q = Generator.uniformisation_rate g in
+  let weights = Poisson.weights ~accuracy (q *. t) in
+  let qm = Generator.matrix g in
+  let occupations = Vector.create n in
+  let v = Vector.copy m.Mrm.alpha and v' = Vector.create n in
+  let current = ref v and scratch = ref v' in
+  (* survival(n) = P(N(t) > n); accumulate from the truncated window.
+     For n < left the survival is (numerically) 1. *)
+  let survival = ref 1. in
+  for step = 0 to weights.Poisson.right do
+    if step > 0 then begin
+      Vector.blit ~src:!current ~dst:!scratch;
+      Sparse.vecmat_acc ~src:!current qm ~scale:(1. /. q) ~dst:!scratch;
+      let tmp = !current in
+      current := !scratch;
+      scratch := tmp
+    end;
+    survival := !survival -. Poisson.prob weights step;
+    let s = Float.max !survival 0. in
+    if s > 0. then Vector.axpy ~alpha:(s /. q) ~x:!current ~y:occupations
+  done;
+  occupations
+
+let expected_reward ?accuracy m ~t =
+  Vector.dot (expected_occupations ?accuracy m ~t) m.Mrm.rewards
+
+let steady_rate (m : Mrm.t) =
+  Steady.expected_reward m.Mrm.generator ~rewards:m.Mrm.rewards

@@ -1,0 +1,17 @@
+(** Exact moments of the accumulated reward.
+
+    The expectation uses the classical uniformisation identity for
+    expected occupation times,
+    [integral_0^t pi(s) ds = (1/q) sum_n (alpha P^n) P(N(t) > n)],
+    so [E Y(t) = sum_i r_i] times the expected occupation of state
+    [i]. *)
+
+val expected_reward : ?accuracy:float -> Mrm.t -> t:float -> float
+(** [E Y(t)]. *)
+
+val expected_occupations : ?accuracy:float -> Mrm.t -> t:float -> float array
+(** Expected total time spent in each state during [[0, t]]; sums to
+    [t]. *)
+
+val steady_rate : Mrm.t -> float
+(** Long-run reward rate [sum_i pi_i r_i] (irreducible chains). *)

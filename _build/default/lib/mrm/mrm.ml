@@ -1,0 +1,46 @@
+open Batlife_ctmc
+
+type t = {
+  generator : Generator.t;
+  rewards : float array;
+  alpha : float array;
+}
+
+let create ~generator ~rewards ~alpha =
+  let n = Generator.n_states generator in
+  if Array.length rewards <> n then
+    invalid_arg "Mrm.create: rewards length mismatch";
+  if Array.length alpha <> n then
+    invalid_arg "Mrm.create: alpha length mismatch";
+  Array.iter
+    (fun r -> if r < 0. then invalid_arg "Mrm.create: negative reward")
+    rewards;
+  Array.iter
+    (fun p -> if p < 0. then invalid_arg "Mrm.create: negative probability")
+    alpha;
+  let mass = Array.fold_left ( +. ) 0. alpha in
+  if Float.abs (mass -. 1.) > 1e-9 then
+    invalid_arg "Mrm.create: alpha does not sum to 1";
+  { generator; rewards = Array.copy rewards; alpha = Array.copy alpha }
+
+let n_states m = Generator.n_states m.generator
+
+let distinct_rewards m =
+  let sorted = Array.copy m.rewards in
+  Array.sort Float.compare sorted;
+  let distinct = ref [] in
+  Array.iter
+    (fun r ->
+      match !distinct with
+      | r' :: _ when r' = r -> ()
+      | _ -> distinct := r :: !distinct)
+    sorted;
+  Array.of_list (List.rev !distinct)
+
+let reward_bounds m =
+  let d = distinct_rewards m in
+  (d.(0), d.(Array.length d - 1))
+
+let scale_rewards factor m =
+  if factor <= 0. then invalid_arg "Mrm.scale_rewards: non-positive factor";
+  { m with rewards = Array.map (fun r -> factor *. r) m.rewards }

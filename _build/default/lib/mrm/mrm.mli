@@ -1,0 +1,33 @@
+(** Homogeneous Markov reward models (Section 4.1 of the paper).
+
+    A finite CTMC, a rate-reward vector and an initial distribution.
+    The accumulated reward is [Y(t) = integral of r_{X(s)} ds]; its
+    distribution (the performability distribution of Meyer) is computed
+    exactly for two-valued reward structures ({!Occupation}) and by
+    Erlangization for general non-negative rewards
+    ({!Erlangization}). *)
+
+open Batlife_ctmc
+
+type t = private {
+  generator : Generator.t;
+  rewards : float array;  (** rate reward per state, non-negative *)
+  alpha : float array;  (** initial distribution *)
+}
+
+val create :
+  generator:Generator.t -> rewards:float array -> alpha:float array -> t
+(** Validates lengths, non-negativity of rewards, and that [alpha] is
+    a distribution. *)
+
+val n_states : t -> int
+
+val distinct_rewards : t -> float array
+(** Sorted distinct reward values. *)
+
+val reward_bounds : t -> float * float
+(** [(r_min, r_max)]: at time [t] the accumulated reward lies in
+    [[r_min t, r_max t]]. *)
+
+val scale_rewards : float -> t -> t
+(** Multiply every reward rate (hence [Y(t)]) by a positive factor. *)

@@ -1,0 +1,180 @@
+open Batlife_numerics
+open Batlife_ctmc
+
+(* Pruned joint distribution of (uniformised state, number of B-visits)
+   after n jumps.  [slices.(s - lo).(i)] is
+   Pr(Z_n = i, S_n = s); mass outside [lo, hi] is accounted for in
+   [mass_below] / [mass_above] (at most the pruning tolerance each). *)
+type visits = {
+  lo : int;
+  slices : float array array;
+  prefix : float array;  (** prefix.(s - lo) = Pr(S_n <= s) - mass_below *)
+  mass_below : float;
+  mass_above : float;
+}
+
+let prune_tol = 1e-15
+
+let make_visits ~lo ~slices ~mass_below ~mass_above =
+  (* Drop negligible boundary slices, keeping the books balanced. *)
+  let mass slice = Array.fold_left ( +. ) 0. slice in
+  let n = Array.length slices in
+  let first = ref 0 and last = ref (n - 1) in
+  let below = ref mass_below and above = ref mass_above in
+  while !first < !last && mass slices.(!first) < prune_tol do
+    below := !below +. mass slices.(!first);
+    incr first
+  done;
+  while !last > !first && mass slices.(!last) < prune_tol do
+    above := !above +. mass slices.(!last);
+    decr last
+  done;
+  let slices = Array.sub slices !first (!last - !first + 1) in
+  let prefix = Array.make (Array.length slices) 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun idx slice ->
+      acc := !acc +. mass slice;
+      prefix.(idx) <- !acc)
+    slices;
+  {
+    lo = lo + !first;
+    slices;
+    prefix;
+    mass_below = !below;
+    mass_above = !above;
+  }
+
+(* Pr(S_n <= k), exact within the pruning tolerance. *)
+let visits_cdf v k =
+  if k < v.lo then v.mass_below
+  else
+    let hi = v.lo + Array.length v.slices - 1 in
+    if k >= hi then 1. -. v.mass_above
+    else v.mass_below +. v.prefix.(k - v.lo)
+
+let initial_visits alpha subset =
+  let n = Array.length alpha in
+  let s0 = Array.make n 0. and s1 = Array.make n 0. in
+  Array.iteri
+    (fun i p -> if subset.(i) then s1.(i) <- p else s0.(i) <- p)
+    alpha;
+  make_visits ~lo:0 ~slices:[| s0; s1 |] ~mass_below:0. ~mass_above:0.
+
+let step_visits p subset v =
+  let count = Array.length v.slices in
+  let n = Array.length v.slices.(0) in
+  (* s can grow by one: allocate count+1 result slices. *)
+  let result = Array.init (count + 1) (fun _ -> Array.make n 0.) in
+  Array.iteri
+    (fun idx slice ->
+      let moved = Sparse.vecmat slice p in
+      for i = 0 to n - 1 do
+        if moved.(i) <> 0. then
+          if subset.(i) then
+            result.(idx + 1).(i) <- result.(idx + 1).(i) +. moved.(i)
+          else result.(idx).(i) <- result.(idx).(i) +. moved.(i)
+      done)
+    v.slices;
+  make_visits ~lo:v.lo ~slices:result ~mass_below:v.mass_below
+    ~mass_above:v.mass_above
+
+(* E[cdf_S(K)] for K ~ Binomial(n, x), evaluated over the bulk of K
+   with the tails attached to the boundary cdf values. *)
+let binomial_expectation v ~n ~x =
+  if x <= 0. then visits_cdf v 0
+  else if x >= 1. then visits_cdf v n
+  else begin
+    let nf = float_of_int n in
+    let mean = nf *. x in
+    let sd = sqrt (nf *. x *. (1. -. x)) in
+    let k_lo = max 0 (int_of_float (Float.floor (mean -. (10. *. sd))) - 3) in
+    let k_hi = min n (int_of_float (Float.ceil (mean +. (10. *. sd))) + 3) in
+    (* log pmf at k_lo, then the usual ratio recurrence. *)
+    let log_pmf_lo =
+      Special.log_binomial n k_lo
+      +. (float_of_int k_lo *. log x)
+      +. (float_of_int (n - k_lo) *. log (1. -. x))
+    in
+    let ratio = x /. (1. -. x) in
+    let acc = ref 0. and total = ref 0. in
+    let pmf = ref (exp log_pmf_lo) in
+    for k = k_lo to k_hi do
+      acc := !acc +. (!pmf *. visits_cdf v k);
+      total := !total +. !pmf;
+      if k < k_hi then
+        pmf := !pmf *. ratio *. (float_of_int (n - k) /. float_of_int (k + 1))
+    done;
+    (* Attach the (tiny) truncated binomial tails to the boundary
+       values of the visit cdf. *)
+    let leftover = Float.max 0. (1. -. !total) in
+    !acc
+    +. (leftover /. 2. *. (visits_cdf v k_lo +. visits_cdf v k_hi))
+  end
+
+type query = {
+  index : int;
+  x : float;
+  window : Poisson.t;
+}
+
+let cdf ?(accuracy = 1e-12) g ~alpha ~subset ~queries =
+  let n = Generator.n_states g in
+  if Array.length alpha <> n then invalid_arg "Occupation.cdf: alpha length";
+  if Array.length subset <> n then invalid_arg "Occupation.cdf: subset length";
+  let q = Generator.uniformisation_rate g in
+  let p = Generator.uniformised g ~q in
+  let results = Array.make (Array.length queries) 0. in
+  let active = ref [] in
+  Array.iteri
+    (fun index (t, y) ->
+      if t < 0. then invalid_arg "Occupation.cdf: negative time";
+      if y < 0. then results.(index) <- 0.
+      else if y >= t then results.(index) <- 1.
+      else
+        active :=
+          { index; x = y /. t; window = Poisson.weights ~accuracy (q *. t) }
+          :: !active)
+    queries;
+  let active = !active in
+  let n_max =
+    List.fold_left (fun acc qr -> max acc qr.window.Poisson.right) 0 active
+  in
+  let visits = ref (initial_visits alpha subset) in
+  for m = 0 to n_max do
+    if m > 0 then visits := step_visits p subset !visits;
+    List.iter
+      (fun qr ->
+        let w = Poisson.prob qr.window m in
+        if w > 0. then
+          results.(qr.index) <-
+            results.(qr.index)
+            +. (w *. binomial_expectation !visits ~n:m ~x:qr.x))
+      active
+  done;
+  Array.map (fun r -> Float.min 1. (Float.max 0. r)) results
+
+let cdf_single ?accuracy g ~alpha ~subset ~t ~y =
+  (cdf ?accuracy g ~alpha ~subset ~queries:[| (t, y) |]).(0)
+
+let two_valued_cdf ?accuracy (m : Mrm.t) ~queries =
+  let distinct = Mrm.distinct_rewards m in
+  let r =
+    match distinct with
+    | [| 0.; r |] -> r
+    | [| r |] when r > 0. -> r
+    | [| 0. |] -> 0.
+    | _ ->
+        invalid_arg
+          "Occupation.two_valued_cdf: rewards must take values {0, r}"
+  in
+  if r = 0. then
+    (* Y(t) = 0 almost surely. *)
+    Array.map (fun (_, y) -> if y >= 0. then 1. else 0.) queries
+  else begin
+    let subset =
+      Array.map (fun reward -> reward > 0.) m.Mrm.rewards
+    in
+    let scaled = Array.map (fun (t, y) -> (t, y /. r)) queries in
+    cdf ?accuracy m.Mrm.generator ~alpha:m.Mrm.alpha ~subset ~queries:scaled
+  end

@@ -1,0 +1,62 @@
+(** Exact distribution of the occupation time of a subset of states
+    (interval availability), after Takacs and Sericola — the
+    uniformisation-based technique the paper cites as [25].
+
+    Let [W(t)] be the total time spent in the subset [B] during
+    [[0, t]].  Conditioned on [n] jumps of the uniformised chain, the
+    jump epochs are order statistics of [n] uniforms, so the fractions
+    of time per visit are Dirichlet spacings, and given that the
+    uniformised path makes [s] visits to [B] (counting [Z_0..Z_n]),
+    [W(t)/t ~ Beta(s, n+1-s)].  The Beta–binomial duality
+    [P(Beta(s, n+1-s) <= x) = P(Bin(n, x) >= s)] turns the mixture
+    into
+
+    {v
+      P(W(t) <= x t)
+        = sum_n pois(qt; n)
+                sum_{k=0}^n C(n,k) x^k (1-x)^(n-k) P(S_n <= k)
+    v}
+
+    where [S_n] is the number of [B]-visits of the uniformised jump
+    chain — computable by a plain DTMC recursion.  Everything is exact
+    up to the Poisson truncation and a mass-pruning tolerance of 1e-14
+    in the [S_n] distribution.
+
+    For a reward structure taking only two values [{0, r}] the
+    accumulated reward is [r W(t)], so this module also yields exact
+    performability distributions for on/off-style models (the check
+    used against the paper's Fig. 7 setting). *)
+
+open Batlife_ctmc
+
+val cdf :
+  ?accuracy:float ->
+  Generator.t ->
+  alpha:float array ->
+  subset:bool array ->
+  queries:(float * float) array ->
+  float array
+(** [cdf g ~alpha ~subset ~queries] returns [P(W(t) <= y)] for each
+    query pair [(t, y)].  Queries with [y >= t] give 1, with [y < 0]
+    give 0.  All queries are served by a single sweep over the jump
+    count. *)
+
+val cdf_single :
+  ?accuracy:float ->
+  Generator.t ->
+  alpha:float array ->
+  subset:bool array ->
+  t:float ->
+  y:float ->
+  float
+
+val two_valued_cdf :
+  ?accuracy:float ->
+  Mrm.t ->
+  queries:(float * float) array ->
+  float array
+(** For an MRM whose rewards take exactly two distinct values
+    [{0, r}]: [P(Y(t) <= y)] for each [(t, y)] query.  Raises
+    [Invalid_argument] if the reward structure is not of this form
+    (after collapsing equal values; a single nonzero value with no
+    zero-reward state is accepted as the degenerate case [Y = r t]). *)

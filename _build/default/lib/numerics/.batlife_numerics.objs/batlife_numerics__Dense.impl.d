@@ -1,0 +1,1 @@
+lib/numerics/dense.ml: Array Float Format

@@ -1,0 +1,1 @@
+lib/numerics/interp.ml: Array

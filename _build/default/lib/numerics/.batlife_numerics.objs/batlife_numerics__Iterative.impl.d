@@ -1,0 +1,1 @@
+lib/numerics/iterative.ml: Array Float Printf Sparse Vector

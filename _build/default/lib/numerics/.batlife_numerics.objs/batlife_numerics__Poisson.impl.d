@@ -1,0 +1,1 @@
+lib/numerics/poisson.ml: Array Float List Special

@@ -1,0 +1,1 @@
+lib/numerics/quadrature.ml: Array Float

@@ -1,0 +1,1 @@
+lib/numerics/roots.ml: Float Option Printf

@@ -1,0 +1,1 @@
+lib/numerics/sparse.ml: Array Dense Float Printf

@@ -1,0 +1,223 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Dense.create: empty dimensions";
+  { rows; cols; data = Array.make (rows * cols) 0. }
+
+let init ~rows ~cols f =
+  let m = create ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let identity n = init ~rows:n ~cols:n (fun i j -> if i = j then 1. else 0.)
+
+let of_arrays rows_arr =
+  let rows = Array.length rows_arr in
+  if rows = 0 then invalid_arg "Dense.of_arrays: no rows";
+  let cols = Array.length rows_arr.(0) in
+  Array.iter
+    (fun r ->
+      if Array.length r <> cols then
+        invalid_arg "Dense.of_arrays: ragged rows")
+    rows_arr;
+  init ~rows ~cols (fun i j -> rows_arr.(i).(j))
+
+let to_arrays m =
+  Array.init m.rows (fun i -> Array.sub m.data (i * m.cols) m.cols)
+
+let rows m = m.rows
+
+let cols m = m.cols
+
+let get m i j = m.data.((i * m.cols) + j)
+
+let set m i j x = m.data.((i * m.cols) + j) <- x
+
+let copy m = { m with data = Array.copy m.data }
+
+let check_same_shape name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg (name ^ ": shape mismatch")
+
+let add a b =
+  check_same_shape "Dense.add" a b;
+  { a with data = Array.mapi (fun i x -> x +. b.data.(i)) a.data }
+
+let sub a b =
+  check_same_shape "Dense.sub" a b;
+  { a with data = Array.mapi (fun i x -> x -. b.data.(i)) a.data }
+
+let scale s a = { a with data = Array.map (fun x -> s *. x) a.data }
+
+let matmul a b =
+  if a.cols <> b.rows then invalid_arg "Dense.matmul: inner dimensions";
+  let c = create ~rows:a.rows ~cols:b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          c.data.((i * c.cols) + j) <-
+            c.data.((i * c.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+        done
+    done
+  done;
+  c
+
+let matvec a x =
+  if a.cols <> Array.length x then invalid_arg "Dense.matvec: dimensions";
+  Array.init a.rows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to a.cols - 1 do
+        acc := !acc +. (a.data.((i * a.cols) + j) *. x.(j))
+      done;
+      !acc)
+
+let vecmat x a =
+  if a.rows <> Array.length x then invalid_arg "Dense.vecmat: dimensions";
+  let y = Array.make a.cols 0. in
+  for i = 0 to a.rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0. then
+      for j = 0 to a.cols - 1 do
+        y.(j) <- y.(j) +. (xi *. a.data.((i * a.cols) + j))
+      done
+  done;
+  y
+
+let transpose a = init ~rows:a.cols ~cols:a.rows (fun i j -> get a j i)
+
+(* LU with partial pivoting (Doolittle).  Returns packed LU and the
+   pivot permutation. *)
+let lu_decompose a =
+  if a.rows <> a.cols then invalid_arg "Dense.lu: square matrix required";
+  let n = a.rows in
+  let lu = copy a in
+  let perm = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    (* Pivot search. *)
+    let pivot = ref k and best = ref (Float.abs (get lu k k)) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs (get lu i k) in
+      if v > !best then begin
+        best := v;
+        pivot := i
+      end
+    done;
+    if !best < 1e-300 then failwith "Dense.lu: singular matrix";
+    if !pivot <> k then begin
+      for j = 0 to n - 1 do
+        let t = get lu k j in
+        set lu k j (get lu !pivot j);
+        set lu !pivot j t
+      done;
+      let t = perm.(k) in
+      perm.(k) <- perm.(!pivot);
+      perm.(!pivot) <- t
+    end;
+    let pivot_val = get lu k k in
+    for i = k + 1 to n - 1 do
+      let factor = get lu i k /. pivot_val in
+      set lu i k factor;
+      for j = k + 1 to n - 1 do
+        set lu i j (get lu i j -. (factor *. get lu k j))
+      done
+    done
+  done;
+  (lu, perm)
+
+let lu_back_substitute lu perm b =
+  let n = Array.length b in
+  let y = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let acc = ref b.(perm.(i)) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (get lu i j *. y.(j))
+    done;
+    y.(i) <- !acc
+  done;
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc /. get lu i i
+  done;
+  x
+
+let lu_solve a b =
+  if a.rows <> Array.length b then invalid_arg "Dense.lu_solve: dimensions";
+  let lu, perm = lu_decompose a in
+  lu_back_substitute lu perm b
+
+let solve_many a b =
+  if a.rows <> b.rows then invalid_arg "Dense.solve_many: dimensions";
+  let lu, perm = lu_decompose a in
+  let x = create ~rows:a.rows ~cols:b.cols in
+  for j = 0 to b.cols - 1 do
+    let col = Array.init b.rows (fun i -> get b i j) in
+    let sol = lu_back_substitute lu perm col in
+    Array.iteri (fun i v -> set x i j v) sol
+  done;
+  x
+
+let inverse a = solve_many a (identity a.rows)
+
+let norm_inf a =
+  let best = ref 0. in
+  for i = 0 to a.rows - 1 do
+    let acc = ref 0. in
+    for j = 0 to a.cols - 1 do
+      acc := !acc +. Float.abs (get a i j)
+    done;
+    best := Float.max !best !acc
+  done;
+  !best
+
+(* Scaling and squaring: scale so the norm is below 1/2, run a Taylor
+   series to machine precision (bounded term count), square back. *)
+let expm a =
+  if a.rows <> a.cols then invalid_arg "Dense.expm: square matrix required";
+  let norm = norm_inf a in
+  let s =
+    if norm <= 0.5 then 0
+    else int_of_float (Float.ceil (Float.log2 (norm /. 0.5)))
+  in
+  let scaled = scale (1. /. Float.pow 2. (float_of_int s)) a in
+  let n = a.rows in
+  let result = ref (identity n) in
+  let term = ref (identity n) in
+  let k = ref 1 in
+  let continue = ref true in
+  while !continue && !k <= 40 do
+    term := scale (1. /. float_of_int !k) (matmul !term scaled);
+    result := add !result !term;
+    if norm_inf !term < 1e-18 then continue := false;
+    incr k
+  done;
+  let squared = ref !result in
+  for _ = 1 to s do
+    squared := matmul !squared !squared
+  done;
+  !squared
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2
+       (fun x y -> Float.abs (x -. y) <= tol)
+       (Array.copy a.data) (Array.copy b.data)
+
+let pp ppf a =
+  for i = 0 to a.rows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to a.cols - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%10.6g" (get a i j)
+    done;
+    Format.fprintf ppf "]@."
+  done

@@ -1,0 +1,64 @@
+(** Dense matrices (row-major).
+
+    Small-matrix workhorse: steady-state computation via GTH needs
+    dense elimination, phase-type moments need linear solves, and the
+    uniformisation engine is validated against a dense matrix
+    exponential. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero matrix. *)
+
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+
+val identity : int -> t
+
+val of_arrays : float array array -> t
+(** Copies the rows; all rows must have the same positive length. *)
+
+val to_arrays : t -> float array array
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val matmul : t -> t -> t
+
+val matvec : t -> float array -> float array
+(** [matvec a x] is [A x]. *)
+
+val vecmat : float array -> t -> float array
+(** [vecmat x a] is [x^T A] (row vector times matrix). *)
+
+val transpose : t -> t
+
+val lu_solve : t -> float array -> float array
+(** Solve [A x = b] by LU decomposition with partial pivoting.  Raises
+    [Failure] on (numerically) singular systems. *)
+
+val solve_many : t -> t -> t
+(** [solve_many a b] solves [A X = B] column by column. *)
+
+val inverse : t -> t
+
+val expm : t -> t
+(** Matrix exponential by scaling-and-squaring with a Taylor kernel;
+    intended as a test oracle for moderate-norm matrices, not as a
+    high-performance routine. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+type t = { xs : float array; ys : float array }
+
+let create ~xs ~ys =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Interp.create: empty abscissae";
+  if n <> Array.length ys then invalid_arg "Interp.create: length mismatch";
+  for i = 1 to n - 1 do
+    if xs.(i) <= xs.(i - 1) then
+      invalid_arg "Interp.create: abscissae not strictly increasing"
+  done;
+  { xs = Array.copy xs; ys = Array.copy ys }
+
+(* Largest index i with xs.(i) <= x, given xs.(0) <= x. *)
+let locate xs x =
+  let lo = ref 0 and hi = ref (Array.length xs - 1) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if xs.(mid) <= x then lo := mid else hi := mid
+  done;
+  !lo
+
+let eval t x =
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then t.ys.(0)
+  else if x >= t.xs.(n - 1) then t.ys.(n - 1)
+  else
+    let i = locate t.xs x in
+    let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
+    let y0 = t.ys.(i) and y1 = t.ys.(i + 1) in
+    y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
+
+let inverse t y =
+  let n = Array.length t.ys in
+  for i = 1 to n - 1 do
+    if t.ys.(i) < t.ys.(i - 1) then
+      invalid_arg "Interp.inverse: ordinates not non-decreasing"
+  done;
+  if y <= t.ys.(0) then t.xs.(0)
+  else if y >= t.ys.(n - 1) then t.xs.(n - 1)
+  else begin
+    (* First index with ys.(i) >= y. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.ys.(mid) < y then lo := mid else hi := mid
+    done;
+    let i = !lo in
+    let y0 = t.ys.(i) and y1 = t.ys.(i + 1) in
+    if y1 = y0 then t.xs.(i + 1)
+    else
+      let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
+      x0 +. ((x1 -. x0) *. (y -. y0) /. (y1 -. y0))
+  end
+
+let xs t = Array.copy t.xs
+
+let ys t = Array.copy t.ys

@@ -1,0 +1,27 @@
+(** Piecewise-linear interpolation over sampled functions.
+
+    Used to read values and quantiles off computed lifetime
+    distributions (e.g. "at which time is the battery empty with
+    probability 0.99?"). *)
+
+type t
+(** An interpolant over strictly increasing abscissae. *)
+
+val create : xs:float array -> ys:float array -> t
+(** Build an interpolant.  [xs] must be strictly increasing and of the
+    same positive length as [ys]; raises [Invalid_argument]
+    otherwise. *)
+
+val eval : t -> float -> float
+(** Piecewise-linear evaluation; clamps to the boundary values outside
+    the sampled range. *)
+
+val inverse : t -> float -> float
+(** [inverse t y] finds the smallest [x] with [eval t x >= y], assuming
+    the sampled [ys] are non-decreasing (a CDF).  Clamps to the range
+    boundaries; raises [Invalid_argument] if [ys] is decreasing
+    somewhere. *)
+
+val xs : t -> float array
+
+val ys : t -> float array

@@ -1,0 +1,97 @@
+type result = { solution : float array; iterations : int; residual : float }
+
+exception Did_not_converge of result
+
+let check_square (a : Sparse.t) b =
+  if a.Sparse.rows <> a.Sparse.cols then
+    invalid_arg "Iterative: matrix not square";
+  if Array.length b <> a.Sparse.rows then
+    invalid_arg "Iterative: right-hand side length"
+
+let diagonal (a : Sparse.t) =
+  let d = Array.make a.Sparse.rows 0. in
+  Sparse.iter a (fun i j v -> if i = j then d.(i) <- d.(i) +. v);
+  d
+
+let residual_norm (a : Sparse.t) x b =
+  let r = Sparse.matvec a x in
+  let worst = ref 0. in
+  Array.iteri
+    (fun i ri -> worst := Float.max !worst (Float.abs (ri -. b.(i))))
+    r;
+  !worst
+
+let scale_of b = Float.max 1. (Vector.norm_inf b)
+
+let jacobi ?(tol = 1e-10) ?(max_iter = 100_000) ?x0 a ~b =
+  check_square a b;
+  let n = a.Sparse.rows in
+  let d = diagonal a in
+  Array.iteri
+    (fun i di -> if di = 0. then
+        invalid_arg (Printf.sprintf "Iterative.jacobi: zero diagonal at %d" i))
+    d;
+  let x = match x0 with Some x -> Array.copy x | None -> Array.make n 0. in
+  let x' = Array.make n 0. in
+  let threshold = tol *. scale_of b in
+  let rec loop x x' iter =
+    (* x'_i = (b_i - sum_{j<>i} a_ij x_j) / a_ii *)
+    Array.blit b 0 x' 0 n;
+    Sparse.iter a (fun i j v -> if i <> j then x'.(i) <- x'.(i) -. (v *. x.(j)));
+    for i = 0 to n - 1 do
+      x'.(i) <- x'.(i) /. d.(i)
+    done;
+    let res = residual_norm a x' b in
+    if res <= threshold then { solution = Array.copy x'; iterations = iter;
+                               residual = res }
+    else if iter >= max_iter then
+      raise
+        (Did_not_converge
+           { solution = Array.copy x'; iterations = iter; residual = res })
+    else loop x' x (iter + 1)
+  in
+  loop x x' 1
+
+let gauss_seidel ?(tol = 1e-10) ?(max_iter = 100_000) ?x0
+    ?(skip = fun _ -> false) (a : Sparse.t) ~b =
+  check_square a b;
+  let n = a.Sparse.rows in
+  let x = match x0 with Some x -> Array.copy x | None -> Array.make n 0. in
+  let row_ptr = a.Sparse.row_ptr
+  and col_idx = a.Sparse.col_idx
+  and values = a.Sparse.values in
+  let threshold = tol *. scale_of b in
+  let sweep () =
+    for i = 0 to n - 1 do
+      if not (skip i) then begin
+        let acc = ref b.(i) and diag = ref 0. in
+        for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+          let j = col_idx.(k) in
+          if j = i then diag := !diag +. values.(k)
+          else acc := !acc -. (values.(k) *. x.(j))
+        done;
+        if !diag = 0. then
+          invalid_arg
+            (Printf.sprintf "Iterative.gauss_seidel: zero diagonal at %d" i);
+        x.(i) <- !acc /. !diag
+      end
+    done
+  in
+  let rec loop iter =
+    sweep ();
+    (* Residual restricted to the non-skipped rows. *)
+    let r = Sparse.matvec a x in
+    let res = ref 0. in
+    Array.iteri
+      (fun i ri ->
+        if not (skip i) then res := Float.max !res (Float.abs (ri -. b.(i))))
+      r;
+    if !res <= threshold then
+      { solution = Array.copy x; iterations = iter; residual = !res }
+    else if iter >= max_iter then
+      raise
+        (Did_not_converge
+           { solution = Array.copy x; iterations = iter; residual = !res })
+    else loop (iter + 1)
+  in
+  loop 1

@@ -1,0 +1,42 @@
+(** Iterative solvers for sparse linear systems.
+
+    The expanded battery generators have up to millions of unknowns, so
+    direct factorisation is off the table; their transient parts are
+    (irreducibly diagonally dominant) M-matrices, for which Jacobi and
+    Gauss–Seidel sweeps converge.  Used for exact first-passage
+    expectations (mean battery lifetime without a time grid). *)
+
+type result = {
+  solution : float array;
+  iterations : int;
+  residual : float;  (** final max-norm residual *)
+}
+
+exception Did_not_converge of result
+(** Raised when the iteration budget is exhausted; carries the best
+    iterate for diagnosis. *)
+
+val jacobi :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?x0:float array ->
+  Sparse.t ->
+  b:float array ->
+  result
+(** Solve [A x = b] by Jacobi iteration.  [A] must be square with a
+    nonzero diagonal; [tol] (default 1e-10) bounds the max-norm
+    residual relative to [max 1 ||b||]; [max_iter] defaults to
+    100_000. *)
+
+val gauss_seidel :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?x0:float array ->
+  ?skip:(int -> bool) ->
+  Sparse.t ->
+  b:float array ->
+  result
+(** Gauss–Seidel (forward sweeps); usually converges in far fewer
+    sweeps than Jacobi on the battery systems.  Rows [i] with
+    [skip i = true] are held fixed at their initial value (used to pin
+    absorbing states to 0). *)

@@ -1,0 +1,201 @@
+type system = float -> float array -> float array
+
+let euler_step f ~t ~dt ~y =
+  let dy = f t y in
+  Array.mapi (fun i yi -> yi +. (dt *. dy.(i))) y
+
+let rk4_step f ~t ~dt ~y =
+  let n = Array.length y in
+  let k1 = f t y in
+  let k2 =
+    f (t +. (dt /. 2.))
+      (Array.init n (fun i -> y.(i) +. (dt /. 2. *. k1.(i))))
+  in
+  let k3 =
+    f (t +. (dt /. 2.))
+      (Array.init n (fun i -> y.(i) +. (dt /. 2. *. k2.(i))))
+  in
+  let k4 = f (t +. dt) (Array.init n (fun i -> y.(i) +. (dt *. k3.(i)))) in
+  Array.init n (fun i ->
+      y.(i)
+      +. (dt /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i))))
+
+let default_step t0 t1 = (t1 -. t0) /. 1000.
+
+let integrate ?step f ~t0 ~t1 ~y0 =
+  if t1 < t0 then invalid_arg "Ode.integrate: t1 < t0";
+  let dt = match step with Some s -> s | None -> default_step t0 t1 in
+  if dt <= 0. then invalid_arg "Ode.integrate: non-positive step";
+  let t = ref t0 and y = ref (Array.copy y0) in
+  while t1 -. !t > 1e-15 *. Float.max 1. (Float.abs t1) do
+    let h = Float.min dt (t1 -. !t) in
+    y := rk4_step f ~t:!t ~dt:h ~y:!y;
+    t := !t +. h
+  done;
+  !y
+
+let trace ?step f ~t0 ~t1 ~y0 =
+  if t1 < t0 then invalid_arg "Ode.trace: t1 < t0";
+  let dt = match step with Some s -> s | None -> default_step t0 t1 in
+  if dt <= 0. then invalid_arg "Ode.trace: non-positive step";
+  let acc = ref [ (t0, Array.copy y0) ] in
+  let t = ref t0 and y = ref (Array.copy y0) in
+  while t1 -. !t > 1e-15 *. Float.max 1. (Float.abs t1) do
+    let h = Float.min dt (t1 -. !t) in
+    y := rk4_step f ~t:!t ~dt:h ~y:!y;
+    t := !t +. h;
+    acc := (!t, !y) :: !acc
+  done;
+  Array.of_list (List.rev !acc)
+
+type adaptive_result = {
+  y : float array;
+  steps_taken : int;
+  steps_rejected : int;
+}
+
+(* Fehlberg 4(5) tableau. *)
+let rkf45 ?(rtol = 1e-8) ?(atol = 1e-10) ?initial_step ?(max_steps = 1_000_000)
+    f ~t0 ~t1 ~y0 =
+  if t1 < t0 then invalid_arg "Ode.rkf45: t1 < t0";
+  let n = Array.length y0 in
+  let h0 =
+    match initial_step with Some h -> h | None -> (t1 -. t0) /. 100.
+  in
+  let t = ref t0
+  and y = ref (Array.copy y0)
+  and h = ref (Float.max h0 1e-300) in
+  let taken = ref 0 and rejected = ref 0 in
+  let add_scaled base coeffs =
+    Array.init n (fun i ->
+        let acc = ref base.(i) in
+        List.iter (fun (c, (k : float array)) -> acc := !acc +. (c *. k.(i)))
+          coeffs;
+        !acc)
+  in
+  while t1 -. !t > 1e-14 *. Float.max 1. (Float.abs t1) do
+    if !taken + !rejected > max_steps then failwith "Ode.rkf45: step budget";
+    let h' = Float.min !h (t1 -. !t) in
+    let k1 = Array.map (fun d -> h' *. d) (f !t !y) in
+    let k2 =
+      Array.map (fun d -> h' *. d)
+        (f (!t +. (h' /. 4.)) (add_scaled !y [ (0.25, k1) ]))
+    in
+    let k3 =
+      Array.map (fun d -> h' *. d)
+        (f
+           (!t +. (3. /. 8. *. h'))
+           (add_scaled !y [ (3. /. 32., k1); (9. /. 32., k2) ]))
+    in
+    let k4 =
+      Array.map (fun d -> h' *. d)
+        (f
+           (!t +. (12. /. 13. *. h'))
+           (add_scaled !y
+              [
+                (1932. /. 2197., k1);
+                (-7200. /. 2197., k2);
+                (7296. /. 2197., k3);
+              ]))
+    in
+    let k5 =
+      Array.map (fun d -> h' *. d)
+        (f (!t +. h')
+           (add_scaled !y
+              [
+                (439. /. 216., k1);
+                (-8., k2);
+                (3680. /. 513., k3);
+                (-845. /. 4104., k4);
+              ]))
+    in
+    let k6 =
+      Array.map (fun d -> h' *. d)
+        (f
+           (!t +. (h' /. 2.))
+           (add_scaled !y
+              [
+                (-8. /. 27., k1);
+                (2., k2);
+                (-3544. /. 2565., k3);
+                (1859. /. 4104., k4);
+                (-11. /. 40., k5);
+              ]))
+    in
+    let y5 =
+      add_scaled !y
+        [
+          (16. /. 135., k1);
+          (6656. /. 12825., k3);
+          (28561. /. 56430., k4);
+          (-9. /. 50., k5);
+          (2. /. 55., k6);
+        ]
+    in
+    let y4 =
+      add_scaled !y
+        [
+          (25. /. 216., k1);
+          (1408. /. 2565., k3);
+          (2197. /. 4104., k4);
+          (-1. /. 5., k5);
+        ]
+    in
+    (* Error estimate and acceptance. *)
+    let err = ref 0. in
+    for i = 0 to n - 1 do
+      let scale = atol +. (rtol *. Float.max (Float.abs !y.(i)) (Float.abs y5.(i))) in
+      err := Float.max !err (Float.abs (y5.(i) -. y4.(i)) /. scale)
+    done;
+    if !err <= 1. then begin
+      t := !t +. h';
+      y := y5;
+      incr taken
+    end
+    else incr rejected;
+    let factor =
+      if !err = 0. then 4. else Float.min 4. (Float.max 0.1 (0.9 *. Float.pow !err (-0.2)))
+    in
+    h := h' *. factor
+  done;
+  { y = !y; steps_taken = !taken; steps_rejected = !rejected }
+
+type event_outcome = Reached_end of float array | Event of float * float array
+
+let integrate_until ?step ~event f ~t0 ~t1 ~y0 =
+  if t1 < t0 then invalid_arg "Ode.integrate_until: t1 < t0";
+  let dt = match step with Some s -> s | None -> default_step t0 t1 in
+  if dt <= 0. then invalid_arg "Ode.integrate_until: non-positive step";
+  let refine t_lo y_lo h =
+    (* Bisect the step [t_lo, t_lo + h]; invariant: event > 0 at lo. *)
+    let lo = ref 0. and hi = ref h in
+    let y_hi = ref (rk4_step f ~t:t_lo ~dt:h ~y:y_lo) in
+    for _ = 1 to 60 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      let y_mid = rk4_step f ~t:t_lo ~dt:mid ~y:y_lo in
+      if event (t_lo +. mid) y_mid > 0. then lo := mid
+      else begin
+        hi := mid;
+        y_hi := y_mid
+      end
+    done;
+    Event (t_lo +. !hi, !y_hi)
+  in
+  if event t0 y0 <= 0. then Event (t0, Array.copy y0)
+  else begin
+    let t = ref t0 and y = ref (Array.copy y0) in
+    let outcome = ref None in
+    while
+      Option.is_none !outcome
+      && t1 -. !t > 1e-15 *. Float.max 1. (Float.abs t1)
+    do
+      let h = Float.min dt (t1 -. !t) in
+      let y_next = rk4_step f ~t:!t ~dt:h ~y:!y in
+      if event (!t +. h) y_next <= 0. then outcome := Some (refine !t !y h)
+      else begin
+        t := !t +. h;
+        y := y_next
+      end
+    done;
+    match !outcome with Some e -> e | None -> Reached_end !y
+  end

@@ -1,0 +1,70 @@
+(** Initial-value ODE solvers.
+
+    The analytic KiBaM solution is cross-validated against these
+    integrators, and the modified KiBaM (whose recovery law has no
+    closed form) is evaluated with them.  Event detection locates the
+    battery-empty instant [y1(t) = 0] inside a step. *)
+
+type system = float -> float array -> float array
+(** [f t y] returns [dy/dt]. *)
+
+val euler_step : system -> t:float -> dt:float -> y:float array -> float array
+
+val rk4_step : system -> t:float -> dt:float -> y:float array -> float array
+(** One classical Runge–Kutta 4 step. *)
+
+val integrate :
+  ?step:float ->
+  system ->
+  t0:float ->
+  t1:float ->
+  y0:float array ->
+  float array
+(** Fixed-step RK4 from [t0] to [t1] (default step [(t1-t0)/1000],
+    last step shortened to land exactly on [t1]). *)
+
+val trace :
+  ?step:float ->
+  system ->
+  t0:float ->
+  t1:float ->
+  y0:float array ->
+  (float * float array) array
+(** Like {!integrate} but returning the whole trajectory including both
+    endpoints. *)
+
+type adaptive_result = {
+  y : float array;
+  steps_taken : int;
+  steps_rejected : int;
+}
+
+val rkf45 :
+  ?rtol:float ->
+  ?atol:float ->
+  ?initial_step:float ->
+  ?max_steps:int ->
+  system ->
+  t0:float ->
+  t1:float ->
+  y0:float array ->
+  adaptive_result
+(** Runge–Kutta–Fehlberg 4(5) with proportional step control.  Raises
+    [Failure] when [max_steps] (default 1_000_000) is exhausted. *)
+
+type event_outcome =
+  | Reached_end of float array  (** no event; state at [t1] *)
+  | Event of float * float array
+      (** event time and state at the event *)
+
+val integrate_until :
+  ?step:float ->
+  event:(float -> float array -> float) ->
+  system ->
+  t0:float ->
+  t1:float ->
+  y0:float array ->
+  event_outcome
+(** Fixed-step RK4 integration that stops at the first zero *downward*
+    crossing of [event t y] (positive to non-positive), refining the
+    crossing with bisection on the step. *)

@@ -1,0 +1,78 @@
+type t = { left : int; right : int; weights : float array }
+
+(* The weights decrease monotonically away from the mode, so recurring
+   outwards from the mode never overflows once the mode weight is
+   represented exactly in log space.  We stop extending a side when its
+   next weight would add less than [accuracy / 2] relative mass. *)
+let weights ?(accuracy = 1e-12) lambda =
+  if lambda < 0. then invalid_arg "Poisson.weights: negative rate";
+  if lambda = 0. then { left = 0; right = 0; weights = [| 1. |] }
+  else begin
+    let mode = int_of_float (Float.floor lambda) in
+    let log_w_mode =
+      (float_of_int mode *. log lambda)
+      -. lambda
+      -. Special.log_factorial mode
+    in
+    let w_mode = exp log_w_mode in
+    (* Walk right from the mode. *)
+    let right_weights = ref [] in
+    let n = ref mode and w = ref w_mode and tail = ref 0. in
+    let cutoff = accuracy /. 4. in
+    let continue = ref true in
+    while !continue do
+      let n' = !n + 1 in
+      let w' = !w *. lambda /. float_of_int n' in
+      (* A geometric-series bound on the remaining right tail: once the
+         ratio is < 1, remaining mass <= w' / (1 - ratio). *)
+      let ratio = lambda /. float_of_int (n' + 1) in
+      let bound = if ratio < 1. then w' /. (1. -. ratio) else infinity in
+      if bound <= cutoff then continue := false
+      else begin
+        right_weights := w' :: !right_weights;
+        n := n';
+        w := w';
+        tail := !tail +. w'
+      end
+    done;
+    let right = !n in
+    (* Walk left from the mode. *)
+    let left_weights = ref [] in
+    let n = ref mode and w = ref w_mode in
+    let continue = ref true in
+    while !continue && !n > 0 do
+      let w' = !w *. float_of_int !n /. lambda in
+      (* Left weights decay at least geometrically with ratio n/lambda
+         once n < lambda. *)
+      let ratio = float_of_int (!n - 1) /. lambda in
+      let bound = if ratio < 1. then w' /. (1. -. ratio) else infinity in
+      if bound <= cutoff then continue := false
+      else begin
+        left_weights := w' :: !left_weights;
+        n := !n - 1;
+        w := w'
+      end
+    done;
+    let left = !n in
+    let ws =
+      Array.of_list (!left_weights @ (w_mode :: List.rev !right_weights))
+    in
+    let total = Array.fold_left ( +. ) 0. ws in
+    let ws = Array.map (fun x -> x /. total) ws in
+    { left; right; weights = ws }
+  end
+
+let prob t n =
+  if n < t.left || n > t.right then 0. else t.weights.(n - t.left)
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to Array.length t.weights - 1 do
+    acc := f !acc (t.left + i) t.weights.(i)
+  done;
+  !acc
+
+let total t = Array.fold_left ( +. ) 0. t.weights
+
+let cdf_complement t n =
+  fold t ~init:0. ~f:(fun acc m w -> if m > n then acc +. w else acc)

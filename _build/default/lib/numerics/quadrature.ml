@@ -1,0 +1,48 @@
+let trapezoid_sampled ~xs ~ys =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Quadrature.trapezoid_sampled: need >= 2 points";
+  if n <> Array.length ys then
+    invalid_arg "Quadrature.trapezoid_sampled: length mismatch";
+  let acc = ref 0. in
+  for i = 1 to n - 1 do
+    acc := !acc +. (0.5 *. (ys.(i) +. ys.(i - 1)) *. (xs.(i) -. xs.(i - 1)))
+  done;
+  !acc
+
+let trapezoid ?(n = 1024) f a b =
+  if n < 1 then invalid_arg "Quadrature.trapezoid: need n >= 1";
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref (0.5 *. (f a +. f b)) in
+  for i = 1 to n - 1 do
+    acc := !acc +. f (a +. (h *. float_of_int i))
+  done;
+  !acc *. h
+
+let simpson ?(n = 1024) f a b =
+  let n = if n mod 2 = 0 then n else n + 1 in
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref (f a +. f b) in
+  for i = 1 to n - 1 do
+    let w = if i mod 2 = 1 then 4. else 2. in
+    acc := !acc +. (w *. f (a +. (h *. float_of_int i)))
+  done;
+  !acc *. h /. 3.
+
+let adaptive_simpson ?(tol = 1e-10) ?(max_depth = 50) f a b =
+  let simpson_on a fa fm b fb = (b -. a) /. 6. *. (fa +. (4. *. fm) +. fb) in
+  let rec go a fa m fm b fb whole tol depth =
+    let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+    let flm = f lm and frm = f rm in
+    let left = simpson_on a fa flm m fm
+    and right = simpson_on m fm frm b fb in
+    let delta = left +. right -. whole in
+    if depth <= 0 || Float.abs delta <= 15. *. tol then
+      left +. right +. (delta /. 15.)
+    else
+      go a fa lm flm m fm left (tol /. 2.) (depth - 1)
+      +. go m fm rm frm b fb right (tol /. 2.) (depth - 1)
+  in
+  let fa = f a and fb = f b in
+  let m = 0.5 *. (a +. b) in
+  let fm = f m in
+  go a fa m fm b fb (simpson_on a fa fm b fb) tol max_depth

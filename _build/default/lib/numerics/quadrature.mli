@@ -1,0 +1,21 @@
+(** Numerical integration.
+
+    Used to turn lifetime CDFs into expected lifetimes
+    ([E L = integral of (1 - F)]) and in cross-checks of the analytic
+    KiBaM solution. *)
+
+val trapezoid_sampled : xs:float array -> ys:float array -> float
+(** Trapezoid rule over given samples (increasing [xs], same length,
+    at least two points). *)
+
+val trapezoid : ?n:int -> (float -> float) -> float -> float -> float
+(** [trapezoid f a b] with [n] uniform intervals (default 1024). *)
+
+val simpson : ?n:int -> (float -> float) -> float -> float -> float
+(** Composite Simpson rule with [n] intervals (rounded up to even,
+    default 1024). *)
+
+val adaptive_simpson :
+  ?tol:float -> ?max_depth:int -> (float -> float) -> float -> float -> float
+(** Adaptive Simpson integration with absolute tolerance [tol]
+    (default [1e-10]). *)

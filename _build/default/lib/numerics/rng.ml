@@ -1,0 +1,113 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64;
+           mutable s3 : int64 }
+
+(* splitmix64: used to expand a single seed into the xoshiro state. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let default_seed = 0x5DEECE66DL
+
+let create ?(seed = default_seed) () =
+  let state = ref seed in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  let open Int64 in
+  logor (shift_left x k) (shift_right_logical x (64 - k))
+
+(* xoshiro256++ *)
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (Int64.logxor (bits64 t) 0xA3EC647659359ACDL) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let uniform t =
+  (* Take the top 53 bits. *)
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. 0x1.0p-53
+
+let uniform_positive t =
+  let rec go () =
+    let u = uniform t in
+    if u > 0. then u else go ()
+  in
+  go ()
+
+let uniform_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.uniform_range: hi < lo";
+  lo +. ((hi -. lo) *. uniform t)
+
+let int_below t n =
+  if n <= 0 then invalid_arg "Rng.int_below: need n > 0";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let bound = Int64.of_int n in
+  let limit = Int64.sub (Int64.div Int64.max_int bound) 1L in
+  let rec go () =
+    let x = Int64.shift_right_logical (bits64 t) 1 in
+    let q = Int64.div x bound in
+    if Int64.compare q limit <= 0 then Int64.to_int (Int64.rem x bound)
+    else go ()
+  in
+  go ()
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: non-positive rate";
+  -.log (uniform_positive t) /. rate
+
+let erlang t ~k ~rate =
+  if k < 1 then invalid_arg "Rng.erlang: need k >= 1";
+  let acc = ref 0. in
+  for _ = 1 to k do
+    acc := !acc +. exponential t ~rate
+  done;
+  !acc
+
+let bernoulli t ~p =
+  if p < 0. || p > 1. then invalid_arg "Rng.bernoulli: p outside [0,1]";
+  uniform t < p
+
+let discrete t weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Rng.discrete: weights sum to zero";
+  Array.iter
+    (fun w -> if w < 0. then invalid_arg "Rng.discrete: negative weight")
+    weights;
+  let target = uniform t *. total in
+  let n = Array.length weights in
+  let acc = ref 0. and result = ref (n - 1) in
+  (try
+     for i = 0 to n - 1 do
+       acc := !acc +. weights.(i);
+       if target < !acc then begin
+         result := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result

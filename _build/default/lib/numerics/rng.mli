@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random numbers for reproducible simulation.
+
+    xoshiro256++ core seeded through splitmix64 — self-contained, fast,
+    and with a [split] operation for independent replication streams,
+    so Monte-Carlo experiments are reproducible run-to-run and
+    parallelisable replication-by-replication. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** Default seed is a fixed constant: two unseeded generators produce
+    identical streams by design. *)
+
+val copy : t -> t
+
+val split : t -> t
+(** Derive a statistically independent generator (jump via fresh
+    splitmix64 reseeding from the parent's next outputs). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val uniform : t -> float
+(** Uniform on [\[0, 1)] with 53-bit resolution. *)
+
+val uniform_positive : t -> float
+(** Uniform on [(0, 1)] (never exactly 0 — safe for logarithms). *)
+
+val uniform_range : t -> lo:float -> hi:float -> float
+
+val int_below : t -> int -> int
+(** Uniform in [\[0, n)]; rejection-sampled, unbiased.  [n > 0]. *)
+
+val exponential : t -> rate:float -> float
+(** Inverse-CDF exponential sample; [rate > 0]. *)
+
+val erlang : t -> k:int -> rate:float -> float
+(** Sum of [k] independent exponentials. *)
+
+val bernoulli : t -> p:float -> bool
+
+val discrete : t -> float array -> int
+(** Sample an index proportionally to the (non-negative, not all zero)
+    weights. *)

@@ -1,0 +1,129 @@
+exception No_root of string
+
+let same_sign x y = (x >= 0. && y >= 0.) || (x <= 0. && y <= 0.)
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0. then a
+  else if fb = 0. then b
+  else if same_sign fa fb then
+    raise (No_root (Printf.sprintf "bisect: no sign change on [%g, %g]" a b))
+  else begin
+    let a = ref a and b = ref b and fa = ref fa in
+    let width0 = Float.abs (!b -. !a) in
+    let result = ref None in
+    let i = ref 0 in
+    while Option.is_none !result && !i < max_iter do
+      incr i;
+      let m = 0.5 *. (!a +. !b) in
+      let fm = f m in
+      if fm = 0. || Float.abs (!b -. !a) <= tol *. Float.max width0 1. then
+        result := Some m
+      else if same_sign !fa fm then begin
+        a := m;
+        fa := fm
+      end
+      else b := m
+    done;
+    match !result with
+    | Some r -> r
+    | None -> 0.5 *. (!a +. !b)
+  end
+
+(* Classical Brent: keep a bracketing pair (a, b) with f(b) the smaller
+   magnitude, try inverse quadratic interpolation / secant, fall back to
+   bisection when the candidate step is not acceptable. *)
+let brent ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0. then a
+  else if fb = 0. then b
+  else if same_sign fa fb then
+    raise (No_root (Printf.sprintf "brent: no sign change on [%g, %g]" a b))
+  else begin
+    let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in
+      a := !b;
+      b := t;
+      let t = !fa in
+      fa := !fb;
+      fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) in
+    let mflag = ref true in
+    let result = ref None in
+    let i = ref 0 in
+    while Option.is_none !result && !i < max_iter do
+      incr i;
+      let delta = tol *. Float.max (Float.abs !b) 1. in
+      if !fb = 0. || Float.abs (!b -. !a) <= delta then result := Some !b
+      else begin
+        let s =
+          if !fa <> !fc && !fb <> !fc then
+            (* Inverse quadratic interpolation. *)
+            (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+            +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+            +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+          else
+            (* Secant. *)
+            !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+        in
+        let lo = ((3. *. !a) +. !b) /. 4. and hi = !b in
+        let lo, hi = if lo <= hi then (lo, hi) else (hi, lo) in
+        let use_bisection =
+          s < lo || s > hi
+          || (!mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.)
+          || ((not !mflag) && Float.abs (s -. !b) >= Float.abs (!c -. !d) /. 2.)
+          || (!mflag && Float.abs (!b -. !c) < delta)
+          || ((not !mflag) && Float.abs (!c -. !d) < delta)
+        in
+        let s = if use_bisection then 0.5 *. (!a +. !b) else s in
+        mflag := use_bisection;
+        let fs = f s in
+        d := !c;
+        c := !b;
+        fc := !fb;
+        if same_sign !fa fs then begin
+          a := s;
+          fa := fs
+        end
+        else begin
+          b := s;
+          fb := fs
+        end;
+        if Float.abs !fa < Float.abs !fb then begin
+          let t = !a in
+          a := !b;
+          b := t;
+          let t = !fa in
+          fa := !fb;
+          fb := t
+        end
+      end
+    done;
+    match !result with Some r -> r | None -> !b
+  end
+
+let secant ?(tol = 1e-12) ?(max_iter = 100) f x0 x1 =
+  let rec loop x0 f0 x1 f1 i =
+    if f1 = 0. || Float.abs (x1 -. x0) <= tol *. Float.max (Float.abs x1) 1.
+    then x1
+    else if i >= max_iter then raise (No_root "secant: iteration budget")
+    else if f1 = f0 then raise (No_root "secant: flat segment")
+    else
+      let x2 = x1 -. (f1 *. (x1 -. x0) /. (f1 -. f0)) in
+      loop x1 f1 x2 (f x2) (i + 1)
+  in
+  loop x0 (f x0) x1 (f x1) 0
+
+let expand_bracket ?(factor = 2.) ?(max_iter = 60) f a b =
+  if b <= a then invalid_arg "Roots.expand_bracket: need a < b";
+  let fa = f a in
+  let rec loop b i =
+    if i >= max_iter then
+      raise (No_root "expand_bracket: no sign change found")
+    else if not (same_sign fa (f b)) then (a, b)
+    else loop (a +. ((b -. a) *. factor)) (i + 1)
+  in
+  loop b 0

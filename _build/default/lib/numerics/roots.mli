@@ -1,0 +1,39 @@
+(** Scalar root finding.
+
+    Used for battery-lifetime computation (the instant the available
+    charge hits zero inside a workload step) and for parameter
+    calibration (fitting the KiBaM diffusion constant [k] to a measured
+    lifetime). *)
+
+exception No_root of string
+(** Raised when the requested bracket does not contain a sign change or
+    the iteration budget is exhausted. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [bisect f a b] finds a root of [f] in [[a, b]]; [f a] and [f b] must
+    have opposite signs (a zero endpoint is returned directly).
+    [tol] (default [1e-12]) bounds the final bracket width relative to
+    the initial one. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** Brent's method: inverse-quadratic interpolation guarded by
+    bisection.  Same contract as {!bisect}, usually far fewer function
+    evaluations. *)
+
+val secant :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** Secant iteration from two starting points (no bracketing
+    guarantee). *)
+
+val expand_bracket :
+  ?factor:float ->
+  ?max_iter:int ->
+  (float -> float) ->
+  float ->
+  float ->
+  float * float
+(** [expand_bracket f a b] grows the interval geometrically (keeping
+    [a] fixed and pushing [b]) until [f] changes sign over it.  Raises
+    {!No_root} if no sign change is found within the budget. *)

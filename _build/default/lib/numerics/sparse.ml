@@ -1,0 +1,241 @@
+module Builder = struct
+  type t = {
+    rows : int;
+    cols : int;
+    mutable len : int;
+    mutable row : int array;
+    mutable col : int array;
+    mutable value : float array;
+  }
+
+  let create ?(initial_capacity = 1024) ~rows ~cols () =
+    if rows <= 0 || cols <= 0 then
+      invalid_arg "Sparse.Builder.create: empty dimensions";
+    let capacity = max initial_capacity 16 in
+    {
+      rows;
+      cols;
+      len = 0;
+      row = Array.make capacity 0;
+      col = Array.make capacity 0;
+      value = Array.make capacity 0.;
+    }
+
+  let grow b =
+    let capacity = 2 * Array.length b.row in
+    let row = Array.make capacity 0
+    and col = Array.make capacity 0
+    and value = Array.make capacity 0. in
+    Array.blit b.row 0 row 0 b.len;
+    Array.blit b.col 0 col 0 b.len;
+    Array.blit b.value 0 value 0 b.len;
+    b.row <- row;
+    b.col <- col;
+    b.value <- value
+
+  let add b i j v =
+    if i < 0 || i >= b.rows || j < 0 || j >= b.cols then
+      invalid_arg
+        (Printf.sprintf "Sparse.Builder.add: index (%d,%d) out of %dx%d" i j
+           b.rows b.cols);
+    if v <> 0. then begin
+      if b.len = Array.length b.row then grow b;
+      b.row.(b.len) <- i;
+      b.col.(b.len) <- j;
+      b.value.(b.len) <- v;
+      b.len <- b.len + 1
+    end
+
+  let nnz b = b.len
+
+  let rows b = b.rows
+
+  let cols b = b.cols
+
+  let iter b f =
+    for k = 0 to b.len - 1 do
+      f b.row.(k) b.col.(k) b.value.(k)
+    done
+end
+
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array;
+  col_idx : int array;
+  values : float array;
+}
+
+(* Two-pass counting sort by row, then per-row sort by column and
+   duplicate merge.  O(nnz log nnz_row) and no intermediate boxing. *)
+let of_builder (b : Builder.t) =
+  let n = b.Builder.len in
+  let rows = b.Builder.rows and cols = b.Builder.cols in
+  let counts = Array.make (rows + 1) 0 in
+  for k = 0 to n - 1 do
+    counts.(b.Builder.row.(k) + 1) <- counts.(b.Builder.row.(k) + 1) + 1
+  done;
+  for i = 1 to rows do
+    counts.(i) <- counts.(i) + counts.(i - 1)
+  done;
+  (* counts.(i) now is the start offset of row i. *)
+  let col_tmp = Array.make (max n 1) 0 and val_tmp = Array.make (max n 1) 0. in
+  let cursor = Array.copy counts in
+  for k = 0 to n - 1 do
+    let r = b.Builder.row.(k) in
+    let pos = cursor.(r) in
+    col_tmp.(pos) <- b.Builder.col.(k);
+    val_tmp.(pos) <- b.Builder.value.(k);
+    cursor.(r) <- pos + 1
+  done;
+  (* Sort each row segment by column index (insertion sort: rows are
+     short in all our generators) and merge duplicates in place. *)
+  let row_ptr = Array.make (rows + 1) 0 in
+  let write = ref 0 in
+  for i = 0 to rows - 1 do
+    row_ptr.(i) <- !write;
+    let lo = counts.(i) and hi = cursor.(i) in
+    for k = lo + 1 to hi - 1 do
+      let c = col_tmp.(k) and v = val_tmp.(k) in
+      let j = ref (k - 1) in
+      while !j >= lo && col_tmp.(!j) > c do
+        col_tmp.(!j + 1) <- col_tmp.(!j);
+        val_tmp.(!j + 1) <- val_tmp.(!j);
+        decr j
+      done;
+      col_tmp.(!j + 1) <- c;
+      val_tmp.(!j + 1) <- v
+    done;
+    let k = ref lo in
+    while !k < hi do
+      let c = col_tmp.(!k) in
+      let acc = ref 0. in
+      while !k < hi && col_tmp.(!k) = c do
+        acc := !acc +. val_tmp.(!k);
+        incr k
+      done;
+      if !acc <> 0. then begin
+        col_tmp.(!write) <- c;
+        val_tmp.(!write) <- !acc;
+        incr write
+      end
+    done
+  done;
+  row_ptr.(rows) <- !write;
+  {
+    rows;
+    cols;
+    row_ptr;
+    col_idx = Array.sub col_tmp 0 !write;
+    values = Array.sub val_tmp 0 !write;
+  }
+
+let of_dense d =
+  let rows = Dense.rows d and cols = Dense.cols d in
+  let b = Builder.create ~rows ~cols () in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      Builder.add b i j (Dense.get d i j)
+    done
+  done;
+  of_builder b
+
+let to_dense t =
+  let d = Dense.create ~rows:t.rows ~cols:t.cols in
+  for i = 0 to t.rows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      Dense.set d i t.col_idx.(k) (Dense.get d i t.col_idx.(k) +. t.values.(k))
+    done
+  done;
+  d
+
+let nnz t = Array.length t.values
+
+let get t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Sparse.get: index out of bounds";
+  let lo = ref t.row_ptr.(i) and hi = ref (t.row_ptr.(i + 1) - 1) in
+  let result = ref 0. in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = t.col_idx.(mid) in
+    if c = j then begin
+      result := t.values.(mid);
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !result
+
+let matvec t x =
+  if Array.length x <> t.cols then invalid_arg "Sparse.matvec: dimensions";
+  let y = Array.make t.rows 0. in
+  for i = 0 to t.rows - 1 do
+    let acc = ref 0. in
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
+    done;
+    y.(i) <- !acc
+  done;
+  y
+
+let vecmat x t =
+  if Array.length x <> t.rows then invalid_arg "Sparse.vecmat: dimensions";
+  let y = Array.make t.cols 0. in
+  for i = 0 to t.rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0. then
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        y.(t.col_idx.(k)) <- y.(t.col_idx.(k)) +. (xi *. t.values.(k))
+      done
+  done;
+  y
+
+let vecmat_acc ~src t ~scale ~dst =
+  if Array.length src <> t.rows then
+    invalid_arg "Sparse.vecmat_acc: source dimension";
+  if Array.length dst <> t.cols then
+    invalid_arg "Sparse.vecmat_acc: destination dimension";
+  let row_ptr = t.row_ptr and col_idx = t.col_idx and values = t.values in
+  for i = 0 to t.rows - 1 do
+    let xi = src.(i) *. scale in
+    if xi <> 0. then
+      for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+        dst.(col_idx.(k)) <- dst.(col_idx.(k)) +. (xi *. values.(k))
+      done
+  done
+
+let row_sums t =
+  Array.init t.rows (fun i ->
+      let acc = ref 0. in
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        acc := !acc +. t.values.(k)
+      done;
+      !acc)
+
+let scale s t = { t with values = Array.map (fun v -> s *. v) t.values }
+
+let transpose t =
+  let b = Builder.create ~initial_capacity:(nnz t) ~rows:t.cols ~cols:t.rows ()
+  in
+  for i = 0 to t.rows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      Builder.add b t.col_idx.(k) i t.values.(k)
+    done
+  done;
+  of_builder b
+
+let iter t f =
+  for i = 0 to t.rows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      f i t.col_idx.(k) t.values.(k)
+    done
+  done
+
+let max_abs_diagonal t =
+  let best = ref 0. in
+  for i = 0 to min t.rows t.cols - 1 do
+    best := Float.max !best (Float.abs (get t i i))
+  done;
+  !best

@@ -1,0 +1,74 @@
+(** Sparse matrices in CSR form, with a COO-style builder.
+
+    The discretised battery generator [Q*] of the paper easily reaches
+    millions of nonzeros (Sec. 6.1 quotes 3.2e6 for [Delta = 5]); the
+    uniformisation sweep is a long sequence of vector-matrix products
+    over this structure, so the representation is kept flat and
+    primitive. *)
+
+module Builder : sig
+  (** Mutable triplet accumulator.  Duplicate entries are summed when
+      the CSR form is built. *)
+
+  type t
+
+  val create : ?initial_capacity:int -> rows:int -> cols:int -> unit -> t
+
+  val add : t -> int -> int -> float -> unit
+  (** [add b i j v] records [v] at position [(i, j)].  Zero values are
+      ignored; indices are bounds-checked. *)
+
+  val nnz : t -> int
+  (** Number of recorded triplets (before duplicate merging). *)
+
+  val rows : t -> int
+
+  val cols : t -> int
+
+  val iter : t -> (int -> int -> float -> unit) -> unit
+  (** Iterate recorded triplets in insertion order (duplicates not yet
+      merged). *)
+end
+
+type t = private {
+  rows : int;
+  cols : int;
+  row_ptr : int array;  (** length [rows + 1] *)
+  col_idx : int array;
+  values : float array;
+}
+
+val of_builder : Builder.t -> t
+(** Sort triplets, merge duplicates, produce CSR. *)
+
+val of_dense : Dense.t -> t
+
+val to_dense : t -> Dense.t
+
+val nnz : t -> int
+
+val get : t -> int -> int -> float
+(** Logarithmic in the row population. *)
+
+val matvec : t -> float array -> float array
+(** [matvec a x = A x]. *)
+
+val vecmat : float array -> t -> float array
+(** [vecmat x a = x^T A]. *)
+
+val vecmat_acc : src:float array -> t -> scale:float -> dst:float array -> unit
+(** [vecmat_acc ~src a ~scale ~dst] performs
+    [dst <- dst + scale * (src^T A)] without allocating; the hot loop of
+    uniformisation. *)
+
+val row_sums : t -> float array
+
+val scale : float -> t -> t
+
+val transpose : t -> t
+
+val iter : t -> (int -> int -> float -> unit) -> unit
+(** Iterate entries in row-major order. *)
+
+val max_abs_diagonal : t -> float
+(** Largest [|a_ii|]; the uniformisation rate of a generator. *)

@@ -1,0 +1,143 @@
+(* Lanczos approximation with g = 7, n = 9 coefficients (Boost/GSL
+   standard set).  Accurate to ~1e-13 for x > 0. *)
+let lanczos_g = 7.
+
+let lanczos_coefficients =
+  [|
+    0.99999999999980993;
+    676.5203681218851;
+    -1259.1392167224028;
+    771.32342877765313;
+    -176.61502916214059;
+    12.507343278686905;
+    -0.13857109526572012;
+    9.9843695780195716e-6;
+    1.5056327351493116e-7;
+  |]
+
+let rec log_gamma x =
+  if x <= 0. then invalid_arg "Special.log_gamma: non-positive argument";
+  if x < 0.5 then
+    (* Reflection formula keeps accuracy near zero. *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1. -. x)
+  else
+    let x = x -. 1. in
+    let acc = ref lanczos_coefficients.(0) in
+    for i = 1 to Array.length lanczos_coefficients - 1 do
+      acc := !acc +. (lanczos_coefficients.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. lanczos_g +. 0.5 in
+    (0.5 *. log (2. *. Float.pi))
+    +. ((x +. 0.5) *. log t)
+    -. t
+    +. log !acc
+
+let log_factorial_table_size = 256
+
+let log_factorial_table =
+  let t = Array.make log_factorial_table_size 0. in
+  for n = 2 to log_factorial_table_size - 1 do
+    t.(n) <- t.(n - 1) +. log (float_of_int n)
+  done;
+  t
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Special.log_factorial: negative argument";
+  if n < log_factorial_table_size then log_factorial_table.(n)
+  else log_gamma (float_of_int n +. 1.)
+
+let log_binomial n k =
+  if k < 0 || k > n then invalid_arg "Special.log_binomial: need 0 <= k <= n";
+  log_factorial n -. log_factorial k -. log_factorial (n - k)
+
+let poisson_pmf ~lambda n =
+  if lambda < 0. then invalid_arg "Special.poisson_pmf: negative rate";
+  if n < 0 then 0.
+  else if lambda = 0. then if n = 0 then 1. else 0.
+  else exp ((float_of_int n *. log lambda) -. lambda -. log_factorial n)
+
+(* Abramowitz & Stegun 7.1.26; max absolute error 1.5e-7. *)
+let erf x =
+  let sign = if x < 0. then -1. else 1. in
+  let x = Float.abs x in
+  let t = 1. /. (1. +. (0.3275911 *. x)) in
+  let y =
+    1.
+    -. (((((((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t)
+          -. 0.284496736)
+         *. t)
+        +. 0.254829592)
+       *. t
+       *. exp (-.x *. x))
+  in
+  sign *. y
+
+let normal_cdf x = 0.5 *. (1. +. erf (x /. sqrt 2.))
+
+(* Acklam's inverse-normal rational approximation. *)
+let normal_quantile p =
+  if p <= 0. || p >= 1. then
+    invalid_arg "Special.normal_quantile: argument must be in (0,1)";
+  let a =
+    [|
+      -3.969683028665376e+01;
+      2.209460984245205e+02;
+      -2.759285104469687e+02;
+      1.383577518672690e+02;
+      -3.066479806614716e+01;
+      2.506628277459239e+00;
+    |]
+  and b =
+    [|
+      -5.447609879822406e+01;
+      1.615858368580409e+02;
+      -1.556989798598866e+02;
+      6.680131188771972e+01;
+      -1.328068155288572e+01;
+    |]
+  and c =
+    [|
+      -7.784894002430293e-03;
+      -3.223964580411365e-01;
+      -2.400758277161838e+00;
+      -2.549732539343734e+00;
+      4.374664141464968e+00;
+      2.938163982698783e+00;
+    |]
+  and d =
+    [|
+      7.784695709041462e-03;
+      3.224671290700398e-01;
+      2.445134137142996e+00;
+      3.754408661907416e+00;
+    |]
+  in
+  let p_low = 0.02425 in
+  let p_high = 1. -. p_low in
+  let tail q =
+    (* q = sqrt(-2 log p') for the appropriate tail probability p'. *)
+    (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+      *. q
+    +. c.(5)
+  and tail_den q =
+    ((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.
+  in
+  if p < p_low then
+    let q = sqrt (-2. *. log p) in
+    tail q /. tail_den q
+  else if p > p_high then
+    let q = sqrt (-2. *. log (1. -. p)) in
+    -.(tail q /. tail_den q)
+  else
+    let q = p -. 0.5 in
+    let r = q *. q in
+    let num =
+      (((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4))
+        *. r
+      +. a.(5)
+    and den =
+      (((((b.(0) *. r) +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4))
+        *. r
+      +. 1.
+    in
+    num *. q /. den

@@ -1,0 +1,109 @@
+type t = float array
+
+let create n = Array.make n 0.
+
+let make = Array.make
+
+let init = Array.init
+
+let copy = Array.copy
+
+let fill v x = Array.fill v 0 (Array.length v) x
+
+let check_same_length name x y =
+  if Array.length x <> Array.length y then
+    invalid_arg (name ^ ": length mismatch")
+
+let blit ~src ~dst =
+  check_same_length "Vector.blit" src dst;
+  Array.blit src 0 dst 0 (Array.length src)
+
+let scale a x = Array.map (fun xi -> a *. xi) x
+
+let scale_inplace a x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- a *. x.(i)
+  done
+
+let add x y =
+  check_same_length "Vector.add" x y;
+  Array.mapi (fun i xi -> xi +. y.(i)) x
+
+let sub x y =
+  check_same_length "Vector.sub" x y;
+  Array.mapi (fun i xi -> xi -. y.(i)) x
+
+let axpy ~alpha ~x ~y =
+  check_same_length "Vector.axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (alpha *. x.(i)) +. y.(i)
+  done
+
+let dot x y =
+  check_same_length "Vector.dot" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let sum x =
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. x.(i)
+  done;
+  !acc
+
+let norm1 x =
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. Float.abs x.(i)
+  done;
+  !acc
+
+let norm2 x = sqrt (dot x x)
+
+let norm_inf x =
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := Float.max !acc (Float.abs x.(i))
+  done;
+  !acc
+
+let dist_inf x y =
+  check_same_length "Vector.dist_inf" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := Float.max !acc (Float.abs (x.(i) -. y.(i)))
+  done;
+  !acc
+
+let max_elt x =
+  if Array.length x = 0 then invalid_arg "Vector.max_elt: empty";
+  Array.fold_left Float.max x.(0) x
+
+let min_elt x =
+  if Array.length x = 0 then invalid_arg "Vector.min_elt: empty";
+  Array.fold_left Float.min x.(0) x
+
+let normalize1 x =
+  let s = sum x in
+  if s <= 0. then invalid_arg "Vector.normalize1: non-positive sum";
+  scale (1. /. s) x
+
+let approx_equal ?(tol = 1e-9) x y =
+  Array.length x = Array.length y && dist_inf x y <= tol
+
+let linspace a b n =
+  if n < 2 then invalid_arg "Vector.linspace: need n >= 2";
+  let h = (b -. a) /. float_of_int (n - 1) in
+  Array.init n (fun i -> a +. (h *. float_of_int i))
+
+let pp ppf v =
+  Format.fprintf ppf "[|";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "%g" x)
+    v;
+  Format.fprintf ppf "|]"

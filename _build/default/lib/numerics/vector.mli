@@ -1,0 +1,66 @@
+(** Dense vectors of floats.
+
+    Thin, allocation-conscious helpers over [float array] used throughout
+    the library.  All binary operations require equal lengths and raise
+    [Invalid_argument] otherwise. *)
+
+type t = float array
+
+val create : int -> t
+(** [create n] is a zero vector of length [n]. *)
+
+val make : int -> float -> t
+(** [make n x] is a vector of length [n] filled with [x]. *)
+
+val init : int -> (int -> float) -> t
+
+val copy : t -> t
+
+val fill : t -> float -> unit
+
+val blit : src:t -> dst:t -> unit
+(** Copy [src] into [dst] (equal lengths). *)
+
+val scale : float -> t -> t
+(** [scale a x] is the fresh vector [a * x]. *)
+
+val scale_inplace : float -> t -> unit
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val axpy : alpha:float -> x:t -> y:t -> unit
+(** [axpy ~alpha ~x ~y] performs [y <- alpha * x + y] in place. *)
+
+val dot : t -> t -> float
+
+val sum : t -> float
+
+val norm1 : t -> float
+
+val norm2 : t -> float
+
+val norm_inf : t -> float
+
+val dist_inf : t -> t -> float
+(** Maximum absolute componentwise difference. *)
+
+val max_elt : t -> float
+(** Largest element.  Raises [Invalid_argument] on the empty vector. *)
+
+val min_elt : t -> float
+
+val normalize1 : t -> t
+(** Scale so the entries sum to 1.  Raises [Invalid_argument] if the sum
+    is not strictly positive. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Componentwise comparison with absolute tolerance [tol] (default
+    [1e-9]). *)
+
+val linspace : float -> float -> int -> t
+(** [linspace a b n] is [n] evenly spaced points from [a] to [b]
+    inclusive ([n >= 2]). *)
+
+val pp : Format.formatter -> t -> unit

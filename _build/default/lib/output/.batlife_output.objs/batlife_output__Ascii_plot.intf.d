@@ -1,0 +1,1 @@
+lib/output/ascii_plot.mli: Series

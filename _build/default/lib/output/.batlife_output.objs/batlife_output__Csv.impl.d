@@ -1,0 +1,1 @@
+lib/output/csv.ml: Array Float Fun List Map Printf Series String

@@ -1,0 +1,1 @@
+lib/output/series.ml: Array Float

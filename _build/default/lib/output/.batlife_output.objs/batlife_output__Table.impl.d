@@ -1,0 +1,1 @@
+lib/output/table.ml: Array Float List Printf String

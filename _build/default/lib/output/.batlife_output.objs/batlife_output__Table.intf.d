@@ -1,0 +1,1 @@
+lib/output/table.mli:

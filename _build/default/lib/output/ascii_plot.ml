@@ -1,0 +1,59 @@
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(width = 72) ?(height = 20) ?(x_label = "x") ?(y_label = "y")
+    series =
+  if series = [] then invalid_arg "Ascii_plot.render: no series";
+  let ranges_x = List.map Series.x_range series in
+  let ranges_y = List.map Series.y_range series in
+  let x_min = List.fold_left (fun a (lo, _) -> Float.min a lo) infinity ranges_x
+  and x_max =
+    List.fold_left (fun a (_, hi) -> Float.max a hi) neg_infinity ranges_x
+  and y_min = List.fold_left (fun a (lo, _) -> Float.min a lo) infinity ranges_y
+  and y_max =
+    List.fold_left (fun a (_, hi) -> Float.max a hi) neg_infinity ranges_y
+  in
+  let x_span = if x_max > x_min then x_max -. x_min else 1.
+  and y_span = if y_max > y_min then y_max -. y_min else 1. in
+  let canvas = Array.make_matrix height width ' ' in
+  let plot_series idx s =
+    let glyph = glyphs.(idx mod Array.length glyphs) in
+    let xs = Series.xs s and ys = Series.ys s in
+    Array.iteri
+      (fun i x ->
+        let col =
+          int_of_float ((x -. x_min) /. x_span *. float_of_int (width - 1))
+        in
+        let row =
+          height - 1
+          - int_of_float
+              ((ys.(i) -. y_min) /. y_span *. float_of_int (height - 1))
+        in
+        if row >= 0 && row < height && col >= 0 && col < width then
+          canvas.(row).(col) <- glyph)
+      xs
+  in
+  List.iteri plot_series series;
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer
+    (Printf.sprintf "%s in [%g, %g]  %s in [%g, %g]\n" x_label x_min x_max
+       y_label y_min y_max);
+  Array.iter
+    (fun row ->
+      Buffer.add_char buffer '|';
+      Array.iter (Buffer.add_char buffer) row;
+      Buffer.add_char buffer '\n')
+    canvas;
+  Buffer.add_char buffer '+';
+  Buffer.add_string buffer (String.make width '-');
+  Buffer.add_char buffer '\n';
+  List.iteri
+    (fun idx s ->
+      Buffer.add_string buffer
+        (Printf.sprintf "  %c %s\n"
+           glyphs.(idx mod Array.length glyphs)
+           (Series.name s)))
+    series;
+  Buffer.contents buffer
+
+let print ?width ?height ?x_label ?y_label series =
+  print_string (render ?width ?height ?x_label ?y_label series)

@@ -1,0 +1,21 @@
+(** Quick terminal plots of series — used by the examples so that
+    [dune exec examples/...] shows the distribution shapes without any
+    external plotting tool. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  Series.t list ->
+  string
+(** Renders all series on a shared canvas (default 72x20); each series
+    is drawn with its own glyph and listed in a legend below. *)
+
+val print :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  Series.t list ->
+  unit

@@ -1,0 +1,72 @@
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+module FloatMap = Map.Make (Float)
+
+let csv_escape field =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') field then
+    "\""
+    ^ String.concat "\"\"" (String.split_on_char '"' field)
+    ^ "\""
+  else field
+
+let write_csv ~path series =
+  with_out path (fun oc ->
+      output_string oc "x";
+      List.iter
+        (fun s -> Printf.fprintf oc ",%s" (csv_escape (Series.name s)))
+        series;
+      output_char oc '\n';
+      (* Merge on the union of x values. *)
+      let columns =
+        List.map
+          (fun s ->
+            let m = ref FloatMap.empty in
+            let xs = Series.xs s and ys = Series.ys s in
+            Array.iteri (fun i x -> m := FloatMap.add x ys.(i) !m) xs;
+            !m)
+          series
+      in
+      let all_x =
+        List.fold_left
+          (fun acc m -> FloatMap.fold (fun x _ acc -> FloatMap.add x () acc) m acc)
+          FloatMap.empty columns
+      in
+      FloatMap.iter
+        (fun x () ->
+          Printf.fprintf oc "%.12g" x;
+          List.iter
+            (fun m ->
+              match FloatMap.find_opt x m with
+              | Some y -> Printf.fprintf oc ",%.12g" y
+              | None -> output_char oc ',')
+            columns;
+          output_char oc '\n')
+        all_x)
+
+let write_dat ~path series =
+  with_out path (fun oc ->
+      List.iter
+        (fun s ->
+          Printf.fprintf oc "# %s\n" (Series.name s);
+          let xs = Series.xs s and ys = Series.ys s in
+          Array.iteri
+            (fun i x -> Printf.fprintf oc "%.12g %.12g\n" x ys.(i))
+            xs;
+          output_string oc "\n\n")
+        series)
+
+let write_gnuplot_script ~path ~data_file ~title ~xlabel ~ylabel series =
+  with_out path (fun oc ->
+      Printf.fprintf oc "set title %S\n" title;
+      Printf.fprintf oc "set xlabel %S\n" xlabel;
+      Printf.fprintf oc "set ylabel %S\n" ylabel;
+      output_string oc "set key bottom right\nset grid\n";
+      output_string oc "plot \\\n";
+      List.iteri
+        (fun i s ->
+          Printf.fprintf oc "  %S index %d with lines title %S%s\n" data_file i
+            (Series.name s)
+            (if i = List.length series - 1 then "" else ", \\"))
+        series)

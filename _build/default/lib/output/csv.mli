@@ -1,0 +1,21 @@
+(** Writers for series data: CSV (one x column shared by all series,
+    blank cells where a series has no sample at that x) and
+    gnuplot-style .dat blocks (one block per series). *)
+
+val write_csv : path:string -> Series.t list -> unit
+(** All series are merged on the union of their x values (sorted). *)
+
+val write_dat : path:string -> Series.t list -> unit
+(** Gnuplot format: per series a commented header, [x y] lines, and a
+    double blank-line separator. *)
+
+val write_gnuplot_script :
+  path:string ->
+  data_file:string ->
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  Series.t list ->
+  unit
+(** A ready-to-run [gnuplot] script plotting every series of
+    [data_file] (written by {!write_dat}) by block index. *)

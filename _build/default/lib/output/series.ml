@@ -1,0 +1,30 @@
+type t = { name : string; xs : float array; ys : float array }
+
+let create ~name ~xs ~ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Series.create: length mismatch";
+  { name; xs = Array.copy xs; ys = Array.copy ys }
+
+let of_pairs ~name pairs =
+  { name; xs = Array.map fst pairs; ys = Array.map snd pairs }
+
+let name s = s.name
+
+let length s = Array.length s.xs
+
+let xs s = Array.copy s.xs
+
+let ys s = Array.copy s.ys
+
+let map_y f s = { s with ys = Array.map f s.ys }
+
+let rename name s = { s with name }
+
+let range values =
+  if Array.length values = 0 then invalid_arg "Series: empty series";
+  ( Array.fold_left Float.min values.(0) values,
+    Array.fold_left Float.max values.(0) values )
+
+let x_range s = range s.xs
+
+let y_range s = range s.ys

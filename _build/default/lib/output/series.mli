@@ -1,0 +1,27 @@
+(** Named (x, y) series — the exchange format between the experiment
+    harness and the writers/plotters. *)
+
+type t = private { name : string; xs : float array; ys : float array }
+
+val create : name:string -> xs:float array -> ys:float array -> t
+(** Lengths must match. *)
+
+val of_pairs : name:string -> (float * float) array -> t
+
+val name : t -> string
+
+val length : t -> int
+
+val xs : t -> float array
+
+val ys : t -> float array
+
+val map_y : (float -> float) -> t -> t
+
+val rename : string -> t -> t
+
+val x_range : t -> float * float
+(** [(min, max)] over the x values.  Raises [Invalid_argument] on an
+    empty series. *)
+
+val y_range : t -> float * float

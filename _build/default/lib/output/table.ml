@@ -1,0 +1,45 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?align ~header rows =
+  let columns = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= columns then row
+    else row @ List.init (columns - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let aligns =
+    match align with
+    | Some a when List.length a = columns -> a
+    | Some _ -> invalid_arg "Table.render: align length mismatch"
+    | None -> List.init columns (fun i -> if i = 0 then Left else Right)
+  in
+  let widths = Array.make columns 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    (header :: rows);
+  let render_row row =
+    String.concat "  "
+      (List.mapi (fun i cell -> pad (List.nth aligns i) widths.(i) cell) row)
+  in
+  let separator =
+    String.concat "  "
+      (List.init columns (fun i -> String.make widths.(i) '-'))
+  in
+  String.concat "\n"
+    ((render_row header :: separator :: List.map render_row rows) @ [ "" ])
+
+let print ?align ~header rows = print_string (render ?align ~header rows)
+
+let float_cell ?(decimals = 1) x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.*f" decimals x

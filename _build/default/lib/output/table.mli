@@ -1,0 +1,19 @@
+(** Aligned plain-text tables (for the Table 1 reproduction and the
+    experiment summaries). *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] pads the columns to a common width.  Rows
+    shorter than the header are padded with empty cells; [align]
+    defaults to [Left] for the first column and [Right] for the
+    rest. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+
+val float_cell : ?decimals:int -> float -> string
+(** Format helper: fixed decimals (default 1), or ["-"] for NaN. *)

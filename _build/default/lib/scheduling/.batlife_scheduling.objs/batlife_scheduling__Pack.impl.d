@@ -1,0 +1,1 @@
+lib/scheduling/pack.ml: Array Batlife_battery Kibam Option

@@ -1,0 +1,1 @@
+lib/scheduling/pack.mli: Batlife_battery Kibam

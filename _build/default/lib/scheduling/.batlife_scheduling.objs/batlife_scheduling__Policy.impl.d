@@ -1,0 +1,1 @@
+lib/scheduling/policy.ml: Array Batlife_sim Int64 List Pack Rng

@@ -1,0 +1,1 @@
+lib/scheduling/policy.mli: Pack

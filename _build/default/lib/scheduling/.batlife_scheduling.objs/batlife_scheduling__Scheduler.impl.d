@@ -1,0 +1,1 @@
+lib/scheduling/scheduler.ml: Array Batlife_battery Float Kibam List Load_profile Pack Policy Seq

@@ -1,0 +1,1 @@
+lib/scheduling/scheduler.mli: Batlife_battery Kibam Load_profile Pack Policy

@@ -1,0 +1,74 @@
+open Batlife_battery
+
+type t = {
+  battery : Kibam.params;
+  cells : Kibam.state array;
+  retired : bool array;
+}
+
+let create ~battery ~n =
+  if n < 1 then invalid_arg "Pack.create: need at least one cell";
+  {
+    battery;
+    cells = Array.init n (fun _ -> Kibam.initial battery);
+    retired = Array.make n false;
+  }
+
+let n_cells p = Array.length p.cells
+
+let cell p i = p.cells.(i)
+
+let available p i = p.cells.(i).Kibam.available
+
+let total_available p =
+  Array.fold_left (fun acc s -> acc +. s.Kibam.available) 0. p.cells
+
+let total_charge p =
+  Array.fold_left
+    (fun acc s -> acc +. s.Kibam.available +. s.Kibam.bound)
+    0. p.cells
+
+let usable ?(threshold = 1e-9) p i =
+  (not p.retired.(i)) && available p i > threshold
+
+let retire p i =
+  if p.retired.(i) then p
+  else begin
+    let retired = Array.copy p.retired in
+    retired.(i) <- true;
+    { p with retired }
+  end
+
+let retired p i = p.retired.(i)
+
+let usable_cells ?threshold p =
+  let acc = ref [] in
+  for i = n_cells p - 1 downto 0 do
+    if usable ?threshold p i then acc := i :: !acc
+  done;
+  !acc
+
+let step p ~serving ~load ~dt =
+  if dt < 0. then invalid_arg "Pack.step: negative duration";
+  let cells =
+    Array.mapi
+      (fun i s ->
+        let cell_load = if serving = Some i then load else 0. in
+        let s' = Kibam.step p.battery ~load:cell_load ~dt s in
+        (* Clamp tiny numerical undershoot of the serving cell. *)
+        if s'.Kibam.available < 0. then { s' with Kibam.available = 0. }
+        else s')
+      p.cells
+  in
+  { p with cells }
+
+let best_available ?threshold p =
+  let best = ref None in
+  Array.iteri
+    (fun i s ->
+      if usable ?threshold p i then
+        match !best with
+        | Some (_, a) when a >= s.Kibam.available -> ()
+        | _ -> best := Some (i, s.Kibam.available))
+    p.cells;
+  Option.map fst !best

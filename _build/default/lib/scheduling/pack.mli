@@ -1,0 +1,51 @@
+(** A pack of identical KiBaM batteries.
+
+    Multi-battery systems are the natural application of the paper's
+    recovery analysis (and the subject of the authors' follow-up work
+    on battery scheduling): while one battery serves the load, the
+    others idle and their bound charge diffuses over, so the *order*
+    in which batteries are used changes the system lifetime. *)
+
+open Batlife_battery
+
+type t = private {
+  battery : Kibam.params;  (** per-cell parameters *)
+  cells : Kibam.state array;  (** current fill of each cell *)
+  retired : bool array;
+      (** cells permanently taken offline (reached their cutoff);
+          a retired cell still holds charge but cannot serve *)
+}
+
+val create : battery:Kibam.params -> n:int -> t
+(** [n] fully charged cells.  Raises [Invalid_argument] for [n < 1]. *)
+
+val n_cells : t -> int
+
+val cell : t -> int -> Kibam.state
+
+val available : t -> int -> float
+(** Available charge of cell [i]. *)
+
+val total_available : t -> float
+
+val total_charge : t -> float
+(** Sum of both wells over all cells. *)
+
+val usable : ?threshold:float -> t -> int -> bool
+(** Whether cell [i] can serve a load right now: not retired and
+    available charge above [threshold] (default 1e-9). *)
+
+val retire : t -> int -> t
+(** Permanently take cell [i] offline (it hit its cutoff while
+    serving).  Idempotent. *)
+
+val retired : t -> int -> bool
+
+val usable_cells : ?threshold:float -> t -> int list
+
+val step : t -> serving:int option -> load:float -> dt:float -> t
+(** Advance the pack by [dt]: cell [serving] (if any) draws [load],
+    all other cells idle (recover).  Pure — returns a new pack. *)
+
+val best_available : ?threshold:float -> t -> int option
+(** Index of the usable cell with the largest available charge. *)

@@ -1,0 +1,34 @@
+(** Battery-scheduling policies.
+
+    At each decision point (slot boundary, or the moment the serving
+    cell empties) the policy picks which usable cell serves the load
+    next. *)
+
+type t =
+  | Sequential
+      (** drain the lowest-indexed usable cell — "use battery 1 until
+          it dies, then battery 2"; the no-scheduling baseline.  Note
+          that a cell drained to (just above) the cutoff and switched
+          away from may recover past the usability threshold and
+          become eligible again; only a cell that actually hits the
+          cutoff while serving is retired for good *)
+  | Round_robin
+      (** rotate to the next usable cell after the previous server *)
+  | Best_available
+      (** greedy: serve from the cell with the most available charge,
+          maximising every cell's recovery headroom *)
+  | Random of int
+      (** uniformly random usable cell (seeded); a sanity baseline
+          between sequential and round robin *)
+
+val name : t -> string
+
+type state
+(** Mutable policy state (rotation pointer / RNG). *)
+
+val initial_state : t -> state
+
+val choose : t -> state -> previous:int option -> Pack.t -> int option
+(** Pick the next serving cell among the usable ones; [None] when no
+    cell is usable.  [previous] is the cell that served last (used by
+    round robin). *)

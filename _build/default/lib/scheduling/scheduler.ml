@@ -1,0 +1,149 @@
+open Batlife_battery
+
+type outcome = {
+  lifetime : float option;
+  delivered : float;
+  switches : int;
+  final : Pack.t;
+}
+
+let default_slot ~battery ~profile =
+  let average = Float.max (Load_profile.average_load profile) 1e-12 in
+  Kibam.lifetime_constant battery ~load:average /. 100.
+
+(* One decision epoch: serve [load] for up to [dt] from [server];
+   returns (elapsed, pack', died_mid_slot). *)
+let serve pack ~server ~load ~dt =
+  match server with
+  | None ->
+      if load > 0. then (0., pack, true)
+      else (dt, Pack.step pack ~serving:None ~load:0. ~dt, false)
+  | Some i ->
+      if load <= 0. then (dt, Pack.step pack ~serving:None ~load:0. ~dt, false)
+      else begin
+        let cell = Pack.cell pack i in
+        match
+          Kibam.empty_within pack.Pack.battery ~load ~dt cell
+        with
+        | Some tau ->
+            (* The serving cell dies at tau: advance everyone to tau
+               and let the caller re-decide. *)
+            (tau, Pack.step pack ~serving:(Some i) ~load ~dt:tau, true)
+        | None -> (dt, Pack.step pack ~serving:(Some i) ~load ~dt, false)
+      end
+
+let run ?slot ?(max_time = 1e9) ?threshold ?(revive = false) ~policy ~battery
+    ~n profile =
+  let slot =
+    match slot with Some s -> s | None -> default_slot ~battery ~profile
+  in
+  if slot <= 0. then invalid_arg "Scheduler.run: non-positive slot";
+  let state = Policy.initial_state policy in
+  let rec go time pack previous switches delivered segs =
+    if time >= max_time then
+      { lifetime = None; delivered; switches; final = pack }
+    else
+      match segs () with
+      | Seq.Nil -> { lifetime = None; delivered; switches; final = pack }
+      | Seq.Cons ((duration, load), rest) ->
+          let seg_end = Float.min (time +. duration) max_time in
+          let rec within time pack previous switches delivered =
+            if time >= seg_end *. (1. -. 1e-15) || time >= max_time then
+              (time, pack, previous, switches, delivered, false)
+            else begin
+              let dt = Float.min slot (seg_end -. time) in
+              let server =
+                if load > 0. then Policy.choose policy state ~previous pack
+                else None
+              in
+              let switches =
+                match (server, previous) with
+                | Some s, Some p when s <> p -> switches + 1
+                | Some _, None -> switches
+                | _ -> switches
+              in
+              let elapsed, pack', died = serve pack ~server ~load ~dt in
+              let delivered = delivered +. (load *. elapsed) in
+              let time = time +. elapsed in
+              if died then begin
+                (* The serving cell emptied mid-slot: retire it (unless
+                   reviving) and re-decide immediately; the system is
+                   dead when nothing can serve. *)
+                let pack' =
+                  match server with
+                  | Some i when not revive -> Pack.retire pack' i
+                  | Some _ | None -> pack'
+                in
+                if Pack.usable_cells ?threshold pack' <> [] then
+                  within time pack'
+                    (match server with Some _ -> server | None -> previous)
+                    switches delivered
+                else (time, pack', server, switches, delivered, true)
+              end
+              else within time pack' server switches delivered
+            end
+          in
+          let time, pack, previous, switches, delivered, dead =
+            within time pack previous switches delivered
+          in
+          if dead then
+            { lifetime = Some time; delivered; switches; final = pack }
+          else if Float.is_finite duration then
+            go time pack previous switches delivered rest
+          else { lifetime = None; delivered; switches; final = pack }
+  in
+  go 0.
+    (Pack.create ~battery ~n)
+    None 0 0.
+    (Load_profile.segments_from profile 0.)
+
+let trace ?slot ?(max_time = 1e9) ?(revive = false) ~policy ~battery ~n ~t_end
+    profile =
+  let slot =
+    match slot with Some s -> s | None -> default_slot ~battery ~profile
+  in
+  let state = Policy.initial_state policy in
+  let samples = ref [] in
+  let record time pack =
+    samples :=
+      (time, Array.init (Pack.n_cells pack) (Pack.available pack)) :: !samples
+  in
+  let rec go time pack previous segs =
+    record time pack;
+    if time < Float.min t_end max_time then
+      match segs () with
+      | Seq.Nil -> ()
+      | Seq.Cons ((duration, load), rest) ->
+          let seg_end = Float.min (time +. duration) (Float.min t_end max_time) in
+          let rec within time pack previous =
+            if time >= seg_end *. (1. -. 1e-15) then (time, pack, previous, false)
+            else begin
+              let dt = Float.min slot (seg_end -. time) in
+              let server =
+                if load > 0. then Policy.choose policy state ~previous pack
+                else None
+              in
+              let elapsed, pack', died = serve pack ~server ~load ~dt in
+              let pack' =
+                match (died, server) with
+                | true, Some i when not revive -> Pack.retire pack' i
+                | _ -> pack'
+              in
+              let time = time +. elapsed in
+              record time pack';
+              if died && Pack.usable_cells pack' = [] then
+                (time, pack', server, true)
+              else within time pack' (if server <> None then server else previous)
+            end
+          in
+          let time, pack, previous, dead = within time pack previous in
+          if not dead then go time pack previous rest
+  in
+  go 0. (Pack.create ~battery ~n) None (Load_profile.segments_from profile 0.);
+  Array.of_list (List.rev !samples)
+
+let compare_policies ?slot ?max_time ?revive ~policies ~battery ~n profile =
+  List.map
+    (fun policy ->
+      (policy, run ?slot ?max_time ?revive ~policy ~battery ~n profile))
+    policies

@@ -1,0 +1,57 @@
+(** Deterministic evaluation of a scheduling policy on a load
+    profile.
+
+    Time advances in slots; at every slot boundary (and immediately
+    when the serving cell empties) the policy re-decides.  Between
+    decisions the pack evolves by the exact analytic KiBaM step: the
+    serving cell discharges, the others recover.  A cell that empties
+    while serving is {e retired} (cutoff) unless [revive] is set; the
+    system dies the moment a positive load cannot be served by any
+    usable cell. *)
+
+open Batlife_battery
+
+type outcome = {
+  lifetime : float option;  (** [None]: survived to [max_time] *)
+  delivered : float;  (** total charge delivered to the load *)
+  switches : int;  (** number of server changes *)
+  final : Pack.t;  (** pack state at death / horizon *)
+}
+
+val run :
+  ?slot:float ->
+  ?max_time:float ->
+  ?threshold:float ->
+  ?revive:bool ->
+  policy:Policy.t ->
+  battery:Kibam.params ->
+  n:int ->
+  Load_profile.t ->
+  outcome
+(** [run ~policy ~battery ~n profile] with decision slot [slot]
+    (default: 1/100 of the single-cell continuous lifetime at the
+    profile's average positive load) and horizon [max_time] (default
+    [1e9]). *)
+
+val trace :
+  ?slot:float ->
+  ?max_time:float ->
+  ?revive:bool ->
+  policy:Policy.t ->
+  battery:Kibam.params ->
+  n:int ->
+  t_end:float ->
+  Load_profile.t ->
+  (float * float array) array
+(** Sampled per-cell available charge [(t, [|y1 of each cell|])] —
+    for plotting how the policy shuttles the load around. *)
+
+val compare_policies :
+  ?slot:float ->
+  ?max_time:float ->
+  ?revive:bool ->
+  policies:Policy.t list ->
+  battery:Kibam.params ->
+  n:int ->
+  Load_profile.t ->
+  (Policy.t * outcome) list

@@ -1,0 +1,1 @@
+lib/sim/montecarlo.ml: Array Float Printf Rng Stats Trajectory

@@ -1,0 +1,1 @@
+lib/sim/montecarlo.mli: Batlife_core Kibamrm

@@ -1,0 +1,1 @@
+lib/sim/rng.ml: Batlife_numerics

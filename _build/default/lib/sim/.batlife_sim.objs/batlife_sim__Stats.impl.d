@@ -1,0 +1,1 @@
+lib/sim/stats.ml: Array Batlife_numerics Float Special

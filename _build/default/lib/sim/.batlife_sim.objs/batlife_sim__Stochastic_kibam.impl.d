@@ -1,0 +1,1 @@
+lib/sim/stochastic_kibam.ml: Array Batlife_battery Float Kibam Load_profile Modified_kibam Rng Seq Stats

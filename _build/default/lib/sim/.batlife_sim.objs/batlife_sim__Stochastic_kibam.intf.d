@@ -1,0 +1,1 @@
+lib/sim/stochastic_kibam.mli: Batlife_battery Load_profile Modified_kibam Rng

@@ -1,0 +1,1 @@
+lib/sim/trajectory.ml: Array Batlife_battery Batlife_core Batlife_ctmc Batlife_workload Float Generator Kibam Kibamrm List Model Rng

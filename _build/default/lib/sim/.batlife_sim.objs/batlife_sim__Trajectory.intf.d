@@ -1,0 +1,1 @@
+lib/sim/trajectory.mli: Batlife_battery Batlife_core Kibam Kibamrm Rng

@@ -1,0 +1,65 @@
+type 'a entry = { time : float; payload : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let is_empty q = q.len = 0
+
+let size q = q.len
+
+let swap q i j =
+  let t = q.data.(i) in
+  q.data.(i) <- q.data.(j);
+  q.data.(j) <- t
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.data.(i).time < q.data.(parent).time then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < q.len && q.data.(left).time < q.data.(!smallest).time then
+    smallest := left;
+  if right < q.len && q.data.(right).time < q.data.(!smallest).time then
+    smallest := right;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let push q ~time payload =
+  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
+  let entry = { time; payload } in
+  if q.len = Array.length q.data then begin
+    let capacity = max 16 (2 * Array.length q.data) in
+    let data = Array.make capacity entry in
+    Array.blit q.data 0 data 0 q.len;
+    q.data <- data
+  end;
+  q.data.(q.len) <- entry;
+  q.len <- q.len + 1;
+  sift_up q (q.len - 1)
+
+let peek q =
+  if q.len = 0 then None else Some (q.data.(0).time, q.data.(0).payload)
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.data.(0) <- q.data.(q.len);
+      sift_down q 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let clear q = q.len <- 0

@@ -1,0 +1,24 @@
+(** A binary-heap priority queue keyed by time.
+
+    Generic discrete-event-simulation substrate: used by the example
+    programs to schedule deterministic workload events alongside
+    stochastic ones. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+
+val peek : 'a t -> (float * 'a) option
+(** Earliest event without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event.  Ties are broken
+    arbitrarily. *)
+
+val clear : 'a t -> unit

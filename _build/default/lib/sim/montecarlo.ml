@@ -1,0 +1,80 @@
+type estimate = {
+  times : float array;
+  cdf : float array;
+  ci_low : float array;
+  ci_high : float array;
+  runs : int;
+  censored : int;
+  samples : float array;
+}
+
+let default_runs = 1000
+
+let run_replications ?(seed = 0x0BA77E7AL) ~runs ~horizon model =
+  if runs <= 0 then invalid_arg "Montecarlo: need runs > 0";
+  let master = Rng.create ~seed () in
+  let sim = Trajectory.prepare model in
+  let died = ref [] and censored = ref 0 in
+  for _ = 1 to runs do
+    (* A split stream per replication keeps replications independent
+       of each other's consumption pattern. *)
+    let rng = Rng.split master in
+    match Trajectory.run ~horizon sim rng with
+    | Trajectory.Died t -> died := t :: !died
+    | Trajectory.Survived _ -> incr censored
+  done;
+  (Array.of_list !died, !censored)
+
+let lifetime_cdf ?seed ?(runs = default_runs) ?horizon ?(confidence = 0.95)
+    model ~times =
+  let horizon =
+    match horizon with
+    | Some h -> h
+    | None -> 4. *. Array.fold_left Float.max 1. times
+  in
+  Array.iter
+    (fun t ->
+      if t > horizon then
+        invalid_arg "Montecarlo.lifetime_cdf: time beyond horizon")
+    times;
+  let samples, censored = run_replications ?seed ~runs ~horizon model in
+  let nf = float_of_int runs in
+  let cdf =
+    Array.map
+      (fun t ->
+        let count =
+          Array.fold_left
+            (fun acc l -> if l <= t then acc + 1 else acc)
+            0 samples
+        in
+        float_of_int count /. nf)
+      times
+  in
+  let lows = Array.make (Array.length times) 0.
+  and highs = Array.make (Array.length times) 0. in
+  Array.iteri
+    (fun i p ->
+      let lo, hi =
+        Stats.proportion_confidence_interval ~confidence ~p_hat:p runs
+      in
+      lows.(i) <- lo;
+      highs.(i) <- hi)
+    cdf;
+  {
+    times = Array.copy times;
+    cdf;
+    ci_low = lows;
+    ci_high = highs;
+    runs;
+    censored;
+    samples;
+  }
+
+let mean_lifetime ?seed ?(runs = default_runs) ?(horizon = 1e9) model =
+  let samples, censored = run_replications ?seed ~runs ~horizon model in
+  if censored > 0 then
+    failwith
+      (Printf.sprintf "Montecarlo.mean_lifetime: %d replications censored"
+         censored);
+  let s = Stats.summarize samples in
+  (s.Stats.mean, Stats.mean_confidence_interval samples)

@@ -1,0 +1,37 @@
+(** Monte-Carlo estimation of lifetime distributions.
+
+    Replicates {!Trajectory.sample_lifetime} (the paper uses 1000
+    independent runs) and reports the empirical CDF with pointwise
+    confidence bands. *)
+
+open Batlife_core
+
+type estimate = {
+  times : float array;
+  cdf : float array;  (** empirical [Pr{L <= t}] *)
+  ci_low : float array;
+  ci_high : float array;  (** pointwise 95 % band (Wald) *)
+  runs : int;
+  censored : int;  (** replications that outlived the horizon *)
+  samples : float array;  (** observed lifetimes (censored excluded) *)
+}
+
+val lifetime_cdf :
+  ?seed:int64 ->
+  ?runs:int ->
+  ?horizon:float ->
+  ?confidence:float ->
+  Kibamrm.t ->
+  times:float array ->
+  estimate
+(** [lifetime_cdf model ~times] runs [runs] (default 1000) independent
+    replications.  Censored runs count as "alive" at every requested
+    time, making the CDF estimate exact as long as
+    [max times <= horizon] (default: 4x the largest requested
+    time). *)
+
+val mean_lifetime :
+  ?seed:int64 -> ?runs:int -> ?horizon:float -> Kibamrm.t ->
+  float * (float * float)
+(** Mean observed lifetime with a 95 % CI.  Raises [Failure] if any
+    replication is censored (increase the horizon). *)

@@ -1,0 +1,4 @@
+(* Re-export: the PRNG lives in the numerics substrate (it is needed
+   below the simulation layer, e.g. by trace-driven workloads), but
+   Batlife_sim.Rng remains the canonical name for simulation code. *)
+include Batlife_numerics.Rng

@@ -1,0 +1,3 @@
+(** Alias of {!Batlife_numerics.Rng} (see there for documentation). *)
+
+include module type of Batlife_numerics.Rng

@@ -1,0 +1,100 @@
+open Batlife_numerics
+
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;
+  std_dev : float;
+  minimum : float;
+  maximum : float;
+}
+
+let summarize samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  (* Welford's online algorithm for numerical stability. *)
+  let mean = ref 0. and m2 = ref 0. in
+  let minimum = ref samples.(0) and maximum = ref samples.(0) in
+  Array.iteri
+    (fun i x ->
+      let k = float_of_int (i + 1) in
+      let d = x -. !mean in
+      mean := !mean +. (d /. k);
+      m2 := !m2 +. (d *. (x -. !mean));
+      minimum := Float.min !minimum x;
+      maximum := Float.max !maximum x)
+    samples;
+  let variance = if n > 1 then !m2 /. float_of_int (n - 1) else 0. in
+  {
+    count = n;
+    mean = !mean;
+    variance;
+    std_dev = sqrt variance;
+    minimum = !minimum;
+    maximum = !maximum;
+  }
+
+let z_for confidence =
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Stats: confidence must be in (0,1)";
+  Special.normal_quantile (1. -. ((1. -. confidence) /. 2.))
+
+let mean_confidence_interval ?(confidence = 0.95) samples =
+  let s = summarize samples in
+  let z = z_for confidence in
+  let half = z *. s.std_dev /. sqrt (float_of_int s.count) in
+  (s.mean -. half, s.mean +. half)
+
+let proportion_confidence_interval ?(confidence = 0.95) ~p_hat n =
+  if n <= 0 then invalid_arg "Stats.proportion_confidence_interval: n <= 0";
+  let z = z_for confidence in
+  let half = z *. sqrt (p_hat *. (1. -. p_hat) /. float_of_int n) in
+  (Float.max 0. (p_hat -. half), Float.min 1. (p_hat +. half))
+
+module Ecdf = struct
+  type t = { sorted : float array }
+
+  let create samples =
+    if Array.length samples = 0 then invalid_arg "Ecdf.create: empty sample";
+    let sorted = Array.copy samples in
+    Array.sort Float.compare sorted;
+    { sorted }
+
+  (* Number of samples <= x, by binary search. *)
+  let count_le e x =
+    let n = Array.length e.sorted in
+    if x < e.sorted.(0) then 0
+    else if x >= e.sorted.(n - 1) then n
+    else begin
+      (* Largest index with sorted.(i) <= x. *)
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if e.sorted.(mid) <= x then lo := mid else hi := mid
+      done;
+      !lo + 1
+    end
+
+  let eval e x =
+    float_of_int (count_le e x) /. float_of_int (Array.length e.sorted)
+
+  let quantile e p =
+    if p < 0. || p > 1. then invalid_arg "Ecdf.quantile: p outside [0,1]";
+    let n = Array.length e.sorted in
+    let idx = int_of_float (Float.ceil (p *. float_of_int n)) - 1 in
+    e.sorted.(min (max idx 0) (n - 1))
+
+  let samples e = Array.copy e.sorted
+
+  let ks_distance e cdf =
+    let n = Array.length e.sorted in
+    let nf = float_of_int n in
+    let best = ref 0. in
+    for i = 0 to n - 1 do
+      let f = cdf e.sorted.(i) in
+      let upper = (float_of_int (i + 1) /. nf) -. f
+      and lower = f -. (float_of_int i /. nf) in
+      best := Float.max !best (Float.max upper lower)
+    done;
+    !best
+end

@@ -1,0 +1,44 @@
+(** Descriptive statistics and empirical distributions for the
+    Monte-Carlo engine. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;  (** unbiased sample variance *)
+  std_dev : float;
+  minimum : float;
+  maximum : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on the empty array. *)
+
+val mean_confidence_interval :
+  ?confidence:float -> float array -> float * float
+(** Normal-approximation CI for the mean (default 95 %). *)
+
+val proportion_confidence_interval :
+  ?confidence:float -> p_hat:float -> int -> float * float
+(** [proportion_confidence_interval ~p_hat n]: Wald interval for a
+    proportion observed over [n] trials, clamped to [\[0,1\]]. *)
+
+module Ecdf : sig
+  type t
+
+  val create : float array -> t
+  (** Empirical CDF of the samples (copies and sorts). *)
+
+  val eval : t -> float -> float
+  (** Fraction of samples [<= x]. *)
+
+  val quantile : t -> float -> float
+  (** [quantile e p] with [p] in [\[0, 1]]. *)
+
+  val samples : t -> float array
+  (** The sorted samples. *)
+
+  val ks_distance : t -> (float -> float) -> float
+  (** Kolmogorov–Smirnov distance between the empirical CDF and a
+      reference CDF, evaluated at the sample points (both one-sided
+      deviations considered). *)
+end

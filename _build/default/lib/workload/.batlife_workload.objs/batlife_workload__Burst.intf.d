@@ -1,0 +1,1 @@
+lib/workload/burst.mli: Model Simple

@@ -1,0 +1,1 @@
+lib/workload/model.ml: Array Batlife_ctmc Float Format Generator Hashtbl List Steady String

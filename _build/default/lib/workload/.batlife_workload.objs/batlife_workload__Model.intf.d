@@ -1,0 +1,1 @@
+lib/workload/model.mli: Batlife_ctmc Format Generator

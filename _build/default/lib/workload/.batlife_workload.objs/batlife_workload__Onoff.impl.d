@@ -1,0 +1,1 @@
+lib/workload/onoff.ml: List Model Printf String

@@ -1,0 +1,1 @@
+lib/workload/onoff.mli: Model

@@ -1,0 +1,1 @@
+lib/workload/simple.ml: Array List Model String

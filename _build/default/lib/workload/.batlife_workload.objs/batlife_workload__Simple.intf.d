@@ -1,0 +1,1 @@
+lib/workload/simple.mli: Model

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Batlife_battery Batlife_ctmc Batlife_numerics Buffer Float Fun List Load_profile Model Printf String

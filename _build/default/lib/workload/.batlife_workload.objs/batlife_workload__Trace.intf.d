@@ -1,0 +1,1 @@
+lib/workload/trace.mli: Batlife_battery Load_profile Model

@@ -1,0 +1,42 @@
+type rates = {
+  switch_on : float;
+  switch_off : float;
+  lambda_burst : float;
+  mu : float;
+  tau : float;
+}
+
+let default_rates =
+  { switch_on = 1.; switch_off = 6.; lambda_burst = 182.; mu = 6.; tau = 1. }
+
+let model ?(rates = default_rates) ?(currents = Simple.default_currents) () =
+  if
+    rates.switch_on <= 0. || rates.switch_off <= 0. || rates.lambda_burst <= 0.
+    || rates.mu <= 0. || rates.tau <= 0.
+  then invalid_arg "Burst.model: rates must be positive";
+  Model.of_spec
+    ~states:
+      [
+        ("sleep", currents.Simple.sleep);
+        ("off-idle", currents.Simple.idle);
+        ("on-idle", currents.Simple.idle);
+        ("off-send", currents.Simple.send);
+        ("on-send", currents.Simple.send);
+      ]
+    ~transitions:
+      [
+        (* Flow toggling. *)
+        ("sleep", "on-idle", rates.switch_on);
+        ("off-idle", "on-idle", rates.switch_on);
+        ("on-idle", "off-idle", rates.switch_off);
+        ("off-send", "on-send", rates.switch_on);
+        ("on-send", "off-send", rates.switch_off);
+        (* Buffered data triggers a send only while the flow is on. *)
+        ("on-idle", "on-send", rates.lambda_burst);
+        (* Send completion. *)
+        ("on-send", "on-idle", rates.mu);
+        ("off-send", "off-idle", rates.mu);
+        (* Sleep timeout while no flow is active. *)
+        ("off-idle", "sleep", rates.tau);
+      ]
+    ~initial:"off-idle"

@@ -1,0 +1,24 @@
+(** The five-state "burst" wireless-device model (Fig. 5).
+
+    Arriving data is buffered while a flow is active and transmitted in
+    bursts, letting the device sleep longer.  States: [sleep],
+    [on-idle], [off-idle], [on-send], [off-send]; "on"/"off" is the
+    state of the data flow.  Defaults (per hour): bursts start at
+    [switch_on = 1], stop at [switch_off = 6], buffered data arrives at
+    [lambda_burst = 182], sends complete at [mu = 6], the sleep timeout
+    is [tau = 1].  The paper chooses [lambda_burst = 182/h] so that the
+    steady-state send probability equals the simple model's 0.25. *)
+
+type rates = {
+  switch_on : float;
+  switch_off : float;
+  lambda_burst : float;
+  mu : float;
+  tau : float;
+}
+
+val default_rates : rates
+
+val model : ?rates:rates -> ?currents:Simple.currents -> unit -> Model.t
+(** Starts in [off-idle] (no active flow, device awake), the
+    counterpart of the simple model's [idle] start. *)

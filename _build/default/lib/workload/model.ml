@@ -1,0 +1,81 @@
+open Batlife_ctmc
+
+type t = {
+  generator : Generator.t;
+  currents : float array;
+  initial : float array;
+}
+
+let create ~generator ~currents ~initial =
+  let n = Generator.n_states generator in
+  if Array.length currents <> n then
+    invalid_arg "Model.create: currents length mismatch";
+  if Array.length initial <> n then
+    invalid_arg "Model.create: initial distribution length mismatch";
+  Array.iter
+    (fun i -> if i < 0. then invalid_arg "Model.create: negative current")
+    currents;
+  let mass = Array.fold_left ( +. ) 0. initial in
+  Array.iter
+    (fun p -> if p < 0. then invalid_arg "Model.create: negative probability")
+    initial;
+  if Float.abs (mass -. 1.) > 1e-9 then
+    invalid_arg "Model.create: initial distribution does not sum to 1";
+  { generator; currents = Array.copy currents; initial = Array.copy initial }
+
+let of_spec ~states ~transitions ~initial =
+  if states = [] then invalid_arg "Model.of_spec: no states";
+  let names = Array.of_list (List.map fst states) in
+  let index = Hashtbl.create 16 in
+  Array.iteri
+    (fun i name ->
+      if Hashtbl.mem index name then
+        invalid_arg ("Model.of_spec: duplicate state " ^ name);
+      Hashtbl.add index name i)
+    names;
+  let resolve name =
+    match Hashtbl.find_opt index name with
+    | Some i -> i
+    | None -> invalid_arg ("Model.of_spec: unknown state " ^ name)
+  in
+  let n = Array.length names in
+  let rates =
+    List.map (fun (a, b, r) -> (resolve a, resolve b, r)) transitions
+  in
+  let generator = Generator.of_rates ~labels:names ~n rates in
+  let currents = Array.of_list (List.map snd states) in
+  let alpha = Array.make n 0. in
+  alpha.(resolve initial) <- 1.;
+  create ~generator ~currents ~initial:alpha
+
+let n_states m = Generator.n_states m.generator
+
+let current m i = m.currents.(i)
+
+let name m i = Generator.label m.generator i
+
+let state_index m s =
+  let n = n_states m in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if String.equal (name m i) s then i
+    else go (i + 1)
+  in
+  go 0
+
+let max_current m = Array.fold_left Float.max 0. m.currents
+
+let steady_state m = Steady.gth m.generator
+
+let average_current m =
+  let pi = steady_state m in
+  let acc = ref 0. in
+  Array.iteri (fun i p -> acc := !acc +. (p *. m.currents.(i))) pi;
+  !acc
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>workload with %d states@," (n_states m);
+  for i = 0 to n_states m - 1 do
+    Format.fprintf ppf "  %-12s I = %g@," (name m i) m.currents.(i)
+  done;
+  Format.fprintf ppf "%a@]" Generator.pp m.generator

@@ -1,0 +1,49 @@
+(** Stochastic workload models (Section 4.3 of the paper).
+
+    A workload model is a CTMC over the operating modes of the device,
+    each state annotated with its energy-consumption rate [I_i].
+    Combined with a battery model it forms the KiBaMRM. *)
+
+open Batlife_ctmc
+
+type t = private {
+  generator : Generator.t;
+  currents : float array;  (** consumption rate per state *)
+  initial : float array;  (** initial distribution [alpha] *)
+}
+
+val create :
+  generator:Generator.t ->
+  currents:float array ->
+  initial:float array ->
+  t
+(** Validates lengths, non-negative currents, and that [initial] is a
+    distribution (sums to 1 within [1e-9]). *)
+
+val of_spec :
+  states:(string * float) list ->
+  transitions:(string * string * float) list ->
+  initial:string ->
+  t
+(** Build from named states: [states] lists [(name, current)] pairs,
+    [transitions] lists [(from, to, rate)], [initial] names the
+    starting state.  Raises [Invalid_argument] on unknown names or
+    duplicates. *)
+
+val n_states : t -> int
+
+val current : t -> int -> float
+
+val name : t -> int -> string
+
+val state_index : t -> string -> int
+(** Raises [Not_found] for unknown names. *)
+
+val max_current : t -> float
+
+val steady_state : t -> float array
+
+val average_current : t -> float
+(** Steady-state mean consumption rate [sum_i pi_i I_i]. *)
+
+val pp : Format.formatter -> t -> unit

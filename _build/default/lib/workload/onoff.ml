@@ -1,0 +1,25 @@
+let phase_rate ~frequency ~k = 2. *. frequency *. float_of_int k
+
+let expected_half_period ~frequency = 1. /. (2. *. frequency)
+
+let model ?(start_on = true) ~frequency ~k ~on_current () =
+  if frequency <= 0. then invalid_arg "Onoff.model: non-positive frequency";
+  if k < 1 then invalid_arg "Onoff.model: need k >= 1";
+  if on_current <= 0. then invalid_arg "Onoff.model: non-positive current";
+  let lambda = phase_rate ~frequency ~k in
+  let phase_name side i = Printf.sprintf "%s%d" side (i + 1) in
+  let states =
+    List.init k (fun i -> (phase_name "on" i, on_current))
+    @ List.init k (fun i -> (phase_name "off" i, 0.))
+  in
+  (* on1 -> ... -> onK -> off1 -> ... -> offK -> on1, all at lambda. *)
+  let next side i =
+    if i + 1 < k then phase_name side (i + 1)
+    else phase_name (if String.equal side "on" then "off" else "on") 0
+  in
+  let transitions =
+    List.init k (fun i -> (phase_name "on" i, next "on" i, lambda))
+    @ List.init k (fun i -> (phase_name "off" i, next "off" i, lambda))
+  in
+  let initial = if start_on then "on1" else "off1" in
+  Model.of_spec ~states ~transitions ~initial

@@ -1,0 +1,21 @@
+(** The Erlang-K on/off workload model (Fig. 3 of the paper).
+
+    For a target toggle frequency [f], the model alternates between an
+    on macro-state (current [on_current]) and an off macro-state (no
+    consumption), each consisting of [k] exponential phases with rate
+    [lambda = 2 f k].  The expected on and off durations are then both
+    [1/(2f)], and as [k] grows the sojourns become nearly
+    deterministic — the stochastic counterpart of the paper's square
+    wave. *)
+
+val model : ?start_on:bool -> frequency:float -> k:int -> on_current:float ->
+  unit -> Model.t
+(** [model ~frequency ~k ~on_current ()] builds the 2k-state chain.
+    [start_on] (default [true]) begins in the first on-phase.  Raises
+    [Invalid_argument] for non-positive frequency, current, or [k]. *)
+
+val phase_rate : frequency:float -> k:int -> float
+(** [lambda = 2 f k]. *)
+
+val expected_half_period : frequency:float -> float
+(** [1 / (2 f)]: the mean on (and off) duration. *)

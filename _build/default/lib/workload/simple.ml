@@ -1,0 +1,41 @@
+type rates = { lambda : float; mu : float; tau : float }
+
+let default_rates = { lambda = 2.; mu = 6.; tau = 1. }
+
+type currents = { idle : float; send : float; sleep : float }
+
+let default_currents = { idle = 8.; send = 200.; sleep = 0. }
+
+let model ?(rates = default_rates) ?(currents = default_currents) () =
+  if rates.lambda <= 0. || rates.mu <= 0. || rates.tau <= 0. then
+    invalid_arg "Simple.model: rates must be positive";
+  Model.of_spec
+    ~states:
+      [
+        ("idle", currents.idle);
+        ("send", currents.send);
+        ("sleep", currents.sleep);
+      ]
+    ~transitions:
+      [
+        ("idle", "send", rates.lambda);
+        ("send", "idle", rates.mu);
+        ("idle", "sleep", rates.tau);
+        ("sleep", "send", rates.lambda);
+      ]
+    ~initial:"idle"
+
+let probability_of_states m predicate =
+  let pi = Model.steady_state m in
+  let acc = ref 0. in
+  for i = 0 to Model.n_states m - 1 do
+    if predicate (Model.name m i) then acc := !acc +. pi.(i)
+  done;
+  !acc
+
+let send_probability m =
+  probability_of_states m (fun name ->
+      List.mem name [ "send"; "on-send"; "off-send" ])
+
+let sleep_probability m =
+  probability_of_states m (fun name -> String.equal name "sleep")

@@ -1,0 +1,35 @@
+(** The three-state "simple" wireless-device model (Fig. 4).
+
+    States: [idle] (8 mA), [send] (200 mA), [sleep] (0 mA).  Data
+    arrives at rate [lambda = 2/h] (also waking the device from
+    sleep), a send completes at [mu = 6/h], and the device dozes off
+    from idle at [tau = 1/h].  All rates and currents can be
+    overridden; the defaults are the paper's (units: hours and mA). *)
+
+type rates = {
+  lambda : float;  (** data arrival, default 2/h *)
+  mu : float;  (** send completion, default 6/h *)
+  tau : float;  (** sleep timeout, default 1/h *)
+}
+
+val default_rates : rates
+
+type currents = {
+  idle : float;  (** default 8 mA *)
+  send : float;  (** default 200 mA *)
+  sleep : float;  (** default 0 mA *)
+}
+
+val default_currents : currents
+
+val model : ?rates:rates -> ?currents:currents -> unit -> Model.t
+(** Starts in [idle]. *)
+
+val send_probability : Model.t -> float
+(** Steady-state probability of being in a sending state (works for
+    any model whose sending states are named ["send"], ["on-send"] or
+    ["off-send"]); the quantity the paper equalises between the simple
+    and burst models. *)
+
+val sleep_probability : Model.t -> float
+(** Steady-state probability of the state(s) named ["sleep"]. *)

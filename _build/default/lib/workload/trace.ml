@@ -1,0 +1,239 @@
+open Batlife_battery
+
+
+type sample = { time : float; current : float }
+
+let check_samples samples =
+  (match samples with
+  | [] | [ _ ] -> invalid_arg "Trace: need at least two samples"
+  | _ -> ());
+  let rec go previous = function
+    | [] -> ()
+    | s :: rest ->
+        if s.time <= previous then
+          invalid_arg "Trace: timestamps must be strictly increasing";
+        if s.current < 0. then invalid_arg "Trace: negative current";
+        go s.time rest
+  in
+  match samples with
+  | first :: rest ->
+      if first.time < 0. then invalid_arg "Trace: negative timestamp";
+      if first.current < 0. then invalid_arg "Trace: negative current";
+      go first.time rest
+  | [] -> ()
+
+let median_gap samples =
+  let gaps =
+    List.rev
+      (snd
+         (List.fold_left
+            (fun (prev, acc) s ->
+              match prev with
+              | None -> (Some s.time, acc)
+              | Some t -> (Some s.time, (s.time -. t) :: acc))
+            (None, []) samples))
+  in
+  let sorted = List.sort Float.compare gaps in
+  List.nth sorted (List.length sorted / 2)
+
+let of_samples samples =
+  check_samples samples;
+  let tail_hold = median_gap samples in
+  let rec segments = function
+    | s :: (next :: _ as rest) ->
+        { Load_profile.duration = next.time -. s.time; load = s.current }
+        :: segments rest
+    | [ last ] ->
+        [ { Load_profile.duration = tail_hold; load = last.current } ]
+    | [] -> []
+  in
+  let body = segments samples in
+  let lead =
+    match samples with
+    | first :: _ when first.time > 0. ->
+        [ { Load_profile.duration = first.time; load = 0. } ]
+    | _ -> []
+  in
+  Load_profile.finite (lead @ body)
+
+let parse_csv text =
+  let lines = String.split_on_char '\n' text in
+  let parse_line idx line =
+    let trimmed = String.trim line in
+    if trimmed = "" || trimmed.[0] = '#' then None
+    else
+      match String.split_on_char ',' trimmed with
+      | [ t; c ] -> (
+          match (float_of_string_opt (String.trim t),
+                 float_of_string_opt (String.trim c))
+          with
+          | Some time, Some current -> Some { time; current }
+          | _ ->
+              failwith
+                (Printf.sprintf "Trace.parse_csv: malformed line %d: %s"
+                   (idx + 1) trimmed))
+      | _ ->
+          failwith
+            (Printf.sprintf "Trace.parse_csv: expected 'time,current' on line %d"
+               (idx + 1))
+  in
+  List.filteri (fun _ _ -> true) lines
+  |> List.mapi parse_line
+  |> List.filter_map Fun.id
+
+let load_csv path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_samples (parse_csv text)
+
+let to_csv profile ~t_end ~step =
+  if t_end <= 0. || step <= 0. then
+    invalid_arg "Trace.to_csv: need positive horizon and step";
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "# time,current\n";
+  let n = int_of_float (Float.floor (t_end /. step)) in
+  for i = 0 to n do
+    let t = step *. float_of_int i in
+    Buffer.add_string buffer
+      (Printf.sprintf "%.9g,%.9g\n" t (Load_profile.load_at profile t))
+  done;
+  Buffer.contents buffer
+
+let synthesize ?(seed = 0x7ACEL) ~horizon workload =
+  if horizon <= 0. then invalid_arg "Trace.synthesize: non-positive horizon";
+  let rng = Batlife_numerics.Rng.create ~seed () in
+  let g = workload.Model.generator in
+  let state = ref (Batlife_numerics.Rng.discrete rng workload.Model.initial) in
+  let time = ref 0. in
+  let acc = ref [ { time = 0.; current = Model.current workload !state } ] in
+  let continue = ref true in
+  while !continue do
+    let exit = Batlife_ctmc.Generator.exit_rate g !state in
+    if exit <= 0. then continue := false
+    else begin
+      let sojourn = Batlife_numerics.Rng.exponential rng ~rate:exit in
+      time := !time +. sojourn;
+      if !time >= horizon then continue := false
+      else begin
+        let n = Model.n_states workload in
+        let weights =
+          Array.init n (fun j ->
+              if j = !state then 0. else Batlife_ctmc.Generator.rate g !state j)
+        in
+        state := Batlife_numerics.Rng.discrete rng weights;
+        acc := { time = !time; current = Model.current workload !state } :: !acc
+      end
+    end
+  done;
+  List.rev !acc
+
+type estimated = {
+  model : Model.t;
+  levels : float array;
+  occupancy : float array;
+}
+
+(* Dwell segments of a trace: (level current, duration). *)
+let dwells samples =
+  let rec go = function
+    | s :: (next :: _ as rest) ->
+        (s.current, next.time -. s.time) :: go rest
+    | [ _ ] | [] -> []
+  in
+  go samples
+
+let quantise ~max_states samples =
+  let distinct =
+    List.sort_uniq Float.compare (List.map (fun s -> s.current) samples)
+  in
+  if List.length distinct <= max_states then Array.of_list distinct
+  else begin
+    (* Equal-occupancy clustering: split the time-weighted current
+       distribution into max_states quantile buckets and use the
+       time-weighted mean of each bucket as its level. *)
+    let segments =
+      List.sort (fun (a, _) (b, _) -> Float.compare a b) (dwells samples)
+    in
+    let total = List.fold_left (fun acc (_, d) -> acc +. d) 0. segments in
+    let per_bucket = total /. float_of_int max_states in
+    let levels = Array.make max_states 0. in
+    let weight = Array.make max_states 0. in
+    let bucket = ref 0 and filled = ref 0. in
+    List.iter
+      (fun (current, duration) ->
+        let remaining = ref duration in
+        while !remaining > 0. do
+          let capacity = per_bucket -. !filled in
+          let take = Float.min capacity !remaining in
+          levels.(!bucket) <- levels.(!bucket) +. (current *. take);
+          weight.(!bucket) <- weight.(!bucket) +. take;
+          filled := !filled +. take;
+          remaining := !remaining -. take;
+          if !filled >= per_bucket -. 1e-12 && !bucket < max_states - 1 then begin
+            incr bucket;
+            filled := 0.
+          end
+          else if !filled >= per_bucket then remaining := 0.
+        done)
+      segments;
+    Array.mapi
+      (fun i acc -> if weight.(i) > 0. then acc /. weight.(i) else 0.)
+      levels
+  end
+
+let nearest_level levels current =
+  let best = ref 0 and best_distance = ref infinity in
+  Array.iteri
+    (fun i level ->
+      let d = Float.abs (level -. current) in
+      if d < !best_distance then begin
+        best := i;
+        best_distance := d
+      end)
+    levels;
+  !best
+
+let estimate_model ?(max_states = 8) samples =
+  check_samples samples;
+  if max_states < 2 then invalid_arg "Trace.estimate_model: max_states < 2";
+  let levels = quantise ~max_states samples in
+  let n = Array.length levels in
+  if n < 2 then invalid_arg "Trace.estimate_model: trace has a single level";
+  (* Collapse consecutive dwells that quantise to the same level, then
+     count transitions and time per level. *)
+  let dwell_levels =
+    List.map (fun (c, d) -> (nearest_level levels c, d)) (dwells samples)
+  in
+  let time_in = Array.make n 0. in
+  let transitions = Array.make_matrix n n 0 in
+  let rec walk = function
+    | (a, d) :: ((b, _) :: _ as rest) ->
+        time_in.(a) <- time_in.(a) +. d;
+        if a <> b then transitions.(a).(b) <- transitions.(a).(b) + 1;
+        walk rest
+    | [ (a, d) ] -> time_in.(a) <- time_in.(a) +. d
+    | [] -> ()
+  in
+  walk dwell_levels;
+  let rates = ref [] in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b && transitions.(a).(b) > 0 && time_in.(a) > 0. then
+        rates :=
+          (a, b, float_of_int transitions.(a).(b) /. time_in.(a)) :: !rates
+    done
+  done;
+  let labels = Array.init n (fun i -> Printf.sprintf "level%d" i) in
+  let generator = Batlife_ctmc.Generator.of_rates ~labels ~n !rates in
+  let initial = Array.make n 0. in
+  (match samples with
+  | first :: _ -> initial.(nearest_level levels first.current) <- 1.
+  | [] -> ());
+  let total = Array.fold_left ( +. ) 0. time_in in
+  let occupancy = Array.map (fun t -> t /. Float.max total 1e-300) time_in in
+  { model = Model.create ~generator ~currents:levels ~initial; levels;
+    occupancy }

@@ -1,0 +1,55 @@
+(** Trace-driven workloads.
+
+    The paper's conclusion names "the evaluation of real world
+    power-aware devices" as future work; the missing piece is feeding
+    measured current traces into the battery models.  This module
+    parses recorded traces into {!Batlife_battery.Load_profile}s,
+    generates synthetic traces from the stochastic workload models
+    (for closing the loop in tests), and estimates a CTMC workload
+    model back from a trace by quantising the observed currents —
+    so a measured device can be run through the KiBaMRM pipeline. *)
+
+open Batlife_battery
+
+type sample = { time : float; current : float }
+
+val of_samples : sample list -> Load_profile.t
+(** Build a piecewise-constant profile: sample [k]'s current holds
+    from its timestamp to the next one; the final sample's current is
+    held for the median inter-sample gap.  Timestamps must be strictly
+    increasing and start at 0 or later (an initial gap is treated as
+    idle).  Raises [Invalid_argument] on unordered input or fewer than
+    two samples. *)
+
+val parse_csv : string -> sample list
+(** Parse a trace from a string of CSV lines [time,current]; blank
+    lines and [#]-comments are skipped.  Raises [Failure] with the
+    offending line number on malformed input. *)
+
+val load_csv : string -> Load_profile.t
+(** [load_csv path] reads and parses a trace file. *)
+
+val to_csv : Load_profile.t -> t_end:float -> step:float -> string
+(** Sample a profile back to CSV text (for round-tripping and for
+    exporting synthetic traces). *)
+
+val synthesize :
+  ?seed:int64 -> horizon:float -> Model.t -> sample list
+(** Generate a synthetic trace by simulating the workload CTMC until
+    [horizon]: one sample per state change. *)
+
+type estimated = {
+  model : Model.t;
+  levels : float array;  (** quantised current levels (the states) *)
+  occupancy : float array;  (** fraction of trace time per level *)
+}
+
+val estimate_model : ?max_states:int -> sample list -> estimated
+(** Fit a CTMC workload model to a trace: quantise the observed
+    currents into at most [max_states] (default 8) distinct levels
+    (exact distinct values if few enough, otherwise equal-occupancy
+    clusters), then estimate transition rates
+    [q_ij = transitions(i->j) / time_in(i)] — the maximum-likelihood
+    estimator for a CTMC observed continuously.  The initial state is
+    the first sample's level.  Raises [Invalid_argument] if the trace
+    has fewer than two samples or only one level. *)

@@ -1,0 +1,18 @@
+open Batlife_numerics
+let () =
+  Random.self_init ();
+  for trial = 1 to 20000 do
+    let entries = Array.init 16 (fun _ -> Random.float 200. -. 100.) in
+    let b = Array.init 4 (fun _ -> Random.float 6. -. 3.) in
+    let a = Dense.init ~rows:4 ~cols:4 (fun i j ->
+      let v = entries.((4*i)+j) /. 10. in
+      if i = j then 5. +. Float.abs v else v) in
+    let sp = Sparse.of_dense a in
+    (try
+      let x = (Iterative.gauss_seidel sp ~b).Iterative.solution in
+      let r = Dense.matvec a x in
+      if not (Array.for_all2 (fun ri bi -> Float.abs (ri -. bi) < 1e-8) r b)
+      then Printf.printf "residual failure at trial %d\n" trial
+    with e -> Printf.printf "trial %d: %s\n" trial (Printexc.to_string e))
+  done;
+  print_endline "done"

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Float Gen QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Batlife_battery Batlife_core Batlife_workload Discretized Helpers Kibam Kibamrm Lifetime List Onoff Simple

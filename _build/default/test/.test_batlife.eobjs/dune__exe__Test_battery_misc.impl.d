@@ -1,0 +1,1 @@
+test/test_battery_misc.ml: Alcotest Batlife_battery Fit Float Gen Helpers Ideal Kibam List Load_profile Modified_kibam Peukert QCheck Seq Units

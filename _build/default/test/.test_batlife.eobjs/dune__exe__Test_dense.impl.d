@@ -1,0 +1,1 @@
+test/test_dense.ml: Alcotest Array Batlife_numerics Dense Float Gen Helpers QCheck

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Batlife_battery Batlife_experiments Batlife_output Fig2 Helpers List Params Runner String Table1

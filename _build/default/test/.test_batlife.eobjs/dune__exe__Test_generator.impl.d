@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Array Batlife_ctmc Batlife_numerics Float Gen Generator Helpers List Printf QCheck Sparse

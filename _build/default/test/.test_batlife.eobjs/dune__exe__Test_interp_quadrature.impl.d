@@ -1,0 +1,1 @@
+test/test_interp_quadrature.ml: Array Batlife_numerics Float Helpers Interp List QCheck Quadrature

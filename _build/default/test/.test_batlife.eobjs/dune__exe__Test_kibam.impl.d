@@ -1,0 +1,1 @@
+test/test_kibam.ml: Alcotest Array Batlife_battery Batlife_numerics Float Helpers Kibam Load_profile Ode QCheck

@@ -1,0 +1,1 @@
+test/test_mrm.ml: Alcotest Array Batlife_ctmc Batlife_mrm Erlangization Float Generator Helpers Moments Mrm Occupation

@@ -1,0 +1,1 @@
+test/test_ode.ml: Alcotest Array Batlife_numerics Float Helpers Ode

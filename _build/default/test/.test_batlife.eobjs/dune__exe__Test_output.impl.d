@@ -1,0 +1,1 @@
+test/test_output.ml: Alcotest Array Ascii_plot Batlife_output Csv Filename Float Fun Helpers List Series String Sys Table

@@ -1,0 +1,1 @@
+test/test_phase_type.ml: Array Batlife_ctmc Generator Helpers List Phase_type Printf QCheck

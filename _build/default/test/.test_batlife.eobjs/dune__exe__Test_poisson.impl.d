@@ -1,0 +1,1 @@
+test/test_poisson.ml: Alcotest Batlife_numerics Float Helpers List Poisson Printf Special

@@ -1,0 +1,1 @@
+test/test_rakhmatov.ml: Alcotest Batlife_battery Helpers Load_profile QCheck Rakhmatov

@@ -1,0 +1,1 @@
+test/test_reachability.ml: Array Batlife_battery Batlife_core Batlife_ctmc Batlife_workload Generator Helpers List Phase_type Printf Reachability

@@ -1,0 +1,1 @@
+test/test_roots.ml: Alcotest Batlife_numerics Float Helpers Roots

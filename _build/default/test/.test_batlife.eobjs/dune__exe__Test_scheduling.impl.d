@@ -1,0 +1,1 @@
+test/test_scheduling.ml: Alcotest Array Batlife_battery Batlife_scheduling Helpers Kibam List Load_profile Pack Policy QCheck Scheduler String

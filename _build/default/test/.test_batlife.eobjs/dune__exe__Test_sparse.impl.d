@@ -1,0 +1,1 @@
+test/test_sparse.ml: Array Batlife_numerics Dense Gen Helpers List QCheck Sparse Vector

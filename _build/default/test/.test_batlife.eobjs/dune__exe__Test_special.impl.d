@@ -1,0 +1,1 @@
+test/test_special.ml: Batlife_numerics Float Helpers Special

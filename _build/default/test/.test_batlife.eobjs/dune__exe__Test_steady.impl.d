@@ -1,0 +1,1 @@
+test/test_steady.ml: Alcotest Array Batlife_ctmc Batlife_numerics Generator Helpers Printf Sparse Steady Transient Vector

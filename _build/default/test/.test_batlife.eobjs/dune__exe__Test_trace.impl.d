@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Batlife_battery Batlife_ctmc Batlife_workload Float Helpers Kibam List Load_profile Model Printf Simple String Trace

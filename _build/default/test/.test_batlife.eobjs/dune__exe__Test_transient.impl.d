@@ -1,0 +1,1 @@
+test/test_transient.ml: Alcotest Array Batlife_ctmc Batlife_numerics Dense Gen Generator Helpers List Printf QCheck Sparse Transient Vector

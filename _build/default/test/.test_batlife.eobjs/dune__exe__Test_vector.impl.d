@@ -1,0 +1,1 @@
+test/test_vector.ml: Array Batlife_numerics Helpers QCheck Vector

@@ -1,0 +1,1 @@
+test/test_workload.ml: Array Batlife_ctmc Batlife_workload Burst Generator Helpers Model Onoff Printf Simple

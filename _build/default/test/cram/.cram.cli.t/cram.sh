@@ -1,0 +1,17 @@
+  $ batlife kibam --capacity 7200 -c 0.625 -k 4.5e-5 --load 0.96
+  $ batlife kibam --capacity 7200 -c 0.625 -k 4.5e-5 --square-wave 1
+  $ batlife kibam --capacity 7200 -c 0.625 -k 4.5e-5 --square-wave 0.2
+  $ batlife lifetime --model simple --capacity 800 -c 0.625 -k 0.162 \
+  >   --delta 25 --horizon 30 --points 5 2>/dev/null
+  $ batlife experiment nonsense 2>&1 | head -1
+  $ cat > trace.csv <<END
+  > # time,current
+  > 0,0.96
+  > 100,0
+  > 200,0.96
+  > 300,0
+  > 400,0.96
+  > 500,0
+  > END
+  $ batlife trace --csv trace.csv --capacity 7200 -c 0.625 -k 4.5e-5 \
+  >   --horizon 20000 --points 4 2>/dev/null

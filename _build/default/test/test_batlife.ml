@@ -1,0 +1,32 @@
+(* Master test runner: one alcotest binary, one suite per module. *)
+
+let () =
+  Alcotest.run "batlife"
+    [
+      ("numerics: vector", Test_vector.suite);
+      ("numerics: special functions", Test_special.suite);
+      ("numerics: poisson weights", Test_poisson.suite);
+      ("numerics: root finding", Test_roots.suite);
+      ("numerics: dense matrices", Test_dense.suite);
+      ("numerics: sparse matrices", Test_sparse.suite);
+      ("numerics: ode solvers", Test_ode.suite);
+      ("numerics: interpolation & quadrature", Test_interp_quadrature.suite);
+      ("ctmc: generators", Test_generator.suite);
+      ("ctmc: transient analysis", Test_transient.suite);
+      ("ctmc: steady state", Test_steady.suite);
+      ("ctmc: phase-type distributions", Test_phase_type.suite);
+      ("ctmc: reachability", Test_reachability.suite);
+      ("mrm: reward models", Test_mrm.suite);
+      ("battery: kibam", Test_kibam.suite);
+      ("battery: models & profiles", Test_battery_misc.suite);
+      ("battery: rakhmatov-vrudhula", Test_rakhmatov.suite);
+      ("workload: models", Test_workload.suite);
+      ("workload: trace-driven", Test_trace.suite);
+      ("core: kibamrm & discretisation", Test_core.suite);
+      ("core: convergence analysis", Test_analysis.suite);
+      ("numerics: iterative solvers & exact means", Test_iterative.suite);
+      ("sim: rng, stats, monte carlo", Test_sim.suite);
+      ("scheduling: multi-battery packs", Test_scheduling.suite);
+      ("output: series, csv, tables", Test_output.suite);
+      ("experiments: paper reproduction", Test_experiments.suite);
+    ]

@@ -1,0 +1,241 @@
+open Batlife_battery
+open Helpers
+
+(* --- Ideal ---------------------------------------------------------- *)
+
+let test_ideal () =
+  check_float "lifetime" 100. (Ideal.lifetime ~capacity:200. ~load:2.);
+  check_float "delivered" 20. (Ideal.delivered_charge ~load:2. ~duration:10.);
+  check_float "duty cycle" 200.
+    (Ideal.lifetime_duty_cycle ~capacity:200. ~load:2. ~duty:0.5);
+  check_raises_invalid "bad load" (fun () ->
+      ignore (Ideal.lifetime ~capacity:1. ~load:0.));
+  check_raises_invalid "bad duty" (fun () ->
+      ignore (Ideal.lifetime_duty_cycle ~capacity:1. ~load:1. ~duty:1.5))
+
+(* --- Peukert -------------------------------------------------------- *)
+
+let test_peukert_lifetime () =
+  let p = Peukert.create ~a:100. ~b:1.2 in
+  check_float ~eps:1e-12 "unit load" 100. (Peukert.lifetime p ~load:1.);
+  check_close ~rel:1e-12 "heavier load"
+    (100. /. Float.pow 2. 1.2)
+    (Peukert.lifetime p ~load:2.);
+  check_true "effective capacity shrinks with load"
+    (Peukert.effective_capacity p ~load:2.
+    < Peukert.effective_capacity p ~load:1.)
+
+let test_peukert_fit_roundtrip () =
+  let original = Peukert.create ~a:57.3 ~b:1.31 in
+  let l1 = Peukert.lifetime original ~load:0.5
+  and l2 = Peukert.lifetime original ~load:2.5 in
+  let fitted = Peukert.fit (0.5, l1) (2.5, l2) in
+  check_close ~rel:1e-9 "a recovered" original.Peukert.a fitted.Peukert.a;
+  check_close ~rel:1e-9 "b recovered" original.Peukert.b fitted.Peukert.b
+
+let test_peukert_validation () =
+  check_raises_invalid "a" (fun () -> ignore (Peukert.create ~a:0. ~b:1.2));
+  check_raises_invalid "b" (fun () -> ignore (Peukert.create ~a:1. ~b:0.9));
+  check_raises_invalid "same loads" (fun () ->
+      ignore (Peukert.fit (1., 2.) (1., 3.)))
+
+(* --- Units ---------------------------------------------------------- *)
+
+let test_units () =
+  check_float "mah to as" 3600. (Units.mah_to_as 1000.);
+  check_float "as to mah roundtrip" 800. (Units.as_to_mah (Units.mah_to_as 800.));
+  check_float "ma to a" 0.2 (Units.ma_to_a 200.);
+  check_float "hours" 7200. (Units.hours_to_seconds 2.);
+  check_float "minutes" 90. (Units.seconds_to_minutes 5400.);
+  check_float "rate conversion" 0.162
+    (Units.per_second_to_per_hour 4.5e-5);
+  check_close ~rel:1e-12 "rate roundtrip" 4.5e-5
+    (Units.per_hour_to_per_second (Units.per_second_to_per_hour 4.5e-5))
+
+(* --- Load profiles --------------------------------------------------- *)
+
+let test_profile_load_at () =
+  let p = Load_profile.square_wave ~frequency:0.5 ~on_load:2. in
+  (* Period 2: [0,1) on, [1,2) off. *)
+  check_float "on" 2. (Load_profile.load_at p 0.25);
+  check_float "off" 0. (Load_profile.load_at p 1.5);
+  check_float "next period" 2. (Load_profile.load_at p 2.1);
+  check_float "average" 1. (Load_profile.average_load p)
+
+let test_profile_finite () =
+  let p =
+    Load_profile.finite
+      [
+        { Load_profile.duration = 2.; load = 1. };
+        { Load_profile.duration = 3.; load = 5. };
+      ]
+  in
+  check_float "first" 1. (Load_profile.load_at p 1.);
+  check_float "second" 5. (Load_profile.load_at p 4.);
+  check_float "after end" 0. (Load_profile.load_at p 10.);
+  check_close ~rel:1e-12 "average" (17. /. 5.) (Load_profile.average_load p)
+
+let test_profile_segments_from () =
+  let p = Load_profile.square_wave ~frequency:0.5 ~on_load:2. in
+  (* Starting mid-way through the on segment. *)
+  let segs = Load_profile.segments_from p 0.5 in
+  (match List.of_seq (Seq.take 3 segs) with
+  | [ (d1, l1); (d2, l2); (d3, l3) ] ->
+      check_float "rest of on" 0.5 d1;
+      check_float "on load" 2. l1;
+      check_float "off" 1. d2;
+      check_float "off load" 0. l2;
+      check_float "wrapped" 1. d3;
+      check_float "wrapped load" 2. l3
+  | _ -> Alcotest.fail "expected segments");
+  (* Constant profile yields a single infinite segment. *)
+  match (Load_profile.segments_from (Load_profile.constant 3.) 0.) () with
+  | Seq.Cons ((d, l), _) ->
+      check_true "infinite" (d = infinity);
+      check_float "load" 3. l
+  | Seq.Nil -> Alcotest.fail "constant profile has segments"
+
+let prop_segments_consistent_with_load_at =
+  qcheck ~count:100 "segments_from agrees with load_at"
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 5)
+           (pair (float_range 0.5 3.) (float_range 0. 5.)))
+        (pos_float_arb 0. 10.))
+    (fun (segments, t0) ->
+      let profile =
+        Load_profile.periodic
+          (List.map
+             (fun (duration, load) -> { Load_profile.duration; load })
+             segments)
+      in
+      (* Walk the first few segments returned from t0 and verify the
+         loads match pointwise probes of load_at (probing just inside
+         each segment to avoid boundary ambiguity). *)
+      let rec check time seq remaining =
+        if remaining = 0 then true
+        else
+          match seq () with
+          | Seq.Nil -> true
+          | Seq.Cons ((duration, load), rest) ->
+              let probe = time +. (duration /. 2.) in
+              Float.abs (Load_profile.load_at profile probe -. load) < 1e-9
+              && check (time +. duration) rest (remaining - 1)
+      in
+      check t0 (Load_profile.segments_from profile t0) 8)
+
+let test_profile_validation () =
+  check_raises_invalid "empty periodic" (fun () ->
+      ignore (Load_profile.periodic []));
+  check_raises_invalid "bad duration" (fun () ->
+      ignore (Load_profile.finite [ { Load_profile.duration = 0.; load = 1. } ]));
+  check_raises_invalid "negative load" (fun () ->
+      ignore (Load_profile.constant (-1.)));
+  check_raises_invalid "bad duty" (fun () ->
+      ignore (Load_profile.duty_cycle_wave ~period:1. ~duty:1. ~on_load:1.))
+
+(* --- Modified KiBaM -------------------------------------------------- *)
+
+let base () = Kibam.params ~capacity:7200. ~c:0.625 ~k:4.5e-5
+
+let test_modified_gamma_zero_is_plain () =
+  let p = Modified_kibam.params ~base:(base ()) ~gamma:0. in
+  let s0 = Kibam.initial (base ()) in
+  let plain = Kibam.step (base ()) ~load:0.96 ~dt:2000. s0 in
+  let modified = Modified_kibam.step p ~load:0.96 ~dt:2000. s0 in
+  check_float ~eps:1e-6 "y1 equal" plain.Kibam.available
+    modified.Kibam.available;
+  check_float ~eps:1e-6 "y2 equal" plain.Kibam.bound modified.Kibam.bound;
+  check_close ~rel:1e-6 "lifetime equal"
+    (Kibam.lifetime_constant (base ()) ~load:0.96)
+    (Modified_kibam.lifetime_constant p ~load:0.96)
+
+let test_modified_recovery_factor () =
+  let p = Modified_kibam.params ~base:(base ()) ~gamma:3. in
+  let full = Kibam.initial (base ()) in
+  check_float ~eps:1e-12 "factor 1 at full" 1.
+    (Modified_kibam.recovery_factor p full);
+  let drained = Kibam.state (base ()) ~available:100. ~bound:100. in
+  check_true "factor < 1 when drained"
+    (Modified_kibam.recovery_factor p drained < 0.1)
+
+let test_modified_shorter_life_with_gamma () =
+  let lifetime gamma =
+    let p = Modified_kibam.params ~base:(base ()) ~gamma in
+    match
+      Modified_kibam.lifetime p
+        (Load_profile.square_wave ~frequency:0.1 ~on_load:0.96)
+    with
+    | Some t -> t
+    | None -> Alcotest.fail "must deplete"
+  in
+  check_true "attenuated recovery shortens life"
+    (lifetime 4. < lifetime 1. && lifetime 1. < lifetime 0. +. 1.)
+
+let test_modified_validation () =
+  check_raises_invalid "negative gamma" (fun () ->
+      ignore (Modified_kibam.params ~base:(base ()) ~gamma:(-1.)))
+
+(* --- Fit -------------------------------------------------------------- *)
+
+let test_fit_c () =
+  check_float ~eps:1e-12 "quotient" 0.625
+    (Fit.c_from_capacities ~large_load_capacity:4500.
+       ~small_load_capacity:7200.);
+  check_raises_invalid "wrong order" (fun () ->
+      ignore
+        (Fit.c_from_capacities ~large_load_capacity:10.
+           ~small_load_capacity:5.))
+
+let test_fit_k_roundtrip () =
+  let original = Kibam.params ~capacity:7200. ~c:0.625 ~k:4.5e-5 in
+  let target = Kibam.lifetime_constant original ~load:0.96 in
+  let fitted =
+    Fit.k_for_lifetime ~capacity:7200. ~c:0.625 ~load:0.96
+      ~target_lifetime:target
+  in
+  check_close ~rel:1e-6 "k recovered" 4.5e-5 fitted.Kibam.k
+
+let test_fit_k_out_of_range () =
+  (* C/I is an upper bound on any attainable lifetime. *)
+  match
+    Fit.k_for_lifetime ~capacity:7200. ~c:0.625 ~load:0.96
+      ~target_lifetime:(8000. /. 0.96)
+  with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unattainable target should fail"
+
+let test_fit_gamma () =
+  let profile = Load_profile.square_wave ~frequency:1. ~on_load:0.96 in
+  let p =
+    Fit.gamma_for_lifetime ~capacity:7200. ~c:0.625 ~continuous_load:0.96
+      ~continuous_lifetime:5400. ~target_lifetime:(193. *. 60.) profile
+  in
+  check_close ~rel:2e-3 "continuous lifetime preserved" 5400.
+    (Modified_kibam.lifetime_constant p ~load:0.96);
+  (match Modified_kibam.lifetime p profile with
+  | Some t -> check_close ~rel:2e-3 "profile target met" (193. *. 60.) t
+  | None -> Alcotest.fail "must deplete");
+  check_true "gamma positive" (p.Modified_kibam.gamma > 0.)
+
+let suite =
+  [
+    case "ideal battery" test_ideal;
+    case "peukert lifetime" test_peukert_lifetime;
+    case "peukert fit roundtrip" test_peukert_fit_roundtrip;
+    case "peukert validation" test_peukert_validation;
+    case "unit conversions" test_units;
+    case "profile load_at" test_profile_load_at;
+    case "finite profile" test_profile_finite;
+    case "segments_from" test_profile_segments_from;
+    prop_segments_consistent_with_load_at;
+    case "profile validation" test_profile_validation;
+    case "modified: gamma 0 is plain KiBaM" test_modified_gamma_zero_is_plain;
+    case "modified: recovery factor" test_modified_recovery_factor;
+    case "modified: gamma shortens life" test_modified_shorter_life_with_gamma;
+    case "modified: validation" test_modified_validation;
+    case "fit c" test_fit_c;
+    case "fit k roundtrip" test_fit_k_roundtrip;
+    case "fit k out of range" test_fit_k_out_of_range;
+    slow_case "fit gamma" test_fit_gamma;
+  ]

@@ -1,0 +1,129 @@
+open Batlife_numerics
+open Helpers
+
+let mat rows = Dense.of_arrays rows
+
+let test_identity_matmul () =
+  let a = mat [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let i = Dense.identity 2 in
+  check_true "A I = A" (Dense.approx_equal (Dense.matmul a i) a);
+  check_true "I A = A" (Dense.approx_equal (Dense.matmul i a) a)
+
+let test_matmul_known () =
+  let a = mat [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = mat [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let expected = mat [| [| 19.; 22. |]; [| 43.; 50. |] |] in
+  check_true "2x2 product" (Dense.approx_equal (Dense.matmul a b) expected)
+
+let test_matvec_vecmat () =
+  let a = mat [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let y = Dense.matvec a [| 1.; 1. |] in
+  check_float "matvec 0" 3. y.(0);
+  check_float "matvec 1" 7. y.(1);
+  let z = Dense.vecmat [| 1.; 1. |] a in
+  check_float "vecmat 0" 4. z.(0);
+  check_float "vecmat 1" 6. z.(1)
+
+let test_transpose () =
+  let a = mat [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let t = Dense.transpose a in
+  check_int "rows" 3 (Dense.rows t);
+  check_float "entry" 6. (Dense.get t 2 1)
+
+let test_lu_solve () =
+  let a = mat [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = Dense.lu_solve a [| 5.; 10. |] in
+  check_float ~eps:1e-12 "x0" 1. x.(0);
+  check_float ~eps:1e-12 "x1" 3. x.(1)
+
+let test_lu_needs_pivoting () =
+  (* Zero pivot at (0,0) requires row exchange. *)
+  let a = mat [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let x = Dense.lu_solve a [| 2.; 3. |] in
+  check_float "x0" 3. x.(0);
+  check_float "x1" 2. x.(1)
+
+let test_singular () =
+  let a = mat [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  match Dense.lu_solve a [| 1.; 2. |] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "singular system should fail"
+
+let test_inverse () =
+  let a = mat [| [| 4.; 7. |]; [| 2.; 6. |] |] in
+  let ai = Dense.inverse a in
+  check_true "A A^-1 = I"
+    (Dense.approx_equal ~tol:1e-12 (Dense.matmul a ai) (Dense.identity 2))
+
+let test_expm_diagonal () =
+  let a = mat [| [| 1.; 0. |]; [| 0.; -2. |] |] in
+  let e = Dense.expm a in
+  check_float ~eps:1e-12 "exp 1" (exp 1.) (Dense.get e 0 0);
+  check_float ~eps:1e-12 "exp -2" (exp (-2.)) (Dense.get e 1 1);
+  check_float ~eps:1e-13 "off diag" 0. (Dense.get e 0 1)
+
+let test_expm_nilpotent () =
+  (* exp([[0,1],[0,0]]) = [[1,1],[0,1]]. *)
+  let a = mat [| [| 0.; 1. |]; [| 0.; 0. |] |] in
+  let e = Dense.expm a in
+  check_true "nilpotent exp"
+    (Dense.approx_equal ~tol:1e-13 e (mat [| [| 1.; 1. |]; [| 0.; 1. |] |]))
+
+let test_expm_rotation () =
+  (* exp(theta [[0,-1],[1,0]]) is a rotation matrix. *)
+  let theta = 1.2 in
+  let a = mat [| [| 0.; -.theta |]; [| theta; 0. |] |] in
+  let e = Dense.expm a in
+  check_float ~eps:1e-11 "cos" (cos theta) (Dense.get e 0 0);
+  check_float ~eps:1e-11 "sin" (sin theta) (Dense.get e 1 0)
+
+let test_expm_large_norm () =
+  (* Scaling and squaring must handle norms well above 1. *)
+  let a = mat [| [| -30.; 30. |]; [| 10.; -10. |] |] in
+  let e = Dense.expm a in
+  (* exp of a generator-like matrix: rows of exp(Qt) sum to 1. *)
+  check_float ~eps:1e-9 "row 0 mass" 1. (Dense.get e 0 0 +. Dense.get e 0 1);
+  check_float ~eps:1e-9 "row 1 mass" 1. (Dense.get e 1 0 +. Dense.get e 1 1)
+
+let prop_solve_residual =
+  qcheck ~count:100 "lu_solve residual is tiny"
+    QCheck.(
+      pair (float_array_arb 9) (array_of_size (Gen.return 3) (float_range 1. 5.)))
+    (fun (entries, b) ->
+      (* Diagonally dominant system: always solvable. *)
+      let a =
+        Dense.init ~rows:3 ~cols:3 (fun i j ->
+            let v = entries.((3 * i) + j) /. 100. in
+            if i = j then 10. +. Float.abs v else v)
+      in
+      let x = Dense.lu_solve a b in
+      let r = Dense.matvec a x in
+      Array.for_all2 (fun ri bi -> Float.abs (ri -. bi) < 1e-9) r b)
+
+let prop_expm_additivity =
+  qcheck ~count:50 "expm(A) expm(A) = expm(2A)" (float_array_arb 4)
+    (fun entries ->
+      let a =
+        Dense.init ~rows:2 ~cols:2 (fun i j -> entries.((2 * i) + j) /. 50.)
+      in
+      let e1 = Dense.expm a in
+      let e2 = Dense.expm (Dense.scale 2. a) in
+      Dense.approx_equal ~tol:1e-10 (Dense.matmul e1 e1) e2)
+
+let suite =
+  [
+    case "identity matmul" test_identity_matmul;
+    case "matmul known product" test_matmul_known;
+    case "matvec and vecmat" test_matvec_vecmat;
+    case "transpose" test_transpose;
+    case "lu solve" test_lu_solve;
+    case "lu with pivoting" test_lu_needs_pivoting;
+    case "singular detection" test_singular;
+    case "inverse" test_inverse;
+    case "expm diagonal" test_expm_diagonal;
+    case "expm nilpotent" test_expm_nilpotent;
+    case "expm rotation" test_expm_rotation;
+    case "expm large norm" test_expm_large_norm;
+    prop_solve_residual;
+    prop_expm_additivity;
+  ]

@@ -1,0 +1,77 @@
+open Batlife_experiments
+open Helpers
+
+(* The experiment harness is exercised end-to-end by the bench; here we
+   verify the cheap invariants and the headline numbers it must
+   reproduce from the paper. *)
+
+let test_params () =
+  check_float "capacity" 7200. Params.capacity_as;
+  check_float "c" 0.625 Params.c_fraction;
+  check_int "grid points"
+    (Array.length (Params.onoff_times ()))
+    ((20000 - 6000) / 250 + 1);
+  let battery = Params.battery_two_well () in
+  check_float "k" 4.5e-5 battery.Batlife_battery.Kibam.k
+
+let test_table1_rows () =
+  let rows = Table1.compute ~stochastic_runs:20 () in
+  check_int "three rows" 3 (List.length rows);
+  let continuous = List.hd rows in
+  check_float ~eps:0.5 "continuous calibrated to 90 min" 90.
+    continuous.Table1.kibam_min;
+  check_close ~rel:0.01 "paper k continuous is 91" 91.1
+    continuous.Table1.kibam_paper_k_min;
+  let hz1 = List.nth rows 1 and hz02 = List.nth rows 2 in
+  (* The paper's central finding: analytic KiBaM and deterministic
+     modified KiBaM are frequency independent. *)
+  check_close ~rel:1e-3 "KiBaM frequency independence"
+    hz1.Table1.kibam_min hz02.Table1.kibam_min;
+  check_close ~rel:1e-2 "modified KiBaM frequency independence"
+    hz1.Table1.modified_min hz02.Table1.modified_min;
+  (* The modified model is calibrated to 193 minutes at 1 Hz. *)
+  check_close ~rel:1e-2 "modified at 1 Hz" 193. hz1.Table1.modified_min;
+  (* Both pulsed lifetimes far exceed the continuous one (recovery). *)
+  check_true "recovery effect"
+    (hz1.Table1.kibam_min > 1.8 *. continuous.Table1.kibam_min)
+
+let test_fig2_series () =
+  match Fig2.compute () with
+  | [ y1; y2 ] ->
+      let y1s = Batlife_output.Series.ys y1 in
+      let y2s = Batlife_output.Series.ys y2 in
+      check_float "y1 starts at 4500" 4500. y1s.(0);
+      check_float "y2 starts at 2700" 2700. y2s.(0);
+      (* y2 is non-increasing throughout (bound well only drains when
+         h2 > h1, which holds along this trajectory). *)
+      let monotone = ref true in
+      Array.iteri
+        (fun i y -> if i > 0 && y > y2s.(i - 1) +. 1e-9 then monotone := false)
+        y2s;
+      check_true "y2 monotone" !monotone;
+      (* y1 saw-tooths: it must both fall and rise somewhere. *)
+      let rises = ref false and falls = ref false in
+      Array.iteri
+        (fun i y ->
+          if i > 0 then begin
+            if y > y1s.(i - 1) +. 1e-9 then rises := true;
+            if y < y1s.(i - 1) -. 1e-9 then falls := true
+          end)
+        y1s;
+      check_true "y1 falls" !falls;
+      check_true "y1 rises during idle" !rises
+  | _ -> Alcotest.fail "expected two series"
+
+let test_runner_ids () =
+  check_int "thirteen experiments" 13 (List.length Runner.experiment_ids);
+  (match Runner.run_one "nonsense" with
+  | Error msg -> check_true "helpful error" (String.length msg > 10)
+  | Ok () -> Alcotest.fail "unknown id must fail")
+
+let suite =
+  [
+    case "paper parameters" test_params;
+    slow_case "table 1 shape" test_table1_rows;
+    case "fig 2 series shape" test_fig2_series;
+    case "runner ids" test_runner_ids;
+  ]

@@ -1,0 +1,116 @@
+open Batlife_numerics
+open Batlife_ctmc
+open Helpers
+
+let two_state () = Generator.of_rates ~n:2 [ (0, 1, 3.); (1, 0, 1.) ]
+
+let test_of_rates () =
+  let g = two_state () in
+  check_int "states" 2 (Generator.n_states g);
+  check_float "rate" 3. (Generator.rate g 0 1);
+  check_float "diagonal" (-3.) (Generator.rate g 0 0);
+  check_float "exit" 3. (Generator.exit_rate g 0)
+
+let test_of_rates_validation () =
+  check_raises_invalid "diagonal entry" (fun () ->
+      ignore (Generator.of_rates ~n:2 [ (0, 0, 1.) ]));
+  check_raises_invalid "negative rate" (fun () ->
+      ignore (Generator.of_rates ~n:2 [ (0, 1, -1.) ]));
+  check_raises_invalid "out of range" (fun () ->
+      ignore (Generator.of_rates ~n:2 [ (0, 2, 1.) ]));
+  check_raises_invalid "bad labels" (fun () ->
+      ignore (Generator.of_rates ~labels:[| "a" |] ~n:2 [ (0, 1, 1.) ]))
+
+let test_duplicate_rates_sum () =
+  let g = Generator.of_rates ~n:2 [ (0, 1, 1.); (0, 1, 2.) ] in
+  check_float "summed" 3. (Generator.rate g 0 1);
+  check_float "exit" 3. (Generator.exit_rate g 0)
+
+let test_row_sums_zero () =
+  let g =
+    Generator.of_rates ~n:4
+      [ (0, 1, 1.); (0, 2, 2.); (1, 3, 0.5); (2, 0, 1.5); (3, 0, 4.) ]
+  in
+  let sums = Sparse.row_sums (Generator.matrix g) in
+  Array.iteri
+    (fun i s -> check_float ~eps:1e-12 (Printf.sprintf "row %d" i) 0. s)
+    sums
+
+let test_absorbing () =
+  let g = Generator.of_rates ~n:3 [ (0, 1, 1.); (1, 2, 1.) ] in
+  check_true "state 2 absorbing" (Generator.is_absorbing g 2);
+  check_true "state 0 not absorbing" (not (Generator.is_absorbing g 0));
+  check_true "absorbing list" (Generator.absorbing_states g = [ 2 ])
+
+let test_uniformisation_rate () =
+  let g = two_state () in
+  let q = Generator.uniformisation_rate g in
+  check_true "above max exit" (q >= 3.);
+  check_true "not wildly above" (q <= 3.1)
+
+let test_uniformised_stochastic () =
+  let g = two_state () in
+  let q = Generator.uniformisation_rate g in
+  let p = Generator.uniformised g ~q in
+  let sums = Sparse.row_sums p in
+  Array.iter (fun s -> check_float ~eps:1e-12 "row sum 1" 1. s) sums;
+  Sparse.iter p (fun _ _ v -> check_true "non-negative" (v >= 0.));
+  check_raises_invalid "rate too small" (fun () ->
+      ignore (Generator.uniformised g ~q:1.))
+
+let test_of_builder () =
+  let b = Sparse.Builder.create ~rows:2 ~cols:2 () in
+  Sparse.Builder.add b 0 1 2.;
+  Sparse.Builder.add b 1 0 4.;
+  let g = Generator.of_builder b in
+  check_float "rate preserved" 2. (Generator.rate g 0 1);
+  check_float "diagonal filled" (-4.) (Generator.rate g 1 1)
+
+let test_of_builder_validation () =
+  let b = Sparse.Builder.create ~rows:2 ~cols:2 () in
+  Sparse.Builder.add b 0 0 1.;
+  check_raises_invalid "diagonal rejected" (fun () ->
+      ignore (Generator.of_builder b))
+
+let test_of_sparse () =
+  let g0 = two_state () in
+  let g = Generator.of_sparse (Generator.matrix g0) in
+  check_float "roundtrip rate" 3. (Generator.rate g 0 1);
+  check_float "roundtrip diag" (-3.) (Generator.rate g 0 0)
+
+let test_labels () =
+  let g =
+    Generator.of_rates ~labels:[| "idle"; "busy" |] ~n:2 [ (0, 1, 1.) ]
+  in
+  Alcotest.(check string) "label" "busy" (Generator.label g 1)
+
+let prop_generated_rows_sum_zero =
+  qcheck ~count:100 "random generators have zero row sums"
+    QCheck.(
+      list_of_size (Gen.int_range 1 30)
+        (triple (int_range 0 5) (int_range 0 5) (float_range 0.01 10.)))
+    (fun entries ->
+      let rates =
+        List.filter_map
+          (fun (i, j, r) -> if i <> j then Some (i, j, r) else None)
+          entries
+      in
+      let g = Generator.of_rates ~n:6 rates in
+      let sums = Sparse.row_sums (Generator.matrix g) in
+      Array.for_all (fun s -> Float.abs s < 1e-9) sums)
+
+let suite =
+  [
+    case "of_rates" test_of_rates;
+    case "of_rates validation" test_of_rates_validation;
+    case "duplicates sum" test_duplicate_rates_sum;
+    case "row sums zero" test_row_sums_zero;
+    case "absorbing detection" test_absorbing;
+    case "uniformisation rate" test_uniformisation_rate;
+    case "uniformised is stochastic" test_uniformised_stochastic;
+    case "of_builder" test_of_builder;
+    case "of_builder validation" test_of_builder_validation;
+    case "of_sparse roundtrip" test_of_sparse;
+    case "labels" test_labels;
+    prop_generated_rows_sum_zero;
+  ]

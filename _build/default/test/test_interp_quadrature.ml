@@ -1,0 +1,93 @@
+open Batlife_numerics
+open Helpers
+
+let test_interp_eval () =
+  let t = Interp.create ~xs:[| 0.; 1.; 2. |] ~ys:[| 0.; 10.; 0. |] in
+  check_float "node" 10. (Interp.eval t 1.);
+  check_float "midpoint" 5. (Interp.eval t 0.5);
+  check_float "clamp left" 0. (Interp.eval t (-5.));
+  check_float "clamp right" 0. (Interp.eval t 7.)
+
+let test_interp_inverse () =
+  let t = Interp.create ~xs:[| 0.; 1.; 2. |] ~ys:[| 0.; 0.5; 1. |] in
+  check_float "median" 1. (Interp.inverse t 0.5);
+  check_float "quarter" 0.5 (Interp.inverse t 0.25);
+  check_float "clamp low" 0. (Interp.inverse t (-1.));
+  check_float "clamp high" 2. (Interp.inverse t 2.)
+
+let test_interp_inverse_flat () =
+  (* A flat stretch: the inverse picks the right end of the flat. *)
+  let t = Interp.create ~xs:[| 0.; 1.; 2.; 3. |] ~ys:[| 0.; 0.5; 0.5; 1. |] in
+  let x = Interp.inverse t 0.5 in
+  check_true "within flat" (x >= 1. && x <= 2.)
+
+let test_interp_validation () =
+  check_raises_invalid "not increasing" (fun () ->
+      ignore (Interp.create ~xs:[| 0.; 0. |] ~ys:[| 1.; 2. |]));
+  check_raises_invalid "length mismatch" (fun () ->
+      ignore (Interp.create ~xs:[| 0.; 1. |] ~ys:[| 1. |]));
+  let t = Interp.create ~xs:[| 0.; 1. |] ~ys:[| 1.; 0. |] in
+  check_raises_invalid "decreasing inverse" (fun () ->
+      ignore (Interp.inverse t 0.5))
+
+let test_trapezoid_sampled () =
+  let xs = [| 0.; 1.; 3. |] and ys = [| 0.; 2.; 2. |] in
+  check_float "piecewise linear area" 5. (Quadrature.trapezoid_sampled ~xs ~ys)
+
+let test_trapezoid_function () =
+  check_float ~eps:1e-4 "x^2 over [0,1]" (1. /. 3.)
+    (Quadrature.trapezoid ~n:256 (fun x -> x *. x) 0. 1.)
+
+let test_simpson_exact_cubics () =
+  (* Simpson integrates cubics exactly. *)
+  check_float ~eps:1e-12 "x^3" 0.25
+    (Quadrature.simpson ~n:2 (fun x -> x ** 3.) 0. 1.);
+  check_float ~eps:1e-12 "2x^3 - x" 0.
+    (Quadrature.simpson ~n:4 (fun x -> (2. *. (x ** 3.)) -. x) (-1.) 1.)
+
+let test_simpson_odd_n () =
+  (* Odd n is rounded up to even; result must still be right. *)
+  check_float ~eps:1e-6 "sin over [0,pi]" 2.
+    (Quadrature.simpson ~n:101 sin 0. Float.pi)
+
+let test_adaptive_simpson () =
+  check_float ~eps:1e-9 "sin" 2. (Quadrature.adaptive_simpson sin 0. Float.pi);
+  (* A peaked integrand. *)
+  let f x = 1. /. ((0.01 +. ((x -. 0.5) ** 2.)) *. Float.pi) in
+  let exact = (atan (0.5 /. 0.1) -. atan (-0.5 /. 0.1)) /. (0.1 *. Float.pi) in
+  check_close ~rel:1e-7 "peaked" exact (Quadrature.adaptive_simpson ~tol:1e-12 f 0. 1.)
+
+let prop_interp_exact_on_linear =
+  qcheck "interp is exact on linear functions"
+    QCheck.(pair (pos_float_arb (-5.) 5.) (pos_float_arb (-5.) 5.))
+    (fun (a, b) ->
+      let xs = [| 0.; 1.; 2.; 5. |] in
+      let ys = Array.map (fun x -> (a *. x) +. b) xs in
+      let t = Interp.create ~xs ~ys in
+      List.for_all
+        (fun x -> Float.abs (Interp.eval t x -. ((a *. x) +. b)) < 1e-9)
+        [ 0.3; 1.7; 4.2 ])
+
+let prop_simpson_matches_adaptive =
+  qcheck ~count:50 "fixed and adaptive simpson agree on smooth f"
+    (pos_float_arb 0.5 3.)
+    (fun a ->
+      let f x = exp (-.a *. x) *. cos x in
+      let fixed = Quadrature.simpson ~n:2048 f 0. 2. in
+      let adaptive = Quadrature.adaptive_simpson ~tol:1e-12 f 0. 2. in
+      Float.abs (fixed -. adaptive) < 1e-8)
+
+let suite =
+  [
+    case "interp eval" test_interp_eval;
+    case "interp inverse" test_interp_inverse;
+    case "interp inverse on flat" test_interp_inverse_flat;
+    case "interp validation" test_interp_validation;
+    case "trapezoid sampled" test_trapezoid_sampled;
+    case "trapezoid function" test_trapezoid_function;
+    case "simpson exact on cubics" test_simpson_exact_cubics;
+    case "simpson odd n" test_simpson_odd_n;
+    case "adaptive simpson" test_adaptive_simpson;
+    prop_interp_exact_on_linear;
+    prop_simpson_matches_adaptive;
+  ]

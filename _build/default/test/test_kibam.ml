@@ -1,0 +1,250 @@
+open Batlife_numerics
+open Batlife_battery
+open Helpers
+
+let paper_params () = Kibam.params ~capacity:7200. ~c:0.625 ~k:4.5e-5
+
+let test_params_validation () =
+  check_raises_invalid "capacity" (fun () ->
+      ignore (Kibam.params ~capacity:0. ~c:0.5 ~k:1.));
+  check_raises_invalid "c too big" (fun () ->
+      ignore (Kibam.params ~capacity:1. ~c:1.5 ~k:1.));
+  check_raises_invalid "c zero" (fun () ->
+      ignore (Kibam.params ~capacity:1. ~c:0. ~k:1.));
+  check_raises_invalid "negative k" (fun () ->
+      ignore (Kibam.params ~capacity:1. ~c:0.5 ~k:(-1.)))
+
+let test_initial_state () =
+  let p = paper_params () in
+  let s = Kibam.initial p in
+  check_float "available" 4500. s.Kibam.available;
+  check_float "bound" 2700. s.Kibam.bound;
+  let h1, h2 = Kibam.heights p s in
+  check_float ~eps:1e-9 "heights equal when full" h1 h2;
+  check_float ~eps:1e-9 "height is capacity" 7200. h1
+
+let test_state_validation () =
+  let p = paper_params () in
+  check_raises_invalid "negative" (fun () ->
+      ignore (Kibam.state p ~available:(-1.) ~bound:0.));
+  check_raises_invalid "over capacity" (fun () ->
+      ignore (Kibam.state p ~available:5000. ~bound:3000.));
+  let p1 = Kibam.params ~capacity:100. ~c:1. ~k:0. in
+  check_raises_invalid "bound with c=1" (fun () ->
+      ignore (Kibam.state p1 ~available:50. ~bound:10.))
+
+let test_step_degenerate () =
+  let p = Kibam.params ~capacity:100. ~c:1. ~k:0. in
+  let s = Kibam.step p ~load:2. ~dt:10. (Kibam.initial p) in
+  check_float "linear drain" 80. s.Kibam.available;
+  check_float "no bound charge" 0. s.Kibam.bound
+
+let test_step_conserves_charge_when_idle () =
+  let p = paper_params () in
+  let s0 = Kibam.state p ~available:2000. ~bound:2700. in
+  let s1 = Kibam.step p ~load:0. ~dt:5000. s0 in
+  check_float ~eps:1e-8 "total conserved" 4700.
+    (s1.Kibam.available +. s1.Kibam.bound);
+  check_true "available recovered" (s1.Kibam.available > s0.Kibam.available)
+
+let test_idle_equilibrium () =
+  (* After a long idle period the heights equalise: y1 -> c (y1+y2). *)
+  let p = paper_params () in
+  let s0 = Kibam.state p ~available:1000. ~bound:2000. in
+  let s = Kibam.step p ~load:0. ~dt:1e7 s0 in
+  check_float ~eps:1e-6 "y1 equilibrium" (0.625 *. 3000.) s.Kibam.available;
+  check_float ~eps:1e-6 "y2 equilibrium" (0.375 *. 3000.) s.Kibam.bound
+
+let test_step_matches_rk4 () =
+  let p = paper_params () in
+  let load = 0.96 in
+  let f _t y =
+    let dy1, dy2 =
+      Kibam.derivatives p ~load { Kibam.available = y.(0); bound = y.(1) }
+    in
+    [| dy1; dy2 |]
+  in
+  let s0 = Kibam.initial p in
+  let numeric =
+    Ode.integrate ~step:1. f ~t0:0. ~t1:1000.
+      ~y0:[| s0.Kibam.available; s0.Kibam.bound |]
+  in
+  let analytic = Kibam.step p ~load ~dt:1000. s0 in
+  check_float ~eps:1e-6 "y1 matches" numeric.(0) analytic.Kibam.available;
+  check_float ~eps:1e-6 "y2 matches" numeric.(1) analytic.Kibam.bound
+
+let test_step_additivity () =
+  let p = paper_params () in
+  let s0 = Kibam.initial p in
+  let one = Kibam.step p ~load:0.5 ~dt:800. s0 in
+  let two =
+    Kibam.step p ~load:0.5 ~dt:500. (Kibam.step p ~load:0.5 ~dt:300. s0)
+  in
+  check_float ~eps:1e-9 "y1 additive" one.Kibam.available two.Kibam.available;
+  check_float ~eps:1e-9 "y2 additive" one.Kibam.bound two.Kibam.bound
+
+let test_empty_within () =
+  let p = Kibam.params ~capacity:100. ~c:1. ~k:0. in
+  (match Kibam.empty_within p ~load:10. ~dt:20. (Kibam.initial p) with
+  | Some t -> check_float ~eps:1e-12 "linear empty time" 10. t
+  | None -> Alcotest.fail "expected depletion");
+  (match Kibam.empty_within p ~load:10. ~dt:5. (Kibam.initial p) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "should survive 5 time units");
+  match Kibam.empty_within p ~load:0. ~dt:1e6 (Kibam.initial p) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "no load, no depletion"
+
+let test_empty_within_two_well () =
+  let p = paper_params () in
+  let s = Kibam.initial p in
+  match Kibam.empty_within p ~load:0.96 ~dt:infinity s with
+  | Some t ->
+      (* The located instant must indeed have (numerically) zero y1. *)
+      let at = Kibam.step p ~load:0.96 ~dt:t s in
+      check_float ~eps:1e-5 "y1 at crossing" 0. at.Kibam.available;
+      (* Between c*C/I and C/I. *)
+      check_true "lower bound" (t > 4500. /. 0.96);
+      check_true "upper bound" (t < 7200. /. 0.96)
+  | None -> Alcotest.fail "constant load must deplete"
+
+let test_lifetime_constant_monotone_in_load () =
+  let p = paper_params () in
+  let l1 = Kibam.lifetime_constant p ~load:0.5 in
+  let l2 = Kibam.lifetime_constant p ~load:1. in
+  let l3 = Kibam.lifetime_constant p ~load:2. in
+  check_true "monotone" (l1 > l2 && l2 > l3)
+
+let test_lifetime_constant_monotone_in_k () =
+  let lifetime k =
+    Kibam.lifetime_constant
+      (Kibam.params ~capacity:7200. ~c:0.625 ~k)
+      ~load:0.96
+  in
+  check_true "more diffusion, longer life"
+    (lifetime 1e-5 < lifetime 1e-4 && lifetime 1e-4 < lifetime 1e-3)
+
+let test_delivered_charge_limits () =
+  let p = paper_params () in
+  check_float ~eps:10. "huge load delivers available well" 4500.
+    (Kibam.delivered_charge p ~load:1000.);
+  check_float ~eps:10. "tiny load delivers everything" 7200.
+    (Kibam.delivered_charge p ~load:0.001)
+
+let test_square_wave_frequency_independence () =
+  (* Table 1's KiBaM finding: lifetimes at 1 Hz and 0.2 Hz coincide. *)
+  let p = paper_params () in
+  let lifetime f =
+    match
+      Kibam.lifetime p (Load_profile.square_wave ~frequency:f ~on_load:0.96)
+    with
+    | Some t -> t
+    | None -> Alcotest.fail "must deplete"
+  in
+  check_close ~rel:1e-3 "1 Hz vs 0.2 Hz" (lifetime 1.) (lifetime 0.2);
+  (* And pulsing beats the continuous load. *)
+  check_true "recovery helps"
+    (lifetime 1. > Kibam.lifetime_constant p ~load:0.96)
+
+let test_lifetime_none_when_too_short () =
+  let p = paper_params () in
+  check_true "max_time cap"
+    (Kibam.lifetime ~max_time:100. p (Load_profile.constant 0.96) = None)
+
+let test_finite_profile_survival () =
+  let p = Kibam.params ~capacity:100. ~c:1. ~k:0. in
+  let profile = Load_profile.finite [ { Load_profile.duration = 5.; load = 1. } ] in
+  check_true "survives finite profile"
+    (Kibam.lifetime ~max_time:1e4 p profile = None)
+
+let test_trace_structure () =
+  let p = paper_params () in
+  let profile = Load_profile.square_wave ~frequency:0.001 ~on_load:0.96 in
+  let trace = Kibam.trace p profile ~t_end:2000. ~sample_step:100. in
+  let t0, y1_0, y2_0 = trace.(0) in
+  check_float "starts at 0" 0. t0;
+  check_float "y1 start" 4500. y1_0;
+  check_float "y2 start" 2700. y2_0;
+  (* Samples are ordered in time and stay in the battery's range. *)
+  let prev = ref (-1.) in
+  Array.iter
+    (fun (t, y1, y2) ->
+      check_true "time increases" (t > !prev);
+      prev := t;
+      check_true "y1 in range" (y1 >= -1e-9 && y1 <= 4500.000001);
+      check_true "y2 in range" (y2 >= -1e-9 && y2 <= 2700.000001))
+    trace
+
+let test_trace_stops_at_empty () =
+  let p = Kibam.params ~capacity:10. ~c:1. ~k:0. in
+  let trace =
+    Kibam.trace p (Load_profile.constant 1.) ~t_end:100. ~sample_step:1.
+  in
+  let t_last, y1_last, _ = trace.(Array.length trace - 1) in
+  check_float ~eps:1e-9 "empty at 10" 10. t_last;
+  check_float "y1 zero" 0. y1_last
+
+let kibam_arb =
+  QCheck.(
+    quad (pos_float_arb 100. 10000.) (pos_float_arb 0.2 0.95)
+      (pos_float_arb 1e-6 1e-3) (pos_float_arb 0.1 2.))
+
+let prop_analytic_satisfies_ode =
+  qcheck ~count:100 "closed form satisfies the KiBaM ODE" kibam_arb
+    (fun (capacity, c, k, load) ->
+      let p = Kibam.params ~capacity ~c ~k in
+      let s0 = Kibam.initial p in
+      (* Compare d/dt of the closed form against the vector field. *)
+      let dt = 1e-3 in
+      let t = 50. in
+      let s_minus = Kibam.step p ~load ~dt:(t -. dt) s0 in
+      let s_plus = Kibam.step p ~load ~dt:(t +. dt) s0 in
+      let s_mid = Kibam.step p ~load ~dt:t s0 in
+      let dy1 = (s_plus.Kibam.available -. s_minus.Kibam.available) /. (2. *. dt)
+      and dy2 = (s_plus.Kibam.bound -. s_minus.Kibam.bound) /. (2. *. dt) in
+      let f1, f2 = Kibam.derivatives p ~load s_mid in
+      Float.abs (dy1 -. f1) < 1e-5 *. Float.max 1. (Float.abs f1)
+      && Float.abs (dy2 -. f2) < 1e-5 *. Float.max 1. (Float.abs f2))
+
+let prop_total_charge_never_grows =
+  qcheck ~count:100 "discharge never creates charge" kibam_arb
+    (fun (capacity, c, k, load) ->
+      let p = Kibam.params ~capacity ~c ~k in
+      let s0 = Kibam.initial p in
+      let s = Kibam.step p ~load ~dt:100. s0 in
+      s.Kibam.available +. s.Kibam.bound
+      <= s0.Kibam.available +. s0.Kibam.bound +. 1e-9)
+
+let prop_lifetime_between_bounds =
+  qcheck ~count:50 "lifetime between cC/I and C/I" kibam_arb
+    (fun (capacity, c, k, load) ->
+      let p = Kibam.params ~capacity ~c ~k in
+      let l = Kibam.lifetime_constant p ~load in
+      l >= (c *. capacity /. load) -. 1e-6
+      && l <= (capacity /. load) +. 1e-6)
+
+let suite =
+  [
+    case "params validation" test_params_validation;
+    case "initial state" test_initial_state;
+    case "state validation" test_state_validation;
+    case "degenerate step" test_step_degenerate;
+    case "idle conserves charge" test_step_conserves_charge_when_idle;
+    case "idle equilibrium" test_idle_equilibrium;
+    case "closed form matches RK4" test_step_matches_rk4;
+    case "step additivity" test_step_additivity;
+    case "empty_within (linear)" test_empty_within;
+    case "empty_within (two-well)" test_empty_within_two_well;
+    case "lifetime monotone in load" test_lifetime_constant_monotone_in_load;
+    case "lifetime monotone in k" test_lifetime_constant_monotone_in_k;
+    case "delivered charge limits" test_delivered_charge_limits;
+    case "square-wave frequency independence"
+      test_square_wave_frequency_independence;
+    case "max_time cap" test_lifetime_none_when_too_short;
+    case "finite profile survival" test_finite_profile_survival;
+    case "trace structure" test_trace_structure;
+    case "trace stops at empty" test_trace_stops_at_empty;
+    prop_analytic_satisfies_ode;
+    prop_total_charge_never_grows;
+    prop_lifetime_between_bounds;
+  ]

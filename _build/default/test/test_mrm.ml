@@ -1,0 +1,212 @@
+open Batlife_ctmc
+open Batlife_mrm
+open Helpers
+
+let two_state_mrm ?(rewards = [| 1.; 0. |]) ?(a = 2.) ?(b = 2.) () =
+  let g = Generator.of_rates ~n:2 [ (0, 1, a); (1, 0, b) ] in
+  Mrm.create ~generator:g ~rewards ~alpha:[| 1.; 0. |]
+
+let test_create_validation () =
+  let g = Generator.of_rates ~n:2 [ (0, 1, 1.) ] in
+  check_raises_invalid "rewards length" (fun () ->
+      ignore (Mrm.create ~generator:g ~rewards:[| 1. |] ~alpha:[| 1.; 0. |]));
+  check_raises_invalid "negative reward" (fun () ->
+      ignore
+        (Mrm.create ~generator:g ~rewards:[| -1.; 0. |] ~alpha:[| 1.; 0. |]));
+  check_raises_invalid "alpha not a distribution" (fun () ->
+      ignore
+        (Mrm.create ~generator:g ~rewards:[| 1.; 0. |] ~alpha:[| 0.4; 0.4 |]))
+
+let test_distinct_rewards () =
+  let g =
+    Generator.of_rates ~n:4 [ (0, 1, 1.); (1, 2, 1.); (2, 3, 1.); (3, 0, 1.) ]
+  in
+  let m =
+    Mrm.create ~generator:g ~rewards:[| 5.; 0.; 5.; 2. |]
+      ~alpha:[| 1.; 0.; 0.; 0. |]
+  in
+  Alcotest.(check (array (float 0.)))
+    "distinct sorted" [| 0.; 2.; 5. |] (Mrm.distinct_rewards m);
+  let lo, hi = Mrm.reward_bounds m in
+  check_float "lo" 0. lo;
+  check_float "hi" 5. hi
+
+let test_scale_rewards () =
+  let m = two_state_mrm () in
+  let scaled = Mrm.scale_rewards 3. m in
+  check_float "scaled" 3. scaled.Mrm.rewards.(0);
+  check_raises_invalid "bad factor" (fun () ->
+      ignore (Mrm.scale_rewards 0. m))
+
+(* --- Occupation-time distribution --------------------------------- *)
+
+let test_occupation_single_state () =
+  (* One state, in B: W(t) = t, so P(W <= y) = 1{y >= t}. *)
+  let g = Generator.of_rates ~n:1 [] in
+  let result =
+    Occupation.cdf g ~alpha:[| 1. |] ~subset:[| true |]
+      ~queries:[| (1., 0.5); (1., 1.); (1., 2.) |]
+  in
+  check_float "below" 0. result.(0);
+  check_float "at" 1. result.(1);
+  check_float "above" 1. result.(2)
+
+let test_occupation_no_transition () =
+  (* Two states with no transitions: W(t) = t if started in B else 0. *)
+  let g = Generator.of_rates ~n:2 [] in
+  let alpha = [| 0.3; 0.7 |] and subset = [| true; false |] in
+  let result =
+    Occupation.cdf g ~alpha ~subset ~queries:[| (4., 2.); (4., 0.) |]
+  in
+  (* P(W <= 2) = P(start outside B) = 0.7; P(W <= 0) = 0.7 as well. *)
+  check_float ~eps:1e-10 "middle" 0.7 result.(0);
+  check_float ~eps:1e-10 "at zero" 0.7 result.(1)
+
+let test_occupation_vs_transient_mean () =
+  (* E[W(t)] from the distribution should match the expected
+     occupation computed by Moments. *)
+  let m = two_state_mrm ~a:1.5 ~b:0.7 () in
+  let t = 3. in
+  let subset = [| true; false |] in
+  (* Numerically integrate 1 - F over y in [0, t]. *)
+  let steps = 400 in
+  let h = t /. float_of_int steps in
+  let queries =
+    Array.init (steps + 1) (fun i -> (t, h *. float_of_int i))
+  in
+  let cdf = Occupation.cdf m.Mrm.generator ~alpha:m.Mrm.alpha ~subset ~queries in
+  let mean = ref 0. in
+  for i = 0 to steps - 1 do
+    mean := !mean +. (h *. 0.5 *. (2. -. cdf.(i) -. cdf.(i + 1)))
+  done;
+  let occ = Moments.expected_occupations m ~t in
+  check_float ~eps:1e-3 "mean occupation" occ.(0) !mean
+
+let test_occupation_symmetric_median () =
+  (* Symmetric chain started in stationarity: W(t)/t has a symmetric
+     distribution around 1/2, so F(t/2) = 1/2. *)
+  let g = Generator.of_rates ~n:2 [ (0, 1, 3.); (1, 0, 3.) ] in
+  let alpha = [| 0.5; 0.5 |] in
+  let p =
+    Occupation.cdf_single g ~alpha ~subset:[| true; false |] ~t:5. ~y:2.5
+  in
+  check_float ~eps:1e-9 "median at half" 0.5 p
+
+let test_two_valued_cdf () =
+  let m = two_state_mrm ~rewards:[| 4.; 0. |] () in
+  (* P(Y(t) <= y) = P(W(t) <= y/4). *)
+  let direct =
+    Occupation.cdf m.Mrm.generator ~alpha:m.Mrm.alpha ~subset:[| true; false |]
+      ~queries:[| (2., 1.) |]
+  in
+  let scaled = Occupation.two_valued_cdf m ~queries:[| (2., 4.) |] in
+  check_float ~eps:1e-12 "matches occupation" direct.(0) scaled.(0)
+
+let test_two_valued_rejects_three_values () =
+  let g = Generator.of_rates ~n:3 [ (0, 1, 1.); (1, 2, 1.); (2, 0, 1.) ] in
+  let m =
+    Mrm.create ~generator:g ~rewards:[| 0.; 1.; 2. |] ~alpha:[| 1.; 0.; 0. |]
+  in
+  check_raises_invalid "three values" (fun () ->
+      ignore (Occupation.two_valued_cdf m ~queries:[| (1., 1.) |]))
+
+let test_occupation_bounds_and_monotone () =
+  let g = Generator.of_rates ~n:2 [ (0, 1, 1.); (1, 0, 2.) ] in
+  let alpha = [| 1.; 0. |] in
+  let t = 4. in
+  let queries = Array.init 21 (fun i -> (t, 0.2 *. float_of_int i)) in
+  let cdf = Occupation.cdf g ~alpha ~subset:[| true; false |] ~queries in
+  let prev = ref (-0.1) in
+  Array.iter
+    (fun p ->
+      check_true "in [0,1]" (p >= 0. && p <= 1.);
+      check_true "monotone" (p >= !prev -. 1e-12);
+      prev := p)
+    cdf
+
+(* --- Erlangization -------------------------------------------------- *)
+
+let test_erlangization_deterministic () =
+  (* Single state with reward 2: Y(t) = 2t deterministically. *)
+  let g = Generator.of_rates ~n:1 [] in
+  let m = Mrm.create ~generator:g ~rewards:[| 2. |] ~alpha:[| 1. |] in
+  let over =
+    Erlangization.exceedance ~stages:2048 m ~budget:2. ~times:[| 0.5; 1.; 2. |]
+  in
+  check_true "before budget" (over.(0) < 0.02);
+  check_true "around budget" (Float.abs (over.(1) -. 0.5) < 0.02);
+  check_true "after budget" (over.(2) > 0.98)
+
+let test_erlangization_matches_occupation () =
+  let m = two_state_mrm ~rewards:[| 1.; 0. |] ~a:2. ~b:2. () in
+  let t = 10. and y = 4.8 in
+  let exact =
+    (Occupation.two_valued_cdf m ~queries:[| (t, y) |]).(0)
+  in
+  let erl = (Erlangization.cdf ~stages:8192 m ~t ~ys:[| y |]).(0) in
+  check_float ~eps:5e-3 "erlangization close to exact" exact erl
+
+let test_erlangization_edge_cases () =
+  let m = two_state_mrm ~rewards:[| 1.; 0. |] () in
+  (* Negative budget rejected; negative y gives 0, y far above r_max*t
+     gives 1. *)
+  check_raises_invalid "budget" (fun () ->
+      ignore (Erlangization.exceedance m ~budget:0. ~times:[| 1. |]));
+  let cdf = Erlangization.cdf ~stages:128 m ~t:2. ~ys:[| -1.; 100. |] in
+  check_float "negative y" 0. cdf.(0);
+  check_float ~eps:1e-6 "huge y" 1. cdf.(1);
+  (* Exceedance at t = 0 is 0 for a positive budget. *)
+  let at0 = Erlangization.exceedance ~stages:64 m ~budget:1. ~times:[| 0. |] in
+  check_float ~eps:1e-12 "t = 0" 0. at0.(0)
+
+let test_erlangization_auto () =
+  let m = two_state_mrm ~rewards:[| 1.; 0. |] () in
+  let curve, stages =
+    Erlangization.exceedance_auto ~tolerance:1e-3 m ~budget:3.
+      ~times:[| 2.; 6.; 12. |]
+  in
+  check_true "stages grew" (stages >= 256);
+  Array.iter (fun p -> check_true "in range" (p >= 0. && p <= 1.)) curve
+
+(* --- Moments -------------------------------------------------------- *)
+
+let test_expected_occupations_sum () =
+  let m = two_state_mrm ~a:1.3 ~b:0.4 () in
+  let t = 7. in
+  let occ = Moments.expected_occupations m ~t in
+  check_float ~eps:1e-9 "occupations sum to t" t (occ.(0) +. occ.(1))
+
+let test_expected_reward_two_state () =
+  (* E W_0(t) has closed form for a 2-state chain: with s = a+b,
+     starting in 0: E W_0(t) = (b/s) t + (a/s^2)(1 - e^{-st}). *)
+  let a = 2. and b = 0.5 in
+  let m = two_state_mrm ~rewards:[| 1.; 0. |] ~a ~b () in
+  let t = 3. in
+  let s = a +. b in
+  let expected = (b /. s *. t) +. (a /. (s *. s) *. (1. -. exp (-.s *. t))) in
+  check_float ~eps:1e-9 "closed form" expected (Moments.expected_reward m ~t)
+
+let test_steady_rate () =
+  let m = two_state_mrm ~rewards:[| 6.; 0. |] ~a:1. ~b:1. () in
+  check_float ~eps:1e-12 "steady rate" 3. (Moments.steady_rate m)
+
+let suite =
+  [
+    case "create validation" test_create_validation;
+    case "distinct rewards" test_distinct_rewards;
+    case "scale rewards" test_scale_rewards;
+    case "occupation: single state" test_occupation_single_state;
+    case "occupation: no transitions" test_occupation_no_transition;
+    case "occupation: mean matches moments" test_occupation_vs_transient_mean;
+    case "occupation: symmetric median" test_occupation_symmetric_median;
+    case "two-valued cdf" test_two_valued_cdf;
+    case "two-valued rejects 3 values" test_two_valued_rejects_three_values;
+    case "occupation bounds/monotone" test_occupation_bounds_and_monotone;
+    case "erlangization: deterministic" test_erlangization_deterministic;
+    case "erlangization matches occupation" test_erlangization_matches_occupation;
+    case "erlangization edge cases" test_erlangization_edge_cases;
+    case "erlangization auto" test_erlangization_auto;
+    case "occupations sum to t" test_expected_occupations_sum;
+    case "expected reward closed form" test_expected_reward_two_state;
+    case "steady rate" test_steady_rate;
+  ]

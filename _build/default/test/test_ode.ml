@@ -1,0 +1,109 @@
+open Batlife_numerics
+open Helpers
+
+(* dy/dt = -y, y(0) = 1 -> y(t) = e^{-t}. *)
+let decay _t y = [| -.y.(0) |]
+
+(* Harmonic oscillator: y'' = -y as a 2d system. *)
+let oscillator _t y = [| y.(1); -.y.(0) |]
+
+let test_euler_first_order () =
+  (* One Euler step has O(h^2) local error. *)
+  let y = Ode.euler_step decay ~t:0. ~dt:0.01 ~y:[| 1. |] in
+  check_float ~eps:1e-4 "euler step" (exp (-0.01)) y.(0)
+
+let test_rk4_accuracy () =
+  let y = Ode.integrate ~step:0.01 decay ~t0:0. ~t1:1. ~y0:[| 1. |] in
+  check_float ~eps:1e-10 "rk4 decay" (exp (-1.)) y.(0)
+
+let test_rk4_convergence_order () =
+  (* Error should shrink ~16x when the step halves. *)
+  let error step =
+    let y = Ode.integrate ~step decay ~t0:0. ~t1:1. ~y0:[| 1. |] in
+    Float.abs (y.(0) -. exp (-1.))
+  in
+  let e1 = error 0.1 and e2 = error 0.05 in
+  check_true "4th order" (e1 /. e2 > 10. && e1 /. e2 < 25.)
+
+let test_oscillator_energy () =
+  let y = Ode.integrate ~step:0.001 oscillator ~t0:0. ~t1:10. ~y0:[| 1.; 0. |] in
+  check_float ~eps:1e-8 "position" (cos 10.) y.(0);
+  check_float ~eps:1e-8 "velocity" (-.sin 10.) y.(1);
+  let energy = (y.(0) *. y.(0)) +. (y.(1) *. y.(1)) in
+  check_float ~eps:1e-9 "energy conserved" 1. energy
+
+let test_trace () =
+  let tr = Ode.trace ~step:0.25 decay ~t0:0. ~t1:1. ~y0:[| 1. |] in
+  check_int "points" 5 (Array.length tr);
+  let t_last, y_last = tr.(4) in
+  check_float ~eps:1e-12 "final time" 1. t_last;
+  (* Step 0.25 is coarse: RK4 local error ~ 1e-5 here. *)
+  check_float ~eps:1e-4 "final value" (exp (-1.)) y_last.(0)
+
+let test_rkf45 () =
+  let r = Ode.rkf45 ~rtol:1e-10 ~atol:1e-12 decay ~t0:0. ~t1:3. ~y0:[| 1. |] in
+  check_float ~eps:1e-9 "adaptive decay" (exp (-3.)) r.Ode.y.(0);
+  check_true "took steps" (r.Ode.steps_taken > 0)
+
+let test_rkf45_stiff_ish () =
+  (* Fast decay forces small steps; accepts and rejects both happen. *)
+  let fast _t y = [| -50. *. y.(0) |] in
+  let r = Ode.rkf45 ~rtol:1e-8 fast ~t0:0. ~t1:1. ~y0:[| 1. |] in
+  check_float ~eps:1e-7 "fast decay" (exp (-50.)) r.Ode.y.(0)
+
+let test_event_detection () =
+  (* y' = -1 from y(0)=1 crosses zero at t = 1. *)
+  let f _t _y = [| -1. |] in
+  (match Ode.integrate_until ~step:0.3 ~event:(fun _ y -> y.(0)) f ~t0:0.
+           ~t1:5. ~y0:[| 1. |]
+   with
+  | Ode.Event (t, y) ->
+      check_float ~eps:1e-9 "crossing time" 1. t;
+      check_float ~eps:1e-9 "state at event" 0. y.(0)
+  | Ode.Reached_end _ -> Alcotest.fail "expected event")
+
+let test_event_not_reached () =
+  let f _t _y = [| -1. |] in
+  match Ode.integrate_until ~step:0.3 ~event:(fun _ y -> y.(0)) f ~t0:0. ~t1:0.5
+          ~y0:[| 1. |]
+  with
+  | Ode.Reached_end y -> check_float ~eps:1e-9 "end state" 0.5 y.(0)
+  | Ode.Event _ -> Alcotest.fail "no event expected"
+
+let test_event_immediate () =
+  let f _t _y = [| -1. |] in
+  match Ode.integrate_until ~event:(fun _ y -> y.(0)) f ~t0:0. ~t1:1.
+          ~y0:[| 0. |]
+  with
+  | Ode.Event (t, _) -> check_float "immediate" 0. t
+  | Ode.Reached_end _ -> Alcotest.fail "expected immediate event"
+
+let test_invalid_args () =
+  check_raises_invalid "reverse time" (fun () ->
+      ignore (Ode.integrate decay ~t0:1. ~t1:0. ~y0:[| 1. |]));
+  check_raises_invalid "bad step" (fun () ->
+      ignore (Ode.integrate ~step:(-0.1) decay ~t0:0. ~t1:1. ~y0:[| 1. |]))
+
+let prop_rk4_vs_exact_decay =
+  qcheck ~count:50 "rk4 matches exact exponential"
+    (pos_float_arb 0.1 3.)
+    (fun rate ->
+      let f _t y = [| -.rate *. y.(0) |] in
+      let y = Ode.integrate ~step:0.005 f ~t0:0. ~t1:1. ~y0:[| 2. |] in
+      Float.abs (y.(0) -. (2. *. exp (-.rate))) < 1e-8)
+
+let suite =
+  [
+    case "euler step" test_euler_first_order;
+    case "rk4 accuracy" test_rk4_accuracy;
+    case "rk4 convergence order" test_rk4_convergence_order;
+    case "oscillator energy" test_oscillator_energy;
+    case "trace" test_trace;
+    case "rkf45 adaptive" test_rkf45;
+    case "rkf45 fast decay" test_rkf45_stiff_ish;
+    case "event detection" test_event_detection;
+    case "event not reached" test_event_not_reached;
+    case "event at start" test_event_immediate;
+    case "invalid arguments" test_invalid_args;
+    prop_rk4_vs_exact_decay;
+  ]

@@ -1,0 +1,151 @@
+open Batlife_output
+open Helpers
+
+let sample_series () =
+  Series.create ~name:"cdf" ~xs:[| 0.; 1.; 2. |] ~ys:[| 0.; 0.5; 1. |]
+
+let test_series_basics () =
+  let s = sample_series () in
+  Alcotest.(check string) "name" "cdf" (Series.name s);
+  check_int "length" 3 (Series.length s);
+  let lo, hi = Series.x_range s in
+  check_float "x lo" 0. lo;
+  check_float "x hi" 2. hi;
+  let lo, hi = Series.y_range s in
+  check_float "y lo" 0. lo;
+  check_float "y hi" 1. hi;
+  check_raises_invalid "length mismatch" (fun () ->
+      ignore (Series.create ~name:"bad" ~xs:[| 1. |] ~ys:[||]))
+
+let test_series_map_rename () =
+  let s = Series.map_y (fun y -> 1. -. y) (sample_series ()) in
+  check_float "mapped" 1. (Series.ys s).(0);
+  Alcotest.(check string) "renamed" "survival"
+    (Series.name (Series.rename "survival" s))
+
+let test_series_of_pairs () =
+  let s = Series.of_pairs ~name:"p" [| (1., 10.); (2., 20.) |] in
+  check_float "x" 2. (Series.xs s).(1);
+  check_float "y" 20. (Series.ys s).(1)
+
+let with_temp_file f =
+  let path = Filename.temp_file "batlife_test" ".out" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_write_csv () =
+  with_temp_file (fun path ->
+      Csv.write_csv ~path [ sample_series () ];
+      let content = read_file path in
+      check_true "header" (String.length content > 0);
+      let lines = String.split_on_char '\n' content in
+      Alcotest.(check string) "header line" "x,cdf" (List.hd lines);
+      check_int "rows" 4 (List.length (List.filter (fun l -> l <> "") lines)))
+
+let test_write_csv_merges_x () =
+  with_temp_file (fun path ->
+      let a = Series.create ~name:"a" ~xs:[| 0.; 1. |] ~ys:[| 1.; 2. |] in
+      let b = Series.create ~name:"b" ~xs:[| 1.; 2. |] ~ys:[| 5.; 6. |] in
+      Csv.write_csv ~path [ a; b ];
+      let content = read_file path in
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' content)
+      in
+      (* header + union of {0, 1, 2} *)
+      check_int "merged rows" 4 (List.length lines);
+      check_true "blank cell present"
+        (List.exists (fun l -> String.length l > 2 && l.[0] = '2') lines))
+
+let test_write_dat () =
+  with_temp_file (fun path ->
+      Csv.write_dat ~path [ sample_series (); sample_series () ];
+      let content = read_file path in
+      (* Two blocks, each with a comment header. *)
+      let comments =
+        List.filter
+          (fun l -> String.length l > 0 && l.[0] = '#')
+          (String.split_on_char '\n' content)
+      in
+      check_int "two headers" 2 (List.length comments))
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_write_gnuplot () =
+  with_temp_file (fun path ->
+      Csv.write_gnuplot_script ~path ~data_file:"fig.dat" ~title:"t"
+        ~xlabel:"x" ~ylabel:"y"
+        [ sample_series () ];
+      let content = read_file path in
+      check_true "mentions data file" (contains_substring content "fig.dat");
+      check_true "mentions series name" (contains_substring content "cdf"))
+
+let test_csv_escaping () =
+  with_temp_file (fun path ->
+      let tricky =
+        Series.create ~name:"C=800, c=1, \"exact\"" ~xs:[| 1. |] ~ys:[| 2. |]
+      in
+      Csv.write_csv ~path [ tricky ];
+      let content = read_file path in
+      let header = List.hd (String.split_on_char '\n' content) in
+      (* The comma-bearing name must be quoted, embedded quotes
+         doubled. *)
+      Alcotest.(check string)
+        "quoted header" "x,\"C=800, c=1, \"\"exact\"\"\"" header)
+
+let test_table_render () =
+  let out =
+    Table.render ~header:[ "name"; "value" ]
+      [ [ "alpha"; "1.0" ]; [ "beta"; "22.5" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  check_true "has rows" (List.length lines >= 4);
+  (* All non-empty lines share the same width. *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  check_true "aligned" (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_cells () =
+  Alcotest.(check string) "float cell" "1.5" (Table.float_cell 1.5);
+  Alcotest.(check string) "nan cell" "-" (Table.float_cell Float.nan);
+  Alcotest.(check string) "decimals" "1.50"
+    (Table.float_cell ~decimals:2 1.5)
+
+let test_table_validation () =
+  check_raises_invalid "align mismatch" (fun () ->
+      ignore (Table.render ~align:[ Table.Left ] ~header:[ "a"; "b" ] []))
+
+let test_ascii_plot () =
+  let rendered =
+    Ascii_plot.render ~width:40 ~height:10 [ sample_series () ]
+  in
+  check_true "non-empty" (String.length rendered > 100);
+  check_true "contains glyph" (String.contains rendered '*');
+  check_true "legend" (String.length rendered > 0);
+  check_raises_invalid "no series" (fun () -> ignore (Ascii_plot.render []))
+
+let suite =
+  [
+    case "series basics" test_series_basics;
+    case "series map and rename" test_series_map_rename;
+    case "series of pairs" test_series_of_pairs;
+    case "write csv" test_write_csv;
+    case "csv merges abscissae" test_write_csv_merges_x;
+    case "write dat blocks" test_write_dat;
+    case "write gnuplot script" test_write_gnuplot;
+    case "csv escaping" test_csv_escaping;
+    case "table render" test_table_render;
+    case "table cells" test_table_cells;
+    case "table validation" test_table_validation;
+    case "ascii plot" test_ascii_plot;
+  ]

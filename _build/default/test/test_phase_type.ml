@@ -1,0 +1,114 @@
+open Batlife_ctmc
+open Helpers
+
+let test_exponential () =
+  let d = Phase_type.exponential ~rate:2. in
+  check_float ~eps:1e-10 "cdf" (1. -. exp (-2.)) (Phase_type.cdf d 1.);
+  check_float ~eps:1e-10 "mean" 0.5 (Phase_type.mean d);
+  check_float ~eps:1e-10 "variance" 0.25 (Phase_type.variance d);
+  check_float "cdf at 0" 0. (Phase_type.cdf d 0.);
+  check_float "negative t" 0. (Phase_type.cdf d (-1.))
+
+let test_erlang_cdf_closed_form () =
+  let k = 4 and rate = 3. in
+  let d = Phase_type.erlang ~k ~rate in
+  List.iter
+    (fun t ->
+      check_float ~eps:1e-10
+        (Printf.sprintf "t=%g" t)
+        (Phase_type.erlang_cdf ~k ~rate t)
+        (Phase_type.cdf d t))
+    [ 0.1; 0.5; 1.; 2.; 5. ]
+
+let test_erlang_moments () =
+  let d = Phase_type.erlang ~k:5 ~rate:2. in
+  check_float ~eps:1e-10 "mean" 2.5 (Phase_type.mean d);
+  check_float ~eps:1e-10 "variance" 1.25 (Phase_type.variance d);
+  check_float ~eps:1e-9 "third moment"
+    (5. *. 6. *. 7. /. 8.)
+    (Phase_type.moment d 3)
+
+let test_hypoexponential () =
+  let d = Phase_type.hypoexponential ~rates:[| 1.; 2.; 4. |] in
+  check_float ~eps:1e-10 "mean is sum of means" 1.75 (Phase_type.mean d);
+  check_float ~eps:1e-10 "variance is sum of variances"
+    (1. +. 0.25 +. 0.0625)
+    (Phase_type.variance d)
+
+let test_cdf_many () =
+  let d = Phase_type.erlang ~k:3 ~rate:1. in
+  let times = [| 0.5; 1.; 2.; 4.; 8. |] in
+  let batched = Phase_type.cdf_many d times in
+  Array.iteri
+    (fun i t ->
+      check_float ~eps:1e-10
+        (Printf.sprintf "batched t=%g" t)
+        (Phase_type.cdf d t) batched.(i))
+    times
+
+let test_of_absorbing_ctmc () =
+  (* 0 -> 1 -> 2 (absorbing) with rates 2 and 3: hypoexponential. *)
+  let g = Generator.of_rates ~n:3 [ (0, 1, 2.); (1, 2, 3.) ] in
+  let d = Phase_type.of_absorbing_ctmc g ~alpha:[| 1.; 0.; 0. |] in
+  check_int "phases" 2 (Phase_type.n_phases d);
+  let reference = Phase_type.hypoexponential ~rates:[| 2.; 3. |] in
+  check_float ~eps:1e-10 "mean" (Phase_type.mean reference) (Phase_type.mean d);
+  check_float ~eps:1e-10 "cdf"
+    (Phase_type.cdf reference 0.7)
+    (Phase_type.cdf d 0.7)
+
+let test_of_absorbing_requires_absorbing () =
+  let g = Generator.of_rates ~n:2 [ (0, 1, 1.); (1, 0, 1.) ] in
+  check_raises_invalid "no absorbing state" (fun () ->
+      ignore (Phase_type.of_absorbing_ctmc g ~alpha:[| 1.; 0. |]))
+
+let test_defective_initial () =
+  (* 30% of the mass starts absorbed: atom at 0. *)
+  let d =
+    Phase_type.create ~alpha:[| 0.7 |] ~sub_generator:[| [| -1. |] |]
+  in
+  check_float ~eps:1e-10 "atom at zero" 0.3 (Phase_type.cdf d 0.);
+  check_float ~eps:1e-10 "eventually 1" 1. (Phase_type.cdf d 50.)
+
+let test_validation () =
+  check_raises_invalid "bad rate" (fun () ->
+      ignore (Phase_type.erlang ~k:2 ~rate:0.));
+  check_raises_invalid "bad k" (fun () ->
+      ignore (Phase_type.erlang ~k:0 ~rate:1.));
+  check_raises_invalid "positive row sum" (fun () ->
+      ignore (Phase_type.create ~alpha:[| 1. |] ~sub_generator:[| [| 1. |] |]));
+  check_raises_invalid "mass above one" (fun () ->
+      ignore (Phase_type.create ~alpha:[| 1.5 |] ~sub_generator:[| [| -1. |] |]))
+
+let test_moment_validation () =
+  let d = Phase_type.exponential ~rate:1. in
+  check_raises_invalid "m = 0" (fun () -> ignore (Phase_type.moment d 0))
+
+let prop_erlang_cdf_monotone =
+  qcheck ~count:50 "erlang cdf monotone in t"
+    QCheck.(pair (int_range 1 6) (pos_float_arb 0.5 4.))
+    (fun (k, rate) ->
+      let d = Phase_type.erlang ~k ~rate in
+      let prev = ref 0. in
+      List.for_all
+        (fun t ->
+          let c = Phase_type.cdf d t in
+          let ok = c >= !prev -. 1e-12 && c <= 1. +. 1e-12 in
+          prev := c;
+          ok)
+        [ 0.2; 0.5; 1.; 2.; 4. ])
+
+let suite =
+  [
+    case "exponential" test_exponential;
+    case "erlang cdf vs closed form" test_erlang_cdf_closed_form;
+    case "erlang moments" test_erlang_moments;
+    case "hypoexponential" test_hypoexponential;
+    case "batched cdf" test_cdf_many;
+    case "of_absorbing_ctmc" test_of_absorbing_ctmc;
+    case "absorbing state required" test_of_absorbing_requires_absorbing;
+    case "defective initial distribution" test_defective_initial;
+    case "validation" test_validation;
+    case "moment validation" test_moment_validation;
+    prop_erlang_cdf_monotone;
+  ]

@@ -1,0 +1,90 @@
+open Batlife_numerics
+open Helpers
+
+let test_zero_rate () =
+  let w = Poisson.weights 0. in
+  check_int "left" 0 w.Poisson.left;
+  check_int "right" 0 w.Poisson.right;
+  check_float "mass" 1. (Poisson.total w);
+  check_float "prob 0" 1. (Poisson.prob w 0);
+  check_float "prob 1" 0. (Poisson.prob w 1)
+
+let test_matches_direct_pmf () =
+  List.iter
+    (fun lambda ->
+      let w = Poisson.weights ~accuracy:1e-14 lambda in
+      for n = w.Poisson.left to w.Poisson.right do
+        let direct = Special.poisson_pmf ~lambda n in
+        if Float.abs (Poisson.prob w n -. direct) > 1e-12 then
+          Alcotest.failf "lambda=%g n=%d: %g vs %g" lambda n
+            (Poisson.prob w n) direct
+      done)
+    [ 0.1; 1.; 5.; 20. ]
+
+let test_normalised () =
+  List.iter
+    (fun lambda ->
+      let w = Poisson.weights lambda in
+      check_float ~eps:1e-12
+        (Printf.sprintf "total at %g" lambda)
+        1. (Poisson.total w))
+    [ 0.01; 1.; 10.; 1000.; 40000. ]
+
+let test_window_covers_mode () =
+  let lambda = 40000. in
+  let w = Poisson.weights lambda in
+  let mode = int_of_float lambda in
+  check_true "left below mode" (w.Poisson.left <= mode);
+  check_true "right above mode" (w.Poisson.right >= mode);
+  (* The window should be a few standard deviations wide, not huge. *)
+  let width = w.Poisson.right - w.Poisson.left in
+  let sd = int_of_float (sqrt lambda) in
+  check_true "width reasonable" (width > 6 * sd && width < 30 * sd)
+
+let test_mass_outside_negligible () =
+  let lambda = 500. in
+  let w = Poisson.weights ~accuracy:1e-10 lambda in
+  (* Mass below left plus above right is below the accuracy. *)
+  let inside = ref 0. in
+  for n = w.Poisson.left to w.Poisson.right do
+    inside := !inside +. Special.poisson_pmf ~lambda n
+  done;
+  check_true "tail mass small" (1. -. !inside < 1e-10)
+
+let test_fold_and_cdf () =
+  let w = Poisson.weights 3. in
+  let count = Poisson.fold w ~init:0 ~f:(fun acc _ _ -> acc + 1) in
+  check_int "fold visits all" (w.Poisson.right - w.Poisson.left + 1) count;
+  let mean =
+    Poisson.fold w ~init:0. ~f:(fun acc n p -> acc +. (float_of_int n *. p))
+  in
+  check_float ~eps:1e-9 "mean" 3. mean;
+  check_float ~eps:1e-12 "cdf complement at right" 0.
+    (Poisson.cdf_complement w w.Poisson.right);
+  check_float ~eps:1e-12 "cdf complement below left" 1.
+    (Poisson.cdf_complement w (w.Poisson.left - 1))
+
+let test_negative_rate () =
+  check_raises_invalid "negative" (fun () -> ignore (Poisson.weights (-1.)))
+
+let prop_mean_matches_lambda =
+  qcheck ~count:50 "truncated mean = lambda" (pos_float_arb 0.5 2000.)
+    (fun lambda ->
+      let w = Poisson.weights lambda in
+      let mean =
+        Poisson.fold w ~init:0. ~f:(fun acc n p ->
+            acc +. (float_of_int n *. p))
+      in
+      Float.abs (mean -. lambda) < 1e-6 *. Float.max lambda 1.)
+
+let suite =
+  [
+    case "zero rate" test_zero_rate;
+    case "matches direct pmf" test_matches_direct_pmf;
+    case "normalised" test_normalised;
+    case "window covers mode" test_window_covers_mode;
+    case "outside mass negligible" test_mass_outside_negligible;
+    case "fold and cdf complement" test_fold_and_cdf;
+    case "negative rate rejected" test_negative_rate;
+    prop_mean_matches_lambda;
+  ]

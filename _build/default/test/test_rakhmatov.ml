@@ -1,0 +1,188 @@
+open Batlife_battery
+open Helpers
+
+(* A battery with alpha = 40000 charge units and beta^2 = 0.2 per time
+   unit (the ballpark of the Rakhmatov-Vrudhula paper's Itsy
+   calibration, in minutes). *)
+let p () = Rakhmatov.params ~alpha:40000. 0.2
+
+let test_params_validation () =
+  check_raises_invalid "alpha" (fun () ->
+      ignore (Rakhmatov.params ~alpha:0. 1.));
+  check_raises_invalid "beta" (fun () ->
+      ignore (Rakhmatov.params ~alpha:1. 0.));
+  check_raises_invalid "harmonics" (fun () ->
+      ignore (Rakhmatov.params ~harmonics:0 ~alpha:1. 1.))
+
+let test_initial_state () =
+  let p = p () in
+  let s = Rakhmatov.initial p in
+  check_float "nothing consumed" 0. s.Rakhmatov.consumed;
+  check_float "no gradient" 0. (Rakhmatov.unavailable_charge p s);
+  check_float "apparent charge" 0. (Rakhmatov.apparent_charge p s)
+
+let test_step_consumption () =
+  let p = p () in
+  let s = Rakhmatov.step p ~load:100. ~dt:10. (Rakhmatov.initial p) in
+  check_float ~eps:1e-9 "consumed" 1000. s.Rakhmatov.consumed;
+  check_true "gradient built up" (Rakhmatov.unavailable_charge p s > 0.);
+  (* Apparent charge exceeds real consumption under load. *)
+  check_true "sigma > consumed" (Rakhmatov.apparent_charge p s > 1000.)
+
+let test_recovery_during_rest () =
+  let p = p () in
+  let loaded = Rakhmatov.step p ~load:100. ~dt:10. (Rakhmatov.initial p) in
+  let rested = Rakhmatov.step p ~load:0. ~dt:50. loaded in
+  check_true "gradient relaxes"
+    (Rakhmatov.unavailable_charge p rested
+    < Rakhmatov.unavailable_charge p loaded /. 2.);
+  check_float ~eps:1e-9 "no charge consumed while resting"
+    loaded.Rakhmatov.consumed rested.Rakhmatov.consumed
+
+let test_step_additivity () =
+  let p = p () in
+  let s0 = Rakhmatov.initial p in
+  let one = Rakhmatov.step p ~load:50. ~dt:8. s0 in
+  let two = Rakhmatov.step p ~load:50. ~dt:5. (Rakhmatov.step p ~load:50. ~dt:3. s0) in
+  check_float ~eps:1e-9 "consumed equal" one.Rakhmatov.consumed
+    two.Rakhmatov.consumed;
+  check_float ~eps:1e-9 "gradient equal"
+    (Rakhmatov.unavailable_charge p one)
+    (Rakhmatov.unavailable_charge p two)
+
+let test_lifetime_below_ideal () =
+  let p = p () in
+  let load = 100. in
+  let l = Rakhmatov.lifetime_constant p ~load in
+  check_true "below ideal" (l < 40000. /. load);
+  check_true "positive" (l > 0.);
+  (* The apparent charge at the reported instant equals alpha. *)
+  let s = Rakhmatov.step p ~load ~dt:l (Rakhmatov.initial p) in
+  check_close ~rel:1e-9 "sigma = alpha at death" 40000.
+    (Rakhmatov.apparent_charge p s)
+
+let test_lifetime_monotone_in_load () =
+  let p = p () in
+  let l1 = Rakhmatov.lifetime_constant p ~load:50. in
+  let l2 = Rakhmatov.lifetime_constant p ~load:100. in
+  let l3 = Rakhmatov.lifetime_constant p ~load:200. in
+  check_true "monotone" (l1 > l2 && l2 > l3)
+
+let test_delivered_charge_limits () =
+  let p = p () in
+  (* Tiny loads recover everything: delivered -> alpha. *)
+  check_close ~rel:0.02 "tiny load delivers alpha" 40000.
+    (Rakhmatov.delivered_charge p ~load:1.);
+  (* Heavy loads lose a substantial fraction to the gradient. *)
+  check_true "heavy load delivers less"
+    (Rakhmatov.delivered_charge p ~load:1000. < 0.9 *. 40000.)
+
+let test_recovery_effect_on_delivered_charge () =
+  (* The Rakhmatov-Vrudhula recovery effect: at the same discharge
+     current, interleaving idle periods lets the gradient relax, so
+     the battery delivers more total charge than under the continuous
+     load (even though the wall-clock lifetime is of course longer). *)
+  let p = p () in
+  let load = 200. in
+  let continuous = Rakhmatov.lifetime_constant p ~load in
+  let pulsed =
+    match
+      Rakhmatov.lifetime p (Load_profile.square_wave ~frequency:0.1 ~on_load:load)
+    with
+    | Some t -> t
+    | None -> Alcotest.fail "must deplete"
+  in
+  let delivered_continuous = load *. continuous in
+  let delivered_pulsed = load *. pulsed /. 2. in
+  check_true "pulsing delivers more charge at the same current"
+    (delivered_pulsed > delivered_continuous)
+
+let test_fast_pulse_behaves_like_average () =
+  let p = p () in
+  let average = Rakhmatov.lifetime_constant p ~load:100. in
+  let fast =
+    match
+      Rakhmatov.lifetime p (Load_profile.square_wave ~frequency:10. ~on_load:200.)
+    with
+    | Some t -> t
+    | None -> Alcotest.fail "must deplete"
+  in
+  check_close ~rel:0.02 "fast pulse ~ average" average fast;
+  (* Whereas a very slow pulse dies within its first on-period, at the
+     full-load lifetime. *)
+  let slow =
+    match
+      Rakhmatov.lifetime p
+        (Load_profile.square_wave ~frequency:0.001 ~on_load:200.)
+    with
+    | Some t -> t
+    | None -> Alcotest.fail "must deplete"
+  in
+  check_close ~rel:1e-6 "slow pulse dies in first burst"
+    (Rakhmatov.lifetime_constant p ~load:200.)
+    slow
+
+let test_empty_within_bounds () =
+  let p = p () in
+  (match Rakhmatov.empty_within p ~load:100. ~dt:1. (Rakhmatov.initial p) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "cannot die in 1 time unit");
+  match Rakhmatov.empty_within p ~load:0. ~dt:1e6 (Rakhmatov.initial p) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "resting battery cannot die"
+
+let test_fit_beta_roundtrip () =
+  let original = Rakhmatov.params ~alpha:40000. 0.37 in
+  let target = Rakhmatov.lifetime_constant original ~load:120. in
+  let fitted = Rakhmatov.fit_beta ~alpha:40000. ~load:120. ~target_lifetime:target in
+  check_close ~rel:1e-5 "beta recovered" 0.37 fitted.Rakhmatov.beta_sq
+
+let test_fit_beta_unattainable () =
+  match Rakhmatov.fit_beta ~alpha:100. ~load:1. ~target_lifetime:200. with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "target above ideal must fail"
+
+let test_harmonics_convergence () =
+  (* The truncated series converges: 40 vs 80 harmonics agree. *)
+  let l harmonics =
+    Rakhmatov.lifetime_constant
+      (Rakhmatov.params ~harmonics ~alpha:40000. 0.2)
+      ~load:100.
+  in
+  check_close ~rel:1e-3 "truncation converged" (l 80) (l 40)
+
+let prop_sigma_dominates_consumed =
+  qcheck ~count:100 "apparent charge >= consumed charge"
+    QCheck.(pair (pos_float_arb 1. 500.) (pos_float_arb 0.1 50.))
+    (fun (load, dt) ->
+      let p = p () in
+      let s = Rakhmatov.step p ~load ~dt (Rakhmatov.initial p) in
+      Rakhmatov.apparent_charge p s >= s.Rakhmatov.consumed -. 1e-9)
+
+let prop_lifetime_below_ideal =
+  qcheck ~count:50 "lifetime below the ideal battery"
+    (pos_float_arb 10. 1000.)
+    (fun load ->
+      let p = p () in
+      Rakhmatov.lifetime_constant p ~load <= (40000. /. load) +. 1e-9)
+
+let suite =
+  [
+    case "params validation" test_params_validation;
+    case "initial state" test_initial_state;
+    case "step consumption" test_step_consumption;
+    case "recovery during rest" test_recovery_during_rest;
+    case "step additivity" test_step_additivity;
+    case "lifetime below ideal" test_lifetime_below_ideal;
+    case "lifetime monotone in load" test_lifetime_monotone_in_load;
+    case "delivered charge limits" test_delivered_charge_limits;
+    case "recovery effect on delivered charge"
+      test_recovery_effect_on_delivered_charge;
+    case "fast pulse behaves like average" test_fast_pulse_behaves_like_average;
+    case "empty_within bounds" test_empty_within_bounds;
+    case "fit beta roundtrip" test_fit_beta_roundtrip;
+    case "fit beta unattainable" test_fit_beta_unattainable;
+    case "harmonics convergence" test_harmonics_convergence;
+    prop_sigma_dominates_consumed;
+    prop_lifetime_below_ideal;
+  ]

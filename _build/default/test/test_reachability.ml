@@ -1,0 +1,154 @@
+open Batlife_ctmc
+open Helpers
+
+(* A 4-state chain: 0 -> 1 -> 3 (goal) and 0 -> 2 (trap). *)
+let branching () =
+  Generator.of_rates ~n:4 [ (0, 1, 1.); (0, 2, 1.); (1, 3, 2.) ]
+
+let mask n indices =
+  let m = Array.make n false in
+  List.iter (fun i -> m.(i) <- true) indices;
+  m
+
+let test_bounded_reach_two_state () =
+  (* 0 -> 1 at rate a: P(reach 1 by t) = 1 - e^{-a t}. *)
+  let g = Generator.of_rates ~n:2 [ (0, 1, 1.5) ] in
+  let goal = mask 2 [ 1 ] in
+  List.iter
+    (fun t ->
+      check_float ~eps:1e-10
+        (Printf.sprintf "t=%g" t)
+        (1. -. exp (-1.5 *. t))
+        (Reachability.bounded_reach g ~alpha:[| 1.; 0. |] ~goal ~t))
+    [ 0.; 0.3; 1.; 4. ]
+
+let test_bounded_until_avoid () =
+  (* Hypoexponential path 0 -> 1 -> 2 with an avoid state in the
+     middle: the goal can then never be reached legally. *)
+  let g = Generator.of_rates ~n:3 [ (0, 1, 2.); (1, 2, 2.) ] in
+  let goal = mask 3 [ 2 ] and avoid = mask 3 [ 1 ] in
+  check_float "blocked" 0.
+    (Reachability.bounded_until g ~alpha:[| 1.; 0.; 0. |] ~avoid ~goal ~t:10.);
+  (* Without the avoid constraint it is the Erlang-2 CDF. *)
+  check_float ~eps:1e-10 "unblocked"
+    (Phase_type.erlang_cdf ~k:2 ~rate:2. 10.)
+    (Reachability.bounded_reach g ~alpha:[| 1.; 0.; 0. |] ~goal ~t:10.)
+
+let test_goal_locks_in () =
+  (* Once the goal is visited the probability must not decay, even if
+     the original chain would leave the goal state. *)
+  let g = Generator.of_rates ~n:2 [ (0, 1, 3.); (1, 0, 100.) ] in
+  let goal = mask 2 [ 1 ] in
+  let p_small =
+    Reachability.bounded_reach g ~alpha:[| 1.; 0. |] ~goal ~t:0.5
+  in
+  let p_large =
+    Reachability.bounded_reach g ~alpha:[| 1.; 0. |] ~goal ~t:5.
+  in
+  check_true "monotone in t" (p_large >= p_small);
+  check_float ~eps:1e-6 "eventually certain" 1. p_large
+
+let test_eventually_branching () =
+  (* From state 0 the race 0->1 vs 0->2 is fair; the trap at 2 kills
+     half the mass. *)
+  let g = branching () in
+  let p =
+    Reachability.eventually g ~alpha:[| 1.; 0.; 0.; 0. |]
+      ~avoid:(mask 4 []) ~goal:(mask 4 [ 3 ])
+  in
+  check_float ~eps:1e-10 "half reaches" 0.5 p
+
+let test_eventually_with_avoid () =
+  (* Cycle 0 -> 1 -> 0 with an exit 1 -> 2: avoiding state 1 makes the
+     goal unreachable. *)
+  let g = Generator.of_rates ~n:3 [ (0, 1, 1.); (1, 0, 1.); (1, 2, 1.) ] in
+  check_float "blocked by avoid" 0.
+    (Reachability.eventually g ~alpha:[| 1.; 0.; 0. |]
+       ~avoid:(mask 3 [ 1 ]) ~goal:(mask 3 [ 2 ]));
+  check_float ~eps:1e-10 "reached without avoid" 1.
+    (Reachability.eventually g ~alpha:[| 1.; 0.; 0. |] ~avoid:(mask 3 [])
+       ~goal:(mask 3 [ 2 ]))
+
+let test_eventually_bounded_limit () =
+  (* bounded_until at a large horizon approaches eventually. *)
+  let g = branching () in
+  let alpha = [| 1.; 0.; 0.; 0. |] in
+  let goal = mask 4 [ 3 ] and avoid = mask 4 [] in
+  let unbounded = Reachability.eventually g ~alpha ~avoid ~goal in
+  let bounded =
+    Reachability.bounded_until g ~alpha ~avoid ~goal ~t:200.
+  in
+  check_float ~eps:1e-9 "limit" unbounded bounded
+
+let test_expected_hitting_time_erlang () =
+  (* 0 -> 1 -> 2: expected hitting time of 2 is 1/2 + 1/3. *)
+  let g = Generator.of_rates ~n:3 [ (0, 1, 2.); (1, 2, 3.) ] in
+  check_float ~eps:1e-10 "hypoexp mean"
+    (1. /. 2. +. 1. /. 3.)
+    (Reachability.expected_hitting_time g ~alpha:[| 1.; 0.; 0. |]
+       ~goal:(mask 3 [ 2 ]))
+
+let test_expected_hitting_time_cyclic () =
+  (* Two-state cycle with absorption: matches the phase-type mean. *)
+  let g =
+    Generator.of_rates ~n:3 [ (0, 1, 1.); (1, 0, 4.); (1, 2, 1.) ]
+  in
+  let d = Phase_type.of_absorbing_ctmc g ~alpha:[| 1.; 0.; 0. |] in
+  check_close ~rel:1e-9 "matches PH mean" (Phase_type.mean d)
+    (Reachability.expected_hitting_time g ~alpha:[| 1.; 0.; 0. |]
+       ~goal:(mask 3 [ 2 ]))
+
+let test_expected_hitting_time_infinite () =
+  let g = branching () in
+  check_true "trap makes it infinite"
+    (Reachability.expected_hitting_time g ~alpha:[| 1.; 0.; 0.; 0. |]
+       ~goal:(mask 4 [ 3 ])
+    = infinity)
+
+let test_validation () =
+  let g = branching () in
+  check_raises_invalid "alpha length" (fun () ->
+      ignore
+        (Reachability.bounded_reach g ~alpha:[| 1. |] ~goal:(mask 4 [ 3 ])
+           ~t:1.));
+  check_raises_invalid "empty goal" (fun () ->
+      ignore
+        (Reachability.expected_hitting_time g ~alpha:[| 1.; 0.; 0.; 0. |]
+           ~goal:(mask 4 [])))
+
+let test_battery_application () =
+  (* A KiBaMRM-flavoured query on the expanded chain: "the device
+     survives 10 hours" as reachability on the discretised model. *)
+  let workload = Batlife_workload.Simple.model () in
+  let battery = Batlife_battery.Kibam.params ~capacity:800. ~c:0.625 ~k:0.162 in
+  let model = Batlife_core.Kibamrm.create ~workload ~battery in
+  let d = Batlife_core.Discretized.build ~delta:25. model in
+  let g = d.Batlife_core.Discretized.generator in
+  let n = Generator.n_states g in
+  let block =
+    Batlife_core.Grid.absorbing_block_size d.Batlife_core.Discretized.grid
+  in
+  let goal = Array.init n (fun i -> i < block) in
+  let p_dead =
+    Reachability.bounded_reach g ~alpha:d.Batlife_core.Discretized.alpha ~goal
+      ~t:10.
+  in
+  let direct, _ =
+    Batlife_core.Discretized.empty_probability d ~times:[| 10. |]
+  in
+  check_float ~eps:1e-9 "agrees with empty_probability" direct.(0) p_dead
+
+let suite =
+  [
+    case "bounded reach: two states" test_bounded_reach_two_state;
+    case "bounded until with avoid" test_bounded_until_avoid;
+    case "goal locks in" test_goal_locks_in;
+    case "eventually: branching" test_eventually_branching;
+    case "eventually with avoid" test_eventually_with_avoid;
+    case "bounded limit is eventually" test_eventually_bounded_limit;
+    case "hitting time: hypoexponential" test_expected_hitting_time_erlang;
+    case "hitting time: cyclic" test_expected_hitting_time_cyclic;
+    case "hitting time: infinite" test_expected_hitting_time_infinite;
+    case "validation" test_validation;
+    case "battery application" test_battery_application;
+  ]

@@ -1,0 +1,69 @@
+open Batlife_numerics
+open Helpers
+
+let quadratic x = (x *. x) -. 2.
+
+let test_bisect () =
+  check_float ~eps:1e-9 "sqrt 2" (sqrt 2.) (Roots.bisect quadratic 0. 2.);
+  check_float ~eps:1e-9 "negative root" (-.sqrt 2.)
+    (Roots.bisect quadratic (-2.) 0.);
+  check_float "exact endpoint" 2. (Roots.bisect (fun x -> x -. 2.) 2. 5.)
+
+let test_bisect_no_root () =
+  match Roots.bisect quadratic 2. 3. with
+  | exception Roots.No_root _ -> ()
+  | _ -> Alcotest.fail "expected No_root"
+
+let test_brent () =
+  check_float ~eps:1e-9 "sqrt 2" (sqrt 2.) (Roots.brent quadratic 0. 2.);
+  check_float ~eps:1e-9 "cosine" (Float.pi /. 2.) (Roots.brent cos 0. 3.);
+  (* A nastier function with a flat region. *)
+  let f x = if x < 1. then -1e-3 else (x -. 1.5) ** 3. in
+  check_float ~eps:1e-7 "flat then cubic" 1.5 (Roots.brent f 0. 4.)
+
+let test_brent_transcendental () =
+  (* x e^x = 5 -> x = W(5) ~ 1.326724665. *)
+  let f x = (x *. exp x) -. 5. in
+  check_float ~eps:1e-9 "lambert-like" 1.3267246652422002
+    (Roots.brent f 0. 3.)
+
+let test_secant () =
+  check_float ~eps:1e-9 "sqrt 2" (sqrt 2.) (Roots.secant quadratic 1. 2.);
+  (match Roots.secant (fun _ -> 1.) 0. 1. with
+  | exception Roots.No_root _ -> ()
+  | _ -> Alcotest.fail "flat function should fail")
+
+let test_expand_bracket () =
+  let f x = x -. 100. in
+  let a, b = Roots.expand_bracket f 0. 1. in
+  check_true "bracket found" (f a *. f b <= 0.);
+  (match Roots.expand_bracket (fun _ -> 1.) 0. 1. with
+  | exception Roots.No_root _ -> ()
+  | _ -> Alcotest.fail "no sign change should fail");
+  check_raises_invalid "bad interval" (fun () ->
+      ignore (Roots.expand_bracket quadratic 1. 1.))
+
+let prop_brent_finds_planted_root =
+  qcheck "brent finds planted root" (pos_float_arb 0.1 50.) (fun r ->
+      let f x = (x -. r) *. (1. +. (0.1 *. x)) in
+      let root = Roots.brent f 0. 100. in
+      Float.abs (root -. r) < 1e-7 *. Float.max r 1.)
+
+let prop_bisect_brent_agree =
+  qcheck "bisect and brent agree" (pos_float_arb 0.2 0.9) (fun r ->
+      (* A single planted root at x = r, guaranteed sign change. *)
+      let f x = tanh (3. *. (x -. r)) in
+      let b1 = Roots.bisect f 0. 1. and b2 = Roots.brent f 0. 1. in
+      Float.abs (b1 -. b2) < 1e-7)
+
+let suite =
+  [
+    case "bisect" test_bisect;
+    case "bisect without sign change" test_bisect_no_root;
+    case "brent" test_brent;
+    case "brent transcendental" test_brent_transcendental;
+    case "secant" test_secant;
+    case "expand_bracket" test_expand_bracket;
+    prop_brent_finds_planted_root;
+    prop_bisect_brent_agree;
+  ]

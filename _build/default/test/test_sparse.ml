@@ -1,0 +1,123 @@
+open Batlife_numerics
+open Helpers
+
+let build_matrix entries ~rows ~cols =
+  let b = Sparse.Builder.create ~rows ~cols () in
+  List.iter (fun (i, j, v) -> Sparse.Builder.add b i j v) entries;
+  Sparse.of_builder b
+
+let test_builder_basics () =
+  let b = Sparse.Builder.create ~rows:3 ~cols:3 () in
+  Sparse.Builder.add b 0 0 1.;
+  Sparse.Builder.add b 0 0 0.;
+  (* Zeros ignored. *)
+  check_int "nnz skips zero" 1 (Sparse.Builder.nnz b);
+  check_int "rows" 3 (Sparse.Builder.rows b);
+  check_raises_invalid "out of bounds" (fun () -> Sparse.Builder.add b 3 0 1.)
+
+let test_duplicate_merge () =
+  let m = build_matrix [ (1, 2, 1.5); (1, 2, 2.5); (0, 0, 1.) ] ~rows:3 ~cols:3 in
+  check_int "nnz merged" 2 (Sparse.nnz m);
+  check_float "summed" 4. (Sparse.get m 1 2)
+
+let test_cancellation_dropped () =
+  let m = build_matrix [ (0, 1, 2.); (0, 1, -2.) ] ~rows:2 ~cols:2 in
+  check_int "exact cancellation removed" 0 (Sparse.nnz m)
+
+let test_get () =
+  let m = build_matrix [ (0, 2, 3.); (1, 0, -1.) ] ~rows:2 ~cols:3 in
+  check_float "present" 3. (Sparse.get m 0 2);
+  check_float "absent" 0. (Sparse.get m 0 1);
+  check_raises_invalid "bounds" (fun () -> ignore (Sparse.get m 2 0))
+
+let test_matvec_known () =
+  let m = build_matrix [ (0, 0, 1.); (0, 1, 2.); (1, 1, 3.) ] ~rows:2 ~cols:2 in
+  let y = Sparse.matvec m [| 1.; 10. |] in
+  check_float "row 0" 21. y.(0);
+  check_float "row 1" 30. y.(1)
+
+let test_vecmat_known () =
+  let m = build_matrix [ (0, 0, 1.); (0, 1, 2.); (1, 1, 3.) ] ~rows:2 ~cols:2 in
+  let y = Sparse.vecmat [| 1.; 10. |] m in
+  check_float "col 0" 1. y.(0);
+  check_float "col 1" 32. y.(1)
+
+let test_vecmat_acc () =
+  let m = build_matrix [ (0, 1, 4.) ] ~rows:2 ~cols:2 in
+  let dst = [| 1.; 1. |] in
+  Sparse.vecmat_acc ~src:[| 2.; 0. |] m ~scale:0.5 ~dst;
+  check_float "accumulated" 5. dst.(1);
+  check_float "untouched" 1. dst.(0)
+
+let test_row_sums_scale () =
+  let m = build_matrix [ (0, 0, 1.); (0, 1, 2.); (1, 0, 5.) ] ~rows:2 ~cols:2 in
+  let sums = Sparse.row_sums m in
+  check_float "row 0" 3. sums.(0);
+  check_float "row 1" 5. sums.(1);
+  let doubled = Sparse.scale 2. m in
+  check_float "scaled" 4. (Sparse.get doubled 0 1)
+
+let test_transpose () =
+  let m = build_matrix [ (0, 1, 2.); (1, 0, 3.) ] ~rows:2 ~cols:2 in
+  let t = Sparse.transpose m in
+  check_float "transposed 1 0" 2. (Sparse.get t 1 0);
+  check_float "transposed 0 1" 3. (Sparse.get t 0 1)
+
+let test_dense_roundtrip () =
+  let d = Dense.of_arrays [| [| 1.; 0.; 2. |]; [| 0.; 0.; 3. |] |] in
+  let m = Sparse.of_dense d in
+  check_int "nnz" 3 (Sparse.nnz m);
+  check_true "roundtrip" (Dense.approx_equal (Sparse.to_dense m) d)
+
+let test_max_abs_diagonal () =
+  let m =
+    build_matrix [ (0, 0, -4.); (1, 1, 2.); (0, 1, 100.) ] ~rows:2 ~cols:2
+  in
+  check_float "max |diag|" 4. (Sparse.max_abs_diagonal m)
+
+let random_sparse_arb =
+  QCheck.(
+    list_of_size (Gen.int_range 0 40)
+      (triple (int_range 0 5) (int_range 0 5) (float_range (-10.) 10.)))
+
+let prop_matvec_matches_dense =
+  qcheck ~count:200 "sparse matvec = dense matvec"
+    QCheck.(pair random_sparse_arb (float_array_arb 6))
+    (fun (entries, x) ->
+      let triples = List.map (fun (i, j, v) -> (i, j, v)) entries in
+      let m = build_matrix triples ~rows:6 ~cols:6 in
+      let d = Sparse.to_dense m in
+      Vector.approx_equal ~tol:1e-9 (Sparse.matvec m x) (Dense.matvec d x))
+
+let prop_vecmat_matches_dense =
+  qcheck ~count:200 "sparse vecmat = dense vecmat"
+    QCheck.(pair random_sparse_arb (float_array_arb 6))
+    (fun (entries, x) ->
+      let m = build_matrix entries ~rows:6 ~cols:6 in
+      let d = Sparse.to_dense m in
+      Vector.approx_equal ~tol:1e-9 (Sparse.vecmat x m) (Dense.vecmat x d))
+
+let prop_transpose_involution =
+  qcheck ~count:100 "transpose twice is identity" random_sparse_arb
+    (fun entries ->
+      let m = build_matrix entries ~rows:6 ~cols:6 in
+      let tt = Sparse.transpose (Sparse.transpose m) in
+      Dense.approx_equal (Sparse.to_dense m) (Sparse.to_dense tt))
+
+let suite =
+  [
+    case "builder basics" test_builder_basics;
+    case "duplicates merged" test_duplicate_merge;
+    case "cancellation dropped" test_cancellation_dropped;
+    case "get" test_get;
+    case "matvec" test_matvec_known;
+    case "vecmat" test_vecmat_known;
+    case "vecmat_acc" test_vecmat_acc;
+    case "row sums and scale" test_row_sums_scale;
+    case "transpose" test_transpose;
+    case "dense roundtrip" test_dense_roundtrip;
+    case "max abs diagonal" test_max_abs_diagonal;
+    prop_matvec_matches_dense;
+    prop_vecmat_matches_dense;
+    prop_transpose_involution;
+  ]

@@ -1,0 +1,89 @@
+open Batlife_numerics
+open Helpers
+
+let test_log_gamma_integers () =
+  (* Gamma(n) = (n-1)! *)
+  check_float ~eps:1e-10 "Gamma(1)" 0. (Special.log_gamma 1.);
+  check_float ~eps:1e-10 "Gamma(2)" 0. (Special.log_gamma 2.);
+  check_float ~eps:1e-9 "Gamma(5)" (log 24.) (Special.log_gamma 5.);
+  check_close ~rel:1e-12 "Gamma(11)" (log 3628800.) (Special.log_gamma 11.)
+
+let test_log_gamma_half () =
+  (* Gamma(1/2) = sqrt(pi). *)
+  check_float ~eps:1e-10 "Gamma(0.5)"
+    (0.5 *. log Float.pi)
+    (Special.log_gamma 0.5);
+  (* Gamma(3/2) = sqrt(pi)/2 *)
+  check_float ~eps:1e-10 "Gamma(1.5)"
+    ((0.5 *. log Float.pi) -. log 2.)
+    (Special.log_gamma 1.5)
+
+let test_log_gamma_invalid () =
+  check_raises_invalid "non-positive" (fun () -> Special.log_gamma 0.);
+  check_raises_invalid "negative" (fun () -> Special.log_gamma (-1.))
+
+let test_log_factorial () =
+  check_float "0!" 0. (Special.log_factorial 0);
+  check_float "1!" 0. (Special.log_factorial 1);
+  check_close ~rel:1e-12 "10!" (log 3628800.) (Special.log_factorial 10);
+  (* Table/Lanczos boundary consistency. *)
+  check_close ~rel:1e-12 "300!"
+    (Special.log_gamma 301.)
+    (Special.log_factorial 300);
+  check_raises_invalid "negative" (fun () ->
+      ignore (Special.log_factorial (-1)))
+
+let test_log_binomial () =
+  check_float "n choose 0" 0. (Special.log_binomial 10 0);
+  check_float "n choose n" 0. (Special.log_binomial 10 10);
+  check_close ~rel:1e-12 "10 choose 3" (log 120.) (Special.log_binomial 10 3);
+  check_raises_invalid "k > n" (fun () -> ignore (Special.log_binomial 3 4))
+
+let test_poisson_pmf () =
+  check_float ~eps:1e-12 "P(0; 2)" (exp (-2.)) (Special.poisson_pmf ~lambda:2. 0);
+  check_float ~eps:1e-12 "P(3; 2)"
+    (exp (-2.) *. 8. /. 6.)
+    (Special.poisson_pmf ~lambda:2. 3);
+  check_float "P(-1)" 0. (Special.poisson_pmf ~lambda:2. (-1));
+  check_float "lambda 0, n 0" 1. (Special.poisson_pmf ~lambda:0. 0);
+  check_float "lambda 0, n 1" 0. (Special.poisson_pmf ~lambda:0. 1);
+  (* Large lambda stays finite and normalised over the bulk. *)
+  let lambda = 50000. in
+  let total = ref 0. in
+  for n = 48000 to 52000 do
+    total := !total +. Special.poisson_pmf ~lambda n
+  done;
+  check_float ~eps:1e-6 "large lambda bulk" 1. !total
+
+let test_erf () =
+  check_float ~eps:1e-7 "erf 0" 0. (Special.erf 0.);
+  check_float ~eps:2e-7 "erf 1" 0.8427007929 (Special.erf 1.);
+  check_float ~eps:2e-7 "erf -1" (-0.8427007929) (Special.erf (-1.));
+  check_float ~eps:1e-6 "erf 3" 0.9999779095 (Special.erf 3.)
+
+let test_normal () =
+  check_float ~eps:1e-7 "Phi(0)" 0.5 (Special.normal_cdf 0.);
+  check_float ~eps:1e-6 "Phi(1.96)" 0.9750021 (Special.normal_cdf 1.96);
+  check_float ~eps:1e-8 "quantile 0.5" 0. (Special.normal_quantile 0.5);
+  check_float ~eps:1e-6 "quantile 0.975" 1.959964 (Special.normal_quantile 0.975);
+  check_raises_invalid "quantile 0" (fun () ->
+      ignore (Special.normal_quantile 0.))
+
+let prop_quantile_roundtrip =
+  qcheck "normal_cdf (normal_quantile p) = p"
+    (pos_float_arb 0.001 0.999)
+    (fun p ->
+      Float.abs (Special.normal_cdf (Special.normal_quantile p) -. p) < 1e-5)
+
+let suite =
+  [
+    case "log_gamma at integers" test_log_gamma_integers;
+    case "log_gamma at halves" test_log_gamma_half;
+    case "log_gamma domain" test_log_gamma_invalid;
+    case "log_factorial" test_log_factorial;
+    case "log_binomial" test_log_binomial;
+    case "poisson pmf" test_poisson_pmf;
+    case "erf" test_erf;
+    case "normal cdf/quantile" test_normal;
+    prop_quantile_roundtrip;
+  ]

@@ -1,0 +1,85 @@
+open Batlife_numerics
+open Batlife_ctmc
+open Helpers
+
+let test_two_state () =
+  let g = Generator.of_rates ~n:2 [ (0, 1, 2.); (1, 0, 6.) ] in
+  let pi = Steady.gth g in
+  check_float ~eps:1e-12 "pi0" 0.75 pi.(0);
+  check_float ~eps:1e-12 "pi1" 0.25 pi.(1)
+
+let birth_death ~n ~birth ~death =
+  let rates = ref [] in
+  for i = 0 to n - 2 do
+    rates := (i, i + 1, birth) :: (i + 1, i, death) :: !rates
+  done;
+  Generator.of_rates ~n !rates
+
+let test_birth_death_closed_form () =
+  (* pi_i proportional to (birth/death)^i. *)
+  let n = 6 and birth = 2. and death = 3. in
+  let g = birth_death ~n ~birth ~death in
+  let pi = Steady.gth g in
+  let rho = birth /. death in
+  let z = ref 0. in
+  for i = 0 to n - 1 do
+    z := !z +. (rho ** float_of_int i)
+  done;
+  for i = 0 to n - 1 do
+    check_float ~eps:1e-12
+      (Printf.sprintf "pi_%d" i)
+      ((rho ** float_of_int i) /. !z)
+      pi.(i)
+  done
+
+let test_balance_equations () =
+  let g =
+    Generator.of_rates ~n:4
+      [ (0, 1, 1.); (1, 2, 2.); (2, 3, 3.); (3, 0, 4.); (1, 0, 0.5); (2, 0, 0.1) ]
+  in
+  let pi = Steady.gth g in
+  (* pi Q = 0 *)
+  let flow = Sparse.vecmat pi (Generator.matrix g) in
+  Array.iter (fun f -> check_float ~eps:1e-12 "balance" 0. f) flow;
+  check_float ~eps:1e-12 "mass" 1. (Vector.sum pi)
+
+let test_power_iteration_agrees () =
+  let g =
+    Generator.of_rates ~n:5
+      [ (0, 1, 1.); (1, 2, 1.5); (2, 3, 0.5); (3, 4, 2.); (4, 0, 1.); (2, 0, 1.) ]
+  in
+  let gth = Steady.gth g in
+  let power = Steady.power_iteration g in
+  check_true "agree" (Vector.approx_equal ~tol:1e-8 gth power)
+
+let test_reducible_rejected () =
+  (* State 1 is absorbing: state 0 cannot be reached from below. *)
+  let g = Generator.of_rates ~n:2 [ (0, 1, 1.) ] in
+  match Steady.gth g with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "reducible chain should fail"
+
+let test_expected_reward () =
+  let g = Generator.of_rates ~n:2 [ (0, 1, 1.); (1, 0, 1.) ] in
+  check_float ~eps:1e-12 "mean reward" 5.
+    (Steady.expected_reward g ~rewards:[| 0.; 10. |])
+
+let test_transient_limit_matches_steady () =
+  let g =
+    Generator.of_rates ~n:3 [ (0, 1, 1.); (1, 2, 2.); (2, 0, 1.5); (1, 0, 1.) ]
+  in
+  let pi = Steady.gth g in
+  let late = Transient.solve g ~alpha:[| 1.; 0.; 0. |] ~t:200. in
+  check_true "transient converges to steady"
+    (Vector.approx_equal ~tol:1e-9 pi late)
+
+let suite =
+  [
+    case "two-state" test_two_state;
+    case "birth-death closed form" test_birth_death_closed_form;
+    case "global balance" test_balance_equations;
+    case "power iteration agrees with GTH" test_power_iteration_agrees;
+    case "reducible chain rejected" test_reducible_rejected;
+    case "expected reward" test_expected_reward;
+    case "transient limit is steady state" test_transient_limit_matches_steady;
+  ]

@@ -1,0 +1,173 @@
+open Batlife_battery
+open Batlife_workload
+open Helpers
+
+let samples =
+  [
+    { Trace.time = 0.; current = 2. };
+    { Trace.time = 1.; current = 0. };
+    { Trace.time = 3.; current = 5. };
+    { Trace.time = 4.; current = 2. };
+  ]
+
+let test_of_samples () =
+  let p = Trace.of_samples samples in
+  check_float "first segment" 2. (Load_profile.load_at p 0.5);
+  check_float "idle stretch" 0. (Load_profile.load_at p 2.);
+  check_float "third segment" 5. (Load_profile.load_at p 3.5);
+  (* Last sample held for the median gap (1.0). *)
+  check_float "tail hold" 2. (Load_profile.load_at p 4.5);
+  check_float "beyond the trace" 0. (Load_profile.load_at p 100.)
+
+let test_of_samples_leading_gap () =
+  let p =
+    Trace.of_samples
+      [ { Trace.time = 2.; current = 3. }; { Trace.time = 4.; current = 1. } ]
+  in
+  check_float "implicit leading idle" 0. (Load_profile.load_at p 1.);
+  check_float "first real segment" 3. (Load_profile.load_at p 3.)
+
+let test_of_samples_validation () =
+  check_raises_invalid "too short" (fun () ->
+      ignore (Trace.of_samples [ { Trace.time = 0.; current = 1. } ]));
+  check_raises_invalid "unordered" (fun () ->
+      ignore
+        (Trace.of_samples
+           [
+             { Trace.time = 1.; current = 1. };
+             { Trace.time = 1.; current = 2. };
+           ]));
+  check_raises_invalid "negative current" (fun () ->
+      ignore
+        (Trace.of_samples
+           [
+             { Trace.time = 0.; current = -1. };
+             { Trace.time = 1.; current = 2. };
+           ]))
+
+let test_parse_csv () =
+  let text = "# a comment\n0, 2.5\n\n1.5, 0\n 2 , 1e-1 \n" in
+  let parsed = Trace.parse_csv text in
+  check_int "three samples" 3 (List.length parsed);
+  (match parsed with
+  | [ a; b; c ] ->
+      check_float "time a" 0. a.Trace.time;
+      check_float "current a" 2.5 a.Trace.current;
+      check_float "time b" 1.5 b.Trace.time;
+      check_float "current c" 0.1 c.Trace.current
+  | _ -> Alcotest.fail "unexpected shape");
+  (match Trace.parse_csv "0,1\nbogus line\n" with
+  | exception Failure msg -> check_true "line number" (String.length msg > 0)
+  | _ -> Alcotest.fail "malformed line must fail")
+
+let test_csv_roundtrip () =
+  let p = Trace.of_samples samples in
+  let text = Trace.to_csv p ~t_end:4. ~step:0.25 in
+  let p' = Trace.of_samples (Trace.parse_csv text) in
+  (* The resampled profile matches at the sampling resolution. *)
+  List.iter
+    (fun t ->
+      check_float
+        (Printf.sprintf "load at %g" t)
+        (Load_profile.load_at p t) (Load_profile.load_at p' t))
+    [ 0.1; 0.6; 2.1; 3.1; 3.9 ]
+
+let test_synthesize () =
+  let workload = Simple.model () in
+  let trace = Trace.synthesize ~seed:9L ~horizon:200. workload in
+  check_true "many state changes" (List.length trace > 20);
+  (* All currents are model currents. *)
+  List.iter
+    (fun s ->
+      check_true "known current"
+        (List.mem s.Trace.current [ 8.; 200.; 0. ]))
+    trace;
+  (* Reproducible. *)
+  let again = Trace.synthesize ~seed:9L ~horizon:200. workload in
+  check_int "same length" (List.length trace) (List.length again)
+
+let test_estimate_model_recovers_structure () =
+  (* Close the loop: synthesize a long trace from the simple model and
+     re-estimate a CTMC from it; levels, occupancy and rates should be
+     close to the source model. *)
+  let workload = Simple.model () in
+  let trace = Trace.synthesize ~seed:17L ~horizon:5000. workload in
+  let estimated = Trace.estimate_model trace in
+  check_int "three levels" 3 (Array.length estimated.Trace.levels);
+  Array.iter
+    (fun level -> check_true "level is a model current"
+        (List.mem level [ 0.; 8.; 200. ]))
+    estimated.Trace.levels;
+  (* Steady occupancy: idle 0.5, send 0.25, sleep 0.25 (+- noise). *)
+  let m = estimated.Trace.model in
+  Array.iteri
+    (fun i level ->
+      let expected =
+        if level = 8. then 0.5 else 0.25 (* send and sleep both 0.25 *)
+      in
+      check_true
+        (Printf.sprintf "occupancy of level %g" level)
+        (Float.abs (estimated.Trace.occupancy.(i) -. expected) < 0.08))
+    estimated.Trace.levels;
+  (* Estimated exit rate of the idle level ~ lambda + tau = 3/h. *)
+  let idle =
+    let rec find i =
+      if Model.current m i = 8. then i else find (i + 1)
+    in
+    find 0
+  in
+  let exit = Batlife_ctmc.Generator.exit_rate m.Model.generator idle in
+  check_true "idle exit rate ~ 3"
+    (Float.abs (exit -. 3.) < 0.5)
+
+let test_estimate_model_quantises () =
+  (* More distinct currents than max_states: quantisation kicks in. *)
+  let noisy =
+    List.init 100 (fun i ->
+        {
+          Trace.time = float_of_int i;
+          current = (if i mod 2 = 0 then 10. else 100.) +. float_of_int (i mod 5);
+        })
+  in
+  let estimated = Trace.estimate_model ~max_states:2 noisy in
+  check_int "two levels" 2 (Array.length estimated.Trace.levels);
+  let lo = estimated.Trace.levels.(0) and hi = estimated.Trace.levels.(1) in
+  check_true "low cluster near 12" (Float.abs (lo -. 12.) < 3.);
+  check_true "high cluster near 102" (Float.abs (hi -. 102.) < 3.)
+
+let test_estimate_validation () =
+  check_raises_invalid "single level" (fun () ->
+      ignore
+        (Trace.estimate_model
+           [
+             { Trace.time = 0.; current = 5. };
+             { Trace.time = 1.; current = 5. };
+           ]));
+  check_raises_invalid "max_states" (fun () ->
+      ignore (Trace.estimate_model ~max_states:1 samples))
+
+let test_trace_through_battery () =
+  (* End-to-end: a synthetic trace drives the analytic KiBaM. *)
+  let workload = Simple.model () in
+  let trace = Trace.synthesize ~seed:23L ~horizon:100. workload in
+  let profile = Trace.of_samples trace in
+  let battery = Kibam.params ~capacity:800. ~c:0.625 ~k:0.162 in
+  match Kibam.lifetime ~max_time:100. battery profile with
+  | Some t -> check_true "dies within the trace only if drained" (t > 0.)
+  | None ->
+      (* Most likely outcome on a 100 h trace start: survived. *)
+      ()
+
+let suite =
+  [
+    case "of_samples" test_of_samples;
+    case "leading gap" test_of_samples_leading_gap;
+    case "of_samples validation" test_of_samples_validation;
+    case "parse csv" test_parse_csv;
+    case "csv roundtrip" test_csv_roundtrip;
+    case "synthesize" test_synthesize;
+    case "estimate model (loop closure)" test_estimate_model_recovers_structure;
+    case "estimate model quantises" test_estimate_model_quantises;
+    case "estimate validation" test_estimate_validation;
+    case "trace through battery" test_trace_through_battery;
+  ]

@@ -1,0 +1,141 @@
+open Batlife_numerics
+open Batlife_ctmc
+open Helpers
+
+(* 2-state chain 0 <-> 1 with rates a, b: closed form
+   pi_0(t) = b/(a+b) + (pi_0(0) - b/(a+b)) e^{-(a+b)t}. *)
+let two_state_closed_form ~a ~b ~p0 t =
+  let s = a +. b in
+  (b /. s) +. ((p0 -. (b /. s)) *. exp (-.s *. t))
+
+let test_two_state_closed_form () =
+  let a = 2. and b = 0.5 in
+  let g = Generator.of_rates ~n:2 [ (0, 1, a); (1, 0, b) ] in
+  List.iter
+    (fun t ->
+      let pi = Transient.solve g ~alpha:[| 1.; 0. |] ~t in
+      check_float ~eps:1e-10
+        (Printf.sprintf "pi_0(%g)" t)
+        (two_state_closed_form ~a ~b ~p0:1. t)
+        pi.(0);
+      check_float ~eps:1e-12 "mass" 1. (Vector.sum pi))
+    [ 0.; 0.1; 1.; 5.; 50. ]
+
+let test_t_zero () =
+  let g = Generator.of_rates ~n:3 [ (0, 1, 1.); (1, 2, 1.); (2, 0, 1.) ] in
+  let pi = Transient.solve g ~alpha:[| 0.; 1.; 0. |] ~t:0. in
+  check_float "stays put" 1. pi.(1)
+
+let random_generator entries =
+  let rates =
+    List.filter_map
+      (fun (i, j, r) -> if i <> j then Some (i, j, r) else None)
+      entries
+  in
+  Generator.of_rates ~n:4 rates
+
+let prop_matches_expm =
+  qcheck ~count:100 "uniformisation matches dense matrix exponential"
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 2 12)
+           (triple (int_range 0 3) (int_range 0 3) (float_range 0.05 4.)))
+        (pos_float_arb 0.01 3.))
+    (fun (entries, t) ->
+      let g = random_generator entries in
+      let expm_qt =
+        Dense.expm (Dense.scale t (Sparse.to_dense (Generator.matrix g)))
+      in
+      let alpha = [| 0.25; 0.25; 0.25; 0.25 |] in
+      let via_expm = Dense.vecmat alpha expm_qt in
+      let via_unif = Transient.solve ~accuracy:1e-14 g ~alpha ~t in
+      Vector.approx_equal ~tol:1e-9 via_expm via_unif)
+
+let test_measure_sweep_matches_solve () =
+  let g =
+    Generator.of_rates ~n:3 [ (0, 1, 1.5); (1, 2, 0.7); (2, 0, 0.2) ]
+  in
+  let alpha = [| 1.; 0.; 0. |] in
+  let times = [| 0.3; 1.; 2.5; 7. |] in
+  let measure pi = pi.(2) in
+  let results, stats = Transient.measure_sweep g ~alpha ~times ~measure in
+  check_true "iterations positive" (stats.Transient.iterations > 0);
+  Array.iteri
+    (fun i t ->
+      let pi = Transient.solve g ~alpha ~t in
+      check_float ~eps:1e-10 (Printf.sprintf "t=%g" t) pi.(2) results.(i))
+    times
+
+let test_measure_sweep_unsorted_times () =
+  let g = Generator.of_rates ~n:2 [ (0, 1, 1.) ] in
+  let alpha = [| 1.; 0. |] in
+  let results, _ =
+    Transient.measure_sweep g ~alpha ~times:[| 5.; 0.5 |]
+      ~measure:(fun pi -> pi.(1))
+  in
+  check_true "monotone measure" (results.(0) > results.(1))
+
+let test_convergence_detection () =
+  (* An absorbing chain: after absorption the vector is stationary and
+     the sweep should stop early. *)
+  let g = Generator.of_rates ~n:2 [ (0, 1, 10.) ] in
+  let alpha = [| 1.; 0. |] in
+  let _, stats =
+    Transient.measure_sweep g ~alpha ~times:[| 1000. |]
+      ~measure:(fun pi -> pi.(1))
+  in
+  match stats.Transient.converged_at with
+  | Some at -> check_true "stopped early" (at < 2000)
+  | None -> Alcotest.fail "expected early convergence"
+
+let test_distribution_sweep () =
+  let g = Generator.of_rates ~n:2 [ (0, 1, 2.); (1, 0, 1.) ] in
+  let alpha = [| 1.; 0. |] in
+  let times = [| 0.5; 2. |] in
+  let dists, _ = Transient.distribution_sweep g ~alpha ~times in
+  Array.iteri
+    (fun i t ->
+      let direct = Transient.solve g ~alpha ~t in
+      check_true
+        (Printf.sprintf "dist at %g" t)
+        (Vector.approx_equal ~tol:1e-10 direct dists.(i)))
+    times
+
+let test_absorbing_mass_monotone () =
+  let g = Generator.of_rates ~n:3 [ (0, 1, 1.); (1, 2, 2.) ] in
+  let alpha = [| 1.; 0.; 0. |] in
+  let times = Array.init 20 (fun i -> 0.25 *. float_of_int (i + 1)) in
+  let results, _ =
+    Transient.measure_sweep g ~alpha ~times ~measure:(fun pi -> pi.(2))
+  in
+  for i = 1 to Array.length results - 1 do
+    check_true "monotone" (results.(i) >= results.(i - 1) -. 1e-12)
+  done
+
+let test_validation () =
+  let g = Generator.of_rates ~n:2 [ (0, 1, 1.) ] in
+  check_raises_invalid "alpha length" (fun () ->
+      ignore (Transient.solve g ~alpha:[| 1. |] ~t:1.));
+  check_raises_invalid "negative time" (fun () ->
+      ignore (Transient.solve g ~alpha:[| 1.; 0. |] ~t:(-1.)))
+
+let test_expected_hitting_mass () =
+  let g = Generator.of_rates ~n:2 [ (0, 1, 1.) ] in
+  let m =
+    Transient.expected_hitting_mass g ~alpha:[| 1.; 0. |] ~states:[ 1 ] ~t:3.
+  in
+  check_float ~eps:1e-10 "absorbed mass" (1. -. exp (-3.)) m
+
+let suite =
+  [
+    case "two-state closed form" test_two_state_closed_form;
+    case "t = 0" test_t_zero;
+    prop_matches_expm;
+    case "measure sweep matches solve" test_measure_sweep_matches_solve;
+    case "measure sweep with unsorted times" test_measure_sweep_unsorted_times;
+    case "convergence detection" test_convergence_detection;
+    case "distribution sweep" test_distribution_sweep;
+    case "absorbing mass monotone" test_absorbing_mass_monotone;
+    case "validation" test_validation;
+    case "expected hitting mass" test_expected_hitting_mass;
+  ]

@@ -1,0 +1,104 @@
+open Batlife_numerics
+open Helpers
+
+let test_create_fill () =
+  let v = Vector.create 4 in
+  check_float "zeroed" 0. (Vector.sum v);
+  Vector.fill v 2.5;
+  check_float "filled sum" 10. (Vector.sum v)
+
+let test_make_init () =
+  let v = Vector.make 3 1.5 in
+  check_float "make" 4.5 (Vector.sum v);
+  let w = Vector.init 4 (fun i -> float_of_int i) in
+  check_float "init" 6. (Vector.sum w)
+
+let test_blit () =
+  let src = [| 1.; 2.; 3. |] and dst = Vector.create 3 in
+  Vector.blit ~src ~dst;
+  check_float "copied" 0. (Vector.dist_inf src dst);
+  check_raises_invalid "length mismatch" (fun () ->
+      Vector.blit ~src ~dst:(Vector.create 2))
+
+let test_scale () =
+  let v = [| 1.; -2.; 3. |] in
+  let w = Vector.scale 2. v in
+  check_float "scale fresh" 4. (Vector.sum w);
+  check_float "original untouched" 2. (Vector.sum v);
+  Vector.scale_inplace (-1.) v;
+  check_float "scale in place" (-2.) (Vector.sum v)
+
+let test_add_sub () =
+  let x = [| 1.; 2. |] and y = [| 10.; 20. |] in
+  check_float "add" 33. (Vector.sum (Vector.add x y));
+  check_float "sub" (-27.) (Vector.sum (Vector.sub x y));
+  check_raises_invalid "add mismatch" (fun () -> Vector.add x [| 1. |])
+
+let test_axpy () =
+  let x = [| 1.; 2.; 3. |] and y = [| 1.; 1.; 1. |] in
+  Vector.axpy ~alpha:2. ~x ~y;
+  check_float "axpy y0" 3. y.(0);
+  check_float "axpy y2" 7. y.(2)
+
+let test_dot_norms () =
+  let v = [| 3.; -4. |] in
+  check_float "dot" 25. (Vector.dot v v);
+  check_float "norm1" 7. (Vector.norm1 v);
+  check_float "norm2" 5. (Vector.norm2 v);
+  check_float "norm_inf" 4. (Vector.norm_inf v)
+
+let test_extrema () =
+  let v = [| -1.; 5.; 2. |] in
+  check_float "max" 5. (Vector.max_elt v);
+  check_float "min" (-1.) (Vector.min_elt v);
+  check_raises_invalid "empty max" (fun () -> Vector.max_elt [||])
+
+let test_normalize () =
+  let v = Vector.normalize1 [| 1.; 3. |] in
+  check_float "normalized sum" 1. (Vector.sum v);
+  check_float "first" 0.25 v.(0);
+  check_raises_invalid "zero sum" (fun () -> Vector.normalize1 [| 0.; 0. |])
+
+let test_linspace () =
+  let v = Vector.linspace 0. 1. 5 in
+  check_int "length" 5 (Array.length v);
+  check_float "first" 0. v.(0);
+  check_float "middle" 0.5 v.(2);
+  check_float "last" 1. v.(4);
+  check_raises_invalid "n too small" (fun () -> ignore (Vector.linspace 0. 1. 1))
+
+let test_approx_equal () =
+  check_true "close" (Vector.approx_equal ~tol:1e-6 [| 1. |] [| 1. +. 1e-7 |]);
+  check_true "far" (not (Vector.approx_equal ~tol:1e-9 [| 1. |] [| 1.1 |]));
+  check_true "length" (not (Vector.approx_equal [| 1. |] [| 1.; 2. |]))
+
+let prop_axpy_linear =
+  qcheck "axpy equals add of scaled" (float_array_arb 8) (fun x ->
+      let y = Array.make 8 1. in
+      let expected = Vector.add (Vector.scale 3. x) y in
+      Vector.axpy ~alpha:3. ~x ~y;
+      Vector.approx_equal ~tol:1e-9 expected y)
+
+let prop_triangle_inequality =
+  qcheck "norm2 triangle inequality"
+    QCheck.(pair (float_array_arb 6) (float_array_arb 6))
+    (fun (x, y) ->
+      Vector.norm2 (Vector.add x y)
+      <= Vector.norm2 x +. Vector.norm2 y +. 1e-9)
+
+let suite =
+  [
+    case "create and fill" test_create_fill;
+    case "make and init" test_make_init;
+    case "blit" test_blit;
+    case "scale" test_scale;
+    case "add and sub" test_add_sub;
+    case "axpy" test_axpy;
+    case "dot and norms" test_dot_norms;
+    case "extrema" test_extrema;
+    case "normalize1" test_normalize;
+    case "linspace" test_linspace;
+    case "approx_equal" test_approx_equal;
+    prop_axpy_linear;
+    prop_triangle_inequality;
+  ]

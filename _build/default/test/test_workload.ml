@@ -1,0 +1,129 @@
+open Batlife_ctmc
+open Batlife_workload
+open Helpers
+
+let test_of_spec () =
+  let m =
+    Model.of_spec
+      ~states:[ ("a", 1.); ("b", 2.) ]
+      ~transitions:[ ("a", "b", 3.); ("b", "a", 4.) ]
+      ~initial:"b"
+  in
+  check_int "states" 2 (Model.n_states m);
+  check_float "current a" 1. (Model.current m 0);
+  check_float "rate" 3. (Generator.rate m.Model.generator 0 1);
+  check_float "starts in b" 1. m.Model.initial.(1);
+  check_int "index" 1 (Model.state_index m "b")
+
+let test_of_spec_validation () =
+  check_raises_invalid "duplicate state" (fun () ->
+      ignore
+        (Model.of_spec
+           ~states:[ ("a", 1.); ("a", 2.) ]
+           ~transitions:[] ~initial:"a"));
+  check_raises_invalid "unknown target" (fun () ->
+      ignore
+        (Model.of_spec ~states:[ ("a", 1.) ]
+           ~transitions:[ ("a", "zz", 1.) ]
+           ~initial:"a"));
+  check_raises_invalid "unknown initial" (fun () ->
+      ignore (Model.of_spec ~states:[ ("a", 1.) ] ~transitions:[] ~initial:"x"))
+
+let test_create_validation () =
+  let g = Generator.of_rates ~n:2 [ (0, 1, 1.); (1, 0, 1.) ] in
+  check_raises_invalid "negative current" (fun () ->
+      ignore (Model.create ~generator:g ~currents:[| -1.; 0. |]
+                ~initial:[| 1.; 0. |]));
+  check_raises_invalid "bad distribution" (fun () ->
+      ignore
+        (Model.create ~generator:g ~currents:[| 1.; 0. |]
+           ~initial:[| 0.7; 0.7 |]))
+
+let test_simple_steady_state () =
+  (* The paper's numbers: pi(idle) = 0.5, pi(send) = pi(sleep) = 0.25. *)
+  let m = Simple.model () in
+  let pi = Model.steady_state m in
+  check_float ~eps:1e-12 "idle" 0.5 pi.(Model.state_index m "idle");
+  check_float ~eps:1e-12 "send" 0.25 pi.(Model.state_index m "send");
+  check_float ~eps:1e-12 "sleep" 0.25 pi.(Model.state_index m "sleep");
+  check_float ~eps:1e-12 "send probability" 0.25 (Simple.send_probability m);
+  check_float ~eps:1e-12 "average current" 54. (Model.average_current m)
+
+let test_burst_calibration () =
+  (* lambda_burst = 182/h equalises the send probability with the
+     simple model (the paper's calibration). *)
+  let b = Burst.model () in
+  check_float ~eps:5e-4 "send probability matches" 0.25
+    (Simple.send_probability b);
+  check_true "sleeps more than simple"
+    (Simple.sleep_probability b > 0.25)
+
+let test_burst_structure () =
+  let b = Burst.model () in
+  check_int "five states" 5 (Model.n_states b);
+  check_float "starts off-idle" 1. b.Model.initial.(Model.state_index b "off-idle");
+  (* No transition from sleep to any send state. *)
+  let sleep = Model.state_index b "sleep" in
+  check_float "sleep cannot send directly" 0.
+    (Generator.rate b.Model.generator sleep (Model.state_index b "on-send"));
+  check_true "sleep wakes to on-idle"
+    (Generator.rate b.Model.generator sleep (Model.state_index b "on-idle") > 0.)
+
+let test_onoff_structure () =
+  let m = Onoff.model ~frequency:2. ~k:3 ~on_current:1. () in
+  check_int "2k states" 6 (Model.n_states m);
+  check_float "phase rate" 12. (Onoff.phase_rate ~frequency:2. ~k:3);
+  check_float "half period" 0.25 (Onoff.expected_half_period ~frequency:2.);
+  (* Currents: first k states draw, last k do not. *)
+  for i = 0 to 2 do
+    check_float (Printf.sprintf "on %d" i) 1. (Model.current m i)
+  done;
+  for i = 3 to 5 do
+    check_float (Printf.sprintf "off %d" i) 0. (Model.current m i)
+  done;
+  check_float "max current" 1. (Model.max_current m)
+
+let test_onoff_steady_state () =
+  (* The cycle spends half its time on. *)
+  let m = Onoff.model ~frequency:1. ~k:2 ~on_current:0.96 () in
+  let pi = Model.steady_state m in
+  let on_mass = pi.(0) +. pi.(1) in
+  check_float ~eps:1e-12 "half on" 0.5 on_mass;
+  check_float ~eps:1e-12 "average current" 0.48 (Model.average_current m)
+
+let test_onoff_mean_cycle () =
+  (* Expected on-duration: k phases at rate 2fk = 1/(2f). *)
+  let f = 0.25 in
+  let lambda = Onoff.phase_rate ~frequency:f ~k:4 in
+  check_float ~eps:1e-12 "mean on time" (1. /. (2. *. f))
+    (4. /. lambda)
+
+let test_onoff_validation () =
+  check_raises_invalid "bad frequency" (fun () ->
+      ignore (Onoff.model ~frequency:0. ~k:1 ~on_current:1. ()));
+  check_raises_invalid "bad k" (fun () ->
+      ignore (Onoff.model ~frequency:1. ~k:0 ~on_current:1. ()));
+  check_raises_invalid "bad current" (fun () ->
+      ignore (Onoff.model ~frequency:1. ~k:1 ~on_current:0. ()))
+
+let test_simple_custom_rates () =
+  let rates = { Simple.lambda = 4.; mu = 12.; tau = 2. } in
+  let m = Simple.model ~rates () in
+  (* Doubling every rate leaves the steady state unchanged. *)
+  check_float ~eps:1e-12 "send probability invariant" 0.25
+    (Simple.send_probability m)
+
+let suite =
+  [
+    case "of_spec" test_of_spec;
+    case "of_spec validation" test_of_spec_validation;
+    case "create validation" test_create_validation;
+    case "simple model steady state" test_simple_steady_state;
+    case "burst calibration" test_burst_calibration;
+    case "burst structure" test_burst_structure;
+    case "onoff structure" test_onoff_structure;
+    case "onoff steady state" test_onoff_steady_state;
+    case "onoff mean cycle" test_onoff_mean_cycle;
+    case "onoff validation" test_onoff_validation;
+    case "rate scaling invariance" test_simple_custom_rates;
+  ]
