@@ -12,6 +12,8 @@ open Batlife_workload
 open Batlife_core
 open Batlife_sim
 open Batlife_output
+module Error = Batlife_robust.Error
+module Validate = Batlife_robust.Validate
 
 (* ------------------------------------------------------------------ *)
 (* Shared argument definitions                                         *)
@@ -37,9 +39,48 @@ let k_arg =
     & info [ "k"; "diffusion" ] ~docv:"RATE"
         ~doc:"KiBaM diffusion constant k.")
 
+let strictness_arg =
+  Arg.(
+    value
+    & vflag `Strict
+        [
+          ( `Strict,
+            info [ "strict" ]
+              ~doc:
+                "Fail on pedantic model findings as well as hard errors \
+                 (default)." );
+          ( `Lenient,
+            info [ "lenient" ]
+              ~doc:"Downgrade pedantic model findings to warnings." );
+        ])
+
 let battery_term =
-  let make capacity c k = Kibam.params ~capacity ~c ~k in
-  Term.(const make $ capacity_arg $ c_arg $ k_arg)
+  let make capacity c k strictness =
+    Validate.run ~what:"KiBaM parameters"
+      (Validate.kibam ~capacity ~c ~k ());
+    let pedantic =
+      Validate.kibam_pedantic ~subject:"pedantic finding" ~capacity ~c ~k ()
+    in
+    (match (strictness, pedantic) with
+    | _, [] | `Lenient, _ ->
+        List.iter
+          (fun v ->
+            Printf.eprintf "batlife: warning: %s\n" (Validate.message v))
+          pedantic
+    | `Strict, vs ->
+        raise
+          (Error.Error
+             (Error.Invalid_model
+                {
+                  what = "KiBaM parameters";
+                  violations =
+                    Validate.messages vs
+                    @ [ "pass --lenient to downgrade pedantic findings to \
+                         warnings" ];
+                })));
+    Kibam.params ~capacity ~c ~k
+  in
+  Term.(const make $ capacity_arg $ c_arg $ k_arg $ strictness_arg)
 
 let model_arg =
   let models = [ ("simple", `Simple); ("burst", `Burst); ("onoff", `Onoff) ] in
@@ -231,42 +272,29 @@ let simulate_cmd =
 
 let trace_cmd =
   let run battery path delta times plot =
-    match Trace.load_csv path with
-    | exception Sys_error msg -> `Error (false, msg)
-    | exception Failure msg -> `Error (false, msg)
-    | profile ->
-        (* Deterministic replay. *)
-        (match Kibam.lifetime battery profile with
-        | Some t -> Printf.printf "trace replay: battery empty at %.6g\n" t
-        | None ->
-            print_endline "trace replay: battery survives the recorded trace");
-        (* Statistical model + lifetime distribution. *)
-        let ic = open_in path in
-        let text =
-          Fun.protect
-            ~finally:(fun () -> close_in ic)
-            (fun () -> really_input_string ic (in_channel_length ic))
-        in
-        let samples = Trace.parse_csv text in
-        (match Trace.estimate_model samples with
+    let samples = Error.get_ok (Trace.load_samples_result path) in
+    let profile = Error.get_ok (Trace.of_samples_result samples) in
+    (* Deterministic replay. *)
+    (match Kibam.lifetime battery profile with
+    | Some t -> Printf.printf "trace replay: battery empty at %.6g\n" t
+    | None ->
+        print_endline "trace replay: battery survives the recorded trace");
+    (* Statistical model + lifetime distribution. *)
+    (match Trace.estimate_model samples with
         | exception Invalid_argument msg ->
             Printf.printf "no stochastic model estimated (%s)\n" msg
-        | estimated ->
-            Printf.printf "estimated %d-level workload model:\n"
-              (Array.length estimated.Trace.levels);
-            Array.iteri
-              (fun i level ->
-                Printf.printf "  level %d: current %g (occupancy %.3f)\n" i
-                  level
-                  estimated.Trace.occupancy.(i))
-              estimated.Trace.levels;
-            let model =
-              Kibamrm.create ~workload:estimated.Trace.model ~battery
-            in
-            let curve = Lifetime.cdf ~delta ~times model in
-            print_cdf ~plot "KiBaMRM (estimated model)" times
-              curve.Lifetime.probabilities);
-        `Ok ()
+    | estimated ->
+        Printf.printf "estimated %d-level workload model:\n"
+          (Array.length estimated.Trace.levels);
+        Array.iteri
+          (fun i level ->
+            Printf.printf "  level %d: current %g (occupancy %.3f)\n" i level
+              estimated.Trace.occupancy.(i))
+          estimated.Trace.levels;
+        let model = Kibamrm.create ~workload:estimated.Trace.model ~battery in
+        let curve = Lifetime.cdf ~delta ~times model in
+        print_cdf ~plot "KiBaMRM (estimated model)" times
+          curve.Lifetime.probabilities)
   in
   let path =
     Arg.(
@@ -283,8 +311,7 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Replay a measured current trace and fit a workload model")
-    Term.(
-      ret (const run $ battery_term $ path $ delta $ times_term $ plot_arg))
+    Term.(const run $ battery_term $ path $ delta $ times_term $ plot_arg)
 
 (* ------------------------------------------------------------------ *)
 (* pack                                                                *)
@@ -400,6 +427,17 @@ let experiment_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+(* Surface any recorded fallback events (solver or ODE degradations)
+   on stderr, so a run that silently took a slower-but-safer path says
+   so. *)
+let report_diagnostics () =
+  List.iter
+    (fun (e : Batlife_numerics.Diag.event) ->
+      if e.Batlife_numerics.Diag.fallback then
+        Printf.eprintf "batlife: note: %s: %s\n" e.Batlife_numerics.Diag.origin
+          e.Batlife_numerics.Diag.detail)
+    (Batlife_numerics.Diag.events ())
+
 let () =
   (* BATLIFE_DEBUG=1 enables debug logging of the numerical engines
      (generator sizes, sweep iteration counts). *)
@@ -409,10 +447,22 @@ let () =
   end;
   let doc = "battery lifetime distributions (Cloth et al., DSN 2007)" in
   let info = Cmd.info "batlife" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            kibam_cmd; lifetime_cmd; simulate_cmd; trace_cmd; pack_cmd;
-            experiment_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        kibam_cmd; lifetime_cmd; simulate_cmd; trace_cmd; pack_cmd;
+        experiment_cmd;
+      ]
+  in
+  (* [~catch:false] lets structured errors reach this handler instead
+     of cmdliner's generic backtrace printer; each error class maps to
+     a distinct exit code (3-7, see [Error.exit_code]). *)
+  let code =
+    match Cmd.eval ~catch:false group with
+    | code -> code
+    | exception Error.Error e ->
+        Printf.eprintf "batlife: error: %s\n" (Error.to_string e);
+        Error.exit_code e
+  in
+  report_diagnostics ();
+  exit code

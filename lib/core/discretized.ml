@@ -151,13 +151,21 @@ let expected_lifetime ?(tol = 1e-10) t =
   let b =
     Array.init n (fun i -> if i < block then 0. else -1.)
   in
-  let result =
-    Iterative.gauss_seidel ~tol (Generator.matrix g) ~b
+  let robust =
+    Iterative.solve_robust ~tol (Generator.matrix g) ~b
       ~skip:(fun i -> i < block)
   in
+  let result = robust.Iterative.result in
+  (match robust.Iterative.path with
+  | Iterative.Primary -> ()
+  | Iterative.Fallback ->
+      Log.warn (fun m ->
+          m "expected lifetime: gauss-seidel stalled, %s fallback converged"
+            robust.Iterative.solver));
   Log.debug (fun m ->
-      m "expected lifetime: Gauss-Seidel converged in %d sweeps (res %g)"
-        result.Iterative.iterations result.Iterative.residual);
+      m "expected lifetime: %s converged in %d sweeps (res %g)"
+        robust.Iterative.solver result.Iterative.iterations
+        result.Iterative.residual);
   Vector.dot t.alpha result.Iterative.solution
 
 let joint_probability ?accuracy t ~time ~mode ~min_charge =

@@ -13,14 +13,34 @@ type curve = {
 
 (* The sweep's probabilities carry O(accuracy) floating noise which can
    break strict CDF monotonicity; clamp and monotonise (the absorbed
-   mass is mathematically non-decreasing in t for sorted times). *)
+   mass is mathematically non-decreasing in t for sorted times).
+   Violations beyond [monotonicity_tolerance] are not noise — a NaN, an
+   out-of-range value or a genuine decrease means the sweep returned
+   garbage, and the guard trips a structured diagnostic instead of
+   silently smoothing it away. *)
+let monotonicity_tolerance = 1e-6
+
 let sanitize times probabilities =
   let order = Array.init (Array.length times) (fun i -> i) in
   Array.sort (fun a b -> Float.compare times.(a) times.(b)) order;
   let running = ref 0. in
   Array.iter
     (fun idx ->
-      let p = Float.min 1. (Float.max 0. probabilities.(idx)) in
+      let raw = probabilities.(idx) in
+      if Float.is_nan raw then
+        Diag.breakdown ~where:"Lifetime.cdf" "CDF value at t = %g is NaN"
+          times.(idx);
+      if raw < -.monotonicity_tolerance || raw > 1. +. monotonicity_tolerance
+      then
+        Diag.breakdown ~where:"Lifetime.cdf"
+          "CDF value %g at t = %g lies outside [0, 1] beyond tolerance %g" raw
+          times.(idx) monotonicity_tolerance;
+      if raw < !running -. monotonicity_tolerance then
+        Diag.breakdown ~where:"Lifetime.cdf"
+          "CDF decreases by %g at t = %g (tolerance %g): the absorbed mass \
+           must be non-decreasing"
+          (!running -. raw) times.(idx) monotonicity_tolerance;
+      let p = Float.min 1. (Float.max 0. raw) in
       running := Float.max !running p;
       probabilities.(idx) <- !running)
     order

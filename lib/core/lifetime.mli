@@ -14,6 +14,14 @@ type curve = {
   uniformisation_rate : float;
 }
 
+val sanitize : float array -> float array -> unit
+(** In-place CDF guard and cleanup used by {!cdf}: values within 1e-6
+    of a valid monotone CDF are clamped to [0, 1] and monotonised
+    (floating noise of the sweep); a NaN, an out-of-range value or a
+    genuine decrease beyond that tolerance raises
+    [Diag.Error (Numerical_breakdown _)] instead of being silently
+    smoothed away.  Exposed for fault-injection tests. *)
+
 val cdf :
   ?accuracy:float ->
   ?initial_fill:float * float ->

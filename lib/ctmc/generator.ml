@@ -80,12 +80,14 @@ let rate g i j = Sparse.get g.q i j
 
 let exit_rate g i = -.Sparse.get g.q i i
 
-let uniformisation_rate g =
+let max_exit_rate g =
   let m = ref 0. in
   for i = 0 to g.n - 1 do
     m := Float.max !m (exit_rate g i)
   done;
-  Float.max (1.02 *. !m) 1e-12
+  !m
+
+let uniformisation_rate g = Float.max (1.02 *. max_exit_rate g) 1e-12
 
 let is_absorbing g i = exit_rate g i = 0.
 
@@ -101,11 +103,8 @@ let nnz g = Sparse.nnz g.q
 let matrix g = g.q
 
 let uniformised g ~q =
-  let max_exit = ref 0. in
-  for i = 0 to g.n - 1 do
-    max_exit := Float.max !max_exit (exit_rate g i)
-  done;
-  if q < !max_exit then
+  let max_exit = max_exit_rate g in
+  if q < max_exit then
     invalid_arg "Generator.uniformised: rate below the largest exit rate";
   let b =
     Sparse.Builder.create ~initial_capacity:(nnz g + g.n) ~rows:g.n ~cols:g.n

@@ -40,6 +40,9 @@ val rate : t -> int -> int -> float
 val exit_rate : t -> int -> float
 (** [exit_rate g i] is [-q_ii >= 0]. *)
 
+val max_exit_rate : t -> float
+(** [max_i (-q_ii)]: the smallest admissible uniformisation rate. *)
+
 val uniformisation_rate : t -> float
 (** A valid uniformisation constant: [1.02 * max_i (-q_ii)], slightly
     inflated so the uniformised chain has strictly positive self-loop

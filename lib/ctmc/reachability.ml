@@ -43,13 +43,13 @@ let hitting_probabilities ?(tol = 1e-12) g ~avoid ~goal =
         goal.(i) || avoid.(i) || Generator.is_absorbing g i)
   in
   let x0 = Array.init n (fun i -> if goal.(i) then 1. else 0.) in
-  let result =
-    Iterative.gauss_seidel ~tol ~x0
+  let robust =
+    Iterative.solve_robust ~tol ~x0
       ~skip:(fun i -> pinned.(i))
       (Generator.matrix g)
       ~b:(Array.make n 0.)
   in
-  result.Iterative.solution
+  robust.Iterative.result.Iterative.solution
 
 let eventually ?tol g ~alpha ~avoid ~goal =
   check_sets g ~alpha ~avoid ~goal;
@@ -76,10 +76,10 @@ let expected_hitting_time ?(tol = 1e-12) g ~alpha ~goal =
        non-singular. *)
     let pinned = Array.init n (fun i -> goal.(i) || h.(i) < 1. -. 1e-9) in
     let b = Array.init n (fun i -> if pinned.(i) then 0. else -1.) in
-    let result =
-      Iterative.gauss_seidel ~tol
+    let robust =
+      Iterative.solve_robust ~tol
         ~skip:(fun i -> pinned.(i))
         (Generator.matrix g) ~b
     in
-    Vector.dot alpha result.Iterative.solution
+    Vector.dot alpha robust.Iterative.result.Iterative.solution
   end

@@ -18,6 +18,68 @@ let check_alpha g alpha =
       if p < -1e-12 then invalid_arg "Transient: negative initial probability")
     alpha
 
+(* A user-supplied uniformisation rate below the largest exit rate
+   makes P = I + Q/q a non-stochastic matrix (negative diagonal
+   entries): the sweep would silently return garbage, so reject it
+   with a structured error instead. *)
+let resolve_q where ?q g =
+  match q with
+  | None ->
+      let q = Generator.uniformisation_rate g in
+      (* A NaN diagonal would make the Poisson truncation loop forever
+         (NaN comparisons are all false); fail fast instead. *)
+      if not (Float.is_finite q) then
+        Diag.invalid_model ~what:(where ^ " uniformisation rate")
+          [
+            Printf.sprintf
+              "generator has non-finite exit rates (uniformisation rate %g)" q;
+          ];
+      q
+  | Some q ->
+      let max_exit = Generator.max_exit_rate g in
+      if (not (Float.is_finite q)) || q <= 0. then
+        Diag.invalid_model ~what:(where ^ " uniformisation rate")
+          [ Printf.sprintf "q = %g must be positive and finite" q ];
+      if q < max_exit then
+        Diag.invalid_model ~what:(where ^ " uniformisation rate")
+          [
+            Printf.sprintf
+              "q = %g is below the largest exit rate %g; P = I + Q/q would \
+               have negative entries and the sweep would silently return a \
+               wrong result"
+              q max_exit;
+          ];
+      q
+
+(* In-flight guardrail for the uniformised power sweep: the iterate is
+   a probability vector, so its mass must stay at the initial mass (the
+   expanded generators conserve it exactly up to roundoff) and every
+   entry must stay finite.  A violation beyond [mass_tolerance] means
+   the generator rows do not sum to zero or the arithmetic broke down;
+   propagating further would only weight garbage by Poisson factors. *)
+let mass_tolerance = 1e-6
+
+let guard_iterate ~where ~mass0 ~step v =
+  let mass = ref 0. in
+  for i = 0 to Array.length v - 1 do
+    mass := !mass +. v.(i)
+  done;
+  if not (Float.is_finite !mass) then
+    Diag.breakdown ~where
+      "non-finite probability entries at uniformisation step %d" step;
+  if Float.abs (!mass -. mass0) > mass_tolerance *. Float.max 1. mass0 then
+    Diag.breakdown ~where
+      "probability mass drifted from %g to %g at uniformisation step %d \
+       (tolerance %g): the generator's row sums are not zero"
+      mass0 !mass step mass_tolerance;
+  ()
+
+let checked_measure ~where measure ~step v =
+  let value = measure v in
+  if Float.is_nan value then
+    Diag.breakdown ~where "measure returned NaN at uniformisation step %d" step;
+  value
+
 (* One uniformised step: v' = v P = v + (v Q) / q, computed without
    materialising P. *)
 let step q_matrix ~q ~src ~dst =
@@ -28,7 +90,7 @@ let solve ?(accuracy = 1e-12) ?q g ~alpha ~t =
   check_alpha g alpha;
   if t < 0. then invalid_arg "Transient.solve: negative time";
   let n = Generator.n_states g in
-  let q = match q with Some q -> q | None -> Generator.uniformisation_rate g in
+  let q = resolve_q "Transient.solve" ?q g in
   let weights = Poisson.weights ~accuracy (q *. t) in
   let qm = Generator.matrix g in
   let v = Vector.copy alpha and v' = Vector.create n in
@@ -45,6 +107,11 @@ let solve ?(accuracy = 1e-12) ?q g ~alpha ~t =
     let w = Poisson.prob weights m in
     if w > 0. then add_weighted w !current
   done;
+  (* NaN and mass drift both persist in the final power iterate (the
+     weighted output is only accurate to the Poisson truncation, so it
+     is not the thing to check). *)
+  guard_iterate ~where:"Transient.solve" ~mass0:(Vector.sum alpha)
+    ~step:weights.Poisson.right !current;
   out
 
 let measure_sweep ?(accuracy = 1e-12) ?q ?(convergence_tol = 1e-14) g ~alpha
@@ -54,7 +121,7 @@ let measure_sweep ?(accuracy = 1e-12) ?q ?(convergence_tol = 1e-14) g ~alpha
     (fun t -> if t < 0. then invalid_arg "Transient.measure_sweep: t < 0")
     times;
   let n = Generator.n_states g in
-  let q = match q with Some q -> q | None -> Generator.uniformisation_rate g in
+  let q = resolve_q "Transient.measure_sweep" ?q g in
   let qm = Generator.matrix g in
   (* Poisson windows per time point; the sweep must reach the largest
      right truncation point (unless stationarity is detected first). *)
@@ -62,10 +129,12 @@ let measure_sweep ?(accuracy = 1e-12) ?q ?(convergence_tol = 1e-14) g ~alpha
   let n_max =
     Array.fold_left (fun acc w -> max acc w.Poisson.right) 0 windows
   in
+  let where = "Transient.measure_sweep" in
+  let mass0 = Vector.sum alpha in
   let measures = Array.make (n_max + 1) 0. in
   let v = Vector.copy alpha and v' = Vector.create n in
   let current = ref v and scratch = ref v' in
-  measures.(0) <- measure !current;
+  measures.(0) <- checked_measure ~where measure ~step:0 !current;
   let converged_at = ref None in
   let m = ref 1 in
   while !m <= n_max && Option.is_none !converged_at do
@@ -74,7 +143,8 @@ let measure_sweep ?(accuracy = 1e-12) ?q ?(convergence_tol = 1e-14) g ~alpha
     let t = !current in
     current := !scratch;
     scratch := t;
-    measures.(!m) <- measure !current;
+    guard_iterate ~where ~mass0 ~step:!m !current;
+    measures.(!m) <- checked_measure ~where measure ~step:!m !current;
     if drift <= convergence_tol then converged_at := Some !m;
     incr m
   done;
@@ -103,12 +173,13 @@ let measure_sweep ?(accuracy = 1e-12) ?q ?(convergence_tol = 1e-14) g ~alpha
 let distribution_sweep ?(accuracy = 1e-12) ?q g ~alpha ~times =
   check_alpha g alpha;
   let n = Generator.n_states g in
-  let q = match q with Some q -> q | None -> Generator.uniformisation_rate g in
+  let q = resolve_q "Transient.distribution_sweep" ?q g in
   let qm = Generator.matrix g in
   let windows = Array.map (fun t -> Poisson.weights ~accuracy (q *. t)) times in
   let n_max =
     Array.fold_left (fun acc w -> max acc w.Poisson.right) 0 windows
   in
+  let mass0 = Vector.sum alpha in
   let outs = Array.map (fun _ -> Vector.create n) times in
   let v = Vector.copy alpha and v' = Vector.create n in
   let current = ref v and scratch = ref v' in
@@ -117,7 +188,9 @@ let distribution_sweep ?(accuracy = 1e-12) ?q g ~alpha ~times =
       step qm ~q ~src:!current ~dst:!scratch;
       let t = !current in
       current := !scratch;
-      scratch := t
+      scratch := t;
+      guard_iterate ~where:"Transient.distribution_sweep" ~mass0 ~step:m
+        !current
     end;
     Array.iteri
       (fun idx w ->

@@ -7,7 +7,16 @@
     user-supplied linear functional [m_n = measure v_n] is recorded per
     step; any number of time points then costs only a Poisson-weighted
     scalar sum each.  This is how a whole battery-lifetime CDF curve is
-    produced from a single vector-matrix sweep. *)
+    produced from a single vector-matrix sweep.
+
+    All entry points are guarded: a user-supplied uniformisation rate
+    [q] below the chain's largest exit rate is rejected with
+    [Diag.Error (Invalid_model _)] (the uniformised matrix would have
+    negative entries and silently produce a wrong result), and the
+    sweeps monitor the iterate in flight — non-finite entries,
+    probability mass drifting from the initial mass by more than 1e-6,
+    or a NaN measure value raise
+    [Diag.Error (Numerical_breakdown _)]. *)
 
 type stats = {
   iterations : int;  (** number of vector-matrix products performed *)

@@ -33,15 +33,40 @@ let experiments =
 
 let experiment_ids = List.map fst experiments
 
+module Diag = Batlife_numerics.Diag
+
+(* Print any fallback events the numerical layers recorded while [id]
+   ran, then clear the sink so the next experiment starts fresh. *)
+let surface_diagnostics id =
+  List.iter
+    (fun (e : Diag.event) ->
+      if e.Diag.fallback then
+        Printf.eprintf "experiment %s: note: %s: %s\n%!" id e.Diag.origin
+          e.Diag.detail)
+    (Diag.events ());
+  Diag.clear_events ()
+
 let run_one ?(options = default_options) id =
   match List.assoc_opt id experiments with
-  | Some f ->
-      f options;
-      Ok ()
+  | Some f -> (
+      match f options with
+      | () ->
+          surface_diagnostics id;
+          Ok ()
+      | exception Diag.Error e ->
+          surface_diagnostics id;
+          Error
+            (Printf.sprintf "experiment %s failed: %s" id
+               (Diag.error_to_string e)))
   | None ->
       Error
         (Printf.sprintf "unknown experiment %S; valid ids: %s" id
            (String.concat ", " experiment_ids))
 
 let run_all ?(options = default_options) () =
-  List.iter (fun (_, f) -> f options) experiments
+  List.iter
+    (fun (id, _) ->
+      match run_one ~options id with
+      | Ok () -> ()
+      | Error msg -> Printf.eprintf "%s (continuing with the rest)\n%!" msg)
+    experiments

@@ -13,10 +13,17 @@ type options = {
 val default_options : options
 
 val run_all : ?options:options -> unit -> unit
+(** Run every experiment.  A structured numerical failure in one
+    experiment is reported on stderr and the batch continues with the
+    rest (graceful degradation), so one bad configuration cannot sink
+    an overnight reproduction run. *)
 
 val run_one : ?options:options -> string -> (unit, string) result
 (** Run a single experiment by id: ["table1"], ["fig2"], ["fig7"],
     ["fig8"], ["fig9"], ["fig10"], ["fig11"].  [Error] names the valid
-    ids on an unknown id. *)
+    ids on an unknown id, or renders the structured diagnostic if the
+    experiment's numerics failed.  Fallback events recorded by the
+    solvers (see {!Batlife_numerics.Diag}) are surfaced on stderr
+    after the run. *)
 
 val experiment_ids : string list

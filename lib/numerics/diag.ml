@@ -1,0 +1,84 @@
+(* Structured diagnostics shared by every layer.
+
+   This module sits at the bottom of the dependency stack so the
+   numerical kernels (iterative solvers, ODE steppers, uniformisation
+   sweeps) can trip a typed diagnostic instead of a bare [failwith];
+   the [Batlife_robust] library re-exports the type together with
+   validation and Result combinators. *)
+
+type error =
+  | Invalid_model of { what : string; violations : string list }
+  | Nonconvergence of {
+      algorithm : string;
+      iterations : int;
+      residual : float;
+      tolerance : float;
+      attempted : string list;
+    }
+  | Numerical_breakdown of { where : string; detail : string }
+  | Budget_exhausted of { what : string; budget : int }
+  | Parse_error of {
+      source : string;
+      line : int;
+      field : string option;
+      message : string;
+    }
+
+exception Error of error
+
+let error_to_string = function
+  | Invalid_model { what; violations } ->
+      Printf.sprintf "invalid model (%s): %s" what
+        (String.concat "; " violations)
+  | Nonconvergence { algorithm; iterations; residual; tolerance; attempted } ->
+      Printf.sprintf "%s did not converge after %d iterations (residual %g%s)%s"
+        algorithm iterations residual
+        (if Float.is_finite tolerance then
+           Printf.sprintf ", tolerance %g" tolerance
+         else "")
+        (match attempted with
+        | [] -> ""
+        | chain -> "; attempted: " ^ String.concat " -> " chain)
+  | Numerical_breakdown { where; detail } ->
+      Printf.sprintf "numerical breakdown in %s: %s" where detail
+  | Budget_exhausted { what; budget } ->
+      Printf.sprintf "budget exhausted: %s (limit %d)" what budget
+  | Parse_error { source; line; field; message } ->
+      Printf.sprintf "parse error: %s, line %d%s: %s" source line
+        (match field with None -> "" | Some f -> ", field " ^ f)
+        message
+
+let pp ppf e = Format.pp_print_string ppf (error_to_string e)
+
+(* Distinct nonzero CLI exit codes; 1-2 and cmdliner's 123-125 stay
+   free. *)
+let exit_code = function
+  | Invalid_model _ -> 3
+  | Parse_error _ -> 4
+  | Nonconvergence _ -> 5
+  | Numerical_breakdown _ -> 6
+  | Budget_exhausted _ -> 7
+
+let fail e = raise (Error e)
+
+let invalid_model ~what violations = fail (Invalid_model { what; violations })
+
+let breakdown ~where fmt =
+  Printf.ksprintf
+    (fun detail -> fail (Numerical_breakdown { where; detail }))
+    fmt
+
+(* In-flight diagnostics: numerical components record which path ran
+   (e.g. a fallback solver) into a process-wide sink; front ends drain
+   it to surface the events next to their results. *)
+
+type event = { origin : string; detail : string; fallback : bool }
+
+let sink : event list ref = ref []
+
+let record ?(fallback = false) ~origin detail =
+  sink := { origin; detail; fallback } :: !sink
+
+let events () = List.rev !sink
+
+let clear_events () = sink := []

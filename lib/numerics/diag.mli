@@ -1,0 +1,67 @@
+(** Structured diagnostics for the numerical engines.
+
+    Every guarded failure mode in the code base is one of these
+    variants; raising [Error] instead of [failwith] lets callers match
+    on the class of failure (and lets the CLI map each class to a
+    distinct exit code).  The higher-level [Batlife_robust.Error]
+    module re-exports the type together with [Result] combinators. *)
+
+type error =
+  | Invalid_model of { what : string; violations : string list }
+      (** A model or parameter set failed validation; [violations]
+          lists every problem found, not just the first. *)
+  | Nonconvergence of {
+      algorithm : string;
+      iterations : int;
+      residual : float;
+      tolerance : float;
+      attempted : string list;
+          (** members of a fallback chain that were tried, in order *)
+    }  (** An iterative method exhausted its budget. *)
+  | Numerical_breakdown of { where : string; detail : string }
+      (** NaN/Inf contamination, probability-mass loss, CDF
+          non-monotonicity, step-size collapse: the computation would
+          otherwise return garbage. *)
+  | Budget_exhausted of { what : string; budget : int }
+      (** A step or work budget ran out before completion. *)
+  | Parse_error of {
+      source : string;  (** file name, or ["<string>"] *)
+      line : int;  (** 1-based; 0 when no line applies (e.g. IO) *)
+      field : string option;
+      message : string;
+    }  (** Malformed external input. *)
+
+exception Error of error
+
+val error_to_string : error -> string
+(** One-paragraph human-readable rendering. *)
+
+val pp : Format.formatter -> error -> unit
+
+val exit_code : error -> int
+(** Stable per-class CLI exit code: [Invalid_model] 3, [Parse_error]
+    4, [Nonconvergence] 5, [Numerical_breakdown] 6,
+    [Budget_exhausted] 7. *)
+
+val fail : error -> 'a
+(** [fail e] raises [Error e]. *)
+
+val invalid_model : what:string -> string list -> 'a
+
+val breakdown : where:string -> ('a, unit, string, 'b) format4 -> 'a
+(** [breakdown ~where fmt ...] raises a [Numerical_breakdown]. *)
+
+(** {1 Diagnostics events}
+
+    Numerical components record which path ran (e.g. "fell back to
+    Jacobi") into a process-wide sink; the CLI and the experiment
+    runner drain it to surface the events next to their results. *)
+
+type event = { origin : string; detail : string; fallback : bool }
+
+val record : ?fallback:bool -> origin:string -> string -> unit
+
+val events : unit -> event list
+(** Recorded events, oldest first. *)
+
+val clear_events : unit -> unit

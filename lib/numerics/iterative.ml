@@ -13,22 +13,32 @@ let diagonal (a : Sparse.t) =
   Sparse.iter a (fun i j v -> if i = j then d.(i) <- d.(i) +. v);
   d
 
-let residual_norm (a : Sparse.t) x b =
+let residual_norm ?(skip = fun _ -> false) (a : Sparse.t) x b =
   let r = Sparse.matvec a x in
   let worst = ref 0. in
   Array.iteri
-    (fun i ri -> worst := Float.max !worst (Float.abs (ri -. b.(i))))
+    (fun i ri ->
+      if not (skip i) then worst := Float.max !worst (Float.abs (ri -. b.(i))))
     r;
   !worst
 
 let scale_of b = Float.max 1. (Vector.norm_inf b)
 
-let jacobi ?(tol = 1e-10) ?(max_iter = 100_000) ?x0 a ~b =
+(* A NaN residual means the iteration is polluted beyond recovery;
+   spinning to the budget would only report a misleading
+   non-convergence. *)
+let check_residual ~where ~iter res =
+  if Float.is_nan res then
+    Diag.breakdown ~where "residual became NaN at iteration %d" iter
+
+let jacobi ?(tol = 1e-10) ?(max_iter = 100_000) ?x0 ?(skip = fun _ -> false) a
+    ~b =
   check_square a b;
   let n = a.Sparse.rows in
   let d = diagonal a in
   Array.iteri
-    (fun i di -> if di = 0. then
+    (fun i di ->
+      if di = 0. && not (skip i) then
         invalid_arg (Printf.sprintf "Iterative.jacobi: zero diagonal at %d" i))
     d;
   let x = match x0 with Some x -> Array.copy x | None -> Array.make n 0. in
@@ -39,9 +49,10 @@ let jacobi ?(tol = 1e-10) ?(max_iter = 100_000) ?x0 a ~b =
     Array.blit b 0 x' 0 n;
     Sparse.iter a (fun i j v -> if i <> j then x'.(i) <- x'.(i) -. (v *. x.(j)));
     for i = 0 to n - 1 do
-      x'.(i) <- x'.(i) /. d.(i)
+      if skip i then x'.(i) <- x.(i) else x'.(i) <- x'.(i) /. d.(i)
     done;
-    let res = residual_norm a x' b in
+    let res = residual_norm ~skip a x' b in
+    check_residual ~where:"Iterative.jacobi" ~iter res;
     if res <= threshold then { solution = Array.copy x'; iterations = iter;
                                residual = res }
     else if iter >= max_iter then
@@ -80,18 +91,47 @@ let gauss_seidel ?(tol = 1e-10) ?(max_iter = 100_000) ?x0
   let rec loop iter =
     sweep ();
     (* Residual restricted to the non-skipped rows. *)
-    let r = Sparse.matvec a x in
-    let res = ref 0. in
-    Array.iteri
-      (fun i ri ->
-        if not (skip i) then res := Float.max !res (Float.abs (ri -. b.(i))))
-      r;
-    if !res <= threshold then
-      { solution = Array.copy x; iterations = iter; residual = !res }
+    let res = residual_norm ~skip a x b in
+    check_residual ~where:"Iterative.gauss_seidel" ~iter res;
+    if res <= threshold then
+      { solution = Array.copy x; iterations = iter; residual = res }
     else if iter >= max_iter then
       raise
         (Did_not_converge
-           { solution = Array.copy x; iterations = iter; residual = !res })
+           { solution = Array.copy x; iterations = iter; residual = res })
     else loop (iter + 1)
   in
   loop 1
+
+type path = Primary | Fallback
+
+type robust = { result : result; solver : string; path : path }
+
+let finite_solution r = Array.for_all Float.is_finite r.solution
+
+let solve_robust ?(tol = 1e-10) ?(max_iter = 100_000) ?(fallback_factor = 10)
+    ?x0 ?skip a ~b =
+  match gauss_seidel ~tol ~max_iter ?x0 ?skip a ~b with
+  | r -> { result = r; solver = "gauss-seidel"; path = Primary }
+  | exception Did_not_converge primary -> (
+      Diag.record ~fallback:true ~origin:"Iterative.solve_robust"
+        (Printf.sprintf
+           "gauss-seidel stalled after %d sweeps (residual %g); falling back \
+            to jacobi with a %dx budget"
+           primary.iterations primary.residual fallback_factor);
+      (* Warm-start the fallback from the stalled iterate when it is
+         still finite; otherwise restart from the caller's guess. *)
+      let x0 = if finite_solution primary then Some primary.solution else x0 in
+      let budget = max_iter * fallback_factor in
+      match jacobi ~tol ~max_iter:budget ?x0 ?skip a ~b with
+      | r -> { result = r; solver = "jacobi"; path = Fallback }
+      | exception Did_not_converge secondary ->
+          Diag.fail
+            (Diag.Nonconvergence
+               {
+                 algorithm = "Iterative.solve_robust";
+                 iterations = primary.iterations + secondary.iterations;
+                 residual = Float.min primary.residual secondary.residual;
+                 tolerance = tol;
+                 attempted = [ "gauss-seidel"; "jacobi" ];
+               }))

@@ -4,7 +4,13 @@
     direct factorisation is off the table; their transient parts are
     (irreducibly diagonally dominant) M-matrices, for which Jacobi and
     Gauss–Seidel sweeps converge.  Used for exact first-passage
-    expectations (mean battery lifetime without a time grid). *)
+    expectations (mean battery lifetime without a time grid).
+
+    Both solvers trip a structured
+    {!Diag.error.Numerical_breakdown} if the residual becomes NaN;
+    {!solve_robust} chains Gauss–Seidel into a bigger-budget Jacobi
+    retry so a production batch degrades gracefully instead of
+    crashing. *)
 
 type result = {
   solution : float array;
@@ -20,13 +26,15 @@ val jacobi :
   ?tol:float ->
   ?max_iter:int ->
   ?x0:float array ->
+  ?skip:(int -> bool) ->
   Sparse.t ->
   b:float array ->
   result
 (** Solve [A x = b] by Jacobi iteration.  [A] must be square with a
-    nonzero diagonal; [tol] (default 1e-10) bounds the max-norm
-    residual relative to [max 1 ||b||]; [max_iter] defaults to
-    100_000. *)
+    nonzero diagonal on the non-skipped rows; [tol] (default 1e-10)
+    bounds the max-norm residual relative to [max 1 ||b||]; [max_iter]
+    defaults to 100_000.  Rows [i] with [skip i = true] are held fixed
+    at their initial value. *)
 
 val gauss_seidel :
   ?tol:float ->
@@ -40,3 +48,28 @@ val gauss_seidel :
     sweeps than Jacobi on the battery systems.  Rows [i] with
     [skip i = true] are held fixed at their initial value (used to pin
     absorbing states to 0). *)
+
+type path = Primary | Fallback
+
+type robust = {
+  result : result;
+  solver : string;  (** name of the solver that produced the result *)
+  path : path;
+}
+
+val solve_robust :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?fallback_factor:int ->
+  ?x0:float array ->
+  ?skip:(int -> bool) ->
+  Sparse.t ->
+  b:float array ->
+  robust
+(** Fallback chain: try {!gauss_seidel} with [max_iter]; on
+    {!Did_not_converge}, retry with {!jacobi} under a
+    [fallback_factor]-times larger budget (default 10x), warm-started
+    from the stalled iterate when it is finite.  The chosen path is
+    recorded via {!Diag.record} so front ends can surface it.  Raises
+    [Diag.Error (Nonconvergence _)] when both solvers exhaust their
+    budgets (with [attempted] naming the chain members in order). *)

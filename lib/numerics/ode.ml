@@ -56,11 +56,16 @@ type adaptive_result = {
 
 (* Fehlberg 4(5) tableau. *)
 let rkf45 ?(rtol = 1e-8) ?(atol = 1e-10) ?initial_step ?(max_steps = 1_000_000)
-    f ~t0 ~t1 ~y0 =
+    ?min_step f ~t0 ~t1 ~y0 =
   if t1 < t0 then invalid_arg "Ode.rkf45: t1 < t0";
   let n = Array.length y0 in
   let h0 =
     match initial_step with Some h -> h | None -> (t1 -. t0) /. 100.
+  in
+  let floor_step =
+    match min_step with
+    | Some s -> s
+    | None -> 1e-12 *. Float.max 1. (Float.abs (t1 -. t0))
   in
   let t = ref t0
   and y = ref (Array.copy y0)
@@ -74,7 +79,18 @@ let rkf45 ?(rtol = 1e-8) ?(atol = 1e-10) ?initial_step ?(max_steps = 1_000_000)
         !acc)
   in
   while t1 -. !t > 1e-14 *. Float.max 1. (Float.abs t1) do
-    if !taken + !rejected > max_steps then failwith "Ode.rkf45: step budget";
+    if !taken + !rejected > max_steps then
+      Diag.fail
+        (Diag.Budget_exhausted
+           {
+             what = Printf.sprintf "Ode.rkf45 step budget at t = %g" !t;
+             budget = max_steps;
+           });
+    if !h < floor_step then
+      Diag.breakdown ~where:"Ode.rkf45"
+        "step size collapsed to %g at t = %g (floor %g): repeated rejections \
+         indicate a discontinuity or an unresolvable error estimate"
+        !h !t floor_step;
     let h' = Float.min !h (t1 -. !t) in
     let k1 = Array.map (fun d -> h' *. d) (f !t !y) in
     let k2 =
@@ -147,6 +163,11 @@ let rkf45 ?(rtol = 1e-8) ?(atol = 1e-10) ?initial_step ?(max_steps = 1_000_000)
       let scale = atol +. (rtol *. Float.max (Float.abs !y.(i)) (Float.abs y5.(i))) in
       err := Float.max !err (Float.abs (y5.(i) -. y4.(i)) /. scale)
     done;
+    (* A NaN error estimate cannot drive step control: every comparison
+       fails and the loop would spin to the budget with a NaN state. *)
+    if Float.is_nan !err then
+      Diag.breakdown ~where:"Ode.rkf45"
+        "error estimate became NaN at t = %g (step %g)" !t h';
     if !err <= 1. then begin
       t := !t +. h';
       y := y5;
@@ -159,6 +180,25 @@ let rkf45 ?(rtol = 1e-8) ?(atol = 1e-10) ?initial_step ?(max_steps = 1_000_000)
     h := h' *. factor
   done;
   { y = !y; steps_taken = !taken; steps_rejected = !rejected }
+
+type solver_path = Adaptive | Fixed_step_fallback
+
+let rkf45_robust ?rtol ?atol ?initial_step ?max_steps ?min_step
+    ?(fallback_steps = 10_000) f ~t0 ~t1 ~y0 =
+  match rkf45 ?rtol ?atol ?initial_step ?max_steps ?min_step f ~t0 ~t1 ~y0 with
+  | r -> (r, Adaptive)
+  | exception
+      Diag.Error
+        ((Diag.Numerical_breakdown _ | Diag.Budget_exhausted _) as reason) ->
+      Diag.record ~fallback:true ~origin:"Ode.rkf45_robust"
+        (Printf.sprintf "%s; retrying with fixed-step RK4 (%d steps)"
+           (Diag.error_to_string reason) fallback_steps);
+      let step = (t1 -. t0) /. float_of_int fallback_steps in
+      if step <= 0. then Diag.fail reason;
+      let y = integrate ~step f ~t0 ~t1 ~y0 in
+      if not (Array.for_all Float.is_finite y) then Diag.fail reason;
+      ( { y; steps_taken = fallback_steps; steps_rejected = 0 },
+        Fixed_step_fallback )
 
 type event_outcome = Reached_end of float array | Event of float * float array
 

@@ -44,13 +44,39 @@ val rkf45 :
   ?atol:float ->
   ?initial_step:float ->
   ?max_steps:int ->
+  ?min_step:float ->
   system ->
   t0:float ->
   t1:float ->
   y0:float array ->
   adaptive_result
 (** Runge–Kutta–Fehlberg 4(5) with proportional step control.  Raises
-    [Failure] when [max_steps] (default 1_000_000) is exhausted. *)
+    [Diag.Error (Budget_exhausted _)] when [max_steps] (default
+    1_000_000) is exhausted, and [Diag.Error (Numerical_breakdown _)]
+    when the step size collapses below [min_step] (default
+    [1e-12 * max 1 |t1 - t0|]) or the error estimate becomes NaN —
+    both symptoms of an integrand the adaptive controller cannot
+    resolve. *)
+
+type solver_path = Adaptive | Fixed_step_fallback
+
+val rkf45_robust :
+  ?rtol:float ->
+  ?atol:float ->
+  ?initial_step:float ->
+  ?max_steps:int ->
+  ?min_step:float ->
+  ?fallback_steps:int ->
+  system ->
+  t0:float ->
+  t1:float ->
+  y0:float array ->
+  adaptive_result * solver_path
+(** Fallback chain: try {!rkf45}; on step-size collapse or budget
+    exhaustion, rerun with fixed-step RK4 using [fallback_steps]
+    (default 10_000) uniform steps.  The fallback is recorded via
+    {!Diag.record}.  The original structured error is re-raised when
+    the fallback also produces a non-finite state. *)
 
 type event_outcome =
   | Reached_end of float array  (** no event; state at [t1] *)

@@ -1,0 +1,57 @@
+module Diag = Batlife_numerics.Diag
+
+type t = Diag.error =
+  | Invalid_model of { what : string; violations : string list }
+  | Nonconvergence of {
+      algorithm : string;
+      iterations : int;
+      residual : float;
+      tolerance : float;
+      attempted : string list;
+    }
+  | Numerical_breakdown of { where : string; detail : string }
+  | Budget_exhausted of { what : string; budget : int }
+  | Parse_error of {
+      source : string;
+      line : int;
+      field : string option;
+      message : string;
+    }
+
+exception Error = Diag.Error
+
+let to_string = Diag.error_to_string
+
+let pp = Diag.pp
+
+let exit_code = Diag.exit_code
+
+let of_exn = function
+  | Diag.Error e -> Some e
+  | Invalid_argument message ->
+      Some (Invalid_model { what = "argument"; violations = [ message ] })
+  | Failure detail ->
+      Some (Numerical_breakdown { where = "<unclassified>"; detail })
+  | Batlife_numerics.Iterative.Did_not_converge r ->
+      Some
+        (Nonconvergence
+           {
+             algorithm = "iterative solver";
+             iterations = r.Batlife_numerics.Iterative.iterations;
+             residual = r.Batlife_numerics.Iterative.residual;
+             tolerance = Float.nan;
+             attempted = [];
+           })
+  | _ -> None
+
+let protect f =
+  match f () with
+  | value -> Ok value
+  | exception exn -> (
+      match of_exn exn with Some e -> Result.error e | None -> raise exn)
+
+let get_ok = function Ok v -> v | Error e -> raise (Error e)
+
+let ( let* ) = Result.bind
+
+let ( let+ ) r f = Result.map f r

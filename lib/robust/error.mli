@@ -1,0 +1,53 @@
+(** Structured errors and [Result] combinators.
+
+    Re-exports {!Batlife_numerics.Diag.error} (one variant per failure
+    class, each carrying context) so robust callers can write
+    [Error.protect]-guarded pipelines without reaching into the
+    numerics substrate. *)
+
+type t = Batlife_numerics.Diag.error =
+  | Invalid_model of { what : string; violations : string list }
+  | Nonconvergence of {
+      algorithm : string;
+      iterations : int;
+      residual : float;
+      tolerance : float;
+      attempted : string list;
+    }
+  | Numerical_breakdown of { where : string; detail : string }
+  | Budget_exhausted of { what : string; budget : int }
+  | Parse_error of {
+      source : string;
+      line : int;
+      field : string option;
+      message : string;
+    }
+
+exception Error of t
+(** Same exception as [Batlife_numerics.Diag.Error]. *)
+
+val to_string : t -> string
+(** One-paragraph human-readable rendering. *)
+
+val pp : Format.formatter -> t -> unit
+
+val exit_code : t -> int
+(** Stable per-class CLI exit code (3-7); see
+    {!Batlife_numerics.Diag.exit_code}. *)
+
+val of_exn : exn -> t option
+(** Classify an exception: [Diag.Error] passes through,
+    [Invalid_argument] becomes {!Invalid_model}, [Failure] becomes
+    {!Numerical_breakdown}, [Iterative.Did_not_converge] becomes
+    {!Nonconvergence}; anything else is [None]. *)
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** Run a computation, capturing any classifiable exception as a
+    structured error.  Unclassifiable exceptions are re-raised. *)
+
+val get_ok : ('a, t) result -> 'a
+(** [get_ok (Ok v)] is [v]; [get_ok (Error e)] raises [Error e]. *)
+
+val ( let* ) : ('a, t) result -> ('a -> ('b, t) result) -> ('b, t) result
+
+val ( let+ ) : ('a, t) result -> ('a -> 'b) -> ('b, t) result

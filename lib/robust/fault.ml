@@ -1,0 +1,29 @@
+module Generator = Batlife_ctmc.Generator
+
+let corrupt_row_sum g ~row ~amount =
+  let m = Generator.matrix g in
+  if row < 0 || row >= m.Batlife_numerics.Sparse.rows then
+    invalid_arg "Fault.corrupt_row_sum: row out of range";
+  let start = m.Batlife_numerics.Sparse.row_ptr.(row) in
+  let stop = m.Batlife_numerics.Sparse.row_ptr.(row + 1) in
+  if start = stop then
+    invalid_arg
+      "Fault.corrupt_row_sum: row has no stored entries (absorbing rows are \
+       empty in CSR form)";
+  m.Batlife_numerics.Sparse.values.(start) <-
+    m.Batlife_numerics.Sparse.values.(start) +. amount
+
+let inject_nan v ~index =
+  if index < 0 || index >= Array.length v then
+    invalid_arg "Fault.inject_nan: index out of range";
+  v.(index) <- Float.nan
+
+let nan_measure_after ~calls measure =
+  if calls < 0 then invalid_arg "Fault.nan_measure_after: negative count";
+  let remaining = ref calls in
+  fun v ->
+    if !remaining = 0 then Float.nan
+    else begin
+      decr remaining;
+      measure v
+    end

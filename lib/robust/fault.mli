@@ -1,0 +1,22 @@
+(** Test-only fault injection.
+
+    Each helper sabotages a model or callback in a controlled way so
+    the guardrails in {!Batlife_ctmc.Transient},
+    {!Batlife_numerics.Iterative} and friends can be shown to trip.
+    Nothing in the production paths uses this module. *)
+
+val corrupt_row_sum : Batlife_ctmc.Generator.t -> row:int -> amount:float -> unit
+(** Add [amount] to the first stored entry of [row] in place, breaking
+    the zero-row-sum invariant the generator constructors established.
+    Raises [Invalid_argument] if the row is out of range or has no
+    stored entries (absorbing rows are empty in CSR form, so there is
+    nothing to perturb). *)
+
+val inject_nan : float array -> index:int -> unit
+(** Overwrite one entry (of a distribution, a matrix's [values], ...)
+    with NaN. *)
+
+val nan_measure_after : calls:int -> (float array -> float) -> float array -> float
+(** [nan_measure_after ~calls m] behaves like [m] for the first
+    [calls] invocations and returns NaN from then on — for driving the
+    NaN-measure guard of {!Batlife_ctmc.Transient.measure_sweep}. *)

@@ -1,0 +1,150 @@
+module Diag = Batlife_numerics.Diag
+module Sparse = Batlife_numerics.Sparse
+module Generator = Batlife_ctmc.Generator
+module Model = Batlife_workload.Model
+
+type violation = { subject : string; problem : string }
+
+let violation ~subject fmt =
+  Printf.ksprintf (fun problem -> { subject; problem }) fmt
+
+let message v = Printf.sprintf "%s: %s" v.subject v.problem
+
+let messages vs = List.map message vs
+
+let to_result ~what = function
+  | [] -> Ok ()
+  | vs -> Error (Diag.Invalid_model { what; violations = messages vs })
+
+let run ~what vs =
+  match to_result ~what vs with
+  | Ok () -> ()
+  | Error e -> raise (Diag.Error e)
+
+let finite ~subject name value =
+  if Float.is_finite value then []
+  else [ violation ~subject "%s = %g is not finite" name value ]
+
+(* -- KiBaM parameters ---------------------------------------------- *)
+
+let kibam ?(subject = "KiBaM parameters") ~capacity ~c ~k () =
+  let nonfinite =
+    finite ~subject "capacity" capacity
+    @ finite ~subject "c" c
+    @ finite ~subject "k" k
+  in
+  let range =
+    (if Float.is_finite capacity && capacity <= 0. then
+       [
+         violation ~subject "capacity = %g must be positive (total charge C)"
+           capacity;
+       ]
+     else [])
+    @ (if Float.is_finite c && not (c > 0. && c <= 1.) then
+         [
+           violation ~subject
+             "c = %g must lie in (0, 1] (available-charge fraction)" c;
+         ]
+       else [])
+    @
+    if Float.is_finite k && k < 0. then
+      [ violation ~subject "k = %g must be non-negative (diffusion rate)" k ]
+    else []
+  in
+  nonfinite @ range
+
+let kibam_pedantic ?(subject = "KiBaM parameters") ~capacity:_ ~c ~k () =
+  if Float.is_finite c && Float.is_finite k && k = 0. && c < 1. then
+    [
+      violation ~subject
+        "k = 0 with c = %g < 1 leaves the bound well (%.0f%% of the charge) \
+         permanently unreachable; use c = 1 for an ideal battery or k > 0 \
+         for a true KiBaM"
+        c
+        (100. *. (1. -. c));
+    ]
+  else []
+
+(* -- CTMC generators ----------------------------------------------- *)
+
+let generator ?(tol = 1e-9) ?(subject = "generator") g =
+  let m = Generator.matrix g in
+  let off_diag = ref [] in
+  Sparse.iter m (fun i j v ->
+      if i <> j && v < 0. then
+        off_diag :=
+          violation ~subject "negative off-diagonal rate q(%d, %d) = %g" i j v
+          :: !off_diag;
+      if not (Float.is_finite v) then
+        off_diag :=
+          violation ~subject "non-finite entry q(%d, %d) = %g" i j v
+          :: !off_diag);
+  let scale = Float.max 1. (Generator.max_exit_rate g) in
+  let rows = ref [] in
+  Array.iteri
+    (fun i sum ->
+      if Float.is_finite sum && Float.abs sum > tol *. scale then
+        rows :=
+          violation ~subject
+            "row %d (%s) sums to %g, not 0 (tolerance %g): probability mass \
+             is created or destroyed"
+            i (Generator.label g i) sum (tol *. scale)
+          :: !rows)
+    (Sparse.row_sums m);
+  List.rev !off_diag @ List.rev !rows
+
+let uniformisation_q ?(subject = "uniformisation rate") g q =
+  if (not (Float.is_finite q)) || q <= 0. then
+    [ violation ~subject "q = %g must be a positive finite number" q ]
+  else
+    let max_exit = Generator.max_exit_rate g in
+    if q < max_exit then
+      [
+        violation ~subject
+          "q = %g is below the largest exit rate %g; P = I + Q/q would have \
+           negative entries"
+          q max_exit;
+      ]
+    else []
+
+(* -- Probability vectors ------------------------------------------- *)
+
+let probability_vector ?(tol = 1e-9) ?(subject = "probability vector") v =
+  let entries = ref [] in
+  Array.iteri
+    (fun i p ->
+      if not (Float.is_finite p) then
+        entries :=
+          violation ~subject "entry %d = %g is not finite" i p :: !entries
+      else if p < -.tol then
+        entries := violation ~subject "entry %d = %g is negative" i p :: !entries)
+    v;
+  let sum = Array.fold_left ( +. ) 0. v in
+  let total =
+    if Float.is_finite sum && Float.abs (sum -. 1.) > tol *. float (Array.length v + 1)
+    then [ violation ~subject "entries sum to %.12g, not 1" sum ]
+    else []
+  in
+  List.rev !entries @ total
+
+(* -- Workload models ----------------------------------------------- *)
+
+let workload ?(subject = "workload model") w =
+  let currents = ref [] in
+  Array.iteri
+    (fun i c ->
+      if not (Float.is_finite c) then
+        currents :=
+          violation ~subject "current of state %d (%s) = %g is not finite" i
+            (Model.name w i) c
+          :: !currents
+      else if c < 0. then
+        currents :=
+          violation ~subject "current of state %d (%s) = %g is negative" i
+            (Model.name w i) c
+          :: !currents)
+    w.Model.currents;
+  List.rev !currents
+  @ probability_vector ~subject:(subject ^ " initial distribution")
+      w.Model.initial
+  @ generator ~subject:(subject ^ " generator") w.Model.generator

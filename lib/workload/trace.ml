@@ -1,26 +1,58 @@
 open Batlife_battery
-
+module Diag = Batlife_numerics.Diag
 
 type sample = { time : float; current : float }
 
-let check_samples samples =
+let parse_failure ?(source = "<trace>") ~line ?field fmt =
+  Printf.ksprintf
+    (fun message ->
+      raise (Diag.Error (Diag.Parse_error { source; line; field; message })))
+    fmt
+
+(* All violations of the sample invariants, labelled by sample index
+   (1-based, matching the order of the input list). *)
+let sample_violations samples =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
   (match samples with
-  | [] | [ _ ] -> invalid_arg "Trace: need at least two samples"
+  | [] | [ _ ] -> add "need at least two samples, got %d" (List.length samples)
   | _ -> ());
-  let rec go previous = function
+  List.iteri
+    (fun i s ->
+      let idx = i + 1 in
+      if not (Float.is_finite s.time) then
+        add "sample %d: timestamp %g is not finite" idx s.time;
+      if not (Float.is_finite s.current) then
+        add "sample %d: current %g is not finite" idx s.current
+      else if s.current < 0. then
+        add "sample %d: current %g is negative" idx s.current)
+    samples;
+  (match samples with
+  | first :: _ when Float.is_finite first.time && first.time < 0. ->
+      add "sample 1: timestamp %g is negative" first.time
+  | _ -> ());
+  let rec ordered i previous = function
     | [] -> ()
     | s :: rest ->
-        if s.time <= previous then
-          invalid_arg "Trace: timestamps must be strictly increasing";
-        if s.current < 0. then invalid_arg "Trace: negative current";
-        go s.time rest
+        if Float.is_finite s.time && Float.is_finite previous
+           && s.time <= previous
+        then
+          add "sample %d: timestamp %g does not increase (previous %g)" i
+            s.time previous;
+        ordered (i + 1) s.time rest
   in
-  match samples with
-  | first :: rest ->
-      if first.time < 0. then invalid_arg "Trace: negative timestamp";
-      if first.current < 0. then invalid_arg "Trace: negative current";
-      go first.time rest
-  | [] -> ()
+  (match samples with first :: rest -> ordered 2 first.time rest | [] -> ());
+  List.rev !problems
+
+let check_samples_result samples =
+  match sample_violations samples with
+  | [] -> Ok ()
+  | violations -> Error (Diag.Invalid_model { what = "trace samples"; violations })
+
+let check_samples samples =
+  match check_samples_result samples with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Diag.error_to_string e)
 
 let median_gap samples =
   let gaps =
@@ -56,39 +88,67 @@ let of_samples samples =
   in
   Load_profile.finite (lead @ body)
 
-let parse_csv text =
+let of_samples_result samples =
+  match check_samples_result samples with
+  | Ok () -> Ok (of_samples samples)
+  | Error _ as e -> e
+
+let parse_csv_exn ?source text =
   let lines = String.split_on_char '\n' text in
   let parse_line idx line =
     let trimmed = String.trim line in
     if trimmed = "" || trimmed.[0] = '#' then None
     else
+      let lineno = idx + 1 in
       match String.split_on_char ',' trimmed with
-      | [ t; c ] -> (
-          match (float_of_string_opt (String.trim t),
-                 float_of_string_opt (String.trim c))
-          with
-          | Some time, Some current -> Some { time; current }
-          | _ ->
-              failwith
-                (Printf.sprintf "Trace.parse_csv: malformed line %d: %s"
-                   (idx + 1) trimmed))
-      | _ ->
-          failwith
-            (Printf.sprintf "Trace.parse_csv: expected 'time,current' on line %d"
-               (idx + 1))
+      | [ t; c ] ->
+          let parse_field name text =
+            match float_of_string_opt (String.trim text) with
+            | Some v -> v
+            | None ->
+                parse_failure ?source ~line:lineno ~field:name
+                  "cannot read %S as a number" (String.trim text)
+          in
+          let time = parse_field "time" t in
+          let current = parse_field "current" c in
+          Some { time; current }
+      | fields ->
+          parse_failure ?source ~line:lineno
+            "expected 'time,current' (2 fields), got %d field%s: %S"
+            (List.length fields)
+            (if List.length fields = 1 then "" else "s")
+            trimmed
   in
-  List.filteri (fun _ _ -> true) lines
-  |> List.mapi parse_line
-  |> List.filter_map Fun.id
+  List.mapi parse_line lines |> List.filter_map Fun.id
 
-let load_csv path =
+let parse_csv_result ?source text =
+  match parse_csv_exn ?source text with
+  | samples -> Ok samples
+  | exception Diag.Error e -> Error e
+
+let parse_csv text =
+  match parse_csv_exn text with
+  | samples -> samples
+  | exception Diag.Error e -> failwith (Diag.error_to_string e)
+
+let read_file path =
   let ic = open_in path in
-  let text =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  of_samples (parse_csv text)
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_samples_result path =
+  match read_file path with
+  | text -> parse_csv_result ~source:path text
+  | exception Sys_error message ->
+      Error (Diag.Parse_error { source = path; line = 0; field = None; message })
+
+let load_csv_result path =
+  match load_samples_result path with
+  | Error _ as e -> e
+  | Ok samples -> of_samples_result samples
+
+let load_csv path = of_samples (parse_csv (read_file path))
 
 let to_csv profile ~t_end ~step =
   if t_end <= 0. || step <= 0. then

@@ -13,21 +13,52 @@ open Batlife_battery
 
 type sample = { time : float; current : float }
 
+val sample_violations : sample list -> string list
+(** Every invariant violation in the sample list (empty = valid),
+    labelled by 1-based sample index: at least two samples, finite
+    non-negative currents, finite strictly-increasing timestamps
+    starting at 0 or later. *)
+
 val of_samples : sample list -> Load_profile.t
 (** Build a piecewise-constant profile: sample [k]'s current holds
     from its timestamp to the next one; the final sample's current is
     held for the median inter-sample gap.  Timestamps must be strictly
     increasing and start at 0 or later (an initial gap is treated as
-    idle).  Raises [Invalid_argument] on unordered input or fewer than
-    two samples. *)
+    idle).  Raises [Invalid_argument] rendering the full
+    {!sample_violations} report on invalid input. *)
+
+val of_samples_result :
+  sample list -> (Load_profile.t, Batlife_numerics.Diag.error) result
+(** Like {!of_samples} but returns [Error (Invalid_model _)] carrying
+    every violation instead of raising. *)
+
+val parse_csv_exn : ?source:string -> string -> sample list
+(** Parse a trace from a string of CSV lines [time,current]; blank
+    lines and [#]-comments are skipped.  Raises
+    [Diag.Error (Parse_error _)] naming [source] (default
+    ["<trace>"]), the 1-based line number and, for an unreadable
+    number, which field ([time] or [current]) was at fault. *)
+
+val parse_csv_result :
+  ?source:string -> string -> (sample list, Batlife_numerics.Diag.error) result
+(** {!parse_csv_exn} with the error captured as a [result]. *)
 
 val parse_csv : string -> sample list
-(** Parse a trace from a string of CSV lines [time,current]; blank
-    lines and [#]-comments are skipped.  Raises [Failure] with the
-    offending line number on malformed input. *)
+(** Legacy wrapper around {!parse_csv_exn}: raises [Failure] with the
+    rendered parse error (line number and field included). *)
+
+val load_samples_result :
+  string -> (sample list, Batlife_numerics.Diag.error) result
+(** Read and parse a trace file; I/O errors surface as a
+    [Parse_error] with [line = 0]. *)
+
+val load_csv_result :
+  string -> (Load_profile.t, Batlife_numerics.Diag.error) result
+(** {!load_samples_result} followed by {!of_samples_result}. *)
 
 val load_csv : string -> Load_profile.t
-(** [load_csv path] reads and parses a trace file. *)
+(** [load_csv path] reads and parses a trace file.  Raises [Failure]
+    (parse) / [Invalid_argument] (validation) / [Sys_error] (I/O). *)
 
 val to_csv : Load_profile.t -> t_end:float -> step:float -> string
 (** Sample a profile back to CSV text (for round-tripping and for

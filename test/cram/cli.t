@@ -56,3 +56,41 @@ Trace-driven workflow: replay a measured CSV and fit a model from it:
   10000	0.590482
   15000	0.999965
   20000	1.000000
+
+Structured failure paths.  Invalid KiBaM parameters are all reported
+in one diagnostic (not fix-one-rerun) and map to the invalid-model
+exit code:
+
+  $ batlife kibam --capacity 0 -c 1.5 --diffusion=-2e-5 --load 0.96
+  batlife: error: invalid model (KiBaM parameters): KiBaM parameters: capacity = 0 must be positive (total charge C); KiBaM parameters: c = 1.5 must lie in (0, 1] (available-charge fraction); KiBaM parameters: k = -2e-05 must be non-negative (diffusion rate)
+  [3]
+
+k = 0 with c < 1 strands the bound charge: refused under the default
+strict mode, downgraded to a warning under --lenient:
+
+  $ batlife kibam --capacity 7200 -c 0.625 -k 0 --load 0.96
+  batlife: error: invalid model (KiBaM parameters): pedantic finding: k = 0 with c = 0.625 < 1 leaves the bound well (38% of the charge) permanently unreachable; use c = 1 for an ideal battery or k > 0 for a true KiBaM; pass --lenient to downgrade pedantic findings to warnings
+  [3]
+
+  $ batlife kibam --capacity 7200 -c 0.625 -k 0 --lenient --load 0.96 2>/dev/null
+  lifetime: 4687.5 time units (78.12 minutes if seconds)
+  average load: 0.96
+  ideal-battery lifetime at average load: 7500
+
+  $ batlife kibam --capacity 7200 -c 0.625 -k 0 --lenient --load 0.96 2>&1 >/dev/null
+  batlife: warning: pedantic finding: k = 0 with c = 0.625 < 1 leaves the bound well (38% of the charge) permanently unreachable; use c = 1 for an ideal battery or k > 0 for a true KiBaM
+
+A malformed trace file is a parse error naming the file, line and
+field, with its own exit code:
+
+  $ cat > bad.csv <<END
+  > 0,1
+  > frog,2
+  > END
+  $ batlife trace --csv bad.csv
+  batlife: error: parse error: bad.csv, line 2, field time: cannot read "frog" as a number
+  [4]
+
+  $ batlife trace --csv does-not-exist.csv
+  batlife: error: parse error: does-not-exist.csv, line 0: does-not-exist.csv: No such file or directory
+  [4]

@@ -45,6 +45,66 @@ let test_empirical_order_degenerate () =
   let c = Lifetime.cdf ~delta:100. ~times (model ()) in
   check_true "needs three curves" (Analysis.empirical_order [ c ] = None)
 
+(* Hand-built curves exercise the degenerate branches without paying
+   for a sweep. *)
+let curve ~delta times probabilities =
+  {
+    Lifetime.times;
+    probabilities;
+    delta;
+    states = 0;
+    nnz = 0;
+    iterations = 0;
+    uniformisation_rate = 0.;
+  }
+
+let test_empirical_order_degenerate_inputs () =
+  let t = [| 1.; 2. |] in
+  check_true "empty list" (Analysis.empirical_order [] = None);
+  check_true "two curves"
+    (Analysis.empirical_order
+       [ curve ~delta:100. t [| 0.1; 0.5 |]; curve ~delta:50. t [| 0.2; 0.6 |] ]
+    = None);
+  (* Identical curves: both refinement distances are exactly zero, so
+     no order can be estimated. *)
+  let same d = curve ~delta:d t [| 0.1; 0.5 |] in
+  check_true "identical curves"
+    (Analysis.empirical_order [ same 100.; same 50.; same 25. ] = None);
+  (* Deltas in the wrong direction (ratio <= 1) with genuine
+     distances must also refuse rather than divide by log 1 or flip
+     the sign of the estimate. *)
+  let seq =
+    [
+      curve ~delta:25. t [| 0.1; 0.5 |];
+      curve ~delta:50. t [| 0.2; 0.6 |];
+      curve ~delta:100. t [| 0.25; 0.65 |];
+    ]
+  in
+  check_true "non-refining deltas" (Analysis.empirical_order seq = None);
+  (* Equal deltas: ratio exactly 1. *)
+  let flat =
+    [
+      curve ~delta:50. t [| 0.1; 0.5 |];
+      curve ~delta:50. t [| 0.2; 0.6 |];
+      curve ~delta:50. t [| 0.25; 0.65 |];
+    ]
+  in
+  check_true "equal deltas" (Analysis.empirical_order flat = None)
+
+let test_richardson_clamps () =
+  let t = [| 1.; 2.; 3. |] in
+  let coarse = curve ~delta:100. t [| 0.4; 0.5; 0.7 |] in
+  let fine = curve ~delta:50. t [| 0.1; 0.9; 0.8 |] in
+  (* Raw order-1 extrapolation is [2 f - c] = [-0.2; 1.3; 0.9]:
+     undershoots 0, overshoots 1, then decreases.  The result must be
+     clamped back to a monotone CDF. *)
+  let extrapolated = Analysis.richardson ~coarse fine in
+  let p = extrapolated.Lifetime.probabilities in
+  check_float "undershoot clamped to 0" 0. p.(0);
+  check_float "overshoot clamped to 1" 1. p.(1);
+  check_float "monotonised after the overshoot" 1. p.(2);
+  check_float "fine metadata reused" 50. extrapolated.Lifetime.delta
+
 let test_richardson_improves () =
   let times = times () in
   let m = model () in
@@ -92,6 +152,8 @@ let suite =
     case "pointwise distance" test_pointwise_distance;
     slow_case "refinement contracts" test_refinement_contracts;
     case "empirical order needs data" test_empirical_order_degenerate;
+    case "empirical order degenerate inputs" test_empirical_order_degenerate_inputs;
+    case "richardson clamps to a CDF" test_richardson_clamps;
     slow_case "richardson improves" test_richardson_improves;
     case "empty-state recovery variant" test_empty_recovery_variant;
   ]

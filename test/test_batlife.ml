@@ -29,4 +29,5 @@ let () =
       ("scheduling: multi-battery packs", Test_scheduling.suite);
       ("output: series, csv, tables", Test_output.suite);
       ("experiments: paper reproduction", Test_experiments.suite);
+      ("robust: guardrails & fault injection", Test_robust.suite);
     ]
