@@ -14,7 +14,12 @@
      --out-dir D    artefact directory (default results)
      --repro-only   skip the timing pass
      --timing-only  skip the reproduction pass
-     --quota S      seconds of sampling per timing test (default 0.5) *)
+     --quota S      seconds of sampling per timing test (default 0.5)
+     --engine-report PATH
+                    count uniformisation sweeps / vector-matrix
+                    products for the per-call vs batched-session
+                    evaluation paths and write a JSON snapshot
+                    (committed as BENCH_engine.json, diffed by CI) *)
 
 open Bechamel
 open Batlife_battery
@@ -106,6 +111,99 @@ let rakhmatov_kernel =
   let p = Batlife_battery.Rakhmatov.params ~alpha:40000. 0.2 in
   fun () -> Batlife_battery.Rakhmatov.lifetime_constant p ~load:100.
 
+(* ------------------------------------------------------------------ *)
+(* Engine kernels: the same query set (lifetime CDF on a shared grid
+   plus all four per-time measures) answered once per call through the
+   deprecated per-time helpers, and once through a shared session.     *)
+
+module Transient = Batlife_ctmc.Transient
+
+let engine_times = [| 5.; 10.; 15.; 20.; 25. |]
+let engine_time = 20.
+
+let engine_discretized =
+  lazy
+    (Discretized.build ~delta:10.
+       (Params.simple_kibamrm (Params.battery_phone_two_well ())))
+
+(* The pre-session API: every query pays its own sweep. *)
+module Per_call_baseline = struct
+  [@@@alert "-deprecated"]
+
+  let queries d =
+    let cdf, _ = Discretized.empty_probability d ~times:engine_times in
+    let marginal = Discretized.available_charge_marginal d ~time:engine_time in
+    let modes = Discretized.mode_marginal d ~time:engine_time in
+    let expected = Discretized.expected_available_charge d ~time:engine_time in
+    let joint =
+      Discretized.joint_probability d ~time:engine_time ~mode:0
+        ~min_charge:250.
+    in
+    (cdf, marginal, modes, expected, joint)
+end
+
+let session_queries d =
+  let open Discretized.Session in
+  let s = create d in
+  let cdf = empty_probability s ~times:engine_times in
+  let marginal = available_charge_marginal s ~time:engine_time in
+  let modes = mode_marginal s ~time:engine_time in
+  let expected = expected_available_charge s ~time:engine_time in
+  let joint =
+    joint_probability s ~time:engine_time ~mode:0 ~min_charge:250.
+  in
+  ignore (run s : Transient.stats);
+  (get cdf, get marginal, get modes, get expected, get joint)
+
+let engine_per_call_kernel () =
+  Per_call_baseline.queries (Lazy.force engine_discretized)
+
+let engine_session_kernel () = session_queries (Lazy.force engine_discretized)
+
+(* Sweep/product accounting of the two paths, written as a committed
+   JSON snapshot (BENCH_engine.json) so CI can diff the counts. *)
+let engine_report path =
+  let d = Lazy.force engine_discretized in
+  let count f =
+    Transient.reset_counters ();
+    ignore (f d);
+    (Transient.sweep_count (), Transient.product_count ())
+  in
+  let per_call_sweeps, per_call_products = count Per_call_baseline.queries in
+  let session_sweeps, session_products = count session_queries in
+  let ratio f a b = if b = 0 then Float.nan else f a /. f b in
+  let product_ratio =
+    ratio float_of_int per_call_products session_products
+  in
+  Printf.printf
+    "=== Engine sweep accounting (CDF on %d times + 4 per-time measures) ===\n"
+    (Array.length engine_times);
+  Printf.printf "  per-call baseline: %d sweeps, %d vector-matrix products\n"
+    per_call_sweeps per_call_products;
+  Printf.printf "  batched session:   %d sweeps, %d vector-matrix products\n"
+    session_sweeps session_products;
+  Printf.printf "  product reduction: %.2fx\n" product_ratio;
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "engine sweep accounting",
+  "model": "simple workload, two-well phone battery, delta = 10",
+  "queries": {
+    "cdf_times": %d,
+    "per_time_measures": 4
+  },
+  "per_call": { "sweeps": %d, "products": %d },
+  "session": { "sweeps": %d, "products": %d },
+  "product_ratio": %.4f,
+  "sweep_ratio": %.4f
+}
+|}
+    (Array.length engine_times) per_call_sweeps per_call_products
+    session_sweeps session_products product_ratio
+    (ratio float_of_int per_call_sweeps session_sweeps);
+  close_out oc;
+  Printf.printf "  wrote %s\n" path
+
 let timing_tests =
   Test.make_grouped ~name:"batlife"
     [
@@ -134,6 +232,10 @@ let timing_tests =
         (Staged.stage scheduler_kernel);
       Test.make ~name:"battery: Rakhmatov-Vrudhula lifetime"
         (Staged.stage rakhmatov_kernel);
+      Test.make ~name:"engine: per-call baseline (5 sweeps)"
+        (Staged.stage engine_per_call_kernel);
+      Test.make ~name:"engine: batched session (1 sweep)"
+        (Staged.stage engine_session_kernel);
     ]
 
 let run_timing ~quota =
@@ -180,10 +282,14 @@ let () =
   let mode = ref Both in
   let quota = ref 0.5 in
   let ids = ref [] in
+  let engine_json = ref None in
   let rec parse = function
     | [] -> ()
     | "--full" :: rest ->
         options := { !options with Runner.full = true };
+        parse rest
+    | "--engine-report" :: path :: rest ->
+        engine_json := Some path;
         parse rest
     | "--runs" :: n :: rest ->
         options := { !options with Runner.runs = int_of_string n };
@@ -222,4 +328,7 @@ let () =
                 exit 2)
           ids
   end;
+  (match !engine_json with
+  | Some path -> engine_report path
+  | None -> ());
   if !mode <> Repro_only then run_timing ~quota:!quota

@@ -14,6 +14,7 @@ open Batlife_sim
 open Batlife_output
 module Error = Batlife_robust.Error
 module Validate = Batlife_robust.Validate
+module Solver_opts = Batlife_ctmc.Solver_opts
 
 (* ------------------------------------------------------------------ *)
 (* Shared argument definitions                                         *)
@@ -151,6 +152,47 @@ let times_term =
 let plot_arg =
   Arg.(value & flag & info [ "plot" ] ~doc:"Render an ASCII plot.")
 
+(* Numerical solver options, shared by every CTMC-backed subcommand
+   and collapsed into one Solver_opts.t value. *)
+let solver_opts_term =
+  let make accuracy unif_rate convergence_tol solver_tol =
+    Solver_opts.make ~accuracy ?unif_rate ~convergence_tol ?linear_tol:solver_tol
+      ()
+  in
+  let accuracy =
+    Arg.(
+      value
+      & opt float Solver_opts.default.Solver_opts.accuracy
+      & info [ "accuracy" ] ~docv:"EPS"
+          ~doc:"Poisson truncation accuracy of the uniformisation sweeps.")
+  and unif_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "unif-rate" ] ~docv:"Q"
+          ~doc:
+            "Uniformisation rate override (must be at least the largest \
+             exit rate; default: the generator's own rate).")
+  and convergence_tol =
+    Arg.(
+      value
+      & opt float Solver_opts.default.Solver_opts.convergence_tol
+      & info [ "convergence-tol" ] ~docv:"EPS"
+          ~doc:
+            "Early-stationarity threshold of the sweeps (L-infinity \
+             distance of successive iterates).")
+  and solver_tol =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "solver-tol" ] ~docv:"EPS"
+          ~doc:
+            "Residual tolerance of the linear (Gauss-Seidel) solves \
+             behind exact means and unbounded reachability (default: \
+             per-solver).")
+  in
+  Term.(const make $ accuracy $ unif_rate $ convergence_tol $ solver_tol)
+
 (* ------------------------------------------------------------------ *)
 (* kibam                                                               *)
 
@@ -207,9 +249,12 @@ let print_cdf ~plot name times probabilities =
       [ Series.create ~name ~xs:times ~ys:probabilities ]
 
 let lifetime_cmd =
-  let run battery workload times delta plot =
+  let run battery workload times delta opts plot =
     let model = Kibamrm.create ~workload ~battery in
-    let curve = Lifetime.cdf ~delta ~times model in
+    (* One expanded model serves the CDF sweep and the first-passage
+       mean; the CDF goes through the session engine. *)
+    let d = Discretized.build ~delta model in
+    let curve = Lifetime.cdf_discretized ~opts ~delta d ~times in
     Printf.eprintf
       "expanded CTMC: %d states, %d nonzeros, %d iterations (q = %g)\n"
       curve.Lifetime.states curve.Lifetime.nnz curve.Lifetime.iterations
@@ -217,7 +262,7 @@ let lifetime_cmd =
     print_cdf ~plot "KiBaMRM" times curve.Lifetime.probabilities;
     Printf.eprintf "mean lifetime (truncated): %.6g\n" (Lifetime.mean curve);
     Printf.eprintf "mean lifetime (exact, first passage): %.6g\n"
-      (Lifetime.mean_exact ~delta model)
+      (Discretized.expected_lifetime ~opts d)
   in
   let delta =
     Arg.(
@@ -229,7 +274,8 @@ let lifetime_cmd =
     (Cmd.info "lifetime"
        ~doc:"Battery lifetime CDF via the Markovian approximation")
     Term.(
-      const run $ battery_term $ workload_term $ times_term $ delta $ plot_arg)
+      const run $ battery_term $ workload_term $ times_term $ delta
+      $ solver_opts_term $ plot_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -271,7 +317,7 @@ let simulate_cmd =
 (* trace                                                               *)
 
 let trace_cmd =
-  let run battery path delta times plot =
+  let run battery path delta times opts plot =
     let samples = Error.get_ok (Trace.load_samples_result path) in
     let profile = Error.get_ok (Trace.of_samples_result samples) in
     (* Deterministic replay. *)
@@ -292,7 +338,7 @@ let trace_cmd =
               estimated.Trace.occupancy.(i))
           estimated.Trace.levels;
         let model = Kibamrm.create ~workload:estimated.Trace.model ~battery in
-        let curve = Lifetime.cdf ~delta ~times model in
+        let curve = Lifetime.cdf ~opts ~delta ~times model in
         print_cdf ~plot "KiBaMRM (estimated model)" times
           curve.Lifetime.probabilities)
   in
@@ -311,7 +357,9 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Replay a measured current trace and fit a workload model")
-    Term.(const run $ battery_term $ path $ delta $ times_term $ plot_arg)
+    Term.(
+      const run $ battery_term $ path $ delta $ times_term $ solver_opts_term
+      $ plot_arg)
 
 (* ------------------------------------------------------------------ *)
 (* pack                                                                *)
@@ -382,9 +430,9 @@ let pack_cmd =
 (* experiment                                                          *)
 
 let experiment_cmd =
-  let run ids out_dir runs full =
+  let run ids out_dir runs full opts =
     let open Batlife_experiments in
-    let options = { Runner.default_options with out_dir; runs; full } in
+    let options = { Runner.default_options with out_dir; runs; full; opts } in
     match ids with
     | [] ->
         Runner.run_all ~options ();
@@ -423,7 +471,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce the paper's tables and figures")
-    Term.(ret (const run $ ids $ out_dir $ runs $ full))
+    Term.(ret (const run $ ids $ out_dir $ runs $ full $ solver_opts_term))
 
 (* ------------------------------------------------------------------ *)
 

@@ -100,15 +100,24 @@ let absorbed_mass grid v =
   done;
   !acc
 
-let empty_probability ?accuracy t ~times =
-  Transient.measure_sweep ?accuracy t.generator ~alpha:t.alpha ~times
+(* Lower interval end of an available-charge level: the representative
+   the expanded generator uses; the empty level contributes charge 0. *)
+let level_charge grid j1 =
+  if j1 = 0 then 0. else Grid.level_value grid (j1 - 1)
+
+let empty_probability ?opts t ~times =
+  Transient.measure_sweep ?opts t.generator ~alpha:t.alpha ~times
     ~measure:(absorbed_mass t.grid)
 
-let state_distribution ?accuracy t ~time =
-  Transient.solve ?accuracy t.generator ~alpha:t.alpha ~t:time
+let state_distribution ?opts t ~time =
+  Transient.solve ?opts t.generator ~alpha:t.alpha ~t:time
 
 let available_charge_marginal ?accuracy t ~time =
-  let pi = state_distribution ?accuracy t ~time in
+  let pi =
+    state_distribution
+      ~opts:(Solver_opts.of_legacy ?accuracy ())
+      t ~time
+  in
   let grid = t.grid in
   let levels1 = grid.Grid.levels1 in
   Array.init levels1 (fun j1 ->
@@ -118,11 +127,14 @@ let available_charge_marginal ?accuracy t ~time =
           acc := !acc +. pi.(Grid.index grid ~state:i ~j1 ~j2)
         done
       done;
-      let charge = if j1 = 0 then 0. else Grid.level_value grid (j1 - 1) in
-      (charge, !acc))
+      (level_charge grid j1, !acc))
 
 let mode_marginal ?accuracy t ~time =
-  let pi = state_distribution ?accuracy t ~time in
+  let pi =
+    state_distribution
+      ~opts:(Solver_opts.of_legacy ?accuracy ())
+      t ~time
+  in
   let grid = t.grid in
   let result = Array.make grid.Grid.n_workload 0. in
   for j1 = 0 to grid.Grid.levels1 - 1 do
@@ -138,7 +150,33 @@ let expected_available_charge ?accuracy t ~time =
   let marginal = available_charge_marginal ?accuracy t ~time in
   Array.fold_left (fun acc (charge, p) -> acc +. (charge *. p)) 0. marginal
 
-let expected_lifetime ?(tol = 1e-10) t =
+let check_mode grid mode =
+  if mode < 0 || mode >= grid.Grid.n_workload then
+    invalid_arg "Discretized.joint_probability: mode out of range"
+
+let joint_probability ?accuracy t ~time ~mode ~min_charge =
+  let grid = t.grid in
+  check_mode grid mode;
+  let pi =
+    state_distribution
+      ~opts:(Solver_opts.of_legacy ?accuracy ())
+      t ~time
+  in
+  let acc = ref 0. in
+  for j1 = 1 to grid.Grid.levels1 - 1 do
+    (* Level j1 covers (j1*delta, (j1+1)*delta]; its lower end is
+       j1*delta. *)
+    if Grid.level_value grid (j1 - 1) >= min_charge then
+      for j2 = 0 to grid.Grid.levels2 - 1 do
+        acc := !acc +. pi.(Grid.index grid ~state:mode ~j1 ~j2)
+      done
+  done;
+  !acc
+
+let default_lifetime_tol = 1e-10
+
+let expected_lifetime ?(opts = Solver_opts.default) t =
+  let tol = Solver_opts.linear_tol_or ~default:default_lifetime_tol opts in
   let g = t.generator in
   let block = Grid.absorbing_block_size t.grid in
   for i = 0 to block - 1 do
@@ -168,18 +206,268 @@ let expected_lifetime ?(tol = 1e-10) t =
         result.Iterative.residual);
   Vector.dot t.alpha result.Iterative.solution
 
-let joint_probability ?accuracy t ~time ~mode ~min_charge =
-  let grid = t.grid in
-  if mode < 0 || mode >= grid.Grid.n_workload then
-    invalid_arg "Discretized.joint_probability: mode out of range";
-  let pi = state_distribution ?accuracy t ~time in
-  let acc = ref 0. in
-  for j1 = 1 to grid.Grid.levels1 - 1 do
-    (* Level j1 covers (j1*delta, (j1+1)*delta]; its lower end is
-       j1*delta. *)
-    if Grid.level_value grid (j1 - 1) >= min_charge then
-      for j2 = 0 to grid.Grid.levels2 - 1 do
-        acc := !acc +. pi.(Grid.index grid ~state:mode ~j1 ~j2)
-      done
-  done;
-  !acc
+(* ------------------------------------------------------------------ *)
+(* The batched evaluation engine.                                      *)
+
+module Session = struct
+  (* One batch registration: a block of linear functionals to be
+     evaluated on this query's own time grid.  [out] is the
+     funcs-by-times result block, filled by the shared sweep. *)
+  type reg = {
+    reg_times : float array;
+    funcs : (float array -> float) array;
+    mutable out : float array array;
+    mutable filled : bool;
+  }
+
+  type session = {
+    d : t;
+    opts : Solver_opts.t;  (** with the uniformisation rate pinned *)
+    rate : float;
+    fox_glynn : (float, Poisson.t) Hashtbl.t;
+        (** Fox–Glynn windows keyed by [t]; the key pair [(q, t)] of
+            the cache degenerates to [t] because [rate] is pinned for
+            the session's lifetime. *)
+    mutable buffers : (float array * float array) option;
+    mutable queue : reg list;  (** pending registrations, newest first *)
+    mutable last_stats : Transient.stats option;
+    mutable swept : int;
+    (* Lazily-built aggregation structures shared by all marginal
+       queries of the session. *)
+    mutable charge_buckets : int array array option;
+    mutable mode_buckets : int array array option;
+    mutable charge_coefficients : float array option;
+  }
+
+  type 'a pending = {
+    s : session;
+    reg : reg;
+    finish : float array array -> 'a;
+  }
+
+  let create ?(opts = Solver_opts.default) d =
+    let rate = Transient.resolve_rate ~opts d.generator in
+    (* Pin the rate so cached windows and future sweeps can never
+       disagree on q. *)
+    let opts = { opts with Solver_opts.unif_rate = Some rate } in
+    {
+      d;
+      opts;
+      rate;
+      fox_glynn = Hashtbl.create 64;
+      buffers = None;
+      queue = [];
+      last_stats = None;
+      swept = 0;
+      charge_buckets = None;
+      mode_buckets = None;
+      charge_coefficients = None;
+    }
+
+  let uniformisation_rate s = s.rate
+  let sweeps s = s.swept
+  let last_stats s = s.last_stats
+
+  let window s t =
+    match Hashtbl.find_opt s.fox_glynn t with
+    | Some w -> w
+    | None ->
+        let w =
+          Poisson.weights ~accuracy:s.opts.Solver_opts.accuracy (s.rate *. t)
+        in
+        Hashtbl.add s.fox_glynn t w;
+        w
+
+  let cached_windows s = Hashtbl.length s.fox_glynn
+
+  let scratch s =
+    match s.buffers with
+    | Some b -> b
+    | None ->
+        let n = n_states s.d in
+        let b = (Vector.create n, Vector.create n) in
+        s.buffers <- Some b;
+        b
+
+  let register s ~times ~funcs finish =
+    let reg = { reg_times = times; funcs; out = [||]; filled = false } in
+    s.queue <- reg :: s.queue;
+    { s; reg; finish }
+
+  (* Flush every pending registration through ONE multi-measure sweep
+     over the union of their time grids. *)
+  let run s =
+    let regs = List.rev s.queue in
+    s.queue <- [];
+    match regs with
+    | [] -> (
+        match s.last_stats with
+        | Some stats -> stats
+        | None ->
+            {
+              Transient.iterations = 0;
+              converged_at = None;
+              uniformisation_rate = s.rate;
+            })
+    | regs ->
+        let grid =
+          List.concat_map (fun r -> Array.to_list r.reg_times) regs
+          |> List.sort_uniq Float.compare
+          |> Array.of_list
+        in
+        let time_index = Hashtbl.create (Array.length grid) in
+        Array.iteri (fun i t -> Hashtbl.replace time_index t i) grid;
+        let measures = Array.concat (List.map (fun r -> r.funcs) regs) in
+        let windows = Array.map (window s) grid in
+        let buffers = scratch s in
+        let results, stats =
+          Transient.multi_measure_sweep ~opts:s.opts ~windows ~buffers
+            s.d.generator ~alpha:s.d.alpha ~times:grid ~measures
+        in
+        let offset = ref 0 in
+        List.iter
+          (fun r ->
+            r.out <-
+              Array.init (Array.length r.funcs) (fun k ->
+                  Array.map
+                    (fun t -> results.(!offset + k).(Hashtbl.find time_index t))
+                    r.reg_times);
+            r.filled <- true;
+            offset := !offset + Array.length r.funcs)
+          regs;
+        s.last_stats <- Some stats;
+        s.swept <- s.swept + 1;
+        Log.debug (fun m ->
+            m "session sweep %d: %d registrations, %d functionals, %d times, \
+               %d iterations"
+              s.swept (List.length regs) (Array.length measures)
+              (Array.length grid) stats.Transient.iterations);
+        stats
+
+  let get p =
+    if not p.reg.filled then ignore (run p.s : Transient.stats);
+    p.finish p.reg.out
+
+  (* --- functional builders ---------------------------------------- *)
+
+  let sum_over indices v =
+    let acc = ref 0. in
+    Array.iter (fun i -> acc := !acc +. v.(i)) indices;
+    !acc
+
+  (* Partition the flat state space by available-charge level: bucket
+     j1 holds every (state, j1, j2) index.  The buckets cover each
+     index exactly once, so evaluating all of them costs one pass over
+     the distribution per step — the same order as the vecmat product
+     itself. *)
+  let charge_buckets s =
+    match s.charge_buckets with
+    | Some b -> b
+    | None ->
+        let grid = s.d.grid in
+        let per = grid.Grid.levels2 * grid.Grid.n_workload in
+        let b =
+          Array.init grid.Grid.levels1 (fun j1 ->
+              let idxs = Array.make per 0 in
+              let k = ref 0 in
+              for j2 = 0 to grid.Grid.levels2 - 1 do
+                for i = 0 to grid.Grid.n_workload - 1 do
+                  idxs.(!k) <- Grid.index grid ~state:i ~j1 ~j2;
+                  incr k
+                done
+              done;
+              idxs)
+        in
+        s.charge_buckets <- Some b;
+        b
+
+  let mode_buckets s =
+    match s.mode_buckets with
+    | Some b -> b
+    | None ->
+        let grid = s.d.grid in
+        let per = grid.Grid.levels1 * grid.Grid.levels2 in
+        let b =
+          Array.init grid.Grid.n_workload (fun state ->
+              let idxs = Array.make per 0 in
+              let k = ref 0 in
+              for j1 = 0 to grid.Grid.levels1 - 1 do
+                for j2 = 0 to grid.Grid.levels2 - 1 do
+                  idxs.(!k) <- Grid.index grid ~state ~j1 ~j2;
+                  incr k
+                done
+              done;
+              idxs)
+        in
+        s.mode_buckets <- Some b;
+        b
+
+  let charge_coefficients s =
+    match s.charge_coefficients with
+    | Some c -> c
+    | None ->
+        let grid = s.d.grid in
+        let c = Vector.create (n_states s.d) in
+        Array.iteri
+          (fun j1 idxs ->
+            let charge = level_charge grid j1 in
+            Array.iter (fun idx -> c.(idx) <- charge) idxs)
+          (charge_buckets s);
+        s.charge_coefficients <- Some c;
+        c
+
+  (* --- queries ------------------------------------------------------ *)
+
+  let measure s ~times ~measure =
+    register s ~times ~funcs:[| measure |] (fun out -> out.(0))
+
+  let empty_probability s ~times =
+    measure s ~times ~measure:(absorbed_mass s.d.grid)
+
+  let available_charge_marginal s ~time =
+    let grid = s.d.grid in
+    let funcs = Array.map sum_over (charge_buckets s) in
+    register s ~times:[| time |] ~funcs (fun out ->
+        Array.mapi (fun j1 per_time -> (level_charge grid j1, per_time.(0))) out)
+
+  let mode_marginal s ~time =
+    let funcs = Array.map sum_over (mode_buckets s) in
+    register s ~times:[| time |] ~funcs (fun out ->
+        Array.map (fun per_time -> per_time.(0)) out)
+
+  let expected_available_charge s ~time =
+    let coefficients = charge_coefficients s in
+    let func v =
+      let acc = ref 0. in
+      for i = 0 to Array.length v - 1 do
+        acc := !acc +. (coefficients.(i) *. v.(i))
+      done;
+      !acc
+    in
+    register s ~times:[| time |] ~funcs:[| func |] (fun out -> out.(0).(0))
+
+  let joint_probability s ~time ~mode ~min_charge =
+    let grid = s.d.grid in
+    check_mode grid mode;
+    let indices = ref [] in
+    for j1 = grid.Grid.levels1 - 1 downto 1 do
+      if Grid.level_value grid (j1 - 1) >= min_charge then
+        for j2 = grid.Grid.levels2 - 1 downto 0 do
+          indices := Grid.index grid ~state:mode ~j1 ~j2 :: !indices
+        done
+    done;
+    let indices = Array.of_list !indices in
+    register s ~times:[| time |] ~funcs:[| sum_over indices |] (fun out ->
+        out.(0).(0))
+end
+
+module Legacy = struct
+  let empty_probability ?accuracy t ~times =
+    empty_probability ~opts:(Solver_opts.of_legacy ?accuracy ()) t ~times
+
+  let state_distribution ?accuracy t ~time =
+    state_distribution ~opts:(Solver_opts.of_legacy ?accuracy ()) t ~time
+
+  let expected_lifetime ?tol t =
+    expected_lifetime ~opts:(Solver_opts.of_legacy ?tol ()) t
+end

@@ -12,7 +12,16 @@
 
     States with [j1 = 0] (battery empty) are absorbing.  The flat
     state layout puts them in the leading block, so the probability of
-    being empty is the mass of a prefix of the transient vector. *)
+    being empty is the mass of a prefix of the transient vector.
+
+    {b Evaluating measures.}  {!Session} is the batched evaluation
+    engine: it caches everything that depends only on the model and
+    the solver options (CSR matrix, uniformisation rate, Fox–Glynn
+    windows, working buffers) and answers any number of registered
+    queries — CDF, marginals, expected charge, joint probabilities —
+    from {e one} power sweep per flush.  The per-time helpers below
+    ({!available_charge_marginal} and friends) each pay a full sweep
+    per call and are deprecated in favour of the session API. *)
 
 open Batlife_ctmc
 
@@ -49,7 +58,7 @@ val nnz : t -> int
 (** Nonzero entries of [Q*] including the diagonal. *)
 
 val empty_probability :
-  ?accuracy:float ->
+  ?opts:Solver_opts.t ->
   t ->
   times:float array ->
   float array * Transient.stats
@@ -57,35 +66,149 @@ val empty_probability :
     lifetime distribution [Pr{L <= t}] — from a single uniformisation
     sweep. *)
 
-val state_distribution : ?accuracy:float -> t -> time:float -> float array
+val state_distribution : ?opts:Solver_opts.t -> t -> time:float -> float array
 (** Full transient distribution over the flat states at one time. *)
 
 val available_charge_marginal :
   ?accuracy:float -> t -> time:float -> (float * float) array
+[@@deprecated
+  "each call costs a full sweep; use Discretized.Session (register \
+   available_charge_marginal queries and share one sweep)"]
 (** Marginal distribution of the available-charge level at [time]:
     pairs [(lower end of the level interval, probability)], in
     increasing charge order (index 0, charge 0, is the empty/absorbed
     mass). *)
 
 val mode_marginal : ?accuracy:float -> t -> time:float -> float array
+[@@deprecated
+  "each call costs a full sweep; use Discretized.Session (register \
+   mode_marginal queries and share one sweep)"]
 (** Marginal distribution over the workload modes at [time] (for the
     absorbing model this is the mode in which the battery died, for
     already-absorbed mass). *)
 
 val expected_available_charge : ?accuracy:float -> t -> time:float -> float
+[@@deprecated
+  "each call costs a full sweep; use Discretized.Session (register \
+   expected_available_charge queries and share one sweep)"]
 (** [E Y1(t)] approximated with each level's lower interval end (the
     representative the expanded generator uses); absorbed mass
     contributes 0. *)
 
 val joint_probability :
   ?accuracy:float -> t -> time:float -> mode:int -> min_charge:float -> float
+[@@deprecated
+  "each call costs a full sweep; use Discretized.Session (register \
+   joint_probability queries and share one sweep)"]
 (** [P(X(t) = mode and Y1(t) > min_charge)] — the joint
     state-and-reward measure of the paper's Eq. (2), evaluated on the
     grid (levels whose lower end is at least [min_charge] count). *)
 
-val expected_lifetime : ?tol:float -> t -> float
+val expected_lifetime : ?opts:Solver_opts.t -> t -> float
 (** Exact (no time grid, no Poisson truncation) expected absorption
     time of the expanded chain: solves the first-passage system
     [Q* tau = -1] on the transient states by Gauss–Seidel and returns
-    [alpha . tau].  Requires the absorbing variant
+    [alpha . tau].  [opts.linear_tol] sets the residual tolerance
+    (default [1e-10]).  Requires the absorbing variant
     ([absorb_empty = true]); raises [Invalid_argument] otherwise. *)
+
+(** The batched evaluation engine.
+
+    A session pins the solver options and the uniformisation rate at
+    {!Session.create} and caches, for the lifetime of the session:
+
+    - the expanded generator's CSR matrix (shared with [t], never
+      copied);
+    - the uniformisation rate [q] (validated once);
+    - Fox–Glynn windows keyed by [(q, t)] — since [q] is pinned, one
+      entry per distinct time point ever queried;
+    - the two working vectors of the power sweep, so repeated flushes
+      allocate nothing but their result blocks;
+    - the index partitions behind the marginal queries.
+
+    Queries {e register} linear functionals and return typed
+    {!Session.pending} handles; {!Session.run} (or the first
+    {!Session.get}) flushes every pending registration through one
+    {!Transient.multi_measure_sweep} over the union of their time
+    grids.  Queries registered after a flush simply go into the next
+    batch — a session never recomputes what it already swept, and
+    in-flight guards (mass conservation, NaN detection) apply to the
+    shared sweep exactly as they do to individual solves. *)
+module Session : sig
+  type session
+
+  type 'a pending
+  (** A registered query; forced by {!get}. *)
+
+  val create : ?opts:Solver_opts.t -> t -> session
+  (** Validates and pins the uniformisation rate
+      ([opts.unif_rate] when set, the generator's own otherwise) —
+      raises [Diag.Error (Invalid_model _)] like
+      {!Transient.resolve_rate} on a bad rate. *)
+
+  (** {2 Queries}
+
+      Each registers its functionals on the session and returns
+      immediately; no numerical work happens until {!run} or the
+      first {!get}. *)
+
+  val empty_probability : session -> times:float array -> float array pending
+  (** The lifetime CDF [Pr{L <= t}] on [times] (one value per entry,
+      in the given order). *)
+
+  val available_charge_marginal :
+    session -> time:float -> (float * float) array pending
+  (** Same result as the deprecated per-time helper:
+      [(lower interval end, probability)] per charge level. *)
+
+  val mode_marginal : session -> time:float -> float array pending
+  val expected_available_charge : session -> time:float -> float pending
+
+  val joint_probability :
+    session -> time:float -> mode:int -> min_charge:float -> float pending
+  (** Raises [Invalid_argument] immediately (at registration) if
+      [mode] is out of range. *)
+
+  val measure :
+    session ->
+    times:float array ->
+    measure:(float array -> float) ->
+    float array pending
+  (** Escape hatch: any user-supplied linear functional of the
+      transient distribution, evaluated on [times]. *)
+
+  (** {2 Execution} *)
+
+  val run : session -> Transient.stats
+  (** Flush all pending registrations through one shared sweep and
+      return its stats.  With nothing pending this is a no-op
+      returning the last flush's stats (zero iterations if the
+      session never swept). *)
+
+  val get : 'a pending -> 'a
+  (** The query's result; triggers {!run} if its batch has not been
+      flushed yet.  Idempotent. *)
+
+  (** {2 Introspection} *)
+
+  val uniformisation_rate : session -> float
+  val sweeps : session -> int
+  (** Number of flushes performed so far. *)
+
+  val last_stats : session -> Transient.stats option
+  val cached_windows : session -> int
+  (** Number of distinct time points with a cached Fox–Glynn window. *)
+end
+
+(** Pre-[Solver_opts] signatures, kept as thin deprecated wrappers. *)
+module Legacy : sig
+  val empty_probability :
+    ?accuracy:float -> t -> times:float array -> float array * Transient.stats
+  [@@deprecated "use Discretized.empty_probability with ?opts:Solver_opts.t"]
+
+  val state_distribution : ?accuracy:float -> t -> time:float -> float array
+  [@@deprecated "use Discretized.state_distribution with ?opts:Solver_opts.t"]
+
+  val expected_lifetime : ?tol:float -> t -> float
+  [@@deprecated "use Discretized.expected_lifetime with ?opts:Solver_opts.t"]
+end

@@ -45,9 +45,7 @@ let sanitize times probabilities =
       probabilities.(idx) <- !running)
     order
 
-let cdf ?accuracy ?initial_fill ~delta ~times model =
-  let d = Discretized.build ?initial_fill ~delta model in
-  let probabilities, stats = Discretized.empty_probability ?accuracy d ~times in
+let curve_of ~delta d probabilities (stats : Transient.stats) ~times =
   sanitize times probabilities;
   {
     times = Array.copy times;
@@ -59,6 +57,27 @@ let cdf ?accuracy ?initial_fill ~delta ~times model =
     uniformisation_rate = stats.Transient.uniformisation_rate;
   }
 
+(* The session-backed path: callers that already hold a [Discretized.t]
+   (the CLI, the experiments) get the CDF from the shared engine — and
+   can keep using the same session for further per-time queries at no
+   extra sweep. *)
+let cdf_session ?(session : Discretized.Session.session option) ~delta d ~times
+    =
+  let s =
+    match session with Some s -> s | None -> Discretized.Session.create d
+  in
+  let pending = Discretized.Session.empty_probability s ~times in
+  let stats = Discretized.Session.run s in
+  curve_of ~delta d (Discretized.Session.get pending) stats ~times
+
+let cdf_discretized ?opts ~delta d ~times =
+  let s = Discretized.Session.create ?opts d in
+  cdf_session ~session:s ~delta d ~times
+
+let cdf ?opts ?initial_fill ~delta ~times model =
+  let d = Discretized.build ?initial_fill ~delta model in
+  cdf_discretized ?opts ~delta d ~times
+
 let mean c =
   let survival = Array.map (fun p -> 1. -. p) c.probabilities in
   (* Add the [0, t_0] prefix assuming survival probability 1 before the
@@ -66,8 +85,8 @@ let mean c =
   let prefix = if Array.length c.times > 0 then c.times.(0) else 0. in
   prefix +. Quadrature.trapezoid_sampled ~xs:c.times ~ys:survival
 
-let mean_exact ?tol ?initial_fill ~delta model =
-  Discretized.expected_lifetime ?tol
+let mean_exact ?opts ?initial_fill ~delta model =
+  Discretized.expected_lifetime ?opts
     (Discretized.build ?initial_fill ~delta model)
 
 let quantile c p =
@@ -75,6 +94,20 @@ let quantile c p =
   let interp = Interp.create ~xs:c.times ~ys:c.probabilities in
   Interp.inverse interp p
 
-let convergence_study ?accuracy ~deltas ~times model =
-  Array.to_list deltas
-  |> List.map (fun delta -> cdf ?accuracy ~delta ~times model)
+let convergence_study ?opts ~deltas ~times model =
+  Array.to_list deltas |> List.map (fun delta -> cdf ?opts ~delta ~times model)
+
+module Legacy = struct
+  let cdf ?accuracy ?initial_fill ~delta ~times model =
+    cdf
+      ~opts:(Solver_opts.of_legacy ?accuracy ())
+      ?initial_fill ~delta ~times model
+
+  let mean_exact ?tol ?initial_fill ~delta model =
+    mean_exact ~opts:(Solver_opts.of_legacy ?tol ()) ?initial_fill ~delta model
+
+  let convergence_study ?accuracy ~deltas ~times model =
+    convergence_study
+      ~opts:(Solver_opts.of_legacy ?accuracy ())
+      ~deltas ~times model
+end

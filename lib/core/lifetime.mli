@@ -2,7 +2,12 @@
 
     Wraps {!Discretized} with the bookkeeping a user actually wants:
     build, sweep, and summarise in one call; extract means, quantiles
-    and convergence diagnostics. *)
+    and convergence diagnostics.  The sweeps run through the batched
+    engine ({!Discretized.Session}); {!cdf_session} lets a caller
+    share one session — and hence one sweep — between the CDF and any
+    other per-time queries. *)
+
+open Batlife_ctmc
 
 type curve = {
   times : float array;
@@ -23,7 +28,7 @@ val sanitize : float array -> float array -> unit
     smoothed away.  Exposed for fault-injection tests. *)
 
 val cdf :
-  ?accuracy:float ->
+  ?opts:Solver_opts.t ->
   ?initial_fill:float * float ->
   delta:float ->
   times:float array ->
@@ -31,13 +36,36 @@ val cdf :
   curve
 (** Lifetime distribution [Pr{L <= t}] on the given time grid. *)
 
+val cdf_discretized :
+  ?opts:Solver_opts.t ->
+  delta:float ->
+  Discretized.t ->
+  times:float array ->
+  curve
+(** Same, on an already-expanded model (skips the build; [delta] only
+    annotates the curve and must be the step the model was built
+    with). *)
+
+val cdf_session :
+  ?session:Discretized.Session.session ->
+  delta:float ->
+  Discretized.t ->
+  times:float array ->
+  curve
+(** Same, registering the CDF on an existing session so it shares the
+    session's next sweep with whatever else is pending — flushes the
+    session. *)
+
 val mean : curve -> float
 (** Expected lifetime [integral of (1 - F)] over the sampled range
     (truncated at the last time point; accurate once the CDF has
     essentially reached 1 there). *)
 
 val mean_exact :
-  ?tol:float -> ?initial_fill:float * float -> delta:float -> Kibamrm.t ->
+  ?opts:Solver_opts.t ->
+  ?initial_fill:float * float ->
+  delta:float ->
+  Kibamrm.t ->
   float
 (** Expected lifetime of the discretised model without any time grid:
     the first-passage system on the expanded chain is solved directly
@@ -49,10 +77,38 @@ val quantile : curve -> float -> float
     [F(t) >= p], linearly interpolated. *)
 
 val convergence_study :
-  ?accuracy:float ->
+  ?opts:Solver_opts.t ->
   deltas:float array ->
   times:float array ->
   Kibamrm.t ->
   curve list
 (** One curve per step size — the refinement sequence of the paper's
     Figs. 7/8 ([Delta = 100, 50, 25, 10, 5]). *)
+
+(** Pre-[Solver_opts] signatures, kept as thin deprecated wrappers. *)
+module Legacy : sig
+  val cdf :
+    ?accuracy:float ->
+    ?initial_fill:float * float ->
+    delta:float ->
+    times:float array ->
+    Kibamrm.t ->
+    curve
+  [@@deprecated "use Lifetime.cdf with ?opts:Solver_opts.t"]
+
+  val mean_exact :
+    ?tol:float ->
+    ?initial_fill:float * float ->
+    delta:float ->
+    Kibamrm.t ->
+    float
+  [@@deprecated "use Lifetime.mean_exact with ?opts:Solver_opts.t"]
+
+  val convergence_study :
+    ?accuracy:float ->
+    deltas:float array ->
+    times:float array ->
+    Kibamrm.t ->
+    curve list
+  [@@deprecated "use Lifetime.convergence_study with ?opts:Solver_opts.t"]
+end

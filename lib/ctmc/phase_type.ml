@@ -120,12 +120,18 @@ let full_alpha d =
 let cdf ?accuracy d t =
   if t < 0. then 0.
   else
-    let pi = Transient.solve ?accuracy d.chain ~alpha:(full_alpha d) ~t in
+    let pi =
+      Transient.solve
+        ~opts:(Solver_opts.of_legacy ?accuracy ())
+        d.chain ~alpha:(full_alpha d) ~t
+    in
     pi.(d.absorbing)
 
 let cdf_many ?accuracy d times =
   let results, _ =
-    Transient.measure_sweep ?accuracy d.chain ~alpha:(full_alpha d)
+    Transient.measure_sweep
+      ~opts:(Solver_opts.of_legacy ?accuracy ())
+      d.chain ~alpha:(full_alpha d)
       ~times:(Array.map (fun t -> Float.max t 0.) times)
       ~measure:(fun pi -> pi.(d.absorbing))
   in

@@ -6,6 +6,10 @@ let check_sets g ~alpha ~avoid ~goal =
   if Array.length avoid <> n then invalid_arg "Reachability: avoid length";
   if Array.length goal <> n then invalid_arg "Reachability: goal length"
 
+(* Default residual tolerance of the linear first-passage solves; an
+   explicit [opts.linear_tol] overrides it. *)
+let default_linear_tol = 1e-12
+
 (* The standard until-transformation: goal states become absorbing
    (success is locked in), avoid states become deadlocks (failure is
    locked in), other states keep their behaviour. *)
@@ -19,16 +23,16 @@ let until_generator g ~avoid ~goal =
         Sparse.Builder.add b i j v);
   Generator.of_builder b
 
-let bounded_until ?accuracy g ~alpha ~avoid ~goal ~t =
+let bounded_until ?opts g ~alpha ~avoid ~goal ~t =
   check_sets g ~alpha ~avoid ~goal;
   let transformed = until_generator g ~avoid ~goal in
-  let pi = Transient.solve ?accuracy transformed ~alpha ~t in
+  let pi = Transient.solve ?opts transformed ~alpha ~t in
   let acc = ref 0. in
   Array.iteri (fun i p -> if goal.(i) then acc := !acc +. p) pi;
   !acc
 
-let bounded_reach ?accuracy g ~alpha ~goal ~t =
-  bounded_until ?accuracy g ~alpha
+let bounded_reach ?opts g ~alpha ~goal ~t =
+  bounded_until ?opts g ~alpha
     ~avoid:(Array.make (Generator.n_states g) false)
     ~goal ~t
 
@@ -36,7 +40,7 @@ let bounded_reach ?accuracy g ~alpha ~goal ~t =
    h = 1 on goal, 0 on avoid, harmonic elsewhere.  Gauss-Seidel from
    h = 0 converges monotonically to the minimal solution for this
    M-matrix system; unreachable recurrent classes stay at 0. *)
-let hitting_probabilities ?(tol = 1e-12) g ~avoid ~goal =
+let hitting_probabilities ?(tol = default_linear_tol) g ~avoid ~goal =
   let n = Generator.n_states g in
   let pinned =
     Array.init n (fun i ->
@@ -51,16 +55,18 @@ let hitting_probabilities ?(tol = 1e-12) g ~avoid ~goal =
   in
   robust.Iterative.result.Iterative.solution
 
-let eventually ?tol g ~alpha ~avoid ~goal =
+let eventually ?(opts = Solver_opts.default) g ~alpha ~avoid ~goal =
   check_sets g ~alpha ~avoid ~goal;
-  let h = hitting_probabilities ?tol g ~avoid ~goal in
+  let tol = Solver_opts.linear_tol_or ~default:default_linear_tol opts in
+  let h = hitting_probabilities ~tol g ~avoid ~goal in
   Vector.dot alpha h
 
-let expected_hitting_time ?(tol = 1e-12) g ~alpha ~goal =
+let expected_hitting_time ?(opts = Solver_opts.default) g ~alpha ~goal =
   let n = Generator.n_states g in
   if not (Array.exists (fun b -> b) goal) then
     invalid_arg "Reachability.expected_hitting_time: empty goal set";
   check_sets g ~alpha ~avoid:(Array.make n false) ~goal;
+  let tol = Solver_opts.linear_tol_or ~default:default_linear_tol opts in
   let h = hitting_probabilities ~tol g ~avoid:(Array.make n false) ~goal in
   (* If any initial mass can miss the goal, the expectation is
      infinite. *)
@@ -83,3 +89,19 @@ let expected_hitting_time ?(tol = 1e-12) g ~alpha ~goal =
     in
     Vector.dot alpha robust.Iterative.result.Iterative.solution
   end
+
+module Legacy = struct
+  let bounded_until ?accuracy g ~alpha ~avoid ~goal ~t =
+    bounded_until
+      ~opts:(Solver_opts.of_legacy ?accuracy ())
+      g ~alpha ~avoid ~goal ~t
+
+  let bounded_reach ?accuracy g ~alpha ~goal ~t =
+    bounded_reach ~opts:(Solver_opts.of_legacy ?accuracy ()) g ~alpha ~goal ~t
+
+  let eventually ?tol g ~alpha ~avoid ~goal =
+    eventually ~opts:(Solver_opts.of_legacy ?tol ()) g ~alpha ~avoid ~goal
+
+  let expected_hitting_time ?tol g ~alpha ~goal =
+    expected_hitting_time ~opts:(Solver_opts.of_legacy ?tol ()) g ~alpha ~goal
+end

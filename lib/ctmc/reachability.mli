@@ -4,10 +4,17 @@
 
     Time-bounded until is computed by making goal states absorbing and
     illegal states deadlocks, then solving the transient; unbounded
-    until by solving the linear first-passage system. *)
+    until by solving the linear first-passage system.
+
+    Numerical options come in as one [?opts:Solver_opts.t]:
+    [opts.accuracy] (and [opts.unif_rate]) drive the transient solves
+    behind the bounded queries, [opts.linear_tol] the Gauss–Seidel
+    first-passage solves (default [1e-12] when unset).  The old
+    per-function optional arguments live on in {!Legacy} as thin
+    deprecated wrappers. *)
 
 val bounded_until :
-  ?accuracy:float ->
+  ?opts:Solver_opts.t ->
   Generator.t ->
   alpha:float array ->
   avoid:bool array ->
@@ -20,7 +27,7 @@ val bounded_until :
     as goal.  Lengths must match the generator. *)
 
 val bounded_reach :
-  ?accuracy:float ->
+  ?opts:Solver_opts.t ->
   Generator.t ->
   alpha:float array ->
   goal:bool array ->
@@ -29,7 +36,7 @@ val bounded_reach :
 (** Unconstrained bounded reachability ([avoid] empty). *)
 
 val eventually :
-  ?tol:float ->
+  ?opts:Solver_opts.t ->
   Generator.t ->
   alpha:float array ->
   avoid:bool array ->
@@ -41,7 +48,7 @@ val eventually :
     iteration does not converge. *)
 
 val expected_hitting_time :
-  ?tol:float ->
+  ?opts:Solver_opts.t ->
   Generator.t ->
   alpha:float array ->
   goal:bool array ->
@@ -49,3 +56,43 @@ val expected_hitting_time :
 (** Expected time to first reach a goal state; [infinity] if some
     initial mass can never reach the goal.  Raises [Invalid_argument]
     if no state is a goal. *)
+
+(** Pre-[Solver_opts] signatures, kept as thin deprecated wrappers. *)
+module Legacy : sig
+  val bounded_until :
+    ?accuracy:float ->
+    Generator.t ->
+    alpha:float array ->
+    avoid:bool array ->
+    goal:bool array ->
+    t:float ->
+    float
+  [@@deprecated "use Reachability.bounded_until with ?opts:Solver_opts.t"]
+
+  val bounded_reach :
+    ?accuracy:float ->
+    Generator.t ->
+    alpha:float array ->
+    goal:bool array ->
+    t:float ->
+    float
+  [@@deprecated "use Reachability.bounded_reach with ?opts:Solver_opts.t"]
+
+  val eventually :
+    ?tol:float ->
+    Generator.t ->
+    alpha:float array ->
+    avoid:bool array ->
+    goal:bool array ->
+    float
+  [@@deprecated "use Reachability.eventually with ?opts:Solver_opts.t"]
+
+  val expected_hitting_time :
+    ?tol:float ->
+    Generator.t ->
+    alpha:float array ->
+    goal:bool array ->
+    float
+  [@@deprecated
+    "use Reachability.expected_hitting_time with ?opts:Solver_opts.t"]
+end

@@ -1,0 +1,30 @@
+type t = {
+  accuracy : float;
+  unif_rate : float option;
+  convergence_tol : float;
+  linear_tol : float option;
+}
+
+let default =
+  { accuracy = 1e-12; unif_rate = None; convergence_tol = 1e-14;
+    linear_tol = None }
+
+let make ?(accuracy = default.accuracy) ?unif_rate
+    ?(convergence_tol = default.convergence_tol) ?linear_tol () =
+  { accuracy; unif_rate; convergence_tol; linear_tol }
+
+let of_legacy ?accuracy ?q ?convergence_tol ?tol () =
+  make ?accuracy ?unif_rate:q ?convergence_tol ?linear_tol:tol ()
+
+let linear_tol_or ~default:d t =
+  match t.linear_tol with Some tol -> tol | None -> d
+
+let pp ppf t =
+  Format.fprintf ppf
+    "{ accuracy = %g; unif_rate = %s; convergence_tol = %g; linear_tol = %s }"
+    t.accuracy
+    (match t.unif_rate with Some q -> Printf.sprintf "%g" q | None -> "auto")
+    t.convergence_tol
+    (match t.linear_tol with
+    | Some tol -> Printf.sprintf "%g" tol
+    | None -> "solver default")

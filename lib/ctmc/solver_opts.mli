@@ -1,0 +1,62 @@
+(** Unified numerical options for every CTMC solver entry point.
+
+    Before this record existed, [?accuracy], [?q], [?convergence_tol]
+    and [?tol] were repeated (with drifting defaults) across
+    {!Transient}, {!Reachability}, [Batlife_core.Discretized] and
+    [Batlife_core.Lifetime].  All canonical entry points now take a
+    single [?opts:Solver_opts.t]; the old optional-argument signatures
+    survive as thin deprecated wrappers in each module's [Legacy]
+    submodule.
+
+    The fields and their defaults:
+
+    - [accuracy] (default [1e-12]): bound on the truncated Poisson
+      mass of a uniformisation sweep (Fox–Glynn truncation).
+    - [unif_rate] (default [None]): override of the uniformisation
+      rate [q].  [None] uses the generator's own
+      [1.02 * max_i (-q_ii)]; an explicit rate below the largest exit
+      rate is rejected with [Diag.Error (Invalid_model _)].
+    - [convergence_tol] (default [1e-14]): L-infinity stationarity
+      threshold at which a sweep stops early and extrapolates the
+      remaining steps as constant.
+    - [linear_tol] (default [None]): residual tolerance of the linear
+      (Gauss–Seidel / Jacobi) solves behind unbounded reachability and
+      exact expected lifetimes.  [None] keeps each solver's documented
+      default: [1e-12] for hitting probabilities and hitting times,
+      [1e-10] for the expected-lifetime first-passage system. *)
+
+type t = {
+  accuracy : float;
+  unif_rate : float option;
+  convergence_tol : float;
+  linear_tol : float option;
+}
+
+val default : t
+(** [{ accuracy = 1e-12; unif_rate = None; convergence_tol = 1e-14;
+      linear_tol = None }]. *)
+
+val make :
+  ?accuracy:float ->
+  ?unif_rate:float ->
+  ?convergence_tol:float ->
+  ?linear_tol:float ->
+  unit ->
+  t
+(** [make ()] is {!default}; each argument overrides one field. *)
+
+val of_legacy :
+  ?accuracy:float ->
+  ?q:float ->
+  ?convergence_tol:float ->
+  ?tol:float ->
+  unit ->
+  t
+(** Adapter used by the deprecated wrappers: maps the historical
+    optional-argument spelling ([?q], [?tol]) onto the record. *)
+
+val linear_tol_or : default:float -> t -> float
+(** The linear-solve tolerance, falling back to the calling solver's
+    documented default when [linear_tol] is [None]. *)
+
+val pp : Format.formatter -> t -> unit

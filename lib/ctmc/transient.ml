@@ -10,6 +10,19 @@ type stats = {
   uniformisation_rate : float;
 }
 
+(* Process-wide work counters.  They exist so tests and benchmarks can
+   assert "this batch of queries cost exactly one sweep" without
+   instrumenting call sites; they are not synchronised and only
+   meaningful single-threaded. *)
+let sweeps = ref 0
+let products = ref 0
+let sweep_count () = !sweeps
+let product_count () = !products
+
+let reset_counters () =
+  sweeps := 0;
+  products := 0
+
 let check_alpha g alpha =
   if Array.length alpha <> Generator.n_states g then
     invalid_arg "Transient: initial distribution has wrong length";
@@ -17,6 +30,28 @@ let check_alpha g alpha =
     (fun p ->
       if p < -1e-12 then invalid_arg "Transient: negative initial probability")
     alpha
+
+(* Time grids feed Poisson truncations: a negative, NaN or infinite
+   entry would either raise deep inside the weight computation or make
+   the truncation loop forever, so every sweep validates its grid up
+   front and reports all offending entries in one structured error. *)
+let check_times ~where times =
+  let violations = ref [] in
+  Array.iteri
+    (fun i t ->
+      if Float.is_nan t then
+        violations :=
+          Printf.sprintf "times.(%d) is NaN" i :: !violations
+      else if not (Float.is_finite t) then
+        violations :=
+          Printf.sprintf "times.(%d) = %g is not finite" i t :: !violations
+      else if t < 0. then
+        violations :=
+          Printf.sprintf "times.(%d) = %g is negative" i t :: !violations)
+    times;
+  match List.rev !violations with
+  | [] -> ()
+  | vs -> Diag.invalid_model ~what:(where ^ " time grid") vs
 
 (* A user-supplied uniformisation rate below the largest exit rate
    makes P = I + Q/q a non-stochastic matrix (negative diagonal
@@ -51,6 +86,9 @@ let resolve_q where ?q g =
           ];
       q
 
+let resolve_rate ?(opts = Solver_opts.default) g =
+  resolve_q "Transient.resolve_rate" ?q:opts.Solver_opts.unif_rate g
+
 (* In-flight guardrail for the uniformised power sweep: the iterate is
    a probability vector, so its mass must stay at the initial mass (the
    expanded generators conserve it exactly up to roundoff) and every
@@ -83,15 +121,30 @@ let checked_measure ~where measure ~step v =
 (* One uniformised step: v' = v P = v + (v Q) / q, computed without
    materialising P. *)
 let step q_matrix ~q ~src ~dst =
+  incr products;
   Vector.blit ~src ~dst;
   Sparse.vecmat_acc ~src q_matrix ~scale:(1. /. q) ~dst
 
-let solve ?(accuracy = 1e-12) ?q g ~alpha ~t =
+(* Working vectors of a sweep: reuse caller-provided buffers (the
+   session fast path — no per-call allocation) or allocate a fresh
+   pair.  The first buffer is seeded with alpha either way. *)
+let sweep_buffers ~where ~n ~alpha = function
+  | None -> (Vector.copy alpha, Vector.create n)
+  | Some (a, b) ->
+      if Array.length a <> n || Array.length b <> n then
+        invalid_arg (where ^ ": buffers have wrong length");
+      Vector.blit ~src:alpha ~dst:a;
+      Vector.fill b 0.;
+      (a, b)
+
+let solve ?(opts = Solver_opts.default) g ~alpha ~t =
   check_alpha g alpha;
-  if t < 0. then invalid_arg "Transient.solve: negative time";
+  let where = "Transient.solve" in
+  check_times ~where [| t |];
+  incr sweeps;
   let n = Generator.n_states g in
-  let q = resolve_q "Transient.solve" ?q g in
-  let weights = Poisson.weights ~accuracy (q *. t) in
+  let q = resolve_q where ?q:opts.Solver_opts.unif_rate g in
+  let weights = Poisson.weights ~accuracy:opts.Solver_opts.accuracy (q *. t) in
   let qm = Generator.matrix g in
   let v = Vector.copy alpha and v' = Vector.create n in
   let out = Vector.create n in
@@ -110,31 +163,56 @@ let solve ?(accuracy = 1e-12) ?q g ~alpha ~t =
   (* NaN and mass drift both persist in the final power iterate (the
      weighted output is only accurate to the Poisson truncation, so it
      is not the thing to check). *)
-  guard_iterate ~where:"Transient.solve" ~mass0:(Vector.sum alpha)
-    ~step:weights.Poisson.right !current;
+  guard_iterate ~where ~mass0:(Vector.sum alpha) ~step:weights.Poisson.right
+    !current;
   out
 
-let measure_sweep ?(accuracy = 1e-12) ?q ?(convergence_tol = 1e-14) g ~alpha
-    ~times ~measure =
+let check_windows ~where ~times = function
+  | None -> None
+  | Some windows ->
+      if Array.length windows <> Array.length times then
+        invalid_arg (where ^ ": windows and times have different lengths");
+      Some windows
+
+(* The batched engine: the sequence v_n = alpha P^n is walked ONCE and
+   every registered linear functional is evaluated at every step; each
+   (measure, time) result is then a Poisson-weighted scalar sum.  Any
+   number of measures and time points therefore cost a single power
+   sweep. *)
+let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers g
+    ~alpha ~times ~measures =
   check_alpha g alpha;
-  Array.iter
-    (fun t -> if t < 0. then invalid_arg "Transient.measure_sweep: t < 0")
-    times;
+  let where = "Transient.multi_measure_sweep" in
+  check_times ~where times;
+  incr sweeps;
   let n = Generator.n_states g in
-  let q = resolve_q "Transient.measure_sweep" ?q g in
+  let q = resolve_q where ?q:opts.Solver_opts.unif_rate g in
   let qm = Generator.matrix g in
   (* Poisson windows per time point; the sweep must reach the largest
      right truncation point (unless stationarity is detected first). *)
-  let windows = Array.map (fun t -> Poisson.weights ~accuracy (q *. t)) times in
+  let windows =
+    match check_windows ~where ~times windows with
+    | Some windows -> windows
+    | None ->
+        Array.map
+          (fun t -> Poisson.weights ~accuracy:opts.Solver_opts.accuracy (q *. t))
+          times
+  in
   let n_max =
     Array.fold_left (fun acc w -> max acc w.Poisson.right) 0 windows
   in
-  let where = "Transient.measure_sweep" in
   let mass0 = Vector.sum alpha in
-  let measures = Array.make (n_max + 1) 0. in
-  let v = Vector.copy alpha and v' = Vector.create n in
+  let k = Array.length measures in
+  (* vals.(j).(m) is measure j evaluated on the step-m iterate. *)
+  let vals = Array.make_matrix k (n_max + 1) 0. in
+  let v, v' = sweep_buffers ~where ~n ~alpha buffers in
   let current = ref v and scratch = ref v' in
-  measures.(0) <- checked_measure ~where measure ~step:0 !current;
+  let record m v =
+    for j = 0 to k - 1 do
+      vals.(j).(m) <- checked_measure ~where measures.(j) ~step:m v
+    done
+  in
+  record 0 !current;
   let converged_at = ref None in
   let m = ref 1 in
   while !m <= n_max && Option.is_none !converged_at do
@@ -144,38 +222,60 @@ let measure_sweep ?(accuracy = 1e-12) ?q ?(convergence_tol = 1e-14) g ~alpha
     current := !scratch;
     scratch := t;
     guard_iterate ~where ~mass0 ~step:!m !current;
-    measures.(!m) <- checked_measure ~where measure ~step:!m !current;
-    if drift <= convergence_tol then converged_at := Some !m;
+    record !m !current;
+    if drift <= opts.Solver_opts.convergence_tol then converged_at := Some !m;
     incr m
   done;
   (* If the chain became stationary, later measures are constant. *)
   (match !converged_at with
   | Some at ->
-      for i = at + 1 to n_max do
-        measures.(i) <- measures.(at)
+      for j = 0 to k - 1 do
+        for i = at + 1 to n_max do
+          vals.(j).(i) <- vals.(j).(at)
+        done
       done
   | None -> ());
   let iterations = match !converged_at with Some at -> at | None -> n_max in
-  Log.debug (fun m ->
-      m "measure sweep: %d states, q=%g, %d iterations%s" n q iterations
+  Log.debug (fun f ->
+      f "multi-measure sweep: %d states, %d measures, %d times, q=%g, %d \
+         iterations%s"
+        n k (Array.length times) q iterations
         (match !converged_at with
         | Some at -> Printf.sprintf " (stationary after %d)" at
         | None -> ""));
   let results =
     Array.map
-      (fun w ->
-        Poisson.fold w ~init:0. ~f:(fun acc m weight ->
-            acc +. (weight *. measures.(m))))
-      windows
+      (fun per_step ->
+        Array.map
+          (fun w ->
+            Poisson.fold w ~init:0. ~f:(fun acc m weight ->
+                acc +. (weight *. per_step.(m))))
+          windows)
+      vals
   in
-  (results, { iterations; converged_at = !converged_at; uniformisation_rate = q })
+  ( results,
+    { iterations; converged_at = !converged_at; uniformisation_rate = q } )
 
-let distribution_sweep ?(accuracy = 1e-12) ?q g ~alpha ~times =
+let measure_sweep ?opts ?windows ?buffers g ~alpha ~times ~measure =
+  let results, stats =
+    multi_measure_sweep ?opts ?windows ?buffers g ~alpha ~times
+      ~measures:[| measure |]
+  in
+  (results.(0), stats)
+
+let distribution_sweep ?(opts = Solver_opts.default) g ~alpha ~times =
   check_alpha g alpha;
+  let where = "Transient.distribution_sweep" in
+  check_times ~where times;
+  incr sweeps;
   let n = Generator.n_states g in
-  let q = resolve_q "Transient.distribution_sweep" ?q g in
+  let q = resolve_q where ?q:opts.Solver_opts.unif_rate g in
   let qm = Generator.matrix g in
-  let windows = Array.map (fun t -> Poisson.weights ~accuracy (q *. t)) times in
+  let windows =
+    Array.map
+      (fun t -> Poisson.weights ~accuracy:opts.Solver_opts.accuracy (q *. t))
+      times
+  in
   let n_max =
     Array.fold_left (fun acc w -> max acc w.Poisson.right) 0 windows
   in
@@ -189,8 +289,7 @@ let distribution_sweep ?(accuracy = 1e-12) ?q g ~alpha ~times =
       let t = !current in
       current := !scratch;
       scratch := t;
-      guard_iterate ~where:"Transient.distribution_sweep" ~mass0 ~step:m
-        !current
+      guard_iterate ~where ~mass0 ~step:m !current
     end;
     Array.iteri
       (fun idx w ->
@@ -201,6 +300,26 @@ let distribution_sweep ?(accuracy = 1e-12) ?q g ~alpha ~times =
   ( outs,
     { iterations = n_max; converged_at = None; uniformisation_rate = q } )
 
-let expected_hitting_mass ?accuracy g ~alpha ~states ~t =
-  let pi = solve ?accuracy g ~alpha ~t in
+let expected_hitting_mass ?opts g ~alpha ~states ~t =
+  let pi = solve ?opts g ~alpha ~t in
   List.fold_left (fun acc i -> acc +. pi.(i)) 0. states
+
+module Legacy = struct
+  let solve ?accuracy ?q g ~alpha ~t =
+    solve ~opts:(Solver_opts.of_legacy ?accuracy ?q ()) g ~alpha ~t
+
+  let measure_sweep ?accuracy ?q ?convergence_tol g ~alpha ~times ~measure =
+    measure_sweep
+      ~opts:(Solver_opts.of_legacy ?accuracy ?q ?convergence_tol ())
+      g ~alpha ~times ~measure
+
+  let distribution_sweep ?accuracy ?q g ~alpha ~times =
+    distribution_sweep
+      ~opts:(Solver_opts.of_legacy ?accuracy ?q ())
+      g ~alpha ~times
+
+  let expected_hitting_mass ?accuracy g ~alpha ~states ~t =
+    expected_hitting_mass
+      ~opts:(Solver_opts.of_legacy ?accuracy ())
+      g ~alpha ~states ~t
+end

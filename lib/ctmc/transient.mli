@@ -2,21 +2,28 @@
 
     Uniformisation writes the transient distribution as
     [pi(t) = sum_n pois(qt; n) (alpha P^n)] with [P = I + Q/q].  The
-    module offers both the plain solver and a "one sweep, many times"
-    variant: the sequence [v_n = alpha P^n] is computed once and a
-    user-supplied linear functional [m_n = measure v_n] is recorded per
-    step; any number of time points then costs only a Poisson-weighted
-    scalar sum each.  This is how a whole battery-lifetime CDF curve is
-    produced from a single vector-matrix sweep.
+    module offers the plain solver and a batched evaluation engine:
+    the sequence [v_n = alpha P^n] is computed once and any number of
+    user-supplied linear functionals are recorded per step; every
+    [(measure, time)] pair then costs only a Poisson-weighted scalar
+    sum.  This is how a whole battery-lifetime CDF curve — or a CDF
+    {e plus} every per-time marginal — is produced from a single
+    vector-matrix sweep ({!multi_measure_sweep}, and
+    [Batlife_core.Discretized.Session] on top of it).
+
+    All canonical entry points take numerical options as one
+    [?opts:Solver_opts.t] record; the pre-record optional-argument
+    signatures survive in {!Legacy} as thin deprecated wrappers.
 
     All entry points are guarded: a user-supplied uniformisation rate
     [q] below the chain's largest exit rate is rejected with
     [Diag.Error (Invalid_model _)] (the uniformised matrix would have
-    negative entries and silently produce a wrong result), and the
-    sweeps monitor the iterate in flight — non-finite entries,
-    probability mass drifting from the initial mass by more than 1e-6,
-    or a NaN measure value raise
-    [Diag.Error (Numerical_breakdown _)]. *)
+    negative entries and silently produce a wrong result); negative,
+    NaN or infinite time points are rejected the same way (all
+    violations collected into one error); and the sweeps monitor the
+    iterate in flight — non-finite entries, probability mass drifting
+    from the initial mass by more than 1e-6, or a NaN measure value
+    raise [Diag.Error (Numerical_breakdown _)]. *)
 
 type stats = {
   iterations : int;  (** number of vector-matrix products performed *)
@@ -26,47 +33,91 @@ type stats = {
   uniformisation_rate : float;
 }
 
+(** {1 Work counters}
+
+    Process-wide tallies of the sweeps started and the vector-matrix
+    products performed, so tests and benchmarks can assert statements
+    like "these five queries cost exactly one sweep".  Not
+    synchronised; meaningful only single-threaded. *)
+
+val sweep_count : unit -> int
+(** Power sweeps started since the last {!reset_counters} ({!solve},
+    {!measure_sweep}, {!multi_measure_sweep} and
+    {!distribution_sweep} each count 1 per call). *)
+
+val product_count : unit -> int
+(** Vector-matrix products [v := vP] performed since the last
+    {!reset_counters}. *)
+
+val reset_counters : unit -> unit
+
+val resolve_rate : ?opts:Solver_opts.t -> Generator.t -> float
+(** The validated uniformisation rate the sweeps will use under
+    [opts]: [opts.unif_rate] when set (rejected with
+    [Diag.Error (Invalid_model _)] if below the largest exit rate or
+    non-finite), else the generator's own rate.  Exposed so callers
+    that cache Fox–Glynn windows keyed by [(q, t)] — the session layer
+    — can compute them with the exact [q] a sweep will use. *)
+
 val solve :
-  ?accuracy:float ->
-  ?q:float ->
+  ?opts:Solver_opts.t ->
   Generator.t ->
   alpha:float array ->
   t:float ->
   float array
-(** [solve g ~alpha ~t] is the state distribution at time [t] given the
-    initial distribution [alpha].  [accuracy] (default 1e-12) bounds
-    the truncated Poisson mass; [q] overrides the uniformisation
-    rate. *)
+(** [solve g ~alpha ~t] is the state distribution at time [t] given
+    the initial distribution [alpha]. *)
+
+val multi_measure_sweep :
+  ?opts:Solver_opts.t ->
+  ?windows:Batlife_numerics.Poisson.t array ->
+  ?buffers:float array * float array ->
+  Generator.t ->
+  alpha:float array ->
+  times:float array ->
+  measures:(float array -> float) array ->
+  float array array * stats
+(** [multi_measure_sweep g ~alpha ~times ~measures] evaluates
+    [sum_n pois(q t; n) measures.(j)(alpha P^n)] for every measure
+    [j] and every [t] in [times] (non-negative, not necessarily
+    sorted) in a {b single} power sweep; [result.(j).(i)] is measure
+    [j] at [times.(i)], and the returned [stats] are shared by all of
+    them.  Each measure must be a linear functional of the
+    distribution (e.g. total mass on a set of states).  When
+    successive [v_n] differ by less than [opts.convergence_tol] in
+    L-infinity, the sweep stops early and the remaining steps are
+    extrapolated as constant.
+
+    [windows] supplies precomputed Fox–Glynn truncations, one per
+    entry of [times] (they must have been computed for the same [q]
+    and [accuracy] — the session cache uses {!resolve_rate});
+    [buffers] supplies the two length-[n] working vectors so repeated
+    sweeps are allocation-free apart from the result matrix.  Raises
+    [Invalid_argument] if either has the wrong length. *)
 
 val measure_sweep :
-  ?accuracy:float ->
-  ?q:float ->
-  ?convergence_tol:float ->
+  ?opts:Solver_opts.t ->
+  ?windows:Batlife_numerics.Poisson.t array ->
+  ?buffers:float array * float array ->
   Generator.t ->
   alpha:float array ->
   times:float array ->
   measure:(float array -> float) ->
   float array * stats
-(** [measure_sweep g ~alpha ~times ~measure] evaluates
-    [sum_n pois(q t; n) measure(alpha P^n)] for every [t] in [times]
-    (which must be non-negative; they need not be sorted).  [measure]
-    must be a linear functional of the distribution (e.g. total mass on
-    a set of states).  When successive [v_n] differ by less than
-    [convergence_tol] (default 1e-14) in L1, the sweep stops early and
-    the remaining measures are extrapolated as constant. *)
+(** Single-functional convenience over {!multi_measure_sweep}. *)
 
 val distribution_sweep :
-  ?accuracy:float ->
-  ?q:float ->
+  ?opts:Solver_opts.t ->
   Generator.t ->
   alpha:float array ->
   times:float array ->
   float array array * stats
 (** Full distributions at several time points from one sweep (memory:
-    one accumulator vector per time point). *)
+    one accumulator vector per time point).  Validates [times] exactly
+    like {!measure_sweep}. *)
 
 val expected_hitting_mass :
-  ?accuracy:float ->
+  ?opts:Solver_opts.t ->
   Generator.t ->
   alpha:float array ->
   states:int list ->
@@ -74,3 +125,48 @@ val expected_hitting_mass :
   float
 (** Probability mass on [states] at time [t]; convenience wrapper over
     {!solve}. *)
+
+(** Pre-[Solver_opts] entry points, kept as thin deprecated wrappers
+    so existing callers keep compiling with a warning. *)
+module Legacy : sig
+  val solve :
+    ?accuracy:float ->
+    ?q:float ->
+    Generator.t ->
+    alpha:float array ->
+    t:float ->
+    float array
+  [@@deprecated "use Transient.solve with ?opts:Solver_opts.t"]
+
+  val measure_sweep :
+    ?accuracy:float ->
+    ?q:float ->
+    ?convergence_tol:float ->
+    Generator.t ->
+    alpha:float array ->
+    times:float array ->
+    measure:(float array -> float) ->
+    float array * stats
+  [@@deprecated
+    "use Transient.measure_sweep with ?opts:Solver_opts.t (or \
+     multi_measure_sweep to batch several functionals into one sweep)"]
+
+  val distribution_sweep :
+    ?accuracy:float ->
+    ?q:float ->
+    Generator.t ->
+    alpha:float array ->
+    times:float array ->
+    float array array * stats
+  [@@deprecated "use Transient.distribution_sweep with ?opts:Solver_opts.t"]
+
+  val expected_hitting_mass :
+    ?accuracy:float ->
+    Generator.t ->
+    alpha:float array ->
+    states:int list ->
+    t:float ->
+    float
+  [@@deprecated
+    "use Transient.expected_hitting_mass with ?opts:Solver_opts.t"]
+end

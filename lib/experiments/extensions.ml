@@ -2,7 +2,7 @@ open Batlife_core
 open Batlife_sim
 open Batlife_output
 
-let erlang_k ?(out_dir = Params.results_dir) ?(runs = 500) () =
+let erlang_k ?opts ?(out_dir = Params.results_dir) ?(runs = 500) () =
   Report.heading
     "Extension: Erlang-K on/off sojourns (paper Sec. 6.1 remark)";
   let times = Params.onoff_times () in
@@ -11,7 +11,7 @@ let erlang_k ?(out_dir = Params.results_dir) ?(runs = 500) () =
     List.concat_map
       (fun k ->
         let model = Params.onoff_kibamrm ~k ~frequency:1.0 battery in
-        let curve = Lifetime.cdf ~delta:50. ~times model in
+        let curve = Lifetime.cdf ?opts ~delta:50. ~times model in
         let est = Montecarlo.lifetime_cdf ~runs model ~times in
         let spread c p_lo p_hi =
           Lifetime.quantile c p_hi -. Lifetime.quantile c p_lo
@@ -40,7 +40,7 @@ let erlang_k ?(out_dir = Params.results_dir) ?(runs = 500) () =
   Report.save_figure ~dir:out_dir ~stem:"ext_erlang_k"
     ~title:"On/off model with Erlang-K sojourns" ~xlabel:"t (seconds)" series
 
-let richardson ?(out_dir = Params.results_dir) () =
+let richardson ?opts ?(out_dir = Params.results_dir) () =
   Report.heading
     "Extension: Delta-refinement error and Richardson extrapolation";
   let times = Params.onoff_times () in
@@ -71,7 +71,7 @@ let richardson ?(out_dir = Params.results_dir) () =
     !worst
   in
   let deltas = [| 100.; 50.; 25.; 12.5 |] in
-  let curves = Lifetime.convergence_study ~deltas ~times model in
+  let curves = Lifetime.convergence_study ?opts ~deltas ~times model in
   List.iter
     (fun (c : Lifetime.curve) ->
       Printf.printf "  Delta=%-6g max |F - F_exact| = %.4f\n"
@@ -175,40 +175,51 @@ let frequency_sweep ?(out_dir = Params.results_dir) () =
     ~title:"Lifetime vs square-wave frequency (all battery models)"
     ~xlabel:"log10 frequency (Hz)" series
 
-let charge_profile ?(out_dir = Params.results_dir) () =
+let charge_profile ?opts ?(out_dir = Params.results_dir) () =
   Report.heading
     "Extension: available-charge distribution over time (simple model)";
   let model = Params.simple_kibamrm (Params.battery_phone_two_well ()) in
   let d = Discretized.build ~delta:10. model in
-  let series =
+  (* One session: every marginal and expected-charge query below is
+     answered from a single shared sweep. *)
+  let session = Discretized.Session.create ?opts d in
+  let queries =
     List.map
       (fun time ->
-        let marginal = Discretized.available_charge_marginal d ~time in
+        ( time,
+          Discretized.Session.available_charge_marginal session ~time,
+          Discretized.Session.expected_available_charge session ~time ))
+      [ 2.; 6.; 12.; 18.; 24. ]
+  in
+  let series =
+    List.map
+      (fun (time, marginal_q, expected_q) ->
+        let marginal = Discretized.Session.get marginal_q in
         let xs = Array.map fst marginal and ys = Array.map snd marginal in
         Printf.printf
           "  t=%5.1f h  P(empty)=%.3f  E[y1]=%6.1f mAh  P(y1 > 250)=%.3f\n"
           time ys.(0)
-          (Discretized.expected_available_charge d ~time)
+          (Discretized.Session.get expected_q)
           (Array.fold_left ( +. ) 0.
              (Array.mapi (fun i y -> if xs.(i) > 250. then y else 0.) ys));
         Batlife_output.Series.create
           ~name:(Printf.sprintf "t = %g h" time)
           ~xs ~ys)
-      [ 2.; 6.; 12.; 18.; 24. ]
+      queries
   in
   Printf.printf "  exact mean lifetime (first-passage solve): %.2f h\n"
-    (Discretized.expected_lifetime d);
+    (Discretized.expected_lifetime ?opts d);
   Report.save_figure ~dir:out_dir ~stem:"ext_charge_profile"
     ~title:"Available-charge distribution over time (simple model)"
     ~xlabel:"available charge (mAh)" series
 
-let sensitivity ?(out_dir = Params.results_dir) () =
+let sensitivity ?opts ?(out_dir = Params.results_dir) () =
   Report.heading "Extension: sensitivity of the mean lifetime to c and k";
   let mean ~c ~k =
     let battery =
       Batlife_battery.Kibam.params ~capacity:Params.capacity_mah ~c ~k
     in
-    Lifetime.mean_exact ~delta:10. (Params.simple_kibamrm battery)
+    Lifetime.mean_exact ?opts ~delta:10. (Params.simple_kibamrm battery)
   in
   let c_values = [ 0.4; 0.5; 0.625; 0.75; 0.9 ] in
   let k_values = [ 0.04; 0.08; 0.162; 0.32; 0.65 ] in
@@ -239,7 +250,7 @@ let sensitivity ?(out_dir = Params.results_dir) () =
     ~title:"Mean lifetime vs c and k (simple model)"
     ~xlabel:"available-charge fraction c" series
 
-let empty_recovery ?(out_dir = Params.results_dir) () =
+let empty_recovery ?opts ?(out_dir = Params.results_dir) () =
   Report.heading
     "Extension: recovery from the empty state (paper Sec. 5.2 remark)";
   let times = Params.phone_times () in
@@ -247,8 +258,8 @@ let empty_recovery ?(out_dir = Params.results_dir) () =
   let delta = 10. in
   let absorbing = Discretized.build ~delta model in
   let live = Discretized.build ~absorb_empty:false ~delta model in
-  let by_t, _ = Discretized.empty_probability absorbing ~times in
-  let at_t, _ = Discretized.empty_probability live ~times in
+  let by_t, _ = Discretized.empty_probability ?opts absorbing ~times in
+  let at_t, _ = Discretized.empty_probability ?opts live ~times in
   let idx_20h = 39 in
   Printf.printf
     "  P(empty by 20 h) = %.3f (absorbing)  vs  P(empty at 20 h) = %.3f\n"

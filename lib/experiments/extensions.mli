@@ -15,11 +15,18 @@
     reported quantity is the probability of being empty {e at} time t
     (a device tolerating brown-outs). *)
 
-val erlang_k : ?out_dir:string -> ?runs:int -> unit -> unit
+val erlang_k :
+  ?opts:Batlife_ctmc.Solver_opts.t ->
+  ?out_dir:string ->
+  ?runs:int ->
+  unit ->
+  unit
 
-val empty_recovery : ?out_dir:string -> unit -> unit
+val empty_recovery :
+  ?opts:Batlife_ctmc.Solver_opts.t -> ?out_dir:string -> unit -> unit
 
-val richardson : ?out_dir:string -> unit -> unit
+val richardson :
+  ?opts:Batlife_ctmc.Solver_opts.t -> ?out_dir:string -> unit -> unit
 (** Convergence ablation on the Fig. 7 scenario, where the exact
     distribution is computable: measures the error of each [Delta]
     curve against the exact occupation-time curve, estimates the
@@ -34,13 +41,15 @@ val frequency_sweep : ?out_dir:string -> unit -> unit
     measurements — Section 2/3's "which model distinguishes load
     shapes" question as one parameter sweep. *)
 
-val charge_profile : ?out_dir:string -> unit -> unit
+val charge_profile :
+  ?opts:Batlife_ctmc.Solver_opts.t -> ?out_dir:string -> unit -> unit
 (** Snapshots of the available-charge distribution (the paper's joint
     distribution of Eq. (2), marginalised onto [y1]) at several times
     for the simple model, plus the exact expected lifetime from the
     first-passage system. *)
 
-val sensitivity : ?out_dir:string -> unit -> unit
+val sensitivity :
+  ?opts:Batlife_ctmc.Solver_opts.t -> ?out_dir:string -> unit -> unit
 (** Sensitivity of the lifetime quantiles to the two KiBaM constants:
     a sweep over [c] and [k] around the calibrated values, using the
     grid-free exact mean (Gauss–Seidel first-passage solve) — how much

@@ -21,11 +21,11 @@ let reference_curve times =
     stages;
   curve
 
-let compute ?(runs = 1000) () =
+let compute ?opts ?(runs = 1000) () =
   let times = Params.phone_times () in
   let scenario name battery delta =
     let model = Params.simple_kibamrm battery in
-    let curve = Lifetime.cdf ~delta ~times model in
+    let curve = Lifetime.cdf ?opts ~delta ~times model in
     Printf.printf "%s\n" (Report.curve_summary ~name curve);
     Report.series_of_curve ~name curve
   in
@@ -50,9 +50,9 @@ let compute ?(runs = 1000) () =
   in
   [ s1; s2; s3; s4; s5; s6; s7 ]
 
-let run ?(out_dir = Params.results_dir) ?runs () =
+let run ?opts ?(out_dir = Params.results_dir) ?runs () =
   Report.heading "Fig. 10: simple model lifetime CDF, three batteries";
-  let series = compute ?runs () in
+  let series = compute ?opts ?runs () in
   Printf.printf
     "  (paper: ~99%% depletion after about 17 h for C=500/c=1, about 23 h\n\
     \   for the two-well battery, about 25 h for C=800/c=1; the two-well\n\

@@ -2,11 +2,11 @@ open Batlife_core
 open Batlife_sim
 open Batlife_numerics
 
-let compute ?(runs = 1000) () =
+let compute ?opts ?(runs = 1000) () =
   let times = Params.phone_times () in
   let battery = Params.battery_phone_two_well () in
   let pair name model =
-    let curve = Lifetime.cdf ~delta:5. ~times model in
+    let curve = Lifetime.cdf ?opts ~delta:5. ~times model in
     Printf.printf "%s\n" (Report.curve_summary ~name curve);
     let est = Montecarlo.lifetime_cdf ~runs model ~times in
     Printf.printf "%s\n"
@@ -26,10 +26,10 @@ let compute ?(runs = 1000) () =
     (at20 sc) (at20 bc);
   [ simple_curve; burst_curve; simple_sim; burst_sim ]
 
-let run ?(out_dir = Params.results_dir) ?runs () =
+let run ?opts ?(out_dir = Params.results_dir) ?runs () =
   Report.heading
     "Fig. 11: simple vs burst model (C=800 mAh, c=0.625, Delta=5)";
-  let series = compute ?runs () in
+  let series = compute ?opts ?runs () in
   Report.save_figure ~dir:out_dir ~stem:"fig11"
     ~title:"Simple vs burst model, C=800 mAh, c=0.625" ~xlabel:"t (hours)"
     series

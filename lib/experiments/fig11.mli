@@ -7,6 +7,12 @@
 
 open Batlife_output
 
-val compute : ?runs:int -> unit -> Series.t list
+val compute :
+  ?opts:Batlife_ctmc.Solver_opts.t -> ?runs:int -> unit -> Series.t list
 
-val run : ?out_dir:string -> ?runs:int -> unit -> unit
+val run :
+  ?opts:Batlife_ctmc.Solver_opts.t ->
+  ?out_dir:string ->
+  ?runs:int ->
+  unit ->
+  unit

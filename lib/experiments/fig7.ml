@@ -19,7 +19,7 @@ let exact_curve times =
   let below = Occupation.two_valued_cdf m ~queries in
   Array.map (fun p -> 1. -. p) below
 
-let compute ?(runs = 1000) ?(with_exact = true) () =
+let compute ?opts ?(runs = 1000) ?(with_exact = true) () =
   let model =
     Params.onoff_kibamrm ~frequency:1.0 (Params.battery_single_well ())
   in
@@ -27,7 +27,7 @@ let compute ?(runs = 1000) ?(with_exact = true) () =
   let approx =
     List.map
       (fun delta ->
-        let curve = Lifetime.cdf ~delta ~times model in
+        let curve = Lifetime.cdf ?opts ~delta ~times model in
         Printf.printf "%s\n"
           (Report.curve_summary
              ~name:(Printf.sprintf "Delta=%g" delta)
@@ -48,10 +48,10 @@ let compute ?(runs = 1000) ?(with_exact = true) () =
   in
   approx @ (sim_series :: exact)
 
-let run ?(out_dir = Params.results_dir) ?runs () =
+let run ?opts ?(out_dir = Params.results_dir) ?runs () =
   Report.heading
     "Fig. 7: on/off model lifetime CDF (C=7200 As, c=1, k=0)";
-  let series = compute ?runs () in
+  let series = compute ?opts ?runs () in
   Printf.printf
     "  (paper: curves steepen towards the simulation as Delta shrinks;\n\
     \   lifetime nearly deterministic around 15000 s; 2882 states and\n\

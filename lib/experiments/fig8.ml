@@ -3,7 +3,7 @@ open Batlife_sim
 
 let deltas ~full = if full then [ 100.; 50.; 25.; 10.; 5. ] else [ 100.; 50.; 25. ]
 
-let compute ?(runs = 1000) ?(full = false) () =
+let compute ?opts ?(runs = 1000) ?(full = false) () =
   let model =
     Params.onoff_kibamrm ~frequency:1.0 (Params.battery_two_well ())
   in
@@ -11,7 +11,7 @@ let compute ?(runs = 1000) ?(full = false) () =
   let approx =
     List.map
       (fun delta ->
-        let curve = Lifetime.cdf ~delta ~times model in
+        let curve = Lifetime.cdf ?opts ~delta ~times model in
         Printf.printf "%s\n"
           (Report.curve_summary
              ~name:(Printf.sprintf "Delta=%g" delta)
@@ -23,10 +23,10 @@ let compute ?(runs = 1000) ?(full = false) () =
   Printf.printf "%s\n" (Report.estimate_summary ~name:"simulation" sim);
   approx @ [ Report.series_of_estimate ~name:"simulation" sim ]
 
-let run ?(out_dir = Params.results_dir) ?runs ?full () =
+let run ?opts ?(out_dir = Params.results_dir) ?runs ?full () =
   Report.heading
     "Fig. 8: on/off model lifetime CDF (C=7200 As, c=0.625, k=4.5e-5/s)";
-  let series = compute ?runs ?full () in
+  let series = compute ?opts ?runs ?full () in
   Printf.printf
     "  (paper: approximation visibly off the nearly deterministic\n\
     \   simulation (~12100 s) even at Delta=5 -- the phase-type spread\n\

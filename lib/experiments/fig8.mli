@@ -7,6 +7,17 @@
 
 open Batlife_output
 
-val compute : ?runs:int -> ?full:bool -> unit -> Series.t list
+val compute :
+  ?opts:Batlife_ctmc.Solver_opts.t ->
+  ?runs:int ->
+  ?full:bool ->
+  unit ->
+  Series.t list
 
-val run : ?out_dir:string -> ?runs:int -> ?full:bool -> unit -> unit
+val run :
+  ?opts:Batlife_ctmc.Solver_opts.t ->
+  ?out_dir:string ->
+  ?runs:int ->
+  ?full:bool ->
+  unit ->
+  unit

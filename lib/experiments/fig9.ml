@@ -1,10 +1,10 @@
 open Batlife_core
 
-let compute ?(full = false) () =
+let compute ?opts ?(full = false) () =
   let times = Params.onoff_times () in
   let scenario name battery delta =
     let model = Params.onoff_kibamrm ~frequency:1.0 battery in
-    let curve = Lifetime.cdf ~delta ~times model in
+    let curve = Lifetime.cdf ?opts ~delta ~times model in
     Printf.printf "%s\n" (Report.curve_summary ~name curve);
     Report.series_of_curve ~name curve
   in
@@ -17,9 +17,9 @@ let compute ?(full = false) () =
     scenario "C=7200, c=1" (Params.battery_single_well ()) 5.;
   ]
 
-let run ?(out_dir = Params.results_dir) ?full () =
+let run ?opts ?(out_dir = Params.results_dir) ?full () =
   Report.heading "Fig. 9: on/off model with different initial capacities";
-  let series = compute ?full () in
+  let series = compute ?opts ?full () in
   Printf.printf
     "  (paper: the battery with only the available well (C=4500) dies\n\
     \   first, the full two-well battery second, and the ideal C=7200\n\

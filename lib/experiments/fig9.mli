@@ -9,6 +9,12 @@
 
 open Batlife_output
 
-val compute : ?full:bool -> unit -> Series.t list
+val compute :
+  ?opts:Batlife_ctmc.Solver_opts.t -> ?full:bool -> unit -> Series.t list
 
-val run : ?out_dir:string -> ?full:bool -> unit -> unit
+val run :
+  ?opts:Batlife_ctmc.Solver_opts.t ->
+  ?out_dir:string ->
+  ?full:bool ->
+  unit ->
+  unit

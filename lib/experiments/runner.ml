@@ -3,11 +3,12 @@ type options = {
   runs : int;
   full : bool;
   stochastic_runs : int;
+  opts : Batlife_ctmc.Solver_opts.t;
 }
 
 let default_options =
   { out_dir = Params.results_dir; runs = 1000; full = false;
-    stochastic_runs = 100 }
+    stochastic_runs = 100; opts = Batlife_ctmc.Solver_opts.default }
 
 let experiments =
   [
@@ -15,20 +16,28 @@ let experiments =
       fun o -> Table1.run ~out_dir:o.out_dir ~stochastic_runs:o.stochastic_runs
           () );
     ("fig2", fun o -> Fig2.run ~out_dir:o.out_dir ());
-    ("fig7", fun o -> Fig7.run ~out_dir:o.out_dir ~runs:o.runs ());
-    ("fig8", fun o -> Fig8.run ~out_dir:o.out_dir ~runs:o.runs ~full:o.full ());
-    ("fig9", fun o -> Fig9.run ~out_dir:o.out_dir ~full:o.full ());
-    ("fig10", fun o -> Fig10.run ~out_dir:o.out_dir ~runs:o.runs ());
-    ("fig11", fun o -> Fig11.run ~out_dir:o.out_dir ~runs:o.runs ());
+    ("fig7", fun o -> Fig7.run ~opts:o.opts ~out_dir:o.out_dir ~runs:o.runs ());
+    ( "fig8",
+      fun o ->
+        Fig8.run ~opts:o.opts ~out_dir:o.out_dir ~runs:o.runs ~full:o.full () );
+    ("fig9", fun o -> Fig9.run ~opts:o.opts ~out_dir:o.out_dir ~full:o.full ());
+    ( "fig10",
+      fun o -> Fig10.run ~opts:o.opts ~out_dir:o.out_dir ~runs:o.runs () );
+    ( "fig11",
+      fun o -> Fig11.run ~opts:o.opts ~out_dir:o.out_dir ~runs:o.runs () );
     ( "ext_erlang_k",
-      fun o -> Extensions.erlang_k ~out_dir:o.out_dir ~runs:o.runs () );
-    ("ext_empty_recovery", fun o -> Extensions.empty_recovery ~out_dir:o.out_dir ());
+      fun o ->
+        Extensions.erlang_k ~opts:o.opts ~out_dir:o.out_dir ~runs:o.runs () );
+    ( "ext_empty_recovery",
+      fun o -> Extensions.empty_recovery ~opts:o.opts ~out_dir:o.out_dir () );
     ( "ext_frequency_sweep",
       fun o -> Extensions.frequency_sweep ~out_dir:o.out_dir () );
-    ("ext_richardson", fun o -> Extensions.richardson ~out_dir:o.out_dir ());
+    ( "ext_richardson",
+      fun o -> Extensions.richardson ~opts:o.opts ~out_dir:o.out_dir () );
     ( "ext_charge_profile",
-      fun o -> Extensions.charge_profile ~out_dir:o.out_dir () );
-    ("ext_sensitivity", fun o -> Extensions.sensitivity ~out_dir:o.out_dir ());
+      fun o -> Extensions.charge_profile ~opts:o.opts ~out_dir:o.out_dir () );
+    ( "ext_sensitivity",
+      fun o -> Extensions.sensitivity ~opts:o.opts ~out_dir:o.out_dir () );
   ]
 
 let experiment_ids = List.map fst experiments

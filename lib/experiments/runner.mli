@@ -8,6 +8,9 @@ type options = {
                     refinements of Figs. 8/9 *)
   stochastic_runs : int;  (** replications for Table 1's stochastic
                               column *)
+  opts : Batlife_ctmc.Solver_opts.t;
+      (** numerical options threaded through every CTMC-backed
+          experiment *)
 }
 
 val default_options : options

@@ -42,7 +42,11 @@ let exceedance ?accuracy ?(stages = 512) m ~budget ~times =
     done;
     !acc
   in
-  let results, _ = Transient.measure_sweep ?accuracy g ~alpha ~times ~measure in
+  let results, _ =
+    Transient.measure_sweep
+      ~opts:(Solver_opts.of_legacy ?accuracy ())
+      g ~alpha ~times ~measure
+  in
   results
 
 let cdf ?accuracy ?stages m ~t ~ys =

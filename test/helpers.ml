@@ -16,6 +16,18 @@ let check_raises_invalid name f =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.failf "%s: expected Invalid_argument" name
 
+let check_raises_diag name classify f =
+  match f () with
+  | exception Batlife_numerics.Diag.Error e ->
+      if not (classify e) then
+        Alcotest.failf "%s: wrong error class: %s" name
+          (Batlife_numerics.Diag.error_to_string e)
+  | _ -> Alcotest.failf "%s: expected Diag.Error" name
+
+let is_invalid_model = function
+  | Batlife_numerics.Diag.Invalid_model _ -> true
+  | _ -> false
+
 let case name f = Alcotest.test_case name `Quick f
 
 let slow_case name f = Alcotest.test_case name `Slow f

@@ -30,4 +30,5 @@ let () =
       ("output: series, csv, tables", Test_output.suite);
       ("experiments: paper reproduction", Test_experiments.suite);
       ("robust: guardrails & fault injection", Test_robust.suite);
+      ("core: batched evaluation engine", Test_engine.suite);
     ]

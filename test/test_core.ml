@@ -176,7 +176,10 @@ let test_state_distribution_mass () =
 
 let test_charge_marginal () =
   let d = Discretized.build ~delta:500. (onoff_two_well ()) in
-  let marginal = Discretized.available_charge_marginal d ~time:3000. in
+  let s = Discretized.Session.create d in
+  let marginal =
+    Discretized.Session.(get (available_charge_marginal s ~time:3000.))
+  in
   let total = Array.fold_left (fun acc (_, p) -> acc +. p) 0. marginal in
   check_float ~eps:1e-9 "marginal mass" 1. total;
   let charge0, _ = marginal.(0) in
@@ -189,7 +192,8 @@ let test_mode_marginal_matches_workload_transient () =
   let model = onoff_two_well () in
   let d = Discretized.build ~absorb_empty:false ~delta:200. model in
   let time = 4000. in
-  let marginal = Discretized.mode_marginal d ~time in
+  let s = Discretized.Session.create d in
+  let marginal = Discretized.Session.(get (mode_marginal s ~time)) in
   let direct =
     Transient.solve model.Kibamrm.workload.Model.generator
       ~alpha:model.Kibamrm.workload.Model.initial ~t:time
@@ -204,40 +208,54 @@ let test_expected_available_charge () =
   let d = Discretized.build ~delta:100. model in
   (* Early on (before any absorption) the expected available charge is
      roughly the initial charge minus the mean consumption; the grid
-     underestimates by at most one level width. *)
-  let time = 1000. in
-  let expected = Discretized.expected_available_charge d ~time in
+     underestimates by at most one level width.  Both time points ride
+     the same session flush. *)
+  let s = Discretized.Session.create d in
+  let early_q = Discretized.Session.expected_available_charge s ~time:1000. in
+  let later_q = Discretized.Session.expected_available_charge s ~time:8000. in
+  let expected = Discretized.Session.get early_q in
   (* Mean consumed by t=1000 with half the time on: ~0.48 * 1000. *)
   let ballpark = 4500. -. 480. in
   check_true "in the right ballpark"
     (Float.abs (expected -. ballpark) < 150.);
   (* Decreasing over time. *)
-  let later = Discretized.expected_available_charge d ~time:8000. in
-  check_true "decreasing" (later < expected)
+  let later = Discretized.Session.get later_q in
+  check_true "decreasing" (later < expected);
+  check_int "one sweep for both times" 1 (Discretized.Session.sweeps s)
 
 let test_joint_probability () =
   let model = onoff_two_well () in
   let d = Discretized.build ~delta:200. model in
   let time = 3000. in
+  let s = Discretized.Session.create d in
   (* Joint probabilities sum (over modes, with min_charge 0 and the
      empty mass) to 1. *)
   let modes = 2 in
-  let above = ref 0. in
-  for mode = 0 to modes - 1 do
-    above := !above +. Discretized.joint_probability d ~time ~mode ~min_charge:0.
-  done;
-  let empty, _ = Discretized.empty_probability d ~times:[| time |] in
-  ignore empty;
-  let empty_mass =
-    (Discretized.available_charge_marginal d ~time).(0) |> snd
+  let joint_qs =
+    List.init modes (fun mode ->
+        Discretized.Session.joint_probability s ~time ~mode ~min_charge:0.)
   in
-  check_float ~eps:1e-8 "joint + empty = 1" 1. (!above +. empty_mass);
+  let marginal_q = Discretized.Session.available_charge_marginal s ~time in
+  let lo_q =
+    Discretized.Session.joint_probability s ~time ~mode:0 ~min_charge:1000.
+  in
+  let hi_q =
+    Discretized.Session.joint_probability s ~time ~mode:0 ~min_charge:3000.
+  in
+  let above =
+    List.fold_left
+      (fun acc q -> acc +. Discretized.Session.get q)
+      0. joint_qs
+  in
+  let empty_mass = (Discretized.Session.get marginal_q).(0) |> snd in
+  check_float ~eps:1e-8 "joint + empty = 1" 1. (above +. empty_mass);
   (* Raising the bar lowers the probability. *)
-  let lo = Discretized.joint_probability d ~time ~mode:0 ~min_charge:1000. in
-  let hi = Discretized.joint_probability d ~time ~mode:0 ~min_charge:3000. in
+  let lo = Discretized.Session.get lo_q in
+  let hi = Discretized.Session.get hi_q in
   check_true "monotone in the bar" (hi <= lo +. 1e-12);
+  check_int "one sweep for the whole batch" 1 (Discretized.Session.sweeps s);
   check_raises_invalid "bad mode" (fun () ->
-      ignore (Discretized.joint_probability d ~time ~mode:7 ~min_charge:0.))
+      ignore (Discretized.Session.joint_probability s ~time ~mode:7 ~min_charge:0.))
 
 (* --- Lifetime API ----------------------------------------------------- *)
 

@@ -1,0 +1,222 @@
+(* The batched evaluation engine: session queries must agree with the
+   legacy per-call helpers to near machine precision, batching must
+   actually batch (one sweep for any number of queries), and
+   multi_measure_sweep must equal N independent measure_sweep calls on
+   arbitrary generators. *)
+
+open Helpers
+open Batlife_numerics
+open Batlife_ctmc
+open Batlife_battery
+open Batlife_workload
+open Batlife_core
+
+(* The fig-7 configuration: on/off workload, degenerate single-well
+   battery (c = 1, k = 0). *)
+let fig7_model () =
+  Kibamrm.create
+    ~workload:(Onoff.model ~frequency:1.0 ~k:1 ~on_current:0.96 ())
+    ~battery:(Kibam.params ~capacity:7200. ~c:1. ~k:0.)
+
+(* The fig-2 battery (two wells, c = 0.625, k = 4.5e-5) under the same
+   on/off workload. *)
+let fig2_battery_model () =
+  Kibamrm.create
+    ~workload:(Onoff.model ~frequency:1.0 ~k:1 ~on_current:0.96 ())
+    ~battery:(Kibam.params ~capacity:7200. ~c:0.625 ~k:4.5e-5)
+
+(* The deprecated per-call helpers are the reference implementation the
+   session must reproduce; this is the one place they may be used
+   without a warning. *)
+module Legacy_reference = struct
+  [@@@alert "-deprecated"]
+
+  let charge_marginal = Discretized.available_charge_marginal
+  let mode_marginal = Discretized.mode_marginal
+  let expected_charge = Discretized.expected_available_charge
+  let joint = Discretized.joint_probability
+end
+
+let check_session_matches_legacy ~delta model =
+  let d = Discretized.build ~delta model in
+  let times = [| 2000.; 5000.; 10000.; 15000. |] in
+  let time = 10000. in
+  (* Legacy per-call answers. *)
+  let legacy_cdf, _ = Discretized.empty_probability d ~times in
+  let legacy_marginal = Legacy_reference.charge_marginal d ~time in
+  let legacy_modes = Legacy_reference.mode_marginal d ~time in
+  let legacy_expected = Legacy_reference.expected_charge d ~time in
+  let legacy_joint =
+    Legacy_reference.joint d ~time ~mode:0 ~min_charge:2000.
+  in
+  (* The same queries, one session, one sweep. *)
+  let s = Discretized.Session.create d in
+  let cdf_q = Discretized.Session.empty_probability s ~times in
+  let marginal_q = Discretized.Session.available_charge_marginal s ~time in
+  let modes_q = Discretized.Session.mode_marginal s ~time in
+  let expected_q = Discretized.Session.expected_available_charge s ~time in
+  let joint_q =
+    Discretized.Session.joint_probability s ~time ~mode:0 ~min_charge:2000.
+  in
+  Transient.reset_counters ();
+  let stats = Discretized.Session.run s in
+  check_int "whole batch = one sweep" 1 (Transient.sweep_count ());
+  check_true "sweep did work" (stats.Transient.iterations > 0);
+  let cdf = Discretized.Session.get cdf_q in
+  Array.iteri
+    (fun i t ->
+      check_float ~eps:1e-12 (Printf.sprintf "cdf at t=%g" t) legacy_cdf.(i)
+        cdf.(i))
+    times;
+  let marginal = Discretized.Session.get marginal_q in
+  check_int "marginal length" (Array.length legacy_marginal)
+    (Array.length marginal);
+  Array.iteri
+    (fun j1 (charge, p) ->
+      let charge', p' = marginal.(j1) in
+      check_float ~eps:0. (Printf.sprintf "level %d charge" j1) charge charge';
+      check_float ~eps:1e-12 (Printf.sprintf "level %d mass" j1) p p')
+    legacy_marginal;
+  let modes = Discretized.Session.get modes_q in
+  Array.iteri
+    (fun i p ->
+      check_float ~eps:1e-12 (Printf.sprintf "mode %d" i) p modes.(i))
+    legacy_modes;
+  check_close ~rel:1e-12 "expected charge" legacy_expected
+    (Discretized.Session.get expected_q);
+  check_float ~eps:1e-12 "joint probability" legacy_joint
+    (Discretized.Session.get joint_q)
+
+let test_session_matches_legacy_fig7 () =
+  check_session_matches_legacy ~delta:100. (fig7_model ())
+
+let test_session_matches_legacy_fig2_battery () =
+  check_session_matches_legacy ~delta:200. (fig2_battery_model ())
+
+(* The headline acceptance property: on a fig-7-sized model, the CDF
+   plus all four per-time measures over a shared grid cost exactly ONE
+   sweep, against five for the per-call path. *)
+let test_one_sweep_for_five_queries () =
+  let d = Discretized.build ~delta:25. (fig7_model ()) in
+  let times = Array.init 10 (fun i -> 2000. *. float_of_int (i + 1)) in
+  let time = times.(5) in
+  Transient.reset_counters ();
+  let s = Discretized.Session.create d in
+  let cdf_q = Discretized.Session.empty_probability s ~times in
+  let _m1 = Discretized.Session.available_charge_marginal s ~time in
+  let _m2 = Discretized.Session.mode_marginal s ~time in
+  let _m3 = Discretized.Session.expected_available_charge s ~time in
+  let _m4 =
+    Discretized.Session.joint_probability s ~time ~mode:1 ~min_charge:1000.
+  in
+  let cdf = Discretized.Session.get cdf_q in
+  check_int "exactly one sweep" 1 (Transient.sweep_count ());
+  check_int "session agrees" 1 (Discretized.Session.sweeps s);
+  check_true "CDF nontrivial" (cdf.(Array.length cdf - 1) > 0.5);
+  (* A second batch on the same session reuses the cached windows. *)
+  let windows_before = Discretized.Session.cached_windows s in
+  let again = Discretized.Session.empty_probability s ~times in
+  ignore (Discretized.Session.get again : float array);
+  check_int "windows cached across flushes" windows_before
+    (Discretized.Session.cached_windows s);
+  check_int "second flush = second sweep" 2 (Transient.sweep_count ())
+
+(* Lifetime.cdf_discretized rides the same engine and must agree with
+   the one-shot Lifetime.cdf. *)
+let test_lifetime_cdf_discretized_matches () =
+  let model = fig7_model () in
+  let times = Array.init 20 (fun i -> 1000. *. float_of_int (i + 1)) in
+  let delta = 50. in
+  let via_model = Lifetime.cdf ~delta ~times model in
+  let d = Discretized.build ~delta model in
+  let via_prebuilt = Lifetime.cdf_discretized ~delta d ~times in
+  Array.iteri
+    (fun i t ->
+      check_float ~eps:1e-14
+        (Printf.sprintf "t=%g" t)
+        via_model.Lifetime.probabilities.(i)
+        via_prebuilt.Lifetime.probabilities.(i))
+    times;
+  check_int "states agree" via_model.Lifetime.states
+    via_prebuilt.Lifetime.states
+
+(* Random-generator property: batching k functionals is exactly k
+   independent sweeps' worth of answers. *)
+let prop_multi_equals_singles =
+  qcheck ~count:100 "multi_measure_sweep = N independent measure_sweeps"
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 2 10)
+           (triple (int_range 0 3) (int_range 0 3) (float_range 0.05 4.)))
+        (list_of_size (Gen.int_range 1 4) (pos_float_arb 0.01 5.))
+        (int_range 1 3))
+    (fun (entries, times_list, k) ->
+      let rates =
+        List.filter_map
+          (fun (i, j, r) -> if i <> j then Some (i, j, r) else None)
+          entries
+      in
+      let g = Generator.of_rates ~n:4 rates in
+      let alpha = [| 0.4; 0.3; 0.2; 0.1 |] in
+      let times = Array.of_list times_list in
+      let measures =
+        Array.init k (fun j -> fun (pi : float array) -> pi.(j))
+      in
+      let batched, _ = Transient.multi_measure_sweep g ~alpha ~times ~measures in
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun j measure ->
+             let single, _ = Transient.measure_sweep g ~alpha ~times ~measure in
+             Array.for_all Fun.id
+               (Array.mapi
+                  (fun i v -> Float.abs (v -. single.(i)) <= 1e-12)
+                  batched.(j)))
+           measures))
+
+(* The escape-hatch measure query composes with the built-ins on one
+   grid union. *)
+let test_custom_measure_query () =
+  let d = Discretized.build ~delta:100. (fig7_model ()) in
+  let s = Discretized.Session.create d in
+  let times = [| 3000.; 9000. |] in
+  let total_q =
+    Discretized.Session.measure s ~times ~measure:(Batlife_numerics.Vector.sum)
+  in
+  let cdf_q = Discretized.Session.empty_probability s ~times:[| 9000. |] in
+  let total = Discretized.Session.get total_q in
+  Array.iter (fun m -> check_float ~eps:1e-9 "mass conserved" 1. m) total;
+  let cdf = Discretized.Session.get cdf_q in
+  check_int "one sweep despite different grids" 1
+    (Discretized.Session.sweeps s);
+  check_true "cdf in range" (cdf.(0) >= 0. && cdf.(0) <= 1.)
+
+(* Legacy wrappers still work (and still agree), deprecation aside. *)
+let test_legacy_wrappers_agree () =
+  let module L = struct
+    [@@@alert "-deprecated"]
+
+    let run () =
+      let g = Generator.of_rates ~n:2 [ (0, 1, 1.); (1, 0, 0.5) ] in
+      let alpha = [| 1.; 0. |] in
+      let t = 1.7 in
+      let via_legacy = Transient.Legacy.solve ~accuracy:1e-12 g ~alpha ~t in
+      let via_opts =
+        Transient.solve ~opts:(Solver_opts.make ~accuracy:1e-12 ()) g ~alpha ~t
+      in
+      check_true "identical distributions"
+        (Vector.approx_equal ~tol:0. via_legacy via_opts)
+  end in
+  L.run ()
+
+let suite =
+  [
+    case "session matches legacy per-call (fig-7 model)"
+      test_session_matches_legacy_fig7;
+    case "session matches legacy per-call (fig-2 battery)"
+      test_session_matches_legacy_fig2_battery;
+    case "CDF + 4 measures = one sweep" test_one_sweep_for_five_queries;
+    case "cdf_discretized matches cdf" test_lifetime_cdf_discretized_matches;
+    prop_multi_equals_singles;
+    case "custom measure query" test_custom_measure_query;
+    case "legacy wrappers agree" test_legacy_wrappers_agree;
+  ]

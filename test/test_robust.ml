@@ -118,14 +118,25 @@ let test_nan_in_generator () =
 
 let test_q_override_rejected () =
   let g = three_state () in
+  let with_q q = Batlife_ctmc.Solver_opts.make ~unif_rate:q () in
   check_error "solve rejects low q" is_invalid_model (fun () ->
-      ignore (Transient.solve ~q:0.5 g ~alpha:alpha3 ~t:1.));
+      ignore (Transient.solve ~opts:(with_q 0.5) g ~alpha:alpha3 ~t:1.));
   check_error "measure_sweep rejects low q" is_invalid_model (fun () ->
       ignore
-        (Transient.measure_sweep ~q:0.5 g ~alpha:alpha3 ~times:[| 1. |]
+        (Transient.measure_sweep ~opts:(with_q 0.5) g ~alpha:alpha3
+           ~times:[| 1. |]
            ~measure:(fun v -> v.(2))));
   check_error "negative q rejected" is_invalid_model (fun () ->
-      ignore (Transient.solve ~q:(-1.) g ~alpha:alpha3 ~t:1.))
+      ignore (Transient.solve ~opts:(with_q (-1.)) g ~alpha:alpha3 ~t:1.));
+  check_error "session create rejects low q" is_invalid_model (fun () ->
+      let d =
+        Discretized.build ~delta:1000.
+          (Kibamrm.create
+             ~workload:(Onoff.model ~frequency:1.0 ~k:1 ~on_current:0.96 ())
+             ~battery:
+               (Batlife_battery.Kibam.params ~capacity:7200. ~c:1. ~k:0.))
+      in
+      ignore (Discretized.Session.create ~opts:(with_q 1e-9) d))
 
 let test_sanitize_guard () =
   check_error "genuine CDF decrease detected" is_breakdown (fun () ->

@@ -48,7 +48,9 @@ let prop_matches_expm =
       in
       let alpha = [| 0.25; 0.25; 0.25; 0.25 |] in
       let via_expm = Dense.vecmat alpha expm_qt in
-      let via_unif = Transient.solve ~accuracy:1e-14 g ~alpha ~t in
+      let via_unif =
+        Transient.solve ~opts:(Solver_opts.make ~accuracy:1e-14 ()) g ~alpha ~t
+      in
       Vector.approx_equal ~tol:1e-9 via_expm via_unif)
 
 let test_measure_sweep_matches_solve () =
@@ -115,9 +117,41 @@ let test_absorbing_mass_monotone () =
 let test_validation () =
   let g = Generator.of_rates ~n:2 [ (0, 1, 1.) ] in
   check_raises_invalid "alpha length" (fun () ->
-      ignore (Transient.solve g ~alpha:[| 1. |] ~t:1.));
-  check_raises_invalid "negative time" (fun () ->
-      ignore (Transient.solve g ~alpha:[| 1.; 0. |] ~t:(-1.)))
+      ignore (Transient.solve g ~alpha:[| 1. |] ~t:1.))
+
+(* Regression: a bad time grid is a structured Invalid_model error
+   (not a bare Invalid_argument), consistently across every sweep
+   entry point, with all violations collected. *)
+let test_times_validation () =
+  let g = Generator.of_rates ~n:2 [ (0, 1, 1.) ] in
+  let alpha = [| 1.; 0. |] in
+  check_raises_diag "negative time" is_invalid_model (fun () ->
+      ignore (Transient.solve g ~alpha ~t:(-1.)));
+  check_raises_diag "NaN time in measure_sweep" is_invalid_model (fun () ->
+      ignore
+        (Transient.measure_sweep g ~alpha
+           ~times:[| 1.; Float.nan |]
+           ~measure:(fun pi -> pi.(1))));
+  check_raises_diag "negative time in multi_measure_sweep" is_invalid_model
+    (fun () ->
+      ignore
+        (Transient.multi_measure_sweep g ~alpha
+           ~times:[| 1.; -2. |]
+           ~measures:[| (fun pi -> pi.(1)) |]));
+  check_raises_diag "infinite time in distribution_sweep" is_invalid_model
+    (fun () ->
+      ignore
+        (Transient.distribution_sweep g ~alpha
+           ~times:[| Float.infinity |]));
+  (* All offending entries are reported in one error. *)
+  (match
+     Transient.measure_sweep g ~alpha
+       ~times:[| -1.; Float.nan; 2. |]
+       ~measure:(fun pi -> pi.(1))
+   with
+  | exception Diag.Error (Diag.Invalid_model { violations; _ }) ->
+      check_int "both violations collected" 2 (List.length violations)
+  | _ -> Alcotest.fail "expected Invalid_model")
 
 let test_expected_hitting_mass () =
   let g = Generator.of_rates ~n:2 [ (0, 1, 1.) ] in
@@ -125,6 +159,74 @@ let test_expected_hitting_mass () =
     Transient.expected_hitting_mass g ~alpha:[| 1.; 0. |] ~states:[ 1 ] ~t:3.
   in
   check_float ~eps:1e-10 "absorbed mass" (1. -. exp (-3.)) m
+
+let test_multi_measure_matches_single () =
+  let g =
+    Generator.of_rates ~n:3 [ (0, 1, 1.5); (1, 2, 0.7); (2, 0, 0.2) ]
+  in
+  let alpha = [| 1.; 0.; 0. |] in
+  let times = [| 0.3; 1.; 2.5; 7. |] in
+  let measures =
+    [| (fun pi -> pi.(0)); (fun pi -> pi.(2)); (fun pi -> pi.(0) +. pi.(1)) |]
+  in
+  let batched, stats = Transient.multi_measure_sweep g ~alpha ~times ~measures in
+  check_true "iterations positive" (stats.Transient.iterations > 0);
+  Array.iteri
+    (fun j measure ->
+      let single, _ = Transient.measure_sweep g ~alpha ~times ~measure in
+      Array.iteri
+        (fun i t ->
+          check_float ~eps:1e-14
+            (Printf.sprintf "measure %d at t=%g" j t)
+            single.(i)
+            batched.(j).(i))
+        times)
+    measures
+
+let test_multi_measure_counts_one_sweep () =
+  let g = Generator.of_rates ~n:2 [ (0, 1, 1.); (1, 0, 0.5) ] in
+  let alpha = [| 1.; 0. |] in
+  let times = [| 0.5; 1.; 2. |] in
+  let measures = [| (fun pi -> pi.(0)); (fun pi -> pi.(1)) |] in
+  Transient.reset_counters ();
+  let _, stats = Transient.multi_measure_sweep g ~alpha ~times ~measures in
+  check_int "one sweep" 1 (Transient.sweep_count ());
+  check_int "products = iterations" stats.Transient.iterations
+    (Transient.product_count ())
+
+let test_supplied_buffers_and_windows () =
+  let g = Generator.of_rates ~n:3 [ (0, 1, 1.); (1, 2, 0.5) ] in
+  let alpha = [| 1.; 0.; 0. |] in
+  let times = [| 0.7; 3. |] in
+  let measure pi = pi.(2) in
+  let plain, _ = Transient.measure_sweep g ~alpha ~times ~measure in
+  let q = Transient.resolve_rate g in
+  let windows =
+    Array.map
+      (fun t ->
+        Poisson.weights
+          ~accuracy:Solver_opts.default.Solver_opts.accuracy
+          (q *. t))
+      times
+  in
+  let buffers = (Array.make 3 nan, Array.make 3 nan) in
+  let reused, _ =
+    Transient.measure_sweep ~windows ~buffers g ~alpha ~times ~measure
+  in
+  Array.iteri
+    (fun i _ -> check_float ~eps:0. "identical with cached windows"
+        plain.(i) reused.(i))
+    times;
+  check_raises_invalid "window length mismatch" (fun () ->
+      ignore
+        (Transient.measure_sweep
+           ~windows:[| windows.(0) |]
+           g ~alpha ~times ~measure));
+  check_raises_invalid "buffer length mismatch" (fun () ->
+      ignore
+        (Transient.measure_sweep
+           ~buffers:(Array.make 2 0., Array.make 3 0.)
+           g ~alpha ~times ~measure))
 
 let suite =
   [
@@ -137,5 +239,9 @@ let suite =
     case "distribution sweep" test_distribution_sweep;
     case "absorbing mass monotone" test_absorbing_mass_monotone;
     case "validation" test_validation;
+    case "time-grid validation is structured" test_times_validation;
+    case "multi-measure matches single sweeps" test_multi_measure_matches_single;
+    case "multi-measure costs one sweep" test_multi_measure_counts_one_sweep;
+    case "supplied buffers and windows" test_supplied_buffers_and_windows;
     case "expected hitting mass" test_expected_hitting_mass;
   ]
