@@ -155,9 +155,17 @@ let plot_arg =
 (* Numerical solver options, shared by every CTMC-backed subcommand
    and collapsed into one Solver_opts.t value. *)
 let solver_opts_term =
-  let make accuracy unif_rate convergence_tol solver_tol =
+  let make accuracy unif_rate convergence_tol solver_tol jobs =
+    (* --jobs also sets the process-wide default so code paths that
+       build their own Solver_opts (sessions, experiments) follow it. *)
+    (match jobs with
+    | Some j when j < 1 ->
+        Batlife_numerics.Diag.invalid_model ~what:"--jobs"
+          [ Printf.sprintf "need at least 1 worker domain, got %d" j ]
+    | Some j -> Batlife_numerics.Pool.set_default_jobs j
+    | None -> ());
     Solver_opts.make ~accuracy ?unif_rate ~convergence_tol ?linear_tol:solver_tol
-      ()
+      ?jobs ()
   in
   let accuracy =
     Arg.(
@@ -190,8 +198,19 @@ let solver_opts_term =
             "Residual tolerance of the linear (Gauss-Seidel) solves \
              behind exact means and unbounded reachability (default: \
              per-solver).")
+  and jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N" ~env:(Cmd.Env.info "BATLIFE_JOBS")
+          ~doc:
+            "Worker domains of the parallel uniformisation kernel and the \
+             experiment fan-out (default: the machine's recommended domain \
+             count). Results are bitwise identical for every value; 1 \
+             forces the sequential path.")
   in
-  Term.(const make $ accuracy $ unif_rate $ convergence_tol $ solver_tol)
+  Term.(
+    const make $ accuracy $ unif_rate $ convergence_tol $ solver_tol $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* kibam                                                               *)

@@ -229,6 +229,10 @@ module Session = struct
             the cache degenerates to [t] because [rate] is pinned for
             the session's lifetime. *)
     mutable buffers : (float array * float array) option;
+    mutable kernel : Transient.kernel option;
+        (** parallel stepping kernel (transposed uniformised matrix +
+            row partition), built on the first sweep and reused — the
+            per-sweep transpose cost is paid once per session *)
     mutable queue : reg list;  (** pending registrations, newest first *)
     mutable last_stats : Transient.stats option;
     mutable swept : int;
@@ -256,6 +260,7 @@ module Session = struct
       rate;
       fox_glynn = Hashtbl.create 64;
       buffers = None;
+      kernel = None;
       queue = [];
       last_stats = None;
       swept = 0;
@@ -288,6 +293,14 @@ module Session = struct
         let b = (Vector.create n, Vector.create n) in
         s.buffers <- Some b;
         b
+
+  let kernel s =
+    match s.kernel with
+    | Some k -> k
+    | None ->
+        let k = Transient.make_kernel ~opts:s.opts s.d.generator in
+        s.kernel <- Some k;
+        k
 
   let register s ~times ~funcs finish =
     let reg = { reg_times = times; funcs; out = [||]; filled = false } in
@@ -322,7 +335,8 @@ module Session = struct
         let buffers = scratch s in
         let results, stats =
           Transient.multi_measure_sweep ~opts:s.opts ~windows ~buffers
-            s.d.generator ~alpha:s.d.alpha ~times:grid ~measures
+            ~kernel:(kernel s) s.d.generator ~alpha:s.d.alpha ~times:grid
+            ~measures
         in
         let offset = ref 0 in
         List.iter

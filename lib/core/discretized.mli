@@ -124,6 +124,10 @@ val expected_lifetime : ?opts:Solver_opts.t -> t -> float
       entry per distinct time point ever queried;
     - the two working vectors of the power sweep, so repeated flushes
       allocate nothing but their result blocks;
+    - the parallel stepping kernel of {!Transient.make_kernel} — the
+      CSR transpose of the uniformised matrix and its nnz-balanced row
+      partition — so the transpose is paid once per session rather
+      than once per sweep;
     - the index partitions behind the marginal queries.
 
     Queries {e register} linear functionals and return typed

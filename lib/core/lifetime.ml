@@ -94,8 +94,20 @@ let quantile c p =
   let interp = Interp.create ~xs:c.times ~ys:c.probabilities in
   Interp.inverse interp p
 
-let convergence_study ?opts ~deltas ~times model =
-  Array.to_list deltas |> List.map (fun delta -> cdf ?opts ~delta ~times model)
+(* The refinement points are independent whole solves, so they fan out
+   across the pool.  Each point's diagnostics are captured on its own
+   domain and replayed in delta order afterwards, so the merged event
+   stream (and hence every log a front end prints from it) is identical
+   to the sequential run's. *)
+let convergence_study ?(opts = Solver_opts.default) ~deltas ~times model =
+  let pool = Pool.get ~jobs:(Solver_opts.resolve_jobs opts) in
+  Pool.map_array pool
+    (fun delta -> Diag.capture (fun () -> cdf ~opts ~delta ~times model))
+    deltas
+  |> Array.to_list
+  |> List.map (fun (curve, events) ->
+         Diag.replay events;
+         curve)
 
 module Legacy = struct
   let cdf ?accuracy ?initial_fill ~delta ~times model =

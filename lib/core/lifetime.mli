@@ -83,7 +83,11 @@ val convergence_study :
   Kibamrm.t ->
   curve list
 (** One curve per step size — the refinement sequence of the paper's
-    Figs. 7/8 ([Delta = 100, 50, 25, 10, 5]). *)
+    Figs. 7/8 ([Delta = 100, 50, 25, 10, 5]).  The points are
+    independent solves and are evaluated in parallel across
+    [Solver_opts.resolve_jobs opts] domains; results and diagnostics
+    are merged in delta order, so output is deterministic and bitwise
+    identical to the sequential run. *)
 
 (** Pre-[Solver_opts] signatures, kept as thin deprecated wrappers. *)
 module Legacy : sig

@@ -3,15 +3,19 @@ type t = {
   unif_rate : float option;
   convergence_tol : float;
   linear_tol : float option;
+  jobs : int option;
 }
 
 let default =
   { accuracy = 1e-12; unif_rate = None; convergence_tol = 1e-14;
-    linear_tol = None }
+    linear_tol = None; jobs = None }
 
 let make ?(accuracy = default.accuracy) ?unif_rate
-    ?(convergence_tol = default.convergence_tol) ?linear_tol () =
-  { accuracy; unif_rate; convergence_tol; linear_tol }
+    ?(convergence_tol = default.convergence_tol) ?linear_tol ?jobs () =
+  (match jobs with
+  | Some j when j < 1 -> invalid_arg "Solver_opts.make: need jobs >= 1"
+  | _ -> ());
+  { accuracy; unif_rate; convergence_tol; linear_tol; jobs }
 
 let of_legacy ?accuracy ?q ?convergence_tol ?tol () =
   make ?accuracy ?unif_rate:q ?convergence_tol ?linear_tol:tol ()
@@ -19,12 +23,19 @@ let of_legacy ?accuracy ?q ?convergence_tol ?tol () =
 let linear_tol_or ~default:d t =
   match t.linear_tol with Some tol -> tol | None -> d
 
+let resolve_jobs t =
+  match t.jobs with
+  | Some j -> j
+  | None -> Batlife_numerics.Pool.default_jobs ()
+
 let pp ppf t =
   Format.fprintf ppf
-    "{ accuracy = %g; unif_rate = %s; convergence_tol = %g; linear_tol = %s }"
+    "{ accuracy = %g; unif_rate = %s; convergence_tol = %g; linear_tol = %s; \
+     jobs = %s }"
     t.accuracy
     (match t.unif_rate with Some q -> Printf.sprintf "%g" q | None -> "auto")
     t.convergence_tol
     (match t.linear_tol with
     | Some tol -> Printf.sprintf "%g" tol
     | None -> "solver default")
+    (match t.jobs with Some j -> string_of_int j | None -> "auto")

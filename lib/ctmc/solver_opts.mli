@@ -23,27 +23,37 @@
       (Gauss–Seidel / Jacobi) solves behind unbounded reachability and
       exact expected lifetimes.  [None] keeps each solver's documented
       default: [1e-12] for hitting probabilities and hitting times,
-      [1e-10] for the expected-lifetime first-passage system. *)
+      [1e-10] for the expected-lifetime first-passage system.
+    - [jobs] (default [None]): worker-domain count of the parallel
+      uniformisation kernel and the experiment fan-out.  [None]
+      resolves at use time to [Batlife_numerics.Pool.default_jobs]
+      (the CLI [--jobs] override, else [BATLIFE_JOBS], else
+      [Domain.recommended_domain_count]); [Some 1] forces the
+      guaranteed sequential path.  Results are bitwise identical for
+      every job count. *)
 
 type t = {
   accuracy : float;
   unif_rate : float option;
   convergence_tol : float;
   linear_tol : float option;
+  jobs : int option;
 }
 
 val default : t
 (** [{ accuracy = 1e-12; unif_rate = None; convergence_tol = 1e-14;
-      linear_tol = None }]. *)
+      linear_tol = None; jobs = None }]. *)
 
 val make :
   ?accuracy:float ->
   ?unif_rate:float ->
   ?convergence_tol:float ->
   ?linear_tol:float ->
+  ?jobs:int ->
   unit ->
   t
-(** [make ()] is {!default}; each argument overrides one field. *)
+(** [make ()] is {!default}; each argument overrides one field.
+    Raises [Invalid_argument] on [jobs < 1]. *)
 
 val of_legacy :
   ?accuracy:float ->
@@ -58,5 +68,9 @@ val of_legacy :
 val linear_tol_or : default:float -> t -> float
 (** The linear-solve tolerance, falling back to the calling solver's
     documented default when [linear_tol] is [None]. *)
+
+val resolve_jobs : t -> int
+(** The effective job count: [jobs] when set, else
+    [Batlife_numerics.Pool.default_jobs ()]. *)
 
 val pp : Format.formatter -> t -> unit

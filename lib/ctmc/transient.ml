@@ -89,6 +89,63 @@ let resolve_q where ?q g =
 let resolve_rate ?(opts = Solver_opts.default) g =
   resolve_q "Transient.resolve_rate" ?q:opts.Solver_opts.unif_rate g
 
+(* ------------------------------------------------------------------ *)
+(* The stepping kernel.
+
+   The hot operation of every sweep is v' = v P with P = I + Q/q.  The
+   scatter form (accumulate v_i * P_ij into column j, the historical
+   [Sparse.vecmat_acc] path) cannot be row-partitioned: concurrent
+   domains would race on the shared output columns.  So a sweep
+   prepares a kernel once: the CSR {e transpose} of P, over which the
+   product becomes a gather — output entry j is the dot product of
+   row j of P^T with v, owned by exactly one domain, summed in a fixed
+   (CSR) order.  Covering the rows with any disjoint partition then
+   yields bitwise-identical results for every job count, which is what
+   makes jobs a pure performance knob. *)
+
+type kernel = {
+  k_states : int;
+  k_rate : float;  (** the uniformisation rate [q] baked into P *)
+  k_pt : Sparse.t;  (** transpose of [P = I + Q/q] *)
+  k_partition : (int * int) array;  (** nnz-balanced row ranges of [k_pt] *)
+  k_pool : Pool.t;
+}
+
+let kernel_for g ~q ~jobs =
+  let pool = Pool.get ~jobs in
+  let pt = Sparse.transpose (Generator.uniformised g ~q) in
+  {
+    k_states = Generator.n_states g;
+    k_rate = q;
+    k_pt = pt;
+    k_partition = Sparse.nnz_balanced_partition pt ~parts:(Pool.size pool);
+    k_pool = pool;
+  }
+
+let make_kernel ?(opts = Solver_opts.default) g =
+  let q = resolve_q "Transient.make_kernel" ?q:opts.Solver_opts.unif_rate g in
+  kernel_for g ~q ~jobs:(Solver_opts.resolve_jobs opts)
+
+let kernel_rate k = k.k_rate
+let kernel_jobs k = Pool.size k.k_pool
+
+(* A caller-supplied kernel must have been prepared for the exact rate
+   the sweep resolved, or the Poisson windows and the matrix would
+   disagree on q. *)
+let check_kernel ~where ~q ~opts g = function
+  | Some k ->
+      if k.k_states <> Generator.n_states g then
+        invalid_arg
+          (Printf.sprintf "%s: kernel has %d states but the generator has %d"
+             where k.k_states (Generator.n_states g));
+      if k.k_rate <> q then
+        invalid_arg
+          (Printf.sprintf
+             "%s: kernel was prepared for q = %g but the sweep resolved q = %g"
+             where k.k_rate q);
+      k
+  | None -> kernel_for g ~q ~jobs:(Solver_opts.resolve_jobs opts)
+
 (* In-flight guardrail for the uniformised power sweep: the iterate is
    a probability vector, so its mass must stay at the initial mass (the
    expanded generators conserve it exactly up to roundoff) and every
@@ -118,12 +175,15 @@ let checked_measure ~where measure ~step v =
     Diag.breakdown ~where "measure returned NaN at uniformisation step %d" step;
   value
 
-(* One uniformised step: v' = v P = v + (v Q) / q, computed without
-   materialising P. *)
-let step q_matrix ~q ~src ~dst =
+(* One uniformised step: v' = v P, as a gather over the transposed
+   matrix.  Every dst entry is (over)written by exactly one chunk, so
+   no blit/zeroing of dst is needed; the chunk-to-worker assignment and
+   the in-row summation order are fixed, so the result is bitwise
+   independent of the job count. *)
+let step k ~src ~dst =
   incr products;
-  Vector.blit ~src ~dst;
-  Sparse.vecmat_acc ~src q_matrix ~scale:(1. /. q) ~dst
+  Pool.run_chunks k.k_pool k.k_partition (fun ~lo ~hi ->
+      Sparse.matvec_rows k.k_pt src ~dst ~lo ~hi)
 
 (* Working vectors of a sweep: reuse caller-provided buffers (the
    session fast path — no per-call allocation) or allocate a fresh
@@ -145,14 +205,14 @@ let solve ?(opts = Solver_opts.default) g ~alpha ~t =
   let n = Generator.n_states g in
   let q = resolve_q where ?q:opts.Solver_opts.unif_rate g in
   let weights = Poisson.weights ~accuracy:opts.Solver_opts.accuracy (q *. t) in
-  let qm = Generator.matrix g in
+  let kernel = kernel_for g ~q ~jobs:(Solver_opts.resolve_jobs opts) in
   let v = Vector.copy alpha and v' = Vector.create n in
   let out = Vector.create n in
   let add_weighted w src = Vector.axpy ~alpha:w ~x:src ~y:out in
   let current = ref v and scratch = ref v' in
   for m = 0 to weights.Poisson.right do
     if m > 0 then begin
-      step qm ~q ~src:!current ~dst:!scratch;
+      step kernel ~src:!current ~dst:!scratch;
       let t = !current in
       current := !scratch;
       scratch := t
@@ -179,15 +239,15 @@ let check_windows ~where ~times = function
    (measure, time) result is then a Poisson-weighted scalar sum.  Any
    number of measures and time points therefore cost a single power
    sweep. *)
-let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers g
-    ~alpha ~times ~measures =
+let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
+    g ~alpha ~times ~measures =
   check_alpha g alpha;
   let where = "Transient.multi_measure_sweep" in
   check_times ~where times;
   incr sweeps;
   let n = Generator.n_states g in
   let q = resolve_q where ?q:opts.Solver_opts.unif_rate g in
-  let qm = Generator.matrix g in
+  let kernel = check_kernel ~where ~q ~opts g kernel in
   (* Poisson windows per time point; the sweep must reach the largest
      right truncation point (unless stationarity is detected first). *)
   let windows =
@@ -216,7 +276,7 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers g
   let converged_at = ref None in
   let m = ref 1 in
   while !m <= n_max && Option.is_none !converged_at do
-    step qm ~q ~src:!current ~dst:!scratch;
+    step kernel ~src:!current ~dst:!scratch;
     let drift = Vector.dist_inf !current !scratch in
     let t = !current in
     current := !scratch;
@@ -256,9 +316,9 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers g
   ( results,
     { iterations; converged_at = !converged_at; uniformisation_rate = q } )
 
-let measure_sweep ?opts ?windows ?buffers g ~alpha ~times ~measure =
+let measure_sweep ?opts ?windows ?buffers ?kernel g ~alpha ~times ~measure =
   let results, stats =
-    multi_measure_sweep ?opts ?windows ?buffers g ~alpha ~times
+    multi_measure_sweep ?opts ?windows ?buffers ?kernel g ~alpha ~times
       ~measures:[| measure |]
   in
   (results.(0), stats)
@@ -270,7 +330,7 @@ let distribution_sweep ?(opts = Solver_opts.default) g ~alpha ~times =
   incr sweeps;
   let n = Generator.n_states g in
   let q = resolve_q where ?q:opts.Solver_opts.unif_rate g in
-  let qm = Generator.matrix g in
+  let kernel = kernel_for g ~q ~jobs:(Solver_opts.resolve_jobs opts) in
   let windows =
     Array.map
       (fun t -> Poisson.weights ~accuracy:opts.Solver_opts.accuracy (q *. t))
@@ -285,7 +345,7 @@ let distribution_sweep ?(opts = Solver_opts.default) g ~alpha ~times =
   let current = ref v and scratch = ref v' in
   for m = 0 to n_max do
     if m > 0 then begin
-      step qm ~q ~src:!current ~dst:!scratch;
+      step kernel ~src:!current ~dst:!scratch;
       let t = !current in
       current := !scratch;
       scratch := t;

@@ -15,6 +15,15 @@
     [?opts:Solver_opts.t] record; the pre-record optional-argument
     signatures survive in {!Legacy} as thin deprecated wrappers.
 
+    {b Parallelism.}  The hot product [v := v P] runs as a gather over
+    the CSR transpose of [P], row-partitioned across a
+    [Batlife_numerics.Pool] of [Solver_opts.resolve_jobs opts] domains
+    (a {!kernel} value, prepared once per sweep or cached by the
+    session layer via {!make_kernel}).  Each output entry is owned by
+    exactly one domain and summed in a fixed order, so results are
+    {b bitwise identical} for every job count; [jobs = 1] takes a
+    guaranteed sequential path.
+
     All entry points are guarded: a user-supplied uniformisation rate
     [q] below the chain's largest exit rate is rejected with
     [Diag.Error (Invalid_model _)] (the uniformised matrix would have
@@ -59,6 +68,29 @@ val resolve_rate : ?opts:Solver_opts.t -> Generator.t -> float
     that cache Fox–Glynn windows keyed by [(q, t)] — the session layer
     — can compute them with the exact [q] a sweep will use. *)
 
+(** {1 The stepping kernel}
+
+    Everything a sweep needs to apply [v := v P] in parallel: the CSR
+    transpose of the uniformised matrix, an nnz-balanced row partition
+    of it, and the worker pool.  Building one costs a transpose
+    (O(nnz)); sweeping with a prebuilt kernel avoids paying that per
+    call, which is what [Batlife_core.Discretized.Session] relies on
+    for its amortised fast path. *)
+
+type kernel
+
+val make_kernel : ?opts:Solver_opts.t -> Generator.t -> kernel
+(** Prepare the parallel stepping kernel for [g] under [opts] (rate
+    from [opts.unif_rate] or the generator, pool of
+    [Solver_opts.resolve_jobs opts] domains).  Validates the rate like
+    {!resolve_rate}. *)
+
+val kernel_rate : kernel -> float
+(** The uniformisation rate the kernel's matrix was built with. *)
+
+val kernel_jobs : kernel -> int
+(** The worker count of the kernel's pool. *)
+
 val solve :
   ?opts:Solver_opts.t ->
   Generator.t ->
@@ -72,6 +104,7 @@ val multi_measure_sweep :
   ?opts:Solver_opts.t ->
   ?windows:Batlife_numerics.Poisson.t array ->
   ?buffers:float array * float array ->
+  ?kernel:kernel ->
   Generator.t ->
   alpha:float array ->
   times:float array ->
@@ -92,13 +125,18 @@ val multi_measure_sweep :
     entry of [times] (they must have been computed for the same [q]
     and [accuracy] — the session cache uses {!resolve_rate});
     [buffers] supplies the two length-[n] working vectors so repeated
-    sweeps are allocation-free apart from the result matrix.  Raises
-    [Invalid_argument] if either has the wrong length. *)
+    sweeps are allocation-free apart from the result matrix; [kernel]
+    supplies a prebuilt stepping kernel (from {!make_kernel}) so
+    repeated sweeps skip the per-call transpose.  Raises
+    [Invalid_argument] if [windows]/[buffers] have the wrong length,
+    or if [kernel] was prepared for a different state count or
+    uniformisation rate than the sweep resolves under [opts]. *)
 
 val measure_sweep :
   ?opts:Solver_opts.t ->
   ?windows:Batlife_numerics.Poisson.t array ->
   ?buffers:float array * float array ->
+  ?kernel:kernel ->
   Generator.t ->
   alpha:float array ->
   times:float array ->

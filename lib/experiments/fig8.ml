@@ -8,15 +8,14 @@ let compute ?opts ?(runs = 1000) ?(full = false) () =
     Params.onoff_kibamrm ~frequency:1.0 (Params.battery_two_well ())
   in
   let times = Params.onoff_times () in
+  (* One independent solve per delta: fan out across the pool; the
+     summary lines print in delta order once every curve is in. *)
   let approx =
-    List.map
+    Par.map_with_log ?opts
       (fun delta ->
+        let name = Printf.sprintf "Delta=%g" delta in
         let curve = Lifetime.cdf ?opts ~delta ~times model in
-        Printf.printf "%s\n"
-          (Report.curve_summary
-             ~name:(Printf.sprintf "Delta=%g" delta)
-             curve);
-        Report.series_of_curve ~name:(Printf.sprintf "Delta=%g" delta) curve)
+        (Report.curve_summary ~name curve, Report.series_of_curve ~name curve))
       (deltas ~full)
   in
   let sim = Montecarlo.lifetime_cdf ~runs model ~times in

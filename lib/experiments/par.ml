@@ -1,0 +1,33 @@
+open Batlife_numerics
+open Batlife_ctmc
+
+(* Deterministic parallel fan-out for the experiments.
+
+   Independent figure curves (one per refinement delta) are whole
+   solves with no shared state, so they map across the process pool.
+   Two things must stay deterministic regardless of domain scheduling:
+
+   - results: [Pool.map_array] already preserves input order;
+   - diagnostics: each task runs under [Diag.capture] on its own
+     domain, and the buffers are replayed in input order afterwards,
+     so the merged event stream is exactly the sequential one.
+
+   Printing from inside [f] would interleave arbitrarily; tasks return
+   their text and the caller prints after the map (see {!map_with_log}
+   and the fig7/fig8 call sites). *)
+
+let map ?(opts = Solver_opts.default) f xs =
+  let pool = Pool.get ~jobs:(Solver_opts.resolve_jobs opts) in
+  Pool.map_array pool (fun x -> Diag.capture (fun () -> f x))
+    (Array.of_list xs)
+  |> Array.to_list
+  |> List.map (fun (y, events) ->
+         Diag.replay events;
+         y)
+
+let map_with_log ?opts f xs =
+  map ?opts f xs
+  |> List.map (fun (line, y) ->
+         print_string line;
+         print_newline ();
+         y)

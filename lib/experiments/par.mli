@@ -1,0 +1,28 @@
+(** Deterministic parallel fan-out over independent experiment units.
+
+    The experiments' outer loops (one whole solve per refinement
+    delta) are embarrassingly parallel; these combinators run them
+    across the process-wide [Batlife_numerics.Pool] while keeping
+    every observable output — result order, diagnostic events, printed
+    summaries — identical to the sequential run.  A solve inside a
+    task that itself parallelises (the uniformisation kernel) is safe:
+    nested sections run inline on the task's domain. *)
+
+val map :
+  ?opts:Batlife_ctmc.Solver_opts.t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ?opts f xs] is [List.map f xs] computed across
+    [Solver_opts.resolve_jobs opts] domains.  Results are returned in
+    input order; each task's {!Batlife_numerics.Diag} events are
+    captured on its domain and replayed in input order after all
+    tasks finish.  [f] must not print (output would interleave) — have
+    it return the text, or use {!map_with_log}.  If tasks raise, the
+    exception of the lowest-indexed failing task propagates. *)
+
+val map_with_log :
+  ?opts:Batlife_ctmc.Solver_opts.t ->
+  ('a -> string * 'b) ->
+  'a list ->
+  'b list
+(** [map_with_log ?opts f xs]: like {!map} for an [f] returning
+    [(log_line, result)]; the log lines are printed on stdout in input
+    order once all tasks finish, then the results are returned. *)

@@ -70,15 +70,58 @@ let breakdown ~where fmt =
 
 (* In-flight diagnostics: numerical components record which path ran
    (e.g. a fallback solver) into a process-wide sink; front ends drain
-   it to surface the events next to their results. *)
+   it to surface the events next to their results.
+
+   The sink is shared by every domain, so it is mutex-protected
+   (events are rare — one per solver fallback — so the lock is never
+   hot).  A parallel fan-out additionally wants per-task event
+   streams merged back in task order, not arrival order: [capture]
+   redirects the current domain's recordings into a private buffer,
+   and [replay] re-records a buffer into the shared sink, so the
+   merge order is whatever order the caller replays in. *)
 
 type event = { origin : string; detail : string; fallback : bool }
 
 let sink : event list ref = ref []
+let sink_mutex = Mutex.create ()
+
+(* The current domain's capture buffer, if a [capture] is in flight. *)
+let capture_cell : event list ref option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let record ?(fallback = false) ~origin detail =
-  sink := { origin; detail; fallback } :: !sink
+  let e = { origin; detail; fallback } in
+  match !(Domain.DLS.get capture_cell) with
+  | Some buffer -> buffer := e :: !buffer
+  | None ->
+      Mutex.lock sink_mutex;
+      sink := e :: !sink;
+      Mutex.unlock sink_mutex
 
-let events () = List.rev !sink
+let capture f =
+  let cell = Domain.DLS.get capture_cell in
+  let saved = !cell in
+  let buffer = ref [] in
+  cell := Some buffer;
+  match f () with
+  | result ->
+      cell := saved;
+      (result, List.rev !buffer)
+  | exception e ->
+      cell := saved;
+      raise e
 
-let clear_events () = sink := []
+let replay events =
+  List.iter (fun e -> record ~fallback:e.fallback ~origin:e.origin e.detail)
+    events
+
+let events () =
+  Mutex.lock sink_mutex;
+  let es = List.rev !sink in
+  Mutex.unlock sink_mutex;
+  es
+
+let clear_events () =
+  Mutex.lock sink_mutex;
+  sink := [];
+  Mutex.unlock sink_mutex

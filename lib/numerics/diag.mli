@@ -55,11 +55,30 @@ val breakdown : where:string -> ('a, unit, string, 'b) format4 -> 'a
 
     Numerical components record which path ran (e.g. "fell back to
     Jacobi") into a process-wide sink; the CLI and the experiment
-    runner drain it to surface the events next to their results. *)
+    runner drain it to surface the events next to their results.
+
+    The sink is shared across domains (recording is mutex-protected).
+    A parallel fan-out that wants deterministic logs uses {!capture}
+    around each task — events recorded by the task's domain land in a
+    private per-task buffer — and {!replay}s the buffers in input
+    order, so the merged stream is independent of domain scheduling. *)
 
 type event = { origin : string; detail : string; fallback : bool }
 
 val record : ?fallback:bool -> origin:string -> string -> unit
+
+val capture : (unit -> 'a) -> 'a * event list
+(** [capture f] runs [f] with the {e current domain's} recordings
+    redirected to a fresh buffer and returns [f]'s result with the
+    events recorded during the call, oldest first.  Nests (the inner
+    capture shadows the outer one for its extent).  If [f] raises, the
+    redirection is undone and the exception propagates (the buffered
+    events are dropped).  Recordings made by {e other} domains during
+    the call are not captured — wrap each parallel task separately. *)
+
+val replay : event list -> unit
+(** Re-record events in list order (into the shared sink, or into the
+    enclosing capture buffer if one is in flight). *)
 
 val events : unit -> event list
 (** Recorded events, oldest first. *)

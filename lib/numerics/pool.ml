@@ -1,0 +1,274 @@
+(* A reusable pool of worker domains (OCaml 5 stdlib [Domain] only).
+
+   The pool exists for the uniformisation hot loop: spawning a domain
+   costs orders of magnitude more than one chunk of a sparse
+   matrix-vector product, so the workers are spawned once and parked on
+   a condition variable between parallel sections.  A parallel section
+   ([run]) publishes a closure, bumps a generation counter, wakes every
+   worker, executes share 0 on the calling domain, and waits for the
+   stragglers — a plain fork-join barrier.
+
+   Determinism is the caller's contract: [run]/[run_chunks] assign each
+   share to exactly one worker index, so as long as the closure writes
+   only locations owned by its share (the gather-based kernels in
+   {!Sparse} do), the result is independent of scheduling.
+
+   Nesting: a [run] issued from inside a worker (or from the caller
+   share of an enclosing [run]) executes all shares inline on the
+   current domain instead of touching the pool.  This makes it safe for
+   a parallel experiment fan-out to call parallel sweeps — the
+   outermost parallel section wins, inner ones degrade to the
+   guaranteed sequential path. *)
+
+type shared = {
+  mutex : Mutex.t;
+  start : Condition.t;  (* workers: a new generation was published *)
+  finished : Condition.t;  (* caller: all workers completed the section *)
+  mutable generation : int;
+  mutable task : (int -> unit) option;  (* [None] tells workers to exit *)
+  mutable pending : int;
+  mutable failures : (int * exn * Printexc.raw_backtrace) list;
+}
+
+type t =
+  | Sequential
+  | Domains of {
+      jobs : int;
+      shared : shared;
+      submit : Mutex.t;  (* serialises concurrent [run] calls *)
+      domains : unit Domain.t array;
+      mutable live : bool;
+    }
+
+(* True on any domain currently executing a share of a parallel
+   section; [run] consults it to fall back to inline execution. *)
+let in_section : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
+
+let size = function Sequential -> 1 | Domains d -> d.jobs
+
+let worker shared w =
+  Domain.DLS.get in_section := true;
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock shared.mutex;
+    while shared.generation = !seen do
+      Condition.wait shared.start shared.mutex
+    done;
+    seen := shared.generation;
+    let task = shared.task in
+    Mutex.unlock shared.mutex;
+    match task with
+    | None -> ()
+    | Some f ->
+        let failure =
+          match f w with
+          | () -> None
+          | exception e -> Some (w, e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock shared.mutex;
+        (match failure with
+        | Some f -> shared.failures <- f :: shared.failures
+        | None -> ());
+        shared.pending <- shared.pending - 1;
+        if shared.pending = 0 then Condition.signal shared.finished;
+        Mutex.unlock shared.mutex;
+        loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: need jobs >= 1";
+  if jobs = 1 then Sequential
+  else begin
+    let shared =
+      {
+        mutex = Mutex.create ();
+        start = Condition.create ();
+        finished = Condition.create ();
+        generation = 0;
+        task = None;
+        pending = 0;
+        failures = [];
+      }
+    in
+    let domains =
+      Array.init (jobs - 1) (fun i ->
+          Domain.spawn (fun () -> worker shared (i + 1)))
+    in
+    Domains { jobs; shared; submit = Mutex.create (); domains; live = true }
+  end
+
+let run_inline jobs f =
+  for w = 0 to jobs - 1 do
+    f w
+  done
+
+let run t f =
+  match t with
+  | Sequential -> f 0
+  | Domains d ->
+      let flag = Domain.DLS.get in_section in
+      if !flag then
+        (* Nested section: the pool is busy with the enclosing one. *)
+        run_inline d.jobs f
+      else begin
+        if not d.live then invalid_arg "Pool.run: pool was shut down";
+        Mutex.lock d.submit;
+        let s = d.shared in
+        Mutex.lock s.mutex;
+        s.task <- Some f;
+        s.generation <- s.generation + 1;
+        s.pending <- d.jobs - 1;
+        s.failures <- [];
+        Condition.broadcast s.start;
+        Mutex.unlock s.mutex;
+        (* The calling domain is worker 0 for the section's duration;
+           flagging it routes nested [run]s to the inline path. *)
+        flag := true;
+        let caller_failure =
+          match f 0 with
+          | () -> None
+          | exception e -> Some (0, e, Printexc.get_raw_backtrace ())
+        in
+        flag := false;
+        Mutex.lock s.mutex;
+        while s.pending > 0 do
+          Condition.wait s.finished s.mutex
+        done;
+        let failures = s.failures in
+        s.task <- None;
+        Mutex.unlock s.mutex;
+        Mutex.unlock d.submit;
+        let failures =
+          match caller_failure with
+          | Some c -> c :: failures
+          | None -> failures
+        in
+        match
+          List.sort (fun (a, _, _) (b, _, _) -> compare a b) failures
+        with
+        | [] -> ()
+        | (_, e, bt) :: _ -> Printexc.raise_with_backtrace e bt
+      end
+
+let shutdown t =
+  match t with
+  | Sequential -> ()
+  | Domains d ->
+      if d.live then begin
+        d.live <- false;
+        Mutex.lock d.shared.mutex;
+        d.shared.task <- None;
+        d.shared.generation <- d.shared.generation + 1;
+        Condition.broadcast d.shared.start;
+        Mutex.unlock d.shared.mutex;
+        Array.iter Domain.join d.domains
+      end
+
+let parallel_for t ~lo ~hi f =
+  let n = hi - lo in
+  if n > 0 then begin
+    let parts = size t in
+    if parts = 1 || n = 1 then f ~lo ~hi
+    else begin
+      let chunk = (n + parts - 1) / parts in
+      run t (fun w ->
+          let l = lo + (w * chunk) in
+          let h = min hi (l + chunk) in
+          if l < h then f ~lo:l ~hi:h)
+    end
+  end
+
+let run_chunks t bounds f =
+  let k = Array.length bounds in
+  if k > 0 then
+    match t with
+    | Sequential ->
+        Array.iter (fun (lo, hi) -> if lo < hi then f ~lo ~hi) bounds
+    | Domains d ->
+        run t (fun w ->
+            (* Chunk i is owned by worker [i mod jobs]: a fixed map, so
+               every output location has exactly one writer no matter
+               how the domains are scheduled. *)
+            let i = ref w in
+            while !i < k do
+              let lo, hi = bounds.(!i) in
+              if lo < hi then f ~lo ~hi;
+              i := !i + d.jobs
+            done)
+
+let map_array t f xs =
+  let n = Array.length xs in
+  match t with
+  | Sequential -> Array.map f xs
+  | Domains _ when n = 0 -> [||]
+  | Domains _ ->
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      run t (fun _w ->
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              results.(i) <- Some (f xs.(i));
+              loop ()
+            end
+          in
+          loop ());
+      Array.map
+        (function Some v -> v | None -> assert false (* run is a barrier *))
+        results
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide default                                                *)
+
+let jobs_override = ref None
+
+let set_default_jobs jobs =
+  if jobs < 1 then invalid_arg "Pool.set_default_jobs: need jobs >= 1";
+  jobs_override := Some jobs
+
+let env_jobs () =
+  match Sys.getenv_opt "BATLIFE_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None ->
+          Diag.record ~origin:"Pool"
+            (Printf.sprintf
+               "ignoring invalid BATLIFE_JOBS=%S (want an integer >= 1)" s);
+          None)
+
+let default_jobs () =
+  match !jobs_override with
+  | Some n -> n
+  | None -> (
+      match env_jobs () with
+      | Some n -> n
+      | None -> max 1 (Domain.recommended_domain_count ()))
+
+(* Cached pools keyed by size, so repeated sweeps at the same job count
+   reuse the parked domains.  Entries are never shut down: idle workers
+   block on a condition variable and cost nothing. *)
+let cache : (int, t) Hashtbl.t = Hashtbl.create 4
+let cache_mutex = Mutex.create ()
+
+let get ~jobs =
+  if jobs < 1 then invalid_arg "Pool.get: need jobs >= 1";
+  if jobs = 1 then Sequential
+  else begin
+    Mutex.lock cache_mutex;
+    let pool =
+      match Hashtbl.find_opt cache jobs with
+      | Some p -> p
+      | None ->
+          let p = create ~jobs in
+          Hashtbl.add cache jobs p;
+          p
+    in
+    Mutex.unlock cache_mutex;
+    pool
+  end
+
+let default () = get ~jobs:(default_jobs ())

@@ -1,0 +1,84 @@
+(** A reusable pool of worker domains (stdlib [Domain], OCaml 5).
+
+    The multicore execution layer of the library: the uniformisation
+    kernel partitions its gather-based matrix-vector product over a
+    pool, and the experiment runner fans independent curves out over
+    one.  Workers are spawned once and parked between parallel
+    sections; a section is a plain fork-join barrier in which the
+    calling domain executes share 0.
+
+    {b Determinism.}  [run] and [run_chunks] assign each share to
+    exactly one worker index by a fixed rule.  A closure that writes
+    only locations owned by its share therefore produces results that
+    are independent of how the domains are scheduled — this is the
+    contract the gather-based {!Sparse.matvec_rows} kernel is built
+    on.
+
+    {b Nesting.}  A [run] issued from inside a share of another
+    section (any pool) executes all its shares inline on the current
+    domain.  The outermost parallel section wins; inner ones take the
+    guaranteed sequential path, so composing a parallel experiment
+    fan-out with parallel sweeps cannot deadlock.
+
+    {b Exceptions.}  If shares raise, the section still completes
+    (every worker finishes or fails), and the exception of the
+    lowest-numbered failing share is re-raised — with its original
+    backtrace — on the caller.  The pool remains usable. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs >= 1];
+    [jobs = 1] spawns nothing and every operation runs inline on the
+    caller).  Raises [Invalid_argument] on [jobs < 1]. *)
+
+val size : t -> int
+(** Total shares of a section, including the caller's. *)
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f 0 .. f (size t - 1)], one share per domain,
+    and returns when all have finished. *)
+
+val parallel_for : t -> lo:int -> hi:int -> (lo:int -> hi:int -> unit) -> unit
+(** [parallel_for t ~lo ~hi f] covers [\[lo, hi)] with [size t]
+    contiguous chunks, [f ~lo ~hi] once per non-empty chunk.  Each
+    index belongs to exactly one chunk. *)
+
+val run_chunks : t -> (int * int) array -> (lo:int -> hi:int -> unit) -> unit
+(** [run_chunks t bounds f] executes [f] on every non-empty [(lo, hi)]
+    range of [bounds]; chunk [i] is always executed by worker
+    [i mod size t], so ownership of output ranges is a fixed function
+    of the partition.  Use with {!Sparse.nnz_balanced_partition} for a
+    load-balanced deterministic matrix kernel. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array t f xs] maps [f] over [xs] with dynamic load balancing
+    (an atomic work index).  Result order matches input order; which
+    domain computes which element does not. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent.  Only meaningful for pools
+    made with {!create}; pools from {!get}/{!default} are shared and
+    must not be shut down. *)
+
+(** {1 Process-wide default}
+
+    The default job count is resolved, in order, from
+    {!set_default_jobs} (the CLI's [--jobs]), the [BATLIFE_JOBS]
+    environment variable, and [Domain.recommended_domain_count].  An
+    unparsable or non-positive [BATLIFE_JOBS] is ignored (with a
+    {!Diag.record} note). *)
+
+val default_jobs : unit -> int
+
+val set_default_jobs : int -> unit
+(** Override the default job count process-wide (takes precedence over
+    [BATLIFE_JOBS]).  Raises [Invalid_argument] on values below 1. *)
+
+val get : jobs:int -> t
+(** A shared pool of the given size, created on first request and
+    cached for the life of the process ([jobs = 1] is the sequential
+    pool).  Never shut these down. *)
+
+val default : unit -> t
+(** [get ~jobs:(default_jobs ())]. *)

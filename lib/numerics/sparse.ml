@@ -130,15 +130,33 @@ let of_builder (b : Builder.t) =
     values = Array.sub val_tmp 0 !write;
   }
 
+(* Dense rows are already in row-major order with ascending, duplicate
+   free columns, so CSR can be written directly in two passes — no need
+   to funnel rows*cols elements through [Builder.add]'s per-element
+   bounds check and [of_builder]'s sort. *)
 let of_dense d =
   let rows = Dense.rows d and cols = Dense.cols d in
-  let b = Builder.create ~rows ~cols () in
+  let row_ptr = Array.make (rows + 1) 0 in
+  let count = ref 0 in
   for i = 0 to rows - 1 do
     for j = 0 to cols - 1 do
-      Builder.add b i j (Dense.get d i j)
+      if Dense.get d i j <> 0. then incr count
+    done;
+    row_ptr.(i + 1) <- !count
+  done;
+  let col_idx = Array.make !count 0 and values = Array.make !count 0. in
+  let write = ref 0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let v = Dense.get d i j in
+      if v <> 0. then begin
+        col_idx.(!write) <- j;
+        values.(!write) <- v;
+        incr write
+      end
     done
   done;
-  of_builder b
+  { rows; cols; row_ptr; col_idx; values }
 
 let to_dense t =
   let d = Dense.create ~rows:t.rows ~cols:t.cols in
@@ -168,27 +186,59 @@ let get t i j =
   done;
   !result
 
+(* The kernels below drop per-element bounds checks after one up-front
+   dimension check.  This is sound because [t] is private and every
+   constructor ([of_builder], [of_dense], [transpose]) establishes the
+   CSR invariants: [row_ptr] has length [rows + 1], is non-decreasing
+   with [row_ptr.(rows) = nnz], and every [col_idx] entry lies in
+   [0, cols). *)
+
+(* [dst.(i) <- (t x).(i)] for [i] in [lo, hi) only.  The gather form of
+   the product: each output entry is owned by exactly one row, and its
+   terms are summed in CSR order, so covering [0, rows) with disjoint
+   ranges — in any order, on any domains — yields the same bits as one
+   sequential pass.  This is the parallel uniformisation kernel. *)
+let matvec_rows t x ~dst ~lo ~hi =
+  if lo < 0 || hi > t.rows || lo > hi then
+    invalid_arg "Sparse.matvec_rows: row range";
+  if Array.length x <> t.cols then invalid_arg "Sparse.matvec_rows: dimensions";
+  if Array.length dst <> t.rows then
+    invalid_arg "Sparse.matvec_rows: destination dimension";
+  let row_ptr = t.row_ptr and col_idx = t.col_idx and values = t.values in
+  for i = lo to hi - 1 do
+    let k0 = Array.unsafe_get row_ptr i
+    and k1 = Array.unsafe_get row_ptr (i + 1) in
+    let acc = ref 0. in
+    for k = k0 to k1 - 1 do
+      acc :=
+        !acc
+        +. Array.unsafe_get values k
+           *. Array.unsafe_get x (Array.unsafe_get col_idx k)
+    done;
+    Array.unsafe_set dst i !acc
+  done
+
 let matvec t x =
   if Array.length x <> t.cols then invalid_arg "Sparse.matvec: dimensions";
   let y = Array.make t.rows 0. in
-  for i = 0 to t.rows - 1 do
-    let acc = ref 0. in
-    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-      acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
-    done;
-    y.(i) <- !acc
-  done;
+  matvec_rows t x ~dst:y ~lo:0 ~hi:t.rows;
   y
 
 let vecmat x t =
   if Array.length x <> t.rows then invalid_arg "Sparse.vecmat: dimensions";
   let y = Array.make t.cols 0. in
+  let row_ptr = t.row_ptr and col_idx = t.col_idx and values = t.values in
   for i = 0 to t.rows - 1 do
-    let xi = x.(i) in
-    if xi <> 0. then
-      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-        y.(t.col_idx.(k)) <- y.(t.col_idx.(k)) +. (xi *. t.values.(k))
+    let xi = Array.unsafe_get x i in
+    if xi <> 0. then begin
+      let k0 = Array.unsafe_get row_ptr i
+      and k1 = Array.unsafe_get row_ptr (i + 1) in
+      for k = k0 to k1 - 1 do
+        let j = Array.unsafe_get col_idx k in
+        Array.unsafe_set y j
+          (Array.unsafe_get y j +. (xi *. Array.unsafe_get values k))
       done
+    end
   done;
   y
 
@@ -199,11 +249,16 @@ let vecmat_acc ~src t ~scale ~dst =
     invalid_arg "Sparse.vecmat_acc: destination dimension";
   let row_ptr = t.row_ptr and col_idx = t.col_idx and values = t.values in
   for i = 0 to t.rows - 1 do
-    let xi = src.(i) *. scale in
-    if xi <> 0. then
-      for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
-        dst.(col_idx.(k)) <- dst.(col_idx.(k)) +. (xi *. values.(k))
+    let xi = Array.unsafe_get src i *. scale in
+    if xi <> 0. then begin
+      let k0 = Array.unsafe_get row_ptr i
+      and k1 = Array.unsafe_get row_ptr (i + 1) in
+      for k = k0 to k1 - 1 do
+        let j = Array.unsafe_get col_idx k in
+        Array.unsafe_set dst j
+          (Array.unsafe_get dst j +. (xi *. Array.unsafe_get values k))
       done
+    end
   done
 
 let row_sums t =
@@ -216,15 +271,65 @@ let row_sums t =
 
 let scale s t = { t with values = Array.map (fun v -> s *. v) t.values }
 
+(* Direct CSR-to-CSR transpose by counting sort on the column index:
+   one pass to count, one to place.  Walking the source rows in
+   ascending order makes each output row's column indices ascending,
+   so the result is valid CSR without any per-row sort; no builder, no
+   per-element bounds checks. *)
 let transpose t =
-  let b = Builder.create ~initial_capacity:(nnz t) ~rows:t.cols ~cols:t.rows ()
-  in
+  let n = nnz t in
+  let row_ptr = Array.make (t.cols + 1) 0 in
+  for k = 0 to n - 1 do
+    let j = t.col_idx.(k) in
+    row_ptr.(j + 1) <- row_ptr.(j + 1) + 1
+  done;
+  for j = 1 to t.cols do
+    row_ptr.(j) <- row_ptr.(j) + row_ptr.(j - 1)
+  done;
+  let cursor = Array.copy row_ptr in
+  let col_idx = Array.make n 0 and values = Array.make n 0. in
   for i = 0 to t.rows - 1 do
     for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-      Builder.add b t.col_idx.(k) i t.values.(k)
+      let j = t.col_idx.(k) in
+      let pos = cursor.(j) in
+      col_idx.(pos) <- i;
+      values.(pos) <- t.values.(k);
+      cursor.(j) <- pos + 1
     done
   done;
-  of_builder b
+  { rows = t.cols; cols = t.rows; row_ptr; col_idx; values }
+
+(* Split [0, rows) into exactly [parts] contiguous ranges with roughly
+   equal work, where a row's work is its population plus a constant
+   (so long runs of empty rows still spread out).  Ranges may be empty
+   when a single row outweighs a whole share; together they always
+   cover every row exactly once — the property the deterministic
+   parallel {!matvec_rows} kernel relies on. *)
+let nnz_balanced_partition t ~parts =
+  if parts < 1 then invalid_arg "Sparse.nnz_balanced_partition: need parts >= 1";
+  let weight i = t.row_ptr.(i + 1) - t.row_ptr.(i) + 1 in
+  let total = nnz t + t.rows in
+  let bounds = Array.make parts (0, 0) in
+  let start = ref 0 and acc = ref 0 in
+  for p = 0 to parts - 1 do
+    let hi =
+      if p = parts - 1 then t.rows
+      else begin
+        (* Cut where the cumulative weight first reaches the share's
+           end point; integer arithmetic keeps the cuts deterministic. *)
+        let budget = total * (p + 1) / parts in
+        let i = ref !start in
+        while !i < t.rows && !acc + weight !i <= budget do
+          acc := !acc + weight !i;
+          incr i
+        done;
+        !i
+      end
+    in
+    bounds.(p) <- (!start, hi);
+    start := hi
+  done;
+  bounds
 
 let iter t f =
   for i = 0 to t.rows - 1 do

@@ -42,6 +42,8 @@ val of_builder : Builder.t -> t
 (** Sort triplets, merge duplicates, produce CSR. *)
 
 val of_dense : Dense.t -> t
+(** Direct two-pass CSR construction (no builder, no per-element
+    bounds checks); zero entries are dropped. *)
 
 val to_dense : t -> Dense.t
 
@@ -53,19 +55,44 @@ val get : t -> int -> int -> float
 val matvec : t -> float array -> float array
 (** [matvec a x = A x]. *)
 
+val matvec_rows : t -> float array -> dst:float array -> lo:int -> hi:int -> unit
+(** [matvec_rows a x ~dst ~lo ~hi] writes [(A x).(i)] into [dst.(i)]
+    for [i] in [\[lo, hi)] only, leaving the rest of [dst] untouched.
+    The gather form of the product: each output entry is owned by one
+    row and its terms are summed in CSR order, so covering [0, rows)
+    with disjoint ranges — sequentially or on concurrent domains —
+    produces results bitwise identical to a single pass.  This is the
+    parallel uniformisation kernel; partition rows with
+    {!nnz_balanced_partition} and dispatch with [Pool.run_chunks].
+    Dimensions and the range are checked once per call; the inner loop
+    is unchecked. *)
+
 val vecmat : float array -> t -> float array
 (** [vecmat x a = x^T A]. *)
 
 val vecmat_acc : src:float array -> t -> scale:float -> dst:float array -> unit
 (** [vecmat_acc ~src a ~scale ~dst] performs
-    [dst <- dst + scale * (src^T A)] without allocating; the hot loop of
-    uniformisation. *)
+    [dst <- dst + scale * (src^T A)] without allocating; the
+    sequential scatter kernel of uniformisation (column-indexed
+    accumulation — not safely row-partitionable, which is why the
+    parallel path uses {!matvec_rows} over the {!transpose}). *)
+
+val nnz_balanced_partition : t -> parts:int -> (int * int) array
+(** [nnz_balanced_partition a ~parts] splits [\[0, rows)] into exactly
+    [parts] contiguous [(lo, hi)] ranges of roughly equal work (row
+    population plus a constant per row).  Ranges may be empty; they
+    always cover each row exactly once.  The cut points are a
+    deterministic function of the matrix and [parts]. *)
 
 val row_sums : t -> float array
 
 val scale : float -> t -> t
 
 val transpose : t -> t
+(** Direct CSR-to-CSR counting-sort transpose, O(nnz + rows + cols).
+    Row [j] of the result lists the column-[j] entries of [a] in
+    ascending source-row order — the summation order that makes
+    [matvec (transpose a) x] bitwise identical to [vecmat x a]. *)
 
 val iter : t -> (int -> int -> float -> unit) -> unit
 (** Iterate entries in row-major order. *)

@@ -9,6 +9,7 @@ let () =
       ("numerics: root finding", Test_roots.suite);
       ("numerics: dense matrices", Test_dense.suite);
       ("numerics: sparse matrices", Test_sparse.suite);
+      ("numerics: domain pool", Test_pool.suite);
       ("numerics: ode solvers", Test_ode.suite);
       ("numerics: interpolation & quadrature", Test_interp_quadrature.suite);
       ("ctmc: generators", Test_generator.suite);

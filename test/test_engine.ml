@@ -208,6 +208,55 @@ let test_legacy_wrappers_agree () =
   end in
   L.run ()
 
+(* The multicore contract: the gather kernel owns each output entry on
+   exactly one domain and sums it in a fixed order, so the job count
+   must not change a single bit of any result — not "close", equal. *)
+let curve_bits (c : Lifetime.curve) =
+  Array.map Int64.bits_of_float c.Lifetime.probabilities
+
+let check_jobs_identical ~delta model =
+  let times = [| 4000.; 8000.; 12000. |] in
+  let solve jobs =
+    Lifetime.cdf ~opts:(Solver_opts.make ~jobs ()) ~delta ~times model
+  in
+  let reference = curve_bits (solve 1) in
+  List.iter
+    (fun jobs ->
+      let bits = curve_bits (solve jobs) in
+      check_true
+        (Printf.sprintf "jobs=%d CDF bitwise equal to jobs=1" jobs)
+        (bits = reference))
+    [ 2; 4 ]
+
+let test_jobs_identical_fig7 () = check_jobs_identical ~delta:100. (fig7_model ())
+
+let test_jobs_identical_fig2_battery () =
+  check_jobs_identical ~delta:200. (fig2_battery_model ())
+
+(* Same for a full session batch (CDF plus marginals) — the session
+   caches the kernel, so this also covers the cached path. *)
+let test_jobs_identical_session () =
+  let batch jobs =
+    let d = Discretized.build ~delta:200. (fig2_battery_model ()) in
+    let s =
+      Discretized.Session.create ~opts:(Solver_opts.make ~jobs ()) d
+    in
+    let cdf =
+      Discretized.Session.empty_probability s ~times:[| 5000.; 10000. |]
+    in
+    let marginal =
+      Discretized.Session.available_charge_marginal s ~time:8000.
+    in
+    let cdf = Discretized.Session.get cdf in
+    let marginal = Discretized.Session.get marginal in
+    ( Array.map Int64.bits_of_float cdf,
+      Array.map (fun (_, p) -> Int64.bits_of_float p) marginal )
+  in
+  let cdf1, marginal1 = batch 1 in
+  let cdf4, marginal4 = batch 4 in
+  check_true "session CDF bitwise equal across jobs" (cdf1 = cdf4);
+  check_true "session marginal bitwise equal across jobs" (marginal1 = marginal4)
+
 let suite =
   [
     case "session matches legacy per-call (fig-7 model)"
@@ -219,4 +268,10 @@ let suite =
     prop_multi_equals_singles;
     case "custom measure query" test_custom_measure_query;
     case "legacy wrappers agree" test_legacy_wrappers_agree;
+    case "jobs=1/2/4 bitwise identical (fig-7 model)"
+      test_jobs_identical_fig7;
+    case "jobs=1/2/4 bitwise identical (fig-2 battery)"
+      test_jobs_identical_fig2_battery;
+    case "session batch bitwise identical across jobs"
+      test_jobs_identical_session;
   ]

@@ -104,6 +104,63 @@ let prop_transpose_involution =
       let tt = Sparse.transpose (Sparse.transpose m) in
       Dense.approx_equal (Sparse.to_dense m) (Sparse.to_dense tt))
 
+(* The parallel uniformisation kernel rests on this exact identity:
+   the gather product over the transpose must reproduce the scatter
+   product over the original {e bitwise}, not approximately — the
+   transpose lists every column's entries in ascending source-row
+   order, which is precisely vecmat's summation order. *)
+let prop_transposed_matvec_bitwise =
+  qcheck ~count:300 "matvec over transpose = vecmat, bitwise"
+    QCheck.(pair random_sparse_arb (float_array_arb 6))
+    (fun (entries, x) ->
+      let m = build_matrix entries ~rows:6 ~cols:6 in
+      let scatter = Sparse.vecmat x m in
+      let gather = Sparse.matvec (Sparse.transpose m) x in
+      Array.for_all2
+        (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+        scatter gather)
+
+let prop_of_dense_matches_builder =
+  qcheck ~count:200 "of_dense = builder path" random_sparse_arb
+    (fun entries ->
+      let via_builder = build_matrix entries ~rows:6 ~cols:6 in
+      let d = Dense.create ~rows:6 ~cols:6 in
+      List.iter (fun (i, j, v) -> Dense.set d i j (Dense.get d i j +. v)) entries;
+      let via_dense = Sparse.of_dense d in
+      Sparse.nnz via_builder = Sparse.nnz via_dense
+      && Dense.approx_equal ~tol:0.
+           (Sparse.to_dense via_builder)
+           (Sparse.to_dense via_dense))
+
+let test_matvec_rows_range () =
+  let m =
+    build_matrix [ (0, 0, 1.); (1, 0, 2.); (2, 1, 3.) ] ~rows:3 ~cols:2
+  in
+  let dst = [| -1.; -1.; -1. |] in
+  Sparse.matvec_rows m [| 10.; 100. |] ~dst ~lo:1 ~hi:2;
+  check_float "outside range untouched (before)" (-1.) dst.(0);
+  check_float "inside range written" 20. dst.(1);
+  check_float "outside range untouched (after)" (-1.) dst.(2);
+  check_raises_invalid "bad range" (fun () ->
+      Sparse.matvec_rows m [| 1.; 1. |] ~dst ~lo:0 ~hi:4);
+  check_raises_invalid "wrong x length" (fun () ->
+      Sparse.matvec_rows m [| 1. |] ~dst ~lo:0 ~hi:3)
+
+(* Every partition must tile [0, rows) exactly, whatever the shape. *)
+let prop_partition_tiles =
+  qcheck ~count:200 "nnz partition tiles the rows"
+    QCheck.(pair random_sparse_arb (int_range 1 8))
+    (fun (entries, parts) ->
+      let m = build_matrix entries ~rows:6 ~cols:6 in
+      let ranges = Sparse.nnz_balanced_partition m ~parts in
+      Array.length ranges = parts
+      && Array.for_all (fun (lo, hi) -> lo <= hi) ranges
+      && fst ranges.(0) = 0
+      && snd ranges.(parts - 1) = 6
+      && Array.for_all
+           (fun i -> snd ranges.(i) = fst ranges.(i + 1))
+           (Array.init (parts - 1) (fun i -> i)))
+
 let suite =
   [
     case "builder basics" test_builder_basics;
@@ -117,7 +174,11 @@ let suite =
     case "transpose" test_transpose;
     case "dense roundtrip" test_dense_roundtrip;
     case "max abs diagonal" test_max_abs_diagonal;
+    case "matvec_rows range" test_matvec_rows_range;
     prop_matvec_matches_dense;
     prop_vecmat_matches_dense;
     prop_transpose_involution;
+    prop_transposed_matvec_bitwise;
+    prop_of_dense_matches_builder;
+    prop_partition_tiles;
   ]
