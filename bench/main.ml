@@ -26,7 +26,13 @@
                     identity check across job counts) plus the
                     scatter-vecmat vs transposed-gather-matvec
                     microbenchmark, written as a JSON snapshot
-                    (committed as BENCH_parallel.json) *)
+                    (committed as BENCH_parallel.json)
+     --obs-report PATH
+                    run ONLY the telemetry overhead benchmark: the
+                    same fig-7 style solve with the collector off and
+                    on, a bitwise identity check between the two, and
+                    the recorded span/counter volume, written as a
+                    JSON snapshot (committed as BENCH_obs.json) *)
 
 open Bechamel
 open Batlife_battery
@@ -124,6 +130,7 @@ let rakhmatov_kernel =
    deprecated per-time helpers, and once through a shared session.     *)
 
 module Transient = Batlife_ctmc.Transient
+module Telemetry = Batlife_numerics.Telemetry
 
 let engine_times = [| 5.; 10.; 15.; 20.; 25. |]
 let engine_time = 20.
@@ -169,12 +176,16 @@ let engine_session_kernel () = session_queries (Lazy.force engine_discretized)
 
 (* Sweep/product accounting of the two paths, written as a committed
    JSON snapshot (BENCH_engine.json) so CI can diff the counts. *)
+let c_sweeps = Telemetry.counter "transient.sweeps"
+let c_products = Telemetry.counter "transient.products"
+
 let engine_report path =
   let d = Lazy.force engine_discretized in
   let count f =
-    Transient.reset_counters ();
+    Telemetry.reset_counter c_sweeps;
+    Telemetry.reset_counter c_products;
     ignore (f d);
-    (Transient.sweep_count (), Transient.product_count ())
+    (Telemetry.value c_sweeps, Telemetry.value c_products)
   in
   let per_call_sweeps, per_call_products = count Per_call_baseline.queries in
   let session_sweeps, session_products = count session_queries in
@@ -335,6 +346,89 @@ let scaling_report path =
   close_out oc;
   Printf.printf "  wrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry overhead: the fig-7 style solve with the collector off
+   and on.  Gated probes must cost a single predictable branch when
+   disabled and stay cheap enough when enabled that profiling a real
+   run is always acceptable; the committed snapshot (BENCH_obs.json)
+   keeps the measured ratio under version control.  The curves must
+   also be bitwise identical in both modes -- telemetry may only
+   observe, never perturb. *)
+
+let obs_report path =
+  let model =
+    Params.onoff_kibamrm ~frequency:1.0 (Params.battery_single_well ())
+  in
+  let delta = 25. and times = [| 10000.; 15000.; 20000. |] in
+  let solve () = Lifetime.cdf ~delta ~times model in
+  let reps = 5 in
+  let best_of f =
+    ignore (f () : Lifetime.curve);
+    (* Warm caches and the minor heap. *)
+    let best = ref infinity and last = ref None in
+    for _ = 1 to reps do
+      let t, c = wall f in
+      if t < !best then best := t;
+      last := Some c
+    done;
+    (!best, Option.get !last)
+  in
+  Telemetry.disable ();
+  let disabled_s, curve_off = best_of solve in
+  Telemetry.enable ();
+  Telemetry.reset ();
+  let enabled_s, curve_on = best_of solve in
+  let snap = Telemetry.snapshot () in
+  let spans_recorded = List.length snap.Telemetry.snap_spans in
+  (* Per-solve counter volume: reset, one run, read. *)
+  Telemetry.reset ();
+  ignore (solve () : Lifetime.curve);
+  let per_solve name = Telemetry.value (Telemetry.counter name) in
+  let sweeps = per_solve "transient.sweeps"
+  and products = per_solve "transient.products"
+  and windows = per_solve "poisson.windows" in
+  Telemetry.disable ();
+  Telemetry.reset ();
+  let bits (c : Lifetime.curve) =
+    Array.map Int64.bits_of_float c.Lifetime.probabilities
+  in
+  let identical = bits curve_off = bits curve_on in
+  let overhead = (enabled_s /. disabled_s) -. 1. in
+  Printf.printf "=== Telemetry overhead (fig-7 model, delta = %g) ===\n" delta;
+  Printf.printf "  collector disabled: %8.3f ms\n" (disabled_s *. 1e3);
+  Printf.printf "  collector enabled:  %8.3f ms  (%d spans recorded)\n"
+    (enabled_s *. 1e3) spans_recorded;
+  Printf.printf "  overhead: %+.2f %%\n" (overhead *. 100.);
+  Printf.printf "  curves bitwise identical on/off: %b\n" identical;
+  if not identical then begin
+    prerr_endline "obs report: telemetry perturbed the results (bug)";
+    exit 1
+  end;
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "telemetry overhead",
+  "model": "fig7 on/off single-well, delta = %g, %d time points",
+  "reps_best_of": %d,
+  "disabled_seconds": %.6f,
+  "enabled_seconds": %.6f,
+  "overhead_ratio": %.4f,
+  "bitwise_identical_on_off": %b,
+  "enabled_run": {
+    "spans": %d,
+    "counters": {
+      "transient.sweeps": %d,
+      "transient.products": %d,
+      "poisson.windows": %d
+    }
+  }
+}
+|}
+    delta (Array.length times) reps disabled_s enabled_s
+    (enabled_s /. disabled_s) identical spans_recorded sweeps products windows;
+  close_out oc;
+  Printf.printf "  wrote %s\n" path
+
 let timing_tests =
   Test.make_grouped ~name:"batlife"
     [
@@ -415,6 +509,7 @@ let () =
   let ids = ref [] in
   let engine_json = ref None in
   let scaling_json = ref None in
+  let obs_json = ref None in
   let rec parse = function
     | [] -> ()
     | "--full" :: rest ->
@@ -425,6 +520,9 @@ let () =
         parse rest
     | "--scaling-report" :: path :: rest ->
         scaling_json := Some path;
+        parse rest
+    | "--obs-report" :: path :: rest ->
+        obs_json := Some path;
         parse rest
     | "--runs" :: n :: rest ->
         options := { !options with Runner.runs = int_of_string n };
@@ -453,6 +551,13 @@ let () =
   (match !scaling_json with
   | Some path ->
       scaling_report path;
+      exit 0
+  | None -> ());
+  (* --obs-report likewise runs alone: it compares wall clocks, so any
+     interleaved work would pollute the overhead ratio. *)
+  (match !obs_json with
+  | Some path ->
+      obs_report path;
       exit 0
   | None -> ());
   if !mode <> Timing_only then begin

@@ -212,6 +212,72 @@ let solver_opts_term =
   Term.(
     const make $ accuracy $ unif_rate $ convergence_tol $ solver_tol $ jobs)
 
+(* Observability flags, shared by the solver-backed subcommands.  The
+   term switches the process-wide Telemetry collector on and records
+   where the reports should go; the reports themselves are emitted
+   once, after Cmd.eval returns (so they cover the whole run,
+   including time spent after the subcommand's own output). *)
+module Telemetry = Batlife_numerics.Telemetry
+
+type telemetry_config = {
+  mutable profile : bool;
+  mutable metrics_out : string option;
+  mutable trace_out : string option;
+}
+
+let telemetry_config =
+  { profile = false; metrics_out = None; trace_out = None }
+
+let telemetry_term =
+  let make profile metrics_out trace_out =
+    telemetry_config.profile <- profile;
+    telemetry_config.metrics_out <- metrics_out;
+    telemetry_config.trace_out <- trace_out;
+    if profile || metrics_out <> None || trace_out <> None then
+      Telemetry.enable ()
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Record telemetry and print a per-phase summary table (spans, \
+             counters, histograms) on stderr when the command exits.")
+  and metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Record telemetry and write a JSON metrics dump (counters, \
+             gauges, histograms, span roll-up) to $(docv) on exit.")
+  and trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record telemetry and write the spans to $(docv) in Chrome \
+             trace_event JSON, loadable in about:tracing or Perfetto.")
+  in
+  Term.(const make $ profile $ metrics_out $ trace_out)
+
+let report_telemetry () =
+  if Telemetry.enabled () then begin
+    let snap = Telemetry.snapshot () in
+    (match telemetry_config.metrics_out with
+    | Some path ->
+        Telemetry.write_metrics ~path snap;
+        Printf.eprintf "batlife: wrote metrics to %s\n" path
+    | None -> ());
+    (match telemetry_config.trace_out with
+    | Some path ->
+        Telemetry.write_trace ~path snap;
+        Printf.eprintf "batlife: wrote trace to %s\n" path
+    | None -> ());
+    if telemetry_config.profile then Metrics_report.print snap
+  end
+
 (* ------------------------------------------------------------------ *)
 (* kibam                                                               *)
 
@@ -268,7 +334,7 @@ let print_cdf ~plot name times probabilities =
       [ Series.create ~name ~xs:times ~ys:probabilities ]
 
 let lifetime_cmd =
-  let run battery workload times delta opts plot =
+  let run battery workload times delta opts plot () =
     let model = Kibamrm.create ~workload ~battery in
     (* One expanded model serves the CDF sweep and the first-passage
        mean; the CDF goes through the session engine. *)
@@ -294,7 +360,7 @@ let lifetime_cmd =
        ~doc:"Battery lifetime CDF via the Markovian approximation")
     Term.(
       const run $ battery_term $ workload_term $ times_term $ delta
-      $ solver_opts_term $ plot_arg)
+      $ solver_opts_term $ plot_arg $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -336,7 +402,7 @@ let simulate_cmd =
 (* trace                                                               *)
 
 let trace_cmd =
-  let run battery path delta times opts plot =
+  let run battery path delta times opts plot () =
     let samples = Error.get_ok (Trace.load_samples_result path) in
     let profile = Error.get_ok (Trace.of_samples_result samples) in
     (* Deterministic replay. *)
@@ -378,7 +444,7 @@ let trace_cmd =
        ~doc:"Replay a measured current trace and fit a workload model")
     Term.(
       const run $ battery_term $ path $ delta $ times_term $ solver_opts_term
-      $ plot_arg)
+      $ plot_arg $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
 (* pack                                                                *)
@@ -449,7 +515,7 @@ let pack_cmd =
 (* experiment                                                          *)
 
 let experiment_cmd =
-  let run ids out_dir runs full opts =
+  let run ids out_dir runs full opts () =
     let open Batlife_experiments in
     let options = { Runner.default_options with out_dir; runs; full; opts } in
     match ids with
@@ -490,7 +556,10 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce the paper's tables and figures")
-    Term.(ret (const run $ ids $ out_dir $ runs $ full $ solver_opts_term))
+    Term.(
+      ret
+        (const run $ ids $ out_dir $ runs $ full $ solver_opts_term
+       $ telemetry_term))
 
 (* ------------------------------------------------------------------ *)
 
@@ -532,4 +601,5 @@ let () =
         Error.exit_code e
   in
   report_diagnostics ();
+  report_telemetry ();
   exit code

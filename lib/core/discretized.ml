@@ -15,7 +15,13 @@ type t = {
   alpha : float array;
 }
 
+let c_builds = Telemetry.counter "discretized.builds"
+let g_states = Telemetry.gauge "discretized.states"
+let g_nnz = Telemetry.gauge "discretized.nnz"
+
 let build ?initial_fill ?(absorb_empty = true) ~delta model =
+  Telemetry.incr c_builds;
+  Telemetry.with_span "discretized.build" @@ fun () ->
   let workload = model.Kibamrm.workload in
   let battery = model.Kibamrm.battery in
   let u1, u2 = Kibamrm.upper_bounds model in
@@ -71,6 +77,8 @@ let build ?initial_fill ?(absorb_empty = true) ~delta model =
   Log.debug (fun m ->
       m "built Q*: delta=%g, %d x %d levels, %d states, %d nonzeros" delta
         levels1 levels2 total (Generator.nnz generator));
+  Telemetry.set_gauge g_states (float_of_int total);
+  Telemetry.set_gauge g_nnz (float_of_int (Generator.nnz generator));
   (* Initial distribution: the workload's alpha placed at the levels
      containing the initial fill (a1, a2). *)
   let a1, a2 =
@@ -176,6 +184,8 @@ let joint_probability ?accuracy t ~time ~mode ~min_charge =
 let default_lifetime_tol = 1e-10
 
 let expected_lifetime ?(opts = Solver_opts.default) t =
+  Solver_opts.request_telemetry opts;
+  Telemetry.with_span "discretized.expected_lifetime" @@ fun () ->
   let tol = Solver_opts.linear_tol_or ~default:default_lifetime_tol opts in
   let g = t.generator in
   let block = Grid.absorbing_block_size t.grid in
@@ -210,6 +220,15 @@ let expected_lifetime ?(opts = Solver_opts.default) t =
 (* The batched evaluation engine.                                      *)
 
 module Session = struct
+  (* Cache-effectiveness counters: hits/misses of the Fox–Glynn window
+     cache and the number of kernel (re)builds.  "Second flush over the
+     same grid" should show pure hits and zero extra kernel builds —
+     asserted by test_engine. *)
+  let c_window_hits = Telemetry.counter "session.window_hits"
+  let c_window_misses = Telemetry.counter "session.window_misses"
+  let c_kernel_builds = Telemetry.counter "session.kernel_builds"
+  let c_flushes = Telemetry.counter "session.flushes"
+
   (* One batch registration: a block of linear functionals to be
      evaluated on this query's own time grid.  [out] is the
      funcs-by-times result block, filled by the shared sweep. *)
@@ -250,6 +269,7 @@ module Session = struct
   }
 
   let create ?(opts = Solver_opts.default) d =
+    Solver_opts.request_telemetry opts;
     let rate = Transient.resolve_rate ~opts d.generator in
     (* Pin the rate so cached windows and future sweeps can never
        disagree on q. *)
@@ -275,8 +295,11 @@ module Session = struct
 
   let window s t =
     match Hashtbl.find_opt s.fox_glynn t with
-    | Some w -> w
+    | Some w ->
+        Telemetry.incr c_window_hits;
+        w
     | None ->
+        Telemetry.incr c_window_misses;
         let w =
           Poisson.weights ~accuracy:s.opts.Solver_opts.accuracy (s.rate *. t)
         in
@@ -298,6 +321,7 @@ module Session = struct
     match s.kernel with
     | Some k -> k
     | None ->
+        Telemetry.incr c_kernel_builds;
         let k = Transient.make_kernel ~opts:s.opts s.d.generator in
         s.kernel <- Some k;
         k
@@ -323,6 +347,8 @@ module Session = struct
               uniformisation_rate = s.rate;
             })
     | regs ->
+        Telemetry.incr c_flushes;
+        Telemetry.with_span "session.flush" @@ fun () ->
         let grid =
           List.concat_map (fun r -> Array.to_list r.reg_times) regs
           |> List.sort_uniq Float.compare

@@ -75,6 +75,8 @@ let cdf_discretized ?opts ~delta d ~times =
   cdf_session ~session:s ~delta d ~times
 
 let cdf ?opts ?initial_fill ~delta ~times model =
+  (match opts with Some o -> Solver_opts.request_telemetry o | None -> ());
+  Telemetry.with_span "lifetime.cdf" @@ fun () ->
   let d = Discretized.build ?initial_fill ~delta model in
   cdf_discretized ?opts ~delta d ~times
 
@@ -95,18 +97,23 @@ let quantile c p =
   Interp.inverse interp p
 
 (* The refinement points are independent whole solves, so they fan out
-   across the pool.  Each point's diagnostics are captured on its own
-   domain and replayed in delta order afterwards, so the merged event
-   stream (and hence every log a front end prints from it) is identical
-   to the sequential run's. *)
+   across the pool.  Each point's diagnostics — Diag events and
+   Telemetry spans alike — are captured on its own domain and replayed
+   in delta order afterwards, so the merged streams (and hence every
+   log a front end prints from them) are identical to the sequential
+   run's. *)
 let convergence_study ?(opts = Solver_opts.default) ~deltas ~times model =
+  Solver_opts.request_telemetry opts;
   let pool = Pool.get ~jobs:(Solver_opts.resolve_jobs opts) in
   Pool.map_array pool
-    (fun delta -> Diag.capture (fun () -> cdf ~opts ~delta ~times model))
+    (fun delta ->
+      Diag.capture (fun () ->
+          Telemetry.capture (fun () -> cdf ~opts ~delta ~times model)))
     deltas
   |> Array.to_list
-  |> List.map (fun (curve, events) ->
+  |> List.map (fun ((curve, spans), events) ->
          Diag.replay events;
+         Telemetry.replay spans;
          curve)
 
 module Legacy = struct

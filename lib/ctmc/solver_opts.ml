@@ -4,18 +4,20 @@ type t = {
   convergence_tol : float;
   linear_tol : float option;
   jobs : int option;
+  telemetry : bool;
 }
 
 let default =
   { accuracy = 1e-12; unif_rate = None; convergence_tol = 1e-14;
-    linear_tol = None; jobs = None }
+    linear_tol = None; jobs = None; telemetry = false }
 
 let make ?(accuracy = default.accuracy) ?unif_rate
-    ?(convergence_tol = default.convergence_tol) ?linear_tol ?jobs () =
+    ?(convergence_tol = default.convergence_tol) ?linear_tol ?jobs
+    ?(telemetry = default.telemetry) () =
   (match jobs with
   | Some j when j < 1 -> invalid_arg "Solver_opts.make: need jobs >= 1"
   | _ -> ());
-  { accuracy; unif_rate; convergence_tol; linear_tol; jobs }
+  { accuracy; unif_rate; convergence_tol; linear_tol; jobs; telemetry }
 
 let of_legacy ?accuracy ?q ?convergence_tol ?tol () =
   make ?accuracy ?unif_rate:q ?convergence_tol ?linear_tol:tol ()
@@ -28,10 +30,16 @@ let resolve_jobs t =
   | Some j -> j
   | None -> Batlife_numerics.Pool.default_jobs ()
 
+(* The flag only ever turns the global collector ON: a nested call
+   with [telemetry = false] must not silence the recording an outer
+   caller (the CLI, a bench harness) asked for. *)
+let request_telemetry t =
+  if t.telemetry then Batlife_numerics.Telemetry.enable ()
+
 let pp ppf t =
   Format.fprintf ppf
     "{ accuracy = %g; unif_rate = %s; convergence_tol = %g; linear_tol = %s; \
-     jobs = %s }"
+     jobs = %s; telemetry = %b }"
     t.accuracy
     (match t.unif_rate with Some q -> Printf.sprintf "%g" q | None -> "auto")
     t.convergence_tol
@@ -39,3 +47,4 @@ let pp ppf t =
     | Some tol -> Printf.sprintf "%g" tol
     | None -> "solver default")
     (match t.jobs with Some j -> string_of_int j | None -> "auto")
+    t.telemetry

@@ -30,7 +30,12 @@
       (the CLI [--jobs] override, else [BATLIFE_JOBS], else
       [Domain.recommended_domain_count]); [Some 1] forces the
       guaranteed sequential path.  Results are bitwise identical for
-      every job count. *)
+      every job count.
+    - [telemetry] (default [false]): when set, solver entry points
+      switch the process-wide [Batlife_numerics.Telemetry] collector
+      on before running, so spans/histograms are recorded for the
+      solve.  Enabling telemetry never changes numerical results
+      (asserted bitwise by the test suite). *)
 
 type t = {
   accuracy : float;
@@ -38,11 +43,12 @@ type t = {
   convergence_tol : float;
   linear_tol : float option;
   jobs : int option;
+  telemetry : bool;
 }
 
 val default : t
 (** [{ accuracy = 1e-12; unif_rate = None; convergence_tol = 1e-14;
-      linear_tol = None; jobs = None }]. *)
+      linear_tol = None; jobs = None; telemetry = false }]. *)
 
 val make :
   ?accuracy:float ->
@@ -50,6 +56,7 @@ val make :
   ?convergence_tol:float ->
   ?linear_tol:float ->
   ?jobs:int ->
+  ?telemetry:bool ->
   unit ->
   t
 (** [make ()] is {!default}; each argument overrides one field.
@@ -72,5 +79,10 @@ val linear_tol_or : default:float -> t -> float
 val resolve_jobs : t -> int
 (** The effective job count: [jobs] when set, else
     [Batlife_numerics.Pool.default_jobs ()]. *)
+
+val request_telemetry : t -> unit
+(** Switch the process-wide telemetry collector on if [telemetry] is
+    set.  Never switches it off — an enclosing caller (CLI [--profile],
+    bench harness) may have enabled it independently. *)
 
 val pp : Format.formatter -> t -> unit

@@ -12,16 +12,24 @@ type stats = {
 
 (* Process-wide work counters.  They exist so tests and benchmarks can
    assert "this batch of queries cost exactly one sweep" without
-   instrumenting call sites; they are not synchronised and only
-   meaningful single-threaded. *)
-let sweeps = ref 0
-let products = ref 0
-let sweep_count () = !sweeps
-let product_count () = !products
+   instrumenting call sites.  They are Telemetry counters now — Atomic
+   cells, safe to bump from any domain — after the historical int refs
+   proved racy under Pool fan-out (Par.map tasks each run sweeps). *)
+let c_sweeps = Telemetry.counter "transient.sweeps"
+let c_products = Telemetry.counter "transient.products"
+let c_kernel_builds = Telemetry.counter "transient.kernel_builds"
+
+let h_iterations =
+  Telemetry.histogram
+    ~buckets:[| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 5000. |]
+    "transient.sweep_iterations"
+
+let sweep_count () = Telemetry.value c_sweeps
+let product_count () = Telemetry.value c_products
 
 let reset_counters () =
-  sweeps := 0;
-  products := 0
+  Telemetry.reset_counter c_sweeps;
+  Telemetry.reset_counter c_products
 
 let check_alpha g alpha =
   if Array.length alpha <> Generator.n_states g then
@@ -112,6 +120,8 @@ type kernel = {
 }
 
 let kernel_for g ~q ~jobs =
+  Telemetry.incr c_kernel_builds;
+  Telemetry.with_span "transient.kernel_build" @@ fun () ->
   let pool = Pool.get ~jobs in
   let pt = Sparse.transpose (Generator.uniformised g ~q) in
   {
@@ -181,7 +191,7 @@ let checked_measure ~where measure ~step v =
    the in-row summation order are fixed, so the result is bitwise
    independent of the job count. *)
 let step k ~src ~dst =
-  incr products;
+  Telemetry.incr c_products;
   Pool.run_chunks k.k_pool k.k_partition (fun ~lo ~hi ->
       Sparse.matvec_rows k.k_pt src ~dst ~lo ~hi)
 
@@ -201,7 +211,9 @@ let solve ?(opts = Solver_opts.default) g ~alpha ~t =
   check_alpha g alpha;
   let where = "Transient.solve" in
   check_times ~where [| t |];
-  incr sweeps;
+  Solver_opts.request_telemetry opts;
+  Telemetry.incr c_sweeps;
+  Telemetry.with_span "transient.solve" @@ fun () ->
   let n = Generator.n_states g in
   let q = resolve_q where ?q:opts.Solver_opts.unif_rate g in
   let weights = Poisson.weights ~accuracy:opts.Solver_opts.accuracy (q *. t) in
@@ -225,6 +237,7 @@ let solve ?(opts = Solver_opts.default) g ~alpha ~t =
      is not the thing to check). *)
   guard_iterate ~where ~mass0:(Vector.sum alpha) ~step:weights.Poisson.right
     !current;
+  Telemetry.observe_int h_iterations weights.Poisson.right;
   out
 
 let check_windows ~where ~times = function
@@ -244,7 +257,9 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
   check_alpha g alpha;
   let where = "Transient.multi_measure_sweep" in
   check_times ~where times;
-  incr sweeps;
+  Solver_opts.request_telemetry opts;
+  Telemetry.incr c_sweeps;
+  Telemetry.with_span "transient.multi_measure_sweep" @@ fun () ->
   let n = Generator.n_states g in
   let q = resolve_q where ?q:opts.Solver_opts.unif_rate g in
   let kernel = check_kernel ~where ~q ~opts g kernel in
@@ -303,6 +318,7 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
         (match !converged_at with
         | Some at -> Printf.sprintf " (stationary after %d)" at
         | None -> ""));
+  Telemetry.observe_int h_iterations iterations;
   let results =
     Array.map
       (fun per_step ->
@@ -327,7 +343,9 @@ let distribution_sweep ?(opts = Solver_opts.default) g ~alpha ~times =
   check_alpha g alpha;
   let where = "Transient.distribution_sweep" in
   check_times ~where times;
-  incr sweeps;
+  Solver_opts.request_telemetry opts;
+  Telemetry.incr c_sweeps;
+  Telemetry.with_span "transient.distribution_sweep" @@ fun () ->
   let n = Generator.n_states g in
   let q = resolve_q where ?q:opts.Solver_opts.unif_rate g in
   let kernel = kernel_for g ~q ~jobs:(Solver_opts.resolve_jobs opts) in
@@ -357,6 +375,7 @@ let distribution_sweep ?(opts = Solver_opts.default) g ~alpha ~times =
         if weight > 0. then Vector.axpy ~alpha:weight ~x:!current ~y:outs.(idx))
       windows
   done;
+  Telemetry.observe_int h_iterations n_max;
   ( outs,
     { iterations = n_max; converged_at = None; uniformisation_rate = q } )
 

@@ -46,19 +46,32 @@ type stats = {
 
     Process-wide tallies of the sweeps started and the vector-matrix
     products performed, so tests and benchmarks can assert statements
-    like "these five queries cost exactly one sweep".  Not
-    synchronised; meaningful only single-threaded. *)
+    like "these five queries cost exactly one sweep".  They live in
+    {!Batlife_numerics.Telemetry} as the Atomic-backed counters
+    ["transient.sweeps"], ["transient.products"] and
+    ["transient.kernel_builds"] — domain-safe, so the tallies stay
+    exact under [Pool] fan-out.  The historical accessors below are
+    deprecated aliases over those counters. *)
 
 val sweep_count : unit -> int
+[@@deprecated
+  "read Telemetry.(value (counter \"transient.sweeps\")) instead"]
 (** Power sweeps started since the last {!reset_counters} ({!solve},
     {!measure_sweep}, {!multi_measure_sweep} and
     {!distribution_sweep} each count 1 per call). *)
 
 val product_count : unit -> int
+[@@deprecated
+  "read Telemetry.(value (counter \"transient.products\")) instead"]
 (** Vector-matrix products [v := vP] performed since the last
     {!reset_counters}. *)
 
 val reset_counters : unit -> unit
+[@@deprecated
+  "reset the \"transient.sweeps\"/\"transient.products\" Telemetry \
+   counters instead"]
+(** Zero both counters (the Telemetry cells themselves — shared with
+    every other reader). *)
 
 val resolve_rate : ?opts:Solver_opts.t -> Generator.t -> float
 (** The validated uniformisation rate the sweeps will use under

@@ -8,21 +8,25 @@ open Batlife_ctmc
    Two things must stay deterministic regardless of domain scheduling:
 
    - results: [Pool.map_array] already preserves input order;
-   - diagnostics: each task runs under [Diag.capture] on its own
-     domain, and the buffers are replayed in input order afterwards,
-     so the merged event stream is exactly the sequential one.
+   - diagnostics: each task runs under [Diag.capture] and
+     [Telemetry.capture] on its own domain, and both buffers are
+     replayed in input order afterwards, so the merged event stream
+     and the merged span stream are exactly the sequential ones.
 
    Printing from inside [f] would interleave arbitrarily; tasks return
    their text and the caller prints after the map (see {!map_with_log}
    and the fig7/fig8 call sites). *)
 
 let map ?(opts = Solver_opts.default) f xs =
+  Solver_opts.request_telemetry opts;
   let pool = Pool.get ~jobs:(Solver_opts.resolve_jobs opts) in
-  Pool.map_array pool (fun x -> Diag.capture (fun () -> f x))
+  Pool.map_array pool
+    (fun x -> Diag.capture (fun () -> Telemetry.capture (fun () -> f x)))
     (Array.of_list xs)
   |> Array.to_list
-  |> List.map (fun (y, events) ->
+  |> List.map (fun ((y, spans), events) ->
          Diag.replay events;
+         Telemetry.replay spans;
          y)
 
 let map_with_log ?opts f xs =

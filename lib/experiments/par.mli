@@ -12,9 +12,9 @@ val map :
   ?opts:Batlife_ctmc.Solver_opts.t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ?opts f xs] is [List.map f xs] computed across
     [Solver_opts.resolve_jobs opts] domains.  Results are returned in
-    input order; each task's {!Batlife_numerics.Diag} events are
-    captured on its domain and replayed in input order after all
-    tasks finish.  [f] must not print (output would interleave) — have
+    input order; each task's {!Batlife_numerics.Diag} events and
+    {!Batlife_numerics.Telemetry} spans are captured on its domain and
+    replayed in input order after all tasks finish.  [f] must not print (output would interleave) — have
     it return the text, or use {!map_with_log}.  If tasks raise, the
     exception of the lowest-indexed failing task propagates. *)
 

@@ -43,6 +43,7 @@ let experiments =
 let experiment_ids = List.map fst experiments
 
 module Diag = Batlife_numerics.Diag
+module Telemetry = Batlife_numerics.Telemetry
 
 (* Print any fallback events the numerical layers recorded while [id]
    ran, then clear the sink so the next experiment starts fresh. *)
@@ -55,10 +56,31 @@ let surface_diagnostics id =
     (Diag.events ());
   Diag.clear_events ()
 
+(* With telemetry on, each experiment runs under its own root span and
+   prints a per-phase breakdown of the spans recorded while it ran.
+   The capture collects only this experiment's spans (worker-domain
+   spans are replayed into it by Par.map / convergence_study, in input
+   order); replaying them afterwards keeps them available to the
+   whole-process exporters (--metrics-out / --trace-out). *)
+let with_experiment_span id f options =
+  if not (Telemetry.enabled ()) then f options
+  else begin
+    let result, spans =
+      Telemetry.capture (fun () ->
+          Telemetry.with_span ("experiment." ^ id) (fun () -> f options))
+    in
+    Telemetry.replay spans;
+    let breakdown = Batlife_output.Metrics_report.span_table (Telemetry.rollup spans) in
+    if breakdown <> "" then
+      Printf.eprintf "experiment %s: phase breakdown\n%s%!" id breakdown;
+    result
+  end
+
 let run_one ?(options = default_options) id =
+  Batlife_ctmc.Solver_opts.request_telemetry options.opts;
   match List.assoc_opt id experiments with
   | Some f -> (
-      match f options with
+      match with_experiment_span id f options with
       | () ->
           surface_diagnostics id;
           Ok ()

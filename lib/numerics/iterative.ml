@@ -2,6 +2,14 @@ type result = { solution : float array; iterations : int; residual : float }
 
 exception Did_not_converge of result
 
+let c_solves = Telemetry.counter "iterative.solves"
+let c_fallbacks = Telemetry.counter "iterative.fallbacks"
+
+let h_iterations =
+  Telemetry.histogram
+    ~buckets:[| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 500.; 1000.; 10000.; 100000. |]
+    "iterative.iterations"
+
 let check_square (a : Sparse.t) b =
   if a.Sparse.rows <> a.Sparse.cols then
     invalid_arg "Iterative: matrix not square";
@@ -33,6 +41,7 @@ let check_residual ~where ~iter res =
 
 let jacobi ?(tol = 1e-10) ?(max_iter = 100_000) ?x0 ?(skip = fun _ -> false) a
     ~b =
+  Telemetry.with_span "iterative.jacobi" @@ fun () ->
   check_square a b;
   let n = a.Sparse.rows in
   let d = diagonal a in
@@ -61,10 +70,14 @@ let jacobi ?(tol = 1e-10) ?(max_iter = 100_000) ?x0 ?(skip = fun _ -> false) a
            { solution = Array.copy x'; iterations = iter; residual = res })
     else loop x' x (iter + 1)
   in
-  loop x x' 1
+  let r = loop x x' 1 in
+  Telemetry.incr c_solves;
+  Telemetry.observe_int h_iterations r.iterations;
+  r
 
 let gauss_seidel ?(tol = 1e-10) ?(max_iter = 100_000) ?x0
     ?(skip = fun _ -> false) (a : Sparse.t) ~b =
+  Telemetry.with_span "iterative.gauss_seidel" @@ fun () ->
   check_square a b;
   let n = a.Sparse.rows in
   let x = match x0 with Some x -> Array.copy x | None -> Array.make n 0. in
@@ -101,7 +114,10 @@ let gauss_seidel ?(tol = 1e-10) ?(max_iter = 100_000) ?x0
            { solution = Array.copy x; iterations = iter; residual = res })
     else loop (iter + 1)
   in
-  loop 1
+  let r = loop 1 in
+  Telemetry.incr c_solves;
+  Telemetry.observe_int h_iterations r.iterations;
+  r
 
 type path = Primary | Fallback
 
@@ -114,6 +130,7 @@ let solve_robust ?(tol = 1e-10) ?(max_iter = 100_000) ?(fallback_factor = 10)
   match gauss_seidel ~tol ~max_iter ?x0 ?skip a ~b with
   | r -> { result = r; solver = "gauss-seidel"; path = Primary }
   | exception Did_not_converge primary -> (
+      Telemetry.incr c_fallbacks;
       Diag.record ~fallback:true ~origin:"Iterative.solve_robust"
         (Printf.sprintf
            "gauss-seidel stalled after %d sweeps (residual %g); falling back \

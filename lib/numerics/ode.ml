@@ -1,5 +1,11 @@
 type system = float -> float array -> float array
 
+(* Step counters cover the fixed-step walkers too: KiBaM traces are
+   integrated with RK4, so "how many ODE steps did this figure cost"
+   is answerable from the counters alone. *)
+let c_steps = Telemetry.counter "ode.steps"
+let c_rejected = Telemetry.counter "ode.steps_rejected"
+
 let euler_step f ~t ~dt ~y =
   let dy = f t y in
   Array.mapi (fun i yi -> yi +. (dt *. dy.(i))) y
@@ -26,26 +32,34 @@ let integrate ?step f ~t0 ~t1 ~y0 =
   if t1 < t0 then invalid_arg "Ode.integrate: t1 < t0";
   let dt = match step with Some s -> s | None -> default_step t0 t1 in
   if dt <= 0. then invalid_arg "Ode.integrate: non-positive step";
+  Telemetry.with_span "ode.rk4_integrate" @@ fun () ->
   let t = ref t0 and y = ref (Array.copy y0) in
+  let steps = ref 0 in
   while t1 -. !t > 1e-15 *. Float.max 1. (Float.abs t1) do
     let h = Float.min dt (t1 -. !t) in
     y := rk4_step f ~t:!t ~dt:h ~y:!y;
-    t := !t +. h
+    t := !t +. h;
+    Stdlib.incr steps
   done;
+  Telemetry.add c_steps !steps;
   !y
 
 let trace ?step f ~t0 ~t1 ~y0 =
   if t1 < t0 then invalid_arg "Ode.trace: t1 < t0";
   let dt = match step with Some s -> s | None -> default_step t0 t1 in
   if dt <= 0. then invalid_arg "Ode.trace: non-positive step";
+  Telemetry.with_span "ode.rk4_trace" @@ fun () ->
   let acc = ref [ (t0, Array.copy y0) ] in
   let t = ref t0 and y = ref (Array.copy y0) in
+  let steps = ref 0 in
   while t1 -. !t > 1e-15 *. Float.max 1. (Float.abs t1) do
     let h = Float.min dt (t1 -. !t) in
     y := rk4_step f ~t:!t ~dt:h ~y:!y;
     t := !t +. h;
+    Stdlib.incr steps;
     acc := (!t, !y) :: !acc
   done;
+  Telemetry.add c_steps !steps;
   Array.of_list (List.rev !acc)
 
 type adaptive_result = {
@@ -67,6 +81,7 @@ let rkf45 ?(rtol = 1e-8) ?(atol = 1e-10) ?initial_step ?(max_steps = 1_000_000)
     | Some s -> s
     | None -> 1e-12 *. Float.max 1. (Float.abs (t1 -. t0))
   in
+  Telemetry.with_span "ode.rkf45" @@ fun () ->
   let t = ref t0
   and y = ref (Array.copy y0)
   and h = ref (Float.max h0 1e-300) in
@@ -179,6 +194,8 @@ let rkf45 ?(rtol = 1e-8) ?(atol = 1e-10) ?initial_step ?(max_steps = 1_000_000)
     in
     h := h' *. factor
   done;
+  Telemetry.add c_steps !taken;
+  Telemetry.add c_rejected !rejected;
   { y = !y; steps_taken = !taken; steps_rejected = !rejected }
 
 type solver_path = Adaptive | Fixed_step_fallback

@@ -1,13 +1,28 @@
 type t = { left : int; right : int; weights : float array }
 
+let c_windows = Telemetry.counter "poisson.windows"
+
+(* Window width drives sweep cost (one vector-matrix product per term),
+   so the distribution of widths is the first thing to look at when a
+   model is slow. *)
+let h_window =
+  Telemetry.histogram
+    ~buckets:[| 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 4096.; 16384. |]
+    "poisson.window_size"
+
 (* The weights decrease monotonically away from the mode, so recurring
    outwards from the mode never overflows once the mode weight is
    represented exactly in log space.  We stop extending a side when its
    next weight would add less than [accuracy / 2] relative mass. *)
 let weights ?(accuracy = 1e-12) lambda =
   if lambda < 0. then invalid_arg "Poisson.weights: negative rate";
-  if lambda = 0. then { left = 0; right = 0; weights = [| 1. |] }
+  Telemetry.incr c_windows;
+  if lambda = 0. then begin
+    Telemetry.observe_int h_window 1;
+    { left = 0; right = 0; weights = [| 1. |] }
+  end
   else begin
+    Telemetry.with_span "poisson.weights" @@ fun () ->
     let mode = int_of_float (Float.floor lambda) in
     let log_w_mode =
       (float_of_int mode *. log lambda)
@@ -59,6 +74,7 @@ let weights ?(accuracy = 1e-12) lambda =
     in
     let total = Array.fold_left ( +. ) 0. ws in
     let ws = Array.map (fun x -> x /. total) ws in
+    Telemetry.observe_int h_window (right - left + 1);
     { left; right; weights = ws }
   end
 

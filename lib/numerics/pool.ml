@@ -45,6 +45,24 @@ type t =
 let in_section : bool ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref false)
 
+let c_sections = Telemetry.counter "pool.sections"
+let c_nested_inline = Telemetry.counter "pool.nested_inline"
+
+let latency_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10.; 100. |]
+
+(* Fork-join barrier wall time, caller's view: publish -> all workers
+   done.  One observation per section, so enabling telemetry adds two
+   clock reads per sweep step — noise next to the matvec it brackets. *)
+let h_section = Telemetry.histogram ~buckets:latency_buckets "pool.section_seconds"
+
+(* Per-task latency of [map_array] items, observed on the worker domain
+   that ran the task. *)
+let h_task = Telemetry.histogram ~buckets:latency_buckets "pool.task_seconds"
+
+let seconds_since start_ns =
+  Int64.to_float (Int64.sub (Telemetry.now_ns ()) start_ns) /. 1e9
+
 let size = function Sequential -> 1 | Domains d -> d.jobs
 
 let worker shared w =
@@ -109,11 +127,17 @@ let run t f =
   | Sequential -> f 0
   | Domains d ->
       let flag = Domain.DLS.get in_section in
-      if !flag then
+      if !flag then begin
         (* Nested section: the pool is busy with the enclosing one. *)
+        Telemetry.incr c_nested_inline;
         run_inline d.jobs f
+      end
       else begin
         if not d.live then invalid_arg "Pool.run: pool was shut down";
+        Telemetry.incr c_sections;
+        let section_start =
+          if Telemetry.enabled () then Telemetry.now_ns () else 0L
+        in
         Mutex.lock d.submit;
         let s = d.shared in
         Mutex.lock s.mutex;
@@ -145,6 +169,8 @@ let run t f =
           | Some c -> c :: failures
           | None -> failures
         in
+        if Telemetry.enabled () then
+          Telemetry.observe h_section (seconds_since section_start);
         match
           List.sort (fun (a, _, _) (b, _, _) -> compare a b) failures
         with
@@ -210,7 +236,12 @@ let map_array t f xs =
           let rec loop () =
             let i = Atomic.fetch_and_add next 1 in
             if i < n then begin
-              results.(i) <- Some (f xs.(i));
+              (if Telemetry.enabled () then begin
+                 let start = Telemetry.now_ns () in
+                 results.(i) <- Some (f xs.(i));
+                 Telemetry.observe h_task (seconds_since start)
+               end
+               else results.(i) <- Some (f xs.(i)));
               loop ()
             end
           in

@@ -2,7 +2,9 @@ let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
 
 let render ?(width = 72) ?(height = 20) ?(x_label = "x") ?(y_label = "y")
     series =
-  if series = [] then invalid_arg "Ascii_plot.render: no series";
+  if series = [] then
+    Batlife_numerics.Diag.invalid_model ~what:"Ascii_plot.render"
+      [ "no series to plot" ];
   let ranges_x = List.map Series.x_range series in
   let ranges_y = List.map Series.y_range series in
   let x_min = List.fold_left (fun a (lo, _) -> Float.min a lo) infinity ranges_x

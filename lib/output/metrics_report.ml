@@ -1,0 +1,77 @@
+module Telemetry = Batlife_numerics.Telemetry
+
+let ms ns = Int64.to_float ns /. 1e6
+
+let span_table rows =
+  match rows with
+  | [] -> ""
+  | rows ->
+      Table.render
+        ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+        ~header:[ "phase"; "calls"; "total ms"; "self ms"; "max ms" ]
+        (List.map
+           (fun (r : Telemetry.rollup_row) ->
+             [
+               r.Telemetry.r_name;
+               string_of_int r.Telemetry.r_count;
+               Table.float_cell ~decimals:3 (ms r.Telemetry.r_total_ns);
+               Table.float_cell ~decimals:3 (ms r.Telemetry.r_self_ns);
+               Table.float_cell ~decimals:3 (ms r.Telemetry.r_max_ns);
+             ])
+           rows)
+
+let counter_table counters gauges =
+  let counter_rows =
+    List.filter_map
+      (fun (name, v) ->
+        if v = 0 then None else Some [ name; string_of_int v ])
+      counters
+  in
+  let gauge_rows =
+    List.filter_map
+      (fun (name, v) ->
+        if v = 0. then None else Some [ name; Printf.sprintf "%g" v ])
+      gauges
+  in
+  match counter_rows @ gauge_rows with
+  | [] -> ""
+  | rows -> Table.render ~header:[ "counter/gauge"; "value" ] rows
+
+let histogram_table histograms =
+  let rows =
+    List.filter_map
+      (fun (h : Telemetry.histogram_snapshot) ->
+        if h.Telemetry.hs_total = 0 then None
+        else
+          Some
+            [
+              h.Telemetry.hs_name;
+              string_of_int h.Telemetry.hs_total;
+              Printf.sprintf "%g"
+                (h.Telemetry.hs_sum /. float_of_int h.Telemetry.hs_total);
+              Printf.sprintf "%g" h.Telemetry.hs_max;
+            ])
+      histograms
+  in
+  match rows with
+  | [] -> ""
+  | rows ->
+      Table.render ~header:[ "histogram"; "count"; "mean"; "max" ] rows
+
+let render (snap : Telemetry.snapshot) =
+  let sections =
+    List.filter
+      (fun s -> s <> "")
+      [
+        span_table (Telemetry.rollup snap.Telemetry.snap_spans);
+        counter_table snap.Telemetry.snap_counters snap.Telemetry.snap_gauges;
+        histogram_table snap.Telemetry.snap_histograms;
+      ]
+  in
+  match sections with
+  | [] -> "telemetry: nothing recorded (was the collector enabled?)\n"
+  | sections -> String.concat "\n" sections
+
+let print ?(oc = stderr) snap =
+  output_string oc (render snap);
+  flush oc

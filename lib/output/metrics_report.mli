@@ -1,0 +1,19 @@
+(** Human-readable rendering of a telemetry snapshot.
+
+    The [--profile] CLI flag and the experiment runner print these
+    tables; the machine-readable exports (metrics JSON, Chrome trace)
+    live in {!Batlife_numerics.Telemetry} itself because they have no
+    formatting dependencies. *)
+
+val span_table : Batlife_numerics.Telemetry.rollup_row list -> string
+(** Per-phase breakdown: one row per span name with call count, total,
+    self and max wall time (milliseconds), sorted by total time.
+    Empty string when there are no spans. *)
+
+val render : Batlife_numerics.Telemetry.snapshot -> string
+(** Full summary: span roll-up, then non-zero counters and gauges,
+    then non-empty histograms (count / mean / max per row). *)
+
+val print : ?oc:out_channel -> Batlife_numerics.Telemetry.snapshot -> unit
+(** [print snap] writes [render snap] to [oc] (default [stderr], so
+    profiles never corrupt machine-read stdout output). *)

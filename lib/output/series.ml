@@ -1,8 +1,14 @@
+module Diag = Batlife_numerics.Diag
+
 type t = { name : string; xs : float array; ys : float array }
 
 let create ~name ~xs ~ys =
   if Array.length xs <> Array.length ys then
-    invalid_arg "Series.create: length mismatch";
+    Diag.invalid_model ~what:"Series.create"
+      [
+        Printf.sprintf "series %S has %d x values but %d y values" name
+          (Array.length xs) (Array.length ys);
+      ];
   { name; xs = Array.copy xs; ys = Array.copy ys }
 
 let of_pairs ~name pairs =
@@ -21,7 +27,8 @@ let map_y f s = { s with ys = Array.map f s.ys }
 let rename name s = { s with name }
 
 let range values =
-  if Array.length values = 0 then invalid_arg "Series: empty series";
+  if Array.length values = 0 then
+    Diag.invalid_model ~what:"Series range" [ "series has no points" ];
   ( Array.fold_left Float.min values.(0) values,
     Array.fold_left Float.max values.(0) values )
 

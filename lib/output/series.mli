@@ -21,7 +21,8 @@ val map_y : (float -> float) -> t -> t
 val rename : string -> t -> t
 
 val x_range : t -> float * float
-(** [(min, max)] over the x values.  Raises [Invalid_argument] on an
-    empty series. *)
+(** [(min, max)] over the x values.  Raises
+    [Batlife_numerics.Diag.Error (Invalid_model _)] on an empty
+    series. *)
 
 val y_range : t -> float * float

@@ -18,7 +18,12 @@ let render ?align ~header rows =
   let aligns =
     match align with
     | Some a when List.length a = columns -> a
-    | Some _ -> invalid_arg "Table.render: align length mismatch"
+    | Some a ->
+        Batlife_numerics.Diag.invalid_model ~what:"Table.render"
+          [
+            Printf.sprintf "align has %d entries but the header has %d columns"
+              (List.length a) columns;
+          ]
     | None -> List.init columns (fun i -> if i = 0 then Left else Right)
   in
   let widths = Array.make columns 0 in

@@ -35,7 +35,9 @@ let rec sift_down q i =
   end
 
 let push q ~time payload =
-  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
+  if Float.is_nan time then
+    Batlife_numerics.Diag.invalid_model ~what:"Event_queue.push"
+      [ "event time is NaN: the heap order would be undefined" ];
   let entry = { time; payload } in
   if q.len = Array.length q.data then begin
     let capacity = max 16 (2 * Array.length q.data) in

@@ -1,3 +1,5 @@
+module Diag = Batlife_numerics.Diag
+
 type estimate = {
   times : float array;
   cdf : float array;
@@ -11,7 +13,9 @@ type estimate = {
 let default_runs = 1000
 
 let run_replications ?(seed = 0x0BA77E7AL) ~runs ~horizon model =
-  if runs <= 0 then invalid_arg "Montecarlo: need runs > 0";
+  if runs <= 0 then
+    Diag.invalid_model ~what:"Montecarlo replication count"
+      [ Printf.sprintf "runs = %d; need runs > 0" runs ];
   let master = Rng.create ~seed () in
   let sim = Trajectory.prepare model in
   let died = ref [] and censored = ref 0 in
@@ -35,7 +39,8 @@ let lifetime_cdf ?seed ?(runs = default_runs) ?horizon ?(confidence = 0.95)
   Array.iter
     (fun t ->
       if t > horizon then
-        invalid_arg "Montecarlo.lifetime_cdf: time beyond horizon")
+        Diag.invalid_model ~what:"Montecarlo.lifetime_cdf time grid"
+          [ Printf.sprintf "t = %g lies beyond the horizon %g" t horizon ])
     times;
   let samples, censored = run_replications ?seed ~runs ~horizon model in
   let nf = float_of_int runs in
@@ -73,8 +78,16 @@ let lifetime_cdf ?seed ?(runs = default_runs) ?horizon ?(confidence = 0.95)
 let mean_lifetime ?seed ?(runs = default_runs) ?(horizon = 1e9) model =
   let samples, censored = run_replications ?seed ~runs ~horizon model in
   if censored > 0 then
-    failwith
-      (Printf.sprintf "Montecarlo.mean_lifetime: %d replications censored"
-         censored);
+    Diag.fail
+      (Diag.Budget_exhausted
+         {
+           what =
+             Printf.sprintf
+               "Montecarlo.mean_lifetime: %d of %d replications censored at \
+                horizon %g; a mean over the survivors would be biased low \
+                (increase ~horizon)"
+               censored runs horizon;
+           budget = runs;
+         });
   let s = Stats.summarize samples in
   (s.Stats.mean, Stats.mean_confidence_interval samples)

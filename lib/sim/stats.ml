@@ -11,7 +11,9 @@ type summary = {
 
 let summarize samples =
   let n = Array.length samples in
-  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  if n = 0 then
+    Diag.invalid_model ~what:"Stats.summarize"
+      [ "empty sample: no statistics to compute" ];
   (* Welford's online algorithm for numerical stability. *)
   let mean = ref 0. and m2 = ref 0. in
   let minimum = ref samples.(0) and maximum = ref samples.(0) in
@@ -36,7 +38,8 @@ let summarize samples =
 
 let z_for confidence =
   if confidence <= 0. || confidence >= 1. then
-    invalid_arg "Stats: confidence must be in (0,1)";
+    Diag.invalid_model ~what:"Stats confidence level"
+      [ Printf.sprintf "confidence = %g must lie strictly in (0, 1)" confidence ];
   Special.normal_quantile (1. -. ((1. -. confidence) /. 2.))
 
 let mean_confidence_interval ?(confidence = 0.95) samples =
@@ -46,7 +49,9 @@ let mean_confidence_interval ?(confidence = 0.95) samples =
   (s.mean -. half, s.mean +. half)
 
 let proportion_confidence_interval ?(confidence = 0.95) ~p_hat n =
-  if n <= 0 then invalid_arg "Stats.proportion_confidence_interval: n <= 0";
+  if n <= 0 then
+    Diag.invalid_model ~what:"Stats.proportion_confidence_interval"
+      [ Printf.sprintf "n = %d; need a positive sample count" n ];
   let z = z_for confidence in
   let half = z *. sqrt (p_hat *. (1. -. p_hat) /. float_of_int n) in
   (Float.max 0. (p_hat -. half), Float.min 1. (p_hat +. half))
@@ -55,7 +60,8 @@ module Ecdf = struct
   type t = { sorted : float array }
 
   let create samples =
-    if Array.length samples = 0 then invalid_arg "Ecdf.create: empty sample";
+    if Array.length samples = 0 then
+      Diag.invalid_model ~what:"Ecdf.create" [ "empty sample" ];
     let sorted = Array.copy samples in
     Array.sort Float.compare sorted;
     { sorted }
@@ -79,7 +85,9 @@ module Ecdf = struct
     float_of_int (count_le e x) /. float_of_int (Array.length e.sorted)
 
   let quantile e p =
-    if p < 0. || p > 1. then invalid_arg "Ecdf.quantile: p outside [0,1]";
+    if p < 0. || p > 1. then
+      Diag.invalid_model ~what:"Ecdf.quantile"
+        [ Printf.sprintf "p = %g lies outside [0, 1]" p ];
     let n = Array.length e.sorted in
     let idx = int_of_float (Float.ceil (p *. float_of_int n)) - 1 in
     e.sorted.(min (max idx 0) (n - 1))

@@ -11,7 +11,8 @@ type summary = {
 }
 
 val summarize : float array -> summary
-(** Raises [Invalid_argument] on the empty array. *)
+(** Raises [Batlife_numerics.Diag.Error (Invalid_model _)] on the
+    empty array. *)
 
 val mean_confidence_interval :
   ?confidence:float -> float array -> float * float

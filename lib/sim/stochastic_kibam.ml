@@ -1,4 +1,5 @@
 open Batlife_battery
+module Diag = Batlife_numerics.Diag
 
 let step_slot rng p ~load ~slot (s : Kibam.state) =
   let base = p.Modified_kibam.base in
@@ -21,7 +22,9 @@ let step_slot rng p ~load ~slot (s : Kibam.state) =
   }
 
 let sample_lifetime ?(max_time = 1e9) ~slot rng p profile =
-  if slot <= 0. then invalid_arg "Stochastic_kibam: non-positive slot";
+  if slot <= 0. then
+    Diag.invalid_model ~what:"Stochastic_kibam slot width"
+      [ Printf.sprintf "slot = %g; need a positive slot" slot ];
   let rec walk t s segs =
     if t >= max_time then None
     else if s.Kibam.available <= 0. then Some t
@@ -53,14 +56,25 @@ let sample_lifetime ?(max_time = 1e9) ~slot rng p profile =
 
 let mean_lifetime ?(seed = 0x57CA571CL) ?(runs = 200) ?max_time ~slot p profile
     =
-  if runs <= 0 then invalid_arg "Stochastic_kibam.mean_lifetime: runs <= 0";
+  if runs <= 0 then
+    Diag.invalid_model ~what:"Stochastic_kibam replication count"
+      [ Printf.sprintf "runs = %d; need runs > 0" runs ];
   let master = Rng.create ~seed () in
   let samples =
     Array.init runs (fun _ ->
         let rng = Rng.split master in
         match sample_lifetime ?max_time ~slot rng p profile with
         | Some t -> t
-        | None -> failwith "Stochastic_kibam.mean_lifetime: censored run")
+        | None ->
+            Diag.fail
+              (Diag.Budget_exhausted
+                 {
+                   what =
+                     "Stochastic_kibam.mean_lifetime: a replication was \
+                      censored — the battery outlived the simulated span \
+                      (raise ?max_time or supply a finite load profile)";
+                   budget = runs;
+                 }))
   in
   let s = Stats.summarize samples in
   (s.Stats.mean, Stats.mean_confidence_interval samples)

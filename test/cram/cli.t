@@ -94,3 +94,27 @@ field, with its own exit code:
   $ batlife trace --csv does-not-exist.csv
   batlife: error: parse error: does-not-exist.csv, line 0: does-not-exist.csv: No such file or directory
   [4]
+
+Telemetry: --metrics-out / --trace-out emit JSON documents and
+--profile prints a per-phase table on stderr.  Timings vary run to
+run, so only the stable structure is checked:
+
+  $ batlife lifetime --model simple --capacity 800 -c 0.625 -k 0.162 \
+  >   --delta 25 --horizon 30 --points 5 \
+  >   --profile --metrics-out metrics.json --trace-out trace.json \
+  >   2>profile.err >/dev/null
+  $ grep -c '"schema": "batlife.metrics/1"' metrics.json
+  1
+  $ grep -q '"transient.sweeps"' metrics.json
+  $ grep -q '"traceEvents"' trace.json
+  $ grep -q '"ph": "X"' trace.json
+  $ grep -q '^phase' profile.err
+  $ grep -q 'session.flush' profile.err
+  $ grep -q 'counter/gauge' profile.err
+
+Without the flags nothing telemetry-related is printed:
+
+  $ batlife lifetime --model simple --capacity 800 -c 0.625 -k 0.162 \
+  >   --delta 25 --horizon 30 --points 5 2>&1 >/dev/null | grep -c phase
+  0
+  [1]

@@ -10,6 +10,7 @@ let () =
       ("numerics: dense matrices", Test_dense.suite);
       ("numerics: sparse matrices", Test_sparse.suite);
       ("numerics: domain pool", Test_pool.suite);
+      ("numerics: telemetry", Test_telemetry.suite);
       ("numerics: ode solvers", Test_ode.suite);
       ("numerics: interpolation & quadrature", Test_interp_quadrature.suite);
       ("ctmc: generators", Test_generator.suite);

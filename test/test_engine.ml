@@ -11,6 +11,14 @@ open Batlife_battery
 open Batlife_workload
 open Batlife_core
 
+(* Work accounting now lives in the Telemetry registry; these counters
+   are always on, so tests can assert on sweep counts without enabling
+   the (span/histogram) collector. *)
+let c_sweeps = Telemetry.counter "transient.sweeps"
+
+let reset_sweeps () = Telemetry.reset_counter c_sweeps
+let sweeps_done () = Telemetry.value c_sweeps
+
 (* The fig-7 configuration: on/off workload, degenerate single-well
    battery (c = 1, k = 0). *)
 let fig7_model () =
@@ -58,9 +66,9 @@ let check_session_matches_legacy ~delta model =
   let joint_q =
     Discretized.Session.joint_probability s ~time ~mode:0 ~min_charge:2000.
   in
-  Transient.reset_counters ();
+  reset_sweeps ();
   let stats = Discretized.Session.run s in
-  check_int "whole batch = one sweep" 1 (Transient.sweep_count ());
+  check_int "whole batch = one sweep" 1 (sweeps_done ());
   check_true "sweep did work" (stats.Transient.iterations > 0);
   let cdf = Discretized.Session.get cdf_q in
   Array.iteri
@@ -100,7 +108,7 @@ let test_one_sweep_for_five_queries () =
   let d = Discretized.build ~delta:25. (fig7_model ()) in
   let times = Array.init 10 (fun i -> 2000. *. float_of_int (i + 1)) in
   let time = times.(5) in
-  Transient.reset_counters ();
+  reset_sweeps ();
   let s = Discretized.Session.create d in
   let cdf_q = Discretized.Session.empty_probability s ~times in
   let _m1 = Discretized.Session.available_charge_marginal s ~time in
@@ -110,7 +118,7 @@ let test_one_sweep_for_five_queries () =
     Discretized.Session.joint_probability s ~time ~mode:1 ~min_charge:1000.
   in
   let cdf = Discretized.Session.get cdf_q in
-  check_int "exactly one sweep" 1 (Transient.sweep_count ());
+  check_int "exactly one sweep" 1 (sweeps_done ());
   check_int "session agrees" 1 (Discretized.Session.sweeps s);
   check_true "CDF nontrivial" (cdf.(Array.length cdf - 1) > 0.5);
   (* A second batch on the same session reuses the cached windows. *)
@@ -119,7 +127,36 @@ let test_one_sweep_for_five_queries () =
   ignore (Discretized.Session.get again : float array);
   check_int "windows cached across flushes" windows_before
     (Discretized.Session.cached_windows s);
-  check_int "second flush = second sweep" 2 (Transient.sweep_count ())
+  check_int "second flush = second sweep" 2 (sweeps_done ())
+
+(* The session cache counters must expose what the engine actually
+   reused: the first flush misses every Fox-Glynn window and builds
+   the kernel once; a second flush over the same grid hits every
+   window and rebuilds nothing. *)
+let test_session_cache_counters () =
+  let c_hits = Telemetry.counter "session.window_hits"
+  and c_misses = Telemetry.counter "session.window_misses"
+  and c_kernels = Telemetry.counter "session.kernel_builds"
+  and c_flushes = Telemetry.counter "session.flushes" in
+  List.iter Telemetry.reset_counter [ c_hits; c_misses; c_kernels; c_flushes ];
+  let d = Discretized.build ~delta:100. (fig7_model ()) in
+  let s = Discretized.Session.create d in
+  let times = [| 3000.; 6000.; 9000. |] in
+  let q1 = Discretized.Session.empty_probability s ~times in
+  ignore (Discretized.Session.get q1 : float array);
+  check_int "first flush misses every window" (Array.length times)
+    (Telemetry.value c_misses);
+  check_int "no hits yet" 0 (Telemetry.value c_hits);
+  check_int "first flush builds the kernel once" 1 (Telemetry.value c_kernels);
+  check_int "one flush so far" 1 (Telemetry.value c_flushes);
+  let q2 = Discretized.Session.empty_probability s ~times in
+  ignore (Discretized.Session.get q2 : float array);
+  check_int "second flush with the same grid = 0 kernel rebuilds" 1
+    (Telemetry.value c_kernels);
+  check_int "second flush hits every window" (Array.length times)
+    (Telemetry.value c_hits);
+  check_int "no new misses" (Array.length times) (Telemetry.value c_misses);
+  check_int "two flushes" 2 (Telemetry.value c_flushes)
 
 (* Lifetime.cdf_discretized rides the same engine and must agree with
    the one-shot Lifetime.cdf. *)
@@ -264,6 +301,7 @@ let suite =
     case "session matches legacy per-call (fig-2 battery)"
       test_session_matches_legacy_fig2_battery;
     case "CDF + 4 measures = one sweep" test_one_sweep_for_five_queries;
+    case "session cache hit/miss counters" test_session_cache_counters;
     case "cdf_discretized matches cdf" test_lifetime_cdf_discretized_matches;
     prop_multi_equals_singles;
     case "custom measure query" test_custom_measure_query;

@@ -14,7 +14,7 @@ let test_series_basics () =
   let lo, hi = Series.y_range s in
   check_float "y lo" 0. lo;
   check_float "y hi" 1. hi;
-  check_raises_invalid "length mismatch" (fun () ->
+  check_raises_diag "length mismatch" is_invalid_model (fun () ->
       ignore (Series.create ~name:"bad" ~xs:[| 1. |] ~ys:[||]))
 
 let test_series_map_rename () =
@@ -122,7 +122,7 @@ let test_table_cells () =
     (Table.float_cell ~decimals:2 1.5)
 
 let test_table_validation () =
-  check_raises_invalid "align mismatch" (fun () ->
+  check_raises_diag "align mismatch" is_invalid_model (fun () ->
       ignore (Table.render ~align:[ Table.Left ] ~header:[ "a"; "b" ] []))
 
 let test_ascii_plot () =
@@ -132,7 +132,8 @@ let test_ascii_plot () =
   check_true "non-empty" (String.length rendered > 100);
   check_true "contains glyph" (String.contains rendered '*');
   check_true "legend" (String.length rendered > 0);
-  check_raises_invalid "no series" (fun () -> ignore (Ascii_plot.render []))
+  check_raises_diag "no series" is_invalid_model (fun () ->
+      ignore (Ascii_plot.render []))
 
 let suite =
   [

@@ -98,7 +98,8 @@ let test_summarize () =
   check_float "min" 1. s.Stats.minimum;
   check_float "max" 4. s.Stats.maximum;
   check_int "count" 4 s.Stats.count;
-  check_raises_invalid "empty" (fun () -> ignore (Stats.summarize [||]))
+  check_raises_diag "empty" is_invalid_model (fun () ->
+      ignore (Stats.summarize [||]))
 
 let test_confidence_intervals () =
   let samples = Array.make 100 5. in
@@ -246,9 +247,9 @@ let test_montecarlo_validation () =
     Kibamrm.create ~workload:(constant_workload 1.)
       ~battery:(Kibam.params ~capacity:100. ~c:1. ~k:0.)
   in
-  check_raises_invalid "runs" (fun () ->
+  check_raises_diag "runs" is_invalid_model (fun () ->
       ignore (Montecarlo.lifetime_cdf ~runs:0 model ~times:[| 1. |]));
-  check_raises_invalid "time beyond horizon" (fun () ->
+  check_raises_diag "time beyond horizon" is_invalid_model (fun () ->
       ignore (Montecarlo.lifetime_cdf ~horizon:10. model ~times:[| 20. |]))
 
 (* --- Stochastic modified KiBaM ----------------------------------------- *)
@@ -307,7 +308,7 @@ let test_three_engines_agree () =
 let test_stochastic_kibam_validation () =
   let base = Kibam.params ~capacity:100. ~c:0.5 ~k:1e-3 in
   let p = Modified_kibam.params ~base ~gamma:1. in
-  check_raises_invalid "slot" (fun () ->
+  check_raises_diag "slot" is_invalid_model (fun () ->
       ignore
         (Stochastic_kibam.sample_lifetime ~slot:0. (Rng.create ()) p
            (Load_profile.constant 1.)))

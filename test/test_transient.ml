@@ -188,11 +188,14 @@ let test_multi_measure_counts_one_sweep () =
   let alpha = [| 1.; 0. |] in
   let times = [| 0.5; 1.; 2. |] in
   let measures = [| (fun pi -> pi.(0)); (fun pi -> pi.(1)) |] in
-  Transient.reset_counters ();
+  let c_sweeps = Telemetry.counter "transient.sweeps"
+  and c_products = Telemetry.counter "transient.products" in
+  Telemetry.reset_counter c_sweeps;
+  Telemetry.reset_counter c_products;
   let _, stats = Transient.multi_measure_sweep g ~alpha ~times ~measures in
-  check_int "one sweep" 1 (Transient.sweep_count ());
+  check_int "one sweep" 1 (Telemetry.value c_sweeps);
   check_int "products = iterations" stats.Transient.iterations
-    (Transient.product_count ())
+    (Telemetry.value c_products)
 
 let test_supplied_buffers_and_windows () =
   let g = Generator.of_rates ~n:3 [ (0, 1, 1.); (1, 2, 0.5) ] in
