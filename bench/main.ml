@@ -201,7 +201,7 @@ let engine_report path =
   Printf.printf "  batched session:   %d sweeps, %d vector-matrix products\n"
     session_sweeps session_products;
   Printf.printf "  product reduction: %.2fx\n" product_ratio;
-  let oc = open_out path in
+  Batlife_numerics.Atomic_io.with_out ~path (fun oc ->
   Printf.fprintf oc
     {|{
   "benchmark": "engine sweep accounting",
@@ -218,8 +218,7 @@ let engine_report path =
 |}
     (Array.length engine_times) per_call_sweeps per_call_products
     session_sweeps session_products product_ratio
-    (ratio float_of_int per_call_sweeps session_sweeps);
-  close_out oc;
+    (ratio float_of_int per_call_sweeps session_sweeps));
   Printf.printf "  wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
@@ -315,7 +314,7 @@ let scaling_report path =
     "  step kernel (%d states, %d nnz): scatter %.0f ns, gather %.0f ns \
      (ratio %.2fx)\n"
     n (Nsparse.nnz p) scatter_ns gather_ns (scatter_ns /. gather_ns);
-  let oc = open_out path in
+  Batlife_numerics.Atomic_io.with_out ~path (fun oc ->
   Printf.fprintf oc
     {|{
   "benchmark": "multicore scaling",
@@ -342,8 +341,7 @@ let scaling_report path =
               {|    { "jobs": %d, "seconds": %.6f, "speedup": %.4f }|} jobs t
               (base_time /. t))
           measured))
-    identical n (Nsparse.nnz p) scatter_ns gather_ns (scatter_ns /. gather_ns);
-  close_out oc;
+    identical n (Nsparse.nnz p) scatter_ns gather_ns (scatter_ns /. gather_ns));
   Printf.printf "  wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
@@ -404,7 +402,7 @@ let obs_report path =
     prerr_endline "obs report: telemetry perturbed the results (bug)";
     exit 1
   end;
-  let oc = open_out path in
+  Batlife_numerics.Atomic_io.with_out ~path (fun oc ->
   Printf.fprintf oc
     {|{
   "benchmark": "telemetry overhead",
@@ -425,8 +423,7 @@ let obs_report path =
 }
 |}
     delta (Array.length times) reps disabled_s enabled_s
-    (enabled_s /. disabled_s) identical spans_recorded sweeps products windows;
-  close_out oc;
+    (enabled_s /. disabled_s) identical spans_recorded sweeps products windows);
   Printf.printf "  wrote %s\n" path
 
 let timing_tests =

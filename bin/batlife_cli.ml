@@ -212,6 +212,127 @@ let solver_opts_term =
   Term.(
     const make $ accuracy $ unif_rate $ convergence_tol $ solver_tol $ jobs)
 
+(* Resilience flags, shared by the solver-backed subcommands: wall
+   clock and work budgets (installed as the process-wide ambient
+   Budget), retries, and checkpoint/resume.  The SIGINT handler points
+   at the same budget: the first Ctrl-C requests cooperative
+   cancellation — loops finish their current step, flush checkpoints
+   and exit through the structured Cancelled error (code 8) — and a
+   second Ctrl-C aborts hard with the conventional 130. *)
+module Budget = Batlife_numerics.Budget
+
+type resilience = {
+  checkpoint : string option;
+  checkpoint_interval : int;
+  resume : string option;
+  max_retries : int;
+}
+
+let install_sigint budget =
+  let interrupted = ref false in
+  Sys.set_signal Sys.sigint
+    (Sys.Signal_handle
+       (fun _ ->
+         if !interrupted then Stdlib.exit 130
+         else begin
+           interrupted := true;
+           Budget.cancel budget;
+           prerr_endline
+             "batlife: interrupt: finishing the current step and flushing \
+              checkpoints (Ctrl-C again aborts hard)"
+         end))
+
+let resilience_term =
+  let make deadline max_sweeps max_products cancel_after max_retries
+      checkpoint checkpoint_interval resume =
+    if checkpoint_interval < 1 then
+      Batlife_numerics.Diag.invalid_model ~what:"--checkpoint-interval"
+        [
+          Printf.sprintf "need a positive step count, got %d"
+            checkpoint_interval;
+        ];
+    let budget =
+      Budget.create ?wall_s:deadline ?max_sweeps ?max_products ?cancel_after ()
+    in
+    Budget.set_ambient budget;
+    install_sigint budget;
+    { checkpoint; checkpoint_interval; resume; max_retries }
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget.  When it expires the solvers stop at the \
+             next step boundary, flush any pending checkpoint, and the \
+             command exits with the structured budget-exhausted error \
+             (code 7).")
+  and max_sweeps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-sweeps" ] ~docv:"N"
+          ~doc:"Budget of uniformisation power sweeps.")
+  and max_products =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-products" ] ~docv:"N"
+          ~doc:
+            "Budget of units of work: vector-matrix products, solver \
+             iterations, ODE steps, Monte-Carlo replications.")
+  and cancel_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cancel-after" ] ~docv:"N"
+          ~doc:
+            "Testing knob: trip cooperative cancellation (as if Ctrl-C was \
+             pressed) after $(docv) budget polls — a deterministic \
+             interrupted-mid-run for the test suite (exit code 8).")
+  and max_retries =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "Retries (with exponential backoff) for a failing parallel \
+             experiment task.  Budget exhaustion and cancellation are \
+             never retried.")
+  and checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Periodically snapshot progress to $(docv) (written \
+             atomically).  For $(b,lifetime): the uniformisation sweep \
+             state; for $(b,simulate): the replication batch; for \
+             $(b,experiment): the per-figure completion map.")
+  and checkpoint_interval =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "checkpoint-interval" ] ~docv:"STEPS"
+          ~doc:
+            "Snapshot every $(docv) completed steps (sweep steps or \
+             replications).")
+  and resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a checkpoint written by $(b,--checkpoint).  The \
+             resumed computation is bitwise identical to an uninterrupted \
+             one; a checkpoint from a different model or grid is \
+             rejected.")
+  in
+  Term.(
+    const make $ deadline $ max_sweeps $ max_products $ cancel_after
+    $ max_retries $ checkpoint $ checkpoint_interval $ resume)
+
 (* Observability flags, shared by the solver-backed subcommands.  The
    term switches the process-wide Telemetry collector on and records
    where the reports should go; the reports themselves are emitted
@@ -334,20 +455,40 @@ let print_cdf ~plot name times probabilities =
       [ Series.create ~name ~xs:times ~ys:probabilities ]
 
 let lifetime_cmd =
-  let run battery workload times delta opts plot () =
+  let run battery workload times delta opts resil plot () =
+    let opts = { opts with Solver_opts.max_retries = resil.max_retries } in
     let model = Kibamrm.create ~workload ~battery in
-    (* One expanded model serves the CDF sweep and the first-passage
-       mean; the CDF goes through the session engine. *)
-    let d = Discretized.build ~delta model in
-    let curve = Lifetime.cdf_discretized ~opts ~delta d ~times in
-    Printf.eprintf
-      "expanded CTMC: %d states, %d nonzeros, %d iterations (q = %g)\n"
-      curve.Lifetime.states curve.Lifetime.nnz curve.Lifetime.iterations
-      curve.Lifetime.uniformisation_rate;
-    print_cdf ~plot "KiBaMRM" times curve.Lifetime.probabilities;
-    Printf.eprintf "mean lifetime (truncated): %.6g\n" (Lifetime.mean curve);
-    Printf.eprintf "mean lifetime (exact, first passage): %.6g\n"
-      (Discretized.expected_lifetime ~opts d)
+    if resil.checkpoint <> None || resil.resume <> None then begin
+      (* The checkpointable sweep: same resolved rate and windows as
+         the session path, so the curve is bitwise identical. *)
+      let checkpoint =
+        Option.map (fun p -> (p, resil.checkpoint_interval)) resil.checkpoint
+      in
+      let curve =
+        Lifetime.cdf_resumable ~opts ?checkpoint ?resume:resil.resume ~delta
+          ~times model
+      in
+      Printf.eprintf
+        "expanded CTMC: %d states, %d nonzeros, %d iterations (q = %g)\n"
+        curve.Lifetime.states curve.Lifetime.nnz curve.Lifetime.iterations
+        curve.Lifetime.uniformisation_rate;
+      print_cdf ~plot "KiBaMRM" times curve.Lifetime.probabilities;
+      Printf.eprintf "mean lifetime (truncated): %.6g\n" (Lifetime.mean curve)
+    end
+    else begin
+      (* One expanded model serves the CDF sweep and the first-passage
+         mean; the CDF goes through the session engine. *)
+      let d = Discretized.build ~delta model in
+      let curve = Lifetime.cdf_discretized ~opts ~delta d ~times in
+      Printf.eprintf
+        "expanded CTMC: %d states, %d nonzeros, %d iterations (q = %g)\n"
+        curve.Lifetime.states curve.Lifetime.nnz curve.Lifetime.iterations
+        curve.Lifetime.uniformisation_rate;
+      print_cdf ~plot "KiBaMRM" times curve.Lifetime.probabilities;
+      Printf.eprintf "mean lifetime (truncated): %.6g\n" (Lifetime.mean curve);
+      Printf.eprintf "mean lifetime (exact, first passage): %.6g\n"
+        (Discretized.expected_lifetime ~opts d)
+    end
   in
   let delta =
     Arg.(
@@ -360,16 +501,69 @@ let lifetime_cmd =
        ~doc:"Battery lifetime CDF via the Markovian approximation")
     Term.(
       const run $ battery_term $ workload_term $ times_term $ delta
-      $ solver_opts_term $ plot_arg $ telemetry_term)
+      $ solver_opts_term $ resilience_term $ plot_arg $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
 
 let simulate_cmd =
-  let run battery workload times runs seed plot =
+  let run battery workload times runs seed resil plot =
     let model = Kibamrm.create ~workload ~battery in
+    let seed64 = Int64.of_int seed in
+    let resume =
+      match resil.resume with
+      | None -> None
+      | Some path -> (
+          match Checkpoint.load ~path with
+          | Checkpoint.Montecarlo m ->
+              if m.Checkpoint.mc_seed <> seed64 then
+                Batlife_numerics.Diag.invalid_model
+                  ~what:("checkpoint " ^ path)
+                  [
+                    Printf.sprintf
+                      "snapshot was taken with seed %Ld but this run uses %Ld"
+                      m.Checkpoint.mc_seed seed64;
+                  ];
+              Some
+                {
+                  Montecarlo.mp_target = m.Checkpoint.mc_target;
+                  mp_done = m.Checkpoint.mc_done;
+                  mp_censored = m.Checkpoint.mc_censored;
+                  mp_died = m.Checkpoint.mc_died;
+                  mp_rng = m.Checkpoint.mc_rng;
+                }
+          | Checkpoint.Cdf _ | Checkpoint.Experiments _ ->
+              Batlife_numerics.Diag.invalid_model ~what:("checkpoint " ^ path)
+                [
+                  "checkpoint holds a different computation kind, not a \
+                   Monte-Carlo batch";
+                ])
+    in
+    let progress, on_interrupt =
+      match resil.checkpoint with
+      | None -> (None, None)
+      | Some path ->
+          let save (p : Montecarlo.progress) =
+            Checkpoint.save ~path
+              (Checkpoint.Montecarlo
+                 {
+                   Checkpoint.mc_seed = seed64;
+                   mc_target = p.Montecarlo.mp_target;
+                   mc_done = p.Montecarlo.mp_done;
+                   mc_censored = p.Montecarlo.mp_censored;
+                   mc_died = p.Montecarlo.mp_died;
+                   mc_rng = p.Montecarlo.mp_rng;
+                 })
+          in
+          ( Some
+              (fun ~done_ ~snapshot ->
+                if done_ mod resil.checkpoint_interval = 0 then
+                  save (snapshot ())),
+            Some save )
+    in
     let est =
-      Montecarlo.lifetime_cdf ~seed:(Int64.of_int seed) ~runs model ~times
+      Montecarlo.lifetime_cdf ~seed:seed64 ~runs ?progress ?on_interrupt
+        ?resume model ~times
     in
     Printf.eprintf "replications: %d (censored: %d)\n" est.Montecarlo.runs
       est.Montecarlo.censored;
@@ -396,7 +590,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Monte-Carlo battery lifetime estimation")
     Term.(
       const run $ battery_term $ workload_term $ times_term $ runs $ seed
-      $ plot_arg)
+      $ resilience_term $ plot_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -515,22 +709,27 @@ let pack_cmd =
 (* experiment                                                          *)
 
 let experiment_cmd =
-  let run ids out_dir runs full opts () =
+  let run ids out_dir runs full opts resil () =
     let open Batlife_experiments in
-    let options = { Runner.default_options with out_dir; runs; full; opts } in
+    let opts = { opts with Solver_opts.max_retries = resil.max_retries } in
+    let options =
+      {
+        Runner.default_options with
+        out_dir;
+        runs;
+        full;
+        opts;
+        checkpoint = resil.checkpoint;
+      }
+    in
     match ids with
     | [] ->
         Runner.run_all ~options ();
         `Ok ()
-    | ids ->
-        let rec go = function
-          | [] -> `Ok ()
-          | id :: rest -> (
-              match Runner.run_one ~options id with
-              | Ok () -> go rest
-              | Error msg -> `Error (false, msg))
-        in
-        go ids
+    | ids -> (
+        match Runner.run_many ~options ids with
+        | Ok () -> `Ok ()
+        | Error msg -> `Error (false, msg))
   in
   let ids =
     Arg.(
@@ -559,7 +758,7 @@ let experiment_cmd =
     Term.(
       ret
         (const run $ ids $ out_dir $ runs $ full $ solver_opts_term
-       $ telemetry_term))
+       $ resilience_term $ telemetry_term))
 
 (* ------------------------------------------------------------------ *)
 
@@ -592,7 +791,9 @@ let () =
   in
   (* [~catch:false] lets structured errors reach this handler instead
      of cmdliner's generic backtrace printer; each error class maps to
-     a distinct exit code (3-7, see [Error.exit_code]). *)
+     a distinct exit code (3-8, see [Error.exit_code]) — 7 for an
+     exhausted budget/deadline, 8 for cooperative cancellation
+     (Ctrl-C). *)
   let code =
     match Cmd.eval ~catch:false group with
     | code -> code

@@ -1,0 +1,198 @@
+(* Versioned on-disk snapshots of interrupted computations.
+
+   One JSON document per file, written atomically (Atomic_io), schema
+   tag "batlife.ckpt/1".  Everything numeric goes through
+   Batlife_numerics.Json's exact float/int64 round-trip, so a resumed
+   computation continues from bit-identical state — the foundation of
+   the "resumed == uninterrupted" guarantee. *)
+
+open Batlife_numerics
+open Batlife_ctmc
+
+let schema = "batlife.ckpt/1"
+
+type cdf = {
+  cdf_delta : float;
+  cdf_accuracy : float;
+  cdf_states : int;
+  cdf_nnz : int;
+  cdf_times : float array;
+  cdf_progress : Transient.sweep_progress;
+}
+
+type montecarlo = {
+  mc_seed : int64;
+  mc_target : int;
+  mc_done : int;
+  mc_censored : int;
+  mc_died : float list;
+  mc_rng : int64 array;
+}
+
+type payload =
+  | Cdf of cdf
+  | Montecarlo of montecarlo
+  | Experiments of { completed : string list }
+
+(* ---------- encoding ---------- *)
+
+let json_of_floats a = Json.Arr (List.map Json.of_float (Array.to_list a))
+
+let json_of_payload = function
+  | Cdf c ->
+      let p = c.cdf_progress in
+      Json.Obj
+        [
+          ("schema", Json.Str schema);
+          ("kind", Json.Str "cdf");
+          ("delta", Json.of_float c.cdf_delta);
+          ("accuracy", Json.of_float c.cdf_accuracy);
+          ("states", Json.of_int c.cdf_states);
+          ("nnz", Json.of_int c.cdf_nnz);
+          ("times", json_of_floats c.cdf_times);
+          ("step", Json.of_int p.Transient.sp_step);
+          ("converged", Json.Bool p.Transient.sp_converged);
+          ("vector", json_of_floats p.Transient.sp_vector);
+          ( "values",
+            Json.Arr
+              (List.map json_of_floats (Array.to_list p.Transient.sp_values)) );
+        ]
+  | Montecarlo m ->
+      Json.Obj
+        [
+          ("schema", Json.Str schema);
+          ("kind", Json.Str "montecarlo");
+          ("seed", Json.of_int64_hex m.mc_seed);
+          ("target", Json.of_int m.mc_target);
+          ("done", Json.of_int m.mc_done);
+          ("censored", Json.of_int m.mc_censored);
+          ("died", Json.Arr (List.map Json.of_float m.mc_died));
+          ( "rng",
+            Json.Arr (List.map Json.of_int64_hex (Array.to_list m.mc_rng)) );
+        ]
+  | Experiments { completed } ->
+      Json.Obj
+        [
+          ("schema", Json.Str schema);
+          ("kind", Json.Str "experiments");
+          ("completed", Json.Arr (List.map (fun id -> Json.Str id) completed));
+        ]
+
+let save ~path payload =
+  Atomic_io.write_file ~path (Json.encode (json_of_payload payload))
+
+(* ---------- decoding ---------- *)
+
+let floats_of_json ~source ~field j =
+  Json.to_list ~source ~field j
+  |> List.map (Json.to_float ~source ~field)
+  |> Array.of_list
+
+let load ~path =
+  let source = path in
+  let j = Json.decode_file path in
+  let str field = Json.to_string ~source ~field (Json.member ~source ~field j) in
+  let num field = Json.to_float ~source ~field (Json.member ~source ~field j) in
+  let int field = Json.to_int ~source ~field (Json.member ~source ~field j) in
+  (match str "schema" with
+  | s when s = schema -> ()
+  | s ->
+      Diag.fail
+        (Diag.Parse_error
+           {
+             source;
+             line = 0;
+             field = Some "schema";
+             message =
+               Printf.sprintf "unsupported checkpoint schema %S (want %S)" s
+                 schema;
+           }));
+  match str "kind" with
+  | "cdf" ->
+      let values =
+        Json.to_list ~source ~field:"values" (Json.member ~source ~field:"values" j)
+        |> List.map (floats_of_json ~source ~field:"values")
+        |> Array.of_list
+      in
+      let step = int "step" in
+      Array.iter
+        (fun row ->
+          if Array.length row <> step + 1 then
+            Diag.fail
+              (Diag.Parse_error
+                 {
+                   source;
+                   line = 0;
+                   field = Some "values";
+                   message =
+                     Printf.sprintf
+                       "row has %d entries but step %d implies %d"
+                       (Array.length row) step (step + 1);
+                 }))
+        values;
+      Cdf
+        {
+          cdf_delta = num "delta";
+          cdf_accuracy = num "accuracy";
+          cdf_states = int "states";
+          cdf_nnz = int "nnz";
+          cdf_times =
+            floats_of_json ~source ~field:"times"
+              (Json.member ~source ~field:"times" j);
+          cdf_progress =
+            {
+              Transient.sp_step = step;
+              sp_converged =
+                (match Json.member ~source ~field:"converged" j with
+                | Json.Bool b -> b
+                | _ ->
+                    Diag.fail
+                      (Diag.Parse_error
+                         {
+                           source;
+                           line = 0;
+                           field = Some "converged";
+                           message = "expected a boolean";
+                         }));
+              sp_vector =
+                floats_of_json ~source ~field:"vector"
+                  (Json.member ~source ~field:"vector" j);
+              sp_values = values;
+            };
+        }
+  | "montecarlo" ->
+      Montecarlo
+        {
+          mc_seed =
+            Json.to_int64_hex ~source ~field:"seed"
+              (Json.member ~source ~field:"seed" j);
+          mc_target = int "target";
+          mc_done = int "done";
+          mc_censored = int "censored";
+          mc_died =
+            Json.to_list ~source ~field:"died"
+              (Json.member ~source ~field:"died" j)
+            |> List.map (Json.to_float ~source ~field:"died");
+          mc_rng =
+            Json.to_list ~source ~field:"rng"
+              (Json.member ~source ~field:"rng" j)
+            |> List.map (Json.to_int64_hex ~source ~field:"rng")
+            |> Array.of_list;
+        }
+  | "experiments" ->
+      Experiments
+        {
+          completed =
+            Json.to_list ~source ~field:"completed"
+              (Json.member ~source ~field:"completed" j)
+            |> List.map (Json.to_string ~source ~field:"completed");
+        }
+  | kind ->
+      Diag.fail
+        (Diag.Parse_error
+           {
+             source;
+             line = 0;
+             field = Some "kind";
+             message = Printf.sprintf "unknown checkpoint kind %S" kind;
+           })

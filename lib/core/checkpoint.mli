@@ -1,0 +1,58 @@
+(** Versioned on-disk snapshots of interrupted computations
+    (schema ["batlife.ckpt/1"]).
+
+    A checkpoint is one JSON document, written atomically
+    ({!Batlife_numerics.Atomic_io}) so a kill mid-write can never
+    leave a truncated file, and carrying every number through
+    {!Batlife_numerics.Json}'s exact round-trip ([%.17g] floats,
+    hex-string 64-bit words).  Three kinds exist:
+
+    - {b cdf}: an interrupted uniformisation sweep of
+      [Lifetime.cdf_resumable] — the model fingerprint
+      (delta/accuracy/states/nnz/times) plus the full
+      {!Batlife_ctmc.Transient.sweep_progress};
+    - {b montecarlo}: an interrupted replication batch — counts,
+      observed lifetimes (newest first, preserving accumulation
+      order), and the master xoshiro256++ RNG state;
+    - {b experiments}: the runner's per-figure completion map.
+
+    {!load} raises structured [Diag.Error (Parse_error _)] on any
+    malformed, truncated, or wrong-schema file — a corrupted
+    checkpoint is a diagnosable failure, not undefined behaviour. *)
+
+open Batlife_ctmc
+
+type cdf = {
+  cdf_delta : float;
+  cdf_accuracy : float;
+  cdf_states : int;
+  cdf_nnz : int;
+  cdf_times : float array;
+  cdf_progress : Transient.sweep_progress;
+}
+(** The fingerprint fields ([cdf_delta] … [cdf_times]) identify the
+    exact sweep the snapshot belongs to; resuming validates them
+    against the freshly built model and rejects a mismatch with
+    [Invalid_model] rather than silently mixing incompatible state. *)
+
+type montecarlo = {
+  mc_seed : int64;  (** the seed the batch was started with *)
+  mc_target : int;  (** total replications requested *)
+  mc_done : int;  (** replications completed *)
+  mc_censored : int;
+  mc_died : float list;  (** observed lifetimes, newest first *)
+  mc_rng : int64 array;  (** master generator state, 4 words *)
+}
+
+type payload =
+  | Cdf of cdf
+  | Montecarlo of montecarlo
+  | Experiments of { completed : string list }
+      (** experiment ids already finished and written *)
+
+val save : path:string -> payload -> unit
+(** Atomically (re)write the checkpoint file. *)
+
+val load : path:string -> payload
+(** Parse a checkpoint; raises [Diag.Error (Parse_error _)] with
+    file/field context on anything malformed. *)

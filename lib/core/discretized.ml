@@ -113,9 +113,9 @@ let absorbed_mass grid v =
 let level_charge grid j1 =
   if j1 = 0 then 0. else Grid.level_value grid (j1 - 1)
 
-let empty_probability ?opts t ~times =
-  Transient.measure_sweep ?opts t.generator ~alpha:t.alpha ~times
-    ~measure:(absorbed_mass t.grid)
+let empty_probability ?opts ?progress ?on_interrupt ?resume t ~times =
+  Transient.measure_sweep ?opts ?progress ?on_interrupt ?resume t.generator
+    ~alpha:t.alpha ~times ~measure:(absorbed_mass t.grid)
 
 let state_distribution ?opts t ~time =
   Transient.solve ?opts t.generator ~alpha:t.alpha ~t:time

@@ -59,12 +59,17 @@ val nnz : t -> int
 
 val empty_probability :
   ?opts:Solver_opts.t ->
+  ?progress:(step:int -> snapshot:(unit -> Transient.sweep_progress) -> unit) ->
+  ?on_interrupt:(Transient.sweep_progress -> unit) ->
+  ?resume:Transient.sweep_progress ->
   t ->
   times:float array ->
   float array * Transient.stats
 (** [Pr{battery empty at time t}] for each requested time — the
     lifetime distribution [Pr{L <= t}] — from a single uniformisation
-    sweep. *)
+    sweep.  The optional hooks are {!Transient.measure_sweep}'s
+    checkpoint/resume surface, threaded through for
+    [Batlife_core.Lifetime]'s resumable CDF. *)
 
 val state_distribution : ?opts:Solver_opts.t -> t -> time:float -> float array
 (** Full transient distribution over the flat states at one time. *)

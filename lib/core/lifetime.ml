@@ -80,6 +80,83 @@ let cdf ?opts ?initial_fill ~delta ~times model =
   let d = Discretized.build ?initial_fill ~delta model in
   cdf_discretized ?opts ~delta d ~times
 
+(* The checkpointable CDF path.  It runs the same single-measure sweep
+   as the session path (same resolved rate, same Fox–Glynn windows,
+   same kernel construction), so its output is bitwise identical to
+   [cdf]'s — asserted by the resilience test suite — while exposing
+   Transient's snapshot/resume hooks through [Checkpoint] files. *)
+let fingerprint_mismatches ~delta ~accuracy ~states ~nnz ~times
+    (c : Checkpoint.cdf) =
+  let issues = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  if c.Checkpoint.cdf_delta <> delta then
+    add "checkpoint delta %g differs from this run's %g"
+      c.Checkpoint.cdf_delta delta;
+  if c.Checkpoint.cdf_accuracy <> accuracy then
+    add "checkpoint accuracy %g differs from this run's %g"
+      c.Checkpoint.cdf_accuracy accuracy;
+  if c.Checkpoint.cdf_states <> states then
+    add "checkpoint has %d states but this model expands to %d"
+      c.Checkpoint.cdf_states states;
+  if c.Checkpoint.cdf_nnz <> nnz then
+    add "checkpoint has %d nonzeros but this model has %d"
+      c.Checkpoint.cdf_nnz nnz;
+  if c.Checkpoint.cdf_times <> times then add "time grids differ";
+  List.rev !issues
+
+let cdf_resumable ?(opts = Solver_opts.default) ?initial_fill ?checkpoint
+    ?resume ~delta ~times model =
+  Solver_opts.request_telemetry opts;
+  Telemetry.with_span "lifetime.cdf" @@ fun () ->
+  let d = Discretized.build ?initial_fill ~delta model in
+  let payload_of progress =
+    Checkpoint.Cdf
+      {
+        Checkpoint.cdf_delta = delta;
+        cdf_accuracy = opts.Solver_opts.accuracy;
+        cdf_states = Discretized.n_states d;
+        cdf_nnz = Discretized.nnz d;
+        cdf_times = times;
+        cdf_progress = progress;
+      }
+  in
+  let resume_progress =
+    match resume with
+    | None -> None
+    | Some path -> (
+        match Checkpoint.load ~path with
+        | Checkpoint.Cdf c -> (
+            match
+              fingerprint_mismatches ~delta
+                ~accuracy:opts.Solver_opts.accuracy
+                ~states:(Discretized.n_states d) ~nnz:(Discretized.nnz d)
+                ~times c
+            with
+            | [] -> Some c.Checkpoint.cdf_progress
+            | issues ->
+                Diag.invalid_model ~what:("checkpoint " ^ path) issues)
+        | Checkpoint.Montecarlo _ | Checkpoint.Experiments _ ->
+            Diag.invalid_model ~what:("checkpoint " ^ path)
+              [ "checkpoint holds a different computation kind, not a CDF \
+                 sweep" ])
+  in
+  let progress, on_interrupt =
+    match checkpoint with
+    | None -> (None, None)
+    | Some (path, interval) ->
+        let interval = max 1 interval in
+        ( Some
+            (fun ~step ~snapshot ->
+              if step mod interval = 0 then
+                Checkpoint.save ~path (payload_of (snapshot ()))),
+          Some (fun p -> Checkpoint.save ~path (payload_of p)) )
+  in
+  let probabilities, stats =
+    Discretized.empty_probability ~opts ?progress ?on_interrupt
+      ?resume:resume_progress d ~times
+  in
+  curve_of ~delta d probabilities stats ~times
+
 let mean c =
   let survival = Array.map (fun p -> 1. -. p) c.probabilities in
   (* Add the [0, t_0] prefix assuming survival probability 1 before the

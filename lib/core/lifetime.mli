@@ -36,6 +36,30 @@ val cdf :
   curve
 (** Lifetime distribution [Pr{L <= t}] on the given time grid. *)
 
+val cdf_resumable :
+  ?opts:Solver_opts.t ->
+  ?initial_fill:float * float ->
+  ?checkpoint:string * int ->
+  ?resume:string ->
+  delta:float ->
+  times:float array ->
+  Kibamrm.t ->
+  curve
+(** {!cdf} with checkpoint/resume.  [checkpoint:(path, interval)]
+    atomically writes a [batlife.ckpt/1] snapshot ({!Checkpoint}) to
+    [path] every [interval] completed sweep steps, and flushes a final
+    snapshot before a budget/cancellation error propagates; [resume]
+    loads such a snapshot and continues the sweep where it stopped.
+
+    Guarantees: a resumed run performs the identical remaining
+    products, guards and convergence tests, so its curve is {b bitwise
+    identical} to an uninterrupted run's — and to {!cdf}'s (the sweep
+    resolves the same rate and windows as the session path).  Resuming
+    against a different model, grid, delta or accuracy is rejected
+    with [Diag.Error (Invalid_model _)] via the checkpoint's
+    fingerprint; a corrupted checkpoint is a structured
+    [Parse_error]. *)
+
 val cdf_discretized :
   ?opts:Solver_opts.t ->
   delta:float ->

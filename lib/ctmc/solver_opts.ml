@@ -5,19 +5,25 @@ type t = {
   linear_tol : float option;
   jobs : int option;
   telemetry : bool;
+  budget : Batlife_numerics.Budget.t option;
+  max_retries : int;
 }
 
 let default =
   { accuracy = 1e-12; unif_rate = None; convergence_tol = 1e-14;
-    linear_tol = None; jobs = None; telemetry = false }
+    linear_tol = None; jobs = None; telemetry = false; budget = None;
+    max_retries = 0 }
 
 let make ?(accuracy = default.accuracy) ?unif_rate
     ?(convergence_tol = default.convergence_tol) ?linear_tol ?jobs
-    ?(telemetry = default.telemetry) () =
+    ?(telemetry = default.telemetry) ?budget
+    ?(max_retries = default.max_retries) () =
   (match jobs with
   | Some j when j < 1 -> invalid_arg "Solver_opts.make: need jobs >= 1"
   | _ -> ());
-  { accuracy; unif_rate; convergence_tol; linear_tol; jobs; telemetry }
+  if max_retries < 0 then invalid_arg "Solver_opts.make: need max_retries >= 0";
+  { accuracy; unif_rate; convergence_tol; linear_tol; jobs; telemetry; budget;
+    max_retries }
 
 let of_legacy ?accuracy ?q ?convergence_tol ?tol () =
   make ?accuracy ?unif_rate:q ?convergence_tol ?linear_tol:tol ()
@@ -30,6 +36,11 @@ let resolve_jobs t =
   | Some j -> j
   | None -> Batlife_numerics.Pool.default_jobs ()
 
+let resolve_budget t =
+  match t.budget with
+  | Some b -> b
+  | None -> Batlife_numerics.Budget.ambient ()
+
 (* The flag only ever turns the global collector ON: a nested call
    with [telemetry = false] must not silence the recording an outer
    caller (the CLI, a bench harness) asked for. *)
@@ -39,7 +50,7 @@ let request_telemetry t =
 let pp ppf t =
   Format.fprintf ppf
     "{ accuracy = %g; unif_rate = %s; convergence_tol = %g; linear_tol = %s; \
-     jobs = %s; telemetry = %b }"
+     jobs = %s; telemetry = %b; budget = %s; max_retries = %d }"
     t.accuracy
     (match t.unif_rate with Some q -> Printf.sprintf "%g" q | None -> "auto")
     t.convergence_tol
@@ -48,3 +59,8 @@ let pp ppf t =
     | None -> "solver default")
     (match t.jobs with Some j -> string_of_int j | None -> "auto")
     t.telemetry
+    (match t.budget with
+    | Some b when Batlife_numerics.Budget.is_unlimited b -> "unlimited"
+    | Some _ -> "explicit"
+    | None -> "ambient")
+    t.max_retries

@@ -35,7 +35,19 @@
       switch the process-wide [Batlife_numerics.Telemetry] collector
       on before running, so spans/histograms are recorded for the
       solve.  Enabling telemetry never changes numerical results
-      (asserted bitwise by the test suite). *)
+      (asserted bitwise by the test suite).
+    - [budget] (default [None]): the cooperative deadline/cancellation
+      token checked between sweeps, vector-matrix products, solver
+      iterations, ODE steps and parallel tasks.  [None] resolves at
+      use time to the process-wide
+      [Batlife_numerics.Budget.ambient ()] (what the CLI's
+      [--deadline]/[--max-sweeps]/[--max-products] and SIGINT handler
+      install); budgets never change numerical results, they only
+      decide whether a run is allowed to finish.
+    - [max_retries] (default [0]): per-task retry allowance of the
+      parallel experiment fan-out ([Batlife_experiments.Par]);
+      transiently failing tasks are retried with exponential backoff
+      up to this many times before the failure propagates. *)
 
 type t = {
   accuracy : float;
@@ -44,11 +56,14 @@ type t = {
   linear_tol : float option;
   jobs : int option;
   telemetry : bool;
+  budget : Batlife_numerics.Budget.t option;
+  max_retries : int;
 }
 
 val default : t
 (** [{ accuracy = 1e-12; unif_rate = None; convergence_tol = 1e-14;
-      linear_tol = None; jobs = None; telemetry = false }]. *)
+      linear_tol = None; jobs = None; telemetry = false; budget = None;
+      max_retries = 0 }]. *)
 
 val make :
   ?accuracy:float ->
@@ -57,10 +72,12 @@ val make :
   ?linear_tol:float ->
   ?jobs:int ->
   ?telemetry:bool ->
+  ?budget:Batlife_numerics.Budget.t ->
+  ?max_retries:int ->
   unit ->
   t
 (** [make ()] is {!default}; each argument overrides one field.
-    Raises [Invalid_argument] on [jobs < 1]. *)
+    Raises [Invalid_argument] on [jobs < 1] or [max_retries < 0]. *)
 
 val of_legacy :
   ?accuracy:float ->
@@ -79,6 +96,11 @@ val linear_tol_or : default:float -> t -> float
 val resolve_jobs : t -> int
 (** The effective job count: [jobs] when set, else
     [Batlife_numerics.Pool.default_jobs ()]. *)
+
+val resolve_budget : t -> Batlife_numerics.Budget.t
+(** The effective budget: [budget] when set, else the process-wide
+    [Batlife_numerics.Budget.ambient ()] (which is
+    [Budget.unlimited] unless the CLI installed one). *)
 
 val request_telemetry : t -> unit
 (** Switch the process-wide telemetry collector on if [telemetry] is

@@ -10,6 +10,13 @@ type stats = {
   uniformisation_rate : float;
 }
 
+type sweep_progress = {
+  sp_step : int;
+  sp_converged : bool;
+  sp_vector : float array;
+  sp_values : float array array;
+}
+
 (* Process-wide work counters.  They exist so tests and benchmarks can
    assert "this batch of queries cost exactly one sweep" without
    instrumenting call sites.  They are Telemetry counters now — Atomic
@@ -216,6 +223,9 @@ let solve ?(opts = Solver_opts.default) g ~alpha ~t =
   Telemetry.with_span "transient.solve" @@ fun () ->
   let n = Generator.n_states g in
   let q = resolve_q where ?q:opts.Solver_opts.unif_rate g in
+  let budget = Solver_opts.resolve_budget opts in
+  Budget.note_sweep budget;
+  Budget.check ~what:where budget;
   let weights = Poisson.weights ~accuracy:opts.Solver_opts.accuracy (q *. t) in
   let kernel = kernel_for g ~q ~jobs:(Solver_opts.resolve_jobs opts) in
   let v = Vector.copy alpha and v' = Vector.create n in
@@ -224,6 +234,8 @@ let solve ?(opts = Solver_opts.default) g ~alpha ~t =
   let current = ref v and scratch = ref v' in
   for m = 0 to weights.Poisson.right do
     if m > 0 then begin
+      Budget.note_product budget;
+      Budget.check ~what:where budget;
       step kernel ~src:!current ~dst:!scratch;
       let t = !current in
       current := !scratch;
@@ -251,9 +263,19 @@ let check_windows ~where ~times = function
    every registered linear functional is evaluated at every step; each
    (measure, time) result is then a Poisson-weighted scalar sum.  Any
    number of measures and time points therefore cost a single power
-   sweep. *)
+   sweep.
+
+   [progress] is invoked after every completed step with a lazy
+   snapshot thunk (the copy is only paid when the caller decides to
+   checkpoint); [on_interrupt] is invoked with a final snapshot right
+   before a budget/cancellation error is raised, so the caller can
+   flush a checkpoint covering all completed work; [resume] restores a
+   snapshot and continues the walk at the next step.  A resumed sweep
+   performs the identical sequence of products, guards, measures and
+   convergence tests the uninterrupted sweep would have performed from
+   that step on, which is what makes resumed results bitwise equal. *)
 let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
-    g ~alpha ~times ~measures =
+    ?progress ?on_interrupt ?resume g ~alpha ~times ~measures =
   check_alpha g alpha;
   let where = "Transient.multi_measure_sweep" in
   check_times ~where times;
@@ -262,6 +284,8 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
   Telemetry.with_span "transient.multi_measure_sweep" @@ fun () ->
   let n = Generator.n_states g in
   let q = resolve_q where ?q:opts.Solver_opts.unif_rate g in
+  let budget = Solver_opts.resolve_budget opts in
+  Budget.note_sweep budget;
   let kernel = check_kernel ~where ~q ~opts g kernel in
   (* Poisson windows per time point; the sweep must reach the largest
      right truncation point (unless stationarity is detected first). *)
@@ -287,10 +311,49 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
       vals.(j).(m) <- checked_measure ~where measures.(j) ~step:m v
     done
   in
-  record 0 !current;
   let converged_at = ref None in
-  let m = ref 1 in
+  let start =
+    match resume with
+    | None ->
+        record 0 !current;
+        1
+    | Some r ->
+        if Array.length r.sp_vector <> n then
+          invalid_arg (where ^ ": resume vector has wrong length");
+        if Array.length r.sp_values <> k then
+          invalid_arg (where ^ ": resume has wrong measure count");
+        if r.sp_step < 0 || r.sp_step > n_max then
+          invalid_arg
+            (Printf.sprintf "%s: resume step %d outside [0, %d]" where
+               r.sp_step n_max);
+        Array.iteri
+          (fun j row ->
+            if Array.length row <> r.sp_step + 1 then
+              invalid_arg (where ^ ": resume values have wrong length");
+            Array.blit row 0 vals.(j) 0 (r.sp_step + 1))
+          r.sp_values;
+        Vector.blit ~src:r.sp_vector ~dst:!current;
+        if r.sp_converged then converged_at := Some r.sp_step;
+        r.sp_step + 1
+  in
+  let snapshot_at ~step:s ~converged () =
+    {
+      sp_step = s;
+      sp_converged = converged;
+      sp_vector = Vector.copy !current;
+      sp_values = Array.map (fun row -> Array.sub row 0 (s + 1)) vals;
+    }
+  in
+  let m = ref start in
   while !m <= n_max && Option.is_none !converged_at do
+    Budget.note_product budget;
+    (match Budget.peek ~what:where budget with
+    | None -> ()
+    | Some e ->
+        (match on_interrupt with
+        | Some f -> f (snapshot_at ~step:(!m - 1) ~converged:false ())
+        | None -> ());
+        Diag.fail e);
     step kernel ~src:!current ~dst:!scratch;
     let drift = Vector.dist_inf !current !scratch in
     let t = !current in
@@ -299,6 +362,12 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
     guard_iterate ~where ~mass0 ~step:!m !current;
     record !m !current;
     if drift <= opts.Solver_opts.convergence_tol then converged_at := Some !m;
+    (match progress with
+    | Some f ->
+        f ~step:!m
+          ~snapshot:
+            (snapshot_at ~step:!m ~converged:(Option.is_some !converged_at))
+    | None -> ());
     incr m
   done;
   (* If the chain became stationary, later measures are constant. *)
@@ -332,10 +401,11 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
   ( results,
     { iterations; converged_at = !converged_at; uniformisation_rate = q } )
 
-let measure_sweep ?opts ?windows ?buffers ?kernel g ~alpha ~times ~measure =
+let measure_sweep ?opts ?windows ?buffers ?kernel ?progress ?on_interrupt
+    ?resume g ~alpha ~times ~measure =
   let results, stats =
-    multi_measure_sweep ?opts ?windows ?buffers ?kernel g ~alpha ~times
-      ~measures:[| measure |]
+    multi_measure_sweep ?opts ?windows ?buffers ?kernel ?progress ?on_interrupt
+      ?resume g ~alpha ~times ~measures:[| measure |]
   in
   (results.(0), stats)
 
@@ -348,6 +418,9 @@ let distribution_sweep ?(opts = Solver_opts.default) g ~alpha ~times =
   Telemetry.with_span "transient.distribution_sweep" @@ fun () ->
   let n = Generator.n_states g in
   let q = resolve_q where ?q:opts.Solver_opts.unif_rate g in
+  let budget = Solver_opts.resolve_budget opts in
+  Budget.note_sweep budget;
+  Budget.check ~what:where budget;
   let kernel = kernel_for g ~q ~jobs:(Solver_opts.resolve_jobs opts) in
   let windows =
     Array.map
@@ -363,6 +436,8 @@ let distribution_sweep ?(opts = Solver_opts.default) g ~alpha ~times =
   let current = ref v and scratch = ref v' in
   for m = 0 to n_max do
     if m > 0 then begin
+      Budget.note_product budget;
+      Budget.check ~what:where budget;
       step kernel ~src:!current ~dst:!scratch;
       let t = !current in
       current := !scratch;

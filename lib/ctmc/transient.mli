@@ -42,6 +42,32 @@ type stats = {
   uniformisation_rate : float;
 }
 
+(** {1 Resilience}
+
+    Every sweep consults the budget of its options
+    ([Solver_opts.resolve_budget] — the explicit one or the
+    process-wide ambient budget): one unit of work is noted per
+    vector-matrix product, and before each product the budget is
+    polled; an exhausted budget or a cancellation raises the
+    structured [Diag.Error (Budget_exhausted _ / Cancelled _)].  The
+    batched engine additionally supports snapshot/resume, giving
+    checkpointed computations ({!Batlife_core.Lifetime}) their
+    bitwise resumed == uninterrupted guarantee. *)
+
+type sweep_progress = {
+  sp_step : int;  (** last completed power step [m] *)
+  sp_converged : bool;
+      (** stationarity was detected exactly at [sp_step] *)
+  sp_vector : float array;  (** the iterate [v_m = alpha P^m] *)
+  sp_values : float array array;
+      (** [sp_values.(j).(i)], [i <= sp_step]: measure [j] on the
+          step-[i] iterate *)
+}
+(** Complete intermediate state of a {!multi_measure_sweep} after some
+    step: restarting from a [sweep_progress] performs the identical
+    remaining products, guards and convergence tests, so the resumed
+    results are bitwise equal to the uninterrupted run's. *)
+
 (** {1 Work counters}
 
     Process-wide tallies of the sweeps started and the vector-matrix
@@ -118,6 +144,9 @@ val multi_measure_sweep :
   ?windows:Batlife_numerics.Poisson.t array ->
   ?buffers:float array * float array ->
   ?kernel:kernel ->
+  ?progress:(step:int -> snapshot:(unit -> sweep_progress) -> unit) ->
+  ?on_interrupt:(sweep_progress -> unit) ->
+  ?resume:sweep_progress ->
   Generator.t ->
   alpha:float array ->
   times:float array ->
@@ -143,13 +172,25 @@ val multi_measure_sweep :
     repeated sweeps skip the per-call transpose.  Raises
     [Invalid_argument] if [windows]/[buffers] have the wrong length,
     or if [kernel] was prepared for a different state count or
-    uniformisation rate than the sweep resolves under [opts]. *)
+    uniformisation rate than the sweep resolves under [opts].
+
+    [progress] is called after every completed step with the step
+    index and a lazy snapshot thunk — the state copy is only paid when
+    the caller actually checkpoints; [on_interrupt] is called with a
+    final snapshot just before a budget/cancellation error is raised
+    (the flush point of checkpointing callers); [resume] restores a
+    snapshot and continues at the following step.  Raises
+    [Invalid_argument] if a [resume] snapshot disagrees with the sweep
+    on state count, measure count, or step range. *)
 
 val measure_sweep :
   ?opts:Solver_opts.t ->
   ?windows:Batlife_numerics.Poisson.t array ->
   ?buffers:float array * float array ->
   ?kernel:kernel ->
+  ?progress:(step:int -> snapshot:(unit -> sweep_progress) -> unit) ->
+  ?on_interrupt:(sweep_progress -> unit) ->
+  ?resume:sweep_progress ->
   Generator.t ->
   alpha:float array ->
   times:float array ->

@@ -6,23 +6,71 @@
     every observable output — result order, diagnostic events, printed
     summaries — identical to the sequential run.  A solve inside a
     task that itself parallelises (the uniformisation kernel) is safe:
-    nested sections run inline on the task's domain. *)
+    nested sections run inline on the task's domain.
+
+    {b Resilience.}  A failing task is retried in place (on its own
+    domain) with exponential backoff, up to [opts.max_retries] times;
+    budget exhaustion and cancellation are never retried.  Each retry
+    records a fallback {!Batlife_numerics.Diag} event in the task's
+    capture buffer — the merged log stays deterministic — and bumps
+    the ["par.retries"] Telemetry counter.  Because a retry re-runs
+    the same pure solve, a run that needed retries returns results
+    bitwise identical to a fault-free run.  The budget of [opts]
+    ([Solver_opts.resolve_budget]) is polled before every task and
+    between retry attempts. *)
 
 val map :
-  ?opts:Batlife_ctmc.Solver_opts.t -> ('a -> 'b) -> 'a list -> 'b list
+  ?opts:Batlife_ctmc.Solver_opts.t ->
+  ?backoff_s:float ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 (** [map ?opts f xs] is [List.map f xs] computed across
     [Solver_opts.resolve_jobs opts] domains.  Results are returned in
     input order; each task's {!Batlife_numerics.Diag} events and
     {!Batlife_numerics.Telemetry} spans are captured on its domain and
-    replayed in input order after all tasks finish.  [f] must not print (output would interleave) — have
-    it return the text, or use {!map_with_log}.  If tasks raise, the
-    exception of the lowest-indexed failing task propagates. *)
+    replayed in input order after all tasks finish.  [f] must not
+    print (output would interleave) — have it return the text, or use
+    {!map_with_log}.  If tasks raise (after exhausting
+    [opts.max_retries] in-place retries with [backoff_s]-seconds
+    exponential backoff, default 1 ms), the exception of the
+    lowest-indexed failing task propagates. *)
+
+val map_partial :
+  ?opts:Batlife_ctmc.Solver_opts.t ->
+  ?backoff_s:float ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, Batlife_numerics.Diag.error) result list
+(** Like {!map}, but budget exhaustion/cancellation of an individual
+    task becomes [Error e] for that task instead of aborting the whole
+    fan-out: completed results survive a mid-flight deadline, which is
+    what lets the figure loops degrade gracefully (keep the coarse-∆
+    curves, report the fine ones as skipped).  Tasks not yet started
+    when the budget ran out return [Error] without running.  Non-budget
+    failures propagate as in {!map} (after retries). *)
 
 val map_with_log :
   ?opts:Batlife_ctmc.Solver_opts.t ->
+  ?backoff_s:float ->
   ('a -> string * 'b) ->
   'a list ->
   'b list
 (** [map_with_log ?opts f xs]: like {!map} for an [f] returning
     [(log_line, result)]; the log lines are printed on stdout in input
     order once all tasks finish, then the results are returned. *)
+
+val map_with_log_degrading :
+  ?opts:Batlife_ctmc.Solver_opts.t ->
+  ?backoff_s:float ->
+  origin:string ->
+  label:('a -> string) ->
+  ('a -> string * 'b) ->
+  'a list ->
+  'b list
+(** {!map_with_log} over {!map_partial}: tasks lost to budget
+    exhaustion or cancellation are dropped with a fallback
+    {!Batlife_numerics.Diag} event naming [label x] under [origin],
+    and the surviving results (in input order) are returned.  If
+    {e every} task was lost, the first budget error propagates
+    instead — graceful degradation must not degrade to nothing. *)

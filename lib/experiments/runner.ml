@@ -4,11 +4,13 @@ type options = {
   full : bool;
   stochastic_runs : int;
   opts : Batlife_ctmc.Solver_opts.t;
+  checkpoint : string option;
 }
 
 let default_options =
   { out_dir = Params.results_dir; runs = 1000; full = false;
-    stochastic_runs = 100; opts = Batlife_ctmc.Solver_opts.default }
+    stochastic_runs = 100; opts = Batlife_ctmc.Solver_opts.default;
+    checkpoint = None }
 
 let experiments =
   [
@@ -94,10 +96,70 @@ let run_one ?(options = default_options) id =
         (Printf.sprintf "unknown experiment %S; valid ids: %s" id
            (String.concat ", " experiment_ids))
 
+module Checkpoint = Batlife_core.Checkpoint
+
+(* The batch-level completion map: after each successful experiment the
+   checkpoint file is atomically rewritten with the ids finished so
+   far, so a killed overnight run resumed with the same checkpoint path
+   skips straight past everything already on disk. *)
+let load_completed path =
+  if not (Sys.file_exists path) then []
+  else
+    match Checkpoint.load ~path with
+    | Checkpoint.Experiments { completed } -> completed
+    | Checkpoint.Cdf _ | Checkpoint.Montecarlo _ ->
+        Diag.invalid_model ~what:("checkpoint " ^ path)
+          [
+            "checkpoint holds a different computation kind, not an \
+             experiments completion map";
+          ]
+
+let completion_tracker options =
+  let completed =
+    ref (match options.checkpoint with
+        | None -> []
+        | Some path -> load_completed path)
+  in
+  let is_done id = List.mem id !completed in
+  let record_done id =
+    match options.checkpoint with
+    | None -> ()
+    | Some path ->
+        completed := !completed @ [ id ];
+        Checkpoint.save ~path
+          (Checkpoint.Experiments { completed = !completed })
+  in
+  (is_done, record_done)
+
+let skip_note id =
+  Printf.printf "experiment %s: already completed (checkpoint), skipping\n%!"
+    id
+
 let run_all ?(options = default_options) () =
+  let is_done, record_done = completion_tracker options in
   List.iter
     (fun (id, _) ->
-      match run_one ~options id with
-      | Ok () -> ()
-      | Error msg -> Printf.eprintf "%s (continuing with the rest)\n%!" msg)
+      if is_done id then skip_note id
+      else
+        match run_one ~options id with
+        | Ok () -> record_done id
+        | Error msg -> Printf.eprintf "%s (continuing with the rest)\n%!" msg)
     experiments
+
+let run_many ?(options = default_options) ids =
+  let is_done, record_done = completion_tracker options in
+  let rec go = function
+    | [] -> Ok ()
+    | id :: rest ->
+        if is_done id then begin
+          skip_note id;
+          go rest
+        end
+        else (
+          match run_one ~options id with
+          | Ok () ->
+              record_done id;
+              go rest
+          | Error _ as e -> e)
+  in
+  go ids

@@ -11,6 +11,12 @@ type options = {
   opts : Batlife_ctmc.Solver_opts.t;
       (** numerical options threaded through every CTMC-backed
           experiment *)
+  checkpoint : string option;
+      (** batch completion map: {!run_all} atomically rewrites this
+          {!Batlife_core.Checkpoint} file after each successful
+          experiment and, on start, skips every id the file already
+          lists — so a killed batch resumed with the same path redoes
+          only unfinished work *)
 }
 
 val default_options : options
@@ -19,7 +25,15 @@ val run_all : ?options:options -> unit -> unit
 (** Run every experiment.  A structured numerical failure in one
     experiment is reported on stderr and the batch continues with the
     rest (graceful degradation), so one bad configuration cannot sink
-    an overnight reproduction run. *)
+    an overnight reproduction run.  With [options.checkpoint] set,
+    already-completed experiments (per the checkpoint file) are
+    skipped and each fresh success is recorded atomically. *)
+
+val run_many : ?options:options -> string list -> (unit, string) result
+(** Run the given ids in order, stopping at the first failure.  Shares
+    {!run_all}'s completion-map behaviour: with [options.checkpoint]
+    set, already-completed ids are skipped and fresh successes are
+    recorded, so an interrupted explicit-id batch resumes too. *)
 
 val run_one : ?options:options -> string -> (unit, string) result
 (** Run a single experiment by id: ["table1"], ["fig2"], ["fig7"],

@@ -110,9 +110,9 @@ let run ?(out_dir = Params.results_dir) ?stochastic_runs () =
           r.modified_stochastic_min)
       rows
   in
-  let oc = open_out (Filename.concat out_dir "table1.csv") in
-  output_string oc
-    "load,experimental_min,kibam_fit_min,kibam_paper_k_min,modified_min,modified_stochastic_min\n";
-  List.iter (fun line -> output_string oc (line ^ "\n")) csv_rows;
-  close_out oc;
+  Batlife_numerics.Atomic_io.with_out
+    ~path:(Filename.concat out_dir "table1.csv") (fun oc ->
+      output_string oc
+        "load,experimental_min,kibam_fit_min,kibam_paper_k_min,modified_min,modified_stochastic_min\n";
+      List.iter (fun line -> output_string oc (line ^ "\n")) csv_rows);
   Printf.printf "  wrote table1.csv under %s/\n" out_dir

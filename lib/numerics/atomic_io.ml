@@ -1,0 +1,32 @@
+(* Crash-safe file writes: temp file in the destination directory,
+   flush + fsync, then atomic rename.  A reader never observes a
+   truncated file — it sees either the old content or the new one. *)
+
+let with_out ~path f =
+  let dir = Filename.dirname path in
+  let base = Filename.basename path in
+  let tmp, oc =
+    try Filename.open_temp_file ~temp_dir:dir ("." ^ base ^ ".") ".tmp"
+    with Sys_error msg ->
+      Diag.fail
+        (Diag.Parse_error
+           { source = path; line = 0; field = None; message = msg })
+  in
+  match
+    let result = f oc in
+    flush oc;
+    (try Unix.fsync (Unix.descr_of_out_channel oc)
+     with Unix.Unix_error _ -> () (* e.g. pipes in tests; rename still atomic *));
+    close_out oc;
+    result
+  with
+  | result ->
+      Sys.rename tmp path;
+      result
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let write_file ~path contents =
+  with_out ~path (fun oc -> output_string oc contents)

@@ -1,0 +1,20 @@
+(** Atomic (crash-safe) file writes.
+
+    Every artifact the toolchain puts on disk — metrics/trace JSON,
+    CSV/dat series, checkpoints, bench reports — goes through this
+    module: the content is written to a hidden temp file in the
+    destination directory, flushed and [fsync]ed, and then moved over
+    the destination with a single [rename].  A crash or kill at any
+    instant leaves either the previous file intact or the complete new
+    one — never a truncated mix. *)
+
+val with_out : path:string -> (out_channel -> 'a) -> 'a
+(** [with_out ~path f] runs [f] on a channel to a temp file next to
+    [path] and atomically renames it to [path] when [f] returns.  If
+    [f] raises, the temp file is removed and [path] is untouched.
+    Raises [Diag.Error (Parse_error _)] (source = [path], line 0) when
+    the destination directory is not writable. *)
+
+val write_file : path:string -> string -> unit
+(** [write_file ~path s] atomically replaces [path]'s content with
+    [s]. *)

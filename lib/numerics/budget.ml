@@ -1,0 +1,125 @@
+(* Cooperative computation budgets.
+
+   A budget is a small shared token checked at natural pause points of
+   the long-running algorithms (between uniformisation products,
+   iterative-solver iterations, ODE steps, Monte-Carlo replications,
+   parallel tasks).  Checking is cooperative: nothing is interrupted
+   pre-emptively; the computation polls [peek]/[check] and raises a
+   structured [Diag.Error] when a limit has been hit, after it has had
+   the chance to flush partial results (checkpoints).
+
+   The common case is "no budget at all", so [unlimited] is a single
+   shared value and every accounting call starts with a physical
+   equality test against it — the unbudgeted hot path costs one
+   pointer comparison per product. *)
+
+type t = {
+  deadline : float;
+      (* absolute [Unix.gettimeofday] instant; [infinity] = none *)
+  max_sweeps : int;  (* [max_int] = no limit *)
+  max_products : int;
+  sweeps : int Atomic.t;
+  products : int Atomic.t;
+  cancelled : bool Atomic.t;
+  cancel_after : int;
+      (* testing knob: trip cancellation after this many [peek]s;
+         [max_int] = off *)
+  peeks : int Atomic.t;
+}
+
+let unlimited =
+  {
+    deadline = infinity;
+    max_sweeps = max_int;
+    max_products = max_int;
+    sweeps = Atomic.make 0;
+    products = Atomic.make 0;
+    cancelled = Atomic.make false;
+    cancel_after = max_int;
+    peeks = Atomic.make 0;
+  }
+
+let create ?wall_s ?max_sweeps ?max_products ?cancel_after () =
+  let pos name = function
+    | None -> max_int
+    | Some n when n > 0 -> n
+    | Some n ->
+        invalid_arg (Printf.sprintf "Budget.create: %s = %d must be > 0" name n)
+  in
+  let deadline =
+    match wall_s with
+    | None -> infinity
+    | Some s when s > 0. && Float.is_finite s -> Unix.gettimeofday () +. s
+    | Some s ->
+        invalid_arg
+          (Printf.sprintf "Budget.create: wall_s = %g must be positive and \
+                           finite" s)
+  in
+  {
+    deadline;
+    max_sweeps = pos "max_sweeps" max_sweeps;
+    max_products = pos "max_products" max_products;
+    sweeps = Atomic.make 0;
+    products = Atomic.make 0;
+    cancelled = Atomic.make false;
+    cancel_after = pos "cancel_after" cancel_after;
+    peeks = Atomic.make 0;
+  }
+
+let is_unlimited t = t == unlimited
+let cancel t = Atomic.set t.cancelled true
+let cancelled t = Atomic.get t.cancelled
+let sweeps_done t = Atomic.get t.sweeps
+let products_done t = Atomic.get t.products
+
+let note_sweep t = if t != unlimited then Atomic.incr t.sweeps
+let note_product t = if t != unlimited then Atomic.incr t.products
+
+let progress t =
+  Printf.sprintf "%d sweeps, %d products completed" (Atomic.get t.sweeps)
+    (Atomic.get t.products)
+
+let peek ~what t =
+  if t == unlimited then None
+  else begin
+    if t.cancel_after <> max_int then begin
+      let n = 1 + Atomic.fetch_and_add t.peeks 1 in
+      if n >= t.cancel_after then Atomic.set t.cancelled true
+    end;
+    if Atomic.get t.cancelled then
+      Some (Diag.Cancelled { what; progress = progress t })
+    else if Atomic.get t.sweeps > t.max_sweeps then
+      Some
+        (Diag.Budget_exhausted
+           { what = what ^ ": sweep budget"; budget = t.max_sweeps })
+    else if Atomic.get t.products > t.max_products then
+      Some
+        (Diag.Budget_exhausted
+           {
+             what = what ^ ": vector-matrix product budget";
+             budget = t.max_products;
+           })
+    else if t.deadline < infinity && Unix.gettimeofday () > t.deadline then
+      Some
+        (Diag.Budget_exhausted
+           {
+             what = what ^ ": wall-clock deadline (" ^ progress t ^ ")";
+             budget = 0;
+           })
+    else None
+  end
+
+let check ~what t =
+  match peek ~what t with None -> () | Some e -> Diag.fail e
+
+(* The process-wide ambient budget: what the CLI's --deadline and the
+   SIGINT handler install, and what every solver consults when its
+   [Solver_opts.t] carries no explicit budget. *)
+let ambient_budget : t Atomic.t = Atomic.make unlimited
+let ambient () = Atomic.get ambient_budget
+let set_ambient b = Atomic.set ambient_budget b
+
+let with_ambient b f =
+  let saved = ambient () in
+  set_ambient b;
+  Fun.protect ~finally:(fun () -> set_ambient saved) f

@@ -1,0 +1,91 @@
+(** Cooperative computation budgets: wall-clock deadlines, work
+    limits, and cancellation.
+
+    A budget is a shared token threaded (explicitly through
+    [Solver_opts], or implicitly via the process-wide {!ambient}
+    budget) into every long-running loop: uniformisation sweeps,
+    iterative linear solvers, ODE integration, Monte-Carlo
+    replication, parallel experiment fan-out.  The loops poll
+    {!peek}/{!check} at step boundaries — cancellation is cooperative,
+    never pre-emptive — and raise a structured
+    [Diag.Error (Budget_exhausted _)] (work/deadline limits) or
+    [Diag.Error (Cancelled _)] (explicit {!cancel}, e.g. from the
+    CLI's SIGINT handler), {e after} flushing any pending checkpoint,
+    so partial results survive.
+
+    Budgets are domain-safe: all counters are [Atomic], and a single
+    budget may be observed concurrently by every pool worker.  The
+    unbudgeted path is one physical-equality test per check. *)
+
+type t
+
+val unlimited : t
+(** The shared no-op budget: all checks pass, nothing is counted. *)
+
+val create :
+  ?wall_s:float ->
+  ?max_sweeps:int ->
+  ?max_products:int ->
+  ?cancel_after:int ->
+  unit ->
+  t
+(** A fresh budget.  [wall_s] is a wall-clock allowance in seconds
+    from now (must be positive and finite); [max_sweeps] /
+    [max_products] bound the number of uniformisation sweeps /
+    vector-matrix products ({!note_sweep}, {!note_product});
+    [cancel_after] is a deterministic testing knob that trips
+    cancellation after that many {!peek}s, giving cram tests a
+    reproducible "interrupted mid-run" without real signals or timing
+    races.  Omitted limits are absent.  Raises [Invalid_argument] on
+    non-positive limits. *)
+
+val is_unlimited : t -> bool
+(** [true] exactly for {!unlimited} (physical identity). *)
+
+val cancel : t -> unit
+(** Request cooperative cancellation: every subsequent {!peek} on this
+    budget returns [Cancelled].  Safe from a signal handler or another
+    domain. *)
+
+val cancelled : t -> bool
+
+val note_sweep : t -> unit
+(** Count one started power sweep against the budget. *)
+
+val note_product : t -> unit
+(** Count one started vector-matrix product (or solver iteration, ODE
+    step, Monte-Carlo replication — the generic unit of work). *)
+
+val sweeps_done : t -> int
+
+val products_done : t -> int
+
+val progress : t -> string
+(** Human-readable work summary (["N sweeps, M products completed"]),
+    embedded in the structured errors as the partial-result note. *)
+
+val peek : what:string -> t -> Diag.error option
+(** Non-raising check: [Some (Cancelled _)] once {!cancel} was called,
+    [Some (Budget_exhausted _)] once a work limit or the deadline is
+    exceeded, [None] while within budget.  [what] names the
+    computation for the diagnostic.  Callers that must flush state
+    before dying use [peek], flush, then [Diag.fail]. *)
+
+val check : what:string -> t -> unit
+(** [peek] and raise [Diag.Error] on [Some]. *)
+
+(** {1 Ambient budget}
+
+    The process-wide default consulted by every solver whose options
+    carry no explicit budget.  The CLI installs one from
+    [--deadline]/[--max-sweeps]/[--max-products] and points its SIGINT
+    handler at it. *)
+
+val ambient : unit -> t
+(** Currently installed ambient budget (initially {!unlimited}). *)
+
+val set_ambient : t -> unit
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** Run [f] with the ambient budget replaced, restoring the previous
+    one on exit (even on exception). *)

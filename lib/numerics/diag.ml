@@ -17,6 +17,7 @@ type error =
     }
   | Numerical_breakdown of { where : string; detail : string }
   | Budget_exhausted of { what : string; budget : int }
+  | Cancelled of { what : string; progress : string }
   | Parse_error of {
       source : string;
       line : int;
@@ -43,6 +44,8 @@ let error_to_string = function
       Printf.sprintf "numerical breakdown in %s: %s" where detail
   | Budget_exhausted { what; budget } ->
       Printf.sprintf "budget exhausted: %s (limit %d)" what budget
+  | Cancelled { what; progress } ->
+      Printf.sprintf "cancelled: %s (%s)" what progress
   | Parse_error { source; line; field; message } ->
       Printf.sprintf "parse error: %s, line %d%s: %s" source line
         (match field with None -> "" | Some f -> ", field " ^ f)
@@ -58,6 +61,7 @@ let exit_code = function
   | Nonconvergence _ -> 5
   | Numerical_breakdown _ -> 6
   | Budget_exhausted _ -> 7
+  | Cancelled _ -> 8
 
 let fail e = raise (Error e)
 

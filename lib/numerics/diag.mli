@@ -24,6 +24,10 @@ type error =
           otherwise return garbage. *)
   | Budget_exhausted of { what : string; budget : int }
       (** A step or work budget ran out before completion. *)
+  | Cancelled of { what : string; progress : string }
+      (** Cooperative cancellation was requested (SIGINT, an explicit
+          [Budget.cancel]) and honoured at the next check point;
+          [progress] summarises the work completed so far. *)
   | Parse_error of {
       source : string;  (** file name, or ["<string>"] *)
       line : int;  (** 1-based; 0 when no line applies (e.g. IO) *)
@@ -41,7 +45,7 @@ val pp : Format.formatter -> error -> unit
 val exit_code : error -> int
 (** Stable per-class CLI exit code: [Invalid_model] 3, [Parse_error]
     4, [Nonconvergence] 5, [Numerical_breakdown] 6,
-    [Budget_exhausted] 7. *)
+    [Budget_exhausted] 7, [Cancelled] 8. *)
 
 val fail : error -> 'a
 (** [fail e] raises [Error e]. *)

@@ -53,7 +53,10 @@ let jacobi ?(tol = 1e-10) ?(max_iter = 100_000) ?x0 ?(skip = fun _ -> false) a
   let x = match x0 with Some x -> Array.copy x | None -> Array.make n 0. in
   let x' = Array.make n 0. in
   let threshold = tol *. scale_of b in
+  let budget = Budget.ambient () in
   let rec loop x x' iter =
+    Budget.note_product budget;
+    Budget.check ~what:"Iterative.jacobi" budget;
     (* x'_i = (b_i - sum_{j<>i} a_ij x_j) / a_ii *)
     Array.blit b 0 x' 0 n;
     Sparse.iter a (fun i j v -> if i <> j then x'.(i) <- x'.(i) -. (v *. x.(j)));
@@ -101,7 +104,10 @@ let gauss_seidel ?(tol = 1e-10) ?(max_iter = 100_000) ?x0
       end
     done
   in
+  let budget = Budget.ambient () in
   let rec loop iter =
+    Budget.note_product budget;
+    Budget.check ~what:"Iterative.gauss_seidel" budget;
     sweep ();
     (* Residual restricted to the non-skipped rows. *)
     let res = residual_norm ~skip a x b in

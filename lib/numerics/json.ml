@@ -1,0 +1,329 @@
+(* Minimal JSON reader/writer for checkpoints.
+
+   Numbers are carried as their raw literal text ([Num of string]):
+   floats are emitted with %.17g, which round-trips every binary64
+   value exactly, and parsing never converts until the caller asks —
+   so a checkpoint written and re-read reproduces bit-identical
+   vectors, the property the resume guarantee rests on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of string
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ---------- construction / projection helpers ---------- *)
+
+let of_float f =
+  if Float.is_nan f then Str "nan"
+  else if f = Float.infinity then Str "inf"
+  else if f = Float.neg_infinity then Str "-inf"
+  else Num (Printf.sprintf "%.17g" f)
+
+let of_int i = Num (string_of_int i)
+let of_int64_hex i = Str (Printf.sprintf "0x%Lx" i)
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Num _ -> "number"
+  | Str _ -> "string"
+  | Arr _ -> "array"
+  | Obj _ -> "object"
+
+let projection_error ~source ~field message =
+  Diag.fail (Diag.Parse_error { source; line = 0; field = Some field; message })
+
+let to_float ?(source = "<json>") ~field j =
+  match j with
+  | Num s -> (
+      match float_of_string_opt s with
+      | Some f -> f
+      | None ->
+          projection_error ~source ~field ("cannot read " ^ s ^ " as a number"))
+  | Str "nan" -> Float.nan
+  | Str "inf" -> Float.infinity
+  | Str "-inf" -> Float.neg_infinity
+  | j -> projection_error ~source ~field ("expected a number, got " ^ type_name j)
+
+let to_int ?(source = "<json>") ~field j =
+  match j with
+  | Num s -> (
+      match int_of_string_opt s with
+      | Some i -> i
+      | None ->
+          projection_error ~source ~field
+            ("cannot read " ^ s ^ " as an integer"))
+  | j ->
+      projection_error ~source ~field ("expected an integer, got " ^ type_name j)
+
+let to_string ?(source = "<json>") ~field j =
+  match j with
+  | Str s -> s
+  | j -> projection_error ~source ~field ("expected a string, got " ^ type_name j)
+
+let to_int64_hex ?(source = "<json>") ~field j =
+  match j with
+  | Str s -> (
+      match Int64.of_string_opt s with
+      | Some i -> i
+      | None ->
+          projection_error ~source ~field
+            ("cannot read " ^ s ^ " as a 64-bit word"))
+  | j ->
+      projection_error ~source ~field
+        ("expected a hex-string word, got " ^ type_name j)
+
+let to_list ?(source = "<json>") ~field j =
+  match j with
+  | Arr xs -> xs
+  | j -> projection_error ~source ~field ("expected an array, got " ^ type_name j)
+
+let member ?(source = "<json>") ~field j =
+  match j with
+  | Obj kvs -> (
+      match List.assoc_opt field kvs with
+      | Some v -> v
+      | None -> projection_error ~source ~field "required key is missing")
+  | j ->
+      projection_error ~source ~field ("expected an object, got " ^ type_name j)
+
+let member_opt ~field j =
+  match j with Obj kvs -> List.assoc_opt field kvs | _ -> None
+
+(* ---------- emitter ---------- *)
+
+let escape_to buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num s -> Buffer.add_string buf s
+  | Str s ->
+      Buffer.add_char buf '"';
+      escape_to buf s;
+      Buffer.add_char buf '"'
+  | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape_to buf k;
+          Buffer.add_string buf "\":";
+          emit buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let encode j =
+  let buf = Buffer.create 4096 in
+  emit buf j;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ---------- parser ---------- *)
+
+type cursor = {
+  src : string;  (* for error reports *)
+  text : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let parse_fail c message =
+  Diag.fail
+    (Diag.Parse_error { source = c.src; line = c.line; field = None; message })
+
+let peek_char c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c =
+  (if c.pos < String.length c.text && c.text.[c.pos] = '\n' then
+     c.line <- c.line + 1);
+  c.pos <- c.pos + 1
+
+let skip_ws c =
+  let continue = ref true in
+  while !continue do
+    match peek_char c with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance c
+    | _ -> continue := false
+  done
+
+let expect c ch =
+  match peek_char c with
+  | Some x when x = ch -> advance c
+  | Some x -> parse_fail c (Printf.sprintf "expected %c, got %c" ch x)
+  | None -> parse_fail c (Printf.sprintf "expected %c, got end of input" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.text
+    && String.sub c.text c.pos n = word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else parse_fail c ("cannot read JSON value starting with " ^ word)
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char c with
+    | None -> parse_fail c "unterminated string"
+    | Some '"' ->
+        advance c;
+        Buffer.contents buf
+    | Some '\\' -> (
+        advance c;
+        match peek_char c with
+        | Some '"' -> Buffer.add_char buf '"'; advance c; go ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance c; go ()
+        | Some '/' -> Buffer.add_char buf '/'; advance c; go ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance c; go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance c; go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance c; go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance c; go ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance c; go ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.text then
+              parse_fail c "truncated \\u escape";
+            let hex = String.sub c.text c.pos 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | None -> parse_fail c ("bad \\u escape: " ^ hex)
+            | Some code ->
+                (* Checkpoints only ever escape control characters, so a
+                   plain byte is sufficient here. *)
+                if code < 0x100 then Buffer.add_char buf (Char.chr code)
+                else parse_fail c ("unsupported \\u escape: " ^ hex));
+            c.pos <- c.pos + 4;
+            go ()
+        | Some ch -> parse_fail c (Printf.sprintf "bad escape \\%c" ch)
+        | None -> parse_fail c "unterminated string")
+    | Some '\n' -> parse_fail c "unterminated string"
+    | Some ch ->
+        Buffer.add_char buf ch;
+        advance c;
+        go ()
+  in
+  go ()
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    (ch >= '0' && ch <= '9')
+    || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
+  in
+  while
+    match peek_char c with Some ch when is_num_char ch -> true | _ -> false
+  do
+    advance c
+  done;
+  let s = String.sub c.text start (c.pos - start) in
+  if s = "" || float_of_string_opt s = None then
+    parse_fail c ("cannot read " ^ (if s = "" then "value" else s) ^ " as a number");
+  Num s
+
+let rec parse_value c =
+  skip_ws c;
+  match peek_char c with
+  | None -> parse_fail c "unexpected end of input"
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek_char c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          let k = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek_char c with
+          | Some ',' ->
+              advance c;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              advance c;
+              Obj (List.rev ((k, v) :: acc))
+          | _ -> parse_fail c "expected , or } in object"
+        in
+        members []
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek_char c = Some ']' then begin
+        advance c;
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek_char c with
+          | Some ',' ->
+              advance c;
+              elements (v :: acc)
+          | Some ']' ->
+              advance c;
+              Arr (List.rev (v :: acc))
+          | _ -> parse_fail c "expected , or ] in array"
+        in
+        elements []
+      end
+  | Some '"' -> Str (parse_string_body c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let decode ?(source = "<string>") text =
+  let c = { src = source; text; pos = 0; line = 1 } in
+  let v = parse_value c in
+  skip_ws c;
+  (match peek_char c with
+  | None -> ()
+  | Some ch -> parse_fail c (Printf.sprintf "trailing content: %c" ch));
+  v
+
+let decode_file path =
+  let text =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      Diag.fail
+        (Diag.Parse_error { source = path; line = 0; field = None; message = msg })
+  in
+  decode ~source:path text

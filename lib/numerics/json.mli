@@ -1,0 +1,65 @@
+(** Minimal JSON reader/writer for checkpoint files.
+
+    Self-contained (the dependency set has no JSON package) and built
+    for one property the resume guarantee rests on: {b numeric
+    fidelity}.  Numbers are carried as their raw literal text —
+    {!of_float} emits [%.17g], which round-trips every finite binary64
+    value exactly, and {!to_float} converts only on projection — so a
+    probability vector written to a checkpoint and read back is
+    bit-identical.  64-bit RNG words travel as hex strings
+    ({!of_int64_hex}/{!to_int64_hex}) to avoid signedness pitfalls.
+
+    All failures (malformed input, missing keys, wrong types) raise
+    the structured [Diag.Error (Parse_error _)] with source/line/field
+    context, so a corrupted checkpoint surfaces as exit code 4 with a
+    useful message, never an [assert]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of string  (** raw numeric literal, unconverted *)
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** {1 Construction} *)
+
+val of_float : float -> t
+(** [%.17g] rendering (exact binary64 round-trip); NaN and the
+    infinities — not representable in JSON — become the strings
+    ["nan"], ["inf"], ["-inf"], which {!to_float} maps back. *)
+
+val of_int : int -> t
+
+val of_int64_hex : int64 -> t
+(** Hex-string rendering (["0x1234abcd"]) of a raw 64-bit word. *)
+
+(** {1 Projection}
+
+    Each projector raises [Diag.Error (Parse_error _)] naming [field]
+    (and [source], when given) on a type mismatch or a missing key. *)
+
+val to_float : ?source:string -> field:string -> t -> float
+val to_int : ?source:string -> field:string -> t -> int
+val to_string : ?source:string -> field:string -> t -> string
+val to_int64_hex : ?source:string -> field:string -> t -> int64
+val to_list : ?source:string -> field:string -> t -> t list
+
+val member : ?source:string -> field:string -> t -> t
+(** Required object key. *)
+
+val member_opt : field:string -> t -> t option
+(** Optional object key ([None] on absence or non-object). *)
+
+(** {1 Text} *)
+
+val encode : t -> string
+(** Compact one-line rendering with a trailing newline. *)
+
+val decode : ?source:string -> string -> t
+(** Parse one JSON document; trailing garbage is an error.  [source]
+    labels diagnostics (default ["<string>"]). *)
+
+val decode_file : string -> t
+(** Read and {!decode} a file; IO errors become [Parse_error] with the
+    path as source. *)

@@ -33,9 +33,12 @@ let integrate ?step f ~t0 ~t1 ~y0 =
   let dt = match step with Some s -> s | None -> default_step t0 t1 in
   if dt <= 0. then invalid_arg "Ode.integrate: non-positive step";
   Telemetry.with_span "ode.rk4_integrate" @@ fun () ->
+  let budget = Budget.ambient () in
   let t = ref t0 and y = ref (Array.copy y0) in
   let steps = ref 0 in
   while t1 -. !t > 1e-15 *. Float.max 1. (Float.abs t1) do
+    Budget.note_product budget;
+    Budget.check ~what:"Ode.integrate" budget;
     let h = Float.min dt (t1 -. !t) in
     y := rk4_step f ~t:!t ~dt:h ~y:!y;
     t := !t +. h;
@@ -49,10 +52,13 @@ let trace ?step f ~t0 ~t1 ~y0 =
   let dt = match step with Some s -> s | None -> default_step t0 t1 in
   if dt <= 0. then invalid_arg "Ode.trace: non-positive step";
   Telemetry.with_span "ode.rk4_trace" @@ fun () ->
-  let acc = ref [ (t0, Array.copy y0) ] in
+  let budget = Budget.ambient () in
   let t = ref t0 and y = ref (Array.copy y0) in
+  let acc = ref [ (t0, Array.copy y0) ] in
   let steps = ref 0 in
   while t1 -. !t > 1e-15 *. Float.max 1. (Float.abs t1) do
+    Budget.note_product budget;
+    Budget.check ~what:"Ode.trace" budget;
     let h = Float.min dt (t1 -. !t) in
     y := rk4_step f ~t:!t ~dt:h ~y:!y;
     t := !t +. h;
@@ -93,7 +99,10 @@ let rkf45 ?(rtol = 1e-8) ?(atol = 1e-10) ?initial_step ?(max_steps = 1_000_000)
           coeffs;
         !acc)
   in
+  let budget = Budget.ambient () in
   while t1 -. !t > 1e-14 *. Float.max 1. (Float.abs t1) do
+    Budget.note_product budget;
+    Budget.check ~what:"Ode.rkf45" budget;
     if !taken + !rejected > max_steps then
       Diag.fail
         (Diag.Budget_exhausted
@@ -240,12 +249,15 @@ let integrate_until ?step ~event f ~t0 ~t1 ~y0 =
   in
   if event t0 y0 <= 0. then Event (t0, Array.copy y0)
   else begin
+    let budget = Budget.ambient () in
     let t = ref t0 and y = ref (Array.copy y0) in
     let outcome = ref None in
     while
       Option.is_none !outcome
       && t1 -. !t > 1e-15 *. Float.max 1. (Float.abs t1)
     do
+      Budget.note_product budget;
+      Budget.check ~what:"Ode.integrate_until" budget;
       let h = Float.min dt (t1 -. !t) in
       let y_next = rk4_step f ~t:!t ~dt:h ~y:!y in
       if event (!t +. h) y_next <= 0. then outcome := Some (refine !t !y h)

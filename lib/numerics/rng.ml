@@ -22,6 +22,15 @@ let create ?(seed = default_seed) () =
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+let state t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let of_state words =
+  if Array.length words <> 4 then
+    invalid_arg "Rng.of_state: need exactly 4 words";
+  if Array.for_all (fun w -> Int64.equal w 0L) words then
+    invalid_arg "Rng.of_state: the all-zero state is invalid for xoshiro256++";
+  { s0 = words.(0); s1 = words.(1); s2 = words.(2); s3 = words.(3) }
+
 let rotl x k =
   let open Int64 in
   logor (shift_left x k) (shift_right_logical x (64 - k))

@@ -13,6 +13,16 @@ val create : ?seed:int64 -> unit -> t
 
 val copy : t -> t
 
+val state : t -> int64 array
+(** Snapshot of the four xoshiro256++ state words, for
+    checkpointing.  [of_state (state t)] continues the exact stream
+    [t] would have produced. *)
+
+val of_state : int64 array -> t
+(** Rebuild a generator from a {!state} snapshot.  Raises
+    [Invalid_argument] unless given exactly 4 words with at least one
+    nonzero (the all-zero state is a fixed point of xoshiro256++). *)
+
 val split : t -> t
 (** Derive a statistically independent generator (jump via fresh
     splitmix64 reseeding from the parent's next outputs). *)

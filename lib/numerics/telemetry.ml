@@ -425,11 +425,9 @@ let trace_json snap =
   Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\"}\n";
   Buffer.contents buf
 
-let write_string ~path s =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc s)
+(* Atomic (temp + rename): an export interrupted by a kill or a full
+   disk never clobbers a previous complete dump. *)
+let write_string ~path s = Atomic_io.write_file ~path s
 
 let write_metrics ~path snap = write_string ~path (metrics_json snap)
 let write_trace ~path snap = write_string ~path (trace_json snap)

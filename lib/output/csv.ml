@@ -1,6 +1,7 @@
-let with_out path f =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+(* All artefact files are written atomically (temp + rename): a crash
+   or kill mid-write can never leave a truncated .csv/.dat/.gp where a
+   complete one used to be. *)
+let with_out path f = Batlife_numerics.Atomic_io.with_out ~path f
 
 module FloatMap = Map.Make (Float)
 

@@ -11,6 +11,7 @@ type t = Diag.error =
     }
   | Numerical_breakdown of { where : string; detail : string }
   | Budget_exhausted of { what : string; budget : int }
+  | Cancelled of { what : string; progress : string }
   | Parse_error of {
       source : string;
       line : int;

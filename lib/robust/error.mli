@@ -16,6 +16,7 @@ type t = Batlife_numerics.Diag.error =
     }
   | Numerical_breakdown of { where : string; detail : string }
   | Budget_exhausted of { what : string; budget : int }
+  | Cancelled of { what : string; progress : string }
   | Parse_error of {
       source : string;
       line : int;
@@ -32,7 +33,7 @@ val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
 val exit_code : t -> int
-(** Stable per-class CLI exit code (3-7); see
+(** Stable per-class CLI exit code (3-8); see
     {!Batlife_numerics.Diag.exit_code}. *)
 
 val of_exn : exn -> t option

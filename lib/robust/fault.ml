@@ -18,6 +18,20 @@ let inject_nan v ~index =
     invalid_arg "Fault.inject_nan: index out of range";
   v.(index) <- Float.nan
 
+exception Injected of string
+
+let transient ~failures f =
+  if failures < 0 then invalid_arg "Fault.transient: negative count";
+  let remaining = Atomic.make failures in
+  fun x ->
+    let rec claim () =
+      let n = Atomic.get remaining in
+      n > 0 && (Atomic.compare_and_set remaining n (n - 1) || claim ())
+    in
+    if claim () then
+      raise (Injected "injected transient fault")
+    else f x
+
 let nan_measure_after ~calls measure =
   if calls < 0 then invalid_arg "Fault.nan_measure_after: negative count";
   let remaining = ref calls in

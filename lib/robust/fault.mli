@@ -16,6 +16,19 @@ val inject_nan : float array -> index:int -> unit
 (** Overwrite one entry (of a distribution, a matrix's [values], ...)
     with NaN. *)
 
+exception Injected of string
+(** What {!transient} raises — deliberately {e not} a [Diag.Error], so
+    it exercises the generic retry path. *)
+
+val transient : failures:int -> ('a -> 'b) -> 'a -> 'b
+(** [transient ~failures f] behaves like [f] except that the first
+    [failures] invocations {e process-wide} raise {!Injected} (the
+    countdown is atomic, so concurrent pool workers share it).  Models
+    a transient environment fault for driving
+    [Batlife_experiments.Par]'s retry-with-backoff: with
+    [max_retries >= failures] the fan-out must recover and produce
+    results bitwise identical to the fault-free run. *)
+
 val nan_measure_after : calls:int -> (float array -> float) -> float array -> float
 (** [nan_measure_after ~calls m] behaves like [m] for the first
     [calls] invocations and returns NaN from then on — for driving the

@@ -16,11 +16,44 @@ type estimate = {
   samples : float array;  (** observed lifetimes (censored excluded) *)
 }
 
+type progress = {
+  mp_target : int;  (** total replications requested *)
+  mp_done : int;  (** replications completed so far *)
+  mp_censored : int;
+  mp_died : float list;  (** observed lifetimes, newest first *)
+  mp_rng : int64 array;  (** master generator state before the next split *)
+}
+(** A mid-batch snapshot.  Restoring it ({!run_replications}'s
+    [?resume]) replays nothing: the master generator continues from its
+    exact xoshiro256++ state and the accumulated outcomes keep their
+    accumulation order, so the resumed estimate is bitwise identical to
+    an uninterrupted run's. *)
+
+val run_replications :
+  ?seed:int64 ->
+  ?progress:(done_:int -> snapshot:(unit -> progress) -> unit) ->
+  ?on_interrupt:(progress -> unit) ->
+  ?resume:progress ->
+  runs:int ->
+  horizon:float ->
+  Kibamrm.t ->
+  float array * int
+(** Observed lifetimes (oldest first) and the censored count.  Each
+    replication counts one unit against the ambient
+    {!Batlife_numerics.Budget}; on exhaustion or cancellation
+    [on_interrupt] receives the final snapshot before the structured
+    error propagates.  [progress] fires after every completed
+    replication with a lazy snapshot.  [resume] must carry the same
+    [mp_target] as [runs] ([Invalid_model] otherwise). *)
+
 val lifetime_cdf :
   ?seed:int64 ->
   ?runs:int ->
   ?horizon:float ->
   ?confidence:float ->
+  ?progress:(done_:int -> snapshot:(unit -> progress) -> unit) ->
+  ?on_interrupt:(progress -> unit) ->
+  ?resume:progress ->
   Kibamrm.t ->
   times:float array ->
   estimate
@@ -28,7 +61,8 @@ val lifetime_cdf :
     replications.  Censored runs count as "alive" at every requested
     time, making the CDF estimate exact as long as
     [max times <= horizon] (default: 4x the largest requested
-    time). *)
+    time).  The resilience hooks pass through to
+    {!run_replications}. *)
 
 val mean_lifetime :
   ?seed:int64 -> ?runs:int -> ?horizon:float -> Kibamrm.t ->

@@ -118,3 +118,49 @@ Without the flags nothing telemetry-related is printed:
   >   --delta 25 --horizon 30 --points 5 2>&1 >/dev/null | grep -c phase
   0
   [1]
+
+Resilience.  A work budget stops the sweep at a step boundary with a
+structured error and its own exit code, and --checkpoint flushes a
+final snapshot before dying; resuming from it completes the run and
+reproduces the uninterrupted output bitwise:
+
+  $ batlife lifetime --model simple --capacity 800 -c 0.625 -k 0.162 \
+  >   --delta 25 --horizon 30 --points 5 --checkpoint full.ckpt \
+  >   2>full.err >full.out
+  $ batlife lifetime --model simple --capacity 800 -c 0.625 -k 0.162 \
+  >   --delta 25 --horizon 30 --points 5 --checkpoint part.ckpt \
+  >   --checkpoint-interval 5 --max-products 20
+  batlife: error: budget exhausted: Transient.multi_measure_sweep: vector-matrix product budget (limit 20)
+  [7]
+  $ grep -c '"schema":"batlife.ckpt/1"' part.ckpt
+  1
+  $ batlife lifetime --model simple --capacity 800 -c 0.625 -k 0.162 \
+  >   --delta 25 --horizon 30 --points 5 --checkpoint part.ckpt \
+  >   --resume part.ckpt 2>resumed.err >resumed.out
+  $ cmp full.out resumed.out
+  $ cmp full.err resumed.err
+
+Resuming against a different discretisation is rejected as an invalid
+model (the checkpoint carries a fingerprint):
+
+  $ batlife lifetime --model simple --capacity 800 -c 0.625 -k 0.162 \
+  >   --delta 50 --horizon 30 --points 5 --resume part.ckpt
+  batlife: error: invalid model (checkpoint part.ckpt): checkpoint delta 25 differs from this run's 50; checkpoint has 819 states but this model expands to 231; checkpoint has 2706 nonzeros but this model has 723
+  [3]
+
+Cooperative cancellation (--cancel-after is the deterministic stand-in
+for Ctrl-C) exits with its own code and names the partial progress:
+
+  $ batlife lifetime --model simple --capacity 800 -c 0.625 -k 0.162 \
+  >   --delta 25 --horizon 30 --points 5 --cancel-after 10
+  batlife: error: cancelled: Transient.multi_measure_sweep (1 sweeps, 10 products completed)
+  [8]
+
+An interrupted experiment batch records completed figures in a
+completion map and skips them on the next run:
+
+  $ batlife experiment fig2 -o results --checkpoint batch.ckpt >/dev/null 2>&1
+  $ cat batch.ckpt
+  {"schema":"batlife.ckpt/1","kind":"experiments","completed":["fig2"]}
+  $ batlife experiment fig2 -o results --checkpoint batch.ckpt 2>/dev/null
+  experiment fig2: already completed (checkpoint), skipping

@@ -33,4 +33,5 @@ let () =
       ("experiments: paper reproduction", Test_experiments.suite);
       ("robust: guardrails & fault injection", Test_robust.suite);
       ("core: batched evaluation engine", Test_engine.suite);
+      ("resilience: budgets, checkpoints, retries", Test_resilience.suite);
     ]
