@@ -32,7 +32,18 @@
                     same fig-7 style solve with the collector off and
                     on, a bitwise identity check between the two, and
                     the recorded span/counter volume, written as a
-                    JSON snapshot (committed as BENCH_obs.json) *)
+                    JSON snapshot (committed as BENCH_obs.json)
+     --chaos-report PATH
+                    run ONLY the chaos harness (see chaos.ml): a
+                    seeded matrix of fault-injection plans over the
+                    fig-2/fig-7 models, asserting every run ends
+                    bitwise-identical to the clean run or in a clean
+                    structured failure with no partial artifacts,
+                    written as a JSON snapshot (committed as
+                    BENCH_chaos.json); nonzero exit on any violation
+     --chaos-plans N
+                    number of fault plans (default 60)
+     --chaos-seed S seed of the plan generator (default 2007) *)
 
 open Bechamel
 open Batlife_battery
@@ -507,6 +518,9 @@ let () =
   let engine_json = ref None in
   let scaling_json = ref None in
   let obs_json = ref None in
+  let chaos_json = ref None in
+  let chaos_plans = ref 60 in
+  let chaos_seed = ref 2007L in
   let rec parse = function
     | [] -> ()
     | "--full" :: rest ->
@@ -520,6 +534,15 @@ let () =
         parse rest
     | "--obs-report" :: path :: rest ->
         obs_json := Some path;
+        parse rest
+    | "--chaos-report" :: path :: rest ->
+        chaos_json := Some path;
+        parse rest
+    | "--chaos-plans" :: n :: rest ->
+        chaos_plans := int_of_string n;
+        parse rest
+    | "--chaos-seed" :: s :: rest ->
+        chaos_seed := Int64.of_string s;
         parse rest
     | "--runs" :: n :: rest ->
         options := { !options with Runner.runs = int_of_string n };
@@ -555,6 +578,13 @@ let () =
   (match !obs_json with
   | Some path ->
       obs_report path;
+      exit 0
+  | None -> ());
+  (* --chaos-report runs alone too: it arms process-wide injection
+     sites, which must never overlap the reproduction passes. *)
+  (match !chaos_json with
+  | Some path ->
+      Chaos.report ~plans:!chaos_plans ~seed:!chaos_seed ~path;
       exit 0
   | None -> ());
   if !mode <> Timing_only then begin

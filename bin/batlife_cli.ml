@@ -256,6 +256,7 @@ let resilience_term =
     in
     Budget.set_ambient budget;
     install_sigint budget;
+    Batlife_numerics.Pool.set_section_retries max_retries;
     { checkpoint; checkpoint_interval; resume; max_retries }
   in
   let deadline =
@@ -298,8 +299,9 @@ let resilience_term =
       & info [ "max-retries" ] ~docv:"N"
           ~doc:
             "Retries (with exponential backoff) for a failing parallel \
-             experiment task.  Budget exhaustion and cancellation are \
-             never retried.")
+             experiment task, and re-executions of a kernel section whose \
+             worker crashed mid-sweep (pool supervision).  Budget \
+             exhaustion and cancellation are never retried.")
   and checkpoint =
     Arg.(
       value
@@ -514,8 +516,11 @@ let simulate_cmd =
       match resil.resume with
       | None -> None
       | Some path -> (
-          match Checkpoint.load ~path with
-          | Checkpoint.Montecarlo m ->
+          (* Corrupt snapshot: quarantine and run the batch from
+             replication 0 instead of aborting. *)
+          match Checkpoint.load_for_resume ~path with
+          | None -> None
+          | Some (Checkpoint.Montecarlo m) ->
               if m.Checkpoint.mc_seed <> seed64 then
                 Batlife_numerics.Diag.invalid_model
                   ~what:("checkpoint " ^ path)
@@ -532,7 +537,7 @@ let simulate_cmd =
                   mp_died = m.Checkpoint.mc_died;
                   mp_rng = m.Checkpoint.mc_rng;
                 }
-          | Checkpoint.Cdf _ | Checkpoint.Experiments _ ->
+          | Some (Checkpoint.Cdf _ | Checkpoint.Experiments _) ->
               Batlife_numerics.Diag.invalid_model ~what:("checkpoint " ^ path)
                 [
                   "checkpoint holds a different computation kind, not a \

@@ -1,15 +1,32 @@
 (* Versioned on-disk snapshots of interrupted computations.
 
-   One JSON document per file, written atomically (Atomic_io), schema
-   tag "batlife.ckpt/1".  Everything numeric goes through
-   Batlife_numerics.Json's exact float/int64 round-trip, so a resumed
-   computation continues from bit-identical state — the foundation of
-   the "resumed == uninterrupted" guarantee. *)
+   Format v2 ("batlife.ckpt/2"): line 1 is one compact JSON document
+   (every number through Batlife_numerics.Json's exact float/int64
+   round-trip, the foundation of the "resumed == uninterrupted"
+   bitwise guarantee), line 2 is an integrity footer
+
+     batlife.ckpt.footer crc64=0x<16 hex digits> length=<payload bytes>
+
+   over the payload bytes.  Atomic_io makes the write crash-safe; the
+   footer catches what the rename discipline cannot — torn writes that
+   landed, bit rot, truncation by an interrupted copy — and version
+   skew is a schema mismatch inside an intact payload.  Loading
+   validates everything (finite floats only, exactly 4 nonzero RNG
+   words), so no checkpoint byte stream can reach a solver as
+   undiagnosed garbage or escape as an uncaught exception. *)
 
 open Batlife_numerics
 open Batlife_ctmc
 
-let schema = "batlife.ckpt/1"
+let schema = "batlife.ckpt/2"
+let footer_tag = "batlife.ckpt.footer"
+
+(* Corruption injection, applied to the raw bytes right after reading:
+   what the chaos harness arms to prove that load detects (and the
+   resume path quarantines) each corruption class. *)
+let fi_truncate = Fi.site "checkpoint.truncate"
+let fi_bitflip = Fi.site "checkpoint.bitflip"
+let fi_skew = Fi.site "checkpoint.version_skew"
 
 type cdf = {
   cdf_delta : float;
@@ -78,35 +95,131 @@ let json_of_payload = function
           ("completed", Json.Arr (List.map (fun id -> Json.Str id) completed));
         ]
 
-let save ~path payload =
-  Atomic_io.write_file ~path (Json.encode (json_of_payload payload))
+let with_footer body =
+  Printf.sprintf "%s%s crc64=0x%016Lx length=%d\n" body footer_tag
+    (Crc64.digest body) (String.length body)
+
+let render payload = with_footer (Json.encode (json_of_payload payload))
+
+let save ~path payload = Atomic_io.write_file ~path (render payload)
+
+(* ---------- integrity layer ---------- *)
+
+let parse_error ~source ?field message =
+  Diag.fail (Diag.Parse_error { source; line = 0; field; message })
+
+let read_raw path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg -> parse_error ~source:path msg
+
+(* Split "payload bytes (ending \n)" + "footer line\n". *)
+let split_footer text =
+  let len = String.length text in
+  if len = 0 || text.[len - 1] <> '\n' then None
+  else
+    match String.rindex_from_opt text (len - 2) '\n' with
+    | None -> None
+    | Some i ->
+        Some (String.sub text 0 (i + 1), String.sub text (i + 1) (len - i - 2))
+
+let replace_first ~sub ~by s =
+  let n = String.length sub in
+  let limit = String.length s - n in
+  let rec find i =
+    if i > limit then None
+    else if String.sub s i n = sub then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> s
+  | Some i ->
+      String.sub s 0 i ^ by ^ String.sub s (i + n) (String.length s - i - n)
+
+(* Version skew presents an intact, correctly-checksummed file whose
+   payload claims an older schema — the "downgraded binary reads a
+   newer checkpoint" case, distinct from corruption. *)
+let skew text =
+  match split_footer text with
+  | None -> text
+  | Some (body, _) ->
+      with_footer (replace_first ~sub:schema ~by:"batlife.ckpt/1" body)
+
+let inject_corruption text =
+  if not (Fi.enabled ()) then text
+  else begin
+    let text =
+      if Fi.fires fi_truncate then
+        String.sub text 0 (String.length text * 3 / 5)
+      else text
+    in
+    let text =
+      if Fi.fires fi_bitflip && String.length text > 0 then begin
+        let b = Bytes.of_string text in
+        let i = String.length text / 3 in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+        Bytes.to_string b
+      end
+      else text
+    in
+    if Fi.fires fi_skew then skew text else text
+  end
+
+(* Integrity-check the raw bytes and return the verified payload. *)
+let verified_body ~source text =
+  match split_footer text with
+  | None ->
+      parse_error ~source
+        "checkpoint has no integrity footer: the file is truncated, or it \
+         is a pre-v2 checkpoint from an older release"
+  | Some (body, footer) ->
+      let crc, length =
+        try
+          Scanf.sscanf footer "batlife.ckpt.footer crc64=0x%Lx length=%d%!"
+            (fun crc length -> (crc, length))
+        with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+          parse_error ~source
+            (Printf.sprintf "malformed checkpoint integrity footer %S" footer)
+      in
+      if String.length body <> length then
+        parse_error ~source
+          (Printf.sprintf
+             "checkpoint truncated: footer records %d payload bytes but %d \
+              are present"
+             length (String.length body));
+      let actual = Crc64.digest body in
+      if not (Int64.equal actual crc) then
+        parse_error ~source
+          (Printf.sprintf
+             "checkpoint corrupted: CRC64 mismatch (stored 0x%016Lx, \
+              computed 0x%016Lx)"
+             crc actual);
+      body
 
 (* ---------- decoding ---------- *)
 
 let floats_of_json ~source ~field j =
   Json.to_list ~source ~field j
-  |> List.map (Json.to_float ~source ~field)
+  |> List.map (Json.to_finite_float ~source ~field)
   |> Array.of_list
 
 let load ~path =
   let source = path in
-  let j = Json.decode_file path in
+  let text = inject_corruption (read_raw path) in
+  let j = Json.decode ~source (verified_body ~source text) in
   let str field = Json.to_string ~source ~field (Json.member ~source ~field j) in
-  let num field = Json.to_float ~source ~field (Json.member ~source ~field j) in
+  let num field =
+    Json.to_finite_float ~source ~field (Json.member ~source ~field j)
+  in
   let int field = Json.to_int ~source ~field (Json.member ~source ~field j) in
   (match str "schema" with
   | s when s = schema -> ()
   | s ->
-      Diag.fail
-        (Diag.Parse_error
-           {
-             source;
-             line = 0;
-             field = Some "schema";
-             message =
-               Printf.sprintf "unsupported checkpoint schema %S (want %S)" s
-                 schema;
-           }));
+      parse_error ~source ~field:"schema"
+        (Printf.sprintf "unsupported checkpoint schema %S (want %S)" s schema));
   match str "kind" with
   | "cdf" ->
       let values =
@@ -118,17 +231,9 @@ let load ~path =
       Array.iter
         (fun row ->
           if Array.length row <> step + 1 then
-            Diag.fail
-              (Diag.Parse_error
-                 {
-                   source;
-                   line = 0;
-                   field = Some "values";
-                   message =
-                     Printf.sprintf
-                       "row has %d entries but step %d implies %d"
-                       (Array.length row) step (step + 1);
-                 }))
+            parse_error ~source ~field:"values"
+              (Printf.sprintf "row has %d entries but step %d implies %d"
+                 (Array.length row) step (step + 1)))
         values;
       Cdf
         {
@@ -146,14 +251,8 @@ let load ~path =
                 (match Json.member ~source ~field:"converged" j with
                 | Json.Bool b -> b
                 | _ ->
-                    Diag.fail
-                      (Diag.Parse_error
-                         {
-                           source;
-                           line = 0;
-                           field = Some "converged";
-                           message = "expected a boolean";
-                         }));
+                    parse_error ~source ~field:"converged"
+                      "expected a boolean");
               sp_vector =
                 floats_of_json ~source ~field:"vector"
                   (Json.member ~source ~field:"vector" j);
@@ -161,6 +260,20 @@ let load ~path =
             };
         }
   | "montecarlo" ->
+      let rng =
+        Json.to_list ~source ~field:"rng" (Json.member ~source ~field:"rng" j)
+        |> List.map (Json.to_int64_hex ~source ~field:"rng")
+        |> Array.of_list
+      in
+      (* Validated here so Rng.of_state can never turn checkpoint bytes
+         into an uncaught Invalid_argument downstream. *)
+      if Array.length rng <> 4 then
+        parse_error ~source ~field:"rng"
+          (Printf.sprintf "rng state has %d words; xoshiro256++ needs \
+                           exactly 4" (Array.length rng));
+      if Array.for_all (fun w -> Int64.equal w 0L) rng then
+        parse_error ~source ~field:"rng"
+          "the all-zero rng state is invalid for xoshiro256++";
       Montecarlo
         {
           mc_seed =
@@ -172,12 +285,8 @@ let load ~path =
           mc_died =
             Json.to_list ~source ~field:"died"
               (Json.member ~source ~field:"died" j)
-            |> List.map (Json.to_float ~source ~field:"died");
-          mc_rng =
-            Json.to_list ~source ~field:"rng"
-              (Json.member ~source ~field:"rng" j)
-            |> List.map (Json.to_int64_hex ~source ~field:"rng")
-            |> Array.of_list;
+            |> List.map (Json.to_finite_float ~source ~field:"died");
+          mc_rng = rng;
         }
   | "experiments" ->
       Experiments
@@ -188,11 +297,26 @@ let load ~path =
             |> List.map (Json.to_string ~source ~field:"completed");
         }
   | kind ->
-      Diag.fail
-        (Diag.Parse_error
-           {
-             source;
-             line = 0;
-             field = Some "kind";
-             message = Printf.sprintf "unknown checkpoint kind %S" kind;
-           })
+      parse_error ~source ~field:"kind"
+        (Printf.sprintf "unknown checkpoint kind %S" kind)
+
+(* ---------- resume-path loader: quarantine instead of abort ---------- *)
+
+let load_for_resume ~path =
+  match load ~path with
+  | payload -> Some payload
+  | exception Diag.Error (Diag.Parse_error _ as e) ->
+      if not (Sys.file_exists path) then
+        (* Nothing to quarantine: a missing/unreadable resume file is a
+           caller mistake, not corruption — keep the hard error. *)
+        Diag.fail e
+      else begin
+        let dest = path ^ ".corrupt" in
+        (try Sys.rename path dest with Sys_error _ -> ());
+        Diag.record ~fallback:true ~origin:"Checkpoint"
+          (Printf.sprintf
+             "quarantined corrupt checkpoint %s -> %s (%s); restarting from \
+              scratch"
+             path dest (Diag.error_to_string e));
+        None
+      end

@@ -1,11 +1,19 @@
 (** Versioned on-disk snapshots of interrupted computations
-    (schema ["batlife.ckpt/1"]).
+    (schema ["batlife.ckpt/2"]).
 
-    A checkpoint is one JSON document, written atomically
+    A checkpoint file is two lines: one JSON document, then an
+    integrity footer
+
+    {v batlife.ckpt.footer crc64=0x<16 hex digits> length=<bytes> v}
+
+    recording the CRC-64 (XZ polynomial) and byte length of the
+    payload line.  The payload is written atomically
     ({!Batlife_numerics.Atomic_io}) so a kill mid-write can never
-    leave a truncated file, and carrying every number through
+    leave a half-renamed file, and carries every number through
     {!Batlife_numerics.Json}'s exact round-trip ([%.17g] floats,
-    hex-string 64-bit words).  Three kinds exist:
+    hex-string 64-bit words); the footer catches the corruption the
+    rename discipline cannot — torn writes that landed, bit rot,
+    truncation — before any byte reaches a solver.  Three kinds exist:
 
     - {b cdf}: an interrupted uniformisation sweep of
       [Lifetime.cdf_resumable] — the model fingerprint
@@ -17,8 +25,18 @@
     - {b experiments}: the runner's per-figure completion map.
 
     {!load} raises structured [Diag.Error (Parse_error _)] on any
-    malformed, truncated, or wrong-schema file — a corrupted
-    checkpoint is a diagnosable failure, not undefined behaviour. *)
+    malformed, truncated, corrupted or wrong-schema file — a bad
+    checkpoint is a diagnosable failure, not undefined behaviour —
+    and additionally validates content (finite floats only, exactly 4
+    not-all-zero RNG words).  {!load_for_resume} is the forgiving
+    variant for [--resume] paths: it quarantines a corrupt file and
+    reports a cold start instead of aborting the run.
+
+    Fault injection: the registered sites ["checkpoint.truncate"],
+    ["checkpoint.bitflip"] and ["checkpoint.version_skew"]
+    ({!Batlife_numerics.Fi}) corrupt the raw bytes between the read
+    and the integrity check, one corruption class each, so the
+    detection and quarantine paths are exercisable deterministically. *)
 
 open Batlife_ctmc
 
@@ -51,8 +69,18 @@ type payload =
       (** experiment ids already finished and written *)
 
 val save : path:string -> payload -> unit
-(** Atomically (re)write the checkpoint file. *)
+(** Atomically (re)write the checkpoint file (payload + footer). *)
 
 val load : path:string -> payload
-(** Parse a checkpoint; raises [Diag.Error (Parse_error _)] with
-    file/field context on anything malformed. *)
+(** Parse and integrity-check a checkpoint; raises
+    [Diag.Error (Parse_error _)] with file/field context on anything
+    malformed, truncated, CRC-mismatched, wrong-schema, non-finite, or
+    carrying an invalid RNG state. *)
+
+val load_for_resume : path:string -> payload option
+(** Like {!load}, but a file that exists yet fails to parse or verify
+    is {b quarantined}: renamed to [path ^ ".corrupt"], reported as a
+    [Diag] fallback event, and [None] is returned so the caller
+    restarts from scratch.  A {e missing} file still raises the
+    [Parse_error] — pointing [--resume] at nothing is a caller
+    mistake, not corruption. *)

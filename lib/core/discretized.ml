@@ -345,6 +345,8 @@ module Session = struct
               Transient.iterations = 0;
               converged_at = None;
               uniformisation_rate = s.rate;
+              mass_residual = 0.;
+              fg_defect = 0.;
             })
     | regs ->
         Telemetry.incr c_flushes;

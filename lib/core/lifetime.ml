@@ -70,9 +70,47 @@ let cdf_session ?(session : Discretized.Session.session option) ~delta d ~times
   let stats = Discretized.Session.run s in
   curve_of ~delta d (Discretized.Session.get pending) stats ~times
 
+(* A-posteriori escalation.  When a sweep fails its self-verification
+   (mass residual, Fox–Glynn accounting, CDF shape — all surfacing as
+   [Numerical_breakdown]), the result is discarded and re-derived on
+   progressively more conservative rungs before the failure is let
+   through.  The first rung is the sequential oracle kernel at the
+   {e same} tolerances: the parallel kernel is bitwise-identical to it
+   by construction, so a recovery here changes no output bit of a
+   clean run — which is what lets the chaos harness demand bitwise
+   equality from recovered runs.  Only the second rung tightens the
+   accuracy (its output may legitimately differ; it trades the
+   guarantee for a last chance at a usable curve).  If every rung
+   fails, the {e first} error is re-raised, so persistent breakdowns
+   report the original diagnosis, not the oracle's echo of it. *)
+let escalation_rungs (o : Solver_opts.t) =
+  [
+    ("sequential oracle kernel, same tolerances", { o with jobs = Some 1 });
+    ( "sequential oracle kernel, accuracy tightened 100x",
+      { o with jobs = Some 1; accuracy = o.Solver_opts.accuracy /. 100. } );
+  ]
+
 let cdf_discretized ?opts ~delta d ~times =
-  let s = Discretized.Session.create ?opts d in
-  cdf_session ~session:s ~delta d ~times
+  let o = match opts with Some o -> o | None -> Solver_opts.default in
+  let attempt o' =
+    let s = Discretized.Session.create ~opts:o' d in
+    cdf_session ~session:s ~delta d ~times
+  in
+  match attempt o with
+  | curve -> curve
+  | exception (Diag.Error (Diag.Numerical_breakdown _) as first) ->
+      let rec climb = function
+        | [] -> raise first
+        | (label, o') :: rest -> (
+            Diag.record ~fallback:true ~origin:"Lifetime.verify"
+              (Printf.sprintf
+                 "sweep failed its a-posteriori check; re-running with %s"
+                 label);
+            match attempt o' with
+            | curve -> curve
+            | exception Diag.Error (Diag.Numerical_breakdown _) -> climb rest)
+      in
+      climb (escalation_rungs o)
 
 let cdf ?opts ?initial_fill ~delta ~times model =
   (match opts with Some o -> Solver_opts.request_telemetry o | None -> ());
@@ -124,8 +162,11 @@ let cdf_resumable ?(opts = Solver_opts.default) ?initial_fill ?checkpoint
     match resume with
     | None -> None
     | Some path -> (
-        match Checkpoint.load ~path with
-        | Checkpoint.Cdf c -> (
+        (* A corrupt file is quarantined and the sweep restarts cold —
+           resumability must degrade to "slower", never to "stuck". *)
+        match Checkpoint.load_for_resume ~path with
+        | None -> None
+        | Some (Checkpoint.Cdf c) -> (
             match
               fingerprint_mismatches ~delta
                 ~accuracy:opts.Solver_opts.accuracy
@@ -135,7 +176,7 @@ let cdf_resumable ?(opts = Solver_opts.default) ?initial_fill ?checkpoint
             | [] -> Some c.Checkpoint.cdf_progress
             | issues ->
                 Diag.invalid_model ~what:("checkpoint " ^ path) issues)
-        | Checkpoint.Montecarlo _ | Checkpoint.Experiments _ ->
+        | Some (Checkpoint.Montecarlo _ | Checkpoint.Experiments _) ->
             Diag.invalid_model ~what:("checkpoint " ^ path)
               [ "checkpoint holds a different computation kind, not a CDF \
                  sweep" ])

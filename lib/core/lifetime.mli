@@ -34,7 +34,17 @@ val cdf :
   times:float array ->
   Kibamrm.t ->
   curve
-(** Lifetime distribution [Pr{L <= t}] on the given time grid. *)
+(** Lifetime distribution [Pr{L <= t}] on the given time grid.
+
+    {b Escalation.}  A sweep whose result fails self-verification
+    (mass conservation, Fox–Glynn truncation accounting, CDF shape —
+    any [Numerical_breakdown]) is discarded and re-derived on an
+    escalation ladder: first the sequential oracle kernel at the same
+    tolerances (bitwise-identical to the parallel kernel on clean
+    inputs, so a recovery here changes no output bit), then the oracle
+    with the accuracy tightened 100x.  Each rung is reported as a
+    [Diag] fallback event; if every rung fails, the {e first} error is
+    re-raised. *)
 
 val cdf_resumable :
   ?opts:Solver_opts.t ->
@@ -46,7 +56,7 @@ val cdf_resumable :
   Kibamrm.t ->
   curve
 (** {!cdf} with checkpoint/resume.  [checkpoint:(path, interval)]
-    atomically writes a [batlife.ckpt/1] snapshot ({!Checkpoint}) to
+    atomically writes a [batlife.ckpt/2] snapshot ({!Checkpoint}) to
     [path] every [interval] completed sweep steps, and flushes a final
     snapshot before a budget/cancellation error propagates; [resume]
     loads such a snapshot and continues the sweep where it stopped.
@@ -57,8 +67,11 @@ val cdf_resumable :
     resolves the same rate and windows as the session path).  Resuming
     against a different model, grid, delta or accuracy is rejected
     with [Diag.Error (Invalid_model _)] via the checkpoint's
-    fingerprint; a corrupted checkpoint is a structured
-    [Parse_error]. *)
+    fingerprint.  A checkpoint that fails parsing or its integrity
+    check is {b quarantined} ([Checkpoint.load_for_resume]: renamed to
+    [path ^ ".corrupt"], [Diag] fallback event) and the sweep restarts
+    from scratch — resumability degrades to "slower", never to
+    "stuck". *)
 
 val cdf_discretized :
   ?opts:Solver_opts.t ->

@@ -8,6 +8,8 @@ type stats = {
   iterations : int;
   converged_at : int option;
   uniformisation_rate : float;
+  mass_residual : float;
+  fg_defect : float;
 }
 
 type sweep_progress = {
@@ -25,6 +27,13 @@ type sweep_progress = {
 let c_sweeps = Telemetry.counter "transient.sweeps"
 let c_products = Telemetry.counter "transient.products"
 let c_kernel_builds = Telemetry.counter "transient.kernel_builds"
+
+(* Kernel-corruption injection sites: a NaN or a wildly out-of-range
+   value written into one vector-matrix product, the bit-flip /
+   broken-BLAS class of fault the in-flight guards and the escalation
+   ladder exist to catch. *)
+let fi_step_nan = Fi.site "transient.step_nan"
+let fi_step_overflow = Fi.site "transient.step_overflow"
 
 let h_iterations =
   Telemetry.histogram
@@ -186,6 +195,42 @@ let guard_iterate ~where ~mass0 ~step v =
       mass0 !mass step mass_tolerance;
   ()
 
+(* A-posteriori self-verification of a completed sweep.  The in-flight
+   guards catch faults the step they happen; this pass re-derives the
+   invariants from the sweep's outputs — final-iterate mass
+   conservation and the Fox–Glynn truncation accounting of every
+   window — so a fault that slipped between the per-step checks (or a
+   bug in them) still cannot leave the sweep's results standing.  The
+   audited quantities are returned and exposed in {!stats}. *)
+let verify_sweep ~where ~accuracy ~mass0 ~windows final =
+  let mass = Vector.sum final in
+  if not (Float.is_finite mass) then
+    Diag.breakdown ~where
+      "a-posteriori check: final iterate has non-finite probability mass";
+  let mass_residual = Float.abs (mass -. mass0) in
+  if mass_residual > mass_tolerance *. Float.max 1. mass0 then
+    Diag.breakdown ~where
+      "a-posteriori check: probability mass %g drifted from %g by %g \
+       (tolerance %g)"
+      mass mass0 mass_residual mass_tolerance;
+  let fg_defect = ref 0. in
+  Array.iter
+    (fun w ->
+      fg_defect := Float.max !fg_defect w.Poisson.defect;
+      let total = Poisson.total w in
+      if Float.abs (total -. 1.) > 1e-9 then
+        Diag.breakdown ~where
+          "a-posteriori check: Fox–Glynn window sums to %.17g after \
+           renormalisation"
+          total)
+    windows;
+  if !fg_defect > accuracy then
+    Diag.breakdown ~where
+      "a-posteriori check: Fox–Glynn truncation defect %g exceeds the \
+       requested accuracy %g"
+      !fg_defect accuracy;
+  (mass_residual, !fg_defect)
+
 let checked_measure ~where measure ~step v =
   let value = measure v in
   if Float.is_nan value then
@@ -199,8 +244,15 @@ let checked_measure ~where measure ~step v =
    independent of the job count. *)
 let step k ~src ~dst =
   Telemetry.incr c_products;
-  Pool.run_chunks k.k_pool k.k_partition (fun ~lo ~hi ->
-      Sparse.matvec_rows k.k_pt src ~dst ~lo ~hi)
+  (* Supervised: a worker crash mid-product re-runs its partition (the
+     chunks write disjoint, deterministic ranges of dst, so the re-run
+     is bitwise identical) instead of killing the sweep. *)
+  Pool.run_chunks ~supervise:true k.k_pool k.k_partition (fun ~lo ~hi ->
+      Sparse.matvec_rows k.k_pt src ~dst ~lo ~hi);
+  if Fi.enabled () then begin
+    if Fi.fires fi_step_nan then dst.(0) <- Float.nan;
+    if Fi.fires fi_step_overflow then dst.(0) <- 1e30
+  end
 
 (* Working vectors of a sweep: reuse caller-provided buffers (the
    session fast path — no per-call allocation) or allocate a fresh
@@ -388,6 +440,10 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
         | Some at -> Printf.sprintf " (stationary after %d)" at
         | None -> ""));
   Telemetry.observe_int h_iterations iterations;
+  let mass_residual, fg_defect =
+    verify_sweep ~where ~accuracy:opts.Solver_opts.accuracy ~mass0 ~windows
+      !current
+  in
   let results =
     Array.map
       (fun per_step ->
@@ -399,7 +455,13 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
       vals
   in
   ( results,
-    { iterations; converged_at = !converged_at; uniformisation_rate = q } )
+    {
+      iterations;
+      converged_at = !converged_at;
+      uniformisation_rate = q;
+      mass_residual;
+      fg_defect;
+    } )
 
 let measure_sweep ?opts ?windows ?buffers ?kernel ?progress ?on_interrupt
     ?resume g ~alpha ~times ~measure =
@@ -451,8 +513,18 @@ let distribution_sweep ?(opts = Solver_opts.default) g ~alpha ~times =
       windows
   done;
   Telemetry.observe_int h_iterations n_max;
+  let mass_residual, fg_defect =
+    verify_sweep ~where ~accuracy:opts.Solver_opts.accuracy ~mass0 ~windows
+      !current
+  in
   ( outs,
-    { iterations = n_max; converged_at = None; uniformisation_rate = q } )
+    {
+      iterations = n_max;
+      converged_at = None;
+      uniformisation_rate = q;
+      mass_residual;
+      fg_defect;
+    } )
 
 let expected_hitting_mass ?opts g ~alpha ~states ~t =
   let pi = solve ?opts g ~alpha ~t in

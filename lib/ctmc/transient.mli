@@ -32,7 +32,13 @@
     violations collected into one error); and the sweeps monitor the
     iterate in flight — non-finite entries, probability mass drifting
     from the initial mass by more than 1e-6, or a NaN measure value
-    raise [Diag.Error (Numerical_breakdown _)]. *)
+    raise [Diag.Error (Numerical_breakdown _)].  A completed batched
+    sweep additionally {b self-verifies a posteriori}: final-iterate
+    mass conservation and the Fox–Glynn truncation accounting of every
+    window are re-derived from the outputs (reported in
+    {!stats.mass_residual} / {!stats.fg_defect}), so a fault that
+    slipped between the per-step checks still cannot leave results
+    standing. *)
 
 type stats = {
   iterations : int;  (** number of vector-matrix products performed *)
@@ -40,6 +46,12 @@ type stats = {
       (** step after which [v_n] was numerically stationary, if
           detected *)
   uniformisation_rate : float;
+  mass_residual : float;
+      (** a-posteriori |mass(final iterate) - mass(alpha)|, audited
+          against the 1e-6 conservation tolerance after the sweep *)
+  fg_defect : float;
+      (** largest Fox–Glynn truncation defect over the sweep's
+          windows, audited against the requested accuracy *)
 }
 
 (** {1 Resilience}

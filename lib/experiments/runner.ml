@@ -105,9 +105,13 @@ module Checkpoint = Batlife_core.Checkpoint
 let load_completed path =
   if not (Sys.file_exists path) then []
   else
-    match Checkpoint.load ~path with
-    | Checkpoint.Experiments { completed } -> completed
-    | Checkpoint.Cdf _ | Checkpoint.Montecarlo _ ->
+    (* A corrupt completion map is quarantined and the batch restarts
+       from an empty one: already-written figure artifacts are simply
+       recomputed, never trusted blindly. *)
+    match Checkpoint.load_for_resume ~path with
+    | None -> []
+    | Some (Checkpoint.Experiments { completed }) -> completed
+    | Some (Checkpoint.Cdf _ | Checkpoint.Montecarlo _) ->
         Diag.invalid_model ~what:("checkpoint " ^ path)
           [
             "checkpoint holds a different computation kind, not an \

@@ -1,8 +1,43 @@
 (* Crash-safe file writes: temp file in the destination directory,
-   flush + fsync, then atomic rename.  A reader never observes a
-   truncated file — it sees either the old content or the new one. *)
+   flush + fsync, then atomic rename, then fsync of the parent
+   directory.  A reader never observes a truncated file — it sees
+   either the old content or the new one — and once [with_out] returns
+   the rename itself is durable (the directory entry has reached the
+   disk, not just the file data).
+
+   Every step is an [Fi] injection site, so the chaos harness can
+   simulate a full disk, a lying fsync, a failed rename or a torn
+   write and assert the callers' recovery behaviour. *)
+
+let fi_write = Fi.site "atomic_io.write_fail"
+let fi_short = Fi.site "atomic_io.short_write"
+let fi_fsync = Fi.site "atomic_io.fsync_fail"
+let fi_rename = Fi.site "atomic_io.rename_fail"
+let fi_dir_fsync = Fi.site "atomic_io.dir_fsync_fail"
+
+let io_error ~path message =
+  Diag.fail
+    (Diag.Parse_error { source = path; line = 0; field = None; message })
+
+(* POSIX durability of a rename needs an fsync of the containing
+   directory; without it a power loss can roll the directory entry
+   back even though the file data was synced.  Failures are swallowed
+   like file-fsync failures: some filesystems refuse to fsync a
+   directory fd, and the rename stays atomic either way. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try
+         if Fi.fires fi_dir_fsync then
+           raise (Unix.Unix_error (Unix.EIO, "fsync", dir))
+         else Unix.fsync fd
+       with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
 
 let with_out ~path f =
+  if Fi.fires fi_write then
+    io_error ~path "injected write failure (fault site atomic_io.write_fail)";
   let dir = Filename.dirname path in
   let base = Filename.basename path in
   let tmp, oc =
@@ -15,13 +50,22 @@ let with_out ~path f =
   match
     let result = f oc in
     flush oc;
-    (try Unix.fsync (Unix.descr_of_out_channel oc)
+    (try
+       if Fi.fires fi_fsync then
+         raise (Unix.Unix_error (Unix.EIO, "fsync", tmp))
+       else Unix.fsync (Unix.descr_of_out_channel oc)
      with Unix.Unix_error _ -> () (* e.g. pipes in tests; rename still atomic *));
     close_out oc;
     result
   with
   | result ->
+      if Fi.fires fi_rename then begin
+        (try Sys.remove tmp with Sys_error _ -> ());
+        io_error ~path
+          "injected rename failure (fault site atomic_io.rename_fail)"
+      end;
       Sys.rename tmp path;
+      fsync_dir dir;
       result
   | exception e ->
       close_out_noerr oc;
@@ -29,4 +73,13 @@ let with_out ~path f =
       raise e
 
 let write_file ~path contents =
+  (* A short write models storage-level corruption the rename cannot
+     prevent: the file lands complete as far as this process can tell,
+     but holds only a prefix of the content.  Callers that must detect
+     this (checkpoints) carry their own integrity footer. *)
+  let contents =
+    if Fi.fires fi_short then
+      String.sub contents 0 (String.length contents / 2)
+    else contents
+  in
   with_out ~path (fun oc -> output_string oc contents)

@@ -3,10 +3,23 @@
     Every artifact the toolchain puts on disk — metrics/trace JSON,
     CSV/dat series, checkpoints, bench reports — goes through this
     module: the content is written to a hidden temp file in the
-    destination directory, flushed and [fsync]ed, and then moved over
-    the destination with a single [rename].  A crash or kill at any
-    instant leaves either the previous file intact or the complete new
-    one — never a truncated mix. *)
+    destination directory, flushed and [fsync]ed, moved over the
+    destination with a single [rename], and the parent directory is
+    then [fsync]ed so the rename itself is durable across power loss.
+    A crash or kill at any instant leaves either the previous file
+    intact or the complete new one — never a truncated mix.
+
+    {b Fault injection.}  The failure points are {!Batlife_numerics.Fi}
+    sites ([atomic_io.write_fail], [atomic_io.short_write],
+    [atomic_io.fsync_fail], [atomic_io.rename_fail],
+    [atomic_io.dir_fsync_fail]), the hooks the chaos harness arms:
+    injected write/rename failures surface as the same structured
+    [Diag.Error (Parse_error _)] a real [ENOSPC]/[EXDEV] would, leaving
+    the destination untouched and no temp litter; injected fsync
+    failures are swallowed exactly like real ones (rename stays
+    atomic); an injected short write silently lands a prefix of the
+    content — the storage-corruption case checkpoint CRCs exist to
+    catch. *)
 
 val with_out : path:string -> (out_channel -> 'a) -> 'a
 (** [with_out ~path f] runs [f] on a channel to a temp file next to

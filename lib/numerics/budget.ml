@@ -79,6 +79,13 @@ let progress t =
   Printf.sprintf "%d sweeps, %d products completed" (Atomic.get t.sweeps)
     (Atomic.get t.products)
 
+(* Clock-skew injection: a [fires] makes the deadline comparison
+   behave as if the clock jumped far past the deadline — the NTP
+   step / suspended-laptop case.  Only consulted when a deadline is
+   actually set, so unbudgeted and work-budgeted runs never touch
+   it. *)
+let fi_skew = Fi.site "budget.clock_skew"
+
 let peek ~what t =
   if t == unlimited then None
   else begin
@@ -99,7 +106,10 @@ let peek ~what t =
              what = what ^ ": vector-matrix product budget";
              budget = t.max_products;
            })
-    else if t.deadline < infinity && Unix.gettimeofday () > t.deadline then
+    else if
+      t.deadline < infinity
+      && (Unix.gettimeofday () > t.deadline || Fi.fires fi_skew)
+    then
       Some
         (Diag.Budget_exhausted
            {

@@ -1,0 +1,39 @@
+(* CRC-64/XZ (reflected ECMA-182 polynomial), table-driven.
+
+   Checkpoint files carry a CRC64 footer so that corruption the
+   filesystem lets through — torn writes, bit rot, truncation by an
+   interrupted copy — is detected at load time instead of being parsed
+   into a silently wrong resume state.  The 64-bit width keeps the
+   collision probability negligible for multi-megabyte snapshot
+   payloads. *)
+
+let poly = 0xC96C5795D7870F42L
+
+let table =
+  lazy
+    (Array.init 256 (fun i ->
+         let crc = ref (Int64.of_int i) in
+         for _ = 0 to 7 do
+           crc :=
+             if Int64.logand !crc 1L <> 0L then
+               Int64.logxor (Int64.shift_right_logical !crc 1) poly
+             else Int64.shift_right_logical !crc 1
+         done;
+         !crc))
+
+let update crc s =
+  let t = Lazy.force table in
+  let c = ref (Int64.lognot crc) in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int64.to_int
+          (Int64.logand
+             (Int64.logxor !c (Int64.of_int (Char.code ch)))
+             0xFFL)
+      in
+      c := Int64.logxor (Int64.shift_right_logical !c 8) t.(idx))
+    s;
+  Int64.lognot !c
+
+let digest s = update 0L s

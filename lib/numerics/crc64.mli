@@ -1,0 +1,17 @@
+(** CRC-64/XZ checksums (reflected ECMA-182 polynomial).
+
+    The integrity check behind the [batlife.ckpt/2] checkpoint footer:
+    a 64-bit CRC over the payload bytes detects truncation, bit flips
+    and torn writes that the atomic-rename discipline cannot rule out
+    (storage-level corruption after the write).  The parameters are
+    those of the widely deployed CRC-64/XZ variant
+    (poly [0x42F0E1EBA9EA3693] reflected, init and xorout all-ones), so
+    [digest "123456789" = 0x995DC9BBDF1939FA] — checkable against any
+    external implementation. *)
+
+val digest : string -> int64
+(** CRC-64/XZ of the whole string. *)
+
+val update : int64 -> string -> int64
+(** [update crc s] extends a running checksum: [digest (a ^ b)] equals
+    [update (digest a) b]. *)

@@ -48,6 +48,14 @@ let to_float ?(source = "<json>") ~field j =
   | Str "-inf" -> Float.neg_infinity
   | j -> projection_error ~source ~field ("expected a number, got " ^ type_name j)
 
+let to_finite_float ?(source = "<json>") ~field j =
+  let f = to_float ~source ~field j in
+  if Float.is_finite f then f
+  else
+    projection_error ~source ~field
+      (Printf.sprintf "expected a finite number, got %s"
+         (match j with Str s -> s | _ -> Printf.sprintf "%g" f))
+
 let to_int ?(source = "<json>") ~field j =
   match j with
   | Num s -> (

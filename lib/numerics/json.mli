@@ -40,6 +40,13 @@ val of_int64_hex : int64 -> t
     (and [source], when given) on a type mismatch or a missing key. *)
 
 val to_float : ?source:string -> field:string -> t -> float
+
+val to_finite_float : ?source:string -> field:string -> t -> float
+(** Like {!to_float} but rejects NaN and the infinities with a
+    [Parse_error] — the projector for fields where a non-finite value
+    can only mean corruption (probability vectors, time grids, RNG
+    observables in checkpoints). *)
+
 val to_int : ?source:string -> field:string -> t -> int
 val to_string : ?source:string -> field:string -> t -> string
 val to_int64_hex : ?source:string -> field:string -> t -> int64

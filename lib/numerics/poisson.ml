@@ -1,4 +1,9 @@
-type t = { left : int; right : int; weights : float array }
+type t = {
+  left : int;
+  right : int;
+  weights : float array;
+  defect : float;
+}
 
 let c_windows = Telemetry.counter "poisson.windows"
 
@@ -19,7 +24,7 @@ let weights ?(accuracy = 1e-12) lambda =
   Telemetry.incr c_windows;
   if lambda = 0. then begin
     Telemetry.observe_int h_window 1;
-    { left = 0; right = 0; weights = [| 1. |] }
+    { left = 0; right = 0; weights = [| 1. |]; defect = 0. }
   end
   else begin
     Telemetry.with_span "poisson.weights" @@ fun () ->
@@ -34,6 +39,7 @@ let weights ?(accuracy = 1e-12) lambda =
     let right_weights = ref [] in
     let n = ref mode and w = ref w_mode and tail = ref 0. in
     let cutoff = accuracy /. 4. in
+    let right_tail = ref 0. in
     let continue = ref true in
     while !continue do
       let n' = !n + 1 in
@@ -42,7 +48,10 @@ let weights ?(accuracy = 1e-12) lambda =
          ratio is < 1, remaining mass <= w' / (1 - ratio). *)
       let ratio = lambda /. float_of_int (n' + 1) in
       let bound = if ratio < 1. then w' /. (1. -. ratio) else infinity in
-      if bound <= cutoff then continue := false
+      if bound <= cutoff then begin
+        right_tail := bound;
+        continue := false
+      end
       else begin
         right_weights := w' :: !right_weights;
         n := n';
@@ -54,6 +63,7 @@ let weights ?(accuracy = 1e-12) lambda =
     (* Walk left from the mode. *)
     let left_weights = ref [] in
     let n = ref mode and w = ref w_mode in
+    let left_tail = ref 0. in
     let continue = ref true in
     while !continue && !n > 0 do
       let w' = !w *. float_of_int !n /. lambda in
@@ -61,7 +71,10 @@ let weights ?(accuracy = 1e-12) lambda =
          once n < lambda. *)
       let ratio = float_of_int (!n - 1) /. lambda in
       let bound = if ratio < 1. then w' /. (1. -. ratio) else infinity in
-      if bound <= cutoff then continue := false
+      if bound <= cutoff then begin
+        left_tail := bound;
+        continue := false
+      end
       else begin
         left_weights := w' :: !left_weights;
         n := !n - 1;
@@ -75,7 +88,14 @@ let weights ?(accuracy = 1e-12) lambda =
     let total = Array.fold_left ( +. ) 0. ws in
     let ws = Array.map (fun x -> x /. total) ws in
     Telemetry.observe_int h_window (right - left + 1);
-    { left; right; weights = ws }
+    (* Truncation accounting: the geometric tail bounds captured at
+       the two stopping points, relative to the represented mass.
+       Dividing by [total] cancels the common scale of the recurrence
+       (all weights inherit exp(log w_mode)'s ~lambda*eps relative
+       error, so [1 - sum] could NOT resolve a 1e-12 truncation), and
+       by construction the bound stays <= accuracy/2 — what the
+       a-posteriori sweep verification audits against [accuracy]. *)
+    { left; right; weights = ws; defect = (!left_tail +. !right_tail) /. total }
   end
 
 let prob t n =

@@ -14,6 +14,11 @@ type t = private {
   weights : float array;
       (** [weights.(n - left)] is the (renormalised) Poisson probability
           of [n] *)
+  defect : float;
+      (** upper bound on the truncated-away tail mass, from the
+          geometric tail bounds at the window's two stopping points
+          ([>= 0]; at most [accuracy / 2] by construction) — the
+          quantity the sweeps' a-posteriori Fox–Glynn audit checks *)
 }
 
 val weights : ?accuracy:float -> float -> t

@@ -47,6 +47,50 @@ let in_section : bool ref Domain.DLS.key =
 
 let c_sections = Telemetry.counter "pool.sections"
 let c_nested_inline = Telemetry.counter "pool.nested_inline"
+let c_supervised = Telemetry.counter "pool.supervised_retries"
+
+(* Worker-crash injection site for supervised sections: consulted at
+   the start of every share, so an armed plan kills a share mid-section
+   the way a dying domain would. *)
+let fi_crash = Fi.site "pool.crash"
+
+(* How many times a supervised section re-executes a crashed share
+   before giving up (process-wide; the CLI wires --max-retries here so
+   kernel sections share the experiment fan-out's retry budget). *)
+let section_retries_cell = Atomic.make 0
+
+let set_section_retries n =
+  if n < 0 then invalid_arg "Pool.set_section_retries: need retries >= 0";
+  Atomic.set section_retries_cell n
+
+let section_retries () = Atomic.get section_retries_cell
+
+(* Same policy as Par's retry loop: a cooperative stop is a decision,
+   not a fault, and must surface immediately. *)
+let retryable = function
+  | Diag.Error (Diag.Cancelled _ | Diag.Budget_exhausted _) -> false
+  | _ -> true
+
+(* One share of a supervised section: a crashed share is re-executed in
+   place, on the same domain, up to the retry budget.  Safe because
+   supervised callers (the gather-based kernels) write only locations
+   owned by their share, idempotently — re-running the share overwrites
+   the same outputs with the same values, so a recovered section is
+   bitwise identical to an undisturbed one.  [retried] counts failed
+   attempts for the caller's post-section diagnostic. *)
+let supervised_share ~retried f w =
+  let retries = Atomic.get section_retries_cell in
+  let rec exec attempt =
+    match
+      Fi.inject fi_crash;
+      f w
+    with
+    | () -> ()
+    | exception e when attempt < retries && retryable e ->
+        Atomic.incr retried;
+        exec (attempt + 1)
+  in
+  exec 0
 
 let latency_buckets =
   [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10.; 100. |]
@@ -122,15 +166,36 @@ let run_inline jobs f =
     f w
   done
 
-let run t f =
+let run ?(supervise = false) t f =
+  let retried = Atomic.make 0 in
+  let f = if supervise then supervised_share ~retried f else f in
+  (* Recorded on the caller's domain after the section, so the note
+     lands in the caller's Diag capture (if any) exactly once — the
+     event stream is identical for every job count even though which
+     share crashed is scheduling-dependent. *)
+  let note_retries () =
+    let r = Atomic.get retried in
+    if r > 0 then begin
+      Telemetry.add c_supervised r;
+      Diag.record ~fallback:true ~origin:"Pool"
+        (Printf.sprintf
+           "supervised section: re-executed crashed share(s) after %d failed \
+            attempt%s"
+           r
+           (if r = 1 then "" else "s"))
+    end
+  in
   match t with
-  | Sequential -> f 0
+  | Sequential ->
+      f 0;
+      note_retries ()
   | Domains d ->
       let flag = Domain.DLS.get in_section in
       if !flag then begin
         (* Nested section: the pool is busy with the enclosing one. *)
         Telemetry.incr c_nested_inline;
-        run_inline d.jobs f
+        run_inline d.jobs f;
+        note_retries ()
       end
       else begin
         if not d.live then invalid_arg "Pool.run: pool was shut down";
@@ -171,6 +236,7 @@ let run t f =
         in
         if Telemetry.enabled () then
           Telemetry.observe h_section (seconds_since section_start);
+        note_retries ();
         match
           List.sort (fun (a, _, _) (b, _, _) -> compare a b) failures
         with
@@ -206,14 +272,15 @@ let parallel_for t ~lo ~hi f =
     end
   end
 
-let run_chunks t bounds f =
+let run_chunks ?(supervise = false) t bounds f =
   let k = Array.length bounds in
   if k > 0 then
     match t with
     | Sequential ->
-        Array.iter (fun (lo, hi) -> if lo < hi then f ~lo ~hi) bounds
+        run ~supervise Sequential (fun _ ->
+            Array.iter (fun (lo, hi) -> if lo < hi then f ~lo ~hi) bounds)
     | Domains d ->
-        run t (fun w ->
+        run ~supervise t (fun w ->
             (* Chunk i is owned by worker [i mod jobs]: a fixed map, so
                every output location has exactly one writer no matter
                how the domains are scheduled. *)

@@ -23,7 +23,23 @@
     {b Exceptions.}  If shares raise, the section still completes
     (every worker finishes or fails), and the exception of the
     lowest-numbered failing share is re-raised — with its original
-    backtrace — on the caller.  The pool remains usable. *)
+    backtrace — on the caller.  The pool remains usable.
+
+    {b Supervision.}  A section run with [~supervise:true] re-executes
+    a crashed share in place, on the same domain, up to
+    {!section_retries} times (same never-retry policy as the
+    experiment fan-out: [Diag] cancellation and budget exhaustion
+    surface immediately).  This is sound exactly for the closures the
+    determinism contract already demands — idempotent writers of
+    share-owned locations — so a recovered section is bitwise
+    identical to an undisturbed one.  Retries bump the
+    ["pool.supervised_retries"] Telemetry counter and record one
+    [Diag] fallback note on the {e caller's} domain after the section,
+    keeping capture/replay streams identical for every job count.
+    Exhausted retries fall back to the normal lowest-index
+    propagation.  The [pool.crash] {!Fi} site, consulted at the start
+    of every supervised share, injects such crashes
+    deterministically. *)
 
 type t
 
@@ -35,21 +51,26 @@ val create : jobs:int -> t
 val size : t -> int
 (** Total shares of a section, including the caller's. *)
 
-val run : t -> (int -> unit) -> unit
+val run : ?supervise:bool -> t -> (int -> unit) -> unit
 (** [run t f] executes [f 0 .. f (size t - 1)], one share per domain,
-    and returns when all have finished. *)
+    and returns when all have finished.  [supervise] (default false)
+    enables crashed-share re-execution; only pass it for closures
+    whose shares write their owned locations idempotently. *)
 
 val parallel_for : t -> lo:int -> hi:int -> (lo:int -> hi:int -> unit) -> unit
 (** [parallel_for t ~lo ~hi f] covers [\[lo, hi)] with [size t]
     contiguous chunks, [f ~lo ~hi] once per non-empty chunk.  Each
     index belongs to exactly one chunk. *)
 
-val run_chunks : t -> (int * int) array -> (lo:int -> hi:int -> unit) -> unit
+val run_chunks :
+  ?supervise:bool -> t -> (int * int) array -> (lo:int -> hi:int -> unit) -> unit
 (** [run_chunks t bounds f] executes [f] on every non-empty [(lo, hi)]
     range of [bounds]; chunk [i] is always executed by worker
     [i mod size t], so ownership of output ranges is a fixed function
     of the partition.  Use with {!Sparse.nnz_balanced_partition} for a
-    load-balanced deterministic matrix kernel. *)
+    load-balanced deterministic matrix kernel.  [supervise] as in
+    {!run} (the uniformisation kernel passes it: a worker lost
+    mid-product re-runs its partition instead of killing the sweep). *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array t f xs] maps [f] over [xs] with dynamic load balancing
@@ -70,6 +91,15 @@ val shutdown : t -> unit
     {!Diag.record} note). *)
 
 val default_jobs : unit -> int
+
+val set_section_retries : int -> unit
+(** Process-wide retry budget for supervised sections (default 0 — a
+    crashed share propagates immediately).  The CLI wires
+    [--max-retries] here.  Raises [Invalid_argument] on negative
+    values. *)
+
+val section_retries : unit -> int
+(** The current supervised-section retry budget. *)
 
 val set_default_jobs : int -> unit
 (** Override the default job count process-wide (takes precedence over

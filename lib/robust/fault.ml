@@ -1,4 +1,7 @@
 module Generator = Batlife_ctmc.Generator
+module Fi = Batlife_numerics.Fi
+
+exception Injected = Batlife_numerics.Fi.Injected
 
 let corrupt_row_sum g ~row ~amount =
   let m = Generator.matrix g in
@@ -17,8 +20,6 @@ let inject_nan v ~index =
   if index < 0 || index >= Array.length v then
     invalid_arg "Fault.inject_nan: index out of range";
   v.(index) <- Float.nan
-
-exception Injected of string
 
 let transient ~failures f =
   if failures < 0 then invalid_arg "Fault.transient: negative count";
@@ -41,3 +42,10 @@ let nan_measure_after ~calls measure =
       decr remaining;
       measure v
     end
+
+let with_sites plans f =
+  Fi.reset ();
+  List.iter
+    (fun (name, after, count) -> Fi.arm ~after ~count name)
+    plans;
+  Fun.protect ~finally:Fi.reset f

@@ -1,9 +1,26 @@
-(** Test-only fault injection.
+(** Fault injection for tests and the chaos harness.
 
-    Each helper sabotages a model or callback in a controlled way so
-    the guardrails in {!Batlife_ctmc.Transient},
-    {!Batlife_numerics.Iterative} and friends can be shown to trip.
-    Nothing in the production paths uses this module. *)
+    Two layers live here.  The ad-hoc helpers ({!corrupt_row_sum},
+    {!inject_nan}, {!transient}, {!nan_measure_after}) sabotage a
+    model or callback directly, for unit tests that hold the object in
+    hand.  The {b site registry} ({!Fi}, re-exported from
+    {!Batlife_numerics.Fi}) is the production-grade layer: named,
+    seeded injection points compiled into the hot paths themselves —
+    [Atomic_io] write/rename/fsync/short-write, [Checkpoint] load
+    corruption, [Pool] worker crashes, [Transient] kernel NaN /
+    overflow, [Budget] clock skew — each a single predictable-branch
+    check when disarmed, so production binaries carry the sites at no
+    measurable cost.  [bench --chaos-report] drives whole fault plans
+    through them.
+
+    Nothing arms a site unless a test or the chaos harness asks. *)
+
+module Fi = Batlife_numerics.Fi
+(** The process-wide injection-site registry: [Fi.site] interns a
+    site, [Fi.arm ~after ~count] schedules it to fire on a
+    deterministic window of consultations, [Fi.reset] disarms
+    everything.  See {!Batlife_numerics.Fi} for the full API and the
+    list of registered site names. *)
 
 val corrupt_row_sum : Batlife_ctmc.Generator.t -> row:int -> amount:float -> unit
 (** Add [amount] to the first stored entry of [row] in place, breaking
@@ -17,8 +34,11 @@ val inject_nan : float array -> index:int -> unit
     with NaN. *)
 
 exception Injected of string
-(** What {!transient} raises — deliberately {e not} a [Diag.Error], so
-    it exercises the generic retry path. *)
+(** The same exception as [Batlife_numerics.Fi.Injected] (rebound):
+    what {!transient} and every armed crash-style site raise —
+    deliberately {e not} a [Diag.Error], so it exercises the generic
+    retry paths ([Batlife_experiments.Par] task retries, [Pool]
+    section supervision). *)
 
 val transient : failures:int -> ('a -> 'b) -> 'a -> 'b
 (** [transient ~failures f] behaves like [f] except that the first
@@ -33,3 +53,10 @@ val nan_measure_after : calls:int -> (float array -> float) -> float array -> fl
 (** [nan_measure_after ~calls m] behaves like [m] for the first
     [calls] invocations and returns NaN from then on — for driving the
     NaN-measure guard of {!Batlife_ctmc.Transient.measure_sweep}. *)
+
+val with_sites : (string * int * int) list -> (unit -> 'a) -> 'a
+(** [with_sites [(site, after, count); ...] f] resets the registry,
+    arms each named site to fire on consultations
+    [after .. after + count - 1], runs [f], and disarms everything
+    again (also on exception) — the scoped arming idiom the fault
+    tests and the chaos harness are built from. *)

@@ -132,7 +132,9 @@ reproduces the uninterrupted output bitwise:
   >   --checkpoint-interval 5 --max-products 20
   batlife: error: budget exhausted: Transient.multi_measure_sweep: vector-matrix product budget (limit 20)
   [7]
-  $ grep -c '"schema":"batlife.ckpt/1"' part.ckpt
+  $ head -n 1 part.ckpt | grep -c '"schema":"batlife.ckpt/2"'
+  1
+  $ grep -c '^batlife.ckpt.footer crc64=0x[0-9a-f]\{16\} length=[0-9]*$' part.ckpt
   1
   $ batlife lifetime --model simple --capacity 800 -c 0.625 -k 0.162 \
   >   --delta 25 --horizon 30 --points 5 --checkpoint part.ckpt \
@@ -161,6 +163,31 @@ completion map and skips them on the next run:
 
   $ batlife experiment fig2 -o results --checkpoint batch.ckpt >/dev/null 2>&1
   $ cat batch.ckpt
-  {"schema":"batlife.ckpt/1","kind":"experiments","completed":["fig2"]}
+  {"schema":"batlife.ckpt/2","kind":"experiments","completed":["fig2"]}
+  batlife.ckpt.footer crc64=0xa4e0a042c00ce1f9 length=70
   $ batlife experiment fig2 -o results --checkpoint batch.ckpt 2>/dev/null
   experiment fig2: already completed (checkpoint), skipping
+
+A corrupted checkpoint under --resume is quarantined (renamed to
+*.corrupt, reported as a note) and the run restarts cold instead of
+aborting; its output still matches the uninterrupted run bitwise:
+
+  $ echo '{"schema":"batlife.ckpt/2","kind":garbage' > part.ckpt
+  $ batlife lifetime --model simple --capacity 800 -c 0.625 -k 0.162 \
+  >   --delta 25 --horizon 30 --points 5 --resume part.ckpt \
+  >   2>quarantine.err >quarantine.out
+  $ cmp full.out quarantine.out
+  $ grep -c 'batlife: note: Checkpoint: quarantined corrupt checkpoint' quarantine.err
+  1
+  $ test -f part.ckpt.corrupt && test ! -f part.ckpt
+
+Pointing --resume at a file that does not exist is a caller mistake,
+not corruption: it stays a hard structured parse error with its
+stable exit code (nothing to quarantine):
+
+  $ batlife lifetime --model simple --capacity 800 -c 0.625 -k 0.162 \
+  >   --delta 25 --horizon 30 --points 5 --resume never-written.ckpt \
+  >   2>missing.err >/dev/null
+  [4]
+  $ head -1 missing.err
+  batlife: error: parse error: never-written.ckpt, line 0: never-written.ckpt: No such file or directory

@@ -34,4 +34,5 @@ let () =
       ("robust: guardrails & fault injection", Test_robust.suite);
       ("core: batched evaluation engine", Test_engine.suite);
       ("resilience: budgets, checkpoints, retries", Test_resilience.suite);
+      ("chaos: fault injection & recovery", Test_chaos.suite);
     ]
