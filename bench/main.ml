@@ -43,7 +43,16 @@
                     BENCH_chaos.json); nonzero exit on any violation
      --chaos-plans N
                     number of fault plans (default 60)
-     --chaos-seed S seed of the plan generator (default 2007) *)
+     --chaos-seed S seed of the plan generator (default 2007)
+     --service-report PATH
+                    run ONLY the query-service benchmark: >= 1000
+                    Zipf-distributed queries over a 48-model
+                    population through the [batlife serve] engine,
+                    recording per-query latency percentiles and the
+                    fingerprint cache's hit rate, written as a JSON
+                    snapshot (committed as BENCH_service.json);
+                    nonzero exit on any failed query or a zero cache
+                    hit rate *)
 
 open Bechamel
 open Batlife_battery
@@ -137,8 +146,9 @@ let rakhmatov_kernel =
 
 (* ------------------------------------------------------------------ *)
 (* Engine kernels: the same query set (lifetime CDF on a shared grid
-   plus all four per-time measures) answered once per call through the
-   deprecated per-time helpers, and once through a shared session.     *)
+   plus all four per-time measures) answered once with a fresh
+   single-query session per call — the cost profile of the removed
+   per-time helpers — and once through a shared session.              *)
 
 module Transient = Batlife_ctmc.Transient
 module Telemetry = Batlife_numerics.Telemetry
@@ -151,18 +161,26 @@ let engine_discretized =
     (Discretized.build ~delta:10.
        (Params.simple_kibamrm (Params.battery_phone_two_well ())))
 
-(* The pre-session API: every query pays its own sweep. *)
+(* The per-call baseline: every query pays its own session, hence its
+   own sweep (and its own kernel build). *)
 module Per_call_baseline = struct
-  [@@@alert "-deprecated"]
+  let one d f =
+    let s = Discretized.Session.create d in
+    Discretized.Session.get (f s)
 
   let queries d =
-    let cdf, _ = Discretized.empty_probability d ~times:engine_times in
-    let marginal = Discretized.available_charge_marginal d ~time:engine_time in
-    let modes = Discretized.mode_marginal d ~time:engine_time in
-    let expected = Discretized.expected_available_charge d ~time:engine_time in
+    let open Discretized.Session in
+    let cdf = one d (fun s -> empty_probability s ~times:engine_times) in
+    let marginal =
+      one d (fun s -> available_charge_marginal s ~time:engine_time)
+    in
+    let modes = one d (fun s -> mode_marginal s ~time:engine_time) in
+    let expected =
+      one d (fun s -> expected_available_charge s ~time:engine_time)
+    in
     let joint =
-      Discretized.joint_probability d ~time:engine_time ~mode:0
-        ~min_charge:250.
+      one d (fun s ->
+          joint_probability s ~time:engine_time ~mode:0 ~min_charge:250.)
     in
     (cdf, marginal, modes, expected, joint)
 end
@@ -437,6 +455,132 @@ let obs_report path =
     (enabled_s /. disabled_s) identical spans_recorded sweeps products windows);
   Printf.printf "  wrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* Query service: >= 1000 Zipf-distributed queries over a model
+   population, answered sequentially through the same [Service] the
+   [batlife serve] daemon uses.  The Zipf head keeps a handful of
+   models hot, so the fingerprint cache absorbs most queries while the
+   tail forces builds and LRU evictions; the committed snapshot
+   (BENCH_service.json) records the latency percentiles and the hit
+   rate.  Self-verifying: any failed query or a zero hit rate exits
+   nonzero. *)
+
+module Service = Batlife_service.Service
+module Scache = Batlife_service.Cache
+module Model_spec = Batlife_service.Model_spec
+module Squery = Batlife_service.Query
+module Rng = Batlife_numerics.Rng
+
+(* 8 switching frequencies x 6 capacities of the fig-7 style single-well
+   on/off model: 48 distinct fingerprints. *)
+let service_population n =
+  Array.init n (fun i ->
+      {
+        Model_spec.workload =
+          Model_spec.Onoff
+            {
+              frequency = 0.25 +. (0.25 *. float_of_int (i mod 8));
+              k = 1;
+              on_current = 0.96;
+            };
+        capacity = 5400. +. (300. *. float_of_int (i / 8));
+        c = 1.0;
+        k = 0.0;
+        delta = 300.;
+        accuracy = None;
+      })
+
+let zipf_weights ~exponent n =
+  Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** exponent))
+
+let service_query rng specs weights q =
+  let spec = specs.(Rng.discrete rng weights) in
+  let payload =
+    let r = Rng.uniform rng in
+    if r < 0.70 then Squery.Cdf { times = [| 5000.; 10000.; 15000. |] }
+    else if r < 0.90 then
+      Squery.Percentiles { ps = [| 0.5; 0.9 |]; horizon = 25000.; points = 20 }
+    else Squery.Stats
+  in
+  { Squery.id = Printf.sprintf "q%04d" q; model = spec; payload;
+    deadline_s = None }
+
+let service_report path =
+  let population = 48
+  and cache_capacity = 16
+  and queries = 1200
+  and exponent = 1.1 in
+  let specs = service_population population in
+  let weights = zipf_weights ~exponent population in
+  let svc = Service.create ~cache_capacity () in
+  let cache = Service.cache svc in
+  (* The counters are process-wide; report deltas. *)
+  let hits0 = Scache.hits cache
+  and misses0 = Scache.misses cache
+  and evictions0 = Scache.evictions cache in
+  let c_builds = Telemetry.counter "discretized.builds" in
+  let builds0 = Telemetry.value c_builds in
+  let rng = Rng.create ~seed:20070625L () in
+  let latencies = Array.make queries 0. in
+  let failures = ref 0 in
+  for q = 0 to queries - 1 do
+    let req = service_query rng specs weights q in
+    let t, resp = wall (fun () -> Service.handle svc req) in
+    latencies.(q) <- t;
+    match resp.Squery.result with
+    | Ok _ -> ()
+    | Error e ->
+        incr failures;
+        Printf.eprintf "service report: %s failed: %s (%s, code %d)\n"
+          req.Squery.id e.Squery.message e.Squery.kind e.Squery.code
+  done;
+  let hits = Scache.hits cache - hits0
+  and misses = Scache.misses cache - misses0
+  and evictions = Scache.evictions cache - evictions0
+  and builds = Telemetry.value c_builds - builds0 in
+  let hit_rate = float_of_int hits /. float_of_int (hits + misses) in
+  let sorted = Array.copy latencies in
+  Array.sort Float.compare sorted;
+  let pct p =
+    sorted.(min (queries - 1) (int_of_float (p *. float_of_int queries)))
+  in
+  let mean = Array.fold_left ( +. ) 0. latencies /. float_of_int queries in
+  Printf.printf
+    "=== Query service (%d Zipf(%.1f) queries, %d models, cache %d) ===\n"
+    queries exponent population cache_capacity;
+  Printf.printf
+    "  cache: %d hits / %d misses (%.1f %% hit rate), %d evictions, %d Q* \
+     builds\n"
+    hits misses (hit_rate *. 100.) evictions builds;
+  Printf.printf "  latency: p50 %.0f us, p90 %.0f us, p99 %.0f us, max %.0f us\n"
+    (pct 0.50 *. 1e6) (pct 0.90 *. 1e6) (pct 0.99 *. 1e6)
+    (sorted.(queries - 1) *. 1e6);
+  Printf.printf "  failed queries: %d\n" !failures;
+  if !failures > 0 || hits = 0 then begin
+    prerr_endline
+      "service report: failed queries or cold cache (service bug)";
+    exit 1
+  end;
+  Batlife_numerics.Atomic_io.with_out ~path (fun oc ->
+  Printf.fprintf oc
+    {|{
+  "benchmark": "query service",
+  "population": { "models": %d, "zipf_exponent": %.2f },
+  "queries": { "total": %d, "failed": %d,
+               "mix": "70%% cdf / 20%% percentiles / 10%% stats" },
+  "cache": { "capacity": %d, "hits": %d, "misses": %d,
+             "evictions": %d, "hit_rate": %.4f },
+  "q_star_builds": %d,
+  "latency_seconds": {
+    "mean": %.6f, "p50": %.6f, "p90": %.6f, "p99": %.6f, "max": %.6f
+  }
+}
+|}
+    population exponent queries !failures cache_capacity hits misses
+    evictions hit_rate builds mean (pct 0.50) (pct 0.90) (pct 0.99)
+    sorted.(queries - 1));
+  Printf.printf "  wrote %s\n" path
+
 let timing_tests =
   Test.make_grouped ~name:"batlife"
     [
@@ -521,6 +665,7 @@ let () =
   let chaos_json = ref None in
   let chaos_plans = ref 60 in
   let chaos_seed = ref 2007L in
+  let service_json = ref None in
   let rec parse = function
     | [] -> ()
     | "--full" :: rest ->
@@ -537,6 +682,9 @@ let () =
         parse rest
     | "--chaos-report" :: path :: rest ->
         chaos_json := Some path;
+        parse rest
+    | "--service-report" :: path :: rest ->
+        service_json := Some path;
         parse rest
     | "--chaos-plans" :: n :: rest ->
         chaos_plans := int_of_string n;
@@ -585,6 +733,13 @@ let () =
   (match !chaos_json with
   | Some path ->
       Chaos.report ~plans:!chaos_plans ~seed:!chaos_seed ~path;
+      exit 0
+  | None -> ());
+  (* --service-report runs alone for the same reason as the scaling
+     report: it measures per-query wall clocks. *)
+  (match !service_json with
+  | Some path ->
+      service_report path;
       exit 0
   | None -> ());
   if !mode <> Timing_only then begin

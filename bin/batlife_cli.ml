@@ -15,6 +15,7 @@ open Batlife_output
 module Error = Batlife_robust.Error
 module Validate = Batlife_robust.Validate
 module Solver_opts = Batlife_ctmc.Solver_opts
+module Progress = Batlife_numerics.Progress
 
 (* ------------------------------------------------------------------ *)
 (* Shared argument definitions                                         *)
@@ -544,9 +545,9 @@ let simulate_cmd =
                    Monte-Carlo batch";
                 ])
     in
-    let progress, on_interrupt =
+    let progress =
       match resil.checkpoint with
-      | None -> (None, None)
+      | None -> Progress.make ?resume ()
       | Some path ->
           let save (p : Montecarlo.progress) =
             Checkpoint.save ~path
@@ -560,16 +561,11 @@ let simulate_cmd =
                    mc_rng = p.Montecarlo.mp_rng;
                  })
           in
-          ( Some
-              (fun ~done_ ~snapshot ->
-                if done_ mod resil.checkpoint_interval = 0 then
-                  save (snapshot ())),
-            Some save )
+          Progress.make
+            ~on_step:(Progress.every resil.checkpoint_interval save)
+            ~on_interrupt:save ?resume ()
     in
-    let est =
-      Montecarlo.lifetime_cdf ~seed:seed64 ~runs ?progress ?on_interrupt
-        ?resume model ~times
-    in
+    let est = Montecarlo.lifetime_cdf ~seed:seed64 ~runs ~progress model ~times in
     Printf.eprintf "replications: %d (censored: %d)\n" est.Montecarlo.runs
       est.Montecarlo.censored;
     print_cdf ~plot "simulation" times est.Montecarlo.cdf;
@@ -767,6 +763,71 @@ let experiment_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+let serve_cmd =
+  let run socket cache_capacity max_batch max_connections jobs () =
+    (match jobs with
+    | Some j when j < 1 ->
+        Batlife_numerics.Diag.invalid_model ~what:"--jobs"
+          [ Printf.sprintf "need at least 1 worker domain, got %d" j ]
+    | Some j -> Batlife_numerics.Pool.set_default_jobs j
+    | None -> ());
+    let service = Batlife_service.Service.create ~cache_capacity () in
+    match socket with
+    | None -> Batlife_service.Server.serve_stdio ~max_batch service
+    | Some path ->
+        Batlife_service.Server.serve_unix ~max_batch ?max_connections service
+          ~path
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) instead of serving \
+             stdin/stdout.")
+  and cache_capacity =
+    Arg.(
+      value & opt int 32
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:
+            "Models interned in the fingerprint session cache (LRU beyond \
+             this).")
+  and max_batch =
+    Arg.(
+      value & opt int 64
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:
+            "Upper bound on requests answered as one batch (same-model \
+             requests in a batch share one sweep).")
+  and max_connections =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:
+            "With $(b,--socket): exit after serving $(docv) connections \
+             (default: serve forever).")
+  and jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N" ~env:(Cmd.Env.info "BATLIFE_JOBS")
+          ~doc:
+            "Worker domains for fanning independent models out and for the \
+             parallel sweep kernel.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running lifetime-query service (line-delimited JSON, \
+          batlife.query/1)")
+    Term.(
+      const run $ socket $ cache_capacity $ max_batch $ max_connections $ jobs
+      $ telemetry_term)
+
+(* ------------------------------------------------------------------ *)
+
 (* Surface any recorded fallback events (solver or ODE degradations)
    on stderr, so a run that silently took a slower-but-safer path says
    so. *)
@@ -786,12 +847,28 @@ let () =
     Logs.set_level (Some Logs.Debug)
   end;
   let doc = "battery lifetime distributions (Cloth et al., DSN 2007)" in
-  let info = Cmd.info "batlife" ~version:"1.0.0" ~doc in
+  (* The structured-error exit codes, documented once for the whole
+     group; the README and DESIGN tables mirror this list and a cram
+     test greps it out of --help. *)
+  let exits =
+    Cmd.Exit.info 3 ~doc:"a model or parameter set failed validation."
+    :: Cmd.Exit.info 4 ~doc:"malformed external input (trace, checkpoint, query frame)."
+    :: Cmd.Exit.info 5 ~doc:"an iterative method failed to converge."
+    :: Cmd.Exit.info 6
+         ~doc:"numerical breakdown (NaN/Inf contamination, mass loss)."
+    :: Cmd.Exit.info 7 ~doc:"a wall-clock deadline or work budget ran out."
+    :: Cmd.Exit.info 8
+         ~doc:"cooperative cancellation was requested (first Ctrl-C)."
+    :: Cmd.Exit.info 130
+         ~doc:"hard interrupt (second Ctrl-C, immediate abort)."
+    :: Cmd.Exit.defaults
+  in
+  let info = Cmd.info "batlife" ~version:"1.0.0" ~doc ~exits in
   let group =
     Cmd.group info
       [
         kibam_cmd; lifetime_cmd; simulate_cmd; trace_cmd; pack_cmd;
-        experiment_cmd;
+        experiment_cmd; serve_cmd;
       ]
   in
   (* [~catch:false] lets structured errors reach this handler instead

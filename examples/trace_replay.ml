@@ -34,7 +34,7 @@ let () =
   let csv = Trace.to_csv (Trace.of_samples trace) ~t_end:48. ~step:0.05 in
   Printf.printf "(exported %d CSV lines; parse-back check: %d samples)\n"
     (List.length (String.split_on_char '\n' csv))
-    (List.length (Trace.parse_csv csv));
+    (List.length (Trace.parse_csv_exn csv));
 
   (* 2. Deterministic replay: how long does the battery last if the
      device repeats exactly this trace? *)

@@ -113,73 +113,16 @@ let absorbed_mass grid v =
 let level_charge grid j1 =
   if j1 = 0 then 0. else Grid.level_value grid (j1 - 1)
 
-let empty_probability ?opts ?progress ?on_interrupt ?resume t ~times =
-  Transient.measure_sweep ?opts ?progress ?on_interrupt ?resume t.generator
-    ~alpha:t.alpha ~times ~measure:(absorbed_mass t.grid)
+let empty_probability ?opts ?progress t ~times =
+  Transient.measure_sweep ?opts ?progress t.generator ~alpha:t.alpha ~times
+    ~measure:(absorbed_mass t.grid)
 
 let state_distribution ?opts t ~time =
   Transient.solve ?opts t.generator ~alpha:t.alpha ~t:time
 
-let available_charge_marginal ?accuracy t ~time =
-  let pi =
-    state_distribution
-      ~opts:(Solver_opts.of_legacy ?accuracy ())
-      t ~time
-  in
-  let grid = t.grid in
-  let levels1 = grid.Grid.levels1 in
-  Array.init levels1 (fun j1 ->
-      let acc = ref 0. in
-      for j2 = 0 to grid.Grid.levels2 - 1 do
-        for i = 0 to grid.Grid.n_workload - 1 do
-          acc := !acc +. pi.(Grid.index grid ~state:i ~j1 ~j2)
-        done
-      done;
-      (level_charge grid j1, !acc))
-
-let mode_marginal ?accuracy t ~time =
-  let pi =
-    state_distribution
-      ~opts:(Solver_opts.of_legacy ?accuracy ())
-      t ~time
-  in
-  let grid = t.grid in
-  let result = Array.make grid.Grid.n_workload 0. in
-  for j1 = 0 to grid.Grid.levels1 - 1 do
-    for j2 = 0 to grid.Grid.levels2 - 1 do
-      for i = 0 to grid.Grid.n_workload - 1 do
-        result.(i) <- result.(i) +. pi.(Grid.index grid ~state:i ~j1 ~j2)
-      done
-    done
-  done;
-  result
-
-let expected_available_charge ?accuracy t ~time =
-  let marginal = available_charge_marginal ?accuracy t ~time in
-  Array.fold_left (fun acc (charge, p) -> acc +. (charge *. p)) 0. marginal
-
 let check_mode grid mode =
   if mode < 0 || mode >= grid.Grid.n_workload then
     invalid_arg "Discretized.joint_probability: mode out of range"
-
-let joint_probability ?accuracy t ~time ~mode ~min_charge =
-  let grid = t.grid in
-  check_mode grid mode;
-  let pi =
-    state_distribution
-      ~opts:(Solver_opts.of_legacy ?accuracy ())
-      t ~time
-  in
-  let acc = ref 0. in
-  for j1 = 1 to grid.Grid.levels1 - 1 do
-    (* Level j1 covers (j1*delta, (j1+1)*delta]; its lower end is
-       j1*delta. *)
-    if Grid.level_value grid (j1 - 1) >= min_charge then
-      for j2 = 0 to grid.Grid.levels2 - 1 do
-        acc := !acc +. pi.(Grid.index grid ~state:mode ~j1 ~j2)
-      done
-  done;
-  !acc
 
 let default_lifetime_tol = 1e-10
 
@@ -332,8 +275,11 @@ module Session = struct
     { s; reg; finish }
 
   (* Flush every pending registration through ONE multi-measure sweep
-     over the union of their time grids. *)
-  let run s =
+     over the union of their time grids.  [budget] bounds just this
+     flush: sessions are long-lived (the query service caches them
+     across requests), so per-request deadlines cannot be pinned into
+     the session's options at create time. *)
+  let run ?budget s =
     let regs = List.rev s.queue in
     s.queue <- [];
     match regs with
@@ -361,8 +307,13 @@ module Session = struct
         let measures = Array.concat (List.map (fun r -> r.funcs) regs) in
         let windows = Array.map (window s) grid in
         let buffers = scratch s in
+        let opts =
+          match budget with
+          | None -> s.opts
+          | Some b -> { s.opts with Solver_opts.budget = Some b }
+        in
         let results, stats =
-          Transient.multi_measure_sweep ~opts:s.opts ~windows ~buffers
+          Transient.multi_measure_sweep ~opts ~windows ~buffers
             ~kernel:(kernel s) s.d.generator ~alpha:s.d.alpha ~times:grid
             ~measures
         in
@@ -503,13 +454,3 @@ module Session = struct
         out.(0).(0))
 end
 
-module Legacy = struct
-  let empty_probability ?accuracy t ~times =
-    empty_probability ~opts:(Solver_opts.of_legacy ?accuracy ()) t ~times
-
-  let state_distribution ?accuracy t ~time =
-    state_distribution ~opts:(Solver_opts.of_legacy ?accuracy ()) t ~time
-
-  let expected_lifetime ?tol t =
-    expected_lifetime ~opts:(Solver_opts.of_legacy ?tol ()) t
-end

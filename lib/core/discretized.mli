@@ -19,9 +19,9 @@
     the solver options (CSR matrix, uniformisation rate, Fox–Glynn
     windows, working buffers) and answers any number of registered
     queries — CDF, marginals, expected charge, joint probabilities —
-    from {e one} power sweep per flush.  The per-time helpers below
-    ({!available_charge_marginal} and friends) each pay a full sweep
-    per call and are deprecated in favour of the session API. *)
+    from {e one} power sweep per flush.  (The pre-session per-time
+    helpers, which paid a full sweep per call, were removed; register
+    the same queries on a session instead.) *)
 
 open Batlife_ctmc
 
@@ -59,55 +59,18 @@ val nnz : t -> int
 
 val empty_probability :
   ?opts:Solver_opts.t ->
-  ?progress:(step:int -> snapshot:(unit -> Transient.sweep_progress) -> unit) ->
-  ?on_interrupt:(Transient.sweep_progress -> unit) ->
-  ?resume:Transient.sweep_progress ->
+  ?progress:Transient.sweep_progress Batlife_numerics.Progress.t ->
   t ->
   times:float array ->
   float array * Transient.stats
 (** [Pr{battery empty at time t}] for each requested time — the
     lifetime distribution [Pr{L <= t}] — from a single uniformisation
-    sweep.  The optional hooks are {!Transient.measure_sweep}'s
-    checkpoint/resume surface, threaded through for
+    sweep.  [progress] is {!Transient.measure_sweep}'s
+    checkpoint/resume record, threaded through for
     [Batlife_core.Lifetime]'s resumable CDF. *)
 
 val state_distribution : ?opts:Solver_opts.t -> t -> time:float -> float array
 (** Full transient distribution over the flat states at one time. *)
-
-val available_charge_marginal :
-  ?accuracy:float -> t -> time:float -> (float * float) array
-[@@deprecated
-  "each call costs a full sweep; use Discretized.Session (register \
-   available_charge_marginal queries and share one sweep)"]
-(** Marginal distribution of the available-charge level at [time]:
-    pairs [(lower end of the level interval, probability)], in
-    increasing charge order (index 0, charge 0, is the empty/absorbed
-    mass). *)
-
-val mode_marginal : ?accuracy:float -> t -> time:float -> float array
-[@@deprecated
-  "each call costs a full sweep; use Discretized.Session (register \
-   mode_marginal queries and share one sweep)"]
-(** Marginal distribution over the workload modes at [time] (for the
-    absorbing model this is the mode in which the battery died, for
-    already-absorbed mass). *)
-
-val expected_available_charge : ?accuracy:float -> t -> time:float -> float
-[@@deprecated
-  "each call costs a full sweep; use Discretized.Session (register \
-   expected_available_charge queries and share one sweep)"]
-(** [E Y1(t)] approximated with each level's lower interval end (the
-    representative the expanded generator uses); absorbed mass
-    contributes 0. *)
-
-val joint_probability :
-  ?accuracy:float -> t -> time:float -> mode:int -> min_charge:float -> float
-[@@deprecated
-  "each call costs a full sweep; use Discretized.Session (register \
-   joint_probability queries and share one sweep)"]
-(** [P(X(t) = mode and Y1(t) > min_charge)] — the joint
-    state-and-reward measure of the paper's Eq. (2), evaluated on the
-    grid (levels whose lower end is at least [min_charge] count). *)
 
 val expected_lifetime : ?opts:Solver_opts.t -> t -> float
 (** Exact (no time grid, no Poisson truncation) expected absorption
@@ -167,7 +130,7 @@ module Session : sig
 
   val available_charge_marginal :
     session -> time:float -> (float * float) array pending
-  (** Same result as the deprecated per-time helper:
+  (** The available-charge marginal at [time]:
       [(lower interval end, probability)] per charge level. *)
 
   val mode_marginal : session -> time:float -> float array pending
@@ -188,11 +151,14 @@ module Session : sig
 
   (** {2 Execution} *)
 
-  val run : session -> Transient.stats
+  val run : ?budget:Batlife_numerics.Budget.t -> session -> Transient.stats
   (** Flush all pending registrations through one shared sweep and
       return its stats.  With nothing pending this is a no-op
       returning the last flush's stats (zero iterations if the
-      session never swept). *)
+      session never swept).  [budget] bounds {e this flush only},
+      overriding the session options' budget: long-lived sessions (the
+      query service caches them across requests) cannot pin a
+      per-request deadline at {!create} time. *)
 
   val get : 'a pending -> 'a
   (** The query's result; triggers {!run} if its batch has not been
@@ -209,15 +175,3 @@ module Session : sig
   (** Number of distinct time points with a cached Fox–Glynn window. *)
 end
 
-(** Pre-[Solver_opts] signatures, kept as thin deprecated wrappers. *)
-module Legacy : sig
-  val empty_probability :
-    ?accuracy:float -> t -> times:float array -> float array * Transient.stats
-  [@@deprecated "use Discretized.empty_probability with ?opts:Solver_opts.t"]
-
-  val state_distribution : ?accuracy:float -> t -> time:float -> float array
-  [@@deprecated "use Discretized.state_distribution with ?opts:Solver_opts.t"]
-
-  val expected_lifetime : ?tol:float -> t -> float
-  [@@deprecated "use Discretized.expected_lifetime with ?opts:Solver_opts.t"]
-end

@@ -181,20 +181,17 @@ let cdf_resumable ?(opts = Solver_opts.default) ?initial_fill ?checkpoint
               [ "checkpoint holds a different computation kind, not a CDF \
                  sweep" ])
   in
-  let progress, on_interrupt =
+  let progress =
     match checkpoint with
-    | None -> (None, None)
+    | None -> Progress.make ?resume:resume_progress ()
     | Some (path, interval) ->
-        let interval = max 1 interval in
-        ( Some
-            (fun ~step ~snapshot ->
-              if step mod interval = 0 then
-                Checkpoint.save ~path (payload_of (snapshot ()))),
-          Some (fun p -> Checkpoint.save ~path (payload_of p)) )
+        let save p = Checkpoint.save ~path (payload_of p) in
+        Progress.make
+          ~on_step:(Progress.every interval save)
+          ~on_interrupt:save ?resume:resume_progress ()
   in
   let probabilities, stats =
-    Discretized.empty_probability ~opts ?progress ?on_interrupt
-      ?resume:resume_progress d ~times
+    Discretized.empty_probability ~opts ~progress d ~times
   in
   curve_of ~delta d probabilities stats ~times
 
@@ -234,17 +231,3 @@ let convergence_study ?(opts = Solver_opts.default) ~deltas ~times model =
          Telemetry.replay spans;
          curve)
 
-module Legacy = struct
-  let cdf ?accuracy ?initial_fill ~delta ~times model =
-    cdf
-      ~opts:(Solver_opts.of_legacy ?accuracy ())
-      ?initial_fill ~delta ~times model
-
-  let mean_exact ?tol ?initial_fill ~delta model =
-    mean_exact ~opts:(Solver_opts.of_legacy ?tol ()) ?initial_fill ~delta model
-
-  let convergence_study ?accuracy ~deltas ~times model =
-    convergence_study
-      ~opts:(Solver_opts.of_legacy ?accuracy ())
-      ~deltas ~times model
-end

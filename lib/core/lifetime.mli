@@ -125,31 +125,3 @@ val convergence_study :
     [Solver_opts.resolve_jobs opts] domains; results and diagnostics
     are merged in delta order, so output is deterministic and bitwise
     identical to the sequential run. *)
-
-(** Pre-[Solver_opts] signatures, kept as thin deprecated wrappers. *)
-module Legacy : sig
-  val cdf :
-    ?accuracy:float ->
-    ?initial_fill:float * float ->
-    delta:float ->
-    times:float array ->
-    Kibamrm.t ->
-    curve
-  [@@deprecated "use Lifetime.cdf with ?opts:Solver_opts.t"]
-
-  val mean_exact :
-    ?tol:float ->
-    ?initial_fill:float * float ->
-    delta:float ->
-    Kibamrm.t ->
-    float
-  [@@deprecated "use Lifetime.mean_exact with ?opts:Solver_opts.t"]
-
-  val convergence_study :
-    ?accuracy:float ->
-    deltas:float array ->
-    times:float array ->
-    Kibamrm.t ->
-    curve list
-  [@@deprecated "use Lifetime.convergence_study with ?opts:Solver_opts.t"]
-end

@@ -122,7 +122,7 @@ let cdf ?accuracy d t =
   else
     let pi =
       Transient.solve
-        ~opts:(Solver_opts.of_legacy ?accuracy ())
+        ~opts:(Solver_opts.make ?accuracy ())
         d.chain ~alpha:(full_alpha d) ~t
     in
     pi.(d.absorbing)
@@ -130,7 +130,7 @@ let cdf ?accuracy d t =
 let cdf_many ?accuracy d times =
   let results, _ =
     Transient.measure_sweep
-      ~opts:(Solver_opts.of_legacy ?accuracy ())
+      ~opts:(Solver_opts.make ?accuracy ())
       d.chain ~alpha:(full_alpha d)
       ~times:(Array.map (fun t -> Float.max t 0.) times)
       ~measure:(fun pi -> pi.(d.absorbing))

@@ -89,19 +89,3 @@ let expected_hitting_time ?(opts = Solver_opts.default) g ~alpha ~goal =
     in
     Vector.dot alpha robust.Iterative.result.Iterative.solution
   end
-
-module Legacy = struct
-  let bounded_until ?accuracy g ~alpha ~avoid ~goal ~t =
-    bounded_until
-      ~opts:(Solver_opts.of_legacy ?accuracy ())
-      g ~alpha ~avoid ~goal ~t
-
-  let bounded_reach ?accuracy g ~alpha ~goal ~t =
-    bounded_reach ~opts:(Solver_opts.of_legacy ?accuracy ()) g ~alpha ~goal ~t
-
-  let eventually ?tol g ~alpha ~avoid ~goal =
-    eventually ~opts:(Solver_opts.of_legacy ?tol ()) g ~alpha ~avoid ~goal
-
-  let expected_hitting_time ?tol g ~alpha ~goal =
-    expected_hitting_time ~opts:(Solver_opts.of_legacy ?tol ()) g ~alpha ~goal
-end

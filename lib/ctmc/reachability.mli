@@ -9,9 +9,7 @@
     Numerical options come in as one [?opts:Solver_opts.t]:
     [opts.accuracy] (and [opts.unif_rate]) drive the transient solves
     behind the bounded queries, [opts.linear_tol] the Gauss–Seidel
-    first-passage solves (default [1e-12] when unset).  The old
-    per-function optional arguments live on in {!Legacy} as thin
-    deprecated wrappers. *)
+    first-passage solves (default [1e-12] when unset). *)
 
 val bounded_until :
   ?opts:Solver_opts.t ->
@@ -56,43 +54,3 @@ val expected_hitting_time :
 (** Expected time to first reach a goal state; [infinity] if some
     initial mass can never reach the goal.  Raises [Invalid_argument]
     if no state is a goal. *)
-
-(** Pre-[Solver_opts] signatures, kept as thin deprecated wrappers. *)
-module Legacy : sig
-  val bounded_until :
-    ?accuracy:float ->
-    Generator.t ->
-    alpha:float array ->
-    avoid:bool array ->
-    goal:bool array ->
-    t:float ->
-    float
-  [@@deprecated "use Reachability.bounded_until with ?opts:Solver_opts.t"]
-
-  val bounded_reach :
-    ?accuracy:float ->
-    Generator.t ->
-    alpha:float array ->
-    goal:bool array ->
-    t:float ->
-    float
-  [@@deprecated "use Reachability.bounded_reach with ?opts:Solver_opts.t"]
-
-  val eventually :
-    ?tol:float ->
-    Generator.t ->
-    alpha:float array ->
-    avoid:bool array ->
-    goal:bool array ->
-    float
-  [@@deprecated "use Reachability.eventually with ?opts:Solver_opts.t"]
-
-  val expected_hitting_time :
-    ?tol:float ->
-    Generator.t ->
-    alpha:float array ->
-    goal:bool array ->
-    float
-  [@@deprecated
-    "use Reachability.expected_hitting_time with ?opts:Solver_opts.t"]
-end

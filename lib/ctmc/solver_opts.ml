@@ -25,9 +25,6 @@ let make ?(accuracy = default.accuracy) ?unif_rate
   { accuracy; unif_rate; convergence_tol; linear_tol; jobs; telemetry; budget;
     max_retries }
 
-let of_legacy ?accuracy ?q ?convergence_tol ?tol () =
-  make ?accuracy ?unif_rate:q ?convergence_tol ?linear_tol:tol ()
-
 let linear_tol_or ~default:d t =
   match t.linear_tol with Some tol -> tol | None -> d
 

@@ -3,10 +3,9 @@
     Before this record existed, [?accuracy], [?q], [?convergence_tol]
     and [?tol] were repeated (with drifting defaults) across
     {!Transient}, {!Reachability}, [Batlife_core.Discretized] and
-    [Batlife_core.Lifetime].  All canonical entry points now take a
-    single [?opts:Solver_opts.t]; the old optional-argument signatures
-    survive as thin deprecated wrappers in each module's [Legacy]
-    submodule.
+    [Batlife_core.Lifetime].  Every entry point takes a single
+    [?opts:Solver_opts.t] (the deprecated per-argument wrappers have
+    been removed; see the README migration table).
 
     The fields and their defaults:
 
@@ -78,16 +77,6 @@ val make :
   t
 (** [make ()] is {!default}; each argument overrides one field.
     Raises [Invalid_argument] on [jobs < 1] or [max_retries < 0]. *)
-
-val of_legacy :
-  ?accuracy:float ->
-  ?q:float ->
-  ?convergence_tol:float ->
-  ?tol:float ->
-  unit ->
-  t
-(** Adapter used by the deprecated wrappers: maps the historical
-    optional-argument spelling ([?q], [?tol]) onto the record. *)
 
 val linear_tol_or : default:float -> t -> float
 (** The linear-solve tolerance, falling back to the calling solver's

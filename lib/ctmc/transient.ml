@@ -40,13 +40,6 @@ let h_iterations =
     ~buckets:[| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 5000. |]
     "transient.sweep_iterations"
 
-let sweep_count () = Telemetry.value c_sweeps
-let product_count () = Telemetry.value c_products
-
-let reset_counters () =
-  Telemetry.reset_counter c_sweeps;
-  Telemetry.reset_counter c_products
-
 let check_alpha g alpha =
   if Array.length alpha <> Generator.n_states g then
     invalid_arg "Transient: initial distribution has wrong length";
@@ -327,7 +320,8 @@ let check_windows ~where ~times = function
    convergence tests the uninterrupted sweep would have performed from
    that step on, which is what makes resumed results bitwise equal. *)
 let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
-    ?progress ?on_interrupt ?resume g ~alpha ~times ~measures =
+    ?(progress = Progress.none) g ~alpha ~times ~measures =
+  let { Progress.on_step; on_interrupt; resume } = progress in
   check_alpha g alpha;
   let where = "Transient.multi_measure_sweep" in
   check_times ~where times;
@@ -414,7 +408,7 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
     guard_iterate ~where ~mass0 ~step:!m !current;
     record !m !current;
     if drift <= opts.Solver_opts.convergence_tol then converged_at := Some !m;
-    (match progress with
+    (match on_step with
     | Some f ->
         f ~step:!m
           ~snapshot:
@@ -463,11 +457,11 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
       fg_defect;
     } )
 
-let measure_sweep ?opts ?windows ?buffers ?kernel ?progress ?on_interrupt
-    ?resume g ~alpha ~times ~measure =
+let measure_sweep ?opts ?windows ?buffers ?kernel ?progress g ~alpha ~times
+    ~measure =
   let results, stats =
-    multi_measure_sweep ?opts ?windows ?buffers ?kernel ?progress ?on_interrupt
-      ?resume g ~alpha ~times ~measures:[| measure |]
+    multi_measure_sweep ?opts ?windows ?buffers ?kernel ?progress g ~alpha
+      ~times ~measures:[| measure |]
   in
   (results.(0), stats)
 
@@ -530,22 +524,3 @@ let expected_hitting_mass ?opts g ~alpha ~states ~t =
   let pi = solve ?opts g ~alpha ~t in
   List.fold_left (fun acc i -> acc +. pi.(i)) 0. states
 
-module Legacy = struct
-  let solve ?accuracy ?q g ~alpha ~t =
-    solve ~opts:(Solver_opts.of_legacy ?accuracy ?q ()) g ~alpha ~t
-
-  let measure_sweep ?accuracy ?q ?convergence_tol g ~alpha ~times ~measure =
-    measure_sweep
-      ~opts:(Solver_opts.of_legacy ?accuracy ?q ?convergence_tol ())
-      g ~alpha ~times ~measure
-
-  let distribution_sweep ?accuracy ?q g ~alpha ~times =
-    distribution_sweep
-      ~opts:(Solver_opts.of_legacy ?accuracy ?q ())
-      g ~alpha ~times
-
-  let expected_hitting_mass ?accuracy g ~alpha ~states ~t =
-    expected_hitting_mass
-      ~opts:(Solver_opts.of_legacy ?accuracy ())
-      g ~alpha ~states ~t
-end

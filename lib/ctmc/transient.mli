@@ -12,8 +12,10 @@
     [Batlife_core.Discretized.Session] on top of it).
 
     All canonical entry points take numerical options as one
-    [?opts:Solver_opts.t] record; the pre-record optional-argument
-    signatures survive in {!Legacy} as thin deprecated wrappers.
+    [?opts:Solver_opts.t] record, and the resumable sweeps take their
+    checkpoint hooks as one
+    [?progress:sweep_progress Batlife_numerics.Progress.t] record
+    (the pre-record optional-argument spellings were removed).
 
     {b Parallelism.}  The hot product [v := v P] runs as a gather over
     the CSR transpose of [P], row-partitioned across a
@@ -88,28 +90,8 @@ type sweep_progress = {
     {!Batlife_numerics.Telemetry} as the Atomic-backed counters
     ["transient.sweeps"], ["transient.products"] and
     ["transient.kernel_builds"] — domain-safe, so the tallies stay
-    exact under [Pool] fan-out.  The historical accessors below are
-    deprecated aliases over those counters. *)
-
-val sweep_count : unit -> int
-[@@deprecated
-  "read Telemetry.(value (counter \"transient.sweeps\")) instead"]
-(** Power sweeps started since the last {!reset_counters} ({!solve},
-    {!measure_sweep}, {!multi_measure_sweep} and
-    {!distribution_sweep} each count 1 per call). *)
-
-val product_count : unit -> int
-[@@deprecated
-  "read Telemetry.(value (counter \"transient.products\")) instead"]
-(** Vector-matrix products [v := vP] performed since the last
-    {!reset_counters}. *)
-
-val reset_counters : unit -> unit
-[@@deprecated
-  "reset the \"transient.sweeps\"/\"transient.products\" Telemetry \
-   counters instead"]
-(** Zero both counters (the Telemetry cells themselves — shared with
-    every other reader). *)
+    exact under [Pool] fan-out.  Read them with
+    [Telemetry.(value (counter "transient.sweeps"))]. *)
 
 val resolve_rate : ?opts:Solver_opts.t -> Generator.t -> float
 (** The validated uniformisation rate the sweeps will use under
@@ -156,9 +138,7 @@ val multi_measure_sweep :
   ?windows:Batlife_numerics.Poisson.t array ->
   ?buffers:float array * float array ->
   ?kernel:kernel ->
-  ?progress:(step:int -> snapshot:(unit -> sweep_progress) -> unit) ->
-  ?on_interrupt:(sweep_progress -> unit) ->
-  ?resume:sweep_progress ->
+  ?progress:sweep_progress Batlife_numerics.Progress.t ->
   Generator.t ->
   alpha:float array ->
   times:float array ->
@@ -186,23 +166,23 @@ val multi_measure_sweep :
     or if [kernel] was prepared for a different state count or
     uniformisation rate than the sweep resolves under [opts].
 
-    [progress] is called after every completed step with the step
-    index and a lazy snapshot thunk — the state copy is only paid when
-    the caller actually checkpoints; [on_interrupt] is called with a
-    final snapshot just before a budget/cancellation error is raised
-    (the flush point of checkpointing callers); [resume] restores a
-    snapshot and continues at the following step.  Raises
-    [Invalid_argument] if a [resume] snapshot disagrees with the sweep
-    on state count, measure count, or step range. *)
+    [progress] carries the checkpoint/resume hooks
+    ({!Batlife_numerics.Progress}): [on_step] is called after every
+    completed step with the step index and a lazy snapshot thunk — the
+    state copy is only paid when the caller actually checkpoints;
+    [on_interrupt] is called with a final snapshot just before a
+    budget/cancellation error is raised (the flush point of
+    checkpointing callers); [resume] restores a snapshot and continues
+    at the following step.  Raises [Invalid_argument] if a [resume]
+    snapshot disagrees with the sweep on state count, measure count,
+    or step range. *)
 
 val measure_sweep :
   ?opts:Solver_opts.t ->
   ?windows:Batlife_numerics.Poisson.t array ->
   ?buffers:float array * float array ->
   ?kernel:kernel ->
-  ?progress:(step:int -> snapshot:(unit -> sweep_progress) -> unit) ->
-  ?on_interrupt:(sweep_progress -> unit) ->
-  ?resume:sweep_progress ->
+  ?progress:sweep_progress Batlife_numerics.Progress.t ->
   Generator.t ->
   alpha:float array ->
   times:float array ->
@@ -230,47 +210,3 @@ val expected_hitting_mass :
 (** Probability mass on [states] at time [t]; convenience wrapper over
     {!solve}. *)
 
-(** Pre-[Solver_opts] entry points, kept as thin deprecated wrappers
-    so existing callers keep compiling with a warning. *)
-module Legacy : sig
-  val solve :
-    ?accuracy:float ->
-    ?q:float ->
-    Generator.t ->
-    alpha:float array ->
-    t:float ->
-    float array
-  [@@deprecated "use Transient.solve with ?opts:Solver_opts.t"]
-
-  val measure_sweep :
-    ?accuracy:float ->
-    ?q:float ->
-    ?convergence_tol:float ->
-    Generator.t ->
-    alpha:float array ->
-    times:float array ->
-    measure:(float array -> float) ->
-    float array * stats
-  [@@deprecated
-    "use Transient.measure_sweep with ?opts:Solver_opts.t (or \
-     multi_measure_sweep to batch several functionals into one sweep)"]
-
-  val distribution_sweep :
-    ?accuracy:float ->
-    ?q:float ->
-    Generator.t ->
-    alpha:float array ->
-    times:float array ->
-    float array array * stats
-  [@@deprecated "use Transient.distribution_sweep with ?opts:Solver_opts.t"]
-
-  val expected_hitting_mass :
-    ?accuracy:float ->
-    Generator.t ->
-    alpha:float array ->
-    states:int list ->
-    t:float ->
-    float
-  [@@deprecated
-    "use Transient.expected_hitting_mass with ?opts:Solver_opts.t"]
-end

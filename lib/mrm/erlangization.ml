@@ -44,7 +44,7 @@ let exceedance ?accuracy ?(stages = 512) m ~budget ~times =
   in
   let results, _ =
     Transient.measure_sweep
-      ~opts:(Solver_opts.of_legacy ?accuracy ())
+      ~opts:(Solver_opts.make ?accuracy ())
       g ~alpha ~times ~measure
   in
   results

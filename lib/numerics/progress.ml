@@ -1,0 +1,12 @@
+type 'snapshot t = {
+  on_step : (step:int -> snapshot:(unit -> 'snapshot) -> unit) option;
+  on_interrupt : ('snapshot -> unit) option;
+  resume : 'snapshot option;
+}
+
+let none = { on_step = None; on_interrupt = None; resume = None }
+let make ?on_step ?on_interrupt ?resume () = { on_step; on_interrupt; resume }
+
+let every interval save =
+  let interval = max 1 interval in
+  fun ~step ~snapshot -> if step > 0 && step mod interval = 0 then save (snapshot ())

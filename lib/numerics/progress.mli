@@ -1,0 +1,49 @@
+(** The shared checkpoint/resume hook surface of the resumable
+    computations.
+
+    Before this record existed, [Transient]'s sweeps,
+    [Batlife_core.Discretized.empty_probability] and
+    [Batlife_sim.Montecarlo]'s replication batches each took a
+    near-identical triple of optional arguments
+    ([?progress]/[?on_interrupt]/[?resume]) differing only in the
+    snapshot type and the label of the step argument.  They now all
+    take one [?progress:'snapshot Progress.t], parametric in the
+    snapshot each computation knows how to take
+    ([Transient.sweep_progress], [Montecarlo.progress], ...).
+
+    The contract every consumer honours:
+
+    - [on_step] fires after every completed unit of work (a power
+      step, a replication) with the 0-based count of completed units
+      and a {e lazy} snapshot thunk — the state copy is only paid when
+      the caller actually checkpoints;
+    - [on_interrupt] fires with a final snapshot just before a
+      budget-exhaustion or cancellation error propagates (the flush
+      point of checkpointing callers);
+    - [resume] restores a snapshot and continues where it stopped;
+      the resumed computation performs the identical remaining work,
+      so its results are bitwise equal to an uninterrupted run's. *)
+
+type 'snapshot t = {
+  on_step : (step:int -> snapshot:(unit -> 'snapshot) -> unit) option;
+  on_interrupt : ('snapshot -> unit) option;
+  resume : 'snapshot option;
+}
+
+val none : 'snapshot t
+(** No hooks, no resume — the default of every consumer.  Shared, so
+    [p == none] is a valid fast-path test. *)
+
+val make :
+  ?on_step:(step:int -> snapshot:(unit -> 'snapshot) -> unit) ->
+  ?on_interrupt:('snapshot -> unit) ->
+  ?resume:'snapshot ->
+  unit ->
+  'snapshot t
+
+val every :
+  int -> ('snapshot -> unit) -> step:int -> snapshot:(unit -> 'snapshot) -> unit
+(** [every interval save] is an [on_step] callback that forces the
+    snapshot and hands it to [save] whenever [step] is a positive
+    multiple of [interval] (clamped to at least 1) — the periodic
+    checkpoint writer. *)

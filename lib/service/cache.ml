@@ -1,0 +1,69 @@
+open Batlife_numerics
+open Batlife_core
+
+type entry = {
+  spec : Model_spec.t;
+  fingerprint : string;
+  d : Discretized.t;
+  session : Discretized.Session.session;
+}
+
+type slot = { entry : entry; mutable last_used : int }
+
+type t = {
+  capacity : int;
+  table : (string, slot) Hashtbl.t;
+  mutable clock : int;
+}
+
+let c_hits = Telemetry.counter "session.cache_hit"
+let c_misses = Telemetry.counter "session.cache_miss"
+let c_evictions = Telemetry.counter "session.cache_evictions"
+let g_size = Telemetry.gauge "session.cache_size"
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  { capacity; table = Hashtbl.create 64; clock = 0 }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key slot acc ->
+        match acc with
+        | Some (_, best) when best.last_used <= slot.last_used -> acc
+        | _ -> Some (key, slot))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      Telemetry.incr c_evictions
+
+let find_or_build t spec =
+  let fingerprint = Model_spec.fingerprint spec in
+  match Hashtbl.find_opt t.table fingerprint with
+  | Some slot ->
+      slot.last_used <- tick t;
+      Telemetry.incr c_hits;
+      (slot.entry, `Hit)
+  | None ->
+      Telemetry.incr c_misses;
+      let d = Model_spec.build spec in
+      let session =
+        Discretized.Session.create ~opts:(Model_spec.opts spec) d
+      in
+      let entry = { spec; fingerprint; d; session } in
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      Hashtbl.replace t.table fingerprint { entry; last_used = tick t };
+      Telemetry.set_gauge g_size (float_of_int (Hashtbl.length t.table));
+      (entry, `Miss)
+
+let size t = Hashtbl.length t.table
+let hits _ = Telemetry.value c_hits
+let misses _ = Telemetry.value c_misses
+let evictions _ = Telemetry.value c_evictions

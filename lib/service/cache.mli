@@ -1,0 +1,49 @@
+(** The model-fingerprint session cache.
+
+    Models are interned by {!Model_spec.fingerprint}: the first
+    request for a spec pays the Q* construction ([Discretized.build])
+    and the session creation (kernel build on first flush); every
+    later request for the same fingerprint reuses the cached
+    [Discretized.Session] — and with it the CSR matrix, the validated
+    uniformisation rate, the Fox–Glynn windows of every time point
+    ever queried, the sweep buffers and the parallel stepping kernel.
+    A repeat query therefore performs {e zero} Q* constructions and
+    {e zero} kernel builds, which the test suite asserts through the
+    ["discretized.builds"] and kernel-build telemetry counters.
+
+    Eviction is LRU with a fixed entry capacity.  Hits and misses bump
+    the always-on ["session.cache_hit"] / ["session.cache_miss"]
+    counters (evictions bump ["session.cache_evictions"]), so the
+    cache's effectiveness is observable in [--metrics] output and in
+    the service benchmark.
+
+    Not domain-safe: all cache operations must stay on the server's
+    accept/dispatch domain (worker domains only {e use} the session
+    they are handed, and two concurrent groups never share one). *)
+
+open Batlife_core
+
+type entry = {
+  spec : Model_spec.t;
+  fingerprint : string;
+  d : Discretized.t;
+  session : Discretized.Session.session;
+}
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] on [capacity < 1]. *)
+
+val find_or_build : t -> Model_spec.t -> entry * [ `Hit | `Miss ]
+(** The interned entry for the spec's fingerprint, building (and
+    possibly evicting the least-recently-used entry) on a miss.
+    Build failures propagate as the usual structured exceptions and
+    leave the cache unchanged. *)
+
+val size : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+(** Process-wide totals (the underlying telemetry counters are shared
+    across caches, like all counters). *)

@@ -1,0 +1,176 @@
+open Batlife_numerics
+open Batlife_battery
+open Batlife_workload
+open Batlife_core
+
+type workload =
+  | Simple
+  | Burst
+  | Onoff of { frequency : float; k : int; on_current : float }
+  | Custom of {
+      states : (string * float) list;
+      transitions : (string * string * float) list;
+      initial : string;
+    }
+
+type t = {
+  workload : workload;
+  capacity : float;
+  c : float;
+  k : float;
+  delta : float;
+  accuracy : float option;
+}
+
+(* Canonical rendering: field order is fixed and floats go through
+   Json.of_float's %.17g, so the fingerprint never depends on client
+   formatting. *)
+let workload_to_json = function
+  | Simple -> Json.Obj [ ("kind", Json.Str "simple") ]
+  | Burst -> Json.Obj [ ("kind", Json.Str "burst") ]
+  | Onoff { frequency; k; on_current } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "onoff");
+          ("frequency", Json.of_float frequency);
+          ("k", Json.of_int k);
+          ("on_current", Json.of_float on_current);
+        ]
+  | Custom { states; transitions; initial } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "custom");
+          ( "states",
+            Json.Arr
+              (List.map
+                 (fun (name, current) ->
+                   Json.Obj
+                     [
+                       ("name", Json.Str name);
+                       ("current", Json.of_float current);
+                     ])
+                 states) );
+          ( "transitions",
+            Json.Arr
+              (List.map
+                 (fun (src, dst, rate) ->
+                   Json.Obj
+                     [
+                       ("from", Json.Str src);
+                       ("to", Json.Str dst);
+                       ("rate", Json.of_float rate);
+                     ])
+                 transitions) );
+          ("initial", Json.Str initial);
+        ]
+
+let to_json t =
+  let battery =
+    [
+      ("capacity", Json.of_float t.capacity);
+      ("c", Json.of_float t.c);
+      ("k", Json.of_float t.k);
+    ]
+  in
+  let accuracy =
+    match t.accuracy with
+    | None -> []
+    | Some a -> [ ("accuracy", Json.of_float a) ]
+  in
+  Json.Obj
+    ([
+       ("workload", workload_to_json t.workload);
+       ("battery", Json.Obj battery);
+       ("delta", Json.of_float t.delta);
+     ]
+    @ accuracy)
+
+let parse_error ?(source = "<model>") ?field fmt =
+  Printf.ksprintf
+    (fun message ->
+      Diag.fail (Diag.Parse_error { source; line = 0; field; message }))
+    fmt
+
+let workload_of_json ?source j =
+  match Json.to_string ?source ~field:"workload.kind" (Json.member ?source ~field:"kind" j) with
+  | "simple" -> Simple
+  | "burst" -> Burst
+  | "onoff" ->
+      Onoff
+        {
+          frequency =
+            Json.to_finite_float ?source ~field:"workload.frequency"
+              (Json.member ?source ~field:"frequency" j);
+          k = Json.to_int ?source ~field:"workload.k" (Json.member ?source ~field:"k" j);
+          on_current =
+            Json.to_finite_float ?source ~field:"workload.on_current"
+              (Json.member ?source ~field:"on_current" j);
+        }
+  | "custom" ->
+      let states =
+        Json.to_list ?source ~field:"workload.states"
+          (Json.member ?source ~field:"states" j)
+        |> List.map (fun s ->
+               ( Json.to_string ?source ~field:"state.name"
+                   (Json.member ?source ~field:"name" s),
+                 Json.to_finite_float ?source ~field:"state.current"
+                   (Json.member ?source ~field:"current" s) ))
+      in
+      let transitions =
+        Json.to_list ?source ~field:"workload.transitions"
+          (Json.member ?source ~field:"transitions" j)
+        |> List.map (fun tr ->
+               ( Json.to_string ?source ~field:"transition.from"
+                   (Json.member ?source ~field:"from" tr),
+                 Json.to_string ?source ~field:"transition.to"
+                   (Json.member ?source ~field:"to" tr),
+                 Json.to_finite_float ?source ~field:"transition.rate"
+                   (Json.member ?source ~field:"rate" tr) ))
+      in
+      let initial =
+        Json.to_string ?source ~field:"workload.initial"
+          (Json.member ?source ~field:"initial" j)
+      in
+      Custom { states; transitions; initial }
+  | other ->
+      parse_error ?source ~field:"workload.kind"
+        "unknown workload kind %S (expected simple, burst, onoff or custom)"
+        other
+
+let of_json ?source j =
+  let workload = workload_of_json ?source (Json.member ?source ~field:"workload" j) in
+  let battery = Json.member ?source ~field:"battery" j in
+  let f field parent =
+    Json.to_finite_float ?source ~field (Json.member ?source ~field parent)
+  in
+  {
+    workload;
+    capacity = f "capacity" battery;
+    c = f "c" battery;
+    k = f "k" battery;
+    delta = f "delta" j;
+    accuracy =
+      (match Json.member_opt ~field:"accuracy" j with
+      | None -> None
+      | Some a -> Some (Json.to_finite_float ?source ~field:"accuracy" a));
+  }
+
+let fingerprint t = Printf.sprintf "%016Lx" (Crc64.digest (Json.encode (to_json t)))
+
+let workload_model = function
+  | Simple -> Simple.model ()
+  | Burst -> Burst.model ()
+  | Onoff { frequency; k; on_current } ->
+      Onoff.model ~frequency ~k ~on_current ()
+  | Custom { states; transitions; initial } ->
+      Model.of_spec ~states ~transitions ~initial
+
+let build t =
+  let battery = Kibam.params ~capacity:t.capacity ~c:t.c ~k:t.k in
+  let model = Kibamrm.create ~workload:(workload_model t.workload) ~battery in
+  Discretized.build ~delta:t.delta model
+
+let opts t =
+  match t.accuracy with
+  | None -> Batlife_ctmc.Solver_opts.default
+  | Some accuracy -> Batlife_ctmc.Solver_opts.make ~accuracy ()

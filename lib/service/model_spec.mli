@@ -1,0 +1,61 @@
+(** Declarative model descriptions for the query service.
+
+    A [Model_spec.t] is everything a remote client may say about the
+    system whose lifetime it wants: the workload (one of the built-in
+    families or an explicit named-state CTMC), the KiBaM battery
+    parameters, the discretisation step and the solver accuracy.  It
+    is the unit of interning for the service's session cache — two
+    requests describe the same cached [Discretized.Session] exactly
+    when their specs have the same {!fingerprint}.
+
+    The JSON form is {b canonical}: {!to_json} emits fields in a fixed
+    order with exact [%.17g] float literals, so the fingerprint (a
+    CRC-64 of that rendering) is a pure function of the spec's
+    mathematical content, not of how the client happened to format its
+    frame. *)
+
+open Batlife_core
+
+type workload =
+  | Simple  (** the three-state send/receive/sleep radio *)
+  | Burst  (** the bursty variant with a high-drain burst mode *)
+  | Onoff of { frequency : float; k : int; on_current : float }
+      (** Erlang-[k] on/off switching at [frequency] cycles/time *)
+  | Custom of {
+      states : (string * float) list;  (** [(name, current)] *)
+      transitions : (string * string * float) list;
+          (** [(from, to, rate)] *)
+      initial : string;
+    }  (** an explicit named-state workload CTMC *)
+
+type t = {
+  workload : workload;
+  capacity : float;
+  c : float;  (** available-charge fraction of the KiBaM *)
+  k : float;  (** KiBaM well-transfer rate *)
+  delta : float;  (** charge-discretisation step *)
+  accuracy : float option;  (** solver accuracy; [None] = default *)
+}
+
+val to_json : t -> Batlife_numerics.Json.t
+(** Canonical rendering (fixed field order, [%.17g] floats). *)
+
+val of_json : ?source:string -> Batlife_numerics.Json.t -> t
+(** Raises [Diag.Error (Parse_error _)] on missing/ill-typed fields or
+    an unknown workload kind.  Semantic violations (non-positive
+    capacity, unknown state names, ...) are {e not} checked here; they
+    surface as [Invalid_model] when the spec is built. *)
+
+val fingerprint : t -> string
+(** 16-hex-digit CRC-64 of the canonical JSON rendering — the session
+    cache's interning key. *)
+
+val build : t -> Discretized.t
+(** Expand the spec into the discretized CTMC (this is the Q*
+    construction the cache exists to amortise).  Raises
+    [Diag.Error (Invalid_model _)] / [Invalid_argument] on semantic
+    violations. *)
+
+val opts : t -> Batlife_ctmc.Solver_opts.t
+(** The solver options a session for this spec is created with:
+    defaults, with [accuracy] applied when present. *)

@@ -1,0 +1,413 @@
+open Batlife_numerics
+
+let version = "batlife.query/1"
+
+type measure =
+  | Expected_charge
+  | Mode_marginal
+  | Charge_marginal
+  | Joint of { mode : int; min_charge : float }
+
+type payload =
+  | Cdf of { times : float array }
+  | Measures of { time : float; measures : measure list }
+  | Percentiles of { ps : float array; horizon : float; points : int }
+  | Stats
+
+type request = {
+  id : string;
+  model : Model_spec.t;
+  payload : payload;
+  deadline_s : float option;
+}
+
+type result =
+  | Curve of { times : float array; probabilities : float array }
+  | Per_time of { time : float; values : (string * float array) list }
+  | Quantiles of { ps : float array; values : float array }
+  | Model_stats of {
+      states : int;
+      nnz : int;
+      unif_rate : float;
+      fingerprint : string;
+    }
+
+type error = { kind : string; code : int; message : string }
+
+type response = {
+  r_id : string;
+  cache : string option;
+  result : (result, error) Result.t;
+}
+
+let error_of_diag e =
+  let kind =
+    match e with
+    | Diag.Invalid_model _ -> "invalid_model"
+    | Diag.Parse_error _ -> "parse_error"
+    | Diag.Nonconvergence _ -> "nonconvergence"
+    | Diag.Numerical_breakdown _ -> "numerical_breakdown"
+    | Diag.Budget_exhausted _ -> "budget_exhausted"
+    | Diag.Cancelled _ -> "cancelled"
+  in
+  { kind; code = Diag.exit_code e; message = Diag.error_to_string e }
+
+let protocol_error message = { kind = "protocol"; code = 4; message }
+
+(* --- encoding ---------------------------------------------------- *)
+
+let floats xs = Json.Arr (Array.to_list (Array.map Json.of_float xs))
+
+let measure_to_json = function
+  | Expected_charge -> Json.Str "expected_charge"
+  | Mode_marginal -> Json.Str "mode_marginal"
+  | Charge_marginal -> Json.Str "charge_marginal"
+  | Joint { mode; min_charge } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "joint");
+          ("mode", Json.of_int mode);
+          ("min_charge", Json.of_float min_charge);
+        ]
+
+let payload_to_json = function
+  | Cdf { times } ->
+      Json.Obj [ ("kind", Json.Str "cdf"); ("times", floats times) ]
+  | Measures { time; measures } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "measures");
+          ("time", Json.of_float time);
+          ("measures", Json.Arr (List.map measure_to_json measures));
+        ]
+  | Percentiles { ps; horizon; points } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "percentiles");
+          ("ps", floats ps);
+          ("horizon", Json.of_float horizon);
+          ("points", Json.of_int points);
+        ]
+  | Stats -> Json.Obj [ ("kind", Json.Str "stats") ]
+
+let request_to_line r =
+  let deadline =
+    match r.deadline_s with
+    | None -> []
+    | Some s -> [ ("deadline_s", Json.of_float s) ]
+  in
+  Json.encode
+    (Json.Obj
+       ([
+          ("v", Json.Str version);
+          ("id", Json.Str r.id);
+          ("model", Model_spec.to_json r.model);
+          ("query", payload_to_json r.payload);
+        ]
+       @ deadline))
+
+let result_to_json = function
+  | Curve { times; probabilities } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "curve");
+          ("times", floats times);
+          ("probabilities", floats probabilities);
+        ]
+  | Per_time { time; values } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "per_time");
+          ("time", Json.of_float time);
+          ( "values",
+            Json.Obj (List.map (fun (name, v) -> (name, floats v)) values) );
+        ]
+  | Quantiles { ps; values } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "quantiles");
+          ("ps", floats ps);
+          ("values", floats values);
+        ]
+  | Model_stats { states; nnz; unif_rate; fingerprint } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "model_stats");
+          ("states", Json.of_int states);
+          ("nnz", Json.of_int nnz);
+          ("unif_rate", Json.of_float unif_rate);
+          ("fingerprint", Json.Str fingerprint);
+        ]
+
+let response_to_line r =
+  let cache =
+    match r.cache with None -> [] | Some c -> [ ("cache", Json.Str c) ]
+  in
+  let body =
+    match r.result with
+    | Ok result -> [ ("ok", Json.Bool true); ("result", result_to_json result) ]
+    | Error e ->
+        [
+          ("ok", Json.Bool false);
+          ( "error",
+            Json.Obj
+              [
+                ("kind", Json.Str e.kind);
+                ("code", Json.of_int e.code);
+                ("message", Json.Str e.message);
+              ] );
+        ]
+  in
+  Json.encode
+    (Json.Obj
+       ([ ("v", Json.Str version); ("id", Json.Str r.r_id) ] @ cache @ body))
+
+(* --- decoding ---------------------------------------------------- *)
+
+let to_floats ?source ~field j =
+  Json.to_list ?source ~field j
+  |> List.map (Json.to_finite_float ?source ~field)
+  |> Array.of_list
+
+let measure_of_json ?source = function
+  | Json.Str "expected_charge" -> Expected_charge
+  | Json.Str "mode_marginal" -> Mode_marginal
+  | Json.Str "charge_marginal" -> Charge_marginal
+  | Json.Str other ->
+      Diag.fail
+        (Diag.Parse_error
+           {
+             source = Option.value source ~default:"<query>";
+             line = 0;
+             field = Some "measures";
+             message = Printf.sprintf "unknown measure %S" other;
+           })
+  | j -> (
+      match
+        Json.to_string ?source ~field:"measure.kind"
+          (Json.member ?source ~field:"kind" j)
+      with
+      | "joint" ->
+          Joint
+            {
+              mode =
+                Json.to_int ?source ~field:"measure.mode"
+                  (Json.member ?source ~field:"mode" j);
+              min_charge =
+                Json.to_finite_float ?source ~field:"measure.min_charge"
+                  (Json.member ?source ~field:"min_charge" j);
+            }
+      | other ->
+          Diag.fail
+            (Diag.Parse_error
+               {
+                 source = Option.value source ~default:"<query>";
+                 line = 0;
+                 field = Some "measure.kind";
+                 message = Printf.sprintf "unknown measure kind %S" other;
+               }))
+
+let payload_of_json ?source j =
+  match
+    Json.to_string ?source ~field:"query.kind"
+      (Json.member ?source ~field:"kind" j)
+  with
+  | "cdf" ->
+      Cdf
+        {
+          times =
+            to_floats ?source ~field:"query.times"
+              (Json.member ?source ~field:"times" j);
+        }
+  | "measures" ->
+      Measures
+        {
+          time =
+            Json.to_finite_float ?source ~field:"query.time"
+              (Json.member ?source ~field:"time" j);
+          measures =
+            Json.to_list ?source ~field:"query.measures"
+              (Json.member ?source ~field:"measures" j)
+            |> List.map (measure_of_json ?source);
+        }
+  | "percentiles" ->
+      Percentiles
+        {
+          ps =
+            to_floats ?source ~field:"query.ps"
+              (Json.member ?source ~field:"ps" j);
+          horizon =
+            Json.to_finite_float ?source ~field:"query.horizon"
+              (Json.member ?source ~field:"horizon" j);
+          points =
+            Json.to_int ?source ~field:"query.points"
+              (Json.member ?source ~field:"points" j);
+        }
+  | "stats" -> Stats
+  | other ->
+      Diag.fail
+        (Diag.Parse_error
+           {
+             source = Option.value source ~default:"<query>";
+             line = 0;
+             field = Some "query.kind";
+             message =
+               Printf.sprintf
+                 "unknown query kind %S (expected cdf, measures, percentiles \
+                  or stats)"
+                 other;
+           })
+
+let check_version ?source j =
+  let v = Json.to_string ?source ~field:"v" (Json.member ?source ~field:"v" j) in
+  if v <> version then
+    Diag.fail
+      (Diag.Parse_error
+         {
+           source = Option.value source ~default:"<frame>";
+           line = 0;
+           field = Some "v";
+           message =
+             Printf.sprintf "unsupported protocol version %S (this server \
+                             speaks %s)" v version;
+         })
+
+(* The wire boundary: every Diag failure inside a decoder becomes a
+   structured error value, never an exception on the server loop. *)
+let guard f =
+  match f () with
+  | v -> Ok v
+  | exception Diag.Error e -> Error (error_of_diag e)
+
+let request_of_line ?source line =
+  guard (fun () ->
+      let j = Json.decode ?source line in
+      check_version ?source j;
+      {
+        id = Json.to_string ?source ~field:"id" (Json.member ?source ~field:"id" j);
+        model = Model_spec.of_json ?source (Json.member ?source ~field:"model" j);
+        payload = payload_of_json ?source (Json.member ?source ~field:"query" j);
+        deadline_s =
+          (match Json.member_opt ~field:"deadline_s" j with
+          | None -> None
+          | Some d ->
+              Some (Json.to_finite_float ?source ~field:"deadline_s" d));
+      })
+
+let result_of_json ?source j =
+  match
+    Json.to_string ?source ~field:"result.kind"
+      (Json.member ?source ~field:"kind" j)
+  with
+  | "curve" ->
+      Curve
+        {
+          times =
+            to_floats ?source ~field:"result.times"
+              (Json.member ?source ~field:"times" j);
+          probabilities =
+            to_floats ?source ~field:"result.probabilities"
+              (Json.member ?source ~field:"probabilities" j);
+        }
+  | "per_time" ->
+      let values =
+        match Json.member ?source ~field:"values" j with
+        | Json.Obj fields ->
+            List.map
+              (fun (name, v) ->
+                (name, to_floats ?source ~field:("values." ^ name) v))
+              fields
+        | _ ->
+            Diag.fail
+              (Diag.Parse_error
+                 {
+                   source = Option.value source ~default:"<frame>";
+                   line = 0;
+                   field = Some "values";
+                   message = "expected an object of measure arrays";
+                 })
+      in
+      Per_time
+        {
+          time =
+            Json.to_finite_float ?source ~field:"result.time"
+              (Json.member ?source ~field:"time" j);
+          values;
+        }
+  | "quantiles" ->
+      Quantiles
+        {
+          ps =
+            to_floats ?source ~field:"result.ps"
+              (Json.member ?source ~field:"ps" j);
+          values =
+            to_floats ?source ~field:"result.values"
+              (Json.member ?source ~field:"values" j);
+        }
+  | "model_stats" ->
+      Model_stats
+        {
+          states =
+            Json.to_int ?source ~field:"result.states"
+              (Json.member ?source ~field:"states" j);
+          nnz =
+            Json.to_int ?source ~field:"result.nnz"
+              (Json.member ?source ~field:"nnz" j);
+          unif_rate =
+            Json.to_finite_float ?source ~field:"result.unif_rate"
+              (Json.member ?source ~field:"unif_rate" j);
+          fingerprint =
+            Json.to_string ?source ~field:"result.fingerprint"
+              (Json.member ?source ~field:"fingerprint" j);
+        }
+  | other ->
+      Diag.fail
+        (Diag.Parse_error
+           {
+             source = Option.value source ~default:"<frame>";
+             line = 0;
+             field = Some "result.kind";
+             message = Printf.sprintf "unknown result kind %S" other;
+           })
+
+let response_of_line ?source line =
+  guard (fun () ->
+      let j = Json.decode ?source line in
+      check_version ?source j;
+      let r_id =
+        Json.to_string ?source ~field:"id" (Json.member ?source ~field:"id" j)
+      in
+      let cache =
+        match Json.member_opt ~field:"cache" j with
+        | None -> None
+        | Some c -> Some (Json.to_string ?source ~field:"cache" c)
+      in
+      let result =
+        match Json.member ?source ~field:"ok" j with
+        | Json.Bool true ->
+            Ok (result_of_json ?source (Json.member ?source ~field:"result" j))
+        | Json.Bool false ->
+            let e = Json.member ?source ~field:"error" j in
+            Error
+              {
+                kind =
+                  Json.to_string ?source ~field:"error.kind"
+                    (Json.member ?source ~field:"kind" e);
+                code =
+                  Json.to_int ?source ~field:"error.code"
+                    (Json.member ?source ~field:"code" e);
+                message =
+                  Json.to_string ?source ~field:"error.message"
+                    (Json.member ?source ~field:"message" e);
+              }
+        | _ ->
+            Diag.fail
+              (Diag.Parse_error
+                 {
+                   source = Option.value source ~default:"<frame>";
+                   line = 0;
+                   field = Some "ok";
+                   message = "expected a boolean";
+                 })
+      in
+      { r_id; cache; result })

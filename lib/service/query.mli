@@ -1,0 +1,96 @@
+(** The versioned query API and its line-delimited JSON wire codec.
+
+    One request or response per line, each a JSON object whose ["v"]
+    field carries the protocol version string {!version}
+    (["batlife.query/1"]).  Unknown versions, malformed JSON and
+    ill-typed fields never raise across the wire boundary: the
+    decoders map them to the structured {!error} type (the same
+    taxonomy as [Diag] — [kind] names the error class, [code] is the
+    class's stable CLI exit code), which the server sends back as an
+    [ok = false] frame.
+
+    {b Request frame.}
+    {v
+    {"v":"batlife.query/1","id":"q1","model":{...},
+     "query":{"kind":"cdf","times":[100,200]},"deadline_s":2.5}
+    v}
+
+    [query.kind] is one of:
+    - ["cdf"]: the lifetime CDF at [times];
+    - ["measures"]: per-time measures at one [time] — any subset of
+      ["expected_charge"], ["mode_marginal"], ["charge_marginal"] and
+      [{"kind":"joint","mode":m,"min_charge":x}];
+    - ["percentiles"]: lifetime percentiles [ps], read off a CDF swept
+      over [points] times up to [horizon];
+    - ["stats"]: model statistics (state count, nonzeros,
+      uniformisation rate, fingerprint) — no sweep.
+
+    {b Response frame.}
+    {v
+    {"v":"batlife.query/1","id":"q1","ok":true,"cache":"hit",
+     "result":{"kind":"curve","times":[...],"probabilities":[...]}}
+    {"v":"batlife.query/1","id":"q2","ok":false,
+     "error":{"kind":"invalid_model","code":3,"message":"..."}}
+    v} *)
+
+val version : string
+(** ["batlife.query/1"]. *)
+
+type measure =
+  | Expected_charge
+  | Mode_marginal
+  | Charge_marginal
+  | Joint of { mode : int; min_charge : float }
+
+type payload =
+  | Cdf of { times : float array }
+  | Measures of { time : float; measures : measure list }
+  | Percentiles of { ps : float array; horizon : float; points : int }
+  | Stats
+
+type request = {
+  id : string;
+  model : Model_spec.t;
+  payload : payload;
+  deadline_s : float option;
+      (** per-request wall-clock budget, seconds *)
+}
+
+type result =
+  | Curve of { times : float array; probabilities : float array }
+  | Per_time of { time : float; values : (string * float array) list }
+      (** one entry per requested measure, in request order; scalar
+          measures are singleton arrays *)
+  | Quantiles of { ps : float array; values : float array }
+  | Model_stats of {
+      states : int;
+      nnz : int;
+      unif_rate : float;
+      fingerprint : string;
+    }
+
+type error = { kind : string; code : int; message : string }
+
+type response = {
+  r_id : string;
+  cache : string option;  (** ["hit"] / ["miss"] for model queries *)
+  result : (result, error) Result.t;
+}
+
+val error_of_diag : Batlife_numerics.Diag.error -> error
+(** [kind] is the lower-snake-case class name, [code] its
+    {!Batlife_numerics.Diag.exit_code}. *)
+
+val protocol_error : string -> error
+(** A malformed-frame error: [kind = "protocol"], [code = 4] (the
+    parse-error exit code). *)
+
+(** {1 Codec}
+
+    Encoders emit one line (trailing newline included).  [of_line]
+    decoders return [Error] — never raise — on malformed input. *)
+
+val request_to_line : request -> string
+val request_of_line : ?source:string -> string -> (request, error) Result.t
+val response_to_line : response -> string
+val response_of_line : ?source:string -> string -> (response, error) Result.t

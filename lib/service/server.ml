@@ -1,0 +1,162 @@
+let log_src = Logs.Src.create "batlife.serve" ~doc:"Lifetime-query server"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* A buffered line reader over a raw fd.  [next_line ~block:false]
+   only returns a line that is already buffered or immediately
+   readable (zero-timeout select) — the greedy-batching probe. *)
+type reader = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  chunk : Bytes.t;
+  mutable eof : bool;
+}
+
+let reader fd = { fd; buf = Buffer.create 4096; chunk = Bytes.create 65536; eof = false }
+
+let buffered_line r =
+  let s = Buffer.contents r.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      let line = String.sub s 0 i in
+      Buffer.clear r.buf;
+      Buffer.add_substring r.buf s (i + 1) (String.length s - i - 1);
+      Some line
+
+let refill ~block r =
+  if r.eof then false
+  else
+    let ready =
+      block
+      ||
+      match Unix.select [ r.fd ] [] [] 0. with
+      | [ _ ], _, _ -> true
+      | _ -> false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    in
+    ready
+    &&
+    match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+    | 0 ->
+        r.eof <- true;
+        false
+    | n ->
+        Buffer.add_subbytes r.buf r.chunk 0 n;
+        true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> not r.eof
+
+let rec next_line ~block r =
+  match buffered_line r with
+  | Some line -> Some line
+  | None ->
+      (* At EOF a trailing unterminated line still counts. *)
+      if r.eof then (
+        if Buffer.length r.buf = 0 then None
+        else
+          let line = Buffer.contents r.buf in
+          Buffer.clear r.buf;
+          Some line)
+      else if refill ~block r then next_line ~block r
+      else if block then next_line ~block:true r
+      else None
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Decode errors become protocol-error responses on the same line
+   slot, so a batch with one bad frame still answers the good ones. *)
+type parsed =
+  | Request of Query.request
+  | Bad of Query.response
+
+let parse line =
+  match Query.request_of_line ~source:"<request>" line with
+  | Ok r -> Request r
+  | Error e -> Bad { Query.r_id = ""; cache = None; result = Error e }
+
+let serve_fd ?(max_batch = 64) service ~in_fd ~out_fd =
+  let r = reader in_fd in
+  let rec loop () =
+    match next_line ~block:true r with
+    | None -> ()
+    | Some first ->
+        let batch = ref [ parse first ] and n = ref 1 in
+        let rec drain () =
+          if !n < max_batch then
+            match next_line ~block:false r with
+            | Some line ->
+                batch := parse line :: !batch;
+                incr n;
+                drain ()
+            | None -> ()
+        in
+        drain ();
+        let parsed = List.rev !batch in
+        let requests =
+          List.filter_map
+            (function Request q -> Some q | Bad _ -> None)
+            parsed
+        in
+        let answered = ref (Service.handle_batch service requests) in
+        let responses =
+          List.map
+            (function
+              | Bad resp -> resp
+              | Request _ -> (
+                  match !answered with
+                  | resp :: rest ->
+                      answered := rest;
+                      resp
+                  | [] -> assert false))
+            parsed
+        in
+        List.iter (fun resp -> write_all out_fd (Query.response_to_line resp)) responses;
+        loop ()
+  in
+  loop ()
+
+let serve_stdio ?max_batch service =
+  serve_fd ?max_batch service ~in_fd:Unix.stdin ~out_fd:Unix.stdout
+
+let serve_unix ?max_batch ?max_connections service ~path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close sock;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 16;
+      Log.info (fun m -> m "listening on %s" path);
+      let rec accept_loop remaining =
+        match remaining with
+        | Some 0 -> ()
+        | _ ->
+            let client, _ =
+              let rec accept () =
+                match Unix.accept sock with
+                | conn -> conn
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept ()
+              in
+              accept ()
+            in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close client with Unix.Unix_error _ -> ())
+              (fun () -> serve_fd ?max_batch service ~in_fd:client ~out_fd:client);
+            accept_loop (Option.map (fun n -> n - 1) remaining)
+      in
+      accept_loop max_connections)

@@ -1,0 +1,43 @@
+(** Wire loops for the query service: line-delimited JSON over
+    stdin/stdout or a Unix-domain socket.
+
+    The read loop batches {b greedily}: it blocks for the first
+    request, then drains every further complete line already buffered
+    or immediately readable (a zero-timeout [select]) up to
+    [max_batch], and hands the whole batch to
+    {!Service.handle_batch}.  A client that pipes N queries at once
+    therefore gets same-model queries answered from one sweep and
+    distinct models fanned out in parallel — without any framing
+    beyond newlines.
+
+    Malformed frames are answered in place with [ok = false]
+    protocol/parse errors ({!Query.request_of_line}); the loop never
+    dies on bad input, only on EOF (or, for the socket server, after
+    [max_connections] clients). *)
+
+val serve_fd :
+  ?max_batch:int ->
+  Service.t ->
+  in_fd:Unix.file_descr ->
+  out_fd:Unix.file_descr ->
+  unit
+(** Serve one connection: read request lines from [in_fd] until EOF,
+    write one response line per request to [out_fd] (batch responses
+    in request order).  [max_batch] (default 64) caps greedy
+    batching. *)
+
+val serve_stdio : ?max_batch:int -> Service.t -> unit
+(** {!serve_fd} over stdin/stdout — the [batlife serve] default. *)
+
+val serve_unix :
+  ?max_batch:int ->
+  ?max_connections:int ->
+  Service.t ->
+  path:string ->
+  unit
+(** Bind a Unix-domain socket at [path] (replacing a stale socket
+    file), then accept connections and {!serve_fd} each in turn —
+    connections share the service, so the session cache persists
+    across clients.  [max_connections] stops after that many clients
+    (tests); default: loop forever.  The socket file is removed on
+    return. *)

@@ -1,0 +1,219 @@
+open Batlife_numerics
+open Batlife_core
+
+type t = { cache : Cache.t; jobs : int option }
+
+let create ?(cache_capacity = 32) ?jobs () =
+  { cache = Cache.create ~capacity:cache_capacity; jobs }
+
+let cache t = t.cache
+
+let invalid_argument_error msg =
+  Query.error_of_diag
+    (Diag.Invalid_model { what = "query"; violations = [ msg ] })
+
+(* What one request registers on its group's session: a function of
+   the swept results, forced only after the shared flush. *)
+type pending_result = unit -> Query.result
+
+let register_cdf session ~times : pending_result =
+  let pending = Discretized.Session.empty_probability session ~times in
+  fun () ->
+    Query.Curve
+      { times; probabilities = Discretized.Session.get pending }
+
+let register_measures session ~time measures : pending_result =
+  let open Discretized.Session in
+  let parts =
+    List.map
+      (fun m ->
+        match (m : Query.measure) with
+        | Query.Expected_charge ->
+            let p = expected_available_charge session ~time in
+            fun () -> [ ("expected_charge", [| get p |]) ]
+        | Query.Mode_marginal ->
+            let p = mode_marginal session ~time in
+            fun () -> [ ("mode_marginal", get p) ]
+        | Query.Charge_marginal ->
+            let p = available_charge_marginal session ~time in
+            fun () ->
+              let pairs = get p in
+              [
+                ("charge_levels", Array.map fst pairs);
+                ("charge_marginal", Array.map snd pairs);
+              ]
+        | Query.Joint { mode; min_charge } ->
+            let p = joint_probability session ~time ~mode ~min_charge in
+            fun () -> [ ("joint", [| get p |]) ])
+      measures
+  in
+  fun () ->
+    Query.Per_time { time; values = List.concat_map (fun f -> f ()) parts }
+
+let register_percentiles session ~ps ~horizon ~points : pending_result =
+  let violations = ref [] in
+  if points < 2 then
+    violations :=
+      Printf.sprintf "points = %d; need at least 2 CDF samples" points
+      :: !violations;
+  if not (Float.is_finite horizon) || horizon <= 0. then
+    violations :=
+      Printf.sprintf "horizon = %g; need a positive finite horizon" horizon
+      :: !violations;
+  Array.iter
+    (fun p ->
+      if not (p >= 0. && p <= 1.) then
+        violations :=
+          Printf.sprintf "percentile %g lies outside [0, 1]" p :: !violations)
+    ps;
+  if !violations <> [] then
+    Diag.invalid_model ~what:"percentiles query" (List.rev !violations);
+  let times =
+    Array.init points (fun i ->
+        horizon *. float_of_int (i + 1) /. float_of_int points)
+  in
+  let pending = Discretized.Session.empty_probability session ~times in
+  fun () ->
+    let probabilities = Array.copy (Discretized.Session.get pending) in
+    Lifetime.sanitize times probabilities;
+    let interp = Interp.create ~xs:times ~ys:probabilities in
+    Query.Quantiles { ps; values = Array.map (Interp.inverse interp) ps }
+
+let register (entry : Cache.entry) (r : Query.request) : pending_result =
+  match r.Query.payload with
+  | Query.Cdf { times } -> register_cdf entry.Cache.session ~times
+  | Query.Measures { time; measures } ->
+      register_measures entry.Cache.session ~time measures
+  | Query.Percentiles { ps; horizon; points } ->
+      register_percentiles entry.Cache.session ~ps ~horizon ~points
+  | Query.Stats ->
+      let states = Discretized.n_states entry.Cache.d
+      and nnz = Discretized.nnz entry.Cache.d
+      and unif_rate =
+        Discretized.Session.uniformisation_rate entry.Cache.session
+      in
+      fun () ->
+        Query.Model_stats
+          { states; nnz; unif_rate; fingerprint = entry.Cache.fingerprint }
+
+(* One fingerprint group: every member registers on the shared
+   session, then ONE flush answers them all.  A member that fails at
+   registration (bad mode index, bad percentile) gets its own error
+   response and the rest of the group still sweeps; a flush failure
+   (deadline, breakdown) is the answer for every swept member. *)
+let run_group ~budget (entry : Cache.entry) ~cache_status members =
+  let registered =
+    List.map
+      (fun (idx, (r : Query.request)) ->
+        match register entry r with
+        | force -> (idx, r, Ok force)
+        | exception Diag.Error e -> (idx, r, Error (Query.error_of_diag e))
+        | exception Invalid_argument msg ->
+            (idx, r, Error (invalid_argument_error msg)))
+      members
+  in
+  let flush =
+    match
+      Discretized.Session.run ?budget entry.Cache.session
+    with
+    | (_ : Batlife_ctmc.Transient.stats) -> Ok ()
+    | exception Diag.Error e -> Error (Query.error_of_diag e)
+  in
+  List.map
+    (fun (idx, (r : Query.request), reg) ->
+      let result =
+        match (reg, flush) with
+        | Error e, _ -> Error e
+        | Ok _, Error e -> Error e
+        | Ok force, Ok () -> (
+            match force () with
+            | v -> Ok v
+            | exception Diag.Error e -> Error (Query.error_of_diag e))
+      in
+      (idx, { Query.r_id = r.Query.id; cache = Some cache_status; result }))
+    registered
+
+let group_budget members =
+  match
+    List.filter_map (fun (_, r) -> r.Query.deadline_s) members
+  with
+  | [] -> None
+  | deadlines ->
+      let wall_s = List.fold_left Float.min Float.infinity deadlines in
+      (* Budget.create rejects non-positive allowances; an absurd
+         deadline is still a deadline, so clamp to "already expired
+         at the first poll" rather than crash the group. *)
+      Some (Budget.create ~wall_s:(Float.max wall_s 1e-9) ())
+
+let handle_batch t requests =
+  let indexed = List.mapi (fun i r -> (i, r)) requests in
+  (* Group by fingerprint, preserving first-appearance order.  The
+     cache is touched here, on the dispatch domain only. *)
+  let order = ref [] and table = Hashtbl.create 8 in
+  List.iter
+    (fun (idx, (r : Query.request)) ->
+      let key = Model_spec.fingerprint r.Query.model in
+      (match Hashtbl.find_opt table key with
+      | Some members -> members := (idx, r) :: !members
+      | None ->
+          Hashtbl.add table key (ref [ (idx, r) ]);
+          order := key :: !order))
+    indexed;
+  let groups =
+    List.rev_map
+      (fun key ->
+        let members = List.rev !(Hashtbl.find table key) in
+        let _, first = List.hd members in
+        match Cache.find_or_build t.cache first.Query.model with
+        | entry, status ->
+            let cache_status =
+              match status with `Hit -> "hit" | `Miss -> "miss"
+            in
+            Ok (entry, cache_status, members)
+        | exception Diag.Error e -> Error (Query.error_of_diag e, members)
+        | exception Invalid_argument msg ->
+            Error (invalid_argument_error msg, members))
+      !order
+    |> List.rev |> Array.of_list
+  in
+  (* Distinct models fan out across the pool; capture/replay keeps the
+     merged Diag and Telemetry streams in batch order regardless of
+     which domain evaluated which group. *)
+  let pool =
+    Pool.get ~jobs:(match t.jobs with Some j -> j | None -> Pool.default_jobs ())
+  in
+  let evaluated =
+    Pool.map_array pool
+      (fun group ->
+        Diag.capture (fun () ->
+            Telemetry.capture (fun () ->
+                match group with
+                | Ok (entry, cache_status, members) ->
+                    let budget = group_budget members in
+                    run_group ~budget entry ~cache_status members
+                | Error (e, members) ->
+                    List.map
+                      (fun (idx, (r : Query.request)) ->
+                        ( idx,
+                          {
+                            Query.r_id = r.Query.id;
+                            cache = None;
+                            result = Error e;
+                          } ))
+                      members)))
+      groups
+  in
+  let responses =
+    Array.to_list evaluated
+    |> List.concat_map (fun ((rs, spans), events) ->
+           Diag.replay events;
+           Telemetry.replay spans;
+           rs)
+  in
+  List.stable_sort (fun (a, _) (b, _) -> compare a b) responses
+  |> List.map snd
+
+let handle t r =
+  match handle_batch t [ r ] with
+  | [ response ] -> response
+  | _ -> assert false

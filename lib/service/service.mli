@@ -1,0 +1,43 @@
+(** The lifetime-query engine behind [batlife serve].
+
+    A service owns one {!Cache} and answers {!Query.request}s:
+
+    - {b Interning}: each request's model is resolved through the
+      fingerprint cache, so repeat models skip Q* construction and
+      kernel builds entirely (the cache-hit counters prove it).
+    - {b Batching}: {!handle_batch} groups the requests of one batch
+      by model fingerprint and answers each group from {e one}
+      [Discretized.Session] flush — N queries against the same model
+      cost one [multi_measure_sweep], exactly like the session API
+      they ride on.
+    - {b Fan-out}: independent groups (distinct models) are evaluated
+      in parallel across the shared
+      {!Batlife_numerics.Pool}; each group's [Diag]/[Telemetry]
+      streams are captured on its domain and replayed in batch order,
+      so logs and metrics are deterministic.
+    - {b Deadlines}: a request's [deadline_s] becomes a wall-clock
+      {!Batlife_numerics.Budget} for its group's flush (the tightest
+      deadline in the group wins); exhaustion surfaces as a structured
+      [budget_exhausted] (exit-code-7) error response, not a hung or
+      killed server.
+
+    Failures never escape a handler: every per-request problem —
+    malformed model, solver breakdown, exhausted deadline — is mapped
+    through {!Query.error_of_diag} into the response stream. *)
+
+type t
+
+val create : ?cache_capacity:int -> ?jobs:int -> unit -> t
+(** [cache_capacity] (default 32) bounds the session cache;
+    [jobs] overrides the pool size for group fan-out (default: the
+    process-wide {!Batlife_numerics.Pool.default_jobs}). *)
+
+val handle : t -> Query.request -> Query.response
+(** Answer one request ([{!handle_batch} t [r]]). *)
+
+val handle_batch : t -> Query.request list -> Query.response list
+(** Answer a batch; responses come back in request order.  Requests
+    for the same model share one sweep, distinct models fan out across
+    the pool. *)
+
+val cache : t -> Cache.t

@@ -1,4 +1,5 @@
 module Diag = Batlife_numerics.Diag
+module Progress = Batlife_numerics.Progress
 
 type estimate = {
   times : float array;
@@ -25,8 +26,9 @@ type progress = {
    streams the uninterrupted run would have drawn: the final estimate
    is bitwise identical (the sample list even preserves accumulation
    order, so order-sensitive float summations downstream agree too). *)
-let run_replications ?(seed = 0x0BA77E7AL) ?progress ?on_interrupt ?resume
-    ~runs ~horizon model =
+let run_replications ?(seed = 0x0BA77E7AL) ?(progress = Progress.none) ~runs
+    ~horizon model =
+  let { Progress.on_step; on_interrupt; resume } = progress in
   if runs <= 0 then
     Diag.invalid_model ~what:"Montecarlo replication count"
       [ Printf.sprintf "runs = %d; need runs > 0" runs ];
@@ -84,14 +86,14 @@ let run_replications ?(seed = 0x0BA77E7AL) ?progress ?on_interrupt ?resume
     (match Trajectory.run ~horizon sim rng with
     | Trajectory.Died t -> died := t :: !died
     | Trajectory.Survived _ -> incr censored);
-    match progress with
-    | Some f -> f ~done_:k ~snapshot:(snapshot_at k)
+    match on_step with
+    | Some f -> f ~step:k ~snapshot:(snapshot_at k)
     | None -> ()
   done;
   (Array.of_list !died, !censored)
 
 let lifetime_cdf ?seed ?(runs = default_runs) ?horizon ?(confidence = 0.95)
-    ?progress ?on_interrupt ?resume model ~times =
+    ?progress model ~times =
   let horizon =
     match horizon with
     | Some h -> h
@@ -104,7 +106,7 @@ let lifetime_cdf ?seed ?(runs = default_runs) ?horizon ?(confidence = 0.95)
           [ Printf.sprintf "t = %g lies beyond the horizon %g" t horizon ])
     times;
   let samples, censored =
-    run_replications ?seed ?progress ?on_interrupt ?resume ~runs ~horizon model
+    run_replications ?seed ?progress ~runs ~horizon model
   in
   let nf = float_of_int runs in
   let cdf =

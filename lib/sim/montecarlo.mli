@@ -31,29 +31,27 @@ type progress = {
 
 val run_replications :
   ?seed:int64 ->
-  ?progress:(done_:int -> snapshot:(unit -> progress) -> unit) ->
-  ?on_interrupt:(progress -> unit) ->
-  ?resume:progress ->
+  ?progress:progress Batlife_numerics.Progress.t ->
   runs:int ->
   horizon:float ->
   Kibamrm.t ->
   float array * int
 (** Observed lifetimes (oldest first) and the censored count.  Each
     replication counts one unit against the ambient
-    {!Batlife_numerics.Budget}; on exhaustion or cancellation
-    [on_interrupt] receives the final snapshot before the structured
-    error propagates.  [progress] fires after every completed
-    replication with a lazy snapshot.  [resume] must carry the same
-    [mp_target] as [runs] ([Invalid_model] otherwise). *)
+    {!Batlife_numerics.Budget}.  [progress] is the shared
+    checkpoint/resume record ({!Batlife_numerics.Progress}): [on_step]
+    fires after every completed replication with a lazy snapshot,
+    [on_interrupt] receives the final snapshot before a
+    budget-exhaustion/cancellation error propagates, and [resume] must
+    carry the same [mp_target] as [runs] ([Invalid_model]
+    otherwise). *)
 
 val lifetime_cdf :
   ?seed:int64 ->
   ?runs:int ->
   ?horizon:float ->
   ?confidence:float ->
-  ?progress:(done_:int -> snapshot:(unit -> progress) -> unit) ->
-  ?on_interrupt:(progress -> unit) ->
-  ?resume:progress ->
+  ?progress:progress Batlife_numerics.Progress.t ->
   Kibamrm.t ->
   times:float array ->
   estimate

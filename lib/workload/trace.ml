@@ -126,11 +126,6 @@ let parse_csv_result ?source text =
   | samples -> Ok samples
   | exception Diag.Error e -> Error e
 
-let parse_csv text =
-  match parse_csv_exn text with
-  | samples -> samples
-  | exception Diag.Error e -> failwith (Diag.error_to_string e)
-
 let read_file path =
   let ic = open_in path in
   Fun.protect
@@ -148,7 +143,7 @@ let load_csv_result path =
   | Error _ as e -> e
   | Ok samples -> of_samples_result samples
 
-let load_csv path = of_samples (parse_csv (read_file path))
+let load_csv path = of_samples (parse_csv_exn ~source:path (read_file path))
 
 let to_csv profile ~t_end ~step =
   if t_end <= 0. || step <= 0. then

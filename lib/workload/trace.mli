@@ -43,10 +43,6 @@ val parse_csv_result :
   ?source:string -> string -> (sample list, Batlife_numerics.Diag.error) result
 (** {!parse_csv_exn} with the error captured as a [result]. *)
 
-val parse_csv : string -> sample list
-(** Legacy wrapper around {!parse_csv_exn}: raises [Failure] with the
-    rendered parse error (line number and field included). *)
-
 val load_samples_result :
   string -> (sample list, Batlife_numerics.Diag.error) result
 (** Read and parse a trace file; I/O errors surface as a
@@ -57,8 +53,9 @@ val load_csv_result :
 (** {!load_samples_result} followed by {!of_samples_result}. *)
 
 val load_csv : string -> Load_profile.t
-(** [load_csv path] reads and parses a trace file.  Raises [Failure]
-    (parse) / [Invalid_argument] (validation) / [Sys_error] (I/O). *)
+(** [load_csv path] reads and parses a trace file.  Raises
+    [Diag.Error (Parse_error _)] (parse) / [Invalid_argument]
+    (validation) / [Sys_error] (I/O). *)
 
 val to_csv : Load_profile.t -> t_end:float -> step:float -> string
 (** Sample a profile back to CSV text (for round-tripping and for

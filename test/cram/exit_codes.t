@@ -1,0 +1,37 @@
+The exit-code contract is documented in three places: the EXIT STATUS
+section of `batlife --help`, the README table, and DESIGN.md 5c.  This
+test pins the --help rendering so the documented table cannot drift
+from the binary.
+
+  $ batlife --help 2>/dev/null | sed -n '/EXIT STATUS/,/ENVIRONMENT/p' \
+  >   | grep -E '^ *(3|4|5|6|7|8|130) ' | sed 's/^ *//'
+  3   a model or parameter set failed validation.
+  4   malformed external input (trace, checkpoint, query frame).
+  5   an iterative method failed to converge.
+  6   numerical breakdown (NaN/Inf contamination, mass loss).
+  7   a wall-clock deadline or work budget ran out.
+  8   cooperative cancellation was requested (first Ctrl-C).
+  130 hard interrupt (second Ctrl-C, immediate abort).
+
+And the codes are live, not just documented.  An invalid model exits 3:
+
+  $ batlife kibam --capacity=-5 --load 1 2>/dev/null
+  [3]
+
+A malformed trace file exits 4:
+
+  $ printf 'not,a,trace\n' > bad.csv
+  $ batlife trace --csv bad.csv 2>/dev/null
+  [4]
+
+An exhausted work budget exits 7:
+
+  $ batlife lifetime --model simple --capacity 800 -c 0.625 -k 0.162 \
+  >   --delta 25 --horizon 30 --points 5 --max-products 3 2>/dev/null
+  [7]
+
+Deterministic mid-run cancellation exits 8:
+
+  $ batlife lifetime --model simple --capacity 800 -c 0.625 -k 0.162 \
+  >   --delta 25 --horizon 30 --points 5 --cancel-after 2 2>/dev/null
+  [8]

@@ -1,0 +1,52 @@
+The query service speaks line-delimited JSON (batlife.query/1) over
+stdin/stdout.  Pipe a batch of frames through it: two queries against
+the same model (answered from one interned session), a stats query
+against a second model, and one malformed frame.
+
+  $ batlife serve <<'EOF' > responses.ndjson
+  > {"v":"batlife.query/1","id":"cdf","model":{"workload":{"kind":"onoff","frequency":1.0,"k":1,"on_current":0.96},"battery":{"capacity":7200,"c":1.0,"k":0.0},"delta":100},"query":{"kind":"cdf","times":[5000,10000,15000]}}
+  > {"v":"batlife.query/1","id":"p50","model":{"workload":{"kind":"onoff","frequency":1.0,"k":1,"on_current":0.96},"battery":{"capacity":7200,"c":1.0,"k":0.0},"delta":100},"query":{"kind":"percentiles","ps":[0.5],"horizon":20000,"points":40}}
+  > {"v":"batlife.query/1","id":"stats","model":{"workload":{"kind":"simple"},"battery":{"capacity":7200,"c":0.625,"k":4.5e-5},"delta":200},"query":{"kind":"stats"}}
+  > not json at all
+  > EOF
+
+One response line per request, in request order:
+
+  $ wc -l < responses.ndjson
+  4
+
+Every well-formed request succeeded; the malformed frame got a
+structured protocol error (parse_error, the exit-4 class) instead of
+killing the server:
+
+  $ grep -c '"ok":true' responses.ndjson
+  3
+  $ grep -c '"kind":"parse_error","code":4' responses.ndjson
+  1
+
+The model stats identify the interned model:
+
+  $ grep '"id":"stats"' responses.ndjson | grep -c '"states":1080'
+  1
+
+The median lifetime of the fig-7 on/off model lands between its 10 and
+15 ks CDF samples:
+
+  $ grep '"id":"p50"' responses.ndjson | grep -c '"kind":"quantiles"'
+  1
+
+A deadline of a few nanoseconds cannot finish a sweep; the response is
+the structured budget_exhausted error (exit-7 class), and the server
+keeps serving:
+
+  $ batlife serve <<'EOF' | grep -c '"kind":"budget_exhausted","code":7'
+  > {"v":"batlife.query/1","id":"tight","model":{"workload":{"kind":"simple"},"battery":{"capacity":7200,"c":0.625,"k":4.5e-5},"delta":50},"query":{"kind":"cdf","times":[5000]},"deadline_s":1e-9}
+  > EOF
+  1
+
+An unsupported protocol version is refused per-frame:
+
+  $ batlife serve <<'EOF' | grep -c 'unsupported protocol version'
+  > {"v":"batlife.query/9","id":"x","model":{},"query":{"kind":"stats"}}
+  > EOF
+  1

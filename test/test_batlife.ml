@@ -35,4 +35,5 @@ let () =
       ("core: batched evaluation engine", Test_engine.suite);
       ("resilience: budgets, checkpoints, retries", Test_resilience.suite);
       ("chaos: fault injection & recovery", Test_chaos.suite);
+      ("service: query API, cache, server", Test_service.suite);
     ]

@@ -1,5 +1,5 @@
-(* The batched evaluation engine: session queries must agree with the
-   legacy per-call helpers to near machine precision, batching must
+(* The batched evaluation engine: session queries must agree with an
+   independent per-call reference to near machine precision, batching must
    actually batch (one sweep for any number of queries), and
    multi_measure_sweep must equal N independent measure_sweep calls on
    arbitrary generators. *)
@@ -33,30 +33,66 @@ let fig2_battery_model () =
     ~workload:(Onoff.model ~frequency:1.0 ~k:1 ~on_current:0.96 ())
     ~battery:(Kibam.params ~capacity:7200. ~c:0.625 ~k:4.5e-5)
 
-(* The deprecated per-call helpers are the reference implementation the
-   session must reproduce; this is the one place they may be used
-   without a warning. *)
-module Legacy_reference = struct
-  [@@@alert "-deprecated"]
+(* An independent reference implementation of the per-time measures,
+   straight off the full transient distribution (one whole solve per
+   call).  The session's batched functionals must reproduce it. *)
+module Reference = struct
+  let level_charge grid j1 =
+    if j1 = 0 then 0. else Grid.level_value grid (j1 - 1)
 
-  let charge_marginal = Discretized.available_charge_marginal
-  let mode_marginal = Discretized.mode_marginal
-  let expected_charge = Discretized.expected_available_charge
-  let joint = Discretized.joint_probability
+  let charge_marginal d ~time =
+    let pi = Discretized.state_distribution d ~time in
+    let grid = d.Discretized.grid in
+    Array.init grid.Grid.levels1 (fun j1 ->
+        let acc = ref 0. in
+        for j2 = 0 to grid.Grid.levels2 - 1 do
+          for i = 0 to grid.Grid.n_workload - 1 do
+            acc := !acc +. pi.(Grid.index grid ~state:i ~j1 ~j2)
+          done
+        done;
+        (level_charge grid j1, !acc))
+
+  let mode_marginal d ~time =
+    let pi = Discretized.state_distribution d ~time in
+    let grid = d.Discretized.grid in
+    let result = Array.make grid.Grid.n_workload 0. in
+    for j1 = 0 to grid.Grid.levels1 - 1 do
+      for j2 = 0 to grid.Grid.levels2 - 1 do
+        for i = 0 to grid.Grid.n_workload - 1 do
+          result.(i) <- result.(i) +. pi.(Grid.index grid ~state:i ~j1 ~j2)
+        done
+      done
+    done;
+    result
+
+  let expected_charge d ~time =
+    Array.fold_left
+      (fun acc (charge, p) -> acc +. (charge *. p))
+      0. (charge_marginal d ~time)
+
+  let joint d ~time ~mode ~min_charge =
+    let pi = Discretized.state_distribution d ~time in
+    let grid = d.Discretized.grid in
+    let acc = ref 0. in
+    for j1 = 1 to grid.Grid.levels1 - 1 do
+      if Grid.level_value grid (j1 - 1) >= min_charge then
+        for j2 = 0 to grid.Grid.levels2 - 1 do
+          acc := !acc +. pi.(Grid.index grid ~state:mode ~j1 ~j2)
+        done
+    done;
+    !acc
 end
 
 let check_session_matches_legacy ~delta model =
   let d = Discretized.build ~delta model in
   let times = [| 2000.; 5000.; 10000.; 15000. |] in
   let time = 10000. in
-  (* Legacy per-call answers. *)
+  (* Reference per-call answers (one whole solve each). *)
   let legacy_cdf, _ = Discretized.empty_probability d ~times in
-  let legacy_marginal = Legacy_reference.charge_marginal d ~time in
-  let legacy_modes = Legacy_reference.mode_marginal d ~time in
-  let legacy_expected = Legacy_reference.expected_charge d ~time in
-  let legacy_joint =
-    Legacy_reference.joint d ~time ~mode:0 ~min_charge:2000.
-  in
+  let legacy_marginal = Reference.charge_marginal d ~time in
+  let legacy_modes = Reference.mode_marginal d ~time in
+  let legacy_expected = Reference.expected_charge d ~time in
+  let legacy_joint = Reference.joint d ~time ~mode:0 ~min_charge:2000. in
   (* The same queries, one session, one sweep. *)
   let s = Discretized.Session.create d in
   let cdf_q = Discretized.Session.empty_probability s ~times in
@@ -227,24 +263,6 @@ let test_custom_measure_query () =
     (Discretized.Session.sweeps s);
   check_true "cdf in range" (cdf.(0) >= 0. && cdf.(0) <= 1.)
 
-(* Legacy wrappers still work (and still agree), deprecation aside. *)
-let test_legacy_wrappers_agree () =
-  let module L = struct
-    [@@@alert "-deprecated"]
-
-    let run () =
-      let g = Generator.of_rates ~n:2 [ (0, 1, 1.); (1, 0, 0.5) ] in
-      let alpha = [| 1.; 0. |] in
-      let t = 1.7 in
-      let via_legacy = Transient.Legacy.solve ~accuracy:1e-12 g ~alpha ~t in
-      let via_opts =
-        Transient.solve ~opts:(Solver_opts.make ~accuracy:1e-12 ()) g ~alpha ~t
-      in
-      check_true "identical distributions"
-        (Vector.approx_equal ~tol:0. via_legacy via_opts)
-  end in
-  L.run ()
-
 (* The multicore contract: the gather kernel owns each output entry on
    exactly one domain and sums it in a fixed order, so the job count
    must not change a single bit of any result — not "close", equal. *)
@@ -296,16 +314,15 @@ let test_jobs_identical_session () =
 
 let suite =
   [
-    case "session matches legacy per-call (fig-7 model)"
+    case "session matches reference per-call (fig-7 model)"
       test_session_matches_legacy_fig7;
-    case "session matches legacy per-call (fig-2 battery)"
+    case "session matches reference per-call (fig-2 battery)"
       test_session_matches_legacy_fig2_battery;
     case "CDF + 4 measures = one sweep" test_one_sweep_for_five_queries;
     case "session cache hit/miss counters" test_session_cache_counters;
     case "cdf_discretized matches cdf" test_lifetime_cdf_discretized_matches;
     prop_multi_equals_singles;
     case "custom measure query" test_custom_measure_query;
-    case "legacy wrappers agree" test_legacy_wrappers_agree;
     case "jobs=1/2/4 bitwise identical (fig-7 model)"
       test_jobs_identical_fig7;
     case "jobs=1/2/4 bitwise identical (fig-2 battery)"

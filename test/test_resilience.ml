@@ -302,7 +302,8 @@ let test_montecarlo_resume () =
         (fun () ->
           ignore
             (Montecarlo.run_replications ~seed
-               ~on_interrupt:(fun p -> snap := Some p)
+               ~progress:
+                 (Progress.make ~on_interrupt:(fun p -> snap := Some p) ())
                ~runs ~horizon model)));
   let p = match !snap with Some p -> p | None -> Alcotest.fail "no snapshot" in
   check_int "snapshot after the budgeted replications" 50
@@ -331,14 +332,17 @@ let test_montecarlo_resume () =
     | _ -> Alcotest.fail "wrong checkpoint kind"
   in
   let res_samples, res_censored =
-    Montecarlo.run_replications ~seed ~resume ~runs ~horizon model
+    Montecarlo.run_replications ~seed
+      ~progress:(Progress.make ~resume ())
+      ~runs ~horizon model
   in
   check_true "resumed samples bitwise identical" (ref_samples = res_samples);
   check_int "censored count identical" ref_censored res_censored;
   (* A snapshot for a different target is rejected. *)
   check_raises_diag "wrong target rejected" is_invalid_model (fun () ->
-      Montecarlo.run_replications ~seed ~resume ~runs:(runs + 1) ~horizon
-        model);
+      Montecarlo.run_replications ~seed
+        ~progress:(Progress.make ~resume ())
+        ~runs:(runs + 1) ~horizon model);
   Sys.remove path
 
 let test_rng_state_roundtrip () =

@@ -256,12 +256,8 @@ let test_trace_parse_context () =
       Alcotest.(check (option string)) "no single field" None field
   | _ -> Alcotest.fail "expected Parse_error")
 
-let test_trace_legacy_wrappers () =
-  (match Trace.parse_csv "0,1\nbogus\n" with
-  | exception Failure msg ->
-      check_true "legacy Failure carries line number" (contains msg "line 2")
-  | _ -> Alcotest.fail "expected Failure");
-  check_raises_invalid "legacy of_samples" (fun () ->
+let test_trace_of_samples_raises () =
+  check_raises_invalid "of_samples validates" (fun () ->
       ignore (Trace.of_samples [ { Trace.time = 0.; current = 1. } ]))
 
 let test_sample_violations () =
@@ -336,7 +332,7 @@ let suite =
     case "rkf45 budget exhausted" test_ode_budget;
     case "rkf45_robust fixed-step fallback" test_ode_fallback_recovers;
     case "trace parse error context" test_trace_parse_context;
-    case "trace legacy wrappers" test_trace_legacy_wrappers;
+    case "trace of_samples validates" test_trace_of_samples_raises;
     case "trace sample violations" test_sample_violations;
     case "Error.protect classification" test_error_protect;
     case "exit codes distinct" test_exit_codes_distinct;

@@ -1,0 +1,369 @@
+(* The lifetime-query service: the wire codec must round-trip every
+   representable frame and never raise on garbage, the fingerprint
+   cache must make repeat queries free of Q* constructions and kernel
+   builds (asserted through the always-on telemetry counters), batches
+   against one model must share one sweep, per-request deadlines must
+   surface as structured budget errors, and the fd server must answer
+   every line in order. *)
+
+open Helpers
+module Telemetry = Batlife_numerics.Telemetry
+module Model_spec = Batlife_service.Model_spec
+module Query = Batlife_service.Query
+module Service = Batlife_service.Service
+module Cache = Batlife_service.Cache
+module Server = Batlife_service.Server
+
+(* ------------------------------------------------------------------ *)
+(* Generators.  Floats are built as m * 2^e so every generated value
+   is a finite double that the %.17g codec reproduces bit-exactly. *)
+
+let gen_float =
+  QCheck.Gen.(
+    map2
+      (fun m e -> Float.ldexp (float_of_int m) e)
+      (int_range (-1_000_000) 1_000_000)
+      (int_range (-20) 20))
+
+let gen_pos_float = QCheck.Gen.map (fun x -> Float.abs x +. 1.) gen_float
+let gen_name = QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 6))
+
+let gen_workload =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, return Model_spec.Simple);
+        (2, return Model_spec.Burst);
+        ( 3,
+          map2
+            (fun frequency k ->
+              Model_spec.Onoff { frequency; k; on_current = 0.96 })
+            gen_pos_float (int_range 1 4) );
+        ( 1,
+          let* names = list_size (int_range 1 3) gen_name in
+          let* currents = list_size (return (List.length names)) gen_float in
+          let states = List.combine names currents in
+          let* rates = list_size (return (List.length names)) gen_pos_float in
+          let transitions =
+            List.map2 (fun (a, _) r -> (a, fst (List.hd states), r)) states
+              rates
+          in
+          return
+            (Model_spec.Custom
+               { states; transitions; initial = fst (List.hd states) }) );
+      ])
+
+let gen_spec =
+  QCheck.Gen.(
+    let* workload = gen_workload in
+    let* capacity = gen_pos_float in
+    let* c = gen_pos_float in
+    let* k = gen_float in
+    let* delta = gen_pos_float in
+    let* accuracy = opt gen_pos_float in
+    return { Model_spec.workload; capacity; c; k; delta; accuracy })
+
+let gen_measure =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, return Query.Expected_charge);
+        (2, return Query.Mode_marginal);
+        (2, return Query.Charge_marginal);
+        ( 1,
+          map2
+            (fun mode min_charge -> Query.Joint { mode; min_charge })
+            (int_range 0 3) gen_float );
+      ])
+
+let gen_float_array =
+  QCheck.Gen.(map Array.of_list (list_size (int_range 0 5) gen_float))
+
+let gen_payload =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun times -> Query.Cdf { times }) gen_float_array);
+        ( 2,
+          map2
+            (fun time measures -> Query.Measures { time; measures })
+            gen_float
+            (list_size (int_range 0 4) gen_measure) );
+        ( 2,
+          map3
+            (fun ps horizon points -> Query.Percentiles { ps; horizon; points })
+            gen_float_array gen_pos_float (int_range 2 40) );
+        (1, return Query.Stats);
+      ])
+
+let gen_request =
+  QCheck.Gen.(
+    let* id = string_printable in
+    let* model = gen_spec in
+    let* payload = gen_payload in
+    let* deadline_s = opt gen_pos_float in
+    return { Query.id; model; payload; deadline_s })
+
+let gen_result =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 2,
+          map2
+            (fun times probabilities -> Query.Curve { times; probabilities })
+            gen_float_array gen_float_array );
+        ( 2,
+          map2
+            (fun time values -> Query.Per_time { time; values })
+            gen_float
+            (list_size (int_range 0 3) (pair gen_name gen_float_array)) );
+        ( 2,
+          map2
+            (fun ps values -> Query.Quantiles { ps; values })
+            gen_float_array gen_float_array );
+        ( 1,
+          map3
+            (fun states nnz unif_rate ->
+              Query.Model_stats
+                { states; nnz; unif_rate; fingerprint = "deadbeefdeadbeef" })
+            (int_range 1 10_000) (int_range 1 100_000) gen_pos_float );
+      ])
+
+let gen_response =
+  QCheck.Gen.(
+    let* r_id = string_printable in
+    let* cache = oneof [ return None; return (Some "hit"); return (Some "miss") ] in
+    let* result =
+      frequency
+        [
+          (3, map Result.ok gen_result);
+          ( 1,
+            map2
+              (fun kind message ->
+                Error { Query.kind; code = 4; message })
+              gen_name string_printable );
+        ]
+    in
+    return { Query.r_id; cache; result })
+
+(* ------------------------------------------------------------------ *)
+(* Codec round-trips. *)
+
+let request_roundtrip =
+  qcheck ~count:300 "request codec round-trips"
+    (QCheck.make ~print:Query.request_to_line gen_request)
+    (fun r ->
+      match Query.request_of_line (Query.request_to_line r) with
+      | Ok r' -> r' = r
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e.Query.message)
+
+let response_roundtrip =
+  qcheck ~count:300 "response codec round-trips"
+    (QCheck.make ~print:Query.response_to_line gen_response)
+    (fun r ->
+      match Query.response_of_line (Query.response_to_line r) with
+      | Ok r' -> r' = r
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e.Query.message)
+
+let decoder_never_raises =
+  qcheck ~count:500 "request decoder never raises" QCheck.string (fun s ->
+      match Query.request_of_line s with Ok _ | Error _ -> true)
+
+(* Malformed frames come back as structured parse errors carrying the
+   exit-4 code, never as exceptions. *)
+let test_malformed_frames () =
+  let expect_parse_error name line =
+    match Query.request_of_line line with
+    | Ok _ -> Alcotest.failf "%s: decoded a malformed frame" name
+    | Error e ->
+        check_int (name ^ ": code") 4 e.Query.code;
+        check_true (name ^ ": kind") (e.Query.kind = "parse_error")
+  in
+  expect_parse_error "empty" "";
+  expect_parse_error "not json" "not json at all";
+  expect_parse_error "wrong type" "[1,2,3]";
+  expect_parse_error "missing fields" "{}";
+  expect_parse_error "bad version"
+    {|{"v":"batlife.query/9","id":"x","model":{},"query":{"kind":"stats"}}|};
+  expect_parse_error "unknown query kind"
+    {|{"v":"batlife.query/1","id":"x","model":{"workload":{"kind":"simple"},"battery":{"capacity":7200,"c":1,"k":0},"delta":300},"query":{"kind":"nope"}}|};
+  expect_parse_error "ill-typed times"
+    {|{"v":"batlife.query/1","id":"x","model":{"workload":{"kind":"simple"},"battery":{"capacity":7200,"c":1,"k":0},"delta":300},"query":{"kind":"cdf","times":"soon"}}|}
+
+(* ------------------------------------------------------------------ *)
+(* The service proper. *)
+
+let fig7_spec ?(capacity = 7200.) () =
+  {
+    Model_spec.workload =
+      Model_spec.Onoff { frequency = 1.0; k = 1; on_current = 0.96 };
+    capacity;
+    c = 1.0;
+    k = 0.0;
+    delta = 300.;
+    accuracy = None;
+  }
+
+let cdf_request ?deadline_s ?(spec = fig7_spec ()) id =
+  {
+    Query.id;
+    model = spec;
+    payload = Query.Cdf { times = [| 5000.; 10000. |] };
+    deadline_s;
+  }
+
+let counter name = Telemetry.value (Telemetry.counter name)
+
+let ok_exn name (r : Query.response) =
+  match r.Query.result with
+  | Ok result -> result
+  | Error e -> Alcotest.failf "%s: unexpected error: %s" name e.Query.message
+
+(* The tentpole guarantee: a repeat query is answered from the interned
+   session -- zero Q* constructions, zero kernel builds, one more cache
+   hit.  (A sweep still runs: results are not memoised, models are.) *)
+let test_repeat_query_interns () =
+  let svc = Service.create ~cache_capacity:4 () in
+  let r1 = Service.handle svc (cdf_request "first") in
+  check_true "first is a miss" (r1.Query.cache = Some "miss");
+  let builds0 = counter "discretized.builds"
+  and session_kernels0 = counter "session.kernel_builds"
+  and transient_kernels0 = counter "transient.kernel_builds"
+  and hits0 = counter "session.cache_hit" in
+  let r2 = Service.handle svc (cdf_request "second") in
+  check_true "second is a hit" (r2.Query.cache = Some "hit");
+  check_int "zero Q* constructions" 0 (counter "discretized.builds" - builds0);
+  check_int "zero session kernel builds" 0
+    (counter "session.kernel_builds" - session_kernels0);
+  check_int "zero transient kernel builds" 0
+    (counter "transient.kernel_builds" - transient_kernels0);
+  check_int "one more cache hit" 1 (counter "session.cache_hit" - hits0);
+  check_true "identical answers" (ok_exn "first" r1 = ok_exn "second" r2);
+  check_int "cache holds one entry" 1 (Cache.size (Service.cache svc))
+
+(* Same-model queries in one batch share a single sweep; distinct
+   models pay one each. *)
+let test_batch_shares_sweep () =
+  let svc = Service.create ~cache_capacity:4 () in
+  (* Intern the model first so the batch measures only sweeps. *)
+  ignore (Service.handle svc (cdf_request "warm") : Query.response);
+  let sweeps0 = counter "transient.sweeps" in
+  let responses =
+    Service.handle_batch svc
+      [
+        cdf_request "a";
+        {
+          Query.id = "b";
+          model = fig7_spec ();
+          payload =
+            Query.Measures
+              { time = 10000.; measures = [ Query.Expected_charge ] };
+          deadline_s = None;
+        };
+      ]
+  in
+  check_int "one sweep for a same-model batch" 1
+    (counter "transient.sweeps" - sweeps0);
+  check_true "responses in request order"
+    (List.map (fun r -> r.Query.r_id) responses = [ "a"; "b" ]);
+  List.iteri (fun i r -> ignore (ok_exn (string_of_int i) r)) responses;
+  let sweeps1 = counter "transient.sweeps" in
+  let distinct =
+    Service.handle_batch svc
+      [
+        cdf_request "c";
+        cdf_request ~spec:(fig7_spec ~capacity:6000. ()) "d";
+      ]
+  in
+  List.iteri (fun i r -> ignore (ok_exn (string_of_int i) r)) distinct;
+  check_int "two sweeps for a two-model batch" 2
+    (counter "transient.sweeps" - sweeps1)
+
+(* A hopeless deadline surfaces as the structured exit-7 error; the
+   service survives and answers the next request normally. *)
+let test_deadline_exhaustion () =
+  let svc = Service.create ~cache_capacity:4 () in
+  let r = Service.handle svc (cdf_request ~deadline_s:1e-9 "tight") in
+  (match r.Query.result with
+  | Ok _ -> Alcotest.fail "a 1 ns deadline produced an answer"
+  | Error e ->
+      check_int "budget exit code" 7 e.Query.code;
+      check_true "budget kind" (e.Query.kind = "budget_exhausted"));
+  ignore (ok_exn "after deadline" (Service.handle svc (cdf_request "retry")))
+
+(* An unbuildable model is a structured invalid_model response, not an
+   exception and not a poisoned cache entry. *)
+let test_invalid_model_response () =
+  let spec = { (fig7_spec ()) with Model_spec.capacity = -5. } in
+  let svc = Service.create ~cache_capacity:4 () in
+  let r = Service.handle svc (cdf_request ~spec "bad") in
+  (match r.Query.result with
+  | Ok _ -> Alcotest.fail "negative capacity produced an answer"
+  | Error e -> check_int "invalid-model exit code" 3 e.Query.code);
+  check_int "nothing cached" 0 (Cache.size (Service.cache svc))
+
+(* serve_fd: every line gets exactly one response, in order, with
+   malformed frames answered in place. *)
+let test_serve_fd_pipe () =
+  let svc = Service.create ~cache_capacity:4 () in
+  let in_r, in_w = Unix.pipe ~cloexec:false () in
+  let out_r, out_w = Unix.pipe ~cloexec:false () in
+  let input =
+    String.concat ""
+      [
+        Query.request_to_line (cdf_request "one");
+        "garbage\n";
+        Query.request_to_line (cdf_request "two");
+      ]
+  in
+  let n = Unix.write_substring in_w input 0 (String.length input) in
+  check_int "wrote the whole input" (String.length input) n;
+  Unix.close in_w;
+  Server.serve_fd svc ~in_fd:in_r ~out_fd:out_w;
+  Unix.close in_r;
+  Unix.close out_w;
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    let k = Unix.read out_r chunk 0 (Bytes.length chunk) in
+    if k > 0 then begin
+      Buffer.add_subbytes buf chunk 0 k;
+      drain ()
+    end
+  in
+  drain ();
+  Unix.close out_r;
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "one response per line" 3 (List.length lines);
+  let decoded =
+    List.map
+      (fun l ->
+        match Query.response_of_line l with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "undecodable response: %s" e.Query.message)
+      lines
+  in
+  check_true "responses in request order"
+    (List.map (fun r -> r.Query.r_id) decoded = [ "one"; ""; "two" ]);
+  match (List.nth decoded 1).Query.result with
+  | Ok _ -> Alcotest.fail "garbage line produced an answer"
+  | Error e -> check_int "garbage line exit code" 4 e.Query.code
+
+let suite =
+  [
+    request_roundtrip;
+    response_roundtrip;
+    decoder_never_raises;
+    case "malformed frames decode to parse errors" test_malformed_frames;
+    case "repeat query: zero builds, zero kernels, one hit"
+      test_repeat_query_interns;
+    case "batch: same model shares one sweep" test_batch_shares_sweep;
+    case "deadline exhaustion is a structured exit-7 error"
+      test_deadline_exhaustion;
+    case "invalid model is a structured exit-3 error"
+      test_invalid_model_response;
+    case "serve_fd answers every line in order" test_serve_fd_pipe;
+  ]

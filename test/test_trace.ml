@@ -1,6 +1,7 @@
 open Batlife_battery
 open Batlife_workload
 open Helpers
+module Diag = Batlife_numerics.Diag
 
 let samples =
   [
@@ -47,7 +48,7 @@ let test_of_samples_validation () =
 
 let test_parse_csv () =
   let text = "# a comment\n0, 2.5\n\n1.5, 0\n 2 , 1e-1 \n" in
-  let parsed = Trace.parse_csv text in
+  let parsed = Trace.parse_csv_exn text in
   check_int "three samples" 3 (List.length parsed);
   (match parsed with
   | [ a; b; c ] ->
@@ -56,14 +57,15 @@ let test_parse_csv () =
       check_float "time b" 1.5 b.Trace.time;
       check_float "current c" 0.1 c.Trace.current
   | _ -> Alcotest.fail "unexpected shape");
-  (match Trace.parse_csv "0,1\nbogus line\n" with
-  | exception Failure msg -> check_true "line number" (String.length msg > 0)
+  (match Trace.parse_csv_exn "0,1\nbogus line\n" with
+  | exception Diag.Error (Diag.Parse_error { line; _ }) ->
+      check_int "line number" 2 line
   | _ -> Alcotest.fail "malformed line must fail")
 
 let test_csv_roundtrip () =
   let p = Trace.of_samples samples in
   let text = Trace.to_csv p ~t_end:4. ~step:0.25 in
-  let p' = Trace.of_samples (Trace.parse_csv text) in
+  let p' = Trace.of_samples (Trace.parse_csv_exn text) in
   (* The resampled profile matches at the sampling resolution. *)
   List.iter
     (fun t ->
