@@ -27,6 +27,20 @@
                     scatter-vecmat vs transposed-gather-matvec
                     microbenchmark, written as a JSON snapshot
                     (committed as BENCH_parallel.json)
+     --kernel-report PATH
+                    run ONLY the adaptive-support kernel benchmark:
+                    the fig-7 / fig-2 style sweeps at Delta = 10,
+                    solved with the exact full-support oracle and
+                    with the adaptive window, counting vector-matrix
+                    products and touched nonzeros via the Telemetry
+                    work counters and checking the adaptive-vs-oracle
+                    CDF deviation against the documented skipped-mass
+                    bound (accuracy / 2), written as a JSON snapshot
+                    (committed as BENCH_kernel.json, diffed by CI --
+                    work counts only, no wall clocks, so the file is
+                    identical on any machine and core count); nonzero
+                    exit if the touched-nnz reduction falls below 3x
+                    on any model or the deviation exceeds the bound
      --obs-report PATH
                     run ONLY the telemetry overhead benchmark: the
                     same fig-7 style solve with the collector off and
@@ -324,6 +338,8 @@ let scaling_report path =
   let n = Discretized.n_states d in
   let src = Array.make n (1. /. float_of_int n) in
   let dst = Array.make n 0. in
+  let fsrc = Batlife_numerics.Fvec.of_array src in
+  let fdst = Batlife_numerics.Fvec.create n in
   let reps = 400 in
   let per_op f =
     f ();
@@ -337,7 +353,7 @@ let scaling_report path =
         Nsparse.vecmat_acc ~src p ~scale:1. ~dst)
   in
   let gather_ns =
-    per_op (fun () -> Nsparse.matvec_rows pt src ~dst ~lo:0 ~hi:n)
+    per_op (fun () -> Nsparse.matvec_rows pt fsrc ~dst:fdst ~lo:0 ~hi:n)
   in
   Printf.printf
     "  step kernel (%d states, %d nnz): scatter %.0f ns, gather %.0f ns \
@@ -371,6 +387,162 @@ let scaling_report path =
               (base_time /. t))
           measured))
     identical n (Nsparse.nnz p) scatter_ns gather_ns (scatter_ns /. gather_ns));
+  Printf.printf "  wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive-support kernel accounting: the fig-7 and fig-2 style
+   sweeps at Delta = 10, each solved once with the exact full-support
+   oracle and once with the adaptive window, counting vector-matrix
+   products and touched nonzeros through the Telemetry work counters.
+   The JSON snapshot (committed as BENCH_kernel.json, diffed by CI)
+   contains only deterministic work counts and the adaptive-vs-oracle
+   curve deviation -- never wall clocks -- so the file is identical on
+   any machine and any core count.  Self-verifying: exits nonzero if
+   the touched-nnz reduction falls below 3x on any model or the
+   deviation exceeds the documented skipped-mass bound
+   (accuracy / 2). *)
+
+let c_touched = Telemetry.counter "transient.touched_nnz"
+
+type kernel_row = {
+  kr_key : string;
+  kr_label : string;
+  kr_times : float array;
+  kr_states : int;
+  kr_nnz : int;
+  kr_oracle_products : int;
+  kr_oracle_touched : int;
+  kr_adaptive_products : int;
+  kr_adaptive_touched : int;
+  kr_reduction : float;
+  kr_deviation : float;
+}
+
+let kernel_report path =
+  let delta = 10. in
+  let accuracy =
+    Batlife_ctmc.Solver_opts.default.Batlife_ctmc.Solver_opts.accuracy
+  in
+  let bound = accuracy /. 2. in
+  (* The sweep audits its cumulative skipped mass <= bound exactly; the
+     measured CDF deviation vs the oracle additionally carries float
+     reordering noise (the adaptive kernel sums the same products in a
+     different association), so the gate allows a hair of headroom. *)
+  let gate = bound +. 1e-14 in
+  (* Each sweep's time grid brackets that model's death region (the
+     two-well grid runs from the onset of failures to the median
+     lifetime): the window fraction grows like the square root of the
+     step count, so the grid also fixes how much support the adaptive
+     kernel can skip. *)
+  let models =
+    [
+      ( "fig7",
+        "fig7 on/off single-well",
+        [| 10000.; 15000.; 20000. |],
+        Params.onoff_kibamrm ~frequency:1.0 (Params.battery_single_well ()) );
+      ( "fig2",
+        "fig2 on/off two-well",
+        [| 8000.; 10000.; 12000. |],
+        Params.onoff_kibamrm ~frequency:1.0 (Params.battery_two_well ()) );
+    ]
+  in
+  Printf.printf "=== Adaptive-support kernel (delta = %g) ===\n" delta;
+  let rows =
+    List.map
+      (fun (key, label, times, model) ->
+        let d = Discretized.build ~delta model in
+        let solve opts =
+          Telemetry.reset_counter c_products;
+          Telemetry.reset_counter c_touched;
+          let t, curve =
+            wall (fun () -> Lifetime.cdf_discretized ~opts ~delta d ~times)
+          in
+          (t, curve, Telemetry.value c_products, Telemetry.value c_touched)
+        in
+        let o_t, o_curve, o_products, o_touched =
+          solve (Batlife_ctmc.Solver_opts.make ~adaptive_support:false ())
+        in
+        let a_t, a_curve, a_products, a_touched =
+          solve (Batlife_ctmc.Solver_opts.make ())
+        in
+        let deviation = ref 0. in
+        Array.iteri
+          (fun i p ->
+            let dev = Float.abs (p -. a_curve.Lifetime.probabilities.(i)) in
+            if dev > !deviation then deviation := dev)
+          o_curve.Lifetime.probabilities;
+        let reduction = float_of_int o_touched /. float_of_int a_touched in
+        Printf.printf "  %-24s %6d states, %8d nnz\n" label
+          o_curve.Lifetime.states o_curve.Lifetime.nnz;
+        Printf.printf
+          "    oracle:   %5d products, %12d nnz touched, %9.3f ms\n"
+          o_products o_touched (o_t *. 1e3);
+        Printf.printf
+          "    adaptive: %5d products, %12d nnz touched, %9.3f ms  \
+           (%.2fx fewer nnz, %.2fx wall)\n"
+          a_products a_touched (a_t *. 1e3) reduction (o_t /. a_t);
+        Printf.printf "    max CDF deviation: %.3e  (bound %.3e)\n" !deviation
+          bound;
+        {
+          kr_key = key;
+          kr_label = label;
+          kr_times = times;
+          kr_states = o_curve.Lifetime.states;
+          kr_nnz = o_curve.Lifetime.nnz;
+          kr_oracle_products = o_products;
+          kr_oracle_touched = o_touched;
+          kr_adaptive_products = a_products;
+          kr_adaptive_touched = a_touched;
+          kr_reduction = reduction;
+          kr_deviation = !deviation;
+        })
+      models
+  in
+  let min_reduction =
+    List.fold_left (fun acc r -> Float.min acc r.kr_reduction) infinity rows
+  in
+  let max_deviation =
+    List.fold_left (fun acc r -> Float.max acc r.kr_deviation) 0. rows
+  in
+  Printf.printf "  min touched-nnz reduction: %.2fx, max deviation %.3e\n"
+    min_reduction max_deviation;
+  if min_reduction < 3. || max_deviation > gate then begin
+    prerr_endline
+      "kernel report: reduction below 3x or deviation beyond the \
+       skipped-mass bound (adaptive kernel bug)";
+    exit 1
+  end;
+  Batlife_numerics.Atomic_io.with_out ~path (fun oc ->
+  Printf.fprintf oc
+    {|{
+  "benchmark": "adaptive-support kernel accounting",
+  "delta": %g,
+  "accuracy": %.3e,
+  "deviation_bound": %.3e,
+  "models": [
+%s
+  ],
+  "summary": { "min_reduction": %.4f, "max_deviation": %.3e }
+}
+|}
+    delta accuracy bound
+    (String.concat ",\n"
+       (List.map
+          (fun r ->
+            Printf.sprintf
+              {|    { "key": "%s", "model": "%s", "times": [%s],
+      "states": %d, "nnz": %d,
+      "oracle": { "products": %d, "touched_nnz": %d },
+      "adaptive": { "products": %d, "touched_nnz": %d },
+      "touched_nnz_reduction": %.4f, "max_cdf_deviation": %.3e }|}
+              r.kr_key r.kr_label
+              (String.concat ", "
+                 (Array.to_list (Array.map (Printf.sprintf "%g") r.kr_times)))
+              r.kr_states r.kr_nnz r.kr_oracle_products
+              r.kr_oracle_touched r.kr_adaptive_products r.kr_adaptive_touched
+              r.kr_reduction r.kr_deviation)
+          rows))
+    min_reduction max_deviation);
   Printf.printf "  wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
@@ -661,6 +833,7 @@ let () =
   let ids = ref [] in
   let engine_json = ref None in
   let scaling_json = ref None in
+  let kernel_json = ref None in
   let obs_json = ref None in
   let chaos_json = ref None in
   let chaos_plans = ref 60 in
@@ -676,6 +849,9 @@ let () =
         parse rest
     | "--scaling-report" :: path :: rest ->
         scaling_json := Some path;
+        parse rest
+    | "--kernel-report" :: path :: rest ->
+        kernel_json := Some path;
         parse rest
     | "--obs-report" :: path :: rest ->
         obs_json := Some path;
@@ -719,6 +895,13 @@ let () =
   (match !scaling_json with
   | Some path ->
       scaling_report path;
+      exit 0
+  | None -> ());
+  (* --kernel-report also runs alone: it reads the process-wide work
+     counters, which any interleaved solve would pollute. *)
+  (match !kernel_json with
+  | Some path ->
+      kernel_report path;
       exit 0
   | None -> ());
   (* --obs-report likewise runs alone: it compares wall clocks, so any

@@ -158,13 +158,21 @@ let plot_arg =
 let solver_opts_term =
   let make accuracy unif_rate convergence_tol solver_tol jobs =
     (* --jobs also sets the process-wide default so code paths that
-       build their own Solver_opts (sessions, experiments) follow it. *)
-    (match jobs with
-    | Some j when j < 1 ->
-        Batlife_numerics.Diag.invalid_model ~what:"--jobs"
-          [ Printf.sprintf "need at least 1 worker domain, got %d" j ]
-    | Some j -> Batlife_numerics.Pool.set_default_jobs j
-    | None -> ());
+       build their own Solver_opts (sessions, experiments) follow it.
+       Requests beyond the core count are clamped (Pool.clamp_jobs
+       records a Diag note): oversubscribing domains is a measured
+       slowdown, never a speedup. *)
+    let jobs =
+      match jobs with
+      | Some j when j < 1 ->
+          Batlife_numerics.Diag.invalid_model ~what:"--jobs"
+            [ Printf.sprintf "need at least 1 worker domain, got %d" j ]
+      | Some j ->
+          let j = Batlife_numerics.Pool.clamp_jobs j in
+          Batlife_numerics.Pool.set_default_jobs j;
+          Some j
+      | None -> None
+    in
     Solver_opts.make ~accuracy ?unif_rate ~convergence_tol ?linear_tol:solver_tol
       ?jobs ()
   in
@@ -769,7 +777,9 @@ let serve_cmd =
     | Some j when j < 1 ->
         Batlife_numerics.Diag.invalid_model ~what:"--jobs"
           [ Printf.sprintf "need at least 1 worker domain, got %d" j ]
-    | Some j -> Batlife_numerics.Pool.set_default_jobs j
+    | Some j ->
+        Batlife_numerics.Pool.set_default_jobs
+          (Batlife_numerics.Pool.clamp_jobs j)
     | None -> ());
     let service = Batlife_service.Service.create ~cache_capacity () in
     match socket with

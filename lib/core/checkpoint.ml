@@ -1,6 +1,8 @@
 (* Versioned on-disk snapshots of interrupted computations.
 
-   Format v2 ("batlife.ckpt/2"): line 1 is one compact JSON document
+   Format v3 ("batlife.ckpt/3", adding the adaptive kernel's skipped
+   probability mass to CDF payloads): line 1 is one compact JSON
+   document
    (every number through Batlife_numerics.Json's exact float/int64
    round-trip, the foundation of the "resumed == uninterrupted"
    bitwise guarantee), line 2 is an integrity footer
@@ -18,7 +20,7 @@
 open Batlife_numerics
 open Batlife_ctmc
 
-let schema = "batlife.ckpt/2"
+let schema = "batlife.ckpt/3"
 let footer_tag = "batlife.ckpt.footer"
 
 (* Corruption injection, applied to the raw bytes right after reading:
@@ -69,6 +71,7 @@ let json_of_payload = function
           ("times", json_of_floats c.cdf_times);
           ("step", Json.of_int p.Transient.sp_step);
           ("converged", Json.Bool p.Transient.sp_converged);
+          ("skipped", Json.of_float p.Transient.sp_skipped);
           ("vector", json_of_floats p.Transient.sp_vector);
           ( "values",
             Json.Arr
@@ -257,6 +260,7 @@ let load ~path =
                 floats_of_json ~source ~field:"vector"
                   (Json.member ~source ~field:"vector" j);
               sp_values = values;
+              sp_skipped = num "skipped";
             };
         }
   | "montecarlo" ->

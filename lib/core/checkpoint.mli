@@ -1,5 +1,5 @@
 (** Versioned on-disk snapshots of interrupted computations
-    (schema ["batlife.ckpt/2"]).
+    (schema ["batlife.ckpt/3"]).
 
     A checkpoint file is two lines: one JSON document, then an
     integrity footer

@@ -100,11 +100,11 @@ let n_states t = Grid.total_states t.grid
 
 let nnz t = Generator.nnz t.generator
 
-let absorbed_mass grid v =
+let absorbed_mass grid (v : Fvec.t) =
   let block = Grid.absorbing_block_size grid in
   let acc = ref 0. in
   for idx = 0 to block - 1 do
-    acc := !acc +. v.(idx)
+    acc := !acc +. Fvec.unsafe_get v idx
   done;
   !acc
 
@@ -177,7 +177,7 @@ module Session = struct
      funcs-by-times result block, filled by the shared sweep. *)
   type reg = {
     reg_times : float array;
-    funcs : (float array -> float) array;
+    funcs : (Fvec.t -> float) array;
     mutable out : float array array;
     mutable filled : bool;
   }
@@ -190,7 +190,7 @@ module Session = struct
         (** Fox–Glynn windows keyed by [t]; the key pair [(q, t)] of
             the cache degenerates to [t] because [rate] is pinned for
             the session's lifetime. *)
-    mutable buffers : (float array * float array) option;
+    mutable buffers : (Fvec.t * Fvec.t) option;
     mutable kernel : Transient.kernel option;
         (** parallel stepping kernel (transposed uniformised matrix +
             row partition), built on the first sweep and reused — the
@@ -256,7 +256,7 @@ module Session = struct
     | Some b -> b
     | None ->
         let n = n_states s.d in
-        let b = (Vector.create n, Vector.create n) in
+        let b = (Fvec.create n, Fvec.create n) in
         s.buffers <- Some b;
         b
 
@@ -293,6 +293,11 @@ module Session = struct
               uniformisation_rate = s.rate;
               mass_residual = 0.;
               fg_defect = 0.;
+              touched_nnz = 0;
+              active_rows = 0;
+              support_lo = 0;
+              support_hi = 0;
+              skipped_mass = 0.;
             })
     | regs ->
         Telemetry.incr c_flushes;
@@ -343,9 +348,11 @@ module Session = struct
 
   (* --- functional builders ---------------------------------------- *)
 
-  let sum_over indices v =
+  (* Under the adaptive kernel, indices outside the support window
+     read exactly 0., so bucket sums need no window awareness. *)
+  let sum_over indices (v : Fvec.t) =
     let acc = ref 0. in
-    Array.iter (fun i -> acc := !acc +. v.(i)) indices;
+    Array.iter (fun i -> acc := !acc +. Fvec.unsafe_get v i) indices;
     !acc
 
   (* Partition the flat state space by available-charge level: bucket
@@ -430,10 +437,10 @@ module Session = struct
 
   let expected_available_charge s ~time =
     let coefficients = charge_coefficients s in
-    let func v =
+    let func (v : Fvec.t) =
       let acc = ref 0. in
-      for i = 0 to Array.length v - 1 do
-        acc := !acc +. (coefficients.(i) *. v.(i))
+      for i = 0 to Fvec.length v - 1 do
+        acc := !acc +. (coefficients.(i) *. Fvec.unsafe_get v i)
       done;
       !acc
     in

@@ -144,10 +144,12 @@ module Session : sig
   val measure :
     session ->
     times:float array ->
-    measure:(float array -> float) ->
+    measure:(Batlife_numerics.Fvec.t -> float) ->
     float array pending
   (** Escape hatch: any user-supplied linear functional of the
-      transient distribution, evaluated on [times]. *)
+      transient distribution, evaluated on [times].  The functional
+      reads the flat [Fvec] iterate; under the adaptive kernel,
+      entries outside the support window are exactly [0.]. *)
 
   (** {2 Execution} *)
 

@@ -71,23 +71,35 @@ let cdf_session ?(session : Discretized.Session.session option) ~delta d ~times
   curve_of ~delta d (Discretized.Session.get pending) stats ~times
 
 (* A-posteriori escalation.  When a sweep fails its self-verification
-   (mass residual, Fox–Glynn accounting, CDF shape — all surfacing as
-   [Numerical_breakdown]), the result is discarded and re-derived on
-   progressively more conservative rungs before the failure is let
-   through.  The first rung is the sequential oracle kernel at the
-   {e same} tolerances: the parallel kernel is bitwise-identical to it
-   by construction, so a recovery here changes no output bit of a
-   clean run — which is what lets the chaos harness demand bitwise
-   equality from recovered runs.  Only the second rung tightens the
-   accuracy (its output may legitimately differ; it trades the
-   guarantee for a last chance at a usable curve).  If every rung
-   fails, the {e first} error is re-raised, so persistent breakdowns
-   report the original diagnosis, not the oracle's echo of it. *)
+   (mass residual, skipped-mass budget, Fox–Glynn accounting, CDF
+   shape — all surfacing as [Numerical_breakdown]), the result is
+   discarded and re-derived on progressively more conservative rungs
+   before the failure is let through.  The first rung re-runs
+   sequentially with the {e same} kernel configuration and tolerances:
+   the parallel kernel is bitwise-identical to the sequential one by
+   construction, so a recovery here changes no output bit of a clean
+   run — which is what lets the chaos harness demand bitwise equality
+   from recovered runs.  The second rung drops to the exact
+   full-support oracle kernel (still the same tolerances): it removes
+   the adaptive window from the suspect set, at most perturbing the
+   result by the skipped mass the adaptive run would have dropped.
+   Only the last rung tightens the accuracy (its output may
+   legitimately differ; it trades the guarantee for a last chance at a
+   usable curve).  If every rung fails, the {e first} error is
+   re-raised, so persistent breakdowns report the original diagnosis,
+   not the oracle's echo of it. *)
 let escalation_rungs (o : Solver_opts.t) =
   [
-    ("sequential oracle kernel, same tolerances", { o with jobs = Some 1 });
-    ( "sequential oracle kernel, accuracy tightened 100x",
-      { o with jobs = Some 1; accuracy = o.Solver_opts.accuracy /. 100. } );
+    ("sequential kernel, same tolerances", { o with jobs = Some 1 });
+    ( "sequential exact full-support oracle, same tolerances",
+      { o with jobs = Some 1; adaptive_support = false } );
+    ( "sequential exact full-support oracle, accuracy tightened 100x",
+      {
+        o with
+        jobs = Some 1;
+        adaptive_support = false;
+        accuracy = o.Solver_opts.accuracy /. 100.;
+      } );
   ]
 
 let cdf_discretized ?opts ~delta d ~times =

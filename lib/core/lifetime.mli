@@ -56,7 +56,7 @@ val cdf_resumable :
   Kibamrm.t ->
   curve
 (** {!cdf} with checkpoint/resume.  [checkpoint:(path, interval)]
-    atomically writes a [batlife.ckpt/2] snapshot ({!Checkpoint}) to
+    atomically writes a [batlife.ckpt/3] snapshot ({!Checkpoint}) to
     [path] every [interval] completed sweep steps, and flushes a final
     snapshot before a budget/cancellation error propagates; [resume]
     loads such a snapshot and continues the sweep where it stopped.

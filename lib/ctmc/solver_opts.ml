@@ -7,23 +7,30 @@ type t = {
   telemetry : bool;
   budget : Batlife_numerics.Budget.t option;
   max_retries : int;
+  adaptive_support : bool;
+  support_threshold : float option;
 }
 
 let default =
   { accuracy = 1e-12; unif_rate = None; convergence_tol = 1e-14;
     linear_tol = None; jobs = None; telemetry = false; budget = None;
-    max_retries = 0 }
+    max_retries = 0; adaptive_support = true; support_threshold = None }
 
 let make ?(accuracy = default.accuracy) ?unif_rate
     ?(convergence_tol = default.convergence_tol) ?linear_tol ?jobs
     ?(telemetry = default.telemetry) ?budget
-    ?(max_retries = default.max_retries) () =
+    ?(max_retries = default.max_retries)
+    ?(adaptive_support = default.adaptive_support) ?support_threshold () =
   (match jobs with
   | Some j when j < 1 -> invalid_arg "Solver_opts.make: need jobs >= 1"
   | _ -> ());
   if max_retries < 0 then invalid_arg "Solver_opts.make: need max_retries >= 0";
+  (match support_threshold with
+  | Some tau when not (Float.is_finite tau) || tau < 0. ->
+      invalid_arg "Solver_opts.make: need a finite support_threshold >= 0"
+  | _ -> ());
   { accuracy; unif_rate; convergence_tol; linear_tol; jobs; telemetry; budget;
-    max_retries }
+    max_retries; adaptive_support; support_threshold }
 
 let linear_tol_or ~default:d t =
   match t.linear_tol with Some tol -> tol | None -> d
@@ -47,7 +54,8 @@ let request_telemetry t =
 let pp ppf t =
   Format.fprintf ppf
     "{ accuracy = %g; unif_rate = %s; convergence_tol = %g; linear_tol = %s; \
-     jobs = %s; telemetry = %b; budget = %s; max_retries = %d }"
+     jobs = %s; telemetry = %b; budget = %s; max_retries = %d; \
+     adaptive_support = %b; support_threshold = %s }"
     t.accuracy
     (match t.unif_rate with Some q -> Printf.sprintf "%g" q | None -> "auto")
     t.convergence_tol
@@ -60,4 +68,7 @@ let pp ppf t =
     | Some b when Batlife_numerics.Budget.is_unlimited b -> "unlimited"
     | Some _ -> "explicit"
     | None -> "ambient")
-    t.max_retries
+    t.max_retries t.adaptive_support
+    (match t.support_threshold with
+    | Some tau -> Printf.sprintf "%g" tau
+    | None -> "auto")

@@ -46,7 +46,22 @@
     - [max_retries] (default [0]): per-task retry allowance of the
       parallel experiment fan-out ([Batlife_experiments.Par]);
       transiently failing tasks are retried with exponential backoff
-      up to this many times before the failure propagates. *)
+      up to this many times before the failure propagates.
+    - [adaptive_support] (default [true]): let the uniformisation
+      kernel track the active support window of the iterate and skip
+      rows whose probability mass is provably negligible.  The mass it
+      drops is budgeted against the Fox–Glynn truncation error, so the
+      documented accuracy bound still holds; results are no longer
+      bitwise identical to the exact full-support kernel (which
+      [false] restores, and which the escalation ladder falls back to
+      as an oracle).
+    - [support_threshold] (default [None]): per-entry pruning
+      threshold of the adaptive kernel.  [None] derives one from
+      [accuracy] and the sweep shape so the total skipped mass stays
+      under half the accuracy budget; [Some 0.] prunes only exact
+      zeros, making the adaptive kernel bitwise identical to the exact
+      one while still shrinking the window.  Rejected if negative or
+      non-finite. *)
 
 type t = {
   accuracy : float;
@@ -57,12 +72,15 @@ type t = {
   telemetry : bool;
   budget : Batlife_numerics.Budget.t option;
   max_retries : int;
+  adaptive_support : bool;
+  support_threshold : float option;
 }
 
 val default : t
 (** [{ accuracy = 1e-12; unif_rate = None; convergence_tol = 1e-14;
       linear_tol = None; jobs = None; telemetry = false; budget = None;
-      max_retries = 0 }]. *)
+      max_retries = 0; adaptive_support = true;
+      support_threshold = None }]. *)
 
 val make :
   ?accuracy:float ->
@@ -73,10 +91,13 @@ val make :
   ?telemetry:bool ->
   ?budget:Batlife_numerics.Budget.t ->
   ?max_retries:int ->
+  ?adaptive_support:bool ->
+  ?support_threshold:float ->
   unit ->
   t
 (** [make ()] is {!default}; each argument overrides one field.
-    Raises [Invalid_argument] on [jobs < 1] or [max_retries < 0]. *)
+    Raises [Invalid_argument] on [jobs < 1], [max_retries < 0], or a
+    negative/non-finite [support_threshold]. *)
 
 val linear_tol_or : default:float -> t -> float
 (** The linear-solve tolerance, falling back to the calling solver's

@@ -10,6 +10,11 @@ type stats = {
   uniformisation_rate : float;
   mass_residual : float;
   fg_defect : float;
+  touched_nnz : int;
+  active_rows : int;
+  support_lo : int;
+  support_hi : int;
+  skipped_mass : float;
 }
 
 type sweep_progress = {
@@ -17,16 +22,22 @@ type sweep_progress = {
   sp_converged : bool;
   sp_vector : float array;
   sp_values : float array array;
+  sp_skipped : float;
 }
 
 (* Process-wide work counters.  They exist so tests and benchmarks can
    assert "this batch of queries cost exactly one sweep" without
    instrumenting call sites.  They are Telemetry counters now — Atomic
    cells, safe to bump from any domain — after the historical int refs
-   proved racy under Pool fan-out (Par.map tasks each run sweeps). *)
+   proved racy under Pool fan-out (Par.map tasks each run sweeps).
+   [touched_nnz] and [active_rows] tally the work the adaptive-support
+   kernel actually performed; products * nnz minus touched_nnz is the
+   work it skipped. *)
 let c_sweeps = Telemetry.counter "transient.sweeps"
 let c_products = Telemetry.counter "transient.products"
 let c_kernel_builds = Telemetry.counter "transient.kernel_builds"
+let c_touched_nnz = Telemetry.counter "transient.touched_nnz"
+let c_active_rows = Telemetry.counter "transient.active_rows"
 
 (* Kernel-corruption injection sites: a NaN or a wildly out-of-range
    value written into one vector-matrix product, the bit-flip /
@@ -118,27 +129,103 @@ let resolve_rate ?(opts = Solver_opts.default) g =
    row j of P^T with v, owned by exactly one domain, summed in a fixed
    (CSR) order.  Covering the rows with any disjoint partition then
    yields bitwise-identical results for every job count, which is what
-   makes jobs a pure performance knob. *)
+   makes jobs a pure performance knob.
+
+   On top of the gather sits the {e adaptive support window}: the
+   iterate of a lifetime sweep is a travelling front over the charge
+   grid — most rows hold no mass at any given step.  The kernel tracks
+   the set of rows outside which the iterate is exactly zero as a
+   sorted array of disjoint index segments, expands it each step along
+   the transition structure, and computes the gather only inside it.
+
+   Expansion uses the matrix's {e distinct displacement set} D = { dst
+   - src : transitions }, collected once at build time: the rows that
+   can be nonzero after a product are exactly the current segments
+   shifted by each d in D (merged, clipped).  For the multi-axis grids
+   of the battery models the iterate is a thin diagonal band in the
+   flattened index space — a dense interval [\[lo, hi)] over-covers it
+   by 2–15x, while shifted copies of the segment list preserve the
+   band exactly.  When D is large ([> 64]) the kernel falls back to
+   dilating each segment by the structural bandwidths (the largest
+   index decrease/increase any single transition can cause), which is
+   the same over-approximation the interval window used — either way
+   mass can never escape the active set silently.
+
+   Pruning is tile-granular: the support is scanned in fixed
+   absolute-aligned tiles, and a tile is dropped (zeroed, its mass
+   tallied into [skipped]) when every entry is at most the threshold
+   and the cumulative skipped mass stays within the error budget.
+   Tiles let the support shrink behind the front {e and} carve out
+   interior regions the displacement shifts over-covered, at a cost
+   linear in the active size — the same order as the gather itself. *)
 
 type kernel = {
   k_states : int;
   k_rate : float;  (** the uniformisation rate [q] baked into P *)
   k_pt : Sparse.t;  (** transpose of [P = I + Q/q] *)
-  k_partition : (int * int) array;  (** nnz-balanced row ranges of [k_pt] *)
+  k_parts : int;
+  k_partition : (int * int) array;  (** full-range partition, cached *)
   k_pool : Pool.t;
+  k_down : int;
+      (** max index decrease a stored transition causes (src - dst) *)
+  k_up : int;  (** max index increase a stored transition causes *)
+  k_disp : int array;
+      (** sorted distinct displacements [dst - src] of the stored
+          transitions (0 always included); [\[||\]] when there are more
+          than {!max_displacements}, selecting the bandwidth-interval
+          fallback *)
 }
+
+(* Above this many distinct displacements, per-step dilation by
+   shifted copies stops being obviously cheap and the kernel falls
+   back to interval dilation.  Grid-structured models have a handful
+   of displacements (one per transition kind); only genuinely
+   unstructured matrices exceed this. *)
+let max_displacements = 64
 
 let kernel_for g ~q ~jobs =
   Telemetry.incr c_kernel_builds;
   Telemetry.with_span "transient.kernel_build" @@ fun () ->
   let pool = Pool.get ~jobs in
   let pt = Sparse.transpose (Generator.uniformised g ~q) in
+  (* Structural shape of P: entry (r, c) of P^T is the transition
+     c -> r, i.e. a displacement of d = r - c in the flattened index
+     space.  One O(nnz) pass at build time collects both the extreme
+     displacements (the bandwidths) and the distinct-displacement set
+     that drives segment dilation for the whole sweep. *)
+  let down = ref 0 and up = ref 0 in
+  let disp = Hashtbl.create 64 in
+  Hashtbl.replace disp 0 ();
+  Sparse.iter pt (fun r c _ ->
+      let d = r - c in
+      if d < 0 then (if -d > !down then down := -d)
+      else if d > !up then up := d;
+      if not (Hashtbl.mem disp d) then Hashtbl.add disp d ());
+  let disp =
+    if Hashtbl.length disp > max_displacements then [||]
+    else begin
+      let a = Array.make (Hashtbl.length disp) 0 in
+      let i = ref 0 in
+      Hashtbl.iter
+        (fun d () ->
+          a.(!i) <- d;
+          incr i)
+        disp;
+      Array.sort compare a;
+      a
+    end
+  in
+  let parts = Pool.size pool in
   {
     k_states = Generator.n_states g;
     k_rate = q;
     k_pt = pt;
-    k_partition = Sparse.nnz_balanced_partition pt ~parts:(Pool.size pool);
+    k_parts = parts;
+    k_partition = Sparse.nnz_balanced_partition pt ~parts;
     k_pool = pool;
+    k_down = !down;
+    k_up = !up;
+    k_disp = disp;
   }
 
 let make_kernel ?(opts = Solver_opts.default) g =
@@ -147,6 +234,7 @@ let make_kernel ?(opts = Solver_opts.default) g =
 
 let kernel_rate k = k.k_rate
 let kernel_jobs k = Pool.size k.k_pool
+let kernel_bandwidths k = (k.k_down, k.k_up)
 
 (* A caller-supplied kernel must have been prepared for the exact rate
    the sweep resolved, or the Poisson windows and the matrix would
@@ -165,38 +253,321 @@ let check_kernel ~where ~q ~opts g = function
       k
   | None -> kernel_for g ~q ~jobs:(Solver_opts.resolve_jobs opts)
 
+(* ------------------------------------------------------------------ *)
+(* Segmented working vectors.
+
+   A [buf] pairs a flat Fvec with its support: [segs] is a sorted
+   array of disjoint half-open index segments, and the invariant,
+   maintained by every operation below, is that the vector is exactly
+   [0.] outside them.  [blo, bhi) is the segments' hull, kept for the
+   mass guards and the reported stats.  All segment boundaries are
+   aligned to a fixed tile grid (except where clipped at the state
+   count), which is what lets a resumed sweep rebuild the exact live
+   support from the stored vector alone: the pruner drops every
+   all-zero tile it scans, so the live support is precisely the set of
+   tiles holding a nonzero. *)
+
+type buf = {
+  v : Fvec.t;
+  mutable blo : int;
+  mutable bhi : int;
+  mutable segs : (int * int) array;
+}
+
+(* The tile grid: coarse enough that the per-tile max/sum scan
+   amortises, fine enough to hug a travelling front.  Derived from the
+   state count alone so every consumer (dilation alignment, pruning,
+   support recovery on resume) agrees on the grid. *)
+let tile_width n = Int.max 8 (Int.min 64 (n / 1024))
+
+let seg_hull = function
+  | [||] -> (0, 0)
+  | segs -> (fst segs.(0), snd segs.(Array.length segs - 1))
+
+(* Merge a lo-sorted segment array: overlapping or exactly adjacent
+   segments coalesce, so the result is disjoint, sorted and minimal. *)
+let merge_segs segs =
+  let m = Array.length segs in
+  if m <= 1 then segs
+  else begin
+    let out = ref [] in
+    let clo = ref (fst segs.(0)) and chi = ref (snd segs.(0)) in
+    for i = 1 to m - 1 do
+      let lo, hi = segs.(i) in
+      if lo <= !chi then (if hi > !chi then chi := hi)
+      else begin
+        out := (!clo, !chi) :: !out;
+        clo := lo;
+        chi := hi
+      end
+    done;
+    out := (!clo, !chi) :: !out;
+    Array.of_list (List.rev !out)
+  end
+
+(* The support of an arbitrary vector, as tile-aligned segments: a
+   tile survives iff it holds an entry that is not exactly [0.] (NaN
+   counts — it must stay visible to the guards).  Used to seed a sweep
+   from alpha and to restore the live support of a checkpointed
+   iterate; because the pruner below never leaves an all-zero tile
+   active, this reproduces the interrupted sweep's support exactly. *)
+let segs_of_nonzeros v =
+  let n = Fvec.length v in
+  let tile = tile_width n in
+  let lo0, hi0 = Fvec.nonzero_extent v in
+  let kept = ref [] in
+  let t = ref (lo0 / tile * tile) in
+  while !t < hi0 do
+    let hi = min n (!t + tile) in
+    let occupied = ref false in
+    let i = ref (max !t lo0) in
+    while (not !occupied) && !i < hi do
+      if Fvec.unsafe_get v !i <> 0. then occupied := true;
+      incr i
+    done;
+    if !occupied then kept := (!t, hi) :: !kept;
+    t := hi
+  done;
+  merge_segs (Array.of_list (List.rev !kept))
+
+(* Rows that can be nonzero after one product: the source segments
+   shifted by every distinct displacement (or dilated by the
+   bandwidths when the displacement set overflowed), aligned out to
+   the tile grid, clipped to [\[0, n)], sorted and merged.  This is an
+   over-approximation of the true next support — any row outside it
+   has all its P^T entries anchored at exact-zero sources — so rows
+   outside stay exact zeros and nothing escapes silently. *)
+let dilate_segs k segs =
+  let n = k.k_states in
+  if Array.length segs = 0 then [||]
+  else begin
+    let tile = tile_width n in
+    let shifted =
+      if Array.length k.k_disp > 0 then
+        Array.concat
+          (Array.to_list
+             (Array.map
+                (fun d -> Array.map (fun (lo, hi) -> (lo + d, hi + d)) segs)
+                k.k_disp))
+      else Array.map (fun (lo, hi) -> (lo - k.k_down, hi + k.k_up)) segs
+    in
+    let aligned =
+      Array.map
+        (fun (lo, hi) ->
+          let lo = max 0 lo and hi = min n hi in
+          if hi <= lo then (0, 0)
+          else (lo / tile * tile, min n ((hi + tile - 1) / tile * tile)))
+        shifted
+    in
+    let live = Array.of_list (List.filter (fun (lo, hi) -> hi > lo) (Array.to_list aligned)) in
+    Array.sort compare live;
+    merge_segs live
+  end
+
+(* Zero the parts of [dst]'s previous support the coming gather will
+   not overwrite, so stale mass from two steps ago can never leak
+   back in.  Both segment arrays are sorted, so one forward walk
+   subtracts the new cover from the old. *)
+let zero_stale dst ~active =
+  let na = Array.length active in
+  let j = ref 0 in
+  Array.iter
+    (fun (olo, ohi) ->
+      let pos = ref olo in
+      while !pos < ohi do
+        while !j < na && snd active.(!j) <= !pos do
+          incr j
+        done;
+        if !j >= na || fst active.(!j) >= ohi then begin
+          Fvec.fill_range dst.v ~lo:!pos ~hi:ohi 0.;
+          pos := ohi
+        end
+        else begin
+          let alo, ahi = active.(!j) in
+          if alo > !pos then Fvec.fill_range dst.v ~lo:!pos ~hi:alo 0.;
+          pos := min ohi ahi
+        end
+      done)
+    dst.segs
+
+(* nnz-balanced chunks covering exactly the active segments, the
+   segmented analogue of {!Sparse.nnz_balanced_partition} (same
+   nnz-plus-one row weight).  Chunk boundaries never straddle a
+   segment, so every chunk is a contiguous row range the gather can
+   own; producing a few more chunks than workers is fine —
+   {!Pool.run_chunks} assigns chunk [i] to worker [i mod size], and
+   the values are bitwise independent of the partition anyway. *)
+let partition_segs pt segs ~parts =
+  let row_ptr = pt.Sparse.row_ptr in
+  let weight lo hi = row_ptr.(hi) - row_ptr.(lo) + (hi - lo) in
+  let total = Array.fold_left (fun acc (lo, hi) -> acc + weight lo hi) 0 segs in
+  let target = max 1 ((total + parts - 1) / parts) in
+  let chunks = ref [] in
+  Array.iter
+    (fun (slo, shi) ->
+      let lo = ref slo and acc = ref 0 in
+      for r = slo to shi - 1 do
+        acc := !acc + (row_ptr.(r + 1) - row_ptr.(r)) + 1;
+        if !acc >= target && r + 1 < shi then begin
+          chunks := (!lo, r + 1) :: !chunks;
+          lo := r + 1;
+          acc := 0
+        end
+      done;
+      if !lo < shi then chunks := (!lo, shi) :: !chunks)
+    segs;
+  Array.of_list (List.rev !chunks)
+
+(* One uniformised step: v' = v P, as a gather over the transposed
+   matrix restricted to the active segments.  Every active dst entry
+   is (over)written by exactly one chunk; the chunk-to-worker
+   assignment and the in-row summation order are fixed, so the result
+   is bitwise independent of the job count.  Returns the (touched
+   nonzeros, active rows) work tally of this product. *)
+let step_window k ~src ~dst ~adaptive =
+  Telemetry.incr c_products;
+  let n = k.k_states in
+  let active = if not adaptive then [| (0, n) |] else dilate_segs k src.segs in
+  zero_stale dst ~active;
+  if Array.length active > 0 then begin
+    let partition =
+      if not adaptive then k.k_partition
+      else partition_segs k.k_pt active ~parts:k.k_parts
+    in
+    (* Supervised: a worker crash mid-product re-runs its partition
+       (the chunks write disjoint, deterministic ranges of dst, so the
+       re-run is bitwise identical) instead of killing the sweep. *)
+    Pool.run_chunks ~supervise:true k.k_pool partition (fun ~lo ~hi ->
+        Sparse.matvec_rows k.k_pt src.v ~dst:dst.v ~lo ~hi)
+  end;
+  dst.segs <- active;
+  let wlo, whi = seg_hull active in
+  dst.blo <- wlo;
+  dst.bhi <- whi;
+  let touched = ref 0 and rows = ref 0 in
+  Array.iter
+    (fun (lo, hi) ->
+      touched := !touched + Sparse.range_nnz k.k_pt ~lo ~hi;
+      rows := !rows + (hi - lo))
+    active;
+  Telemetry.add c_touched_nnz !touched;
+  Telemetry.add c_active_rows !rows;
+  if Fi.enabled () then begin
+    let at = if wlo < whi then wlo else 0 in
+    if Fi.fires fi_step_nan then Fvec.set dst.v at Float.nan;
+    if Fi.fires fi_step_overflow then Fvec.set dst.v at 1e30
+  end;
+  (!touched, !rows)
+
+(* Tile-granular pruning: every active tile whose max magnitude is at
+   most [tau] AND whose mass fits the remaining skipped-mass cap is
+   dropped — zeroed, its mass added to [skipped] — and the surviving
+   tiles become the new support.  All-zero tiles always qualify at
+   zero cost, so the support never retains a tile without a nonzero
+   (the property resume relies on).  With [tau = 0.] only exact zeros
+   are consumed and [skipped] stays [+0.], which is what makes the
+   threshold-0 adaptive sweep bitwise identical to the full-support
+   kernel.  NaN never satisfies the comparisons, so an injected NaN
+   survives for the mass guard to catch. *)
+let prune_segments b ~tau ~cap ~skipped =
+  let n = Fvec.length b.v in
+  let tile = tile_width n in
+  let kept = ref [] in
+  Array.iter
+    (fun (slo, shi) ->
+      let t = ref slo in
+      while !t < shi do
+        let hi = min shi (((!t / tile) + 1) * tile) in
+        let mx = ref 0. and sm = ref 0. in
+        for i = !t to hi - 1 do
+          let ax = Float.abs (Fvec.unsafe_get b.v i) in
+          if not (ax <= !mx) then mx := ax;
+          sm := !sm +. ax
+        done;
+        if !mx <= tau && !skipped +. !sm <= cap then begin
+          if !sm > 0. then begin
+            skipped := !skipped +. !sm;
+            Fvec.fill_range b.v ~lo:!t ~hi 0.
+          end
+        end
+        else kept := (!t, hi) :: !kept;
+        t := hi
+      done)
+    b.segs;
+  let segs = merge_segs (Array.of_list (List.rev !kept)) in
+  b.segs <- segs;
+  let lo, hi = seg_hull segs in
+  b.blo <- lo;
+  b.bhi <- hi
+
+(* The error-budget split.  Fox–Glynn truncation already spends up to
+   [accuracy] (its defect is audited against it); the adaptive kernel
+   gets an {e additional} skipped-mass allowance of [accuracy / 2],
+   spread uniformly over the sweep's steps: the auto threshold is the
+   per-step share [budget / (n_max + 1)], so a step that prunes a few
+   edge entries at the threshold stays on budget, and the running
+   tally is hard-capped by [budget_skip] regardless — correctness
+   never depends on the threshold, only greediness does.  The sweep
+   additionally prorates the cap over steps (step m may only have
+   consumed the fraction [m / n_max] of it) so the spend rate is
+   sustainable end-to-end rather than front-loaded — the tile pruner
+   can see many sub-threshold tiles in one step, and without the rate
+   limit a greedy early step would exhaust the whole budget and the
+   support could never shrink again.  (Dividing the budget by the
+   state count instead would be sound but hopelessly conservative.)
+   A caller-supplied threshold keeps the
+   same cap unless it is so large the cap would be unreachable, in
+   which case the cap scales with the threshold (and the documented
+   deviation bound scales with it — reported in {!stats.skipped_mass}
+   either way). *)
+let resolve_pruning ~opts ~n_max =
+  if not opts.Solver_opts.adaptive_support then (0., 0.)
+  else begin
+    let steps = float_of_int (n_max + 1) in
+    let tau =
+      match opts.Solver_opts.support_threshold with
+      | Some tau -> tau
+      | None -> 0.5 *. opts.Solver_opts.accuracy /. steps
+    in
+    let budget_skip =
+      Float.max (opts.Solver_opts.accuracy /. 2.) (tau *. steps)
+    in
+    (tau, budget_skip)
+  end
+
 (* In-flight guardrail for the uniformised power sweep: the iterate is
-   a probability vector, so its mass must stay at the initial mass (the
-   expanded generators conserve it exactly up to roundoff) and every
-   entry must stay finite.  A violation beyond [mass_tolerance] means
-   the generator rows do not sum to zero or the arithmetic broke down;
-   propagating further would only weight garbage by Poisson factors. *)
+   a probability vector, so its mass — the window sum plus whatever
+   the pruner deliberately skipped — must stay at the initial mass
+   (the expanded generators conserve it exactly up to roundoff) and
+   every entry must stay finite.  A violation beyond [mass_tolerance]
+   means the generator rows do not sum to zero or the arithmetic broke
+   down; propagating further would only weight garbage by Poisson
+   factors. *)
 let mass_tolerance = 1e-6
 
-let guard_iterate ~where ~mass0 ~step v =
-  let mass = ref 0. in
-  for i = 0 to Array.length v - 1 do
-    mass := !mass +. v.(i)
-  done;
-  if not (Float.is_finite !mass) then
+let guard_iterate ~where ~mass0 ~step ~skipped b =
+  let mass = Fvec.sum_range b.v ~lo:b.blo ~hi:b.bhi +. skipped in
+  if not (Float.is_finite mass) then
     Diag.breakdown ~where
       "non-finite probability entries at uniformisation step %d" step;
-  if Float.abs (!mass -. mass0) > mass_tolerance *. Float.max 1. mass0 then
+  if Float.abs (mass -. mass0) > mass_tolerance *. Float.max 1. mass0 then
     Diag.breakdown ~where
       "probability mass drifted from %g to %g at uniformisation step %d \
        (tolerance %g): the generator's row sums are not zero"
-      mass0 !mass step mass_tolerance;
+      mass0 mass step mass_tolerance;
   ()
 
 (* A-posteriori self-verification of a completed sweep.  The in-flight
    guards catch faults the step they happen; this pass re-derives the
    invariants from the sweep's outputs — final-iterate mass
-   conservation and the Fox–Glynn truncation accounting of every
-   window — so a fault that slipped between the per-step checks (or a
-   bug in them) still cannot leave the sweep's results standing.  The
-   audited quantities are returned and exposed in {!stats}. *)
-let verify_sweep ~where ~accuracy ~mass0 ~windows final =
-  let mass = Vector.sum final in
+   conservation (window sum plus skipped mass), the skipped-mass
+   budget of the adaptive kernel, and the Fox–Glynn truncation
+   accounting of every window — so a fault that slipped between the
+   per-step checks (or a bug in them) still cannot leave the sweep's
+   results standing.  The audited quantities are returned and exposed
+   in {!stats}. *)
+let verify_sweep ~where ~accuracy ~mass0 ~windows ~skipped ~budget_skip b =
+  let mass = Fvec.sum_range b.v ~lo:b.blo ~hi:b.bhi +. skipped in
   if not (Float.is_finite mass) then
     Diag.breakdown ~where
       "a-posteriori check: final iterate has non-finite probability mass";
@@ -206,6 +577,11 @@ let verify_sweep ~where ~accuracy ~mass0 ~windows final =
       "a-posteriori check: probability mass %g drifted from %g by %g \
        (tolerance %g)"
       mass mass0 mass_residual mass_tolerance;
+  if skipped > budget_skip then
+    Diag.breakdown ~where
+      "a-posteriori check: adaptive support skipped %g of probability mass, \
+       exceeding its error budget %g"
+      skipped budget_skip;
   let fg_defect = ref 0. in
   Array.iter
     (fun w ->
@@ -230,34 +606,28 @@ let checked_measure ~where measure ~step v =
     Diag.breakdown ~where "measure returned NaN at uniformisation step %d" step;
   value
 
-(* One uniformised step: v' = v P, as a gather over the transposed
-   matrix.  Every dst entry is (over)written by exactly one chunk, so
-   no blit/zeroing of dst is needed; the chunk-to-worker assignment and
-   the in-row summation order are fixed, so the result is bitwise
-   independent of the job count. *)
-let step k ~src ~dst =
-  Telemetry.incr c_products;
-  (* Supervised: a worker crash mid-product re-runs its partition (the
-     chunks write disjoint, deterministic ranges of dst, so the re-run
-     is bitwise identical) instead of killing the sweep. *)
-  Pool.run_chunks ~supervise:true k.k_pool k.k_partition (fun ~lo ~hi ->
-      Sparse.matvec_rows k.k_pt src ~dst ~lo ~hi);
-  if Fi.enabled () then begin
-    if Fi.fires fi_step_nan then dst.(0) <- Float.nan;
-    if Fi.fires fi_step_overflow then dst.(0) <- 1e30
-  end
-
 (* Working vectors of a sweep: reuse caller-provided buffers (the
    session fast path — no per-call allocation) or allocate a fresh
-   pair.  The first buffer is seeded with alpha either way. *)
-let sweep_buffers ~where ~n ~alpha = function
-  | None -> (Vector.copy alpha, Vector.create n)
-  | Some (a, b) ->
-      if Array.length a <> n || Array.length b <> n then
-        invalid_arg (where ^ ": buffers have wrong length");
-      Vector.blit ~src:alpha ~dst:a;
-      Vector.fill b 0.;
-      (a, b)
+   pair.  The first buffer is seeded with alpha either way; an
+   adaptive sweep starts from the tile-aligned support of alpha, a
+   full-support one from [\[0, n)]. *)
+let sweep_buffers ~where ~n ~alpha ~adaptive buffers =
+  let a, b =
+    match buffers with
+    | None -> (Fvec.of_array alpha, Fvec.create n)
+    | Some (a, b) ->
+        if Fvec.length a <> n || Fvec.length b <> n then
+          invalid_arg (where ^ ": buffers have wrong length");
+        Fvec.blit_from_array ~src:alpha ~dst:a;
+        Fvec.fill b 0.;
+        (a, b)
+  in
+  let asegs = if adaptive then segs_of_nonzeros a else [| (0, n) |] in
+  let bsegs = if adaptive then [||] else [| (0, n) |] in
+  let alo, ahi = seg_hull asegs in
+  let blo, bhi = seg_hull bsegs in
+  ( { v = a; blo = alo; bhi = ahi; segs = asegs },
+    { v = b; blo; bhi; segs = bsegs } )
 
 let solve ?(opts = Solver_opts.default) g ~alpha ~t =
   check_alpha g alpha;
@@ -273,27 +643,29 @@ let solve ?(opts = Solver_opts.default) g ~alpha ~t =
   Budget.check ~what:where budget;
   let weights = Poisson.weights ~accuracy:opts.Solver_opts.accuracy (q *. t) in
   let kernel = kernel_for g ~q ~jobs:(Solver_opts.resolve_jobs opts) in
-  let v = Vector.copy alpha and v' = Vector.create n in
+  (* The caller gets the full distribution, so this path keeps the
+     exact full-support kernel; the adaptive window serves the batched
+     measure engine, whose outputs are scalars. *)
+  let v, v' = sweep_buffers ~where ~n ~alpha ~adaptive:false None in
   let out = Vector.create n in
-  let add_weighted w src = Vector.axpy ~alpha:w ~x:src ~y:out in
   let current = ref v and scratch = ref v' in
   for m = 0 to weights.Poisson.right do
     if m > 0 then begin
       Budget.note_product budget;
       Budget.check ~what:where budget;
-      step kernel ~src:!current ~dst:!scratch;
+      ignore (step_window kernel ~src:!current ~dst:!scratch ~adaptive:false);
       let t = !current in
       current := !scratch;
       scratch := t
     end;
     let w = Poisson.prob weights m in
-    if w > 0. then add_weighted w !current
+    if w > 0. then Fvec.axpy_array ~alpha:w ~x:(!current).v ~y:out
   done;
   (* NaN and mass drift both persist in the final power iterate (the
      weighted output is only accurate to the Poisson truncation, so it
      is not the thing to check). *)
   guard_iterate ~where ~mass0:(Vector.sum alpha) ~step:weights.Poisson.right
-    !current;
+    ~skipped:0. !current;
   Telemetry.observe_int h_iterations weights.Poisson.right;
   out
 
@@ -318,7 +690,10 @@ let check_windows ~where ~times = function
    snapshot and continues the walk at the next step.  A resumed sweep
    performs the identical sequence of products, guards, measures and
    convergence tests the uninterrupted sweep would have performed from
-   that step on, which is what makes resumed results bitwise equal. *)
+   that step on — the support of a restored iterate is rebuilt by the
+   same tile scan whose output the pruner maintains live (no active
+   tile is ever all-zero) — which is what makes resumed results
+   bitwise equal. *)
 let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
     ?(progress = Progress.none) g ~alpha ~times ~measures =
   let { Progress.on_step; on_interrupt; resume } = progress in
@@ -346,12 +721,16 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
   let n_max =
     Array.fold_left (fun acc w -> max acc w.Poisson.right) 0 windows
   in
+  let adaptive = opts.Solver_opts.adaptive_support in
+  let tau, budget_skip = resolve_pruning ~opts ~n_max in
   let mass0 = Vector.sum alpha in
   let k = Array.length measures in
   (* vals.(j).(m) is measure j evaluated on the step-m iterate. *)
   let vals = Array.make_matrix k (n_max + 1) 0. in
-  let v, v' = sweep_buffers ~where ~n ~alpha buffers in
+  let v, v' = sweep_buffers ~where ~n ~alpha ~adaptive buffers in
   let current = ref v and scratch = ref v' in
+  let skipped = ref 0. in
+  let total_touched = ref 0 and total_rows = ref 0 in
   let record m v =
     for j = 0 to k - 1 do
       vals.(j).(m) <- checked_measure ~where measures.(j) ~step:m v
@@ -361,7 +740,7 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
   let start =
     match resume with
     | None ->
-        record 0 !current;
+        record 0 (!current).v;
         1
     | Some r ->
         if Array.length r.sp_vector <> n then
@@ -372,13 +751,26 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
           invalid_arg
             (Printf.sprintf "%s: resume step %d outside [0, %d]" where
                r.sp_step n_max);
+        if Float.is_nan r.sp_skipped || r.sp_skipped < 0. then
+          invalid_arg (where ^ ": resume skipped mass is invalid");
         Array.iteri
           (fun j row ->
             if Array.length row <> r.sp_step + 1 then
               invalid_arg (where ^ ": resume values have wrong length");
             Array.blit row 0 vals.(j) 0 (r.sp_step + 1))
           r.sp_values;
-        Vector.blit ~src:r.sp_vector ~dst:!current;
+        Fvec.blit_from_array ~src:r.sp_vector ~dst:(!current).v;
+        (* The pruner zeroes everything it drops and never leaves an
+           all-zero tile active, so the stored vector's occupied tiles
+           ARE the live support of the interrupted sweep. *)
+        let segs =
+          if adaptive then segs_of_nonzeros (!current).v else [| (0, n) |]
+        in
+        let lo, hi = seg_hull segs in
+        (!current).segs <- segs;
+        (!current).blo <- lo;
+        (!current).bhi <- hi;
+        skipped := r.sp_skipped;
         if r.sp_converged then converged_at := Some r.sp_step;
         r.sp_step + 1
   in
@@ -386,8 +778,9 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
     {
       sp_step = s;
       sp_converged = converged;
-      sp_vector = Vector.copy !current;
+      sp_vector = Fvec.to_array (!current).v;
       sp_values = Array.map (fun row -> Array.sub row 0 (s + 1)) vals;
+      sp_skipped = !skipped;
     }
   in
   let m = ref start in
@@ -400,13 +793,31 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
         | Some f -> f (snapshot_at ~step:(!m - 1) ~converged:false ())
         | None -> ());
         Diag.fail e);
-    step kernel ~src:!current ~dst:!scratch;
-    let drift = Vector.dist_inf !current !scratch in
+    let touched, rows = step_window kernel ~src:!current ~dst:!scratch ~adaptive in
+    total_touched := !total_touched + touched;
+    total_rows := !total_rows + rows;
+    if adaptive then begin
+      (* Prorate the cap: after step m the cumulative skipped mass may
+         use at most the fraction m / n_max of the total budget.  A
+         greedy threshold front-loads its pruning; without the rate
+         limit it can exhaust the whole budget in the early steps, and
+         the window then never shrinks again for the rest of the sweep
+         — costing MORE total work than a conservative threshold.  The
+         proration depends only on m and n_max, so a resumed sweep
+         reproduces it bitwise. *)
+      let cap =
+        budget_skip *. float_of_int !m /. float_of_int (max 1 n_max)
+      in
+      prune_segments !scratch ~tau ~cap ~skipped
+    end;
+    let ulo = min (!current).blo (!scratch).blo
+    and uhi = max (!current).bhi (!scratch).bhi in
+    let drift = Fvec.dist_inf_range (!current).v (!scratch).v ~lo:ulo ~hi:uhi in
     let t = !current in
     current := !scratch;
     scratch := t;
-    guard_iterate ~where ~mass0 ~step:!m !current;
-    record !m !current;
+    guard_iterate ~where ~mass0 ~step:!m ~skipped:!skipped !current;
+    record !m (!current).v;
     if drift <= opts.Solver_opts.convergence_tol then converged_at := Some !m;
     (match on_step with
     | Some f ->
@@ -428,15 +839,16 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
   let iterations = match !converged_at with Some at -> at | None -> n_max in
   Log.debug (fun f ->
       f "multi-measure sweep: %d states, %d measures, %d times, q=%g, %d \
-         iterations%s"
+         iterations%s, window [%d, %d), touched %d nnz, skipped mass %g"
         n k (Array.length times) q iterations
         (match !converged_at with
         | Some at -> Printf.sprintf " (stationary after %d)" at
-        | None -> ""));
+        | None -> "")
+        (!current).blo (!current).bhi !total_touched !skipped);
   Telemetry.observe_int h_iterations iterations;
   let mass_residual, fg_defect =
     verify_sweep ~where ~accuracy:opts.Solver_opts.accuracy ~mass0 ~windows
-      !current
+      ~skipped:!skipped ~budget_skip !current
   in
   let results =
     Array.map
@@ -455,6 +867,11 @@ let multi_measure_sweep ?(opts = Solver_opts.default) ?windows ?buffers ?kernel
       uniformisation_rate = q;
       mass_residual;
       fg_defect;
+      touched_nnz = !total_touched;
+      active_rows = !total_rows;
+      support_lo = (!current).blo;
+      support_hi = (!current).bhi;
+      skipped_mass = !skipped;
     } )
 
 let measure_sweep ?opts ?windows ?buffers ?kernel ?progress g ~alpha ~times
@@ -488,28 +905,36 @@ let distribution_sweep ?(opts = Solver_opts.default) g ~alpha ~times =
   in
   let mass0 = Vector.sum alpha in
   let outs = Array.map (fun _ -> Vector.create n) times in
-  let v = Vector.copy alpha and v' = Vector.create n in
+  (* Full per-time distributions are the deliverable here, so the
+     exact full-support kernel is kept (as in {!solve}). *)
+  let v, v' = sweep_buffers ~where ~n ~alpha ~adaptive:false None in
   let current = ref v and scratch = ref v' in
+  let total_touched = ref 0 and total_rows = ref 0 in
   for m = 0 to n_max do
     if m > 0 then begin
       Budget.note_product budget;
       Budget.check ~what:where budget;
-      step kernel ~src:!current ~dst:!scratch;
+      let touched, rows =
+        step_window kernel ~src:!current ~dst:!scratch ~adaptive:false
+      in
+      total_touched := !total_touched + touched;
+      total_rows := !total_rows + rows;
       let t = !current in
       current := !scratch;
       scratch := t;
-      guard_iterate ~where ~mass0 ~step:m !current
+      guard_iterate ~where ~mass0 ~step:m ~skipped:0. !current
     end;
     Array.iteri
       (fun idx w ->
         let weight = Poisson.prob w m in
-        if weight > 0. then Vector.axpy ~alpha:weight ~x:!current ~y:outs.(idx))
+        if weight > 0. then
+          Fvec.axpy_array ~alpha:weight ~x:(!current).v ~y:outs.(idx))
       windows
   done;
   Telemetry.observe_int h_iterations n_max;
   let mass_residual, fg_defect =
     verify_sweep ~where ~accuracy:opts.Solver_opts.accuracy ~mass0 ~windows
-      !current
+      ~skipped:0. ~budget_skip:0. !current
   in
   ( outs,
     {
@@ -518,9 +943,13 @@ let distribution_sweep ?(opts = Solver_opts.default) g ~alpha ~times =
       uniformisation_rate = q;
       mass_residual;
       fg_defect;
+      touched_nnz = !total_touched;
+      active_rows = !total_rows;
+      support_lo = 0;
+      support_hi = n;
+      skipped_mass = 0.;
     } )
 
 let expected_hitting_mass ?opts g ~alpha ~states ~t =
   let pi = solve ?opts g ~alpha ~t in
   List.fold_left (fun acc i -> acc +. pi.(i)) 0. states
-

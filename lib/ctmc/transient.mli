@@ -24,7 +24,31 @@
     session layer via {!make_kernel}).  Each output entry is owned by
     exactly one domain and summed in a fixed order, so results are
     {b bitwise identical} for every job count; [jobs = 1] takes a
-    guaranteed sequential path.
+    guaranteed sequential path.  The per-step vectors are flat float64
+    [Batlife_numerics.Fvec] buffers, matching the int32/float64
+    Bigarray CSR streams of [Batlife_numerics.Sparse].
+
+    {b Adaptive support} (on by default, see
+    [Solver_opts.adaptive_support]).  The iterate of a battery
+    lifetime sweep is a travelling front over the charge grid: at any
+    step, most rows hold no probability mass.  The batched engine
+    tracks the set of rows outside which the iterate is exactly zero
+    as disjoint index segments, {e expands} it each step along the
+    matrix's distinct transition displacements (falling back to the
+    structural bandwidths for unstructured matrices — either way no
+    transition reaches outside the expanded set, so mass can never
+    escape silently) and computes the gather only inside it.  Active
+    tiles whose entries are all at most a threshold tied to the
+    Fox–Glynn accuracy budget are {e pruned} (zeroed; their mass is
+    tallied and audited), letting the support shrink behind the
+    front.  The pruned mass is hard-capped at [accuracy / 2] (see
+    [Solver_opts.support_threshold] for the split), so an adaptive
+    result deviates from the exact full-support kernel by at most the
+    skipped mass reported in {!stats.skipped_mass} — and with
+    [support_threshold = Some 0.] the adaptive sweep is bitwise
+    identical to the exact one.  [solve] and {!distribution_sweep}
+    return full distributions and always use the exact full-support
+    kernel.
 
     All entry points are guarded: a user-supplied uniformisation rate
     [q] below the chain's largest exit rate is rejected with
@@ -32,15 +56,16 @@
     negative entries and silently produce a wrong result); negative,
     NaN or infinite time points are rejected the same way (all
     violations collected into one error); and the sweeps monitor the
-    iterate in flight — non-finite entries, probability mass drifting
-    from the initial mass by more than 1e-6, or a NaN measure value
-    raise [Diag.Error (Numerical_breakdown _)].  A completed batched
-    sweep additionally {b self-verifies a posteriori}: final-iterate
-    mass conservation and the Fox–Glynn truncation accounting of every
-    window are re-derived from the outputs (reported in
-    {!stats.mass_residual} / {!stats.fg_defect}), so a fault that
-    slipped between the per-step checks still cannot leave results
-    standing. *)
+    iterate in flight — non-finite entries, probability mass (window
+    sum plus pruned mass) drifting from the initial mass by more than
+    1e-6, or a NaN measure value raise
+    [Diag.Error (Numerical_breakdown _)].  A completed batched sweep
+    additionally {b self-verifies a posteriori}: final-iterate mass
+    conservation, the skipped-mass budget of the adaptive kernel, and
+    the Fox–Glynn truncation accounting of every window are re-derived
+    from the outputs (reported in {!stats.mass_residual} /
+    {!stats.fg_defect}), so a fault that slipped between the per-step
+    checks still cannot leave results standing. *)
 
 type stats = {
   iterations : int;  (** number of vector-matrix products performed *)
@@ -49,11 +74,27 @@ type stats = {
           detected *)
   uniformisation_rate : float;
   mass_residual : float;
-      (** a-posteriori |mass(final iterate) - mass(alpha)|, audited
-          against the 1e-6 conservation tolerance after the sweep *)
+      (** a-posteriori |mass(final iterate) + skipped - mass(alpha)|,
+          audited against the 1e-6 conservation tolerance after the
+          sweep *)
   fg_defect : float;
       (** largest Fox–Glynn truncation defect over the sweep's
           windows, audited against the requested accuracy *)
+  touched_nnz : int;
+      (** matrix nonzeros the sweep's products actually streamed; the
+          full-support cost would be [iterations * nnz] *)
+  active_rows : int;
+      (** output rows the sweep's products actually computed; the
+          full-support cost would be [iterations * states] *)
+  support_lo : int;
+  support_hi : int;
+      (** hull [\[support_lo, support_hi)] of the iterate's final
+          support ([\[0, states)] for full-support sweeps) *)
+  skipped_mass : float;
+      (** total probability mass the adaptive pruner dropped, audited
+          against its [accuracy / 2] budget ([0.] for full-support
+          sweeps); the adaptive-vs-exact deviation of any result is
+          bounded by this *)
 }
 
 (** {1 Resilience}
@@ -76,11 +117,17 @@ type sweep_progress = {
   sp_values : float array array;
       (** [sp_values.(j).(i)], [i <= sp_step]: measure [j] on the
           step-[i] iterate *)
+  sp_skipped : float;
+      (** probability mass the adaptive pruner had dropped by
+          [sp_step] ([0.] for full-support sweeps) *)
 }
 (** Complete intermediate state of a {!multi_measure_sweep} after some
     step: restarting from a [sweep_progress] performs the identical
     remaining products, guards and convergence tests, so the resumed
-    results are bitwise equal to the uninterrupted run's. *)
+    results are bitwise equal to the uninterrupted run's.  The support
+    needs no field of its own — the pruner zeroes everything it drops
+    and never leaves an all-zero tile active, so the stored vector's
+    occupied tiles {e are} the live support. *)
 
 (** {1 Work counters}
 
@@ -88,9 +135,13 @@ type sweep_progress = {
     products performed, so tests and benchmarks can assert statements
     like "these five queries cost exactly one sweep".  They live in
     {!Batlife_numerics.Telemetry} as the Atomic-backed counters
-    ["transient.sweeps"], ["transient.products"] and
-    ["transient.kernel_builds"] — domain-safe, so the tallies stay
-    exact under [Pool] fan-out.  Read them with
+    ["transient.sweeps"], ["transient.products"],
+    ["transient.kernel_builds"], ["transient.touched_nnz"] and
+    ["transient.active_rows"] — domain-safe, so the tallies stay
+    exact under [Pool] fan-out.  The last two accumulate the same
+    per-product work tallies {!stats.touched_nnz} /
+    {!stats.active_rows} report per sweep; benchmarks derive the
+    adaptive kernel's work-reduction ratio from them.  Read them with
     [Telemetry.(value (counter "transient.sweeps"))]. *)
 
 val resolve_rate : ?opts:Solver_opts.t -> Generator.t -> float
@@ -105,10 +156,11 @@ val resolve_rate : ?opts:Solver_opts.t -> Generator.t -> float
 
     Everything a sweep needs to apply [v := v P] in parallel: the CSR
     transpose of the uniformised matrix, an nnz-balanced row partition
-    of it, and the worker pool.  Building one costs a transpose
-    (O(nnz)); sweeping with a prebuilt kernel avoids paying that per
-    call, which is what [Batlife_core.Discretized.Session] relies on
-    for its amortised fast path. *)
+    of it, its structural shape (distinct displacements and bandwidths,
+    for adaptive support expansion), and the worker pool.  Building one costs a transpose (O(nnz));
+    sweeping with a prebuilt kernel avoids paying that per call, which
+    is what [Batlife_core.Discretized.Session] relies on for its
+    amortised fast path. *)
 
 type kernel
 
@@ -124,6 +176,12 @@ val kernel_rate : kernel -> float
 val kernel_jobs : kernel -> int
 (** The worker count of the kernel's pool. *)
 
+val kernel_bandwidths : kernel -> int * int
+(** [(down, up)]: the largest index decrease / increase any stored
+    transition of the uniformised matrix causes.  The adaptive kernel
+    normally expands the support along the distinct displacement set;
+    the bandwidths bound that set and serve as its fallback. *)
+
 val solve :
   ?opts:Solver_opts.t ->
   Generator.t ->
@@ -131,18 +189,19 @@ val solve :
   t:float ->
   float array
 (** [solve g ~alpha ~t] is the state distribution at time [t] given
-    the initial distribution [alpha]. *)
+    the initial distribution [alpha].  Always uses the exact
+    full-support kernel (the deliverable is the whole vector). *)
 
 val multi_measure_sweep :
   ?opts:Solver_opts.t ->
   ?windows:Batlife_numerics.Poisson.t array ->
-  ?buffers:float array * float array ->
+  ?buffers:Batlife_numerics.Fvec.t * Batlife_numerics.Fvec.t ->
   ?kernel:kernel ->
   ?progress:sweep_progress Batlife_numerics.Progress.t ->
   Generator.t ->
   alpha:float array ->
   times:float array ->
-  measures:(float array -> float) array ->
+  measures:(Batlife_numerics.Fvec.t -> float) array ->
   float array array * stats
 (** [multi_measure_sweep g ~alpha ~times ~measures] evaluates
     [sum_n pois(q t; n) measures.(j)(alpha P^n)] for every measure
@@ -150,10 +209,12 @@ val multi_measure_sweep :
     sorted) in a {b single} power sweep; [result.(j).(i)] is measure
     [j] at [times.(i)], and the returned [stats] are shared by all of
     them.  Each measure must be a linear functional of the
-    distribution (e.g. total mass on a set of states).  When
-    successive [v_n] differ by less than [opts.convergence_tol] in
-    L-infinity, the sweep stops early and the remaining steps are
-    extrapolated as constant.
+    distribution (e.g. total mass on a set of states), reading the
+    flat [Fvec] iterate; under the adaptive kernel, entries outside
+    the support window are exactly [0.], so index-summing measures
+    need no window awareness.  When successive [v_n] differ by less
+    than [opts.convergence_tol] in L-infinity, the sweep stops early
+    and the remaining steps are extrapolated as constant.
 
     [windows] supplies precomputed Fox–Glynn truncations, one per
     entry of [times] (they must have been computed for the same [q]
@@ -175,18 +236,18 @@ val multi_measure_sweep :
     checkpointing callers); [resume] restores a snapshot and continues
     at the following step.  Raises [Invalid_argument] if a [resume]
     snapshot disagrees with the sweep on state count, measure count,
-    or step range. *)
+    step range, or carries a negative/NaN skipped mass. *)
 
 val measure_sweep :
   ?opts:Solver_opts.t ->
   ?windows:Batlife_numerics.Poisson.t array ->
-  ?buffers:float array * float array ->
+  ?buffers:Batlife_numerics.Fvec.t * Batlife_numerics.Fvec.t ->
   ?kernel:kernel ->
   ?progress:sweep_progress Batlife_numerics.Progress.t ->
   Generator.t ->
   alpha:float array ->
   times:float array ->
-  measure:(float array -> float) ->
+  measure:(Batlife_numerics.Fvec.t -> float) ->
   float array * stats
 (** Single-functional convenience over {!multi_measure_sweep}. *)
 
@@ -198,7 +259,8 @@ val distribution_sweep :
   float array array * stats
 (** Full distributions at several time points from one sweep (memory:
     one accumulator vector per time point).  Validates [times] exactly
-    like {!measure_sweep}. *)
+    like {!measure_sweep}.  Always uses the exact full-support
+    kernel. *)
 
 val expected_hitting_mass :
   ?opts:Solver_opts.t ->
@@ -209,4 +271,3 @@ val expected_hitting_mass :
   float
 (** Probability mass on [states] at time [t]; convenience wrapper over
     {!solve}. *)
-

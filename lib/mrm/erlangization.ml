@@ -35,10 +35,10 @@ let build_product (m : Mrm.t) ~budget ~stages =
 
 let exceedance ?accuracy ?(stages = 512) m ~budget ~times =
   let g, alpha, absorbing_start = build_product m ~budget ~stages in
-  let measure v =
+  let measure (v : Fvec.t) =
     let acc = ref 0. in
-    for idx = absorbing_start to Array.length v - 1 do
-      acc := !acc +. v.(idx)
+    for idx = absorbing_start to Fvec.length v - 1 do
+      acc := !acc +. Fvec.unsafe_get v idx
     done;
     !acc
   in

@@ -1,6 +1,6 @@
 (** CRC-64/XZ checksums (reflected ECMA-182 polynomial).
 
-    The integrity check behind the [batlife.ckpt/2] checkpoint footer:
+    The integrity check behind the [batlife.ckpt/3] checkpoint footer:
     a 64-bit CRC over the payload bytes detects truncation, bit flips
     and torn writes that the atomic-rename discipline cannot rule out
     (storage-level corruption after the write).  The parameters are

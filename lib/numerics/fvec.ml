@@ -1,0 +1,93 @@
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let create n =
+  let v = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  Bigarray.Array1.fill v 0.;
+  v
+
+let length = Bigarray.Array1.dim
+
+let get (v : t) i = Bigarray.Array1.get v i
+let set (v : t) i x = Bigarray.Array1.set v i x
+
+let unsafe_get (v : t) i = Bigarray.Array1.unsafe_get v i
+let unsafe_set (v : t) i x = Bigarray.Array1.unsafe_set v i x
+
+let of_array a =
+  let n = Array.length a in
+  let v = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set v i (Array.unsafe_get a i)
+  done;
+  v
+
+let to_array (v : t) = Array.init (length v) (fun i -> unsafe_get v i)
+
+let check_same_length name x y =
+  if length x <> length y then invalid_arg (name ^ ": length mismatch")
+
+let blit ~src ~dst =
+  check_same_length "Fvec.blit" src dst;
+  Bigarray.Array1.blit src dst
+
+let blit_from_array ~src ~dst =
+  if Array.length src <> length dst then
+    invalid_arg "Fvec.blit_from_array: length mismatch";
+  for i = 0 to Array.length src - 1 do
+    unsafe_set dst i (Array.unsafe_get src i)
+  done
+
+let fill (v : t) x = Bigarray.Array1.fill v x
+
+let check_range name v ~lo ~hi =
+  if lo < 0 || hi > length v || lo > hi then
+    invalid_arg (Printf.sprintf "%s: range [%d, %d) outside [0, %d)" name lo hi
+                   (length v))
+
+let fill_range v ~lo ~hi x =
+  check_range "Fvec.fill_range" v ~lo ~hi;
+  for i = lo to hi - 1 do
+    unsafe_set v i x
+  done
+
+let sum_range v ~lo ~hi =
+  check_range "Fvec.sum_range" v ~lo ~hi;
+  let acc = ref 0. in
+  for i = lo to hi - 1 do
+    acc := !acc +. unsafe_get v i
+  done;
+  !acc
+
+let sum v = sum_range v ~lo:0 ~hi:(length v)
+
+let dist_inf_range x y ~lo ~hi =
+  check_same_length "Fvec.dist_inf_range" x y;
+  check_range "Fvec.dist_inf_range" x ~lo ~hi;
+  let acc = ref 0. in
+  for i = lo to hi - 1 do
+    acc := Float.max !acc (Float.abs (unsafe_get x i -. unsafe_get y i))
+  done;
+  !acc
+
+let dist_inf x y =
+  check_same_length "Fvec.dist_inf" x y;
+  dist_inf_range x y ~lo:0 ~hi:(length x)
+
+let axpy_array ~alpha ~x ~y =
+  if length x <> Array.length y then
+    invalid_arg "Fvec.axpy_array: length mismatch";
+  for i = 0 to Array.length y - 1 do
+    Array.unsafe_set y i
+      (Array.unsafe_get y i +. (alpha *. unsafe_get x i))
+  done
+
+let nonzero_extent v =
+  let n = length v in
+  let lo = ref 0 in
+  while !lo < n && unsafe_get v !lo = 0. do incr lo done;
+  if !lo = n then (0, 0)
+  else begin
+    let hi = ref n in
+    while unsafe_get v (!hi - 1) = 0. do decr hi done;
+    (!lo, !hi)
+  end

@@ -1,0 +1,68 @@
+(** Flat float64 vectors backed by [Bigarray.Array1].
+
+    The uniformisation kernel streams its per-step vectors millions of
+    times per sweep; a Bigarray buffer guarantees a contiguous,
+    unboxed, GC-opaque layout the gather loop can walk with raw loads,
+    and pairs with the int32 column stream of {!Sparse} so the hot
+    loop touches half the index bytes of the historical [int array]
+    representation.
+
+    Only the operations the stepping kernel and the window-restricted
+    sweeps need live here; general vector algebra on plain
+    [float array] stays in {!Vector}.  All [_range] operations work on
+    the half-open interval [\[lo, hi)] and sum / compare in ascending
+    index order — the fixed evaluation order the bitwise-identity
+    guarantees of the sweeps rely on. *)
+
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> t
+(** Zero-filled vector of the given length. *)
+
+val length : t -> int
+
+val get : t -> int -> float
+val set : t -> int -> float -> unit
+
+val unsafe_get : t -> int -> float
+(** Unchecked load; the caller owns the bounds proof. *)
+
+val unsafe_set : t -> int -> float -> unit
+
+val of_array : float array -> t
+val to_array : t -> float array
+
+val blit : src:t -> dst:t -> unit
+(** Copy [src] over [dst]; lengths must match. *)
+
+val blit_from_array : src:float array -> dst:t -> unit
+(** Copy a plain array into a vector; lengths must match. *)
+
+val fill : t -> float -> unit
+
+val fill_range : t -> lo:int -> hi:int -> float -> unit
+(** Fill entries [lo .. hi - 1]; a no-op when [lo >= hi]. *)
+
+val sum : t -> float
+(** Entries summed in ascending index order. *)
+
+val sum_range : t -> lo:int -> hi:int -> float
+(** Entries [lo .. hi - 1] summed in ascending index order. *)
+
+val dist_inf : t -> t -> float
+(** L-infinity distance; lengths must match. *)
+
+val dist_inf_range : t -> t -> lo:int -> hi:int -> float
+(** L-infinity distance restricted to [\[lo, hi)]. *)
+
+val axpy_array : alpha:float -> x:t -> y:float array -> unit
+(** [y.(i) <- y.(i) + alpha * x.(i)] for every [i]; lengths must
+    match.  Bridges Bigarray iterates into [float array] accumulators
+    (the Poisson-weighted outputs of the sweeps). *)
+
+val nonzero_extent : t -> int * int
+(** The tightest half-open interval [(lo, hi)] with every entry
+    outside it exactly [0.]; [(0, 0)] for an all-zero vector.  A NaN
+    entry counts as nonzero.  This recovers the support window of a
+    checkpointed sweep iterate: the adaptive kernel zeroes everything
+    it prunes, so the stored vector's extent {e is} its window. *)

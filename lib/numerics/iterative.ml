@@ -93,9 +93,10 @@ let gauss_seidel ?(tol = 1e-10) ?(max_iter = 100_000) ?x0
       if not (skip i) then begin
         let acc = ref b.(i) and diag = ref 0. in
         for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
-          let j = col_idx.(k) in
-          if j = i then diag := !diag +. values.(k)
-          else acc := !acc -. (values.(k) *. x.(j))
+          let j = Int32.to_int (Bigarray.Array1.get col_idx k) in
+          let v = Fvec.get values k in
+          if j = i then diag := !diag +. v
+          else acc := !acc -. (v *. x.(j))
         done;
         if !diag = 0. then
           invalid_arg

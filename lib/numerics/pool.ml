@@ -346,6 +346,27 @@ let default_jobs () =
       | Some n -> n
       | None -> max 1 (Domain.recommended_domain_count ()))
 
+(* More worker domains than cores is a measured slowdown (the
+   committed BENCH_parallel.json shows jobs = 2/4 running 21-35%
+   slower than jobs = 1 on a 1-core container), so the CLI routes
+   every explicit jobs request through this clamp.  The note is a
+   plain (non-fallback) Diag event: discoverable by drains and tests,
+   but not printed on stderr, so clamping never perturbs pinned CLI
+   output.  Library callers asking [get ~jobs] directly are NOT
+   clamped — the determinism tests deliberately oversubscribe. *)
+let clamp_jobs requested =
+  if requested < 1 then invalid_arg "Pool.clamp_jobs: need jobs >= 1";
+  let cores = max 1 (Domain.recommended_domain_count ()) in
+  if requested > cores then begin
+    Diag.record ~origin:"Pool"
+      (Printf.sprintf
+         "requested %d worker domain(s) but only %d core(s) are available; \
+          clamping to %d (oversubscribing domains is a slowdown)"
+         requested cores cores);
+    cores
+  end
+  else requested
+
 (* Cached pools keyed by size, so repeated sweeps at the same job count
    reuse the parked domains.  Entries are never shut down: idle workers
    block on a condition variable and cost nothing. *)

@@ -105,6 +105,17 @@ val set_default_jobs : int -> unit
 (** Override the default job count process-wide (takes precedence over
     [BATLIFE_JOBS]).  Raises [Invalid_argument] on values below 1. *)
 
+val clamp_jobs : int -> int
+(** [clamp_jobs requested] is [requested] limited to
+    [Domain.recommended_domain_count] (at least 1).  When the request
+    exceeds the core count, a {!Diag.record} note explains the clamp
+    (non-fallback, so nothing is printed): oversubscribing domains is
+    a measured slowdown — BENCH_parallel.json shows jobs = 2/4 running
+    21-35% {e slower} on a 1-core container.  The CLI routes [--jobs]
+    through this; direct [get ~jobs] callers are not clamped (the
+    determinism tests deliberately oversubscribe).  Raises
+    [Invalid_argument] on values below 1. *)
+
 val get : jobs:int -> t
 (** A shared pool of the given size, created on first request and
     cached for the life of the process ([jobs = 1] is the sequential

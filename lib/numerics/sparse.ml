@@ -58,19 +58,51 @@ module Builder = struct
     done
 end
 
+type index_array =
+  (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
   rows : int;
   cols : int;
   row_ptr : int array;
-  col_idx : int array;
-  values : float array;
+  col_idx : index_array;
+  values : Fvec.t;
 }
 
+(* The CSR streams are flat Bigarray buffers: [values] float64,
+   [col_idx] int32, so the gather loop reads half the index bytes an
+   [int array] would cost and never touches a boxed cell.  [row_ptr]
+   stays a plain [int array]: it is rows+1 long, read once per row
+   (not once per nonzero), and an int avoids the per-row Int32
+   conversion without widening any hot stream. *)
+
+let check_col_range ~cols =
+  if cols > Int32.to_int Int32.max_int then
+    invalid_arg
+      (Printf.sprintf "Sparse: %d columns exceed the int32 index range" cols)
+
+let index_array_of ~len a =
+  let ia = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout len in
+  for k = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set ia k (Int32.of_int (Array.unsafe_get a k))
+  done;
+  ia
+
+let fvec_of ~len a =
+  let v = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len in
+  for k = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set v k (Array.unsafe_get a k)
+  done;
+  v
+
 (* Two-pass counting sort by row, then per-row sort by column and
-   duplicate merge.  O(nnz log nnz_row) and no intermediate boxing. *)
+   duplicate merge.  O(nnz log nnz_row); the sort works on scratch
+   [int array]/[float array] and the final streams are copied into
+   their Bigarray form once. *)
 let of_builder (b : Builder.t) =
   let n = b.Builder.len in
   let rows = b.Builder.rows and cols = b.Builder.cols in
+  check_col_range ~cols;
   let counts = Array.make (rows + 1) 0 in
   for k = 0 to n - 1 do
     counts.(b.Builder.row.(k) + 1) <- counts.(b.Builder.row.(k) + 1) + 1
@@ -126,8 +158,8 @@ let of_builder (b : Builder.t) =
     rows;
     cols;
     row_ptr;
-    col_idx = Array.sub col_tmp 0 !write;
-    values = Array.sub val_tmp 0 !write;
+    col_idx = index_array_of ~len:!write col_tmp;
+    values = fvec_of ~len:!write val_tmp;
   }
 
 (* Dense rows are already in row-major order with ascending, duplicate
@@ -136,6 +168,7 @@ let of_builder (b : Builder.t) =
    bounds check and [of_builder]'s sort. *)
 let of_dense d =
   let rows = Dense.rows d and cols = Dense.cols d in
+  check_col_range ~cols;
   let row_ptr = Array.make (rows + 1) 0 in
   let count = ref 0 in
   for i = 0 to rows - 1 do
@@ -144,30 +177,40 @@ let of_dense d =
     done;
     row_ptr.(i + 1) <- !count
   done;
-  let col_idx = Array.make !count 0 and values = Array.make !count 0. in
+  let col_idx = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout !count in
+  let values = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout !count in
   let write = ref 0 in
   for i = 0 to rows - 1 do
     for j = 0 to cols - 1 do
       let v = Dense.get d i j in
       if v <> 0. then begin
-        col_idx.(!write) <- j;
-        values.(!write) <- v;
+        Bigarray.Array1.unsafe_set col_idx !write (Int32.of_int j);
+        Bigarray.Array1.unsafe_set values !write v;
         incr write
       end
     done
   done;
   { rows; cols; row_ptr; col_idx; values }
 
+let col_at t k = Int32.to_int (Bigarray.Array1.get t.col_idx k)
+let value_at t k = Bigarray.Array1.get t.values k
+
 let to_dense t =
   let d = Dense.create ~rows:t.rows ~cols:t.cols in
   for i = 0 to t.rows - 1 do
     for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-      Dense.set d i t.col_idx.(k) (Dense.get d i t.col_idx.(k) +. t.values.(k))
+      let j = col_at t k in
+      Dense.set d i j (Dense.get d i j +. value_at t k)
     done
   done;
   d
 
-let nnz t = Array.length t.values
+let nnz t = Bigarray.Array1.dim t.values
+
+let range_nnz t ~lo ~hi =
+  if lo < 0 || hi > t.rows || lo > hi then
+    invalid_arg "Sparse.range_nnz: row range";
+  t.row_ptr.(hi) - t.row_ptr.(lo)
 
 let get t i j =
   if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
@@ -176,9 +219,9 @@ let get t i j =
   let result = ref 0. in
   while !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
-    let c = t.col_idx.(mid) in
+    let c = col_at t mid in
     if c = j then begin
-      result := t.values.(mid);
+      result := value_at t mid;
       lo := !hi + 1
     end
     else if c < j then lo := mid + 1
@@ -195,14 +238,17 @@ let get t i j =
 
 (* [dst.(i) <- (t x).(i)] for [i] in [lo, hi) only.  The gather form of
    the product: each output entry is owned by exactly one row, and its
-   terms are summed in CSR order, so covering [0, rows) with disjoint
-   ranges — in any order, on any domains — yields the same bits as one
-   sequential pass.  This is the parallel uniformisation kernel. *)
+   terms are summed in CSR order, so covering any subset of [0, rows)
+   with disjoint ranges — in any order, on any domains — yields the
+   same bits for every covered entry as one sequential pass.  This is
+   the parallel uniformisation kernel; src and dst are flat Bigarray
+   buffers so the inner loop streams unboxed float64 values and int32
+   column indices with no GC interaction. *)
 let matvec_rows t x ~dst ~lo ~hi =
   if lo < 0 || hi > t.rows || lo > hi then
     invalid_arg "Sparse.matvec_rows: row range";
-  if Array.length x <> t.cols then invalid_arg "Sparse.matvec_rows: dimensions";
-  if Array.length dst <> t.rows then
+  if Fvec.length x <> t.cols then invalid_arg "Sparse.matvec_rows: dimensions";
+  if Fvec.length dst <> t.rows then
     invalid_arg "Sparse.matvec_rows: destination dimension";
   let row_ptr = t.row_ptr and col_idx = t.col_idx and values = t.values in
   for i = lo to hi - 1 do
@@ -212,16 +258,30 @@ let matvec_rows t x ~dst ~lo ~hi =
     for k = k0 to k1 - 1 do
       acc :=
         !acc
-        +. Array.unsafe_get values k
-           *. Array.unsafe_get x (Array.unsafe_get col_idx k)
+        +. Bigarray.Array1.unsafe_get values k
+           *. Fvec.unsafe_get x
+                (Int32.to_int (Bigarray.Array1.unsafe_get col_idx k))
     done;
-    Array.unsafe_set dst i !acc
+    Fvec.unsafe_set dst i !acc
   done
 
 let matvec t x =
   if Array.length x <> t.cols then invalid_arg "Sparse.matvec: dimensions";
   let y = Array.make t.rows 0. in
-  matvec_rows t x ~dst:y ~lo:0 ~hi:t.rows;
+  let row_ptr = t.row_ptr and col_idx = t.col_idx and values = t.values in
+  for i = 0 to t.rows - 1 do
+    let k0 = Array.unsafe_get row_ptr i
+    and k1 = Array.unsafe_get row_ptr (i + 1) in
+    let acc = ref 0. in
+    for k = k0 to k1 - 1 do
+      acc :=
+        !acc
+        +. Bigarray.Array1.unsafe_get values k
+           *. Array.unsafe_get x
+                (Int32.to_int (Bigarray.Array1.unsafe_get col_idx k))
+    done;
+    Array.unsafe_set y i !acc
+  done;
   y
 
 let vecmat x t =
@@ -234,9 +294,10 @@ let vecmat x t =
       let k0 = Array.unsafe_get row_ptr i
       and k1 = Array.unsafe_get row_ptr (i + 1) in
       for k = k0 to k1 - 1 do
-        let j = Array.unsafe_get col_idx k in
+        let j = Int32.to_int (Bigarray.Array1.unsafe_get col_idx k) in
         Array.unsafe_set y j
-          (Array.unsafe_get y j +. (xi *. Array.unsafe_get values k))
+          (Array.unsafe_get y j
+          +. (xi *. Bigarray.Array1.unsafe_get values k))
       done
     end
   done;
@@ -254,9 +315,10 @@ let vecmat_acc ~src t ~scale ~dst =
       let k0 = Array.unsafe_get row_ptr i
       and k1 = Array.unsafe_get row_ptr (i + 1) in
       for k = k0 to k1 - 1 do
-        let j = Array.unsafe_get col_idx k in
+        let j = Int32.to_int (Bigarray.Array1.unsafe_get col_idx k) in
         Array.unsafe_set dst j
-          (Array.unsafe_get dst j +. (xi *. Array.unsafe_get values k))
+          (Array.unsafe_get dst j
+          +. (xi *. Bigarray.Array1.unsafe_get values k))
       done
     end
   done
@@ -265,11 +327,18 @@ let row_sums t =
   Array.init t.rows (fun i ->
       let acc = ref 0. in
       for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-        acc := !acc +. t.values.(k)
+        acc := !acc +. value_at t k
       done;
       !acc)
 
-let scale s t = { t with values = Array.map (fun v -> s *. v) t.values }
+let scale s t =
+  let n = nnz t in
+  let values = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  for k = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set values k
+      (s *. Bigarray.Array1.unsafe_get t.values k)
+  done;
+  { t with values }
 
 (* Direct CSR-to-CSR transpose by counting sort on the column index:
    one pass to count, one to place.  Walking the source rows in
@@ -280,61 +349,68 @@ let transpose t =
   let n = nnz t in
   let row_ptr = Array.make (t.cols + 1) 0 in
   for k = 0 to n - 1 do
-    let j = t.col_idx.(k) in
+    let j = Int32.to_int (Bigarray.Array1.unsafe_get t.col_idx k) in
     row_ptr.(j + 1) <- row_ptr.(j + 1) + 1
   done;
   for j = 1 to t.cols do
     row_ptr.(j) <- row_ptr.(j) + row_ptr.(j - 1)
   done;
   let cursor = Array.copy row_ptr in
-  let col_idx = Array.make n 0 and values = Array.make n 0. in
+  let col_idx = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout n in
+  let values = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
   for i = 0 to t.rows - 1 do
     for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-      let j = t.col_idx.(k) in
+      let j = Int32.to_int (Bigarray.Array1.unsafe_get t.col_idx k) in
       let pos = cursor.(j) in
-      col_idx.(pos) <- i;
-      values.(pos) <- t.values.(k);
+      Bigarray.Array1.unsafe_set col_idx pos (Int32.of_int i);
+      Bigarray.Array1.unsafe_set values pos
+        (Bigarray.Array1.unsafe_get t.values k);
       cursor.(j) <- pos + 1
     done
   done;
   { rows = t.cols; cols = t.rows; row_ptr; col_idx; values }
 
-(* Split [0, rows) into exactly [parts] contiguous ranges with roughly
+(* Split [lo, hi) into exactly [parts] contiguous ranges with roughly
    equal work, where a row's work is its population plus a constant
    (so long runs of empty rows still spread out).  Ranges may be empty
    when a single row outweighs a whole share; together they always
-   cover every row exactly once — the property the deterministic
-   parallel {!matvec_rows} kernel relies on. *)
-let nnz_balanced_partition t ~parts =
+   cover every row of [lo, hi) exactly once — the property the
+   deterministic parallel {!matvec_rows} kernel relies on.  The
+   optional range is what lets the adaptive-support sweep partition
+   just its active window per step. *)
+let nnz_balanced_partition ?(lo = 0) ?hi t ~parts =
+  let hi = match hi with Some hi -> hi | None -> t.rows in
   if parts < 1 then invalid_arg "Sparse.nnz_balanced_partition: need parts >= 1";
+  if lo < 0 || hi > t.rows || lo > hi then
+    invalid_arg "Sparse.nnz_balanced_partition: row range";
   let weight i = t.row_ptr.(i + 1) - t.row_ptr.(i) + 1 in
-  let total = nnz t + t.rows in
+  let total = t.row_ptr.(hi) - t.row_ptr.(lo) + (hi - lo) in
   let bounds = Array.make parts (0, 0) in
-  let start = ref 0 and acc = ref 0 in
+  let start = ref lo and acc = ref 0 in
   for p = 0 to parts - 1 do
-    let hi =
-      if p = parts - 1 then t.rows
+    let stop =
+      if p = parts - 1 then hi
       else begin
         (* Cut where the cumulative weight first reaches the share's
            end point; integer arithmetic keeps the cuts deterministic. *)
         let budget = total * (p + 1) / parts in
         let i = ref !start in
-        while !i < t.rows && !acc + weight !i <= budget do
+        while !i < hi && !acc + weight !i <= budget do
           acc := !acc + weight !i;
           incr i
         done;
         !i
       end
     in
-    bounds.(p) <- (!start, hi);
-    start := hi
+    bounds.(p) <- (!start, stop);
+    start := stop
   done;
   bounds
 
 let iter t f =
   for i = 0 to t.rows - 1 do
     for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-      f i t.col_idx.(k) t.values.(k)
+      f i (col_at t k) (value_at t k)
     done
   done
 

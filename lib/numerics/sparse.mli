@@ -4,7 +4,12 @@
     millions of nonzeros (Sec. 6.1 quotes 3.2e6 for [Delta = 5]); the
     uniformisation sweep is a long sequence of vector-matrix products
     over this structure, so the representation is kept flat and
-    primitive. *)
+    primitive: the value stream is a float64 {!Batlife_numerics.Fvec}
+    Bigarray and the column stream an int32 Bigarray — contiguous,
+    unboxed, GC-opaque memory the gather kernel can stream, at half
+    the index bytes of an [int array].  [row_ptr] stays a plain
+    [int array]: rows+1 entries, read once per row rather than once
+    per nonzero. *)
 
 module Builder : sig
   (** Mutable triplet accumulator.  Duplicate entries are summed when
@@ -30,12 +35,15 @@ module Builder : sig
       merged). *)
 end
 
+type index_array =
+  (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = private {
   rows : int;
   cols : int;
   row_ptr : int array;  (** length [rows + 1] *)
-  col_idx : int array;
-  values : float array;
+  col_idx : index_array;  (** int32 column stream, length [nnz] *)
+  values : Fvec.t;  (** float64 value stream, length [nnz] *)
 }
 
 val of_builder : Builder.t -> t
@@ -49,23 +57,29 @@ val to_dense : t -> Dense.t
 
 val nnz : t -> int
 
+val range_nnz : t -> lo:int -> hi:int -> int
+(** Stored entries in rows [\[lo, hi)] — the work a window-restricted
+    {!matvec_rows} pass touches. *)
+
 val get : t -> int -> int -> float
 (** Logarithmic in the row population. *)
 
 val matvec : t -> float array -> float array
 (** [matvec a x = A x]. *)
 
-val matvec_rows : t -> float array -> dst:float array -> lo:int -> hi:int -> unit
+val matvec_rows : t -> Fvec.t -> dst:Fvec.t -> lo:int -> hi:int -> unit
 (** [matvec_rows a x ~dst ~lo ~hi] writes [(A x).(i)] into [dst.(i)]
     for [i] in [\[lo, hi)] only, leaving the rest of [dst] untouched.
     The gather form of the product: each output entry is owned by one
-    row and its terms are summed in CSR order, so covering [0, rows)
-    with disjoint ranges — sequentially or on concurrent domains —
-    produces results bitwise identical to a single pass.  This is the
-    parallel uniformisation kernel; partition rows with
-    {!nnz_balanced_partition} and dispatch with [Pool.run_chunks].
-    Dimensions and the range are checked once per call; the inner loop
-    is unchecked. *)
+    row and its terms are summed in CSR order, so covering a row range
+    with disjoint subranges — sequentially or on concurrent domains —
+    produces results bitwise identical to a single pass over the same
+    range.  This is the parallel uniformisation kernel; partition rows
+    with {!nnz_balanced_partition} and dispatch with
+    [Pool.run_chunks].  Source and destination are flat
+    {!Batlife_numerics.Fvec} buffers, so the inner loop streams
+    unboxed float64 values and int32 indices.  Dimensions and the
+    range are checked once per call; the inner loop is unchecked. *)
 
 val vecmat : float array -> t -> float array
 (** [vecmat x a = x^T A]. *)
@@ -77,12 +91,16 @@ val vecmat_acc : src:float array -> t -> scale:float -> dst:float array -> unit
     accumulation — not safely row-partitionable, which is why the
     parallel path uses {!matvec_rows} over the {!transpose}). *)
 
-val nnz_balanced_partition : t -> parts:int -> (int * int) array
-(** [nnz_balanced_partition a ~parts] splits [\[0, rows)] into exactly
-    [parts] contiguous [(lo, hi)] ranges of roughly equal work (row
-    population plus a constant per row).  Ranges may be empty; they
-    always cover each row exactly once.  The cut points are a
-    deterministic function of the matrix and [parts]. *)
+val nnz_balanced_partition :
+  ?lo:int -> ?hi:int -> t -> parts:int -> (int * int) array
+(** [nnz_balanced_partition a ~parts] splits the row range [\[lo, hi)]
+    (default [\[0, rows)]) into exactly [parts] contiguous [(lo, hi)]
+    ranges of roughly equal work (row population plus a constant per
+    row).  Ranges may be empty; they always cover each row of the
+    range exactly once.  The cut points are a deterministic function
+    of the matrix, the range and [parts].  The optional range is what
+    lets the adaptive-support sweep partition just its active window
+    each step. *)
 
 val row_sums : t -> float array
 

@@ -13,13 +13,14 @@ let corrupt_row_sum g ~row ~amount =
     invalid_arg
       "Fault.corrupt_row_sum: row has no stored entries (absorbing rows are \
        empty in CSR form)";
-  m.Batlife_numerics.Sparse.values.(start) <-
-    m.Batlife_numerics.Sparse.values.(start) +. amount
+  let values = m.Batlife_numerics.Sparse.values in
+  Batlife_numerics.Fvec.set values start
+    (Batlife_numerics.Fvec.get values start +. amount)
 
 let inject_nan v ~index =
-  if index < 0 || index >= Array.length v then
+  if index < 0 || index >= Batlife_numerics.Fvec.length v then
     invalid_arg "Fault.inject_nan: index out of range";
-  v.(index) <- Float.nan
+  Batlife_numerics.Fvec.set v index Float.nan
 
 let transient ~failures f =
   if failures < 0 then invalid_arg "Fault.transient: negative count";

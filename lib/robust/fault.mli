@@ -29,9 +29,9 @@ val corrupt_row_sum : Batlife_ctmc.Generator.t -> row:int -> amount:float -> uni
     stored entries (absorbing rows are empty in CSR form, so there is
     nothing to perturb). *)
 
-val inject_nan : float array -> index:int -> unit
-(** Overwrite one entry (of a distribution, a matrix's [values], ...)
-    with NaN. *)
+val inject_nan : Batlife_numerics.Fvec.t -> index:int -> unit
+(** Overwrite one entry (of a matrix's flat [values] stream, an
+    iterate buffer, ...) with NaN. *)
 
 exception Injected of string
 (** The same exception as [Batlife_numerics.Fi.Injected] (rebound):
@@ -49,10 +49,11 @@ val transient : failures:int -> ('a -> 'b) -> 'a -> 'b
     [max_retries >= failures] the fan-out must recover and produce
     results bitwise identical to the fault-free run. *)
 
-val nan_measure_after : calls:int -> (float array -> float) -> float array -> float
+val nan_measure_after : calls:int -> ('a -> float) -> 'a -> float
 (** [nan_measure_after ~calls m] behaves like [m] for the first
     [calls] invocations and returns NaN from then on — for driving the
-    NaN-measure guard of {!Batlife_ctmc.Transient.measure_sweep}. *)
+    NaN-measure guard of {!Batlife_ctmc.Transient.measure_sweep}
+    (whose measures read the flat [Fvec.t] iterate). *)
 
 val with_sites : (string * int * int) list -> (unit -> 'a) -> 'a
 (** [with_sites [(site, after, count); ...] f] resets the registry,

@@ -21,6 +21,14 @@ type request = {
   deadline_s : float option;
 }
 
+type kernel_stats = {
+  k_touched_nnz : int;
+  k_active_rows : int;
+  k_support_lo : int;
+  k_support_hi : int;
+  k_skipped_mass : float;
+}
+
 type result =
   | Curve of { times : float array; probabilities : float array }
   | Per_time of { time : float; values : (string * float array) list }
@@ -30,6 +38,7 @@ type result =
       nnz : int;
       unif_rate : float;
       fingerprint : string;
+      kernel : kernel_stats option;
     }
 
 type error = { kind : string; code : int; message : string }
@@ -129,15 +138,32 @@ let result_to_json = function
           ("ps", floats ps);
           ("values", floats values);
         ]
-  | Model_stats { states; nnz; unif_rate; fingerprint } ->
+  | Model_stats { states; nnz; unif_rate; fingerprint; kernel } ->
+      let kernel_member =
+        match kernel with
+        | None -> []
+        | Some k ->
+            [
+              ( "kernel",
+                Json.Obj
+                  [
+                    ("touched_nnz", Json.of_int k.k_touched_nnz);
+                    ("active_rows", Json.of_int k.k_active_rows);
+                    ("support_lo", Json.of_int k.k_support_lo);
+                    ("support_hi", Json.of_int k.k_support_hi);
+                    ("skipped_mass", Json.of_float k.k_skipped_mass);
+                  ] );
+            ]
+      in
       Json.Obj
-        [
-          ("kind", Json.Str "model_stats");
-          ("states", Json.of_int states);
-          ("nnz", Json.of_int nnz);
-          ("unif_rate", Json.of_float unif_rate);
-          ("fingerprint", Json.Str fingerprint);
-        ]
+        ([
+           ("kind", Json.Str "model_stats");
+           ("states", Json.of_int states);
+           ("nnz", Json.of_int nnz);
+           ("unif_rate", Json.of_float unif_rate);
+           ("fingerprint", Json.Str fingerprint);
+         ]
+        @ kernel_member)
 
 let response_to_line r =
   let cache =
@@ -345,6 +371,26 @@ let result_of_json ?source j =
               (Json.member ?source ~field:"values" j);
         }
   | "model_stats" ->
+      let kernel =
+        match Json.member_opt ~field:"kernel" j with
+        | None -> None
+        | Some k ->
+            let kint field =
+              Json.to_int ?source ~field:("result.kernel." ^ field)
+                (Json.member ?source ~field k)
+            in
+            Some
+              {
+                k_touched_nnz = kint "touched_nnz";
+                k_active_rows = kint "active_rows";
+                k_support_lo = kint "support_lo";
+                k_support_hi = kint "support_hi";
+                k_skipped_mass =
+                  Json.to_finite_float ?source
+                    ~field:"result.kernel.skipped_mass"
+                    (Json.member ?source ~field:"skipped_mass" k);
+              }
+      in
       Model_stats
         {
           states =
@@ -359,6 +405,7 @@ let result_of_json ?source j =
           fingerprint =
             Json.to_string ?source ~field:"result.fingerprint"
               (Json.member ?source ~field:"fingerprint" j);
+          kernel;
         }
   | other ->
       Diag.fail

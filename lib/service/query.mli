@@ -56,6 +56,18 @@ type request = {
       (** per-request wall-clock budget, seconds *)
 }
 
+type kernel_stats = {
+  k_touched_nnz : int;
+  k_active_rows : int;
+  k_support_lo : int;
+  k_support_hi : int;
+  k_skipped_mass : float;
+}
+(** Adaptive-kernel work telemetry of the session's most recent sweep
+    ([Batlife_ctmc.Transient.stats] fields of the same names): the
+    nonzeros and rows the sweep actually streamed, its final support
+    window, and the probability mass the pruner dropped. *)
+
 type result =
   | Curve of { times : float array; probabilities : float array }
   | Per_time of { time : float; values : (string * float array) list }
@@ -67,6 +79,9 @@ type result =
       nnz : int;
       unif_rate : float;
       fingerprint : string;
+      kernel : kernel_stats option;
+          (** [None] until the cached session has swept at least once
+              (the ["kernel"] member is simply absent on the wire) *)
     }
 
 type error = { kind : string; code : int; message : string }

@@ -93,8 +93,30 @@ let register (entry : Cache.entry) (r : Query.request) : pending_result =
         Discretized.Session.uniformisation_rate entry.Cache.session
       in
       fun () ->
+        (* Read inside the thunk, after the group's flush: a stats
+           query batched with a CDF query reports the kernel telemetry
+           of the sweep that just answered it. *)
+        let kernel =
+          match Discretized.Session.last_stats entry.Cache.session with
+          | None -> None
+          | Some (s : Batlife_ctmc.Transient.stats) ->
+              Some
+                {
+                  Query.k_touched_nnz = s.Batlife_ctmc.Transient.touched_nnz;
+                  k_active_rows = s.Batlife_ctmc.Transient.active_rows;
+                  k_support_lo = s.Batlife_ctmc.Transient.support_lo;
+                  k_support_hi = s.Batlife_ctmc.Transient.support_hi;
+                  k_skipped_mass = s.Batlife_ctmc.Transient.skipped_mass;
+                }
+        in
         Query.Model_stats
-          { states; nnz; unif_rate; fingerprint = entry.Cache.fingerprint }
+          {
+            states;
+            nnz;
+            unif_rate;
+            fingerprint = entry.Cache.fingerprint;
+            kernel;
+          }
 
 (* One fingerprint group: every member registers on the shared
    session, then ONE flush answers them all.  A member that fails at

@@ -132,7 +132,7 @@ reproduces the uninterrupted output bitwise:
   >   --checkpoint-interval 5 --max-products 20
   batlife: error: budget exhausted: Transient.multi_measure_sweep: vector-matrix product budget (limit 20)
   [7]
-  $ head -n 1 part.ckpt | grep -c '"schema":"batlife.ckpt/2"'
+  $ head -n 1 part.ckpt | grep -c '"schema":"batlife.ckpt/3"'
   1
   $ grep -c '^batlife.ckpt.footer crc64=0x[0-9a-f]\{16\} length=[0-9]*$' part.ckpt
   1
@@ -163,8 +163,8 @@ completion map and skips them on the next run:
 
   $ batlife experiment fig2 -o results --checkpoint batch.ckpt >/dev/null 2>&1
   $ cat batch.ckpt
-  {"schema":"batlife.ckpt/2","kind":"experiments","completed":["fig2"]}
-  batlife.ckpt.footer crc64=0xa4e0a042c00ce1f9 length=70
+  {"schema":"batlife.ckpt/3","kind":"experiments","completed":["fig2"]}
+  batlife.ckpt.footer crc64=0xc4ee1e1dc4439cff length=70
   $ batlife experiment fig2 -o results --checkpoint batch.ckpt 2>/dev/null
   experiment fig2: already completed (checkpoint), skipping
 
@@ -172,7 +172,7 @@ A corrupted checkpoint under --resume is quarantined (renamed to
 *.corrupt, reported as a note) and the run restarts cold instead of
 aborting; its output still matches the uninterrupted run bitwise:
 
-  $ echo '{"schema":"batlife.ckpt/2","kind":garbage' > part.ckpt
+  $ echo '{"schema":"batlife.ckpt/3","kind":garbage' > part.ckpt
   $ batlife lifetime --model simple --capacity 800 -c 0.625 -k 0.162 \
   >   --delta 25 --horizon 30 --points 5 --resume part.ckpt \
   >   2>quarantine.err >quarantine.out

@@ -15,6 +15,7 @@ let () =
       ("numerics: interpolation & quadrature", Test_interp_quadrature.suite);
       ("ctmc: generators", Test_generator.suite);
       ("ctmc: transient analysis", Test_transient.suite);
+      ("ctmc: adaptive-support kernel", Test_kernel.suite);
       ("ctmc: steady state", Test_steady.suite);
       ("ctmc: phase-type distributions", Test_phase_type.suite);
       ("ctmc: reachability", Test_reachability.suite);

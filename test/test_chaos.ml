@@ -143,6 +143,7 @@ let sample_cdf () =
           sp_converged = false;
           sp_vector = [| 0.25; 0.25; 0.5 |];
           sp_values = [| [| 0.; 0.1 |] |];
+          sp_skipped = 0.;
         };
     }
 
@@ -236,7 +237,7 @@ let test_corrupt_resume_cold_start () =
   let model = fig7_model () in
   let clean = Lifetime.cdf ~delta:100. ~times:small_times model in
   let path = tmp_path ".ckpt" in
-  Atomic_io.write_file ~path "{\"schema\":\"batlife.ckpt/2\",\"kind\":ga";
+  Atomic_io.write_file ~path "{\"schema\":\"batlife.ckpt/3\",\"kind\":ga";
   let resumed, events =
     Diag.capture (fun () ->
         Lifetime.cdf_resumable ~resume:path ~delta:100. ~times:small_times
@@ -399,8 +400,8 @@ let test_sweep_stats_expose_audit () =
   let g = d.Discretized.generator in
   let alpha = d.Discretized.alpha in
   let _, stats =
-    Transient.measure_sweep g ~alpha ~times:small_times ~measure:(fun v ->
-        Array.fold_left ( +. ) 0. v)
+    Transient.measure_sweep g ~alpha ~times:small_times
+      ~measure:Batlife_numerics.Fvec.sum
   in
   check_true "mass residual audited and small"
     (stats.Transient.mass_residual >= 0.

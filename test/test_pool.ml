@@ -109,6 +109,23 @@ let test_invalid_jobs () =
   check_raises_invalid "jobs 0" (fun () -> ignore (Pool.create ~jobs:0));
   check_raises_invalid "negative" (fun () -> ignore (Pool.get ~jobs:(-3)))
 
+(* Core-count independent: ask for one more domain than the machine
+   has, whatever that number is. *)
+let test_clamp_jobs () =
+  let cores = max 1 (Domain.recommended_domain_count ()) in
+  let clamped, events = Diag.capture (fun () -> Pool.clamp_jobs (cores + 1)) in
+  check_int "oversubscription clamped to the core count" cores clamped;
+  check_int "clamp recorded a Diag note" 1 (List.length events);
+  check_true "note is informational, not a fallback"
+    (not (List.hd events).Diag.fallback);
+  let kept, events = Diag.capture (fun () -> Pool.clamp_jobs cores) in
+  check_int "request within the cores kept" cores kept;
+  check_int "no note when nothing was clamped" 0 (List.length events);
+  check_int "jobs 1 always passes" 1
+    (fst (Diag.capture (fun () -> Pool.clamp_jobs 1)));
+  check_raises_invalid "jobs 0 rejected" (fun () ->
+      ignore (Pool.clamp_jobs 0))
+
 let test_get_cached () =
   let a = Pool.get ~jobs:2 and b = Pool.get ~jobs:2 in
   check_true "same pool returned" (a == b);
@@ -126,5 +143,6 @@ let suite =
     case "nested sections run inline" test_nested_run_inline;
     case "jobs = 1 is sequential" test_sequential_pool;
     case "invalid job counts rejected" test_invalid_jobs;
+    case "clamp_jobs caps at the core count" test_clamp_jobs;
     case "get caches shared pools" test_get_cached;
   ]

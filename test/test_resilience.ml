@@ -171,6 +171,7 @@ let test_checkpoint_roundtrip () =
       sp_converged = false;
       sp_vector = [| 0.125; 0.25; 0.625 |];
       sp_values = [| [| 0.; 0.1; 0.2 |]; [| 1.; 0.9; 0.8 |] |];
+      sp_skipped = 0.;
     }
   in
   let cdf =

@@ -122,11 +122,34 @@ let gen_result =
             (fun ps values -> Query.Quantiles { ps; values })
             gen_float_array gen_float_array );
         ( 1,
-          map3
-            (fun states nnz unif_rate ->
-              Query.Model_stats
-                { states; nnz; unif_rate; fingerprint = "deadbeefdeadbeef" })
-            (int_range 1 10_000) (int_range 1 100_000) gen_pos_float );
+          let* states = int_range 1 10_000 in
+          let* nnz = int_range 1 100_000 in
+          let* unif_rate = gen_pos_float in
+          let* kernel =
+            opt
+              (let* k_touched_nnz = int_range 0 1_000_000 in
+               let* k_active_rows = int_range 0 1_000_000 in
+               let* k_support_lo = int_range 0 5_000 in
+               let* k_support_hi = int_range 0 10_000 in
+               let* k_skipped_mass = gen_pos_float in
+               return
+                 {
+                   Query.k_touched_nnz;
+                   k_active_rows;
+                   k_support_lo;
+                   k_support_hi;
+                   k_skipped_mass;
+                 })
+          in
+          return
+            (Query.Model_stats
+               {
+                 states;
+                 nnz;
+                 unif_rate;
+                 fingerprint = "deadbeefdeadbeef";
+                 kernel;
+               }) );
       ])
 
 let gen_response =

@@ -136,15 +136,15 @@ let test_matvec_rows_range () =
   let m =
     build_matrix [ (0, 0, 1.); (1, 0, 2.); (2, 1, 3.) ] ~rows:3 ~cols:2
   in
-  let dst = [| -1.; -1.; -1. |] in
-  Sparse.matvec_rows m [| 10.; 100. |] ~dst ~lo:1 ~hi:2;
-  check_float "outside range untouched (before)" (-1.) dst.(0);
-  check_float "inside range written" 20. dst.(1);
-  check_float "outside range untouched (after)" (-1.) dst.(2);
+  let dst = Fvec.of_array [| -1.; -1.; -1. |] in
+  Sparse.matvec_rows m (Fvec.of_array [| 10.; 100. |]) ~dst ~lo:1 ~hi:2;
+  check_float "outside range untouched (before)" (-1.) (Fvec.get dst 0);
+  check_float "inside range written" 20. (Fvec.get dst 1);
+  check_float "outside range untouched (after)" (-1.) (Fvec.get dst 2);
   check_raises_invalid "bad range" (fun () ->
-      Sparse.matvec_rows m [| 1.; 1. |] ~dst ~lo:0 ~hi:4);
+      Sparse.matvec_rows m (Fvec.of_array [| 1.; 1. |]) ~dst ~lo:0 ~hi:4);
   check_raises_invalid "wrong x length" (fun () ->
-      Sparse.matvec_rows m [| 1. |] ~dst ~lo:0 ~hi:3)
+      Sparse.matvec_rows m (Fvec.of_array [| 1. |]) ~dst ~lo:0 ~hi:3)
 
 (* Every partition must tile [0, rows) exactly, whatever the shape. *)
 let prop_partition_tiles =
