@@ -64,9 +64,14 @@
                     population through the [batlife serve] engine,
                     recording per-query latency percentiles and the
                     fingerprint cache's hit rate, written as a JSON
-                    snapshot (committed as BENCH_service.json);
-                    nonzero exit on any failed query or a zero cache
-                    hit rate *)
+                    snapshot (committed as BENCH_service.json); the
+                    same latencies are also fed through the streaming
+                    log-bucketed histogram (Streamstat.Hist) and the
+                    streaming p50/p90/p99 are cross-checked against
+                    the exact sorted quantiles within the documented
+                    relative error bound; nonzero exit on any failed
+                    query, a zero cache hit rate, or a quantile
+                    outside the bound *)
 
 open Bechamel
 open Batlife_battery
@@ -642,6 +647,7 @@ module Scache = Batlife_service.Cache
 module Model_spec = Batlife_service.Model_spec
 module Squery = Batlife_service.Query
 module Rng = Batlife_numerics.Rng
+module Streamstat = Batlife_numerics.Streamstat
 
 (* 8 switching frequencies x 6 capacities of the fig-7 style single-well
    on/off model: 48 distinct fingerprints. *)
@@ -674,7 +680,7 @@ let service_query rng specs weights q =
       Squery.Percentiles { ps = [| 0.5; 0.9 |]; horizon = 25000.; points = 20 }
     else Squery.Stats
   in
-  { Squery.id = Printf.sprintf "q%04d" q; model = spec; payload;
+  { Squery.id = Printf.sprintf "q%04d" q; model = Some spec; payload;
     deadline_s = None }
 
 let service_report path =
@@ -694,11 +700,13 @@ let service_report path =
   let builds0 = Telemetry.value c_builds in
   let rng = Rng.create ~seed:20070625L () in
   let latencies = Array.make queries 0. in
+  let hist = Streamstat.Hist.create () in
   let failures = ref 0 in
   for q = 0 to queries - 1 do
     let req = service_query rng specs weights q in
     let t, resp = wall (fun () -> Service.handle svc req) in
     latencies.(q) <- t;
+    Streamstat.Hist.observe hist t;
     match resp.Squery.result with
     | Ok _ -> ()
     | Error e ->
@@ -728,9 +736,48 @@ let service_report path =
     (pct 0.50 *. 1e6) (pct 0.90 *. 1e6) (pct 0.99 *. 1e6)
     (sorted.(queries - 1) *. 1e6);
   Printf.printf "  failed queries: %d\n" !failures;
-  if !failures > 0 || hits = 0 then begin
+  (* Cross-check: the bounded streaming histogram the live service
+     scrapes must agree with the exact sorted quantiles computed on
+     the very same latencies, within its documented relative error
+     bound (both use the floor(p*n) rank convention, so the only
+     divergence allowed is the bucket-midpoint rounding). *)
+  let bound = Streamstat.Hist.rel_error_bound hist in
+  let stream_pct p = Streamstat.Hist.quantile hist p in
+  let quantile_checks =
+    List.map
+      (fun p ->
+        let exact = pct p and stream = stream_pct p in
+        let rel =
+          if exact > 0. then Float.abs (stream -. exact) /. exact else 0.
+        in
+        (p, exact, stream, rel))
+      [ 0.50; 0.90; 0.99 ]
+  in
+  let max_rel_error =
+    List.fold_left (fun acc (_, _, _, rel) -> Float.max acc rel)
+      0. quantile_checks
+  in
+  Printf.printf
+    "  streaming: p50 %.0f us, p90 %.0f us, p99 %.0f us (max rel err %.4f, \
+     bound %.4f)\n"
+    (stream_pct 0.50 *. 1e6) (stream_pct 0.90 *. 1e6)
+    (stream_pct 0.99 *. 1e6) max_rel_error bound;
+  let quantile_violation =
+    List.exists (fun (_, _, _, rel) -> rel > bound) quantile_checks
+  in
+  if quantile_violation then
+    List.iter
+      (fun (p, exact, stream, rel) ->
+        if rel > bound then
+          Printf.eprintf
+            "service report: streaming p%.0f = %.6fs vs exact %.6fs (rel \
+             err %.4f > bound %.4f)\n"
+            (p *. 100.) stream exact rel bound)
+      quantile_checks;
+  if !failures > 0 || hits = 0 || quantile_violation then begin
     prerr_endline
-      "service report: failed queries or cold cache (service bug)";
+      "service report: failed queries, cold cache, or streaming quantile \
+       outside documented bound (service bug)";
     exit 1
   end;
   Batlife_numerics.Atomic_io.with_out ~path (fun oc ->
@@ -745,12 +792,17 @@ let service_report path =
   "q_star_builds": %d,
   "latency_seconds": {
     "mean": %.6f, "p50": %.6f, "p90": %.6f, "p99": %.6f, "max": %.6f
+  },
+  "streaming_latency_seconds": {
+    "p50": %.6f, "p90": %.6f, "p99": %.6f,
+    "rel_error_bound": %.6f, "max_rel_error": %.6f
   }
 }
 |}
     population exponent queries !failures cache_capacity hits misses
     evictions hit_rate builds mean (pct 0.50) (pct 0.90) (pct 0.99)
-    sorted.(queries - 1));
+    sorted.(queries - 1) (stream_pct 0.50) (stream_pct 0.90)
+    (stream_pct 0.99) bound max_rel_error);
   Printf.printf "  wrote %s\n" path
 
 let timing_tests =

@@ -772,7 +772,8 @@ let experiment_cmd =
 (* ------------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run socket cache_capacity max_batch max_connections jobs () =
+  let run socket cache_capacity max_batch max_connections jobs access_log
+      slow_log slow_query_ms () =
     (match jobs with
     | Some j when j < 1 ->
         Batlife_numerics.Diag.invalid_model ~what:"--jobs"
@@ -781,12 +782,22 @@ let serve_cmd =
         Batlife_numerics.Pool.set_default_jobs
           (Batlife_numerics.Pool.clamp_jobs j)
     | None -> ());
-    let service = Batlife_service.Service.create ~cache_capacity () in
-    match socket with
-    | None -> Batlife_service.Server.serve_stdio ~max_batch service
-    | Some path ->
-        Batlife_service.Server.serve_unix ~max_batch ?max_connections service
-          ~path
+    if slow_query_ms < 0. then
+      Batlife_numerics.Diag.invalid_model ~what:"--slow-query-ms"
+        [ Printf.sprintf "need a non-negative threshold, got %g" slow_query_ms ];
+    let obs =
+      Batlife_service.Obs.create ?access_log ?slow_log
+        ~slow_threshold_s:(slow_query_ms /. 1000.) ()
+    in
+    let service = Batlife_service.Service.create ~cache_capacity ~obs () in
+    Fun.protect
+      ~finally:(fun () -> Batlife_service.Obs.close obs)
+      (fun () ->
+        match socket with
+        | None -> Batlife_service.Server.serve_stdio ~max_batch service
+        | Some path ->
+            Batlife_service.Server.serve_unix ~max_batch ?max_connections
+              service ~path)
   in
   let socket =
     Arg.(
@@ -826,6 +837,29 @@ let serve_cmd =
           ~doc:
             "Worker domains for fanning independent models out and for the \
              parallel sweep kernel.")
+  and access_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"PATH"
+          ~doc:
+            "Append one JSONL line (schema batlife.access/1) per request: \
+             request id, query kind, cache status, outcome, latency.")
+  and slow_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slow-log" ] ~docv:"PATH"
+          ~doc:
+            "Append a JSONL entry (schema batlife.slow/1) for every request \
+             slower than $(b,--slow-query-ms), with a per-phase span \
+             breakdown (phases need $(b,--profile)).")
+  and slow_query_ms =
+    Arg.(
+      value
+      & opt float 1000.
+      & info [ "slow-query-ms" ] ~docv:"MS"
+          ~doc:"Slow-query threshold for $(b,--slow-log), milliseconds.")
   in
   Cmd.v
     (Cmd.info "serve"
@@ -834,7 +868,118 @@ let serve_cmd =
           batlife.query/1)")
     Term.(
       const run $ socket $ cache_capacity $ max_batch $ max_connections $ jobs
-      $ telemetry_term)
+      $ access_log $ slow_log $ slow_query_ms $ telemetry_term)
+
+(* ------------------------------------------------------------------ *)
+
+(* [batlife stats]: scrape a running [batlife serve --socket] daemon
+   over the query protocol's admin kinds.  The output is the payload
+   itself — the stats JSON, the Prometheus text, or the health JSON —
+   so it pipes straight into jq or a node-exporter textfile. *)
+let stats_cmd =
+  let module Query = Batlife_service.Query in
+  let module Json = Batlife_numerics.Json in
+  let read_line_fd fd =
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Buffer.contents buf
+      | n ->
+          let s = Bytes.sub_string chunk 0 n in
+          (match String.index_opt s '\n' with
+          | Some i ->
+              Buffer.add_string buf (String.sub s 0 i);
+              Buffer.contents buf
+          | None ->
+              Buffer.add_string buf s;
+              go ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+  in
+  let io_error ~socket message =
+    Batlife_numerics.Diag.fail
+      (Batlife_numerics.Diag.Parse_error
+         { source = socket; line = 0; field = None; message })
+  in
+  let run socket probe () =
+    let payload =
+      match probe with
+      | "stats" -> Query.Server_stats
+      | "prometheus" -> Query.Prometheus
+      | "health" -> Query.Health
+      | other ->
+          Batlife_numerics.Diag.invalid_model ~what:"stats"
+            [
+              Printf.sprintf
+                "unknown probe %S (expected stats, prometheus or health)" other;
+            ]
+    in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+        | () -> ()
+        | exception Unix.Unix_error (err, _, _) ->
+            io_error ~socket
+              (Printf.sprintf "cannot connect: %s" (Unix.error_message err)));
+        let req =
+          Query.request_to_line
+            { Query.id = "admin"; model = None; payload; deadline_s = None }
+        in
+        let b = Bytes.of_string req in
+        let rec write_all off =
+          if off < Bytes.length b then
+            match Unix.write fd b off (Bytes.length b - off) with
+            | n -> write_all (off + n)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+        in
+        write_all 0;
+        let line = read_line_fd fd in
+        if line = "" then io_error ~socket "server closed without answering";
+        match Query.response_of_line ~source:socket line with
+        | Error e -> io_error ~socket e.Query.message
+        | Ok { Query.result = Error e; _ } ->
+            Printf.eprintf "batlife: error: %s\n" e.Query.message;
+            exit e.Query.code
+        | Ok { Query.result = Ok (Query.Service_stats { stats }); _ } ->
+            print_endline (Json.encode stats)
+        | Ok { Query.result = Ok (Query.Text { text; _ }); _ } ->
+            print_string text
+        | Ok { Query.result = Ok (Query.Health_report { status; uptime_s }); _ }
+          ->
+            print_endline
+              (Json.encode
+                 (Json.Obj
+                    [
+                      ("status", Json.Str status);
+                      ("uptime_s", Json.of_float uptime_s);
+                    ]));
+            if status <> "ok" then exit 1
+        | Ok _ -> io_error ~socket "unexpected result kind for an admin query")
+  in
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket of the running $(b,batlife serve).")
+  and probe =
+    Arg.(
+      value
+      & opt string "stats"
+      & info [ "probe" ] ~docv:"KIND"
+          ~doc:
+            "What to fetch: $(b,stats) (batlife.stats/1 JSON snapshot), \
+             $(b,prometheus) (text exposition) or $(b,health) (readiness \
+             probe; exits nonzero unless the service answers ok).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Scrape a running batlife serve daemon (stats, Prometheus, health)")
+    Term.(const run $ socket $ probe $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
 
@@ -845,8 +990,11 @@ let report_diagnostics () =
   List.iter
     (fun (e : Batlife_numerics.Diag.event) ->
       if e.Batlife_numerics.Diag.fallback then
-        Printf.eprintf "batlife: note: %s: %s\n" e.Batlife_numerics.Diag.origin
-          e.Batlife_numerics.Diag.detail)
+        Printf.eprintf "batlife: note: %s%s: %s\n"
+          (match e.Batlife_numerics.Diag.ctx with
+          | None -> ""
+          | Some rid -> "[" ^ rid ^ "] ")
+          e.Batlife_numerics.Diag.origin e.Batlife_numerics.Diag.detail)
     (Batlife_numerics.Diag.events ())
 
 let () =
@@ -878,7 +1026,7 @@ let () =
     Cmd.group info
       [
         kibam_cmd; lifetime_cmd; simulate_cmd; trace_cmd; pack_cmd;
-        experiment_cmd; serve_cmd;
+        experiment_cmd; serve_cmd; stats_cmd;
       ]
   in
   (* [~catch:false] lets structured errors reach this handler instead

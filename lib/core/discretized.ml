@@ -279,7 +279,7 @@ module Session = struct
      flush: sessions are long-lived (the query service caches them
      across requests), so per-request deadlines cannot be pinned into
      the session's options at create time. *)
-  let run ?budget s =
+  let flush ?budget s =
     let regs = List.rev s.queue in
     s.queue <- [];
     match regs with
@@ -341,6 +341,17 @@ module Session = struct
               s.swept (List.length regs) (Array.length measures)
               (Array.length grid) stats.Transient.iterations);
         stats
+
+  (* [ctx]: trace context (request id) for this flush.  Spans and Diag
+     notes recorded during the sweep — kernel builds, escalations,
+     budget trips — are stamped with it, so the service layer can
+     attribute shared-sweep work to the requests that triggered it. *)
+  let run ?budget ?ctx s =
+    match ctx with
+    | Some rid ->
+        Telemetry.with_context rid @@ fun () ->
+        Diag.with_context rid @@ fun () -> flush ?budget s
+    | None -> flush ?budget s
 
   let get p =
     if not p.reg.filled then ignore (run p.s : Transient.stats);

@@ -153,14 +153,22 @@ module Session : sig
 
   (** {2 Execution} *)
 
-  val run : ?budget:Batlife_numerics.Budget.t -> session -> Transient.stats
+  val run :
+    ?budget:Batlife_numerics.Budget.t ->
+    ?ctx:string ->
+    session ->
+    Transient.stats
   (** Flush all pending registrations through one shared sweep and
       return its stats.  With nothing pending this is a no-op
       returning the last flush's stats (zero iterations if the
       session never swept).  [budget] bounds {e this flush only},
       overriding the session options' budget: long-lived sessions (the
       query service caches them across requests) cannot pin a
-      per-request deadline at {!create} time. *)
+      per-request deadline at {!create} time.  [ctx] is a trace
+      context (request id): the flush runs under
+      [Telemetry.with_context] and [Diag.with_context], so sweep spans
+      and diagnostics notes are attributable to the requests that
+      triggered them. *)
 
   val get : 'a pending -> 'a
   (** The query's result; triggers {!run} if its batch has not been

@@ -72,6 +72,43 @@ let with_out ~path f =
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e
 
+(* Append-only logs (JSONL access/slow-query logs) cannot use the
+   temp+rename dance — each line must land next to the previous ones.
+   The crash-safety story is different but equally simple: the file is
+   opened O_APPEND and every line goes out as one [write]; POSIX makes
+   O_APPEND writes atomic with respect to concurrent appenders, so
+   lines never interleave, and a crash can only lose the tail line,
+   never corrupt earlier ones. *)
+type appender = { ap_path : string; ap_fd : Unix.file_descr; ap_mutex : Mutex.t }
+
+let appender ~path =
+  if Fi.fires fi_write then
+    io_error ~path "injected write failure (fault site atomic_io.write_fail)";
+  match
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  with
+  | fd -> { ap_path = path; ap_fd = fd; ap_mutex = Mutex.create () }
+  | exception Unix.Unix_error (err, _, _) ->
+      io_error ~path (Unix.error_message err)
+
+let append_line ap line =
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\n' then String.sub line 0 (n - 1) else line
+  in
+  let data = Bytes.of_string (line ^ "\n") in
+  Mutex.lock ap.ap_mutex;
+  let result =
+    try Ok (ignore (Unix.write ap.ap_fd data 0 (Bytes.length data)))
+    with Unix.Unix_error (err, _, _) -> Error err
+  in
+  Mutex.unlock ap.ap_mutex;
+  match result with
+  | Ok () -> ()
+  | Error err -> io_error ~path:ap.ap_path (Unix.error_message err)
+
+let close_appender ap = try Unix.close ap.ap_fd with Unix.Unix_error _ -> ()
+
 let write_file ~path contents =
   (* A short write models storage-level corruption the rename cannot
      prevent: the file lands complete as far as this process can tell,

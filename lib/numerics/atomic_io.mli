@@ -31,3 +31,23 @@ val with_out : path:string -> (out_channel -> 'a) -> 'a
 val write_file : path:string -> string -> unit
 (** [write_file ~path s] atomically replaces [path]'s content with
     [s]. *)
+
+(** {1 Append-only logs}
+
+    Whole-file replacement is wrong for access logs; these use the
+    other POSIX atomicity primitive: an [O_APPEND] descriptor where
+    every line is a single [write].  Concurrent appenders never
+    interleave within a line, and a crash can only lose the line in
+    flight, never corrupt completed ones. *)
+
+type appender
+
+val appender : path:string -> appender
+(** Open (creating if needed) [path] for appending.  Raises
+    [Diag.Error (Parse_error _)] when the path cannot be opened.
+    Subject to the [atomic_io.write_fail] fault site. *)
+
+val append_line : appender -> string -> unit
+(** Append one line (a ['\n'] is added) as a single [write]. *)
+
+val close_appender : appender -> unit

@@ -84,7 +84,12 @@ let breakdown ~where fmt =
    and [replay] re-records a buffer into the shared sink, so the
    merge order is whatever order the caller replays in. *)
 
-type event = { origin : string; detail : string; fallback : bool }
+type event = {
+  origin : string;
+  detail : string;
+  fallback : bool;
+  ctx : string option;
+}
 
 let sink : event list ref = ref []
 let sink_mutex = Mutex.create ()
@@ -93,14 +98,36 @@ let sink_mutex = Mutex.create ()
 let capture_cell : event list ref option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
-let record ?(fallback = false) ~origin detail =
-  let e = { origin; detail; fallback } in
+(* The current domain's trace context (request id), stamped on every
+   event recorded in its extent — mirrors [Telemetry.with_context]. *)
+let context_cell : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_context ctx f =
+  let cell = Domain.DLS.get context_cell in
+  let saved = !cell in
+  cell := Some ctx;
+  match f () with
+  | result ->
+      cell := saved;
+      result
+  | exception e ->
+      cell := saved;
+      raise e
+
+let current_context () = !(Domain.DLS.get context_cell)
+
+let record_event e =
   match !(Domain.DLS.get capture_cell) with
   | Some buffer -> buffer := e :: !buffer
   | None ->
       Mutex.lock sink_mutex;
       sink := e :: !sink;
       Mutex.unlock sink_mutex
+
+let record ?(fallback = false) ~origin detail =
+  record_event
+    { origin; detail; fallback; ctx = !(Domain.DLS.get context_cell) }
 
 let capture f =
   let cell = Domain.DLS.get capture_cell in
@@ -115,9 +142,12 @@ let capture f =
       cell := saved;
       raise e
 
-let replay events =
-  List.iter (fun e -> record ~fallback:e.fallback ~origin:e.origin e.detail)
-    events
+(* Replay re-records the event values verbatim: in particular the
+   context each event was captured under survives the hop from the
+   worker domain to the replaying one, so per-request notes stay
+   attributable after the deterministic merge (re-stamping with the
+   replayer's context would anonymise them). *)
+let replay events = List.iter record_event events
 
 let events () =
   Mutex.lock sink_mutex;

@@ -67,9 +67,28 @@ val breakdown : where:string -> ('a, unit, string, 'b) format4 -> 'a
     private per-task buffer — and {!replay}s the buffers in input
     order, so the merged stream is independent of domain scheduling. *)
 
-type event = { origin : string; detail : string; fallback : bool }
+type event = {
+  origin : string;
+  detail : string;
+  fallback : bool;
+  ctx : string option;
+      (** trace context (request id) active when the event was
+          recorded — see {!with_context}; preserved by
+          {!capture}/{!replay} so merged per-request notes stay
+          attributable *)
+}
 
 val record : ?fallback:bool -> origin:string -> string -> unit
+(** Record an event; the current domain's {!with_context} value (if
+    any) is stamped on it. *)
+
+val with_context : string -> (unit -> 'a) -> 'a
+(** [with_context rid f] stamps every event the {e current domain}
+    records during [f] with [rid], mirroring
+    [Telemetry.with_context].  Restores the previous context when [f]
+    returns or raises; nests, inner wins. *)
+
+val current_context : unit -> string option
 
 val capture : (unit -> 'a) -> 'a * event list
 (** [capture f] runs [f] with the {e current domain's} recordings
@@ -82,7 +101,9 @@ val capture : (unit -> 'a) -> 'a * event list
 
 val replay : event list -> unit
 (** Re-record events in list order (into the shared sink, or into the
-    enclosing capture buffer if one is in flight). *)
+    enclosing capture buffer if one is in flight).  Events are
+    re-recorded verbatim — in particular each keeps the [ctx] it was
+    originally recorded under, not the replaying domain's. *)
 
 val events : unit -> event list
 (** Recorded events, oldest first. *)

@@ -133,20 +133,37 @@ type span = {
   sp_self_ns : int64;
   sp_depth : int;
   sp_domain : int;
+  sp_ctx : string option;
 }
 
 (* Per-domain open-span stack (for depth and parent child-time
    accounting) plus the capture redirection cell, mirroring
-   [Diag.capture_cell]. *)
+   [Diag.capture_cell], plus the trace context a service front end
+   stamps on every span recorded in its extent. *)
 type frame = { f_name : string; f_start : int64; f_depth : int; mutable f_child : int64 }
 
 type dstate = {
   mutable stack : frame list;
   mutable capturing : span list ref option;
+  mutable ctx : string option;
 }
 
 let dls : dstate Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { stack = []; capturing = None })
+  Domain.DLS.new_key (fun () -> { stack = []; capturing = None; ctx = None })
+
+let with_context ctx f =
+  let st = Domain.DLS.get dls in
+  let saved = st.ctx in
+  st.ctx <- Some ctx;
+  match f () with
+  | result ->
+      st.ctx <- saved;
+      result
+  | exception e ->
+      st.ctx <- saved;
+      raise e
+
+let current_context () = (Domain.DLS.get dls).ctx
 
 let span_sink : span list ref = ref []
 let span_mutex = Mutex.create ()
@@ -188,6 +205,7 @@ let with_span name f =
           sp_self_ns = Int64.max 0L (Int64.sub dur frame.f_child);
           sp_depth = frame.f_depth;
           sp_domain = (Domain.self () :> int);
+          sp_ctx = st.ctx;
         }
     in
     match f () with
@@ -416,11 +434,14 @@ let trace_json snap =
         (Printf.sprintf
            "  {\"name\": \"%s\", \"cat\": \"batlife\", \"ph\": \"X\", \
             \"ts\": %s, \"dur\": %s, \"pid\": 1, \"tid\": %d, \
-            \"args\": {\"depth\": %d}}"
+            \"args\": {\"depth\": %d%s}}"
            (json_escape sp.sp_name)
            (json_float (Int64.to_float (Int64.sub sp.sp_start_ns base) /. 1e3))
            (json_float (Int64.to_float sp.sp_dur_ns /. 1e3))
-           sp.sp_domain sp.sp_depth))
+           sp.sp_domain sp.sp_depth
+           (match sp.sp_ctx with
+           | None -> ""
+           | Some rid -> Printf.sprintf ", \"rid\": \"%s\"" (json_escape rid))))
     snap.snap_spans;
   Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\"}\n";
   Buffer.contents buf

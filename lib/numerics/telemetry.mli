@@ -101,7 +101,20 @@ type span = {
           closed on the same domain *)
   sp_depth : int;  (** nesting depth at open time (0 = root) *)
   sp_domain : int;  (** id of the recording domain (trace "tid") *)
+  sp_ctx : string option;
+      (** trace context (request id) active when the span closed — see
+          {!with_context}; carried into {!trace_json} as ["rid"] *)
 }
+
+val with_context : string -> (unit -> 'a) -> 'a
+(** [with_context rid f] stamps every span the {e current domain}
+    records during [f] with [rid] (restoring the previous context when
+    [f] returns or raises; contexts nest, inner wins).  The service
+    layer wraps each request's work in its request id so one slow
+    query can be filtered out of a merged trace. *)
+
+val current_context : unit -> string option
+(** The current domain's active context, if any. *)
 
 val with_span : string -> (unit -> 'a) -> 'a
 (** [with_span name f] times [f ()] and records a completed span

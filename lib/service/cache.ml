@@ -64,6 +64,7 @@ let find_or_build t spec =
       (entry, `Miss)
 
 let size t = Hashtbl.length t.table
+let capacity t = t.capacity
 let hits _ = Telemetry.value c_hits
 let misses _ = Telemetry.value c_misses
 let evictions _ = Telemetry.value c_evictions

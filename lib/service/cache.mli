@@ -42,6 +42,7 @@ val find_or_build : t -> Model_spec.t -> entry * [ `Hit | `Miss ]
     leave the cache unchanged. *)
 
 val size : t -> int
+val capacity : t -> int
 val hits : t -> int
 val misses : t -> int
 val evictions : t -> int

@@ -1,0 +1,328 @@
+open Batlife_numerics
+
+let schema_stats = "batlife.stats/1"
+let schema_access = "batlife.access/1"
+let schema_slow = "batlife.slow/1"
+
+(* The fixed query-kind universe: one latency histogram each, created
+   up front so the state bound is visible at construction time.
+   "admin" covers the scrape queries themselves, "protocol" the
+   malformed frames rejected before reaching the engine. *)
+let kinds = [ "cdf"; "measures"; "percentiles"; "stats"; "admin"; "protocol" ]
+
+type t = {
+  started_ns : int64;
+  started_wall : float;
+  seq : int Atomic.t;
+  in_flight : int Atomic.t;
+  queue_depth : int Atomic.t;
+  errors : int Atomic.t;
+  hists : (string * Streamstat.Hist.t) list;
+  req_1m : Streamstat.Window.t;
+  req_5m : Streamstat.Window.t;
+  err_1m : Streamstat.Window.t;
+  err_5m : Streamstat.Window.t;
+  (* Support hull of the most recent sweep; a mutex keeps the three
+     fields mutually consistent (writes are per-flush, never hot). *)
+  kernel_mutex : Mutex.t;
+  mutable last_support : (int * int * float) option;
+  access : Atomic_io.appender option;
+  slow : Atomic_io.appender option;
+  slow_threshold_s : float;
+  jobs : int;
+}
+
+let create ?access_log ?slow_log ?(slow_threshold_s = 1.0) ?jobs () =
+  {
+    started_ns = Telemetry.now_ns ();
+    started_wall = Unix.gettimeofday ();
+    seq = Atomic.make 0;
+    in_flight = Atomic.make 0;
+    queue_depth = Atomic.make 0;
+    errors = Atomic.make 0;
+    hists = List.map (fun k -> (k, Streamstat.Hist.create ())) kinds;
+    req_1m = Streamstat.Window.create ~span_s:60. ();
+    req_5m = Streamstat.Window.create ~slots:30 ~span_s:300. ();
+    err_1m = Streamstat.Window.create ~span_s:60. ();
+    err_5m = Streamstat.Window.create ~slots:30 ~span_s:300. ();
+    kernel_mutex = Mutex.create ();
+    last_support = None;
+    access = Option.map (fun path -> Atomic_io.appender ~path) access_log;
+    slow = Option.map (fun path -> Atomic_io.appender ~path) slow_log;
+    slow_threshold_s;
+    jobs = (match jobs with Some j -> j | None -> Pool.default_jobs ());
+  }
+
+let next_rid t = Printf.sprintf "r%d" (Atomic.fetch_and_add t.seq 1 + 1)
+
+let batch_begin t n =
+  ignore (Atomic.fetch_and_add t.in_flight n);
+  Atomic.set t.queue_depth n
+
+let batch_end t =
+  Atomic.set t.in_flight 0;
+  Atomic.set t.queue_depth 0
+
+let uptime_s t =
+  Int64.to_float (Int64.sub (Telemetry.now_ns ()) t.started_ns) /. 1e9
+
+let slow_threshold_s t = t.slow_threshold_s
+
+type observation = {
+  rid : string;
+  id : string;
+  kind : string;
+  fingerprint : string option;
+  cache : string option;
+  ok : bool;
+  code : int;
+  latency_s : float;
+  batch : int;
+  group : int;
+  phases : Telemetry.rollup_row list;
+}
+
+let hist t kind =
+  match List.assoc_opt kind t.hists with
+  | Some h -> h
+  | None -> List.assoc "admin" t.hists
+
+let opt_str name = function
+  | None -> []
+  | Some v -> [ (name, Json.Str v) ]
+
+let common_fields o =
+  [
+    ("ts", Json.of_float (Unix.gettimeofday ()));
+    ("rid", Json.Str o.rid);
+    ("id", Json.Str o.id);
+    ("kind", Json.Str o.kind);
+  ]
+  @ opt_str "fingerprint" o.fingerprint
+  @ opt_str "cache" o.cache
+
+let access_line o =
+  Json.encode
+    (Json.Obj
+       ([ ("schema", Json.Str schema_access) ]
+       @ common_fields o
+       @ [
+           ("ok", Json.Bool o.ok);
+           ("code", Json.of_int o.code);
+           ("latency_s", Json.of_float o.latency_s);
+           ("batch", Json.of_int o.batch);
+           ("group", Json.of_int o.group);
+         ]))
+
+let ms_of_ns ns = Int64.to_float ns /. 1e6
+
+let slow_line t o =
+  let phase (r : Telemetry.rollup_row) =
+    Json.Obj
+      [
+        ("name", Json.Str r.Telemetry.r_name);
+        ("count", Json.of_int r.Telemetry.r_count);
+        ("total_ms", Json.of_float (ms_of_ns r.Telemetry.r_total_ns));
+        ("self_ms", Json.of_float (ms_of_ns r.Telemetry.r_self_ns));
+        ("max_ms", Json.of_float (ms_of_ns r.Telemetry.r_max_ns));
+      ]
+  in
+  Json.encode
+    (Json.Obj
+       ([ ("schema", Json.Str schema_slow) ]
+       @ common_fields o
+       @ [
+           ("ok", Json.Bool o.ok);
+           ("latency_s", Json.of_float o.latency_s);
+           ("threshold_s", Json.of_float t.slow_threshold_s);
+           ("phases", Json.Arr (List.map phase o.phases));
+         ]))
+
+let record t o =
+  Streamstat.Hist.observe (hist t o.kind) o.latency_s;
+  Streamstat.Window.add t.req_1m 1;
+  Streamstat.Window.add t.req_5m 1;
+  if not o.ok then begin
+    ignore (Atomic.fetch_and_add t.errors 1);
+    Streamstat.Window.add t.err_1m 1;
+    Streamstat.Window.add t.err_5m 1
+  end;
+  (match t.access with
+  | Some ap -> Atomic_io.append_line ap (access_line o)
+  | None -> ());
+  match t.slow with
+  | Some ap when o.latency_s >= t.slow_threshold_s ->
+      Atomic_io.append_line ap (slow_line t o)
+  | _ -> ()
+
+let note_kernel t (s : Batlife_ctmc.Transient.stats) =
+  Mutex.lock t.kernel_mutex;
+  t.last_support <-
+    Some
+      ( s.Batlife_ctmc.Transient.support_lo,
+        s.Batlife_ctmc.Transient.support_hi,
+        s.Batlife_ctmc.Transient.skipped_mass );
+  Mutex.unlock t.kernel_mutex
+
+(* ---- scrape surfaces -------------------------------------------- *)
+
+let counter_value name = Telemetry.value (Telemetry.counter name)
+
+let total_requests t =
+  List.fold_left (fun acc (_, h) -> acc + Streamstat.Hist.count h) 0 t.hists
+
+let quantile_or_zero h p =
+  if Streamstat.Hist.count h = 0 then 0. else Streamstat.Hist.quantile h p
+
+let finite_or_zero v = if Float.is_finite v then v else 0.
+
+let stats_json t ~cache_size ~cache_capacity =
+  let hits = counter_value "session.cache_hit"
+  and misses = counter_value "session.cache_miss" in
+  let hit_rate =
+    if hits + misses = 0 then 0.
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  let latency =
+    List.map
+      (fun (kind, h) ->
+        ( kind,
+          Json.Obj
+            [
+              ("count", Json.of_int (Streamstat.Hist.count h));
+              ("mean_s", Json.of_float (finite_or_zero (Streamstat.Hist.mean h)));
+              ("p50_s", Json.of_float (quantile_or_zero h 0.50));
+              ("p90_s", Json.of_float (quantile_or_zero h 0.90));
+              ("p99_s", Json.of_float (quantile_or_zero h 0.99));
+              ("max_s", Json.of_float (finite_or_zero (Streamstat.Hist.max_seen h)));
+            ] ))
+      t.hists
+  in
+  let bound =
+    Streamstat.Hist.rel_error_bound (snd (List.hd t.hists))
+  in
+  let support_lo, support_hi, skipped_mass =
+    Mutex.lock t.kernel_mutex;
+    let v = t.last_support in
+    Mutex.unlock t.kernel_mutex;
+    match v with Some (lo, hi, m) -> (lo, hi, m) | None -> (0, 0, 0.)
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema_stats);
+      ("uptime_s", Json.of_float (uptime_s t));
+      ( "requests",
+        Json.Obj
+          [
+            ("total", Json.of_int (total_requests t));
+            ("errors", Json.of_int (Atomic.get t.errors));
+            ("in_flight", Json.of_int (Atomic.get t.in_flight));
+            ("queue_depth", Json.of_int (Atomic.get t.queue_depth));
+            ("rate_1m", Json.of_float (Streamstat.Window.rate t.req_1m));
+            ("rate_5m", Json.of_float (Streamstat.Window.rate t.req_5m));
+            ("error_rate_1m", Json.of_float (Streamstat.Window.rate t.err_1m));
+            ("error_rate_5m", Json.of_float (Streamstat.Window.rate t.err_5m));
+          ] );
+      ( "latency",
+        Json.Obj (("rel_error_bound", Json.of_float bound) :: latency) );
+      ( "cache",
+        Json.Obj
+          [
+            ("size", Json.of_int cache_size);
+            ("capacity", Json.of_int cache_capacity);
+            ("hits", Json.of_int hits);
+            ("misses", Json.of_int misses);
+            ("evictions", Json.of_int (counter_value "session.cache_evictions"));
+            ("hit_rate", Json.of_float hit_rate);
+          ] );
+      ("pool", Json.Obj [ ("jobs", Json.of_int t.jobs) ]);
+      ( "kernel",
+        Json.Obj
+          [
+            ("sweeps", Json.of_int (counter_value "transient.sweeps"));
+            ("kernel_builds", Json.of_int (counter_value "transient.kernel_builds"));
+            ("touched_nnz", Json.of_int (counter_value "transient.touched_nnz"));
+            ("active_rows", Json.of_int (counter_value "transient.active_rows"));
+            ("session_flushes", Json.of_int (counter_value "session.flushes"));
+            ("last_support_lo", Json.of_int support_lo);
+            ("last_support_hi", Json.of_int support_hi);
+            ("last_skipped_mass", Json.of_float skipped_mass);
+          ] );
+    ]
+
+let prometheus t ~cache_size ~cache_capacity =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let float_v v =
+    (* Prometheus wants plain decimal or Inf/NaN tokens. *)
+    if Float.is_nan v then "NaN"
+    else if v = Float.infinity then "+Inf"
+    else if v = Float.neg_infinity then "-Inf"
+    else Printf.sprintf "%.9g" v
+  in
+  line "# HELP batlife_up Whether the service is serving.";
+  line "# TYPE batlife_up gauge";
+  line "batlife_up 1";
+  line "# HELP batlife_uptime_seconds Seconds since service start.";
+  line "# TYPE batlife_uptime_seconds gauge";
+  line "batlife_uptime_seconds %s" (float_v (uptime_s t));
+  line "# HELP batlife_requests_total Requests answered, by query kind.";
+  line "# TYPE batlife_requests_total counter";
+  List.iter
+    (fun (kind, h) ->
+      line "batlife_requests_total{kind=%S} %d" kind (Streamstat.Hist.count h))
+    t.hists;
+  line "# HELP batlife_errors_total Requests answered with an error frame.";
+  line "# TYPE batlife_errors_total counter";
+  line "batlife_errors_total %d" (Atomic.get t.errors);
+  line "# HELP batlife_in_flight_requests Requests in the batch being served.";
+  line "# TYPE batlife_in_flight_requests gauge";
+  line "batlife_in_flight_requests %d" (Atomic.get t.in_flight);
+  line
+    "# HELP batlife_request_duration_seconds Per-kind request latency \
+     (streaming quantiles; relative error bound %s)."
+    (float_v (Streamstat.Hist.rel_error_bound (snd (List.hd t.hists))));
+  line "# TYPE batlife_request_duration_seconds summary";
+  List.iter
+    (fun (kind, h) ->
+      if Streamstat.Hist.count h > 0 then
+        List.iter
+          (fun p ->
+            line "batlife_request_duration_seconds{kind=%S,quantile=\"%g\"} %s"
+              kind p
+              (float_v (Streamstat.Hist.quantile h p)))
+          [ 0.5; 0.9; 0.99 ];
+      line "batlife_request_duration_seconds_sum{kind=%S} %s" kind
+        (float_v (Streamstat.Hist.sum h));
+      line "batlife_request_duration_seconds_count{kind=%S} %d" kind
+        (Streamstat.Hist.count h))
+    t.hists;
+  line "# HELP batlife_cache_entries Sessions interned in the model cache.";
+  line "# TYPE batlife_cache_entries gauge";
+  line "batlife_cache_entries %d" cache_size;
+  line "batlife_cache_capacity %d" cache_capacity;
+  line "# TYPE batlife_cache_hits_total counter";
+  line "batlife_cache_hits_total %d" (counter_value "session.cache_hit");
+  line "batlife_cache_misses_total %d" (counter_value "session.cache_miss");
+  line "batlife_cache_evictions_total %d"
+    (counter_value "session.cache_evictions");
+  line "# HELP batlife_pool_jobs Worker domains in the fan-out pool.";
+  line "# TYPE batlife_pool_jobs gauge";
+  line "batlife_pool_jobs %d" t.jobs;
+  line "# HELP batlife_kernel_touched_nnz_total Nonzeros streamed by sweeps.";
+  line "# TYPE batlife_kernel_touched_nnz_total counter";
+  line "batlife_kernel_touched_nnz_total %d"
+    (counter_value "transient.touched_nnz");
+  line "batlife_kernel_sweeps_total %d" (counter_value "transient.sweeps");
+  Buffer.contents buf
+
+let health_json t =
+  Json.Obj
+    [
+      ("status", Json.Str "ok");
+      ("uptime_s", Json.of_float (uptime_s t));
+    ]
+
+let close t =
+  Option.iter Atomic_io.close_appender t.access;
+  Option.iter Atomic_io.close_appender t.slow

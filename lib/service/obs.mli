@@ -1,0 +1,102 @@
+(** The service observability plane.
+
+    One [Obs.t] rides along with each {!Service.t} and turns the
+    request stream into bounded live aggregates — the batch-scoped
+    telemetry layer exports once at exit, which is useless for a
+    daemon.  Everything here is O(buckets + windows) state
+    ({!Batlife_numerics.Streamstat}), never O(requests):
+
+    - a request-id sequence ([r1], [r2], ...) — the trace context
+      stamped on spans and Diag notes for the request's extent;
+    - per-query-kind latency histograms and 1m/5m request/error rate
+      windows;
+    - the versioned stats snapshot (schema ["batlife.stats/1"]), the
+      Prometheus text exposition and the health probe served as admin
+      queries and by [batlife stats];
+    - the JSONL access log (schema ["batlife.access/1"], one line per
+      request) and the threshold-gated slow-query log (schema
+      ["batlife.slow/1"], with a per-phase span breakdown), both
+      appended through {!Batlife_numerics.Atomic_io}.
+
+    Recording never influences query results: the plane only reads
+    clocks and counters, so responses are bitwise identical with the
+    plane on or off (asserted by the test suite). *)
+
+open Batlife_numerics
+
+type t
+
+val create :
+  ?access_log:string ->
+  ?slow_log:string ->
+  ?slow_threshold_s:float ->
+  ?jobs:int ->
+  unit ->
+  t
+(** [access_log] / [slow_log]: paths to append JSONL entries to
+    (absent: no log).  [slow_threshold_s] (default [1.0]) gates the
+    slow-query log.  [jobs] is reported in the snapshot's pool section
+    (default {!Batlife_numerics.Pool.default_jobs}).  Raises
+    [Diag.Error (Parse_error _)] when a log path cannot be opened. *)
+
+val next_rid : t -> string
+(** The next request id: ["r1"], ["r2"], ... — unique per service
+    instance, atomic. *)
+
+val batch_begin : t -> int -> unit
+(** Called with the batch size when a batch starts being served;
+    in-flight and queue-depth read back nonzero until
+    {!batch_end} — an admin query inside the batch sees itself. *)
+
+val batch_end : t -> unit
+
+(** Everything known about one answered request, for the logs and the
+    aggregates.  [latency_s] is the wall time of the request's group
+    evaluation (registration + shared flush + forcing).  [phases] is
+    the {!Telemetry.rollup} of the spans captured during that
+    evaluation — empty unless telemetry is enabled. *)
+type observation = {
+  rid : string;
+  id : string;
+  kind : string;  (** ["cdf"], ["percentiles"], ..., ["admin"], ["protocol"] *)
+  fingerprint : string option;
+  cache : string option;
+  ok : bool;
+  code : int;  (** 0 when [ok] *)
+  latency_s : float;
+  batch : int;  (** batch size this request arrived in *)
+  group : int;  (** fingerprint-group size (1 for admin/protocol) *)
+  phases : Telemetry.rollup_row list;
+}
+
+val record : t -> observation -> unit
+(** Feed the aggregates, append the access-log line, and append a
+    slow-log entry when [latency_s] reaches the threshold. *)
+
+val note_kernel : t -> Batlife_ctmc.Transient.stats -> unit
+(** Record the support hull of the latest sweep (touched-nnz and
+    friends come from the always-on telemetry counters; only the
+    last-sweep support window needs to be tracked here). *)
+
+(** {1 Scrape surfaces} *)
+
+val stats_json :
+  t -> cache_size:int -> cache_capacity:int -> Json.t
+(** The ["batlife.stats/1"] snapshot: per-kind latency quantiles (with
+    the documented {!Batlife_numerics.Streamstat.Hist.rel_error_bound}),
+    request/error rates, cache counters, pool and kernel aggregates. *)
+
+val prometheus : t -> cache_size:int -> cache_capacity:int -> string
+(** Prometheus text exposition (version 0.0.4): [batlife_up],
+    per-kind request totals and latency summaries, cache and kernel
+    counters. *)
+
+val health_json : t -> Json.t
+(** [{"status":"ok","uptime_s":...}] — the process is accepting and
+    answering queries if this comes back at all. *)
+
+val uptime_s : t -> float
+val slow_threshold_s : t -> float
+
+val close : t -> unit
+(** Close the log appenders (idempotent enough for exit paths). *)

@@ -13,10 +13,26 @@ type payload =
   | Measures of { time : float; measures : measure list }
   | Percentiles of { ps : float array; horizon : float; points : int }
   | Stats
+  | Server_stats
+  | Prometheus
+  | Health
+
+let payload_kind = function
+  | Cdf _ -> "cdf"
+  | Measures _ -> "measures"
+  | Percentiles _ -> "percentiles"
+  | Stats -> "stats"
+  | Server_stats -> "server_stats"
+  | Prometheus -> "prometheus"
+  | Health -> "health"
+
+let is_admin = function
+  | Server_stats | Prometheus | Health -> true
+  | Cdf _ | Measures _ | Percentiles _ | Stats -> false
 
 type request = {
   id : string;
-  model : Model_spec.t;
+  model : Model_spec.t option;
   payload : payload;
   deadline_s : float option;
 }
@@ -40,6 +56,9 @@ type result =
       fingerprint : string;
       kernel : kernel_stats option;
     }
+  | Service_stats of { stats : Json.t }
+  | Text of { format : string; text : string }
+  | Health_report of { status : string; uptime_s : float }
 
 type error = { kind : string; code : int; message : string }
 
@@ -98,8 +117,16 @@ let payload_to_json = function
           ("points", Json.of_int points);
         ]
   | Stats -> Json.Obj [ ("kind", Json.Str "stats") ]
+  | Server_stats -> Json.Obj [ ("kind", Json.Str "server_stats") ]
+  | Prometheus -> Json.Obj [ ("kind", Json.Str "prometheus") ]
+  | Health -> Json.Obj [ ("kind", Json.Str "health") ]
 
 let request_to_line r =
+  let model =
+    match r.model with
+    | None -> []
+    | Some m -> [ ("model", Model_spec.to_json m) ]
+  in
   let deadline =
     match r.deadline_s with
     | None -> []
@@ -107,12 +134,9 @@ let request_to_line r =
   in
   Json.encode
     (Json.Obj
-       ([
-          ("v", Json.Str version);
-          ("id", Json.Str r.id);
-          ("model", Model_spec.to_json r.model);
-          ("query", payload_to_json r.payload);
-        ]
+       ([ ("v", Json.Str version); ("id", Json.Str r.id) ]
+       @ model
+       @ [ ("query", payload_to_json r.payload) ]
        @ deadline))
 
 let result_to_json = function
@@ -164,6 +188,22 @@ let result_to_json = function
            ("fingerprint", Json.Str fingerprint);
          ]
         @ kernel_member)
+  | Service_stats { stats } ->
+      Json.Obj [ ("kind", Json.Str "server_stats"); ("stats", stats) ]
+  | Text { format; text } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "text");
+          ("format", Json.Str format);
+          ("text", Json.Str text);
+        ]
+  | Health_report { status; uptime_s } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "health");
+          ("status", Json.Str status);
+          ("uptime_s", Json.of_float uptime_s);
+        ]
 
 let response_to_line r =
   let cache =
@@ -270,6 +310,9 @@ let payload_of_json ?source j =
               (Json.member ?source ~field:"points" j);
         }
   | "stats" -> Stats
+  | "server_stats" -> Server_stats
+  | "prometheus" -> Prometheus
+  | "health" -> Health
   | other ->
       Diag.fail
         (Diag.Parse_error
@@ -279,8 +322,8 @@ let payload_of_json ?source j =
              field = Some "query.kind";
              message =
                Printf.sprintf
-                 "unknown query kind %S (expected cdf, measures, percentiles \
-                  or stats)"
+                 "unknown query kind %S (expected cdf, measures, percentiles, \
+                  stats, server_stats, prometheus or health)"
                  other;
            })
 
@@ -309,10 +352,31 @@ let request_of_line ?source line =
   guard (fun () ->
       let j = Json.decode ?source line in
       check_version ?source j;
+      let payload =
+        payload_of_json ?source (Json.member ?source ~field:"query" j)
+      in
+      let model =
+        (* Admin queries address the server, not a model; everything
+           else must carry one. *)
+        match Json.member_opt ~field:"model" j with
+        | Some m -> Some (Model_spec.of_json ?source m)
+        | None when is_admin payload -> None
+        | None ->
+            Diag.fail
+              (Diag.Parse_error
+                 {
+                   source = Option.value source ~default:"<frame>";
+                   line = 0;
+                   field = Some "model";
+                   message =
+                     Printf.sprintf "query kind %S requires a model"
+                       (payload_kind payload);
+                 })
+      in
       {
         id = Json.to_string ?source ~field:"id" (Json.member ?source ~field:"id" j);
-        model = Model_spec.of_json ?source (Json.member ?source ~field:"model" j);
-        payload = payload_of_json ?source (Json.member ?source ~field:"query" j);
+        model;
+        payload;
         deadline_s =
           (match Json.member_opt ~field:"deadline_s" j with
           | None -> None
@@ -406,6 +470,28 @@ let result_of_json ?source j =
             Json.to_string ?source ~field:"result.fingerprint"
               (Json.member ?source ~field:"fingerprint" j);
           kernel;
+        }
+  | "server_stats" ->
+      Service_stats { stats = Json.member ?source ~field:"stats" j }
+  | "text" ->
+      Text
+        {
+          format =
+            Json.to_string ?source ~field:"result.format"
+              (Json.member ?source ~field:"format" j);
+          text =
+            Json.to_string ?source ~field:"result.text"
+              (Json.member ?source ~field:"text" j);
+        }
+  | "health" ->
+      Health_report
+        {
+          status =
+            Json.to_string ?source ~field:"result.status"
+              (Json.member ?source ~field:"status" j);
+          uptime_s =
+            Json.to_finite_float ?source ~field:"result.uptime_s"
+              (Json.member ?source ~field:"uptime_s" j);
         }
   | other ->
       Diag.fail

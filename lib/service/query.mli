@@ -23,7 +23,12 @@
     - ["percentiles"]: lifetime percentiles [ps], read off a CDF swept
       over [points] times up to [horizon];
     - ["stats"]: model statistics (state count, nonzeros,
-      uniformisation rate, fingerprint) — no sweep.
+      uniformisation rate, fingerprint) — no sweep;
+    - {b admin kinds} (no ["model"] member required):
+      ["server_stats"] — the live observability snapshot (schema
+      ["batlife.stats/1"]); ["prometheus"] — the Prometheus text
+      exposition wrapped in a ["text"] result; ["health"] — the
+      health/readiness probe.
 
     {b Response frame.}
     {v
@@ -47,10 +52,22 @@ type payload =
   | Measures of { time : float; measures : measure list }
   | Percentiles of { ps : float array; horizon : float; points : int }
   | Stats
+  | Server_stats  (** admin: live service snapshot *)
+  | Prometheus  (** admin: Prometheus text exposition *)
+  | Health  (** admin: health/readiness probe *)
+
+val payload_kind : payload -> string
+(** The wire name of the payload's kind (["cdf"], ["server_stats"],
+    ...). *)
+
+val is_admin : payload -> bool
+(** Admin payloads address the server itself and need no model. *)
 
 type request = {
   id : string;
-  model : Model_spec.t;
+  model : Model_spec.t option;
+      (** [None] only for admin payloads; the decoder rejects model
+          queries without a ["model"] member *)
   payload : payload;
   deadline_s : float option;
       (** per-request wall-clock budget, seconds *)
@@ -83,6 +100,12 @@ type result =
           (** [None] until the cached session has swept at least once
               (the ["kernel"] member is simply absent on the wire) *)
     }
+  | Service_stats of { stats : Batlife_numerics.Json.t }
+      (** the ["batlife.stats/1"] snapshot, verbatim *)
+  | Text of { format : string; text : string }
+      (** non-JSON scrape output carried as a string; [format] is
+          ["prometheus"] for the exposition text *)
+  | Health_report of { status : string; uptime_s : float }
 
 type error = { kind : string; code : int; message : string }
 

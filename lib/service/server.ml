@@ -107,6 +107,34 @@ let serve_fd ?(max_batch = 64) service ~in_fd ~out_fd =
             parsed
         in
         let answered = ref (Service.handle_batch service requests) in
+        (* Malformed frames never reach the engine, but the access log
+           still owes them a line: assign a request id at the server
+           boundary and record the rejection. *)
+        List.iter
+          (function
+            | Request _ -> ()
+            | Bad resp ->
+                let obs = Service.obs service in
+                let code =
+                  match resp.Query.result with
+                  | Error e -> e.Query.code
+                  | Ok _ -> 0
+                in
+                Obs.record obs
+                  {
+                    Obs.rid = Obs.next_rid obs;
+                    id = resp.Query.r_id;
+                    kind = "protocol";
+                    fingerprint = None;
+                    cache = None;
+                    ok = false;
+                    code;
+                    latency_s = 0.;
+                    batch = !n;
+                    group = 1;
+                    phases = [];
+                  })
+          parsed;
         let responses =
           List.map
             (function

@@ -1,12 +1,14 @@
 open Batlife_numerics
 open Batlife_core
 
-type t = { cache : Cache.t; jobs : int option }
+type t = { cache : Cache.t; jobs : int option; obs : Obs.t }
 
-let create ?(cache_capacity = 32) ?jobs () =
-  { cache = Cache.create ~capacity:cache_capacity; jobs }
+let create ?(cache_capacity = 32) ?jobs ?obs () =
+  let obs = match obs with Some o -> o | None -> Obs.create ?jobs () in
+  { cache = Cache.create ~capacity:cache_capacity; jobs; obs }
 
 let cache t = t.cache
+let obs t = t.obs
 
 let invalid_argument_error msg =
   Query.error_of_diag
@@ -117,47 +119,59 @@ let register (entry : Cache.entry) (r : Query.request) : pending_result =
             fingerprint = entry.Cache.fingerprint;
             kernel;
           }
+  | Query.Server_stats | Query.Prometheus | Query.Health ->
+      (* Admin queries are split off before grouping. *)
+      assert false
+
+(* Run [f] under a request's trace context: spans and Diag notes it
+   records carry the request id (the access log line carries the same
+   id, which is how one slow request is reconstructed end-to-end). *)
+let in_context rid f =
+  Diag.with_context rid (fun () -> Telemetry.with_context rid f)
 
 (* One fingerprint group: every member registers on the shared
    session, then ONE flush answers them all.  A member that fails at
    registration (bad mode index, bad percentile) gets its own error
    response and the rest of the group still sweeps; a flush failure
-   (deadline, breakdown) is the answer for every swept member. *)
+   (deadline, breakdown) is the answer for every swept member.
+   Registration and forcing run under each member's own request id;
+   the shared flush runs under the joined ids of the whole group. *)
 let run_group ~budget (entry : Cache.entry) ~cache_status members =
   let registered =
     List.map
-      (fun (idx, (r : Query.request)) ->
-        match register entry r with
-        | force -> (idx, r, Ok force)
-        | exception Diag.Error e -> (idx, r, Error (Query.error_of_diag e))
+      (fun (idx, rid, (r : Query.request)) ->
+        match in_context rid (fun () -> register entry r) with
+        | force -> (idx, rid, r, Ok force)
+        | exception Diag.Error e -> (idx, rid, r, Error (Query.error_of_diag e))
         | exception Invalid_argument msg ->
-            (idx, r, Error (invalid_argument_error msg)))
+            (idx, rid, r, Error (invalid_argument_error msg)))
       members
   in
+  let ctx = String.concat "+" (List.map (fun (_, rid, _) -> rid) members) in
   let flush =
     match
-      Discretized.Session.run ?budget entry.Cache.session
+      Discretized.Session.run ?budget ~ctx entry.Cache.session
     with
     | (_ : Batlife_ctmc.Transient.stats) -> Ok ()
     | exception Diag.Error e -> Error (Query.error_of_diag e)
   in
   List.map
-    (fun (idx, (r : Query.request), reg) ->
+    (fun (idx, rid, (r : Query.request), reg) ->
       let result =
         match (reg, flush) with
         | Error e, _ -> Error e
         | Ok _, Error e -> Error e
         | Ok force, Ok () -> (
-            match force () with
+            match in_context rid force with
             | v -> Ok v
             | exception Diag.Error e -> Error (Query.error_of_diag e))
       in
-      (idx, { Query.r_id = r.Query.id; cache = Some cache_status; result }))
+      (idx, rid, r, { Query.r_id = r.Query.id; cache = Some cache_status; result }))
     registered
 
 let group_budget members =
   match
-    List.filter_map (fun (_, r) -> r.Query.deadline_s) members
+    List.filter_map (fun (_, _, r) -> r.Query.deadline_s) members
   with
   | [] -> None
   | deadlines ->
@@ -167,34 +181,97 @@ let group_budget members =
          at the first poll" rather than crash the group. *)
       Some (Budget.create ~wall_s:(Float.max wall_s 1e-9) ())
 
+let answer_admin t (r : Query.request) =
+  let cache_size = Cache.size t.cache
+  and cache_capacity = Cache.capacity t.cache in
+  match r.Query.payload with
+  | Query.Server_stats ->
+      Query.Service_stats
+        { stats = Obs.stats_json t.obs ~cache_size ~cache_capacity }
+  | Query.Prometheus ->
+      Query.Text
+        {
+          format = "prometheus";
+          text = Obs.prometheus t.obs ~cache_size ~cache_capacity;
+        }
+  | Query.Health ->
+      Query.Health_report { status = "ok"; uptime_s = Obs.uptime_s t.obs }
+  | Query.Cdf _ | Query.Measures _ | Query.Percentiles _ | Query.Stats ->
+      assert false
+
+let observation ~rid ~(r : Query.request) ~fingerprint
+    ~(resp : Query.response) ~latency_s ~batch ~group ~phases :
+    Obs.observation =
+  let ok, code =
+    match resp.Query.result with
+    | Ok _ -> (true, 0)
+    | Error e -> (false, e.Query.code)
+  in
+  {
+    Obs.rid;
+    id = r.Query.id;
+    kind = Query.payload_kind r.Query.payload;
+    fingerprint;
+    cache = resp.Query.cache;
+    ok;
+    code;
+    latency_s;
+    batch;
+    group;
+    phases;
+  }
+
+let seconds_since t0 = Int64.to_float (Int64.sub (Telemetry.now_ns ()) t0) /. 1e9
+
 let handle_batch t requests =
-  let indexed = List.mapi (fun i r -> (i, r)) requests in
-  (* Group by fingerprint, preserving first-appearance order.  The
-     cache is touched here, on the dispatch domain only. *)
+  let batch_n = List.length requests in
+  Obs.batch_begin t.obs batch_n;
+  Fun.protect ~finally:(fun () -> Obs.batch_end t.obs) @@ fun () ->
+  let indexed = List.mapi (fun i r -> (i, Obs.next_rid t.obs, r)) requests in
+  (* Split the batch: admin queries are answered inline on the
+     dispatch domain (after the model work, so a stats query batched
+     behind real queries reports them); model queries group by
+     fingerprint, preserving first-appearance order.  The cache is
+     touched here, on the dispatch domain only. *)
+  let admin, model_q =
+    List.partition
+      (fun (_, _, (r : Query.request)) -> Query.is_admin r.Query.payload)
+      indexed
+  in
   let order = ref [] and table = Hashtbl.create 8 in
+  let missing_model = ref [] in
   List.iter
-    (fun (idx, (r : Query.request)) ->
-      let key = Model_spec.fingerprint r.Query.model in
-      (match Hashtbl.find_opt table key with
-      | Some members -> members := (idx, r) :: !members
-      | None ->
-          Hashtbl.add table key (ref [ (idx, r) ]);
-          order := key :: !order))
-    indexed;
+    (fun ((_, _, (r : Query.request)) as item) ->
+      match r.Query.model with
+      | None -> missing_model := item :: !missing_model
+      | Some model ->
+          let key = Model_spec.fingerprint model in
+          (match Hashtbl.find_opt table key with
+          | Some members -> members := item :: !members
+          | None ->
+              Hashtbl.add table key (ref [ item ]);
+              order := key :: !order))
+    model_q;
   let groups =
     List.rev_map
       (fun key ->
         let members = List.rev !(Hashtbl.find table key) in
-        let _, first = List.hd members in
-        match Cache.find_or_build t.cache first.Query.model with
+        let _, _, (first : Query.request) = List.hd members in
+        let model = Option.get first.Query.model in
+        (* Interning happens on the dispatch domain, before the group's
+           fan-out: run it under the joined request ids so a cache-miss
+           Q* build is attributed to the group that triggered it. *)
+        let ctx = String.concat "+" (List.map (fun (_, rid, _) -> rid) members) in
+        match in_context ctx (fun () -> Cache.find_or_build t.cache model) with
         | entry, status ->
             let cache_status =
               match status with `Hit -> "hit" | `Miss -> "miss"
             in
-            Ok (entry, cache_status, members)
-        | exception Diag.Error e -> Error (Query.error_of_diag e, members)
+            (key, Ok (entry, cache_status), members)
+        | exception Diag.Error e ->
+            (key, Error (Query.error_of_diag e), members)
         | exception Invalid_argument msg ->
-            Error (invalid_argument_error msg, members))
+            (key, Error (invalid_argument_error msg), members))
       !order
     |> List.rev |> Array.of_list
   in
@@ -206,33 +283,90 @@ let handle_batch t requests =
   in
   let evaluated =
     Pool.map_array pool
-      (fun group ->
-        Diag.capture (fun () ->
-            Telemetry.capture (fun () ->
-                match group with
-                | Ok (entry, cache_status, members) ->
-                    let budget = group_budget members in
-                    run_group ~budget entry ~cache_status members
-                | Error (e, members) ->
-                    List.map
-                      (fun (idx, (r : Query.request)) ->
-                        ( idx,
-                          {
-                            Query.r_id = r.Query.id;
-                            cache = None;
-                            result = Error e;
-                          } ))
-                      members)))
+      (fun (_, group, members) ->
+        let t0 = Telemetry.now_ns () in
+        let (rs, spans), events =
+          Diag.capture (fun () ->
+              Telemetry.capture (fun () ->
+                  match group with
+                  | Ok (entry, cache_status) ->
+                      let budget = group_budget members in
+                      run_group ~budget entry ~cache_status members
+                  | Error e ->
+                      List.map
+                        (fun (idx, rid, (r : Query.request)) ->
+                          ( idx,
+                            rid,
+                            r,
+                            {
+                              Query.r_id = r.Query.id;
+                              cache = None;
+                              result = Error e;
+                            } ))
+                        members))
+        in
+        (rs, spans, events, seconds_since t0))
       groups
   in
-  let responses =
-    Array.to_list evaluated
-    |> List.concat_map (fun ((rs, spans), events) ->
-           Diag.replay events;
-           Telemetry.replay spans;
-           rs)
-  in
-  List.stable_sort (fun (a, _) (b, _) -> compare a b) responses
+  (* Back on the dispatch domain: replay the captured streams in batch
+     order, feed the observability plane (every member of a group is
+     attributed the group's wall time — its query was answered by that
+     evaluation), and log one access line per request. *)
+  let responses = ref [] in
+  Array.iteri
+    (fun gi (rs, spans, events, latency_s) ->
+      let key, group, members = groups.(gi) in
+      Diag.replay events;
+      Telemetry.replay spans;
+      (match group with
+      | Ok (entry, _) -> (
+          match Discretized.Session.last_stats entry.Cache.session with
+          | Some stats -> Obs.note_kernel t.obs stats
+          | None -> ())
+      | Error _ -> ());
+      let phases = Telemetry.rollup spans in
+      let gsize = List.length members in
+      List.iter
+        (fun (idx, rid, r, resp) ->
+          Obs.record t.obs
+            (observation ~rid ~r ~fingerprint:(Some key) ~resp ~latency_s
+               ~batch:batch_n ~group:gsize ~phases);
+          responses := (idx, resp) :: !responses)
+        rs)
+    evaluated;
+  (* Model queries constructed without a model: API misuse, not wire
+     input — the decoder already rejects such frames. *)
+  List.iter
+    (fun (idx, rid, (r : Query.request)) ->
+      let resp =
+        {
+          Query.r_id = r.Query.id;
+          cache = None;
+          result =
+            Error
+              (Query.protocol_error
+                 (Printf.sprintf "query kind %S requires a model"
+                    (Query.payload_kind r.Query.payload)));
+        }
+      in
+      Obs.record t.obs
+        (observation ~rid ~r ~fingerprint:None ~resp ~latency_s:0.
+           ~batch:batch_n ~group:1 ~phases:[]);
+      responses := (idx, resp) :: !responses)
+    !missing_model;
+  List.iter
+    (fun (idx, rid, (r : Query.request)) ->
+      let t0 = Telemetry.now_ns () in
+      let resp =
+        { Query.r_id = r.Query.id; cache = None; result = Ok (answer_admin t r) }
+      in
+      let latency_s = seconds_since t0 in
+      Obs.record t.obs
+        (observation ~rid ~r ~fingerprint:None ~resp ~latency_s ~batch:batch_n
+           ~group:1 ~phases:[]);
+      responses := (idx, resp) :: !responses)
+    admin;
+  List.stable_sort (fun (a, _) (b, _) -> compare a b) !responses
   |> List.map snd
 
 let handle t r =

@@ -27,10 +27,13 @@
 
 type t
 
-val create : ?cache_capacity:int -> ?jobs:int -> unit -> t
+val create : ?cache_capacity:int -> ?jobs:int -> ?obs:Obs.t -> unit -> t
 (** [cache_capacity] (default 32) bounds the session cache;
     [jobs] overrides the pool size for group fan-out (default: the
-    process-wide {!Batlife_numerics.Pool.default_jobs}). *)
+    process-wide {!Batlife_numerics.Pool.default_jobs}); [obs] is the
+    observability plane to ride on (default: a fresh {!Obs.create}
+    with no access/slow logs — the aggregates and admin queries work
+    either way). *)
 
 val handle : t -> Query.request -> Query.response
 (** Answer one request ([{!handle_batch} t [r]]). *)
@@ -38,6 +41,14 @@ val handle : t -> Query.request -> Query.response
 val handle_batch : t -> Query.request list -> Query.response list
 (** Answer a batch; responses come back in request order.  Requests
     for the same model share one sweep, distinct models fan out across
-    the pool. *)
+    the pool.  Every request is assigned a request id ([r1], [r2],
+    ...): its registration/forcing and its group's shared flush run
+    under that id as [Diag]/[Telemetry] context, and the same id is
+    written to the access log, so a single request is traceable
+    end-to-end.  Admin queries ({!Query.Server_stats},
+    {!Query.Prometheus}, {!Query.Health}) are answered inline {e
+    after} the batch's model work, so a trailing stats query observes
+    the queries it rode in with. *)
 
 val cache : t -> Cache.t
+val obs : t -> Obs.t

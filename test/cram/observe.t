@@ -1,0 +1,91 @@
+The observability plane of `batlife serve`: per-request access log,
+threshold-gated slow-query log, admin scrape queries and the
+`batlife stats` client.
+
+Drive a session with the full plane on.  --max-batch 1 makes each
+frame its own batch, so the repeat query is a cache hit and the
+trailing admin queries observe the model work that preceded them; a
+zero slow-query threshold forces a slow-log entry for every request,
+and --trace-out enables telemetry so those entries carry the
+per-phase span breakdown.
+
+  $ batlife serve --max-batch 1 --access-log access.jsonl \
+  >   --slow-log slow.jsonl --slow-query-ms 0 \
+  >   --trace-out trace.json <<'EOF' > responses.ndjson
+  > {"v":"batlife.query/1","id":"a","model":{"workload":{"kind":"onoff","frequency":1.0,"k":1,"on_current":0.96},"battery":{"capacity":7200,"c":1.0,"k":0.0},"delta":100},"query":{"kind":"cdf","times":[5000,10000]}}
+  > {"v":"batlife.query/1","id":"b","model":{"workload":{"kind":"onoff","frequency":1.0,"k":1,"on_current":0.96},"battery":{"capacity":7200,"c":1.0,"k":0.0},"delta":100},"query":{"kind":"cdf","times":[5000,10000]}}
+  > {"v":"batlife.query/1","id":"s","query":{"kind":"server_stats"}}
+  > {"v":"batlife.query/1","id":"m","query":{"kind":"prometheus"}}
+  > {"v":"batlife.query/1","id":"h","query":{"kind":"health"}}
+  > EOF
+  batlife: wrote trace to trace.json
+
+Every frame was answered, admin ones included:
+
+  $ wc -l < responses.ndjson
+  5
+  $ grep -c '"ok":true' responses.ndjson
+  5
+
+The stats snapshot is versioned and saw both CDF queries and the
+cache hit the repeat produced:
+
+  $ grep '"id":"s"' responses.ndjson | grep -c '"schema":"batlife.stats/1"'
+  1
+  $ grep '"id":"s"' responses.ndjson | grep -c '"hits":1'
+  1
+
+The Prometheus exposition and the health probe:
+
+  $ grep '"id":"m"' responses.ndjson | grep -c 'batlife_up 1'
+  1
+  $ grep '"id":"h"' responses.ndjson | grep -c '"status":"ok"'
+  1
+
+One access-log line per request — rids r1..r5 in arrival order, the
+repeat query marked as a cache hit:
+
+  $ wc -l < access.jsonl
+  5
+  $ grep -c '"schema":"batlife.access/1"' access.jsonl
+  5
+  $ grep -c '"rid":"r1"' access.jsonl
+  1
+  $ grep -c '"rid":"r5"' access.jsonl
+  1
+  $ grep '"rid":"r2"' access.jsonl | grep -c '"cache":"hit"'
+  1
+
+The zero threshold forced slow-log entries, each carrying the phase
+breakdown of its request's evaluation:
+
+  $ grep -c '"schema":"batlife.slow/1"' slow.jsonl
+  5
+  $ grep '"rid":"r1"' slow.jsonl | grep -c '"name":"session.flush"'
+  1
+
+The Chrome trace tags every span with the request id it served:
+
+  $ grep -q '"rid": "r1"' trace.json && echo tagged
+  tagged
+
+The same surfaces over a unix socket, scraped with `batlife stats`:
+
+  $ sh -c '
+  >   batlife serve --socket obs.sock --max-connections 3 &
+  >   pid=$!
+  >   for i in $(seq 1 100); do [ -S obs.sock ] && break; sleep 0.05; done
+  >   batlife stats --socket obs.sock --probe health | grep -o "\"status\":\"ok\""
+  >   batlife stats --socket obs.sock --probe stats | grep -o "\"schema\":\"batlife.stats/1\""
+  >   batlife stats --socket obs.sock --probe prometheus | grep "^batlife_up "
+  >   wait $pid'
+  "status":"ok"
+  "schema":"batlife.stats/1"
+  batlife_up 1
+
+Probing a dead socket is a structured parse error (exit-4 class), not
+a hang or a stack trace:
+
+  $ batlife stats --socket missing.sock --probe health
+  batlife: error: parse error: missing.sock, line 0: cannot connect: No such file or directory
+  [4]

@@ -37,4 +37,5 @@ let () =
       ("resilience: budgets, checkpoints, retries", Test_resilience.suite);
       ("chaos: fault injection & recovery", Test_chaos.suite);
       ("service: query API, cache, server", Test_service.suite);
+      ("service: observability plane", Test_obs.suite);
     ]

@@ -1,0 +1,463 @@
+(* The observability plane: streaming histogram quantiles must stay
+   inside the documented error bound against exact sorted quantiles,
+   rolling windows must be deterministic under a synthetic clock and
+   lose no events under the fork-join hammer, trace contexts must be
+   stamped on spans and Diag events (and survive capture/replay
+   verbatim), the service must write one attributable access-log line
+   per request, and — the headline contract — turning the plane on
+   must not change a single response bit. *)
+
+open Helpers
+module Streamstat = Batlife_numerics.Streamstat
+module Hist = Streamstat.Hist
+module Window = Streamstat.Window
+module Telemetry = Batlife_numerics.Telemetry
+module Diag = Batlife_numerics.Diag
+module Pool = Batlife_numerics.Pool
+module Json = Batlife_numerics.Json
+module Model_spec = Batlife_service.Model_spec
+module Query = Batlife_service.Query
+module Service = Batlife_service.Service
+module Obs = Batlife_service.Obs
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Histograms. *)
+
+let test_hist_empty_and_edges () =
+  let h = Hist.create () in
+  check_int "empty count" 0 (Hist.count h);
+  check_true "empty quantile is nan" (Float.is_nan (Hist.quantile h 0.5));
+  check_true "empty mean is nan" (Float.is_nan (Hist.mean h));
+  check_true "empty max is -inf" (Hist.max_seen h = neg_infinity);
+  Hist.observe h Float.nan;
+  check_int "NaN ignored" 0 (Hist.count h);
+  (* Underflow clamps to the first bucket, reported as lo. *)
+  Hist.observe h 1e-9;
+  check_float ~eps:0. "underflow quantile reports lo" 1e-6
+    (Hist.quantile h 0.5);
+  Hist.reset h;
+  (* Overflow reports the maximum seen (bound no longer applies). *)
+  Hist.observe h 5e4;
+  check_float ~eps:0. "overflow quantile reports max seen" 5e4
+    (Hist.quantile h 0.5);
+  check_float ~eps:0. "sum" 5e4 (Hist.sum h);
+  Hist.reset h;
+  check_int "reset clears" 0 (Hist.count h)
+
+(* The acceptance criterion made checkable: state is O(buckets),
+   fixed at creation, no matter how many samples flow through. *)
+let test_hist_state_bounded () =
+  let h = Hist.create () in
+  let buckets0 = Hist.buckets h in
+  check_int "snapshot length = buckets" buckets0
+    (Array.length (Hist.snapshot h));
+  for i = 1 to 100_000 do
+    Hist.observe h (1e-5 *. float_of_int i)
+  done;
+  check_int "buckets unchanged after 100k samples" buckets0 (Hist.buckets h);
+  check_int "snapshot length unchanged" buckets0
+    (Array.length (Hist.snapshot h));
+  check_int "snapshot counts sum to count" (Hist.count h)
+    (Array.fold_left (fun acc (_, c) -> acc + c) 0 (Hist.snapshot h))
+
+(* Streaming quantile vs the exact sorted quantile, same floor(p*n)
+   rank convention, for in-range samples: relative error must stay
+   within the documented sqrt(r) - 1 bound. *)
+let prop_hist_quantile_bound =
+  qcheck ~count:200 "streaming quantile within documented bound"
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 200)
+           (* strictly inside [lo, hi] = [1e-6, 1e3] *)
+           (float_range 2e-6 900.))
+        (float_range 0. 1.))
+    (fun (samples, p) ->
+      let h = Hist.create () in
+      List.iter (Hist.observe h) samples;
+      let sorted = Array.of_list samples in
+      Array.sort Float.compare sorted;
+      let n = Array.length sorted in
+      let exact = sorted.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+      let stream = Hist.quantile h p in
+      Float.abs (stream -. exact) /. exact <= Hist.rel_error_bound h)
+
+(* ------------------------------------------------------------------ *)
+(* Rolling windows. *)
+
+let s_ns seconds = Int64.of_float (seconds *. 1e9)
+
+let test_window_synthetic_clock () =
+  (* 6 slots over 60 s: 10-second resolution. *)
+  let w = Window.create ~slots:6 ~span_s:60. () in
+  check_int "slots" 6 (Window.slots w);
+  check_float ~eps:0. "span" 60. (Window.span_s w);
+  let t0 = s_ns 1000. in
+  Window.add ~now_ns:t0 w 5;
+  Window.add ~now_ns:(s_ns 1030.) w 7;
+  check_int "both events inside the window" 12
+    (Window.total ~now_ns:(s_ns 1030.) w);
+  check_float ~eps:1e-12 "rate = total / span" (12. /. 60.)
+    (Window.rate ~now_ns:(s_ns 1030.) w);
+  (* 65 s after the first event: its slot has aged out, the second
+     remains. *)
+  check_int "first event retired" 7 (Window.total ~now_ns:(s_ns 1065.) w);
+  (* Far future: everything retired. *)
+  check_int "all retired" 0 (Window.total ~now_ns:(s_ns 2000.) w);
+  (* A slot is reused after retirement without double counting. *)
+  Window.add ~now_ns:(s_ns 2000.) w 3;
+  check_int "reused slot counts fresh" 3 (Window.total ~now_ns:(s_ns 2000.) w)
+
+let test_window_forkjoin_hammer () =
+  let per_share = 5_000 in
+  List.iter
+    (fun jobs ->
+      (* A window wide enough that nothing retires mid-test. *)
+      let w = Window.create ~span_s:3600. () in
+      let pool = Pool.get ~jobs in
+      Pool.run pool (fun _ ->
+          for _ = 1 to per_share do
+            Window.add w 1
+          done);
+      check_int
+        (Printf.sprintf "no lost events at jobs=%d" jobs)
+        (Pool.size pool * per_share)
+        (Window.total w))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace contexts. *)
+
+let test_span_context_stamping () =
+  Telemetry.enable ();
+  Telemetry.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ())
+    (fun () ->
+      let (), spans =
+        Telemetry.capture (fun () ->
+            Telemetry.with_span "ctx.none" ignore;
+            Telemetry.with_context "r9" (fun () ->
+                Telemetry.with_span "ctx.some" ignore);
+            Telemetry.with_span "ctx.after" ignore)
+      in
+      let ctx name =
+        (List.find (fun s -> s.Telemetry.sp_name = name) spans)
+          .Telemetry.sp_ctx
+      in
+      check_true "no context outside with_context" (ctx "ctx.none" = None);
+      check_true "context stamped inside" (ctx "ctx.some" = Some "r9");
+      check_true "context restored after" (ctx "ctx.after" = None);
+      check_true "current_context restored"
+        (Telemetry.current_context () = None);
+      (* The Chrome trace carries the id as a span argument. *)
+      Telemetry.replay spans;
+      let trace = Telemetry.trace_json (Telemetry.snapshot ()) in
+      check_true "trace_json tags the rid" (contains trace "\"rid\": \"r9\""))
+
+(* The satellite fix under test: capture/replay must keep each event's
+   original context, not re-stamp it with the replaying domain's. *)
+let test_diag_context_replay_verbatim () =
+  Diag.clear_events ();
+  let (), captured =
+    Diag.capture (fun () ->
+        Diag.with_context "rA" (fun () ->
+            Diag.record ~origin:"test.obs" "inside rA");
+        Diag.record ~origin:"test.obs" "no context")
+  in
+  (match captured with
+  | [ a; b ] ->
+      check_true "captured with its context" (a.Diag.ctx = Some "rA");
+      check_true "captured without context" (b.Diag.ctx = None)
+  | _ -> Alcotest.failf "expected 2 events, got %d" (List.length captured));
+  (* Replay under a different context: the original ids must win. *)
+  Diag.with_context "rB" (fun () -> Diag.replay captured);
+  (match Diag.events () with
+  | [ a; b ] ->
+      check_true "replayed ctx verbatim" (a.Diag.ctx = Some "rA");
+      check_true "replayed None stays None" (b.Diag.ctx = None)
+  | evs -> Alcotest.failf "expected 2 replayed events, got %d" (List.length evs));
+  Diag.clear_events ()
+
+(* ------------------------------------------------------------------ *)
+(* The service plane end-to-end. *)
+
+let fig7_spec ?(capacity = 7200.) () =
+  {
+    Model_spec.workload =
+      Model_spec.Onoff { frequency = 1.0; k = 1; on_current = 0.96 };
+    capacity;
+    c = 1.0;
+    k = 0.0;
+    delta = 300.;
+    accuracy = None;
+  }
+
+let cdf_request ?(spec = fig7_spec ()) id =
+  {
+    Query.id;
+    model = Some spec;
+    payload = Query.Cdf { times = [| 5000.; 10000. |] };
+    deadline_s = None;
+  }
+
+let admin_request id payload =
+  { Query.id; model = None; payload; deadline_s = None }
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let with_temp_files n f =
+  let paths = List.init n (fun _ -> Filename.temp_file "batlife_obs" ".jsonl") in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths)
+    (fun () -> f paths)
+
+let ok_exn label r =
+  match r.Query.result with
+  | Ok result -> result
+  | Error e -> Alcotest.failf "%s: %s (%s)" label e.Query.message e.Query.kind
+
+(* One access-log line per request, each carrying the rid that the
+   spans recorded during its evaluation were stamped with, and a
+   trailing stats query that observes the batch it rode in with. *)
+let test_service_access_log_and_stats () =
+  with_temp_files 1 @@ fun paths ->
+  let access_log = List.nth paths 0 in
+  let obs = Obs.create ~access_log () in
+  let svc = Service.create ~cache_capacity:4 ~obs () in
+  Telemetry.enable ();
+  Telemetry.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ();
+      Obs.close obs)
+    (fun () ->
+      (* Batch 1: two queries, one model, one sweep (cache miss). *)
+      List.iter
+        (fun r -> ignore (ok_exn r.Query.r_id r))
+        (Service.handle_batch svc [ cdf_request "a"; cdf_request "b" ]);
+      (* Batch 2: a repeat query (cache hit) plus a trailing stats
+         admin query that must see the whole history. *)
+      let batch2 =
+        Service.handle_batch svc
+          [ cdf_request "c"; admin_request "s" Query.Server_stats ]
+      in
+      let stats =
+        match batch2 with
+        | [ _; s ] -> (
+            match ok_exn "stats" s with
+            | Query.Service_stats { stats } -> stats
+            | _ -> Alcotest.fail "stats: expected a Service_stats result")
+        | _ -> Alcotest.failf "expected 2 responses, got %d" (List.length batch2)
+      in
+      let str path j =
+        Json.to_string ~field:(String.concat "." path)
+          (List.fold_left (fun j f -> Json.member ~field:f j) j path)
+      and num path j =
+        Json.to_float ~field:(String.concat "." path)
+          (List.fold_left (fun j f -> Json.member ~field:f j) j path)
+      in
+      Alcotest.(check string)
+        "stats schema" "batlife.stats/1" (str [ "schema" ] stats);
+      check_float ~eps:0. "three model queries aggregated" 3.
+        (num [ "latency"; "cdf"; "count" ] stats);
+      check_true "p50 populated" (num [ "latency"; "cdf"; "p50_s" ] stats > 0.);
+      check_true "p99 >= p50"
+        (num [ "latency"; "cdf"; "p99_s" ] stats
+        >= num [ "latency"; "cdf"; "p50_s" ] stats);
+      (* The streaming estimate must bracket the exact range: p50 can
+         be off by at most the documented bound from a real sample, so
+         it cannot exceed (1 + bound) * max. *)
+      let bound = num [ "latency"; "rel_error_bound" ] stats in
+      check_true "p99 within bound of max"
+        (num [ "latency"; "cdf"; "p99_s" ] stats
+        <= (1. +. bound) *. num [ "latency"; "cdf"; "max_s" ] stats);
+      check_float ~eps:0. "one cache hit" 1. (num [ "cache"; "hits" ] stats);
+      check_float ~eps:0. "one cache miss" 1. (num [ "cache"; "misses" ] stats);
+      check_float ~eps:0. "hit rate" 0.5 (num [ "cache"; "hit_rate" ] stats);
+      check_true "kernel touched-nnz populated"
+        (num [ "kernel"; "touched_nnz" ] stats > 0.);
+      check_true "in-flight sees its own batch"
+        (num [ "requests"; "in_flight" ] stats >= 1.);
+      (* Access log: one line per request, rids in arrival order. *)
+      let lines = read_lines access_log in
+      check_int "one access-log line per request" 4 (List.length lines);
+      List.iteri
+        (fun i line ->
+          let j = Json.decode ~source:access_log line in
+          Alcotest.(check string)
+            "access schema" "batlife.access/1" (str [ "schema" ] j);
+          Alcotest.(check string)
+            (Printf.sprintf "rid of line %d" i)
+            (Printf.sprintf "r%d" (i + 1))
+            (str [ "rid" ] j))
+        lines;
+      (* Every span recorded during the batches carries a context made
+         of rids that the access log attributes — request to span,
+         end-to-end. *)
+      let rids =
+        List.map (fun l -> str [ "rid" ] (Json.decode l)) lines
+      in
+      let spans = (Telemetry.snapshot ()).Telemetry.snap_spans in
+      check_true "spans were recorded" (spans <> []);
+      List.iter
+        (fun s ->
+          match s.Telemetry.sp_ctx with
+          | None ->
+              Alcotest.failf "span %s has no request context"
+                s.Telemetry.sp_name
+          | Some ctx ->
+              List.iter
+                (fun rid ->
+                  check_true
+                    (Printf.sprintf "span %s ctx %s is a logged rid"
+                       s.Telemetry.sp_name rid)
+                    (List.mem rid rids))
+                (String.split_on_char '+' ctx))
+        spans)
+
+let test_health_and_prometheus () =
+  let svc = Service.create ~cache_capacity:4 () in
+  ignore (ok_exn "warm" (Service.handle svc (cdf_request "warm")));
+  (match ok_exn "health" (Service.handle svc (admin_request "h" Query.Health))
+   with
+  | Query.Health_report { status; uptime_s } ->
+      Alcotest.(check string) "healthy" "ok" status;
+      check_true "uptime non-negative" (uptime_s >= 0.)
+  | _ -> Alcotest.fail "health: expected a Health_report result");
+  match
+    ok_exn "prometheus" (Service.handle svc (admin_request "p" Query.Prometheus))
+  with
+  | Query.Text { format; text } ->
+      Alcotest.(check string) "format" "prometheus" format;
+      check_true "up gauge" (contains text "batlife_up 1");
+      check_true "request totals"
+        (contains text "batlife_requests_total{kind=\"cdf\"} 1");
+      check_true "latency summary"
+        (contains text "batlife_request_duration_seconds{kind=\"cdf\",quantile=\"0.99\"}");
+      check_true "cache counters" (contains text "batlife_cache_misses_total 1")
+  | _ -> Alcotest.fail "prometheus: expected a Text result"
+
+(* A zero threshold forces a slow-log entry; with telemetry enabled
+   the entry carries the per-phase span breakdown. *)
+let test_slow_log_phases () =
+  with_temp_files 1 @@ fun paths ->
+  let slow_log = List.nth paths 0 in
+  let obs = Obs.create ~slow_log ~slow_threshold_s:0. () in
+  let svc = Service.create ~cache_capacity:4 ~obs () in
+  Telemetry.enable ();
+  Telemetry.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ();
+      Obs.close obs)
+    (fun () ->
+      ignore (ok_exn "slow" (Service.handle svc (cdf_request "slow")));
+      match read_lines slow_log with
+      | [ line ] ->
+          let j = Json.decode ~source:slow_log line in
+          Alcotest.(check string)
+            "slow schema" "batlife.slow/1"
+            (Json.to_string ~field:"schema" (Json.member ~field:"schema" j));
+          Alcotest.(check string)
+            "slow rid" "r1"
+            (Json.to_string ~field:"rid" (Json.member ~field:"rid" j));
+          let phases = Json.to_list ~field:"phases" (Json.member ~field:"phases" j) in
+          check_true "per-phase breakdown present" (phases <> []);
+          let names =
+            List.map
+              (fun p -> Json.to_string ~field:"name" (Json.member ~field:"name" p))
+              phases
+          in
+          check_true "the shared flush is a phase"
+            (List.mem "session.flush" names)
+      | lines ->
+          Alcotest.failf "expected exactly 1 slow-log line, got %d"
+            (List.length lines))
+
+(* The headline contract: running with the full plane on — access and
+   slow logs, zero slow threshold, telemetry enabled — produces
+   byte-identical response frames to a bare service. *)
+let test_plane_on_off_identical () =
+  let batches () =
+    [
+      [ cdf_request "a"; cdf_request "b" ];
+      [ cdf_request ~spec:(fig7_spec ~capacity:6000. ()) "c" ];
+      [ cdf_request "d" ];
+    ]
+  in
+  let run svc =
+    List.concat_map
+      (fun batch ->
+        List.map Query.response_to_line (Service.handle_batch svc batch))
+      (batches ())
+  in
+  Telemetry.disable ();
+  Telemetry.reset ();
+  let off = run (Service.create ~cache_capacity:4 ()) in
+  let on =
+    with_temp_files 2 @@ fun paths ->
+    let obs =
+      Obs.create
+        ~access_log:(List.nth paths 0)
+        ~slow_log:(List.nth paths 1) ~slow_threshold_s:0. ()
+    in
+    Telemetry.enable ();
+    Telemetry.reset ();
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.disable ();
+        Telemetry.reset ();
+        Obs.close obs)
+      (fun () -> run (Service.create ~cache_capacity:4 ~obs ()))
+  in
+  check_int "same number of frames" (List.length off) (List.length on);
+  List.iter2
+    (fun a b -> Alcotest.(check string) "frame identical with plane on" a b)
+    off on
+
+let suite =
+  [
+    case "histogram: empty, NaN, underflow, overflow, reset"
+      test_hist_empty_and_edges;
+    case "histogram: state is O(buckets), fixed at creation"
+      test_hist_state_bounded;
+    prop_hist_quantile_bound;
+    case "window: deterministic under a synthetic clock"
+      test_window_synthetic_clock;
+    case "window: no lost events under fork-join at jobs=1/2/4"
+      test_window_forkjoin_hammer;
+    case "telemetry spans carry the request context"
+      test_span_context_stamping;
+    case "diag capture/replay preserves contexts verbatim"
+      test_diag_context_replay_verbatim;
+    slow_case "service: access log rids, span attribution, stats snapshot"
+      test_service_access_log_and_stats;
+    case "service: health probe and Prometheus exposition"
+      test_health_and_prometheus;
+    case "service: forced slow-log entry with phase breakdown"
+      test_slow_log_phases;
+    slow_case "service: responses bitwise identical with plane on/off"
+      test_plane_on_off_identical;
+  ]

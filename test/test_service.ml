@@ -96,13 +96,29 @@ let gen_payload =
         (1, return Query.Stats);
       ])
 
+let gen_admin_payload =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Query.Server_stats);
+        (1, return Query.Prometheus);
+        (1, return Query.Health);
+      ])
+
 let gen_request =
   QCheck.Gen.(
     let* id = string_printable in
-    let* model = gen_spec in
-    let* payload = gen_payload in
     let* deadline_s = opt gen_pos_float in
-    return { Query.id; model; payload; deadline_s })
+    let* admin = frequency [ (5, return false); (1, return true) ] in
+    if admin then
+      let* payload = gen_admin_payload in
+      (* Admin frames may also carry a model; both round-trip. *)
+      let* model = opt gen_spec in
+      return { Query.id; model; payload; deadline_s }
+    else
+      let* model = gen_spec in
+      let* payload = gen_payload in
+      return { Query.id; model = Some model; payload; deadline_s })
 
 let gen_result =
   QCheck.Gen.(
@@ -230,7 +246,7 @@ let fig7_spec ?(capacity = 7200.) () =
 let cdf_request ?deadline_s ?(spec = fig7_spec ()) id =
   {
     Query.id;
-    model = spec;
+    model = Some spec;
     payload = Query.Cdf { times = [| 5000.; 10000. |] };
     deadline_s;
   }
@@ -277,7 +293,7 @@ let test_batch_shares_sweep () =
         cdf_request "a";
         {
           Query.id = "b";
-          model = fig7_spec ();
+          model = Some (fig7_spec ());
           payload =
             Query.Measures
               { time = 10000.; measures = [ Query.Expected_charge ] };
