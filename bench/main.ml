@@ -58,6 +58,21 @@
      --chaos-plans N
                     number of fault plans (default 60)
      --chaos-seed S seed of the plan generator (default 2007)
+     --serve-chaos-report PATH
+                    run ONLY the serve-side chaos harness (see
+                    serve_chaos.ml): boot the real Unix-socket accept
+                    loop with small guard limits and drive the hostile
+                    client matrix at it — oversized frames, admission
+                    floods, malformed streaks, mid-batch disconnects,
+                    stalled senders, and the armed server.* fault
+                    sites — asserting the daemon survives every
+                    scenario (health probe between scenarios), every
+                    frame is answered or shed with a structured code-9
+                    overloaded response, and the final drain exits
+                    cleanly with the socket unlinked; written as a
+                    JSON snapshot (committed as BENCH_serve_chaos.json,
+                    counts and booleans only, no wall clocks); nonzero
+                    exit on any violation
      --service-report PATH
                     run ONLY the query-service benchmark: >= 1000
                     Zipf-distributed queries over a 48-model
@@ -698,6 +713,10 @@ let service_report path =
   and evictions0 = Scache.evictions cache in
   let c_builds = Telemetry.counter "discretized.builds" in
   let builds0 = Telemetry.value c_builds in
+  let c_admitted = Telemetry.counter "service.admitted"
+  and c_shed = Telemetry.counter "service.shed" in
+  let admitted0 = Telemetry.value c_admitted
+  and shed0 = Telemetry.value c_shed in
   let rng = Rng.create ~seed:20070625L () in
   let latencies = Array.make queries 0. in
   let hist = Streamstat.Hist.create () in
@@ -718,6 +737,12 @@ let service_report path =
   and misses = Scache.misses cache - misses0
   and evictions = Scache.evictions cache - evictions0
   and builds = Telemetry.value c_builds - builds0 in
+  let admitted = Telemetry.value c_admitted - admitted0
+  and shed = Telemetry.value c_shed - shed0 in
+  let shed_rate =
+    if admitted + shed = 0 then 0.
+    else float_of_int shed /. float_of_int (admitted + shed)
+  and depth_p99 = Batlife_service.Obs.queue_depth_p99 (Service.obs svc) in
   let hit_rate = float_of_int hits /. float_of_int (hits + misses) in
   let sorted = Array.copy latencies in
   Array.sort Float.compare sorted;
@@ -732,6 +757,9 @@ let service_report path =
     "  cache: %d hits / %d misses (%.1f %% hit rate), %d evictions, %d Q* \
      builds\n"
     hits misses (hit_rate *. 100.) evictions builds;
+  Printf.printf
+    "  admission: %d admitted, %d shed (shed rate %.4f), queue-depth p99 %.1f\n"
+    admitted shed shed_rate depth_p99;
   Printf.printf "  latency: p50 %.0f us, p90 %.0f us, p99 %.0f us, max %.0f us\n"
     (pct 0.50 *. 1e6) (pct 0.90 *. 1e6) (pct 0.99 *. 1e6)
     (sorted.(queries - 1) *. 1e6);
@@ -774,10 +802,15 @@ let service_report path =
              err %.4f > bound %.4f)\n"
             (p *. 100.) stream exact rel bound)
       quantile_checks;
-  if !failures > 0 || hits = 0 || quantile_violation then begin
+  (* The benchmark drives the engine directly (no wire loop), so every
+     query must be admitted and none shed — a nonzero shed here means
+     admission accounting leaked into the engine path. *)
+  if !failures > 0 || hits = 0 || quantile_violation || shed > 0
+     || admitted < queries
+  then begin
     prerr_endline
-      "service report: failed queries, cold cache, or streaming quantile \
-       outside documented bound (service bug)";
+      "service report: failed queries, cold cache, sheds at benchmark load, \
+       or streaming quantile outside documented bound (service bug)";
     exit 1
   end;
   Batlife_numerics.Atomic_io.with_out ~path (fun oc ->
@@ -789,6 +822,8 @@ let service_report path =
                "mix": "70%% cdf / 20%% percentiles / 10%% stats" },
   "cache": { "capacity": %d, "hits": %d, "misses": %d,
              "evictions": %d, "hit_rate": %.4f },
+  "admission": { "admitted": %d, "shed": %d, "shed_rate": %.4f,
+                 "queue_depth_p99": %.1f },
   "q_star_builds": %d,
   "latency_seconds": {
     "mean": %.6f, "p50": %.6f, "p90": %.6f, "p99": %.6f, "max": %.6f
@@ -800,7 +835,8 @@ let service_report path =
 }
 |}
     population exponent queries !failures cache_capacity hits misses
-    evictions hit_rate builds mean (pct 0.50) (pct 0.90) (pct 0.99)
+    evictions hit_rate admitted shed shed_rate depth_p99 builds mean
+    (pct 0.50) (pct 0.90) (pct 0.99)
     sorted.(queries - 1) (stream_pct 0.50) (stream_pct 0.90)
     (stream_pct 0.99) bound max_rel_error);
   Printf.printf "  wrote %s\n" path
@@ -891,6 +927,7 @@ let () =
   let chaos_plans = ref 60 in
   let chaos_seed = ref 2007L in
   let service_json = ref None in
+  let serve_chaos_json = ref None in
   let rec parse = function
     | [] -> ()
     | "--full" :: rest ->
@@ -913,6 +950,9 @@ let () =
         parse rest
     | "--service-report" :: path :: rest ->
         service_json := Some path;
+        parse rest
+    | "--serve-chaos-report" :: path :: rest ->
+        serve_chaos_json := Some path;
         parse rest
     | "--chaos-plans" :: n :: rest ->
         chaos_plans := int_of_string n;
@@ -968,6 +1008,13 @@ let () =
   (match !chaos_json with
   | Some path ->
       Chaos.report ~plans:!chaos_plans ~seed:!chaos_seed ~path;
+      exit 0
+  | None -> ());
+  (* --serve-chaos-report runs alone: it arms the server.* injection
+     sites and owns the process's signal disposition. *)
+  (match !serve_chaos_json with
+  | Some path ->
+      Serve_chaos.report ~path;
       exit 0
   | None -> ());
   (* --service-report runs alone for the same reason as the scaling

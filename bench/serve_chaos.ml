@@ -1,0 +1,501 @@
+(* Serve-side chaos harness: hostile clients against a live daemon.
+
+   [bench --serve-chaos-report PATH] boots the real [Server.serve_unix]
+   accept loop on a scratch socket (in its own domain, with
+   deliberately small guard limits) and throws the misbehaviour matrix
+   at it over real connections: an endless frame with no newline, a
+   burst past the admission queue, a stream of garbage, a client that
+   vanishes mid-batch, a stalled sender, and the armed [server.*]
+   fault-injection sites (slow reads, forced disconnects, one-byte
+   short writes, flood-forced sheds).
+
+   Self-verifying invariants, checked per scenario:
+     - the daemon never dies: a health probe on a fresh connection
+       answers [ok] after every scenario, and the final drain exits the
+       accept loop cleanly with the socket unlinked;
+     - every admitted frame is answered (Ok or a structured error) and
+       every shed frame gets a well-formed code-9 [overloaded] response
+       carrying a [retry_after_s] hint;
+     - guard trips end only the offending connection, with a
+       structured goodbye where one is promised (oversized frame,
+       strike limit);
+     - probe latency stays bounded (no raw timings in the snapshot —
+       only the boolean, so the committed file is machine-independent).
+
+   Violations are collected per scenario and the run exits nonzero if
+   any survive, mirroring chaos.ml for the solver side. *)
+
+module Server = Batlife_service.Server
+module Service = Batlife_service.Service
+module Drain = Batlife_service.Drain
+module Squery = Batlife_service.Query
+module Model_spec = Batlife_service.Model_spec
+module Fi = Batlife_numerics.Fi
+module Telemetry = Batlife_numerics.Telemetry
+
+(* Small guard limits so every guard is reachable in a fast run. *)
+let limits =
+  {
+    Server.max_frame_bytes = 4096;
+    read_idle_s = 1.0;
+    write_timeout_s = 2.0;
+    max_strikes = 2;
+    queue = 2;
+  }
+
+let max_batch = 2
+let probe_latency_bound_s = 5.0
+
+let small_spec =
+  {
+    Model_spec.workload =
+      Model_spec.Onoff { frequency = 1.0; k = 1; on_current = 0.96 };
+    capacity = 5400.;
+    c = 1.0;
+    k = 0.0;
+    delta = 300.;
+    accuracy = None;
+  }
+
+let cdf_line id =
+  Squery.request_to_line
+    {
+      Squery.id;
+      model = Some small_spec;
+      payload = Squery.Cdf { times = [| 2000.; 4000. |] };
+      deadline_s = None;
+    }
+
+let health_line id =
+  Squery.request_to_line
+    { Squery.id; model = None; payload = Squery.Health; deadline_s = None }
+
+(* ---------------------------------------------------------------- *)
+(* Raw-socket client helpers; every read is deadline-bounded so a
+   server bug can fail a scenario but never hang the harness.        *)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+(* EPIPE/ECONNRESET mean the server already dropped us — which is the
+   very outcome several scenarios provoke, so the client shrugs. *)
+let send_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          ()
+  in
+  go 0
+
+(* Read until [n] lines, EOF, or the deadline; returns the lines and
+   whether EOF was seen. *)
+let recv_lines fd ~n ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let lines = ref [] and count = ref 0 and eof = ref false in
+  let drain_buffer () =
+    let rec split () =
+      let s = Buffer.contents buf in
+      match String.index_opt s '\n' with
+      | None -> ()
+      | Some i ->
+          lines := String.sub s 0 i :: !lines;
+          incr count;
+          Buffer.clear buf;
+          Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+          split ()
+    in
+    split ()
+  in
+  let rec go () =
+    if !count >= n || !eof then ()
+    else
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0. then ()
+      else
+        match Unix.select [ fd ] [] [] left with
+        | [ _ ], _, _ -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 ->
+                eof := true;
+                ()
+            | r ->
+                Buffer.add_subbytes buf chunk 0 r;
+                drain_buffer ();
+                go ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+            | exception
+                Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                eof := true;
+                ())
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  (List.rev !lines, !eof)
+
+let expect_eof fd ~timeout_s =
+  let _, eof = recv_lines fd ~n:max_int ~timeout_s in
+  eof
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---------------------------------------------------------------- *)
+(* Scenario bookkeeping. *)
+
+type tally = {
+  mutable sent : int;
+  mutable responses : int;
+  mutable ok : int;
+  mutable overloaded : int;
+  mutable errors : int;
+  mutable violations : string list;
+}
+
+let tally () =
+  { sent = 0; responses = 0; ok = 0; overloaded = 0; errors = 0;
+    violations = [] }
+
+let violation t fmt =
+  Printf.ksprintf (fun msg -> t.violations <- msg :: t.violations) fmt
+
+(* Classify one response line into the tally; flags unparseable frames
+   and overloaded frames missing their retry hint. *)
+let classify t line =
+  t.responses <- t.responses + 1;
+  match Squery.response_of_line ~source:"<chaos>" line with
+  | Error e -> violation t "unparseable response frame: %s" e.Squery.message
+  | Ok resp -> (
+      match resp.Squery.result with
+      | Ok _ -> t.ok <- t.ok + 1
+      | Error e when e.Squery.kind = "overloaded" ->
+          t.overloaded <- t.overloaded + 1;
+          if e.Squery.code <> Squery.overloaded_code then
+            violation t "overloaded frame has code %d, want %d" e.Squery.code
+              Squery.overloaded_code;
+          if e.Squery.retry_after_s = None then
+            violation t "overloaded frame lacks retry_after_s"
+      | Error _ -> t.errors <- t.errors + 1)
+
+(* ---------------------------------------------------------------- *)
+(* Scenarios.  Each takes the socket path, runs one hostile (or
+   Fi-armed) client, and returns its tally. *)
+
+let scenario_well_formed path =
+  let t = tally () in
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> close_quietly fd) @@ fun () ->
+  t.sent <- 3;
+  send_all fd (cdf_line "w1" ^ cdf_line "w2" ^ health_line "w3");
+  let lines, _ = recv_lines fd ~n:3 ~timeout_s:30. in
+  List.iter (classify t) lines;
+  if t.ok <> 3 then
+    violation t "well-formed: want 3 ok responses, got %d ok / %d frames"
+      t.ok t.responses;
+  t
+
+let scenario_oversized_frame path =
+  let t = tally () in
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> close_quietly fd) @@ fun () ->
+  t.sent <- 1;
+  send_all fd (String.make (limits.Server.max_frame_bytes + 512) 'x');
+  let lines, eof = recv_lines fd ~n:1 ~timeout_s:10. in
+  (match lines with
+  | [ line ] -> (
+      t.responses <- 1;
+      match Squery.response_of_line ~source:"<chaos>" line with
+      | Ok { Squery.result = Error e; _ } when e.Squery.code = 4 ->
+          t.errors <- 1
+      | Ok _ -> violation t "oversized frame: goodbye is not a code-4 error"
+      | Error e ->
+          violation t "oversized frame: unparseable goodbye: %s"
+            e.Squery.message)
+  | _ -> violation t "oversized frame: no structured goodbye frame");
+  if not (eof || expect_eof fd ~timeout_s:5.) then
+    violation t "oversized frame: connection not dropped";
+  t
+
+let scenario_frame_flood path =
+  let t = tally () in
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> close_quietly fd) @@ fun () ->
+  let n = 12 in
+  t.sent <- n;
+  let frames = List.init n (fun i -> health_line (Printf.sprintf "f%d" i)) in
+  send_all fd (String.concat "" frames);
+  let lines, _ = recv_lines fd ~n ~timeout_s:30. in
+  List.iter (classify t) lines;
+  if t.responses <> n then
+    violation t "flood: %d frames sent, only %d answered" n t.responses;
+  if t.ok + t.overloaded + t.errors <> t.responses then
+    violation t "flood: %d responses but only %d classified" t.responses
+      (t.ok + t.overloaded + t.errors);
+  if t.overloaded = 0 then
+    violation t
+      "flood: a %d-frame burst past batch %d + queue %d shed nothing" n
+      max_batch limits.Server.queue;
+  t
+
+let scenario_malformed_strikes path =
+  let t = tally () in
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> close_quietly fd) @@ fun () ->
+  t.sent <- limits.Server.max_strikes;
+  send_all fd "this is not json\n{\"v\":\"wrong/0\"}\n";
+  (* Every strike gets its structured error, then the strike limit
+     earns one goodbye frame and the drop. *)
+  let lines, eof = recv_lines fd ~n:(limits.Server.max_strikes + 1)
+      ~timeout_s:10. in
+  List.iter (classify t) lines;
+  if t.errors < limits.Server.max_strikes then
+    violation t "strikes: want %d structured rejections, got %d"
+      limits.Server.max_strikes t.errors;
+  if not (eof || expect_eof fd ~timeout_s:5.) then
+    violation t "strikes: connection survived the strike limit";
+  t
+
+let scenario_mid_batch_disconnect path =
+  let t = tally () in
+  let fd = connect path in
+  t.sent <- 2;
+  send_all fd (cdf_line "d1" ^ cdf_line "d2");
+  (* Vanish without reading a byte: the server's response writes must
+     surface as [`Client_gone], not SIGPIPE or a crash (the follow-up
+     probe proves the daemon survived). *)
+  close_quietly fd;
+  t
+
+let scenario_idle_timeout path =
+  let t = tally () in
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> close_quietly fd) @@ fun () ->
+  if not (expect_eof fd ~timeout_s:(limits.Server.read_idle_s +. 5.)) then
+    violation t "idle: stalled connection not dropped at read_idle_s";
+  t
+
+let scenario_fi_slow_read path =
+  let t = tally () in
+  Fi.arm ~count:5 "server.slow_read";
+  Fun.protect ~finally:(fun () -> Fi.disarm "server.slow_read") @@ fun () ->
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> close_quietly fd) @@ fun () ->
+  t.sent <- 2;
+  send_all fd (health_line "s1" ^ health_line "s2");
+  let lines, _ = recv_lines fd ~n:2 ~timeout_s:30. in
+  List.iter (classify t) lines;
+  if t.ok <> 2 then
+    violation t "slow_read: want 2 ok responses through delays, got %d" t.ok;
+  t
+
+let scenario_fi_short_write path =
+  let t = tally () in
+  Fi.arm ~count:8 "server.short_write";
+  Fun.protect ~finally:(fun () -> Fi.disarm "server.short_write") @@ fun () ->
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> close_quietly fd) @@ fun () ->
+  t.sent <- 2;
+  send_all fd (health_line "c1" ^ health_line "c2");
+  let lines, _ = recv_lines fd ~n:2 ~timeout_s:30. in
+  (* Self-verifying: the one-byte write rounds must still deliver
+     byte-intact frames, or classify flags them unparseable. *)
+  List.iter (classify t) lines;
+  if t.ok <> 2 then
+    violation t "short_write: want 2 intact ok responses, got %d ok of %d"
+      t.ok t.responses;
+  t
+
+let scenario_fi_disconnect path =
+  let t = tally () in
+  Fi.arm ~count:1 "server.disconnect";
+  Fun.protect ~finally:(fun () -> Fi.disarm "server.disconnect") @@ fun () ->
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> close_quietly fd) @@ fun () ->
+  t.sent <- 1;
+  send_all fd (health_line "x1");
+  if not (expect_eof fd ~timeout_s:10.) then
+    violation t "fi_disconnect: injected disconnect did not end connection";
+  t
+
+let scenario_fi_frame_flood path =
+  let t = tally () in
+  Fi.arm ~count:2 "server.frame_flood";
+  Fun.protect ~finally:(fun () -> Fi.disarm "server.frame_flood") @@ fun () ->
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> close_quietly fd) @@ fun () ->
+  let n = 4 in
+  t.sent <- n;
+  let frames = List.init n (fun i -> health_line (Printf.sprintf "g%d" i)) in
+  send_all fd (String.concat "" frames);
+  let lines, _ = recv_lines fd ~n ~timeout_s:30. in
+  List.iter (classify t) lines;
+  if t.responses <> n then
+    violation t "fi_flood: %d frames sent, only %d answered" n t.responses;
+  if t.overloaded = 0 then
+    violation t "fi_flood: armed flood site shed nothing";
+  t
+
+let scenarios =
+  [
+    ("well_formed", scenario_well_formed);
+    ("oversized_frame", scenario_oversized_frame);
+    ("frame_flood", scenario_frame_flood);
+    ("malformed_strikes", scenario_malformed_strikes);
+    ("mid_batch_disconnect", scenario_mid_batch_disconnect);
+    ("idle_timeout", scenario_idle_timeout);
+    ("fi_slow_read", scenario_fi_slow_read);
+    ("fi_short_write", scenario_fi_short_write);
+    ("fi_disconnect", scenario_fi_disconnect);
+    ("fi_frame_flood", scenario_fi_frame_flood);
+  ]
+
+(* ---------------------------------------------------------------- *)
+
+let wait_for_socket path =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec go () =
+    if Unix.gettimeofday () > deadline then
+      failwith "serve chaos: daemon socket never appeared"
+    else if Sys.file_exists path then ()
+    else begin
+      Unix.sleepf 0.01;
+      go ()
+    end
+  in
+  go ()
+
+(* Liveness probe on a fresh connection; returns its wall time, or a
+   violation recorded into [t]. *)
+let probe path t =
+  let t0 = Unix.gettimeofday () in
+  match connect path with
+  | exception Unix.Unix_error (e, _, _) ->
+      violation t "probe: connect failed: %s" (Unix.error_message e);
+      infinity
+  | fd ->
+      Fun.protect ~finally:(fun () -> close_quietly fd) @@ fun () ->
+      send_all fd (health_line "probe");
+      let lines, _ = recv_lines fd ~n:1 ~timeout_s:probe_latency_bound_s in
+      (match lines with
+      | [ line ] -> (
+          match Squery.response_of_line ~source:"<probe>" line with
+          | Ok { Squery.result = Ok _; _ } -> ()
+          | Ok _ -> violation t "probe: health answered with an error"
+          | Error e ->
+              violation t "probe: unparseable health response: %s"
+                e.Squery.message)
+      | _ -> violation t "probe: no health response (daemon wedged or dead)");
+      Unix.gettimeofday () -. t0
+
+let report ~path:out_path =
+  Fi.reset ();
+  let sock_dir = Filename.temp_file "batlife-chaos" "" in
+  Sys.remove sock_dir;
+  Unix.mkdir sock_dir 0o700;
+  let sock = Filename.concat sock_dir "serve.sock" in
+  let drain = Drain.create ~drain_s:10. () in
+  let service = Service.create ~cache_capacity:4 () in
+  let shed0 = Telemetry.value (Telemetry.counter "service.shed") in
+  let daemon =
+    Domain.spawn (fun () ->
+        match
+          Server.serve_unix ~limits ~drain ~max_batch ~backlog:8 service
+            ~path:sock
+        with
+        | () -> Ok ()
+        | exception e -> Error (Printexc.to_string e))
+  in
+  wait_for_socket sock;
+  let probe_latencies = ref [] in
+  let results =
+    List.map
+      (fun (name, run) ->
+        let t =
+          match run sock with
+          | t -> t
+          | exception e ->
+              let t = tally () in
+              violation t "scenario raised: %s" (Printexc.to_string e);
+              t
+        in
+        probe_latencies := probe sock t :: !probe_latencies;
+        Printf.printf "  %-22s sent %2d  ok %2d  overloaded %2d  errors %2d  %s\n"
+          name t.sent t.ok t.overloaded t.errors
+          (if t.violations = [] then "ok"
+           else String.concat "; " (List.rev t.violations));
+        (name, t))
+      scenarios
+  in
+  (* Graceful shutdown: the drain must end the accept loop, unlink the
+     socket, and hand back a clean exit from the daemon domain. *)
+  Drain.request drain;
+  let daemon_exit = Domain.join daemon in
+  Drain.stop drain;
+  Fi.reset ();
+  let shutdown = tally () in
+  (match daemon_exit with
+  | Ok () -> ()
+  | Error msg -> violation shutdown "daemon died: %s" msg);
+  if Sys.file_exists sock then
+    violation shutdown "socket file survived the drain";
+  (try Unix.rmdir sock_dir with Unix.Unix_error _ -> ());
+  let sheds = Telemetry.value (Telemetry.counter "service.shed") - shed0 in
+  if sheds = 0 then
+    violation shutdown "service.shed counter never moved across the matrix";
+  let probes_bounded =
+    List.for_all (fun l -> l < probe_latency_bound_s) !probe_latencies
+  in
+  if not probes_bounded then
+    violation shutdown "a health probe exceeded the latency bound";
+  let results = results @ [ ("shutdown", shutdown) ] in
+  let total_violations =
+    List.fold_left (fun acc (_, t) -> acc + List.length t.violations) 0 results
+  in
+  Printf.printf "  %-22s %s\n" "shutdown"
+    (if shutdown.violations = [] then "clean drain, socket unlinked"
+     else String.concat "; " (List.rev shutdown.violations));
+  Batlife_numerics.Atomic_io.with_out ~path:out_path (fun oc ->
+      let scenario_json (name, t) =
+        Printf.sprintf
+          {|    { "name": %S, "sent": %d, "responses": %d, "ok": %d,
+      "overloaded": %d, "structured_errors": %d, "violations": [%s] }|}
+          name t.sent t.responses t.ok t.overloaded t.errors
+          (String.concat ", "
+             (List.rev_map (Printf.sprintf "%S") t.violations))
+      in
+      Printf.fprintf oc
+        {|{
+  "benchmark": "serve chaos",
+  "limits": { "max_frame_bytes": %d, "read_idle_s": %.1f,
+              "write_timeout_s": %.1f, "max_strikes": %d,
+              "queue": %d, "max_batch": %d },
+  "scenarios": [
+%s
+  ],
+  "daemon": { "clean_exit": %b, "socket_removed": %b,
+              "probes_bounded": %b, "shed_total_nonzero": %b },
+  "violations": %d
+}
+|}
+        limits.Server.max_frame_bytes limits.Server.read_idle_s
+        limits.Server.write_timeout_s limits.Server.max_strikes
+        limits.Server.queue max_batch
+        (String.concat ",\n" (List.map scenario_json results))
+        (daemon_exit = Ok ())
+        (not (Sys.file_exists sock))
+        probes_bounded (sheds > 0) total_violations);
+  Printf.printf "  wrote %s\n" out_path;
+  if total_violations > 0 then begin
+    Printf.eprintf
+      "serve chaos: %d violation(s) — the daemon is not overload-safe\n"
+      total_violations;
+    exit 1
+  end

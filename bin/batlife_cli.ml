@@ -772,8 +772,9 @@ let experiment_cmd =
 (* ------------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run socket cache_capacity max_batch max_connections jobs access_log
-      slow_log slow_query_ms () =
+  let run socket cache_capacity cache_max_bytes max_batch max_connections
+      backlog queue drain_s max_frame_bytes read_idle_s write_timeout_s
+      max_strikes jobs access_log slow_log slow_query_ms () =
     (match jobs with
     | Some j when j < 1 ->
         Batlife_numerics.Diag.invalid_model ~what:"--jobs"
@@ -785,19 +786,72 @@ let serve_cmd =
     if slow_query_ms < 0. then
       Batlife_numerics.Diag.invalid_model ~what:"--slow-query-ms"
         [ Printf.sprintf "need a non-negative threshold, got %g" slow_query_ms ];
+    let positive what v =
+      if v <= 0 then
+        Batlife_numerics.Diag.invalid_model ~what
+          [ Printf.sprintf "need a positive value, got %d" v ]
+    and positive_f what v =
+      if not (v > 0.) then
+        Batlife_numerics.Diag.invalid_model ~what
+          [ Printf.sprintf "need a positive value, got %g" v ]
+    in
+    positive "--backlog" backlog;
+    if queue < 0 then
+      Batlife_numerics.Diag.invalid_model ~what:"--queue"
+        [ Printf.sprintf "need a non-negative capacity, got %d" queue ];
+    positive "--max-frame-bytes" max_frame_bytes;
+    positive "--max-strikes" max_strikes;
+    Option.iter (positive "--cache-max-bytes") cache_max_bytes;
+    positive_f "--drain-s" drain_s;
+    positive_f "--read-idle-s" read_idle_s;
+    positive_f "--write-timeout-s" write_timeout_s;
+    let limits =
+      {
+        Batlife_service.Server.max_frame_bytes;
+        read_idle_s;
+        write_timeout_s;
+        max_strikes;
+        queue;
+      }
+    in
     let obs =
       Batlife_service.Obs.create ?access_log ?slow_log
         ~slow_threshold_s:(slow_query_ms /. 1000.) ()
     in
-    let service = Batlife_service.Service.create ~cache_capacity ~obs () in
+    let service =
+      Batlife_service.Service.create ~cache_capacity ?cache_max_bytes ~obs ()
+    in
+    let drain = Batlife_service.Drain.create ~drain_s () in
+    (* SIGTERM and the first Ctrl-C both request a graceful drain: stop
+       accepting, finish (or deadline-cancel) in-flight batches, flush
+       the log appenders, unlink the socket and exit 0.  A second
+       Ctrl-C aborts hard with the conventional 130. *)
+    let interrupted = ref false in
+    Sys.set_signal Sys.sigterm
+      (Sys.Signal_handle (fun _ -> Batlife_service.Drain.request drain));
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           if !interrupted then Stdlib.exit 130
+           else begin
+             interrupted := true;
+             Batlife_service.Drain.request drain;
+             prerr_endline
+               "batlife: serve: draining (finishing in-flight batches; \
+                Ctrl-C again aborts hard)"
+           end));
     Fun.protect
-      ~finally:(fun () -> Batlife_service.Obs.close obs)
+      ~finally:(fun () ->
+        Batlife_service.Drain.stop drain;
+        Batlife_service.Obs.close obs)
       (fun () ->
         match socket with
-        | None -> Batlife_service.Server.serve_stdio ~max_batch service
+        | None ->
+            Batlife_service.Server.serve_stdio ~limits ~drain ~max_batch
+              service
         | Some path ->
-            Batlife_service.Server.serve_unix ~max_batch ?max_connections
-              service ~path)
+            Batlife_service.Server.serve_unix ~limits ~drain ~max_batch
+              ?max_connections ~backlog service ~path)
   in
   let socket =
     Arg.(
@@ -814,6 +868,15 @@ let serve_cmd =
           ~doc:
             "Models interned in the fingerprint session cache (LRU beyond \
              this).")
+  and cache_max_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-max-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Resident-byte budget for the session cache (estimated; LRU \
+             eviction after each batch keeps the cache under it).  \
+             Default: unbounded — only $(b,--cache-capacity) applies.")
   and max_batch =
     Arg.(
       value & opt int 64
@@ -821,6 +884,59 @@ let serve_cmd =
           ~doc:
             "Upper bound on requests answered as one batch (same-model \
              requests in a batch share one sweep).")
+  and backlog =
+    Arg.(
+      value & opt int 64
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:"With $(b,--socket): the listen(2) backlog.")
+  and queue =
+    Arg.(
+      value & opt int 128
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Pending-request queue capacity per connection.  Frames drained \
+             beyond the batch in hand and this queue are shed with a \
+             structured $(b,overloaded) error (code 9) carrying a \
+             retry_after_s hint.")
+  and drain_s =
+    Arg.(
+      value & opt float 5.
+      & info [ "drain-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Graceful-drain deadline.  On SIGTERM (or the first Ctrl-C) the \
+             server stops accepting, finishes in-flight batches, and past \
+             this deadline cancels them into structured Cancelled responses; \
+             then flushes logs, unlinks the socket and exits 0.")
+  and max_frame_bytes =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-frame-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Per-connection frame-size guard: a request line longer than \
+             this gets a structured error and the connection is dropped.")
+  and read_idle_s =
+    Arg.(
+      value & opt float 300.
+      & info [ "read-idle-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Idle-read guard: drop a connection that sends nothing for this \
+             long while the server is waiting for a frame.")
+  and write_timeout_s =
+    Arg.(
+      value & opt float 30.
+      & info [ "write-timeout-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Write guard: drop a connection that will not accept a response \
+             within this long (a stalled client cannot wedge the server).")
+  and max_strikes =
+    Arg.(
+      value & opt int 5
+      & info [ "max-strikes" ] ~docv:"N"
+          ~doc:
+            "Malformed-frame strike limit: after $(docv) unparseable frames \
+             the connection is dropped (each still gets its structured \
+             error response first).")
   and max_connections =
     Arg.(
       value
@@ -867,8 +983,10 @@ let serve_cmd =
          "Long-running lifetime-query service (line-delimited JSON, \
           batlife.query/1)")
     Term.(
-      const run $ socket $ cache_capacity $ max_batch $ max_connections $ jobs
-      $ access_log $ slow_log $ slow_query_ms $ telemetry_term)
+      const run $ socket $ cache_capacity $ cache_max_bytes $ max_batch
+      $ max_connections $ backlog $ queue $ drain_s $ max_frame_bytes
+      $ read_idle_s $ write_timeout_s $ max_strikes $ jobs $ access_log
+      $ slow_log $ slow_query_ms $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1017,6 +1135,8 @@ let () =
     :: Cmd.Exit.info 7 ~doc:"a wall-clock deadline or work budget ran out."
     :: Cmd.Exit.info 8
          ~doc:"cooperative cancellation was requested (first Ctrl-C)."
+    :: Cmd.Exit.info 9
+         ~doc:"the query service shed the request under overload (retryable)."
     :: Cmd.Exit.info 130
          ~doc:"hard interrupt (second Ctrl-C, immediate abort)."
     :: Cmd.Exit.defaults

@@ -236,6 +236,41 @@ module Session = struct
   let sweeps s = s.swept
   let last_stats s = s.last_stats
 
+  (* Resident-byte estimate of everything the session (and the
+     Discretized.t it pins) keeps alive: the generator CSR, the initial
+     distribution, the kernel transpose, the sweep buffers, the cached
+     Fox–Glynn windows and the lazily-built aggregation structures.
+     An estimate, not an accounting: boxing and hashtable overhead are
+     approximated with small per-entry constants.  Monotone in what
+     has actually been built, so a fresh session is cheap and the
+     byte-budgeted cache re-reads it after each use. *)
+  let approx_bytes s =
+    let n = n_states s.d in
+    let sparse_bytes (m : Sparse.t) =
+      (Sparse.nnz m * (8 + 4)) + (Array.length m.Sparse.row_ptr * 8)
+    in
+    let generator = sparse_bytes (Generator.matrix s.d.generator) in
+    let alpha = Array.length s.d.alpha * 8 in
+    let kernel =
+      match s.kernel with None -> 0 | Some k -> Transient.kernel_bytes k
+    in
+    let buffers = match s.buffers with None -> 0 | Some _ -> 2 * n * 8 in
+    let windows =
+      Hashtbl.fold
+        (fun _ (w : Poisson.t) acc ->
+          acc + (Array.length w.Poisson.weights * 8) + 64)
+        s.fox_glynn 0
+    in
+    let buckets = function
+      | None -> 0
+      | Some b -> Array.fold_left (fun acc a -> acc + (Array.length a * 8)) 0 b
+    in
+    let coefficients =
+      match s.charge_coefficients with None -> 0 | Some c -> Array.length c * 8
+    in
+    generator + alpha + kernel + buffers + windows
+    + buckets s.charge_buckets + buckets s.mode_buckets + coefficients
+
   let window s t =
     match Hashtbl.find_opt s.fox_glynn t with
     | Some w ->

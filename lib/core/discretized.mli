@@ -183,5 +183,14 @@ module Session : sig
   val last_stats : session -> Transient.stats option
   val cached_windows : session -> int
   (** Number of distinct time points with a cached Fox–Glynn window. *)
+
+  val approx_bytes : session -> int
+  (** Estimated resident bytes of the session and the {!t} it pins:
+      generator CSR nonzeros, initial distribution, kernel transpose,
+      sweep buffers, cached Fox–Glynn windows and the lazily-built
+      marginal aggregation structures.  Grows as the session warms up
+      (kernel build, new windows), so byte-budgeted callers should
+      re-read it after each use.  An estimate — per-entry boxing and
+      hashtable overhead are approximated by constants. *)
 end
 

@@ -236,6 +236,17 @@ let kernel_rate k = k.k_rate
 let kernel_jobs k = Pool.size k.k_pool
 let kernel_bandwidths k = (k.k_down, k.k_up)
 
+(* Resident-byte estimate of the kernel's own allocations: the CSR
+   transpose (float64 values + int32 column stream + int row pointers)
+   plus the cached partition and displacement set.  The pool is shared
+   process-wide and not attributed here. *)
+let kernel_bytes k =
+  let nnz = Sparse.nnz k.k_pt in
+  (nnz * (8 + 4))
+  + (Array.length k.k_pt.Sparse.row_ptr * 8)
+  + (Array.length k.k_partition * 3 * 8)
+  + (Array.length k.k_disp * 8)
+
 (* A caller-supplied kernel must have been prepared for the exact rate
    the sweep resolved, or the Poisson windows and the matrix would
    disagree on q. *)

@@ -182,6 +182,13 @@ val kernel_bandwidths : kernel -> int * int
     normally expands the support along the distinct displacement set;
     the bandwidths bound that set and serve as its fallback. *)
 
+val kernel_bytes : kernel -> int
+(** Estimated resident bytes of the kernel's own allocations — the CSR
+    transpose of the uniformised matrix (the dominant term: 12 bytes
+    per nonzero plus 8 per row pointer), the cached partition and the
+    displacement set.  Excludes the shared worker pool.  Feeds the
+    byte-budgeted session cache's accounting. *)
+
 val solve :
   ?opts:Solver_opts.t ->
   Generator.t ->

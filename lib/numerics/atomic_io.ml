@@ -107,7 +107,16 @@ let append_line ap line =
   | Ok () -> ()
   | Error err -> io_error ~path:ap.ap_path (Unix.error_message err)
 
-let close_appender ap = try Unix.close ap.ap_fd with Unix.Unix_error _ -> ()
+(* fsync before close: appended lines ride the page cache until the
+   kernel flushes them, and a host losing power right after a graceful
+   drain would otherwise drop the tail of the access log.  A failing
+   fsync degrades durability only (same policy as [with_out]), so it
+   is swallowed; the close still happens. *)
+let close_appender ap =
+  Mutex.lock ap.ap_mutex;
+  (try Unix.fsync ap.ap_fd with Unix.Unix_error _ -> ());
+  (try Unix.close ap.ap_fd with Unix.Unix_error _ -> ());
+  Mutex.unlock ap.ap_mutex
 
 let write_file ~path contents =
   (* A short write models storage-level corruption the rename cannot

@@ -51,3 +51,6 @@ val append_line : appender -> string -> unit
 (** Append one line (a ['\n'] is added) as a single [write]. *)
 
 val close_appender : appender -> unit
+(** [fsync] then close the appender's descriptor, so the tail lines
+    survive a power loss right after exit.  Both failures are
+    swallowed (durability degrades; nothing else can). *)

@@ -26,7 +26,10 @@
     Registered sites: [atomic_io.{write_fail,short_write,fsync_fail,
     rename_fail,dir_fsync_fail}], [checkpoint.{truncate,bitflip,
     version_skew}], [pool.crash], [transient.{step_nan,step_overflow}],
-    [budget.clock_skew]. *)
+    [budget.clock_skew], and the server IO sites
+    [server.{slow_read,disconnect,frame_flood,short_write}] (a stalled
+    client read, a client vanishing mid-batch, a frame burst forcing
+    admission to shed, a partial [write] to the client). *)
 
 type site
 (** An interned injection point; obtain with {!site}, consult with

@@ -1,0 +1,76 @@
+open Batlife_numerics
+
+(* Graceful-drain control for the serve loops.
+
+   [request] only flips an atomic (and stamps the wall-clock deadline),
+   so it is safe from a signal handler.  Enforcement is cooperative:
+   the serve loops poll [requested] between accepts and batches, and a
+   watchdog domain cancels every registered in-flight [Budget.t] once
+   the deadline passes — a batch that cannot finish inside [drain_s]
+   dies as a structured [Cancelled] response, never a killed process. *)
+
+type t = {
+  drain_s : float;
+  requested : bool Atomic.t;
+  deadline : float Atomic.t;  (** absolute wall clock; [infinity] until requested *)
+  budgets : Budget.t list Atomic.t;  (** budgets of in-flight batch groups *)
+  stopped : bool Atomic.t;  (** stops the watchdog at server exit *)
+  watchdog : unit Domain.t option ref;
+}
+
+let watchdog_poll_s = 0.02
+
+let create ?(drain_s = 5.0) () =
+  if not (Float.is_finite drain_s && drain_s > 0.) then
+    invalid_arg "Drain.create: drain_s must be positive and finite";
+  let t =
+    {
+      drain_s;
+      requested = Atomic.make false;
+      deadline = Atomic.make infinity;
+      budgets = Atomic.make [];
+      stopped = Atomic.make false;
+      watchdog = ref None;
+    }
+  in
+  t.watchdog :=
+    Some
+      (Domain.spawn (fun () ->
+           while not (Atomic.get t.stopped) do
+             Unix.sleepf watchdog_poll_s;
+             if
+               Atomic.get t.requested
+               && Unix.gettimeofday () > Atomic.get t.deadline
+             then List.iter Budget.cancel (Atomic.get t.budgets)
+           done));
+  t
+
+let drain_s t = t.drain_s
+let requested t = Atomic.get t.requested
+
+let request t =
+  if not (Atomic.get t.requested) then begin
+    Atomic.set t.deadline (Unix.gettimeofday () +. t.drain_s);
+    Atomic.set t.requested true
+  end
+
+let rec register t b =
+  let cur = Atomic.get t.budgets in
+  if not (Atomic.compare_and_set t.budgets cur (b :: cur)) then register t b;
+  (* A budget registered after the deadline has already passed must not
+     wait for the next watchdog tick to die. *)
+  if Atomic.get t.requested && Unix.gettimeofday () > Atomic.get t.deadline
+  then Budget.cancel b
+
+let rec unregister t b =
+  let cur = Atomic.get t.budgets in
+  let next = List.filter (fun b' -> b' != b) cur in
+  if not (Atomic.compare_and_set t.budgets cur next) then unregister t b
+
+let stop t =
+  Atomic.set t.stopped true;
+  match !(t.watchdog) with
+  | None -> ()
+  | Some d ->
+      t.watchdog := None;
+      Domain.join d

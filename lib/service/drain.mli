@@ -1,0 +1,48 @@
+(** Graceful-drain control for the serve loops.
+
+    A drain is the third arm of the overload story (shed what you
+    cannot admit, guard each connection, and — on SIGTERM or a second
+    SIGINT — stop accepting, finish what was admitted, and leave):
+
+    + {!request} flips an atomic flag and stamps a wall-clock deadline
+      [now + drain_s]; it is safe from a signal handler.
+    + The serve loops poll {!requested} between accepts and batches:
+      once set, no new connection is accepted and no new frame is
+      read, but already-admitted work still runs to completion.
+    + A watchdog domain (spawned by {!create}) cancels every
+      {!register}ed in-flight {!Batlife_numerics.Budget.t} once the
+      deadline passes, so a batch that cannot finish inside [drain_s]
+      ends as a structured [Cancelled] (exit-code-8) response instead
+      of holding the process open.
+
+    Within the deadline the drain is invisible to admitted requests:
+    their responses are bitwise identical to an undisturbed run. *)
+
+type t
+
+val create : ?drain_s:float -> unit -> t
+(** A fresh control with its watchdog domain running.  [drain_s]
+    (default 5.0) is the allowance between {!request} and forced
+    cancellation; raises [Invalid_argument] unless positive and
+    finite.  Pair with {!stop}. *)
+
+val drain_s : t -> float
+
+val request : t -> unit
+(** Request a drain: stamps the deadline and sets the flag.
+    Idempotent (the first call wins the deadline); safe from a signal
+    handler or another domain. *)
+
+val requested : t -> bool
+
+val register : t -> Batlife_numerics.Budget.t -> unit
+(** Expose an in-flight budget to deadline cancellation; the caller
+    must {!unregister} it when its batch group completes.  A budget
+    registered after the deadline has already passed is cancelled
+    immediately. *)
+
+val unregister : t -> Batlife_numerics.Budget.t -> unit
+
+val stop : t -> unit
+(** Stop and join the watchdog domain (idempotent).  Call on every
+    server exit path. *)

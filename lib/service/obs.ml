@@ -7,8 +7,12 @@ let schema_slow = "batlife.slow/1"
 (* The fixed query-kind universe: one latency histogram each, created
    up front so the state bound is visible at construction time.
    "admin" covers the scrape queries themselves, "protocol" the
-   malformed frames rejected before reaching the engine. *)
-let kinds = [ "cdf"; "measures"; "percentiles"; "stats"; "admin"; "protocol" ]
+   malformed frames rejected before reaching the engine, "overloaded"
+   the frames shed by admission control (latency 0 by construction —
+   shedding happens before any work). *)
+let kinds =
+  [ "cdf"; "measures"; "percentiles"; "stats"; "admin"; "protocol";
+    "overloaded" ]
 
 type t = {
   started_ns : int64;
@@ -18,6 +22,12 @@ type t = {
   queue_depth : int Atomic.t;
   errors : int Atomic.t;
   hists : (string * Streamstat.Hist.t) list;
+  (* Admission-control feeds: whole-batch wall latency (its rolling p90
+     is the retry_after_s hint sheds carry) and the pending-queue depth
+     sampled at each admission round (p99 goes into the snapshot and
+     the service benchmark). *)
+  batch_hist : Streamstat.Hist.t;
+  depth_hist : Streamstat.Hist.t;
   req_1m : Streamstat.Window.t;
   req_5m : Streamstat.Window.t;
   err_1m : Streamstat.Window.t;
@@ -41,6 +51,8 @@ let create ?access_log ?slow_log ?(slow_threshold_s = 1.0) ?jobs () =
     queue_depth = Atomic.make 0;
     errors = Atomic.make 0;
     hists = List.map (fun k -> (k, Streamstat.Hist.create ())) kinds;
+    batch_hist = Streamstat.Hist.create ();
+    depth_hist = Streamstat.Hist.create ();
     req_1m = Streamstat.Window.create ~span_s:60. ();
     req_5m = Streamstat.Window.create ~slots:30 ~span_s:300. ();
     err_1m = Streamstat.Window.create ~span_s:60. ();
@@ -62,6 +74,24 @@ let batch_begin t n =
 let batch_end t =
   Atomic.set t.in_flight 0;
   Atomic.set t.queue_depth 0
+
+let note_batch t ~latency_s = Streamstat.Hist.observe t.batch_hist latency_s
+
+let note_queue_depth t depth =
+  Atomic.set t.queue_depth depth;
+  Streamstat.Hist.observe t.depth_hist (float_of_int depth)
+
+(* The backoff hint shed responses carry.  Rolling p90 of whole-batch
+   wall latency: the time by which the queue has very probably turned
+   over at least once.  Floored (and defaulted, before the first batch
+   completes) so a hint of exactly 0 never tells clients to hammer. *)
+let retry_hint_s t =
+  if Streamstat.Hist.count t.batch_hist = 0 then 0.05
+  else Float.max 0.01 (Streamstat.Hist.quantile t.batch_hist 0.90)
+
+let queue_depth_p99 t =
+  if Streamstat.Hist.count t.depth_hist = 0 then 0.
+  else Streamstat.Hist.quantile t.depth_hist 0.99
 
 let uptime_s t =
   Int64.to_float (Int64.sub (Telemetry.now_ns ()) t.started_ns) /. 1e9
@@ -218,6 +248,10 @@ let stats_json t ~cache_size ~cache_capacity =
             ("errors", Json.of_int (Atomic.get t.errors));
             ("in_flight", Json.of_int (Atomic.get t.in_flight));
             ("queue_depth", Json.of_int (Atomic.get t.queue_depth));
+            ("queue_depth_p99", Json.of_float (queue_depth_p99 t));
+            ("admitted", Json.of_int (counter_value "service.admitted"));
+            ("shed", Json.of_int (counter_value "service.shed"));
+            ("retry_hint_s", Json.of_float (retry_hint_s t));
             ("rate_1m", Json.of_float (Streamstat.Window.rate t.req_1m));
             ("rate_5m", Json.of_float (Streamstat.Window.rate t.req_5m));
             ("error_rate_1m", Json.of_float (Streamstat.Window.rate t.err_1m));
@@ -233,6 +267,15 @@ let stats_json t ~cache_size ~cache_capacity =
             ("hits", Json.of_int hits);
             ("misses", Json.of_int misses);
             ("evictions", Json.of_int (counter_value "session.cache_evictions"));
+            ( "evictions_capacity",
+              Json.of_int (counter_value "session.cache_evictions_capacity") );
+            ( "evictions_bytes",
+              Json.of_int (counter_value "session.cache_evictions_bytes") );
+            ( "bytes",
+              Json.of_int
+                (int_of_float
+                   (Telemetry.gauge_value
+                      (Telemetry.gauge "session.cache_bytes"))) );
             ("hit_rate", Json.of_float hit_rate);
           ] );
       ("pool", Json.Obj [ ("jobs", Json.of_int t.jobs) ]);
@@ -278,6 +321,15 @@ let prometheus t ~cache_size ~cache_capacity =
   line "# HELP batlife_in_flight_requests Requests in the batch being served.";
   line "# TYPE batlife_in_flight_requests gauge";
   line "batlife_in_flight_requests %d" (Atomic.get t.in_flight);
+  line "# HELP batlife_admitted_total Frames accepted by admission control.";
+  line "# TYPE batlife_admitted_total counter";
+  line "batlife_admitted_total %d" (counter_value "service.admitted");
+  line "# HELP batlife_shed_total Frames rejected with an overloaded error.";
+  line "# TYPE batlife_shed_total counter";
+  line "batlife_shed_total %d" (counter_value "service.shed");
+  line "# HELP batlife_queue_depth Pending admitted frames awaiting a batch.";
+  line "# TYPE batlife_queue_depth gauge";
+  line "batlife_queue_depth %d" (Atomic.get t.queue_depth);
   line
     "# HELP batlife_request_duration_seconds Per-kind request latency \
      (streaming quantiles; relative error bound %s)."
@@ -306,6 +358,14 @@ let prometheus t ~cache_size ~cache_capacity =
   line "batlife_cache_misses_total %d" (counter_value "session.cache_miss");
   line "batlife_cache_evictions_total %d"
     (counter_value "session.cache_evictions");
+  line "batlife_cache_evictions_capacity_total %d"
+    (counter_value "session.cache_evictions_capacity");
+  line "batlife_cache_evictions_bytes_total %d"
+    (counter_value "session.cache_evictions_bytes");
+  line "# HELP batlife_cache_bytes Estimated resident bytes of cached sessions.";
+  line "# TYPE batlife_cache_bytes gauge";
+  line "batlife_cache_bytes %s"
+    (float_v (Telemetry.gauge_value (Telemetry.gauge "session.cache_bytes")));
   line "# HELP batlife_pool_jobs Worker domains in the fan-out pool.";
   line "# TYPE batlife_pool_jobs gauge";
   line "batlife_pool_jobs %d" t.jobs;

@@ -50,6 +50,23 @@ val batch_begin : t -> int -> unit
 
 val batch_end : t -> unit
 
+val note_batch : t -> latency_s:float -> unit
+(** Record one completed batch's wall latency.  The rolling p90 of
+    these feeds {!retry_hint_s}. *)
+
+val note_queue_depth : t -> int -> unit
+(** Record the pending-queue depth at an admission round: sets the
+    live gauge and feeds the depth histogram behind
+    {!queue_depth_p99}. *)
+
+val retry_hint_s : t -> float
+(** The [retry_after_s] backoff hint shed responses carry: the rolling
+    p90 batch latency, floored at 10 ms (50 ms before the first batch
+    completes). *)
+
+val queue_depth_p99 : t -> float
+(** p99 of the sampled pending-queue depth (0 before any sample). *)
+
 (** Everything known about one answered request, for the logs and the
     aggregates.  [latency_s] is the wall time of the request's group
     evaluation (registration + shared flush + forcing).  [phases] is
@@ -58,7 +75,9 @@ val batch_end : t -> unit
 type observation = {
   rid : string;
   id : string;
-  kind : string;  (** ["cdf"], ["percentiles"], ..., ["admin"], ["protocol"] *)
+  kind : string;
+      (** ["cdf"], ["percentiles"], ..., ["admin"], ["protocol"],
+          ["overloaded"] *)
   fingerprint : string option;
   cache : string option;
   ok : bool;
@@ -99,4 +118,6 @@ val uptime_s : t -> float
 val slow_threshold_s : t -> float
 
 val close : t -> unit
-(** Close the log appenders (idempotent enough for exit paths). *)
+(** Flush ([fsync]) and close the log appenders, so the last access
+    and slow-log lines survive the exit (idempotent enough for exit
+    paths — drain, cancellation, EOF all call it). *)

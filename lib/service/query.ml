@@ -60,7 +60,12 @@ type result =
   | Text of { format : string; text : string }
   | Health_report of { status : string; uptime_s : float }
 
-type error = { kind : string; code : int; message : string }
+type error = {
+  kind : string;
+  code : int;
+  message : string;
+  retry_after_s : float option;
+}
 
 type response = {
   r_id : string;
@@ -78,9 +83,25 @@ let error_of_diag e =
     | Diag.Budget_exhausted _ -> "budget_exhausted"
     | Diag.Cancelled _ -> "cancelled"
   in
-  { kind; code = Diag.exit_code e; message = Diag.error_to_string e }
+  {
+    kind;
+    code = Diag.exit_code e;
+    message = Diag.error_to_string e;
+    retry_after_s = None;
+  }
 
-let protocol_error message = { kind = "protocol"; code = 4; message }
+let protocol_error message =
+  { kind = "protocol"; code = 4; message; retry_after_s = None }
+
+let overloaded_code = 9
+
+let overloaded_error ~retry_after_s message =
+  {
+    kind = "overloaded";
+    code = overloaded_code;
+    message;
+    retry_after_s = Some retry_after_s;
+  }
 
 (* --- encoding ---------------------------------------------------- *)
 
@@ -213,15 +234,21 @@ let response_to_line r =
     match r.result with
     | Ok result -> [ ("ok", Json.Bool true); ("result", result_to_json result) ]
     | Error e ->
+        let retry =
+          match e.retry_after_s with
+          | None -> []
+          | Some s -> [ ("retry_after_s", Json.of_float s) ]
+        in
         [
           ("ok", Json.Bool false);
           ( "error",
             Json.Obj
-              [
-                ("kind", Json.Str e.kind);
-                ("code", Json.of_int e.code);
-                ("message", Json.Str e.message);
-              ] );
+              ([
+                 ("kind", Json.Str e.kind);
+                 ("code", Json.of_int e.code);
+                 ("message", Json.Str e.message);
+               ]
+              @ retry) );
         ]
   in
   Json.encode
@@ -532,6 +559,13 @@ let response_of_line ?source line =
                 message =
                   Json.to_string ?source ~field:"error.message"
                     (Json.member ?source ~field:"message" e);
+                retry_after_s =
+                  (match Json.member_opt ~field:"retry_after_s" e with
+                  | None -> None
+                  | Some s ->
+                      Some
+                        (Json.to_finite_float ?source ~field:"error.retry_after_s"
+                           s));
               }
         | _ ->
             Diag.fail

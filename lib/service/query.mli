@@ -36,7 +36,15 @@
      "result":{"kind":"curve","times":[...],"probabilities":[...]}}
     {"v":"batlife.query/1","id":"q2","ok":false,
      "error":{"kind":"invalid_model","code":3,"message":"..."}}
-    v} *)
+    {"v":"batlife.query/1","id":"q3","ok":false,
+     "error":{"kind":"overloaded","code":9,"message":"...",
+              "retry_after_s":0.25}}
+    v}
+
+    An ["overloaded"] error (code 9) means the frame was shed by
+    admission control before any work happened; it is the only
+    retryable class and the only one carrying a ["retry_after_s"]
+    backoff hint. *)
 
 val version : string
 (** ["batlife.query/1"]. *)
@@ -107,7 +115,15 @@ type result =
           ["prometheus"] for the exposition text *)
   | Health_report of { status : string; uptime_s : float }
 
-type error = { kind : string; code : int; message : string }
+type error = {
+  kind : string;
+  code : int;
+  message : string;
+  retry_after_s : float option;
+      (** present only on retryable errors (today: ["overloaded"]) — a
+          backoff hint in seconds, derived from the rolling p90 batch
+          latency *)
+}
 
 type response = {
   r_id : string;
@@ -122,6 +138,15 @@ val error_of_diag : Batlife_numerics.Diag.error -> error
 val protocol_error : string -> error
 (** A malformed-frame error: [kind = "protocol"], [code = 4] (the
     parse-error exit code). *)
+
+val overloaded_code : int
+(** [9] — the stable exit code of the ["overloaded"] error class. *)
+
+val overloaded_error : retry_after_s:float -> string -> error
+(** A load-shed rejection: [kind = "overloaded"], [code =
+    overloaded_code], retryable after [retry_after_s] seconds.  Sent
+    when the admission queue is full; the request was {e not}
+    processed. *)
 
 (** {1 Codec}
 

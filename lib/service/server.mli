@@ -1,43 +1,97 @@
 (** Wire loops for the query service: line-delimited JSON over
-    stdin/stdout or a Unix-domain socket.
+    stdin/stdout or a Unix-domain socket, hardened against overload
+    and misbehaving clients.
 
-    The read loop batches {b greedily}: it blocks for the first
-    request, then drains every further complete line already buffered
-    or immediately readable (a zero-timeout [select]) up to
-    [max_batch], and hands the whole batch to
-    {!Service.handle_batch}.  A client that pipes N queries at once
-    therefore gets same-model queries answered from one sweep and
-    distinct models fanned out in parallel — without any framing
-    beyond newlines.
+    {b Batching.}  The read loop batches {b greedily}: it blocks for
+    the first request, then drains every further complete line already
+    buffered or immediately readable (a zero-timeout [select]).  The
+    first [max_batch] frames form the batch handed to
+    {!Service.handle_batch}; up to [limits.queue] more wait as the
+    connection's pending queue (served by the following batches before
+    anything new is read).
+
+    {b Admission control.}  Frames drained beyond the pending queue
+    are {e shed}: answered immediately with a structured
+    ["overloaded"] error (code 9, [retry_after_s] from
+    {!Obs.retry_hint_s}) and never processed.  Sheds bump the
+    ["service.shed"] counter and are recorded (kind ["overloaded"]) in
+    the access log; admitted requests bump ["service.admitted"] inside
+    the service.
+
+    {b Connection guards.}  Per-connection limits bound what one
+    client can cost: a frame longer than [max_frame_bytes] with no
+    newline gets a structured error and the connection dropped; a
+    blocking read waits at most [read_idle_s] and a response write at
+    most [write_timeout_s] ([select] deadlines — a stalled or dead
+    client can never wedge the serial accept loop); [max_strikes]
+    malformed frames end the connection.
+
+    {b Drain.}  With a {!Drain.t}, the loops stop accepting
+    connections and reading frames as soon as a drain is requested,
+    finish (or, past the drain deadline, cancel) admitted work, and
+    return — see {!Drain}.
+
+    {b Fault sites.}  The IO paths consult
+    [server.{slow_read,disconnect,frame_flood,short_write}]
+    ({!Batlife_numerics.Fi}), driven by [bench --serve-chaos-report].
 
     Malformed frames are answered in place with [ok = false]
     protocol/parse errors ({!Query.request_of_line}); the loop never
-    dies on bad input, only on EOF (or, for the socket server, after
-    [max_connections] clients). *)
+    dies on bad input, only on EOF, a guard trip, a drain, or (for the
+    socket server) after [max_connections] clients. *)
+
+(** Per-connection guard limits. *)
+type limits = {
+  max_frame_bytes : int;
+      (** drop the connection when a frame exceeds this without a
+          newline (memory bound per connection) *)
+  read_idle_s : float;  (** blocking-read liveness deadline, seconds *)
+  write_timeout_s : float;  (** response-write liveness deadline, seconds *)
+  max_strikes : int;
+      (** malformed frames tolerated before the connection is dropped *)
+  queue : int;
+      (** pending-queue capacity: admitted frames beyond the batch in
+          hand; everything past it is shed *)
+}
+
+val default_limits : limits
+(** [max_frame_bytes = 1 MiB; read_idle_s = 300; write_timeout_s = 30;
+    max_strikes = 5; queue = 128]. *)
 
 val serve_fd :
+  ?limits:limits ->
+  ?drain:Drain.t ->
   ?max_batch:int ->
   Service.t ->
   in_fd:Unix.file_descr ->
   out_fd:Unix.file_descr ->
   unit
-(** Serve one connection: read request lines from [in_fd] until EOF,
-    write one response line per request to [out_fd] (batch responses
-    in request order).  [max_batch] (default 64) caps greedy
-    batching. *)
+(** Serve one connection: read request lines from [in_fd] until EOF, a
+    guard trip, or a drain; write one response line per admitted
+    request to [out_fd] (batch responses in request order; shed
+    responses immediately).  [max_batch] (default 64) caps greedy
+    batching.  Raises [Invalid_argument] on non-positive limits. *)
 
-val serve_stdio : ?max_batch:int -> Service.t -> unit
+val serve_stdio :
+  ?limits:limits -> ?drain:Drain.t -> ?max_batch:int -> Service.t -> unit
 (** {!serve_fd} over stdin/stdout — the [batlife serve] default. *)
 
 val serve_unix :
+  ?limits:limits ->
+  ?drain:Drain.t ->
   ?max_batch:int ->
   ?max_connections:int ->
+  ?backlog:int ->
   Service.t ->
   path:string ->
   unit
-(** Bind a Unix-domain socket at [path] (replacing a stale socket
-    file), then accept connections and {!serve_fd} each in turn —
-    connections share the service, so the session cache persists
-    across clients.  [max_connections] stops after that many clients
-    (tests); default: loop forever.  The socket file is removed on
-    return. *)
+(** Bind a Unix-domain socket at [path], then accept connections and
+    serve each in turn — connections share the service, so the session
+    cache persists across clients.  An existing socket file is removed
+    only after a failed [connect] probe; if a live daemon answers the
+    probe, raises a structured [Parse_error] rather than stealing the
+    path.  [backlog] (default 64) is the [listen] backlog.
+    [max_connections] stops after that many clients (tests); default:
+    loop until drained.  The accept wait polls the drain flag every
+    100 ms.  The socket file is removed on return (including
+    exceptional return). *)

@@ -3,9 +3,18 @@ open Batlife_core
 
 type t = { cache : Cache.t; jobs : int option; obs : Obs.t }
 
-let create ?(cache_capacity = 32) ?jobs ?obs () =
+(* Every request that reaches the engine was, by definition, admitted;
+   the shedding side of the pair ("service.shed") lives in Server,
+   where frames are rejected before they get here. *)
+let c_admitted = Telemetry.counter "service.admitted"
+
+let create ?(cache_capacity = 32) ?cache_max_bytes ?jobs ?obs () =
   let obs = match obs with Some o -> o | None -> Obs.create ?jobs () in
-  { cache = Cache.create ~capacity:cache_capacity; jobs; obs }
+  {
+    cache = Cache.create ~capacity:cache_capacity ?max_bytes:cache_max_bytes ();
+    jobs;
+    obs;
+  }
 
 let cache t = t.cache
 let obs t = t.obs
@@ -169,17 +178,35 @@ let run_group ~budget (entry : Cache.entry) ~cache_status members =
       (idx, rid, r, { Query.r_id = r.Query.id; cache = Some cache_status; result }))
     registered
 
-let group_budget members =
-  match
-    List.filter_map (fun (_, _, r) -> r.Query.deadline_s) members
-  with
-  | [] -> None
-  | deadlines ->
-      let wall_s = List.fold_left Float.min Float.infinity deadlines in
-      (* Budget.create rejects non-positive allowances; an absurd
-         deadline is still a deadline, so clamp to "already expired
-         at the first poll" rather than crash the group. *)
-      Some (Budget.create ~wall_s:(Float.max wall_s 1e-9) ())
+(* The group's budget and a release thunk.  Without a drain control
+   this is the per-request deadline story alone.  With one, every
+   group gets a budget (a pure cancel token when no deadline asked for
+   one) registered for deadline cancellation: a SIGTERM arriving
+   mid-flush can then end the sweep as a structured [Cancelled] once
+   the drain allowance runs out. *)
+let group_budget ?drain members =
+  let deadline_budget =
+    match
+      List.filter_map (fun (_, _, r) -> r.Query.deadline_s) members
+    with
+    | [] -> None
+    | deadlines ->
+        let wall_s = List.fold_left Float.min Float.infinity deadlines in
+        (* Budget.create rejects non-positive allowances; an absurd
+           deadline is still a deadline, so clamp to "already expired
+           at the first poll" rather than crash the group. *)
+        Some (Budget.create ~wall_s:(Float.max wall_s 1e-9) ())
+  in
+  match drain with
+  | None -> (deadline_budget, fun () -> ())
+  | Some d ->
+      let b =
+        match deadline_budget with
+        | Some b -> b
+        | None -> Budget.create ()
+      in
+      Drain.register d b;
+      (Some b, fun () -> Drain.unregister d b)
 
 let answer_admin t (r : Query.request) =
   let cache_size = Cache.size t.cache
@@ -223,11 +250,28 @@ let observation ~rid ~(r : Query.request) ~fingerprint
 
 let seconds_since t0 = Int64.to_float (Int64.sub (Telemetry.now_ns ()) t0) /. 1e9
 
-let handle_batch t requests =
+let handle_batch ?drain t requests =
   let batch_n = List.length requests in
+  List.iter (fun _ -> Telemetry.incr c_admitted) requests;
   Obs.batch_begin t.obs batch_n;
-  Fun.protect ~finally:(fun () -> Obs.batch_end t.obs) @@ fun () ->
+  let batch_t0 = Telemetry.now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.note_batch t.obs ~latency_s:(seconds_since batch_t0);
+      Obs.batch_end t.obs)
+  @@ fun () ->
   let indexed = List.mapi (fun i r -> (i, Obs.next_rid t.obs, r)) requests in
+  (* A batch running under an already-requested drain is the
+     "finish in-flight work" phase: leave a note carrying the batch's
+     request ids so the drain is reconstructible from the Diag
+     stream. *)
+  (match drain with
+  | Some d when Drain.requested d && batch_n > 0 ->
+      let ctx = String.concat "+" (List.map (fun (_, rid, _) -> rid) indexed) in
+      Diag.with_context ctx (fun () ->
+          Diag.record ~origin:"serve"
+            (Printf.sprintf "drain: finishing in-flight batch of %d" batch_n))
+  | _ -> ());
   (* Split the batch: admin queries are answered inline on the
      dispatch domain (after the model work, so a stats query batched
      behind real queries reports them); model queries group by
@@ -290,8 +334,9 @@ let handle_batch t requests =
               Telemetry.capture (fun () ->
                   match group with
                   | Ok (entry, cache_status) ->
-                      let budget = group_budget members in
-                      run_group ~budget entry ~cache_status members
+                      let budget, release = group_budget ?drain members in
+                      Fun.protect ~finally:release (fun () ->
+                          run_group ~budget entry ~cache_status members)
                   | Error e ->
                       List.map
                         (fun (idx, rid, (r : Query.request)) ->
@@ -334,6 +379,11 @@ let handle_batch t requests =
           responses := (idx, resp) :: !responses)
         rs)
     evaluated;
+  (* Byte-budget enforcement runs after the batch's model work (the
+     sessions just grew by whatever kernels and windows the batch
+     built) and before admin answers, so a trailing server_stats query
+     reports the post-eviction resident set. *)
+  Cache.enforce_budget t.cache;
   (* Model queries constructed without a model: API misuse, not wire
      input — the decoder already rejects such frames. *)
   List.iter

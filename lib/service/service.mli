@@ -27,8 +27,16 @@
 
 type t
 
-val create : ?cache_capacity:int -> ?jobs:int -> ?obs:Obs.t -> unit -> t
-(** [cache_capacity] (default 32) bounds the session cache;
+val create :
+  ?cache_capacity:int ->
+  ?cache_max_bytes:int ->
+  ?jobs:int ->
+  ?obs:Obs.t ->
+  unit ->
+  t
+(** [cache_capacity] (default 32) bounds the session cache's entry
+    count and [cache_max_bytes] (default: unbounded) its resident
+    bytes (enforced after each batch — see {!Cache.enforce_budget});
     [jobs] overrides the pool size for group fan-out (default: the
     process-wide {!Batlife_numerics.Pool.default_jobs}); [obs] is the
     observability plane to ride on (default: a fresh {!Obs.create}
@@ -38,7 +46,7 @@ val create : ?cache_capacity:int -> ?jobs:int -> ?obs:Obs.t -> unit -> t
 val handle : t -> Query.request -> Query.response
 (** Answer one request ([{!handle_batch} t [r]]). *)
 
-val handle_batch : t -> Query.request list -> Query.response list
+val handle_batch : ?drain:Drain.t -> t -> Query.request list -> Query.response list
 (** Answer a batch; responses come back in request order.  Requests
     for the same model share one sweep, distinct models fan out across
     the pool.  Every request is assigned a request id ([r1], [r2],
@@ -48,7 +56,13 @@ val handle_batch : t -> Query.request list -> Query.response list
     end-to-end.  Admin queries ({!Query.Server_stats},
     {!Query.Prometheus}, {!Query.Health}) are answered inline {e
     after} the batch's model work, so a trailing stats query observes
-    the queries it rode in with. *)
+    the queries it rode in with.  Every request bumps the
+    ["service.admitted"] counter, and the cache's byte budget is
+    enforced after the batch's model work.  [drain] exposes each
+    group's budget to {!Drain} deadline cancellation (groups without a
+    request deadline get a pure cancel-token budget), so a drain
+    requested mid-batch can end overlong flushes as structured
+    [Cancelled] responses. *)
 
 val cache : t -> Cache.t
 val obs : t -> Obs.t

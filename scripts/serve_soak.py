@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+"""Soak a live `batlife serve --socket` daemon with concurrent clients.
+
+Usage: serve_soak.py SOCKET [DAEMON_PID]
+
+Phase 1 (always): a mix of well-behaved and hostile clients runs
+concurrently against the daemon -- bursty but valid query batches that
+force admission sheds, garbage streams that trip the strike limit, an
+oversized frame, and clients that vanish without reading.  Every
+response line must decode as a versioned batlife.query/1 frame; sheds
+must carry the code-9 overloaded error with a retry_after_s hint.
+
+Phase 2 (only with DAEMON_PID): graceful-drain acceptance.  A repeat
+CDF query is answered once for reference, then sent again with SIGTERM
+delivered to the daemon while the batch is in flight; the in-flight
+response must still arrive, byte-identical to the reference line.  The
+caller is expected to `wait` on the daemon afterwards and assert exit
+code 0 and the socket gone.
+
+A JSON summary goes to stdout; the exit code is nonzero if any
+invariant failed.  Stdlib only.
+"""
+
+import json
+import os
+import signal
+import socket
+import sys
+import threading
+import time
+
+SOCKET_PATH = sys.argv[1]
+DAEMON_PID = int(sys.argv[2]) if len(sys.argv) > 2 else None
+
+MODEL = {
+    "workload": {"kind": "onoff", "frequency": 1.0, "k": 1, "on_current": 0.96},
+    "battery": {"capacity": 7200, "c": 1.0, "k": 0.0},
+    "delta": 100,
+}
+
+
+def frame(rid, query, model=None, deadline_s=None):
+    f = {"v": "batlife.query/1", "id": rid, "query": query}
+    if model is not None:
+        f["model"] = model
+    if deadline_s is not None:
+        f["deadline_s"] = deadline_s
+    return json.dumps(f) + "\n"
+
+
+def health(rid):
+    return frame(rid, {"kind": "health"})
+
+
+def cdf(rid, capacity=7200):
+    model = dict(MODEL, battery=dict(MODEL["battery"], capacity=capacity))
+    return frame(rid, {"kind": "cdf", "times": [5000, 10000]}, model=model)
+
+
+def connect_with_retry(timeout=60.0, attempts=50):
+    """Connect, retrying on a full listen backlog (EAGAIN/ECONNREFUSED
+    from a serial accept loop under a burst) like a real client."""
+    last = None
+    for _ in range(attempts):
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.settimeout(timeout)
+        try:
+            s.connect(SOCKET_PATH)
+            return s
+        except (BlockingIOError, ConnectionRefusedError) as e:
+            s.close()
+            last = e
+            time.sleep(0.05)
+    raise last
+
+
+def talk(payload, want_lines, timeout=60.0, linger=False):
+    """One connection: send payload, read up to want_lines lines or EOF."""
+    s = connect_with_retry(timeout)
+    try:
+        s.sendall(payload.encode())
+        if not linger:
+            s.shutdown(socket.SHUT_WR)
+        buf = b""
+        lines = []
+        while len(lines) < want_lines:
+            try:
+                chunk = s.recv(65536)
+            except socket.timeout:
+                break
+            if not chunk:
+                break
+            buf += chunk
+            while b"\n" in buf and len(lines) < want_lines:
+                line, buf = buf.split(b"\n", 1)
+                lines.append(line.decode())
+        return lines
+    finally:
+        s.close()
+
+
+LOCK = threading.Lock()
+STATS = {
+    "responses": 0,
+    "ok": 0,
+    "overloaded": 0,
+    "structured_errors": 0,
+    "unparseable": 0,
+    "shed_without_retry_hint": 0,
+    "client_failures": 0,
+}
+
+
+def classify(lines):
+    with LOCK:
+        for line in lines:
+            STATS["responses"] += 1
+            try:
+                r = json.loads(line)
+                assert r["v"] == "batlife.query/1"
+            except Exception:
+                STATS["unparseable"] += 1
+                continue
+            if r.get("ok"):
+                STATS["ok"] += 1
+            elif r.get("error", {}).get("kind") == "overloaded":
+                STATS["overloaded"] += 1
+                err = r["error"]
+                if err.get("code") != 9 or "retry_after_s" not in err:
+                    STATS["shed_without_retry_hint"] += 1
+            else:
+                STATS["structured_errors"] += 1
+
+
+def client_failure(why):
+    with LOCK:
+        STATS["client_failures"] += 1
+    print("soak client failed: %s" % why, file=sys.stderr)
+
+
+def well_behaved(i):
+    # A 10-frame burst per round: more than the daemon's batch + queue,
+    # so some frames are served and the rest shed.  Every frame must be
+    # answered either way.
+    try:
+        for round_no in range(3):
+            burst = "".join(
+                health("w%d-%d-%d" % (i, round_no, j)) for j in range(10)
+            )
+            classify(talk(burst, want_lines=10))
+    except Exception as e:  # noqa: BLE001 -- any client crash is a finding
+        client_failure("well_behaved %d: %r" % (i, e))
+
+
+def model_client(i):
+    # Real model work on per-client capacities: with a small
+    # --cache-max-bytes every session overflows the budget and must be
+    # evicted after serving, visibly in the stats scrape.
+    try:
+        for round_no in range(2):
+            rid = "m%d-%d" % (i, round_no)
+            classify(talk(cdf(rid, capacity=7200 + 300 * i), want_lines=1))
+    except Exception as e:  # noqa: BLE001
+        client_failure("model %d: %r" % (i, e))
+
+
+def hostile_garbage(i):
+    # Structured rejections, then the strike limit drops us: both fine,
+    # but the frames that do come back must decode.
+    try:
+        lines = talk("not json\n" * 6, want_lines=7, timeout=30.0)
+        classify(lines)
+    except Exception as e:  # noqa: BLE001
+        client_failure("garbage %d: %r" % (i, e))
+
+
+def hostile_oversize(i):
+    # The daemon may drop us mid-send (goodbye + close while we are
+    # still streaming the endless line): EPIPE here is a pass.
+    try:
+        lines = talk("x" * (1 << 21), want_lines=1, timeout=30.0)
+        classify(lines)
+    except (BrokenPipeError, ConnectionResetError):
+        pass
+    except Exception as e:  # noqa: BLE001
+        client_failure("oversize %d: %r" % (i, e))
+
+
+def hostile_vanish(i):
+    # Send work, close without reading a byte: the daemon must shrug
+    # (EPIPE, not a crash); nothing to classify.
+    try:
+        s = connect_with_retry(10.0)
+        s.sendall(cdf("vanish%d" % i).encode())
+        s.close()
+    except Exception as e:  # noqa: BLE001
+        client_failure("vanish %d: %r" % (i, e))
+
+
+def run_concurrent_phase():
+    threads = []
+    for i in range(3):
+        threads.append(threading.Thread(target=well_behaved, args=(i,)))
+    for i in range(2):
+        threads.append(threading.Thread(target=model_client, args=(i,)))
+    for i in range(2):
+        threads.append(threading.Thread(target=hostile_garbage, args=(i,)))
+    threads.append(threading.Thread(target=hostile_oversize, args=(0,)))
+    for i in range(2):
+        threads.append(threading.Thread(target=hostile_vanish, args=(i,)))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+def run_drain_phase():
+    # Warm the model, take a reference response, then deliver SIGTERM
+    # while the same query is in flight.  Within --drain-s the drain is
+    # invisible: the response must arrive byte-identical.
+    talk(cdf("drain", capacity=9999), want_lines=1)  # warm: miss
+    ref = talk(cdf("drain", capacity=9999), want_lines=1)  # reference: hit
+    if len(ref) != 1:
+        client_failure("drain reference query got no response")
+        return False
+
+    s = connect_with_retry(60.0)
+    try:
+        s.sendall(cdf("drain", capacity=9999).encode())
+        time.sleep(0.05)  # let the batch start
+        os.kill(DAEMON_PID, signal.SIGTERM)
+        buf = b""
+        while b"\n" not in buf:
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+        drained = buf.split(b"\n", 1)[0].decode() if b"\n" in buf else None
+    finally:
+        s.close()
+    if drained != ref[0]:
+        client_failure(
+            "drained response differs from reference:\n  ref: %s\n  got: %s"
+            % (ref[0], drained)
+        )
+        return False
+    return True
+
+
+def main():
+    run_concurrent_phase()
+    drain_identical = None
+    if DAEMON_PID is not None:
+        drain_identical = run_drain_phase()
+
+    summary = dict(STATS)
+    summary["drain_identical"] = drain_identical
+    print(json.dumps(summary, indent=2))
+
+    failed = (
+        STATS["unparseable"] > 0
+        or STATS["shed_without_retry_hint"] > 0
+        or STATS["client_failures"] > 0
+        or STATS["ok"] == 0
+        or STATS["overloaded"] == 0
+        or (DAEMON_PID is not None and not drain_identical)
+    )
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

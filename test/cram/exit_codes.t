@@ -4,13 +4,14 @@ test pins the --help rendering so the documented table cannot drift
 from the binary.
 
   $ batlife --help 2>/dev/null | sed -n '/EXIT STATUS/,/ENVIRONMENT/p' \
-  >   | grep -E '^ *(3|4|5|6|7|8|130) ' | sed 's/^ *//'
+  >   | grep -E '^ *(3|4|5|6|7|8|9|130) ' | sed 's/^ *//'
   3   a model or parameter set failed validation.
   4   malformed external input (trace, checkpoint, query frame).
   5   an iterative method failed to converge.
   6   numerical breakdown (NaN/Inf contamination, mass loss).
   7   a wall-clock deadline or work budget ran out.
   8   cooperative cancellation was requested (first Ctrl-C).
+  9   the query service shed the request under overload (retryable).
   130 hard interrupt (second Ctrl-C, immediate abort).
 
 And the codes are live, not just documented.  An invalid model exits 3:

@@ -44,6 +44,26 @@ keeps serving:
   > EOF
   1
 
+Admission control: with a one-frame batch and a zero pending queue, a
+four-frame burst admits the first request and sheds the other three
+with the structured overloaded error (exit-9 class, retryable) — each
+shed frame still gets a well-formed response carrying a retry hint:
+
+  $ batlife serve --max-batch 1 --queue 0 <<'EOF' > shed.ndjson
+  > {"v":"batlife.query/1","id":"h0","query":{"kind":"health"}}
+  > {"v":"batlife.query/1","id":"h1","query":{"kind":"health"}}
+  > {"v":"batlife.query/1","id":"h2","query":{"kind":"health"}}
+  > {"v":"batlife.query/1","id":"h3","query":{"kind":"health"}}
+  > EOF
+  $ wc -l < shed.ndjson
+  4
+  $ grep -c '"ok":true' shed.ndjson
+  1
+  $ grep -c '"kind":"overloaded","code":9' shed.ndjson
+  3
+  $ grep -c 'retry_after_s' shed.ndjson
+  3
+
 An unsupported protocol version is refused per-frame:
 
   $ batlife serve <<'EOF' | grep -c 'unsupported protocol version'
